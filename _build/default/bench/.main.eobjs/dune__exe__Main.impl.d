@@ -1,0 +1,1 @@
+bench/main.ml: Analyze Array Bechamel Benchmark Hashtbl Instance List Lp_allocsim Lp_callchain Lp_quantile Measure Printf Staged Sys Tables Test Time Toolkit

@@ -1,0 +1,1 @@
+bench/tables.ml: Buffer Lifetime List Lp_report Printf String

@@ -1,0 +1,188 @@
+(* Benchmark harness: regenerates every table of the paper's evaluation
+   (run with no arguments), one table (--table N), the ablation sweeps
+   (--ablation NAME | --ablations), plus Bechamel micro-benchmarks of the
+   allocator fast paths (--micro).  --scale S shrinks the workload inputs
+   for quick runs. *)
+
+let tables : (int * string * (?scale:float -> unit -> string)) list =
+  [
+    (1, "the test programs", Tables.table1);
+    (2, "allocation behaviour", Tables.table2);
+    (3, "lifetime quantiles", Tables.table3);
+    (4, "site+size prediction", Tables.table4);
+    (5, "size-only prediction", Tables.table5);
+    (6, "call-chain length sweep", Tables.table6);
+    (7, "arena placement", Tables.table7);
+    (8, "maximum heap sizes", Tables.table8);
+    (9, "instructions per alloc/free", Tables.table9);
+  ]
+
+let ablations : (string * (?scale:float -> unit -> string)) list =
+  [
+    ("threshold", Tables.threshold_ablation);
+    ("geometry", Tables.geometry_ablation);
+    ("rounding", Tables.rounding_ablation);
+    ("policy", Tables.policy_ablation);
+    ("locality", Tables.locality_experiment);
+    ("generational", Tables.generational_experiment);
+    ("types", Tables.type_experiment);
+    ("allocators", Tables.allocator_ablation);
+  ]
+
+(* -- Bechamel micro-benchmarks: the allocator fast paths whose costs the
+   instruction model of Table 9 charges symbolically.  Here they run for
+   real, on this machine: one benchmark per evaluation table whose
+   operations they implement. -- *)
+
+let micro_tests () =
+  let open Bechamel in
+  [
+    Test.make ~name:"table8.first_fit_alloc_free"
+      (Staged.stage (fun () ->
+           let ff = Lp_allocsim.First_fit.create () in
+           let addrs =
+             Array.init 64 (fun i -> Lp_allocsim.First_fit.alloc ff (16 + (i mod 7 * 8)))
+           in
+           Array.iter (Lp_allocsim.First_fit.free ff) addrs));
+    Test.make ~name:"table9.bsd_alloc_free"
+      (Staged.stage (fun () ->
+           let b = Lp_allocsim.Bsd.create () in
+           let addrs =
+             Array.init 64 (fun i -> Lp_allocsim.Bsd.alloc b (16 + (i mod 7 * 8)))
+           in
+           Array.iter (Lp_allocsim.Bsd.free b) addrs));
+    Test.make ~name:"table7.arena_bump_alloc"
+      (Staged.stage
+         (let a = Lp_allocsim.Arena.create () in
+          fun () ->
+            for i = 0 to 63 do
+              let addr =
+                Lp_allocsim.Arena.alloc a ~size:(16 + (i mod 7 * 8)) ~predicted:true
+              in
+              Lp_allocsim.Arena.free a addr
+            done));
+    Test.make ~name:"table3.p2_observe"
+      (Staged.stage
+         (let est = Lp_quantile.P2.create 0.5 in
+          let x = ref 0. in
+          fun () ->
+            x := !x +. 1.;
+            Lp_quantile.P2.observe est !x));
+    Test.make ~name:"table4.chain_cycle_elimination"
+      (Staged.stage
+         (let raw = [| 9; 4; 3; 4; 3; 2; 1; 0 |] in
+          fun () -> ignore (Lp_callchain.Chain.eliminate_cycles raw)));
+    Test.make ~name:"table6.site_hash_lookup"
+      (Staged.stage
+         (let tbl = Lp_callchain.Func.create_table () in
+          let f = Lp_callchain.Func.intern tbl "f" in
+          let site =
+            Lp_callchain.Site.make Lp_callchain.Site.Complete_chain ~raw_chain:[| f |]
+              ~key:0 ~size:16
+          in
+          let module T = Lp_callchain.Site.Table in
+          let table = T.create 64 in
+          T.replace table site ();
+          fun () -> ignore (T.mem table site)));
+  ]
+
+let micro_benchmarks () =
+  let open Bechamel in
+  let open Toolkit in
+  Printf.printf
+    "\nBechamel micro-benchmarks (real CPU cost of the simulated fast paths):\n%!";
+  let cfg = Benchmark.cfg ~quota:(Time.second 0.25) () in
+  let grouped = Test.make_grouped ~name:"repro" (micro_tests ()) in
+  let results = Benchmark.all cfg [ Instance.monotonic_clock ] grouped in
+  let ols =
+    Analyze.all
+      (Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |])
+      Instance.monotonic_clock results
+  in
+  let rows = Hashtbl.fold (fun name result acc -> (name, result) :: acc) ols [] in
+  List.iter
+    (fun (name, result) ->
+      match Analyze.OLS.estimates result with
+      | Some [ ns ] -> Printf.printf "  %-44s %12.1f ns/run\n%!" name ns
+      | _ -> Printf.printf "  %-44s (no estimate)\n%!" name)
+    (List.sort compare rows)
+
+let () =
+  let scale = ref 1.0 in
+  let which_table = ref None in
+  let which_ablation = ref None in
+  let run_ablations = ref true in
+  let run_micro = ref true in
+  let args = Array.to_list Sys.argv in
+  let rec parse = function
+    | [] -> ()
+    | "--scale" :: v :: rest ->
+        scale := float_of_string v;
+        parse rest
+    | "--table" :: v :: rest ->
+        which_table := Some (int_of_string v);
+        parse rest
+    | "--ablation" :: v :: rest ->
+        which_ablation := Some v;
+        parse rest
+    | "--ablations" :: rest ->
+        run_ablations := true;
+        parse rest
+    | "--tables-only" :: rest ->
+        run_ablations := false;
+        run_micro := false;
+        parse rest
+    | "--micro" :: rest ->
+        run_micro := true;
+        parse rest
+    | "--help" :: _ ->
+        print_endline
+          "usage: bench/main.exe [--scale S] [--table N] [--tables-only] \
+           [--ablation threshold|geometry|rounding|policy|locality|\
+           generational|types] [--micro]";
+        exit 0
+    | other :: _ ->
+        Printf.eprintf "unknown argument %s (try --help)\n" other;
+        exit 1
+  in
+  parse (List.tl args);
+  let scale = !scale in
+  Printf.printf
+    "Reproduction of Barrett & Zorn, \"Using Lifetime Predictors to Improve\n\
+     Memory Allocation Performance\" (PLDI 1993) — evaluation tables.\n\
+     Workload scale: %.2f.  Format: measured value, with the paper's value\n\
+     alongside in the '(paper)' columns.\n\n%!"
+    scale;
+  (match (!which_table, !which_ablation) with
+  | Some _, _ | None, Some _ -> run_micro := false
+  | None, None -> ());
+  (match (!which_table, !which_ablation) with
+  | Some n, _ ->
+      let _, _, f =
+        try List.find (fun (i, _, _) -> i = n) tables
+        with Not_found ->
+          Printf.eprintf "no such table: %d\n" n;
+          exit 1
+      in
+      print_string (f ?scale:(Some scale) ())
+  | None, Some name ->
+      let f =
+        try List.assoc name ablations
+        with Not_found ->
+          Printf.eprintf "no such ablation: %s\n" name;
+          exit 1
+      in
+      print_string (f ?scale:(Some scale) ())
+  | None, None ->
+      List.iter
+        (fun (_, _, f) ->
+          print_string (f ?scale:(Some scale) ());
+          print_newline ())
+        tables;
+      if !run_ablations then
+        List.iter
+          (fun (_, f) ->
+            print_string (f ?scale:(Some scale) ());
+            print_newline ())
+          ablations);
+  if !run_micro then micro_benchmarks ()

@@ -1,0 +1,196 @@
+(* lpalloc: command-line interface to the lifetime-prediction library.
+
+   Subcommands:
+     list                           the built-in workload programs
+     trace    -p PROG -i INPUT      run a workload, write its trace (text)
+     stats    FILE                  statistics of a trace file (Table 2 row)
+     lifetimes FILE                 lifetime quartiles of a trace (Table 3 row)
+     train    FILE                  train a predictor, show its sites
+     evaluate --train A --test B    self/true prediction quality (Table 4 row)
+     simulate --train A --test B    first-fit vs BSD vs arena (Tables 7-9)  *)
+
+open Cmdliner
+
+let read_trace path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> Lp_trace.Textio.input ic)
+
+let scale_arg =
+  let doc = "Scale factor for workload input sizes (0 < S <= 1)." in
+  Arg.(value & opt float 1.0 & info [ "scale" ] ~docv:"S" ~doc)
+
+let threshold_arg =
+  let doc = "Short-lived threshold in bytes (the paper uses 32768)." in
+  Arg.(value & opt int 32768 & info [ "threshold" ] ~docv:"BYTES" ~doc)
+
+(* -- list ---------------------------------------------------------------------- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (p : Lp_workloads.Registry.program) ->
+        Printf.printf "%-9s %s\n          inputs: tiny, train, test. %s\n" p.name
+          p.description p.input_notes)
+      Lp_workloads.Registry.programs
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the built-in workload programs")
+    Term.(const run $ const ())
+
+(* -- trace --------------------------------------------------------------------- *)
+
+let trace_cmd =
+  let program =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "p"; "program" ] ~docv:"PROG" ~doc:"Workload program name.")
+  in
+  let input =
+    Arg.(
+      value & opt string "test"
+      & info [ "i"; "input" ] ~docv:"INPUT" ~doc:"Input set: tiny, train or test.")
+  in
+  let output =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the trace here (default stdout).")
+  in
+  let run program input output scale =
+    let trace = Lp_workloads.Registry.trace ~scale ~program ~input () in
+    match output with
+    | Some path ->
+        let oc = open_out path in
+        Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+            Lp_trace.Textio.output oc trace);
+        Printf.printf "wrote %d events (%d objects) to %s\n"
+          (Array.length trace.events) trace.n_objects path
+    | None -> Lp_trace.Textio.output stdout trace
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Run a workload and emit its allocation trace")
+    Term.(const run $ program $ input $ output $ scale_arg)
+
+(* -- stats --------------------------------------------------------------------- *)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE" ~doc:"Trace file.")
+
+let stats_cmd =
+  let run path =
+    let trace = read_trace path in
+    Format.printf "%a@." Lp_trace.Stats.pp (Lp_trace.Stats.compute trace)
+  in
+  Cmd.v (Cmd.info "stats" ~doc:"Execution statistics of a trace (cf. Table 2)")
+    Term.(const run $ file_arg)
+
+let lifetimes_cmd =
+  let run path threshold =
+    let trace = read_trace path in
+    let lifetimes = Lp_trace.Lifetimes.compute trace in
+    let hist = Lp_quantile.Histogram.create () in
+    let short = ref 0 and total = ref 0 in
+    Lp_trace.Trace.iter_allocs trace (fun ~obj ~size ~chain:_ ~key:_ ~tag:_ ->
+        Lp_quantile.Histogram.observe_weighted hist ~weight:size
+          (float_of_int lifetimes.lifetime.(obj));
+        total := !total + size;
+        if Lp_trace.Lifetimes.is_short_lived lifetimes ~threshold obj then
+          short := !short + size);
+    let q = Lp_quantile.Histogram.quartiles hist in
+    Format.printf "byte-weighted lifetime quartiles: %a@."
+      Lp_quantile.Histogram.pp_quartiles q;
+    Printf.printf "short-lived (< %d bytes): %.1f%% of bytes\n" threshold
+      (100. *. float_of_int !short /. float_of_int (max 1 !total))
+  in
+  Cmd.v
+    (Cmd.info "lifetimes" ~doc:"Lifetime distribution of a trace (cf. Table 3)")
+    Term.(const run $ file_arg $ threshold_arg)
+
+(* -- train ---------------------------------------------------------------------- *)
+
+let train_cmd =
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every predictor site.")
+  in
+  let run path threshold verbose =
+    let trace = read_trace path in
+    let config = { Lifetime.Config.default with short_lived_threshold = threshold } in
+    let table = Lifetime.Train.collect ~config trace in
+    let predictor = Lifetime.Predictor.build ~config ~funcs:trace.funcs table in
+    Printf.printf "%d allocation sites, %d predictor (all-short) sites\n"
+      (Lifetime.Train.total_sites table)
+      (Lifetime.Predictor.size predictor);
+    if verbose then
+      Lifetime.Predictor.iter_keys predictor (fun key ->
+          print_endline ("  " ^ Lifetime.Portable.to_string key))
+  in
+  Cmd.v
+    (Cmd.info "train" ~doc:"Train a short-lived-site predictor from a trace")
+    Term.(const run $ file_arg $ threshold_arg $ verbose)
+
+(* -- evaluate ------------------------------------------------------------------- *)
+
+let train_file =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "train" ] ~docv:"FILE" ~doc:"Training trace.")
+
+let test_file =
+  Arg.(
+    required & opt (some file) None & info [ "test" ] ~docv:"FILE" ~doc:"Test trace.")
+
+let evaluate_cmd =
+  let run train_path test_path threshold =
+    let train = read_trace train_path in
+    let test = read_trace test_path in
+    let config = { Lifetime.Config.default with short_lived_threshold = threshold } in
+    let _, e = Lifetime.Evaluate.train_and_evaluate ~config ~train ~test in
+    Printf.printf "test sites:            %d\n" e.total_sites;
+    Printf.printf "predictor sites used:  %d\n" e.sites_used;
+    Printf.printf "actual short-lived:    %.1f%% of bytes\n"
+      (Lifetime.Evaluate.actual_short_pct e);
+    Printf.printf "predicted short-lived: %.1f%% of bytes\n"
+      (Lifetime.Evaluate.predicted_pct e);
+    Printf.printf "error bytes:           %.2f%%\n" (Lifetime.Evaluate.error_pct e);
+    Printf.printf "new-ref share:         %.1f%% of heap references\n"
+      (Lifetime.Evaluate.new_ref_pct e)
+  in
+  Cmd.v
+    (Cmd.info "evaluate"
+       ~doc:"Evaluate prediction quality of a trained predictor (cf. Table 4)")
+    Term.(const run $ train_file $ test_file $ threshold_arg)
+
+(* -- simulate ------------------------------------------------------------------- *)
+
+let simulate_cmd =
+  let run train_path test_path threshold =
+    let train = read_trace train_path in
+    let test = read_trace test_path in
+    let config = { Lifetime.Config.default with short_lived_threshold = threshold } in
+    let table = Lifetime.Train.collect ~config train in
+    let predictor = Lifetime.Predictor.build ~config ~funcs:train.funcs table in
+    let sim = Lifetime.Simulate.run ~config ~predictor ~test in
+    Format.printf "%a@.@.%a@.@.%a@.@.%a@." Lp_allocsim.Metrics.pp sim.first_fit
+      Lp_allocsim.Metrics.pp sim.bsd Lp_allocsim.Metrics.pp sim.arena.len4
+      Lp_allocsim.Metrics.pp sim.arena.cce
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:
+         "Replay a test trace through first-fit, BSD and the lifetime-predicting \
+          arena allocator (cf. Tables 7-9)")
+    Term.(const run $ train_file $ test_file $ threshold_arg)
+
+let () =
+  let doc =
+    "lifetime-predicting memory allocation (reproduction of Barrett & Zorn, PLDI \
+     1993)"
+  in
+  let info = Cmd.info "lpalloc" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            list_cmd; trace_cmd; stats_cmd; lifetimes_cmd; train_cmd; evaluate_cmd;
+            simulate_cmd;
+          ]))

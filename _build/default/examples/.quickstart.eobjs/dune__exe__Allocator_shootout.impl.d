@@ -1,0 +1,1 @@
+examples/allocator_shootout.ml: Lifetime List Lp_allocsim Lp_report Lp_workloads Printf

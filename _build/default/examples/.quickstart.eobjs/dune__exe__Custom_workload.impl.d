@@ -1,0 +1,1 @@
+examples/custom_workload.ml: Lifetime List Lp_allocsim Lp_callchain Lp_ialloc Lp_trace Lp_workloads Printf Queue

@@ -1,0 +1,1 @@
+examples/interpreter_tuning.ml: Lifetime Lp_allocsim Lp_report Lp_trace Lp_workloads Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Hashtbl Lifetime List Lp_allocsim Lp_ialloc Lp_trace Lp_workloads Printf String

@@ -1,0 +1,1 @@
+lib/allocsim/arena.ml: Array Cost_model First_fit Hashtbl

@@ -1,0 +1,1 @@
+lib/allocsim/arena.mli: First_fit

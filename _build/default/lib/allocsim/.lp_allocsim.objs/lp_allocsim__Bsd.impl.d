@@ -1,0 +1,1 @@
+lib/allocsim/bsd.ml: Array Cost_model Hashtbl List

@@ -1,0 +1,1 @@
+lib/allocsim/cache.ml: Array Hashtbl

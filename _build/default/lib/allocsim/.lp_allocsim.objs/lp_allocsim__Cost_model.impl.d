@@ -1,0 +1,1 @@
+lib/allocsim/cost_model.ml:

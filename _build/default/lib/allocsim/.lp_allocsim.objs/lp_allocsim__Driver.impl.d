@@ -1,0 +1,1 @@
+lib/allocsim/driver.ml: Arena Array Bsd Cache First_fit Lp_trace Metrics

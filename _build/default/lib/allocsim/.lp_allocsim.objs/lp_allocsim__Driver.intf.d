@@ -1,0 +1,1 @@
+lib/allocsim/driver.mli: Arena Cache Lp_trace Metrics

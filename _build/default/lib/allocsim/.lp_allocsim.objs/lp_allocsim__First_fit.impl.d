@@ -1,0 +1,1 @@
+lib/allocsim/first_fit.ml: Cost_model Hashtbl Printf

@@ -1,0 +1,1 @@
+lib/allocsim/first_fit.mli:

@@ -1,0 +1,1 @@
+lib/allocsim/generational.ml: Array List Lp_trace

@@ -1,0 +1,1 @@
+lib/allocsim/generational.mli: Lp_trace

@@ -1,0 +1,1 @@
+lib/allocsim/metrics.mli: Format

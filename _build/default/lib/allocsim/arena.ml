@@ -1,0 +1,135 @@
+type config = { n_arenas : int; arena_size : int }
+
+let default_config = { n_arenas = 16; arena_size = 4096 }
+
+type arena_state = {
+  mutable alloc_ptr : int;  (* offset of the next free byte *)
+  mutable count : int;  (* live objects *)
+}
+
+type t = {
+  config : config;
+  arenas : arena_state array;
+  mutable current : int;
+  general : First_fit.t;
+  area_bytes : int;
+  (* arena objects carry no headers, so a free needs only the address to
+     find the owning arena; the simulation keeps sizes for accounting *)
+  obj_arena : (int, int) Hashtbl.t;  (* address -> arena index *)
+  mutable arena_allocs : int;
+  mutable arena_bytes : int;
+  mutable arena_resets : int;
+  mutable overflow_allocs : int;
+  mutable allocs : int;
+  mutable frees : int;
+  mutable alloc_instr : int;
+  mutable free_instr : int;
+}
+
+let create ?(config = default_config) () =
+  let area_bytes = config.n_arenas * config.arena_size in
+  {
+    config;
+    arenas = Array.init config.n_arenas (fun _ -> { alloc_ptr = 0; count = 0 });
+    current = 0;
+    (* the general heap begins above the arena area *)
+    general = First_fit.create ~base:area_bytes ();
+    area_bytes;
+    obj_arena = Hashtbl.create 1024;
+    arena_allocs = 0;
+    arena_bytes = 0;
+    arena_resets = 0;
+    overflow_allocs = 0;
+    allocs = 0;
+    frees = 0;
+    alloc_instr = 0;
+    free_instr = 0;
+  }
+
+let charge_prediction t cost = t.alloc_instr <- t.alloc_instr + cost
+
+let arena_addr t idx offset = (idx * t.config.arena_size) + offset
+
+(* Find an arena with no live objects and rewind it.  The scan starts from
+   the base of the arena area (the paper: "the algorithm scans all
+   short-lived arenas attempting to find one with a zero count field"), so
+   under fast churn the same low arena drains and is recycled over and
+   over — which also keeps the hot allocation window small and
+   cache-resident. *)
+let find_empty_arena t =
+  let n = t.config.n_arenas in
+  let found = ref None in
+  let i = ref 0 in
+  while !found = None && !i < n do
+    t.alloc_instr <- t.alloc_instr + Cost_model.arena_scan_per_arena;
+    let candidate = !i in
+    if candidate <> t.current && t.arenas.(candidate).count = 0 then
+      found := Some candidate;
+    incr i
+  done;
+  match !found with
+  | Some idx ->
+      t.alloc_instr <- t.alloc_instr + Cost_model.arena_reset;
+      t.arenas.(idx).alloc_ptr <- 0;
+      t.arena_resets <- t.arena_resets + 1;
+      Some idx
+  | None -> None
+
+let bump t idx size =
+  let a = t.arenas.(idx) in
+  let addr = arena_addr t idx a.alloc_ptr in
+  a.alloc_ptr <- a.alloc_ptr + size;
+  a.count <- a.count + 1;
+  t.arena_allocs <- t.arena_allocs + 1;
+  t.arena_bytes <- t.arena_bytes + size;
+  t.alloc_instr <- t.alloc_instr + Cost_model.arena_bump;
+  Hashtbl.replace t.obj_arena addr idx;
+  addr
+
+let alloc t ~size ~predicted =
+  if size <= 0 then invalid_arg "Arena.alloc: size must be positive";
+  t.allocs <- t.allocs + 1;
+  let fits = size <= t.config.arena_size in
+  if predicted && fits then begin
+    let a = t.arenas.(t.current) in
+    if a.alloc_ptr + size <= t.config.arena_size then bump t t.current size
+    else begin
+      match find_empty_arena t with
+      | Some idx ->
+          t.current <- idx;
+          bump t idx size
+      | None ->
+          (* arena pollution: no empty arena — degenerate to the general
+             allocator (§5.2's CFRAC discussion) *)
+          t.overflow_allocs <- t.overflow_allocs + 1;
+          First_fit.alloc t.general size
+    end
+  end
+  else First_fit.alloc t.general size
+
+let free t addr =
+  t.frees <- t.frees + 1;
+  (* the address decides: arena area or general heap (§5.1) *)
+  t.free_instr <- t.free_instr + 2;
+  if addr < t.area_bytes then begin
+    match Hashtbl.find_opt t.obj_arena addr with
+    | None -> invalid_arg "Arena.free: not an allocated arena address"
+    | Some idx ->
+        Hashtbl.remove t.obj_arena addr;
+        let a = t.arenas.(idx) in
+        a.count <- a.count - 1;
+        t.free_instr <- t.free_instr + Cost_model.arena_free - 2
+  end
+  else First_fit.free t.general addr
+
+let arena_allocs t = t.arena_allocs
+let arena_bytes t = t.arena_bytes
+let arena_resets t = t.arena_resets
+let overflow_allocs t = t.overflow_allocs
+let allocs t = t.allocs
+let frees t = t.frees
+let max_heap_size t = t.area_bytes + First_fit.max_heap_size t.general
+
+let alloc_instr t = t.alloc_instr + First_fit.alloc_instr t.general
+let free_instr t = t.free_instr + First_fit.free_instr t.general
+let general t = t.general

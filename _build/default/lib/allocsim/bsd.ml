@@ -1,0 +1,72 @@
+let header = 8
+let page = 4096
+let min_class = 4 (* 2^4 = 16 bytes *)
+let max_class = 30
+
+type t = {
+  base : int;
+  buckets : int list array;  (* size class -> free payload addresses *)
+  class_of : (int, int) Hashtbl.t;  (* payload addr -> class, while allocated *)
+  mutable brk : int;
+  mutable alloc_instr : int;
+  mutable free_instr : int;
+  mutable allocs : int;
+  mutable frees : int;
+}
+
+let create ?(base = 0) () =
+  {
+    base;
+    buckets = Array.make (max_class + 1) [];
+    class_of = Hashtbl.create 1024;
+    brk = base;
+    alloc_instr = 0;
+    free_instr = 0;
+    allocs = 0;
+    frees = 0;
+  }
+
+let class_for size =
+  let need = size + header in
+  let rec go c = if 1 lsl c >= need then c else go (c + 1) in
+  go min_class
+
+let alloc t size =
+  if size <= 0 then invalid_arg "Bsd.alloc: size must be positive";
+  t.allocs <- t.allocs + 1;
+  t.alloc_instr <- t.alloc_instr + Cost_model.bsd_alloc_base;
+  let c = class_for size in
+  if c > max_class then invalid_arg "Bsd.alloc: size too large";
+  (match t.buckets.(c) with
+  | [] ->
+      (* carve a page (or one block if larger than a page) *)
+      t.alloc_instr <- t.alloc_instr + Cost_model.bsd_carve_page;
+      let block = 1 lsl c in
+      let span = max page block in
+      let start = t.brk in
+      t.brk <- t.brk + span;
+      let n = span / block in
+      let fresh = List.init n (fun i -> start + (i * block) + header) in
+      t.buckets.(c) <- fresh
+  | _ -> ());
+  match t.buckets.(c) with
+  | [] -> assert false
+  | payload :: rest ->
+      t.buckets.(c) <- rest;
+      Hashtbl.replace t.class_of payload c;
+      payload
+
+let free t payload =
+  match Hashtbl.find_opt t.class_of payload with
+  | None -> invalid_arg "Bsd.free: not an allocated address"
+  | Some c ->
+      Hashtbl.remove t.class_of payload;
+      t.frees <- t.frees + 1;
+      t.free_instr <- t.free_instr + Cost_model.bsd_free;
+      t.buckets.(c) <- payload :: t.buckets.(c)
+
+let max_heap_size t = t.brk - t.base
+let alloc_instr t = t.alloc_instr
+let free_instr t = t.free_instr
+let allocs t = t.allocs
+let frees t = t.frees

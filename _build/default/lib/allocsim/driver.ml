@@ -1,0 +1,142 @@
+type algorithm =
+  | First_fit
+  | Best_fit
+  | Bsd
+  | Arena of {
+      config : Arena.config;
+      predicted : obj:int -> size:int -> chain:int -> key:int -> bool;
+      predict_cost : int;
+    }
+
+let algorithm_name = function
+  | First_fit -> "first-fit"
+  | Best_fit -> "best-fit"
+  | Bsd -> "bsd"
+  | Arena _ -> "arena"
+
+let run ?cache (trace : Lp_trace.Trace.t) algorithm : Metrics.t =
+  let addr_of = Array.make trace.n_objects (-1) in
+  let size_of = Array.make trace.n_objects 0 in
+  let ref_cursor = Array.make trace.n_objects 0 in
+  let live = ref 0 in
+  let max_live = ref 0 in
+  let total_bytes = ref 0 in
+  let cache_access addr bytes =
+    match cache with
+    | Some c -> Cache.access_range c ~addr ~bytes
+    | None -> ()
+  in
+  let track_alloc obj size addr =
+    addr_of.(obj) <- addr;
+    size_of.(obj) <- size;
+    total_bytes := !total_bytes + size;
+    live := !live + size;
+    if !live > !max_live then max_live := !live;
+    cache_access addr 8
+  in
+  let track_free obj =
+    live := !live - size_of.(obj);
+    cache_access addr_of.(obj) 8;
+    addr_of.(obj) <- -1
+  in
+  (* a Touch of n references walks the object at a 16-byte stride *)
+  let track_touch obj count =
+    match cache with
+    | None -> ()
+    | Some c ->
+        let addr = addr_of.(obj) and size = size_of.(obj) in
+        if addr >= 0 then begin
+          for _ = 1 to count do
+            Cache.access c (addr + (ref_cursor.(obj) mod max 1 size));
+            ref_cursor.(obj) <- ref_cursor.(obj) + 16
+          done
+        end
+  in
+  match algorithm with
+  | First_fit | Best_fit ->
+      let policy =
+        match algorithm with Best_fit -> First_fit.Best | _ -> First_fit.First
+      in
+      let ff = First_fit.create ~policy () in
+      Array.iter
+        (function
+          | Lp_trace.Event.Alloc { obj; size; _ } ->
+              track_alloc obj size (First_fit.alloc ff size)
+          | Lp_trace.Event.Free { obj } ->
+              First_fit.free ff addr_of.(obj);
+              track_free obj
+          | Lp_trace.Event.Touch { obj; count } -> track_touch obj count)
+        trace.events;
+      {
+        Metrics.algorithm = algorithm_name algorithm;
+        allocs = First_fit.allocs ff;
+        frees = First_fit.frees ff;
+        total_bytes = !total_bytes;
+        arena_allocs = 0;
+        arena_bytes = 0;
+        arena_resets = 0;
+        overflow_allocs = 0;
+        max_heap = First_fit.max_heap_size ff;
+        max_live = !max_live;
+        instr_per_alloc =
+          float_of_int (First_fit.alloc_instr ff) /. float_of_int (max 1 (First_fit.allocs ff));
+        instr_per_free =
+          float_of_int (First_fit.free_instr ff) /. float_of_int (max 1 (First_fit.frees ff));
+      }
+  | Bsd ->
+      let b = Bsd.create () in
+      Array.iter
+        (function
+          | Lp_trace.Event.Alloc { obj; size; _ } ->
+              track_alloc obj size (Bsd.alloc b size)
+          | Lp_trace.Event.Free { obj } ->
+              Bsd.free b addr_of.(obj);
+              track_free obj
+          | Lp_trace.Event.Touch { obj; count } -> track_touch obj count)
+        trace.events;
+      {
+        Metrics.algorithm = "bsd";
+        allocs = Bsd.allocs b;
+        frees = Bsd.frees b;
+        total_bytes = !total_bytes;
+        arena_allocs = 0;
+        arena_bytes = 0;
+        arena_resets = 0;
+        overflow_allocs = 0;
+        max_heap = Bsd.max_heap_size b;
+        max_live = !max_live;
+        instr_per_alloc =
+          float_of_int (Bsd.alloc_instr b) /. float_of_int (max 1 (Bsd.allocs b));
+        instr_per_free =
+          float_of_int (Bsd.free_instr b) /. float_of_int (max 1 (Bsd.frees b));
+      }
+  | Arena { config; predicted; predict_cost } ->
+      let a = Arena.create ~config () in
+      Array.iter
+        (function
+          | Lp_trace.Event.Alloc { obj; size; chain; key; _ } ->
+              (* every allocation pays for the attempt to predict (§5.1) *)
+              Arena.charge_prediction a predict_cost;
+              let p = predicted ~obj ~size ~chain ~key in
+              track_alloc obj size (Arena.alloc a ~size ~predicted:p)
+          | Lp_trace.Event.Free { obj } ->
+              Arena.free a addr_of.(obj);
+              track_free obj
+          | Lp_trace.Event.Touch { obj; count } -> track_touch obj count)
+        trace.events;
+      {
+        Metrics.algorithm = "arena";
+        allocs = Arena.allocs a;
+        frees = Arena.frees a;
+        total_bytes = !total_bytes;
+        arena_allocs = Arena.arena_allocs a;
+        arena_bytes = Arena.arena_bytes a;
+        arena_resets = Arena.arena_resets a;
+        overflow_allocs = Arena.overflow_allocs a;
+        max_heap = Arena.max_heap_size a;
+        max_live = !max_live;
+        instr_per_alloc =
+          float_of_int (Arena.alloc_instr a) /. float_of_int (max 1 (Arena.allocs a));
+        instr_per_free =
+          float_of_int (Arena.free_instr a) /. float_of_int (max 1 (Arena.frees a));
+      }

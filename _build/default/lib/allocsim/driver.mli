@@ -1,0 +1,32 @@
+(** Trace-driven simulation: replay a trace's allocation events through an
+    allocator and collect {!Metrics.t} (§5.2: "we fed a trace of the
+    program's allocation events and a list of short-lived sites into a
+    simulator of the prediction algorithm"). *)
+
+type algorithm =
+  | First_fit
+  | Best_fit  (** whole-list best fit, for the allocator-policy ablation *)
+  | Bsd
+  | Arena of {
+      config : Arena.config;
+      predicted : obj:int -> size:int -> chain:int -> key:int -> bool;
+          (** the short-lived-site database lookup, supplied by the
+              prediction layer *)
+      predict_cost : int;
+          (** instructions charged per allocation for the lookup: 18 for
+              length-4 chains, the amortised value for call-chain
+              encryption *)
+    }
+
+val algorithm_name : algorithm -> string
+
+val run : ?cache:Cache.t -> Lp_trace.Trace.t -> algorithm -> Metrics.t
+(** Replays every event in order.  Objects still alive at the end of the
+    trace are not freed (they hold their space, as in the real program).
+
+    When [cache] is given, the replay also feeds it the trace's memory
+    references at the addresses this allocator assigned: the allocator's
+    header accesses at alloc/free, and each recorded {!Lp_trace.Event.t}
+    [Touch] as successive 16-byte-strided references within the object.
+    Comparing the resulting miss rates across allocators quantifies the
+    locality claim of the paper's introduction. *)

@@ -1,0 +1,89 @@
+type config = { nursery_bytes : int; copy_cost_per_byte : int }
+
+let default_config = { nursery_bytes = 131072; copy_cost_per_byte = 2 }
+
+type stats = {
+  allocs : int;
+  pretenured : int;
+  minor_gcs : int;
+  copied_bytes : int;
+  copied_objects : int;
+  promoted_bytes : int;
+  tenured_garbage_bytes : int;
+  copy_instr : int;
+  max_tenured_live : int;
+}
+
+type space = Nursery | Tenured
+
+let run ?(config = default_config) ~pretenure (trace : Lp_trace.Trace.t) : stats =
+  let space_of = Array.make trace.n_objects Nursery in
+  let size_of = Array.make trace.n_objects 0 in
+  let dead = Array.make trace.n_objects false in
+  (* objects currently in the nursery, in allocation order *)
+  let nursery : int list ref = ref [] in
+  let nursery_used = ref 0 in
+  let allocs = ref 0 in
+  let pretenured = ref 0 in
+  let minor_gcs = ref 0 in
+  let copied_bytes = ref 0 in
+  let copied_objects = ref 0 in
+  let promoted_bytes = ref 0 in
+  let tenured_garbage = ref 0 in
+  let tenured_live = ref 0 in
+  let max_tenured_live = ref 0 in
+  let tenure obj size =
+    space_of.(obj) <- Tenured;
+    promoted_bytes := !promoted_bytes + size;
+    tenured_live := !tenured_live + size;
+    if !tenured_live > !max_tenured_live then max_tenured_live := !tenured_live
+  in
+  let minor_gc () =
+    incr minor_gcs;
+    List.iter
+      (fun obj ->
+        if not dead.(obj) then begin
+          (* survivor: copy and promote *)
+          copied_bytes := !copied_bytes + size_of.(obj);
+          incr copied_objects;
+          tenure obj size_of.(obj)
+        end)
+      !nursery;
+    nursery := [];
+    nursery_used := 0
+  in
+  Array.iter
+    (function
+      | Lp_trace.Event.Alloc { obj; size; chain; key; _ } ->
+          incr allocs;
+          size_of.(obj) <- size;
+          if pretenure ~obj ~size ~chain ~key || size > config.nursery_bytes then begin
+            incr pretenured;
+            tenure obj size
+          end
+          else begin
+            if !nursery_used + size > config.nursery_bytes then minor_gc ();
+            space_of.(obj) <- Nursery;
+            nursery := obj :: !nursery;
+            nursery_used := !nursery_used + size
+          end
+      | Lp_trace.Event.Free { obj } -> (
+          dead.(obj) <- true;
+          match space_of.(obj) with
+          | Tenured ->
+              tenured_garbage := !tenured_garbage + size_of.(obj);
+              tenured_live := !tenured_live - size_of.(obj)
+          | Nursery -> () (* reclaimed for free at the next minor gc *))
+      | Lp_trace.Event.Touch _ -> ())
+    trace.events;
+  {
+    allocs = !allocs;
+    pretenured = !pretenured;
+    minor_gcs = !minor_gcs;
+    copied_bytes = !copied_bytes;
+    copied_objects = !copied_objects;
+    promoted_bytes = !promoted_bytes;
+    tenured_garbage_bytes = !tenured_garbage;
+    copy_instr = config.copy_cost_per_byte * !copied_bytes;
+    max_tenured_live = !max_tenured_live;
+  }

@@ -1,0 +1,31 @@
+type t = {
+  algorithm : string;
+  allocs : int;
+  frees : int;
+  total_bytes : int;
+  arena_allocs : int;
+  arena_bytes : int;
+  arena_resets : int;
+  overflow_allocs : int;
+  max_heap : int;
+  max_live : int;
+  instr_per_alloc : float;
+  instr_per_free : float;
+}
+
+let pct part whole = if whole = 0 then 0. else 100. *. float_of_int part /. float_of_int whole
+
+let arena_alloc_pct t = pct t.arena_allocs t.allocs
+let arena_bytes_pct t = pct t.arena_bytes t.total_bytes
+
+let fragmentation_pct t =
+  if t.max_heap = 0 then 0. else 100. *. (1. -. (float_of_int t.max_live /. float_of_int t.max_heap))
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>%s:@ allocs %d (arena %.1f%%), bytes %d (arena %.1f%%)@ max heap %d, max \
+     live %d (frag %.1f%%)@ instr/alloc %.1f, instr/free %.1f@ arena resets %d, \
+     overflows %d@]"
+    t.algorithm t.allocs (arena_alloc_pct t) t.total_bytes (arena_bytes_pct t)
+    t.max_heap t.max_live (fragmentation_pct t) t.instr_per_alloc t.instr_per_free
+    t.arena_resets t.overflow_allocs

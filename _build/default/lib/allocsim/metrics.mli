@@ -1,0 +1,28 @@
+(** Results of a trace-driven allocator simulation. *)
+
+type t = {
+  algorithm : string;
+  allocs : int;
+  frees : int;
+  total_bytes : int;
+  arena_allocs : int;  (** 0 for non-arena allocators *)
+  arena_bytes : int;
+  arena_resets : int;
+  overflow_allocs : int;  (** predicted-short allocs that missed the arenas *)
+  max_heap : int;  (** bytes, arena area included where applicable *)
+  max_live : int;  (** peak simultaneously-live payload bytes *)
+  instr_per_alloc : float;
+  instr_per_free : float;
+}
+
+val arena_alloc_pct : t -> float
+(** Percentage of allocations placed in arenas (Table 7). *)
+
+val arena_bytes_pct : t -> float
+(** Percentage of bytes placed in arenas (Table 7). *)
+
+val fragmentation_pct : t -> float
+(** [100 * (1 - max_live / max_heap)] — address space held beyond the
+    payload peak. *)
+
+val pp : Format.formatter -> t -> unit

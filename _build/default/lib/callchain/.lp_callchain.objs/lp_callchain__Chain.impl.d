@@ -1,0 +1,1 @@
+lib/callchain/chain.ml: Array Func List Stdlib String

@@ -1,0 +1,1 @@
+lib/callchain/chain.mli: Func

@@ -1,0 +1,1 @@
+lib/callchain/func.ml: Array Char Hashtbl String

@@ -1,0 +1,1 @@
+lib/callchain/func.mli:

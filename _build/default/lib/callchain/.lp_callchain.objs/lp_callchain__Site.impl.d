@@ -1,0 +1,1 @@
+lib/callchain/site.ml: Array Chain Hashtbl Printf Stdlib

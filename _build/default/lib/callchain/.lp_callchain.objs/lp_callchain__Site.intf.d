@@ -1,0 +1,1 @@
+lib/callchain/site.mli: Chain Func Hashtbl

@@ -1,0 +1,1 @@
+lib/callchain/stack.ml: Array Func

@@ -1,0 +1,69 @@
+type t = Func.id array
+
+let eliminate_cycles (raw : t) : t =
+  let n = Array.length raw in
+  if n = 0 then [||]
+  else begin
+    (* Work outermost-first so that closing a cycle keeps the *outer*
+       occurrence, as gprof's cycle collapsing does. *)
+    let buf = Array.make n 0 in
+    let len = ref 0 in
+    for i = n - 1 downto 0 do
+      let f = raw.(i) in
+      (* Does f already appear in buf.(0 .. len-1)? *)
+      let found = ref (-1) in
+      let j = ref 0 in
+      while !found < 0 && !j < !len do
+        if buf.(!j) = f then found := !j;
+        incr j
+      done;
+      if !found >= 0 then len := !found + 1 (* truncate back to the earlier occurrence *)
+      else begin
+        buf.(!len) <- f;
+        incr len
+      end
+    done;
+    (* buf is outermost-first; flip back to innermost-first. *)
+    Array.init !len (fun i -> buf.(!len - 1 - i))
+  end
+
+let last (chain : t) n : t =
+  let n = min n (Array.length chain) in
+  Array.sub chain 0 n
+
+let equal (a : t) (b : t) =
+  let n = Array.length a in
+  n = Array.length b
+  &&
+  let rec go i = i = n || (a.(i) = b.(i) && go (i + 1)) in
+  go 0
+
+let hash (c : t) =
+  let h = ref 0x811c9dc5 in
+  Array.iter
+    (fun id ->
+      h := !h lxor (id land 0xff);
+      h := !h * 0x01000193 land max_int;
+      h := !h lxor (id lsr 8);
+      h := !h * 0x01000193 land max_int)
+    c;
+  !h
+
+let compare (a : t) (b : t) =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Stdlib.compare la lb
+  else begin
+    let rec go i =
+      if i = la then 0
+      else begin
+        let c = Stdlib.compare a.(i) b.(i) in
+        if c <> 0 then c else go (i + 1)
+      end
+    in
+    go 0
+  end
+
+let to_string tbl (c : t) =
+  c |> Array.to_list |> List.map (Func.name tbl) |> String.concat "<-"
+
+let names tbl (c : t) = c |> Array.to_list |> List.map (Func.name tbl)

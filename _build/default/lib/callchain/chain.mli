@@ -1,0 +1,41 @@
+(** Call-chains: abstractions of the call-stack at an event.
+
+    A {i raw} chain is a stack snapshot, innermost frame first.  The paper's
+    complete call-chain (§3.2) is the raw chain with {i cycles of recursive
+    function invocations removed}, in the style of gprof's collapsing of
+    cycles in the dynamic call graph.  Length-N sub-chains, by contrast, are
+    taken from the raw chain without cycle elimination — the paper notes
+    (Table 6 caption) that this is why the ∞ row can predict slightly less
+    than the length-7 row. *)
+
+type t = Func.id array
+(** A chain, innermost frame first.  Treat as immutable. *)
+
+val eliminate_cycles : t -> t
+(** [eliminate_cycles raw] removes recursive cycles.
+
+    Walking from the outermost frame inward, a frame naming a function that
+    is already present in the partial result closes a cycle; the result is
+    truncated back to (and including) the earlier occurrence, discarding the
+    cycle's frames.  Consequently no function appears twice in the result.
+
+    Example: raw stack main→f→g→f→g→malloc (innermost first
+    [[|malloc; g; f; g; f; main|]]) yields [[|malloc; g; f; main|]]. *)
+
+val last : t -> int -> t
+(** [last chain n] is the length-N sub-chain: the innermost [min n length]
+    frames. *)
+
+val equal : t -> t -> bool
+
+val hash : t -> int
+(** A good hash of the chain contents (FNV-1a over the ids). *)
+
+val compare : t -> t -> int
+
+val to_string : Func.table -> t -> string
+(** Render as ["innermost<-...<-outermost"]. *)
+
+val names : Func.table -> t -> string list
+(** Function names, innermost first — the run-independent form used to map
+    allocation sites across executions. *)

@@ -1,0 +1,45 @@
+type id = int
+
+type table = {
+  by_name : (string, id) Hashtbl.t;
+  mutable by_id : string array;
+  mutable next : int;
+}
+
+let create_table () = { by_name = Hashtbl.create 64; by_id = Array.make 64 ""; next = 0 }
+
+let intern tbl name =
+  match Hashtbl.find_opt tbl.by_name name with
+  | Some id -> id
+  | None ->
+      let id = tbl.next in
+      tbl.next <- id + 1;
+      if id = Array.length tbl.by_id then begin
+        let grown = Array.make (2 * id) "" in
+        Array.blit tbl.by_id 0 grown 0 id;
+        tbl.by_id <- grown
+      end;
+      tbl.by_id.(id) <- name;
+      Hashtbl.add tbl.by_name name id;
+      id
+
+let name tbl id =
+  if id < 0 || id >= tbl.next then invalid_arg "Func.name: unknown identifier";
+  tbl.by_id.(id)
+
+let size tbl = tbl.next
+let names tbl = Array.sub tbl.by_id 0 tbl.next
+
+(* 16-bit ids derived from the function name with an FNV-1a hash, so they are
+   stable across runs of the same program — a property the cross-run site
+   mapping relies on.  The paper suggests choosing ids via static call-graph
+   analysis to minimise collisions; a good hash is the dynamic analogue. *)
+let encryption_id tbl id =
+  let name = name tbl id in
+  let h = ref 0x811c9dc5 in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * 0x01000193 land 0x3fffffff)
+    name;
+  !h land 0xffff

@@ -1,0 +1,36 @@
+(** Interned function identifiers.
+
+    Call-chains are sequences of functions; to keep chains compact and
+    comparisons cheap, function names are interned into dense integer
+    identifiers.  One {!table} belongs to one traced program execution.
+
+    The paper distinguishes call-chains of functions from call-chains of
+    return addresses and uses the former (§3.2); our identifiers likewise
+    name functions, not call sites. *)
+
+type id = int
+(** Dense identifier, starting at 0, valid within one {!table}. *)
+
+type table
+(** An interning table mapping names to identifiers and back. *)
+
+val create_table : unit -> table
+
+val intern : table -> string -> id
+(** [intern tbl name] is the identifier for [name], allocating a fresh one on
+    first use. *)
+
+val name : table -> id -> string
+(** Inverse of {!intern}.
+    @raise Invalid_argument on an identifier not issued by this table. *)
+
+val size : table -> int
+(** Number of distinct functions interned so far. *)
+
+val names : table -> string array
+(** All interned names, indexed by identifier. *)
+
+val encryption_id : table -> id -> int
+(** A deterministic pseudo-random 16-bit id for the function, used by
+    call-chain encryption ({!Encrypt}).  The paper proposes 16-bit ids
+    because they fit RISC immediate fields (§5.1, footnote 2). *)

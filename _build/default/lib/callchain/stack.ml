@@ -1,0 +1,38 @@
+type t = {
+  funcs : Func.table;
+  mutable frames : Func.id array;  (* frames.(0) is the outermost frame *)
+  mutable depth : int;
+  mutable key : int;
+  mutable calls : int;
+}
+
+let create funcs = { funcs; frames = Array.make 64 0; depth = 0; key = 0; calls = 0 }
+
+let push t id =
+  if t.depth = Array.length t.frames then begin
+    let grown = Array.make (2 * t.depth) 0 in
+    Array.blit t.frames 0 grown 0 t.depth;
+    t.frames <- grown
+  end;
+  t.frames.(t.depth) <- id;
+  t.depth <- t.depth + 1;
+  t.calls <- t.calls + 1;
+  t.key <- t.key lxor Func.encryption_id t.funcs id
+
+let pop t =
+  if t.depth = 0 then invalid_arg "Stack.pop: empty stack";
+  t.depth <- t.depth - 1;
+  t.key <- t.key lxor Func.encryption_id t.funcs t.frames.(t.depth)
+
+let depth t = t.depth
+let top t = if t.depth = 0 then None else Some t.frames.(t.depth - 1)
+
+let snapshot t =
+  Array.init t.depth (fun i -> t.frames.(t.depth - 1 - i))
+
+let snapshot_last t n =
+  let n = min n t.depth in
+  Array.init n (fun i -> t.frames.(t.depth - 1 - i))
+
+let encryption_key t = t.key
+let calls t = t.calls

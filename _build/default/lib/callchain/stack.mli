@@ -1,0 +1,42 @@
+(** The dynamic call-stack of a traced execution.
+
+    The instrumented runtime pushes a frame on every function entry and pops
+    it on exit.  At each allocation event the stack is snapshotted into a raw
+    chain (innermost frame first); analysis passes later derive
+    cycle-eliminated chains and length-N sub-chains from the raw snapshot.
+
+    The stack also maintains the call-chain encryption key incrementally
+    (§5.1): entering a function XORs its 16-bit id into the key, leaving
+    XORs it back out — mirroring the load/XOR/store sequence the paper
+    charges 3 instructions per call for. *)
+
+type t
+
+val create : Func.table -> t
+
+val push : t -> Func.id -> unit
+(** Enter a function. *)
+
+val pop : t -> unit
+(** Leave the current function.
+    @raise Invalid_argument if the stack is empty. *)
+
+val depth : t -> int
+
+val top : t -> Func.id option
+(** The function currently executing, if any. *)
+
+val snapshot : t -> Func.id array
+(** The raw chain at this instant, innermost frame first.  For example, if
+    [main] called [f] which called [g], the snapshot is [[|g; f; main|]]. *)
+
+val snapshot_last : t -> int -> Func.id array
+(** [snapshot_last t n] is the innermost [min n depth] frames, innermost
+    first — the paper's length-N sub-chain of the current stack. *)
+
+val encryption_key : t -> int
+(** The current 16-bit call-chain encryption key. *)
+
+val calls : t -> int
+(** Total number of pushes so far — the "function calls" count of Table 2,
+    which also prices call-chain encryption in Table 9. *)

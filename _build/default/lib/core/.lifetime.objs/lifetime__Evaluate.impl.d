@@ -1,0 +1,1 @@
+lib/core/evaluate.ml: Array Config Lp_callchain Lp_trace Portable Predictor Train

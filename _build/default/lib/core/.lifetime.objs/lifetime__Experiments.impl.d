@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Array Config Evaluate Float Hashtbl List Lp_allocsim Lp_callchain Lp_quantile Lp_trace Lp_workloads Paper Portable Predictor Printf Simulate Train

@@ -1,0 +1,1 @@
+lib/core/portable.ml: Array Hashtbl List Lp_callchain Printf String

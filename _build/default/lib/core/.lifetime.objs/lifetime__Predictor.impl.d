@@ -1,0 +1,1 @@
+lib/core/predictor.ml: Config Hashtbl Lp_callchain Lp_trace Portable Site_stats Train

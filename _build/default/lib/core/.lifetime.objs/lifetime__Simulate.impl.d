@@ -1,0 +1,1 @@
+lib/core/simulate.ml: Config Lp_allocsim Lp_trace Predictor

@@ -1,0 +1,1 @@
+lib/core/site_stats.ml: Lp_quantile

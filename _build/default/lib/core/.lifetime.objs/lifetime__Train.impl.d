@@ -1,0 +1,1 @@
+lib/core/train.ml: Array Config Lp_callchain Lp_trace Site_stats

@@ -1,0 +1,79 @@
+(** Predictor evaluation against a test trace — the quantities of
+    Tables 4, 5 and 6.
+
+    All percentages are of total bytes allocated in the test trace:
+    - {e actual} short-lived bytes: what a perfect oracle would mark;
+    - {e predicted} bytes: bytes whose site the predictor marks;
+    - {e correct} bytes: predicted and actually short-lived (the paper's
+      "Predicted Short-lived Bytes");
+    - {e error} bytes: predicted but actually long-lived (the paper's
+      "Error Bytes");
+    - {e new-ref} percentage: heap references to predicted objects over
+      all heap references (Table 6's "New Ref"). *)
+
+type t = {
+  total_sites : int;  (** distinct sites in the test trace (under the policy) *)
+  sites_used : int;  (** predictor sites that matched >= 1 test allocation *)
+  predictor_sites : int;  (** total sites in the predictor database *)
+  total_bytes : int;
+  actual_short_bytes : int;
+  correct_bytes : int;
+  error_bytes : int;
+  new_refs : int;
+  total_heap_refs : int;
+}
+
+let actual_short_pct t = 100. *. float_of_int t.actual_short_bytes /. float_of_int (max 1 t.total_bytes)
+let predicted_pct t = 100. *. float_of_int t.correct_bytes /. float_of_int (max 1 t.total_bytes)
+let error_pct t = 100. *. float_of_int t.error_bytes /. float_of_int (max 1 t.total_bytes)
+let new_ref_pct t = 100. *. float_of_int t.new_refs /. float_of_int (max 1 t.total_heap_refs)
+
+let run ~(config : Config.t) (predictor : Predictor.t) (test : Lp_trace.Trace.t) : t =
+  let lifetimes = Lp_trace.Lifetimes.compute test in
+  let seen_sites = Lp_callchain.Site.Table.create 256 in
+  let used_keys = Portable.Table.create 256 in
+  let total_bytes = ref 0 in
+  let actual_short = ref 0 in
+  let correct = ref 0 in
+  let error = ref 0 in
+  let new_refs = ref 0 in
+  Lp_trace.Trace.iter_allocs test (fun ~obj ~size ~chain ~key ~tag:_ ->
+      let site =
+        Lp_callchain.Site.make config.policy
+          ~raw_chain:(Lp_trace.Trace.chain_of_alloc test chain)
+          ~key ~size
+      in
+      if not (Lp_callchain.Site.Table.mem seen_sites site) then
+        Lp_callchain.Site.Table.add seen_sites site ();
+      total_bytes := !total_bytes + size;
+      let short =
+        Lp_trace.Lifetimes.is_short_lived lifetimes
+          ~threshold:config.short_lived_threshold obj
+      in
+      if short then actual_short := !actual_short + size;
+      let predicted = Predictor.predicts_site predictor test.funcs site in
+      if predicted then begin
+        let pkey = Predictor.portable_of_site predictor test.funcs site in
+        if not (Portable.Table.mem used_keys pkey) then
+          Portable.Table.add used_keys pkey ();
+        new_refs := !new_refs + test.obj_refs.(obj);
+        if short then correct := !correct + size else error := !error + size
+      end);
+  {
+    total_sites = Lp_callchain.Site.Table.length seen_sites;
+    sites_used = Portable.Table.length used_keys;
+    predictor_sites = Predictor.size predictor;
+    total_bytes = !total_bytes;
+    actual_short_bytes = !actual_short;
+    correct_bytes = !correct;
+    error_bytes = !error;
+    new_refs = !new_refs;
+    total_heap_refs = test.heap_refs;
+  }
+
+(** Train on [train] and evaluate on [test] in one call.  Self prediction
+    passes the same trace twice. *)
+let train_and_evaluate ~config ~train ~test =
+  let table = Train.collect ~config train in
+  let predictor = Predictor.build ~config ~funcs:train.Lp_trace.Trace.funcs table in
+  (predictor, run ~config predictor test)

@@ -1,0 +1,587 @@
+(** Experiment pipelines: one function per table of the paper's evaluation.
+
+    Each function returns structured rows carrying both the measured value
+    and the paper's reported value, so callers (the benchmark harness, the
+    CLI, EXPERIMENTS.md generation) only format.  Traces come from the
+    memoized workload registry: "test" is the measured input (the paper
+    reports on the largest input set), "train" is the other input used for
+    true prediction. *)
+
+module Registry = Lp_workloads.Registry
+
+let programs = Paper.program_order
+
+let test_trace ?scale program = Registry.trace ?scale ~program ~input:"test" ()
+let train_trace ?scale program = Registry.trace ?scale ~program ~input:"train" ()
+
+(* -- Table 1: the programs --------------------------------------------------- *)
+
+type table1_row = { program : string; description : string; input_notes : string }
+
+let table1 () =
+  List.map
+    (fun name ->
+      let p = Registry.find name in
+      {
+        program = name;
+        description = p.Registry.description;
+        input_notes = p.Registry.input_notes;
+      })
+    programs
+
+(* -- Table 2: execution statistics -------------------------------------------- *)
+
+type table2_row = {
+  program : string;
+  measured : Lp_trace.Stats.t;
+  paper : Paper.table2_row;
+}
+
+let table2 ?scale () =
+  List.map
+    (fun program ->
+      {
+        program;
+        measured = Lp_trace.Stats.compute (test_trace ?scale program);
+        paper = Paper.table2 program;
+      })
+    programs
+
+(* -- Table 3: lifetime quantiles ----------------------------------------------- *)
+
+type table3_row = {
+  program : string;
+  p2 : Lp_quantile.Histogram.quartiles;  (** P² approximation, as the paper used *)
+  exact : Lp_quantile.Histogram.quartiles;  (** true quantiles, for the footnote *)
+  paper : float * float * float * float * float;
+}
+
+let byte_weighted_quartiles trace =
+  let lifetimes = Lp_trace.Lifetimes.compute trace in
+  let hist = Lp_quantile.Histogram.create () in
+  let exact = Lp_quantile.Exact.create () in
+  let sizes = ref [] in
+  Lp_trace.Trace.iter_allocs trace (fun ~obj ~size ~chain:_ ~key:_ ~tag:_ ->
+      let lt = float_of_int lifetimes.lifetime.(obj) in
+      Lp_quantile.Histogram.observe_weighted hist ~weight:size lt;
+      sizes := (lt, size) :: !sizes);
+  (* exact byte-weighted quantiles: expand by weight on the sorted list *)
+  let sorted = List.sort (fun (a, _) (b, _) -> Float.compare a b) !sizes in
+  let total = List.fold_left (fun acc (_, w) -> acc + w) 0 sorted in
+  let quantile p =
+    let target = int_of_float (p *. float_of_int total) in
+    let rec go acc = function
+      | [] -> 0.
+      | (lt, w) :: rest -> if acc + w >= target then lt else go (acc + w) rest
+    in
+    go 0 sorted
+  in
+  List.iter (fun (lt, _) -> Lp_quantile.Exact.observe exact lt) sorted;
+  let q = Lp_quantile.Histogram.quartiles hist in
+  let exact_q =
+    {
+      Lp_quantile.Histogram.min = Lp_quantile.Exact.min exact;
+      q25 = quantile 0.25;
+      median = quantile 0.50;
+      q75 = quantile 0.75;
+      max = Lp_quantile.Exact.max exact;
+    }
+  in
+  (q, exact_q)
+
+let table3 ?scale () =
+  List.map
+    (fun program ->
+      let p2, exact = byte_weighted_quartiles (test_trace ?scale program) in
+      { program; p2; exact; paper = Paper.table3 program })
+    programs
+
+(* -- Table 4: self and true prediction ------------------------------------------ *)
+
+type table4_row = {
+  program : string;
+  total_sites : int;
+  self : Evaluate.t;
+  true_ : Evaluate.t;
+  paper : Paper.table4_row;
+}
+
+let table4 ?scale ?(config = Config.default) () =
+  List.map
+    (fun program ->
+      let test = test_trace ?scale program in
+      let train = train_trace ?scale program in
+      let _, self = Evaluate.train_and_evaluate ~config ~train:test ~test in
+      let _, true_ = Evaluate.train_and_evaluate ~config ~train ~test in
+      {
+        program;
+        total_sites = self.Evaluate.total_sites;
+        self;
+        true_;
+        paper = Paper.table4 program;
+      })
+    programs
+
+(* -- Table 5: size-only prediction ------------------------------------------------ *)
+
+type table5_row = {
+  program : string;
+  eval : Evaluate.t;
+  paper : float * float * int;
+}
+
+let table5 ?scale ?(config = Config.default) () =
+  let config = { config with policy = Lp_callchain.Site.Size_only } in
+  List.map
+    (fun program ->
+      let test = test_trace ?scale program in
+      let _, eval = Evaluate.train_and_evaluate ~config ~train:test ~test in
+      { program; eval; paper = Paper.table5 program })
+    programs
+
+(* -- Table 6: call-chain length sweep ---------------------------------------------- *)
+
+type table6_cell = { pred_pct : float; new_ref_pct : float }
+
+type table6_row = {
+  program : string;
+  by_length : (string * table6_cell) list;  (** "1".."7" and "inf" *)
+  paper : (float * float) list * int;
+}
+
+let lengths = [ 1; 2; 3; 4; 5; 6; 7 ]
+
+let table6 ?scale ?(config = Config.default) () =
+  List.map
+    (fun program ->
+      let test = test_trace ?scale program in
+      let cell policy =
+        let config = { config with policy } in
+        let _, e = Evaluate.train_and_evaluate ~config ~train:test ~test in
+        {
+          pred_pct = Evaluate.predicted_pct e;
+          new_ref_pct = Evaluate.new_ref_pct e;
+        }
+      in
+      let by_length =
+        List.map
+          (fun n -> (string_of_int n, cell (Lp_callchain.Site.Last_callers n)))
+          lengths
+        @ [ ("inf", cell Lp_callchain.Site.Complete_chain) ]
+      in
+      { program; by_length; paper = Paper.table6 program })
+    programs
+
+(* -- Tables 7-9: simulation ----------------------------------------------------------- *)
+
+type simulation_row = {
+  program : string;
+  self_sim : Simulate.t;  (** trained on the test input itself *)
+  true_sim : Simulate.t;  (** trained on the train input *)
+}
+
+let simulation_cache : (string, simulation_row) Hashtbl.t = Hashtbl.create 8
+
+let simulate_program ?scale ?(config = Config.default) program =
+  let key = Printf.sprintf "%s/%s" program (match scale with None -> "1" | Some s -> string_of_float s) in
+  match Hashtbl.find_opt simulation_cache key with
+  | Some r -> r
+  | None ->
+      let test = test_trace ?scale program in
+      let train = train_trace ?scale program in
+      let table_self = Train.collect ~config test in
+      let self_pred = Predictor.build ~config ~funcs:test.Lp_trace.Trace.funcs table_self in
+      let table_true = Train.collect ~config train in
+      let true_pred = Predictor.build ~config ~funcs:train.Lp_trace.Trace.funcs table_true in
+      let row =
+        {
+          program;
+          self_sim = Simulate.run ~config ~predictor:self_pred ~test;
+          true_sim = Simulate.run ~config ~predictor:true_pred ~test;
+        }
+      in
+      Hashtbl.replace simulation_cache key row;
+      row
+
+type table7_row = {
+  program : string;
+  total_allocs : int;
+  arena_alloc_pct : float;
+  total_bytes : int;
+  arena_bytes_pct : float;
+  paper : float * float * float * float;
+}
+
+let table7 ?scale ?config () =
+  List.map
+    (fun program ->
+      let sim = (simulate_program ?scale ?config program).true_sim in
+      let m = sim.Simulate.arena.len4 in
+      {
+        program;
+        total_allocs = m.Lp_allocsim.Metrics.allocs;
+        arena_alloc_pct = Lp_allocsim.Metrics.arena_alloc_pct m;
+        total_bytes = m.Lp_allocsim.Metrics.total_bytes;
+        arena_bytes_pct = Lp_allocsim.Metrics.arena_bytes_pct m;
+        paper = Paper.table7 program;
+      })
+    programs
+
+type table8_row = {
+  program : string;
+  first_fit_heap : int;
+  self_arena_heap : int;
+  true_arena_heap : int;
+  paper : float * float * float * float * float;
+}
+
+let table8 ?scale ?config () =
+  List.map
+    (fun program ->
+      let row = simulate_program ?scale ?config program in
+      {
+        program;
+        first_fit_heap = row.true_sim.Simulate.first_fit.Lp_allocsim.Metrics.max_heap;
+        self_arena_heap = row.self_sim.Simulate.arena.len4.Lp_allocsim.Metrics.max_heap;
+        true_arena_heap = row.true_sim.Simulate.arena.len4.Lp_allocsim.Metrics.max_heap;
+        paper = Paper.table8 program;
+      })
+    programs
+
+type table9_row = {
+  program : string;
+  bsd : float * float;
+  first_fit : float * float;
+  arena_len4 : float * float;
+  arena_cce : float * float;
+  paper : (float * float) * (float * float) * (float * float) * (float * float);
+}
+
+let table9 ?scale ?config () =
+  List.map
+    (fun program ->
+      let row = (simulate_program ?scale ?config program).true_sim in
+      let per (m : Lp_allocsim.Metrics.t) = (m.instr_per_alloc, m.instr_per_free) in
+      {
+        program;
+        bsd = per row.Simulate.bsd;
+        first_fit = per row.Simulate.first_fit;
+        arena_len4 = per row.Simulate.arena.len4;
+        arena_cce = per row.Simulate.arena.cce;
+        paper = Paper.table9 program;
+      })
+    programs
+
+(* -- Ablations beyond the paper --------------------------------------------------------- *)
+
+type threshold_point = {
+  threshold : int;
+  predicted_pct : float;
+  error_pct : float;
+  sites : int;
+}
+
+(** §4.1 asks "how short is short-lived?" — sweep the threshold. *)
+let threshold_sweep ?scale ~program ~thresholds () =
+  let test = test_trace ?scale program in
+  let train = train_trace ?scale program in
+  List.map
+    (fun threshold ->
+      let config = { Config.default with short_lived_threshold = threshold } in
+      let _, e = Evaluate.train_and_evaluate ~config ~train ~test in
+      {
+        threshold;
+        predicted_pct = Evaluate.predicted_pct e;
+        error_pct = Evaluate.error_pct e;
+        sites = e.Evaluate.sites_used;
+      })
+    thresholds
+
+type geometry_point = {
+  n_arenas : int;
+  arena_size : int;
+  arena_bytes_pct : float;
+  heap_vs_first_fit_pct : float;
+}
+
+(** §5.2's blocking decision: sweep arena count x size at fixed 64 KB and
+    beyond (GHOST's 6 KB objects only fit once arenas reach 8 KB). *)
+let geometry_sweep ?scale ~program ~geometries () =
+  let test = test_trace ?scale program in
+  let train = train_trace ?scale program in
+  let ff = Lp_allocsim.Driver.run test Lp_allocsim.Driver.First_fit in
+  List.map
+    (fun (n_arenas, arena_size) ->
+      let config = { Config.default with n_arenas; arena_size } in
+      let table = Train.collect ~config train in
+      let predictor = Predictor.build ~config ~funcs:train.Lp_trace.Trace.funcs table in
+      let m = Simulate.arena_with_cost ~config ~predictor ~test
+          ~predict_cost:Lp_allocsim.Cost_model.predict_len4
+      in
+      {
+        n_arenas;
+        arena_size;
+        arena_bytes_pct = Lp_allocsim.Metrics.arena_bytes_pct m;
+        heap_vs_first_fit_pct =
+          100. *. float_of_int m.Lp_allocsim.Metrics.max_heap
+          /. float_of_int (max 1 ff.Lp_allocsim.Metrics.max_heap);
+      })
+    geometries
+
+type rounding_point = { rounding : int; predicted_pct : float; error_pct : float }
+
+(** §4.1's size-rounding choice for cross-run site mapping. *)
+let rounding_sweep ?scale ~program ~roundings () =
+  let test = test_trace ?scale program in
+  let train = train_trace ?scale program in
+  List.map
+    (fun rounding ->
+      let config = { Config.default with size_rounding = rounding } in
+      let _, e = Evaluate.train_and_evaluate ~config ~train ~test in
+      {
+        rounding;
+        predicted_pct = Evaluate.predicted_pct e;
+        error_pct = Evaluate.error_pct e;
+      })
+    roundings
+
+type policy_point = {
+  min_short_fraction : float;
+  predicted_pct : float;
+  error_pct : float;
+}
+
+(** The all-short rule vs fraction-based acceptance (§4.1's error-cost
+    discussion). *)
+let policy_sweep ?scale ~program ~fractions () =
+  let test = test_trace ?scale program in
+  let train = train_trace ?scale program in
+  let config = Config.default in
+  let table = Train.collect ~config train in
+  List.map
+    (fun f ->
+      let selection =
+        if f >= 1.0 then Predictor.All_short else Predictor.Fraction f
+      in
+      let predictor =
+        Predictor.build ~selection ~config ~funcs:train.Lp_trace.Trace.funcs table
+      in
+      let e = Evaluate.run ~config predictor test in
+      {
+        min_short_fraction = f;
+        predicted_pct = Evaluate.predicted_pct e;
+        error_pct = Evaluate.error_pct e;
+      })
+    fractions
+
+(* -- Locality experiment (beyond the paper's tables) -------------------------- *)
+
+type locality_row = {
+  program : string;
+  cache_kb : int;
+  refs : int;  (** cache accesses replayed *)
+  ff_miss_pct : float;
+  bsd_miss_pct : float;
+  arena_miss_pct : float;
+  ff_pages : int;  (** distinct 4 KB pages the reference stream touched *)
+  bsd_pages : int;
+  arena_pages : int;
+}
+
+(** The paper's introduction claims segregation "localizes the references to
+    short-lived objects, reducing the cache and page miss rates" but reports
+    no miss rates.  This experiment replays each trace's reference stream at
+    the addresses each allocator assigned, through a small set-associative
+    cache, with true prediction driving the arena. *)
+let locality ?scale ?(config = Config.default) ?(cache_kb = 16) () =
+  List.map
+    (fun program ->
+      let test = test_trace ?scale program in
+      let train = train_trace ?scale program in
+      let table = Train.collect ~config train in
+      let predictor = Predictor.build ~config ~funcs:train.Lp_trace.Trace.funcs table in
+      let fresh () = Lp_allocsim.Cache.create ~size_bytes:(cache_kb * 1024) () in
+      let run_with algo =
+        let cache = fresh () in
+        let (_ : Lp_allocsim.Metrics.t) = Lp_allocsim.Driver.run ~cache test algo in
+        ( Lp_allocsim.Cache.accesses cache,
+          100. *. Lp_allocsim.Cache.miss_rate cache,
+          Lp_allocsim.Cache.footprint_pages cache )
+      in
+      let refs, ff, ff_pages = run_with Lp_allocsim.Driver.First_fit in
+      let _, bsd, bsd_pages = run_with Lp_allocsim.Driver.Bsd in
+      let predicted = Predictor.for_trace predictor test in
+      let _, arena, arena_pages =
+        run_with
+          (Lp_allocsim.Driver.Arena
+             {
+               config = Config.arena_config config;
+               predicted;
+               predict_cost = Lp_allocsim.Cost_model.predict_len4;
+             })
+      in
+      {
+        program;
+        cache_kb;
+        refs;
+        ff_miss_pct = ff;
+        bsd_miss_pct = bsd;
+        arena_miss_pct = arena;
+        ff_pages;
+        bsd_pages;
+        arena_pages;
+      })
+    programs
+
+(* -- Generational-collector experiment (the paper's §1.1 claim) --------------- *)
+
+type generational_row = {
+  program : string;
+  baseline : Lp_allocsim.Generational.stats;
+  pretenured : Lp_allocsim.Generational.stats;
+  copy_reduction_pct : float;  (** how much copying work pretenuring removed *)
+}
+
+(** "Our approach can improve the performance of generational collectors by
+    predicting object lifetimes when they are born": allocate objects whose
+    site the short-lived database does NOT contain directly into the old
+    generation and measure the nursery copying saved (true prediction). *)
+let generational ?scale ?(config = Config.default) ?gen_config () =
+  List.map
+    (fun program ->
+      let test = test_trace ?scale program in
+      let train = train_trace ?scale program in
+      let table = Train.collect ~config train in
+      let predictor = Predictor.build ~config ~funcs:train.Lp_trace.Trace.funcs table in
+      let predicted = Predictor.for_trace predictor test in
+      let baseline =
+        Lp_allocsim.Generational.run ?config:gen_config
+          ~pretenure:(fun ~obj:_ ~size:_ ~chain:_ ~key:_ -> false)
+          test
+      in
+      let pretenured =
+        Lp_allocsim.Generational.run ?config:gen_config
+          ~pretenure:(fun ~obj ~size ~chain ~key ->
+            not (predicted ~obj ~size ~chain ~key))
+          test
+      in
+      let reduction =
+        if baseline.copied_bytes = 0 then 0.
+        else
+          100.
+          *. (1.
+              -. float_of_int pretenured.copied_bytes
+                 /. float_of_int baseline.copied_bytes)
+      in
+      { program; baseline; pretenured; copy_reduction_pct = reduction })
+    programs
+
+(* -- Type-based prediction (the paper's §2 future work) ------------------------ *)
+
+type type_row = {
+  program : string;
+  tagged_bytes_pct : float;  (** how much of the trace carries a type tag *)
+  type_only_pct : float;  (** predicted short-lived bytes, keyed by type *)
+  type_size_pct : float;  (** keyed by type + rounded size *)
+  size_only_pct : float;  (** Table 5's key, for comparison *)
+  site_size_pct : float;  (** Table 4's key, for comparison *)
+}
+
+(* Generic all-short trainer over an arbitrary (string list, size) key. *)
+let keyed_prediction ~key_of ~threshold ~train ~test =
+  let train_keys : (bool * int) Portable.Table.t = Portable.Table.create 256 in
+  let fold trace f =
+    let lifetimes = Lp_trace.Lifetimes.compute trace in
+    Lp_trace.Trace.iter_allocs trace (fun ~obj ~size ~chain ~key ~tag ->
+        let short = Lp_trace.Lifetimes.is_short_lived lifetimes ~threshold obj in
+        f ~obj ~size ~chain ~key ~tag ~short)
+  in
+  fold train (fun ~obj:_ ~size ~chain ~key ~tag ~short ->
+      let k = key_of train ~size ~chain ~key ~tag in
+      match Portable.Table.find_opt train_keys k with
+      | Some (all_short, count) ->
+          Portable.Table.replace train_keys k (all_short && short, count + 1)
+      | None -> Portable.Table.replace train_keys k (short, 1));
+  let total = ref 0 and correct = ref 0 in
+  fold test (fun ~obj:_ ~size ~chain ~key ~tag ~short ->
+      total := !total + size;
+      let k = key_of test ~size ~chain ~key ~tag in
+      match Portable.Table.find_opt train_keys k with
+      | Some (true, _) when short -> correct := !correct + size
+      | _ -> ());
+  100. *. float_of_int !correct /. float_of_int (max 1 !total)
+
+(** Compare prediction keyed by the object's type tag (what a compiler for a
+    typed language could supply at no run-time cost) against size-only and
+    site+size keys — the experiment the paper defers to future work. *)
+let by_type ?scale ?(config = Config.default) () =
+  let threshold = config.short_lived_threshold in
+  let rounding = config.size_rounding in
+  let tag_name (trace : Lp_trace.Trace.t) tag =
+    if tag < 0 then "<untagged>" else trace.tags.(tag)
+  in
+  List.map
+    (fun program ->
+      let test = test_trace ?scale program in
+      let train = train_trace ?scale program in
+      let tagged = ref 0 and total = ref 0 in
+      Lp_trace.Trace.iter_allocs test (fun ~obj:_ ~size ~chain:_ ~key:_ ~tag ->
+          total := !total + size;
+          if tag >= 0 then tagged := !tagged + size);
+      let type_only =
+        keyed_prediction ~threshold ~train ~test ~key_of:(fun trace ~size:_ ~chain:_ ~key:_ ~tag ->
+            { Portable.chain = [ tag_name trace tag ]; size = 0 })
+      in
+      let type_size =
+        keyed_prediction ~threshold ~train ~test ~key_of:(fun trace ~size ~chain:_ ~key:_ ~tag ->
+            {
+              Portable.chain = [ tag_name trace tag ];
+              size = Lp_callchain.Site.round_size ~multiple:rounding size;
+            })
+      in
+      let size_only =
+        keyed_prediction ~threshold ~train ~test ~key_of:(fun _ ~size ~chain:_ ~key:_ ~tag:_ ->
+            { Portable.chain = []; size = Lp_callchain.Site.round_size ~multiple:rounding size })
+      in
+      let site_size =
+        let _, e = Evaluate.train_and_evaluate ~config ~train ~test in
+        Evaluate.predicted_pct e
+      in
+      {
+        program;
+        tagged_bytes_pct = 100. *. float_of_int !tagged /. float_of_int (max 1 !total);
+        type_only_pct = type_only;
+        type_size_pct = type_size;
+        size_only_pct = size_only;
+        site_size_pct = site_size;
+      })
+    programs
+
+(* -- Allocator-policy ablation: first fit vs best fit --------------------------- *)
+
+type allocator_row = {
+  program : string;
+  ff_heap : int;
+  bf_heap : int;
+  ff_cost : float;  (** instr per alloc+free *)
+  bf_cost : float;
+}
+
+(** The paper picks first fit as its baseline for its "relatively good
+    memory utilization" (§5.2, after Knuth); best fit is the classic
+    alternative trading search time for tighter packing. *)
+let allocator_policies ?scale () =
+  List.map
+    (fun program ->
+      let test = test_trace ?scale program in
+      let ff = Lp_allocsim.Driver.run test Lp_allocsim.Driver.First_fit in
+      let bf = Lp_allocsim.Driver.run test Lp_allocsim.Driver.Best_fit in
+      let cost (m : Lp_allocsim.Metrics.t) = m.instr_per_alloc +. m.instr_per_free in
+      {
+        program;
+        ff_heap = ff.Lp_allocsim.Metrics.max_heap;
+        bf_heap = bf.Lp_allocsim.Metrics.max_heap;
+        ff_cost = cost ff;
+        bf_cost = cost bf;
+      })
+    programs

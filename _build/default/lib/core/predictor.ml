@@ -1,0 +1,95 @@
+(** Short-lived-site predictors.
+
+    A predictor is the set of allocation sites whose training objects were
+    {e all} short-lived, stored as portable keys so it can be applied to a
+    different execution — the "database of allocation sites" the paper
+    compiles into the allocation system (§5.1).
+
+    [selection] generalises the paper's all-short rule: the ablation
+    benches also build predictors that accept sites with at least a given
+    fraction of short-lived training objects, trading error rate for
+    coverage (the trade-off §4.1 discusses around "how large should this
+    percentage be?"). *)
+
+type selection =
+  | All_short  (** the paper's rule *)
+  | Fraction of float  (** accept sites with >= this fraction short *)
+
+type t = {
+  keys : unit Portable.Table.t;
+  policy : Lp_callchain.Site.policy;
+  rounding : int;
+  threshold : int;
+  selection : selection;
+}
+
+let portable_of_site t funcs site =
+  match t.policy with
+  | Lp_callchain.Site.Encrypted_key -> Portable.of_key_site site ~rounding:t.rounding
+  | _ -> Portable.of_site funcs ~rounding:t.rounding site
+
+let build ?(selection = All_short) ~(config : Config.t) ~funcs
+    (table : Train.site_table) =
+  let t =
+    {
+      keys = Portable.Table.create 256;
+      policy = config.policy;
+      rounding = config.size_rounding;
+      threshold = config.short_lived_threshold;
+      selection;
+    }
+  in
+  Lp_callchain.Site.Table.iter
+    (fun site stats ->
+      let accept =
+        match selection with
+        | All_short -> Site_stats.all_short stats
+        | Fraction f -> stats.Site_stats.count > 0 && Site_stats.short_fraction stats >= f
+      in
+      (* Distinct sites can collapse onto one portable key (rounding); the
+         conservative rule keeps a key only if every contributing site
+         qualifies, so a later non-qualifying site must evict the key. *)
+      let key = portable_of_site t funcs site in
+      if accept then begin
+        if not (Portable.Table.mem t.keys key) then Portable.Table.add t.keys key ()
+      end
+      else Portable.Table.remove t.keys key)
+    table;
+  (* second pass: re-evict keys that a non-qualifying site shares, since
+     iteration order above may have added after removal *)
+  Lp_callchain.Site.Table.iter
+    (fun site stats ->
+      let accept =
+        match selection with
+        | All_short -> Site_stats.all_short stats
+        | Fraction f -> stats.Site_stats.count > 0 && Site_stats.short_fraction stats >= f
+      in
+      if not accept then Portable.Table.remove t.keys (portable_of_site t funcs site))
+    table;
+  t
+
+let size t = Portable.Table.length t.keys
+
+let predicts_site t funcs site = Portable.Table.mem t.keys (portable_of_site t funcs site)
+
+let predicts_key t key = Portable.Table.mem t.keys key
+
+let iter_keys t f = Portable.Table.iter (fun k () -> f k) t.keys
+
+(* A fast per-trace lookup: resolves each interned (chain, size) pair once
+   and memoizes, so the simulation driver's per-allocation test is a
+   hash-table probe — mirroring the small site hash table of §5.1. *)
+let for_trace t (trace : Lp_trace.Trace.t) =
+  let memo : (int * int, bool) Hashtbl.t = Hashtbl.create 1024 in
+  fun ~obj:_ ~size ~chain ~key ->
+    match Hashtbl.find_opt memo (chain, size) with
+    | Some hit -> hit
+    | None ->
+        let site =
+          Lp_callchain.Site.make t.policy
+            ~raw_chain:(Lp_trace.Trace.chain_of_alloc trace chain)
+            ~key ~size
+        in
+        let hit = predicts_site t trace.funcs site in
+        Hashtbl.replace memo (chain, size) hit;
+        hit

@@ -1,0 +1,37 @@
+(** Simulation glue: run a test trace through the allocators with a trained
+    predictor, producing the measurements behind Tables 7, 8 and 9. *)
+
+type arena_results = {
+  len4 : Lp_allocsim.Metrics.t;  (** prediction priced at 18 instr/alloc *)
+  cce : Lp_allocsim.Metrics.t;  (** prediction priced by call-chain encryption *)
+}
+
+type t = {
+  first_fit : Lp_allocsim.Metrics.t;
+  bsd : Lp_allocsim.Metrics.t;
+  arena : arena_results;
+}
+
+let arena_with_cost ~config ~predictor ~(test : Lp_trace.Trace.t) ~predict_cost =
+  let predicted = Predictor.for_trace predictor test in
+  Lp_allocsim.Driver.run test
+    (Lp_allocsim.Driver.Arena
+       { config = Config.arena_config config; predicted; predict_cost })
+
+let run ~(config : Config.t) ~(predictor : Predictor.t) ~(test : Lp_trace.Trace.t) : t =
+  let cce_cost =
+    Lp_allocsim.Cost_model.site_lookup
+    + Lp_allocsim.Cost_model.cce_per_alloc ~calls:test.calls
+        ~allocs:(Lp_trace.Trace.total_objects test)
+  in
+  {
+    first_fit = Lp_allocsim.Driver.run test Lp_allocsim.Driver.First_fit;
+    bsd = Lp_allocsim.Driver.run test Lp_allocsim.Driver.Bsd;
+    arena =
+      {
+        len4 =
+          arena_with_cost ~config ~predictor ~test
+            ~predict_cost:Lp_allocsim.Cost_model.predict_len4;
+        cce = arena_with_cost ~config ~predictor ~test ~predict_cost:cce_cost;
+      };
+  }

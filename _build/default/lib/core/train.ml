@@ -1,0 +1,41 @@
+(** Training: fold a trace into a site table.
+
+    For each allocation, derive the site key under the configured policy
+    (complete cycle-eliminated chain + size, length-N sub-chain + size,
+    size only, or encryption key + size) and fold the object's lifetime
+    into that site's statistics. *)
+
+module Site = Lp_callchain.Site
+
+type site_table = Site_stats.t Site.Table.t
+
+let site_of_alloc (trace : Lp_trace.Trace.t) ~policy ~chain ~key ~size =
+  let raw_chain = Lp_trace.Trace.chain_of_alloc trace chain in
+  Site.make policy ~raw_chain ~key ~size
+
+let collect ?(config = Config.default) (trace : Lp_trace.Trace.t) : site_table =
+  let lifetimes = Lp_trace.Lifetimes.compute trace in
+  let table : site_table = Site.Table.create 256 in
+  Lp_trace.Trace.iter_allocs trace (fun ~obj ~size ~chain ~key ~tag:_ ->
+      let site = site_of_alloc trace ~policy:config.policy ~chain ~key ~size in
+      let stats =
+        match Site.Table.find_opt table site with
+        | Some s -> s
+        | None ->
+            let s = Site_stats.create () in
+            Site.Table.add table site s;
+            s
+      in
+      let lifetime = lifetimes.lifetime.(obj) in
+      let survived = lifetimes.survived.(obj) in
+      let short =
+        Lp_trace.Lifetimes.is_short_lived lifetimes
+          ~threshold:config.short_lived_threshold obj
+      in
+      Site_stats.observe stats ~size ~lifetime ~survived ~short
+        ~refs:trace.obj_refs.(obj));
+  table
+
+let total_sites (table : site_table) = Site.Table.length table
+
+let fold table init f = Site.Table.fold f table init

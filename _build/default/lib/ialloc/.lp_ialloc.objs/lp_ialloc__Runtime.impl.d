@@ -1,0 +1,1 @@
+lib/ialloc/runtime.ml: Array Lp_callchain Lp_trace Option

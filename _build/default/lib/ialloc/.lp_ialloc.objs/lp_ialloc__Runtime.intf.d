@@ -1,0 +1,1 @@
+lib/ialloc/runtime.mli: Lp_callchain Lp_trace

@@ -1,0 +1,1 @@
+lib/quantile/histogram.ml: Format P2

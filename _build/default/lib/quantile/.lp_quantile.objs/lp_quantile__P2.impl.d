@@ -1,0 +1,1 @@
+lib/quantile/p2.ml: Array Stdlib

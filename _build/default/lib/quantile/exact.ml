@@ -1,0 +1,54 @@
+type t = {
+  mutable data : float array;
+  mutable len : int;
+  mutable sorted : bool;
+}
+
+let create () = { data = Array.make 16 0.; len = 0; sorted = true }
+
+let observe t x =
+  if t.len = Array.length t.data then begin
+    let data = Array.make (2 * t.len) 0. in
+    Array.blit t.data 0 data 0 t.len;
+    t.data <- data
+  end;
+  t.data.(t.len) <- x;
+  t.len <- t.len + 1;
+  t.sorted <- false
+
+let count t = t.len
+
+let ensure_sorted t =
+  if not t.sorted then begin
+    let live = Array.sub t.data 0 t.len in
+    Array.sort compare live;
+    Array.blit live 0 t.data 0 t.len;
+    t.sorted <- true
+  end
+
+let quantile t p =
+  if t.len = 0 then invalid_arg "Exact.quantile: no observations";
+  if not (p >= 0. && p <= 1.) then invalid_arg "Exact.quantile: p outside [0, 1]";
+  ensure_sorted t;
+  if t.len = 1 then t.data.(0)
+  else begin
+    let h = p *. float_of_int (t.len - 1) in
+    let lo = int_of_float (floor h) in
+    let hi = Stdlib.min (lo + 1) (t.len - 1) in
+    let frac = h -. float_of_int lo in
+    t.data.(lo) +. (frac *. (t.data.(hi) -. t.data.(lo)))
+  end
+
+let min t =
+  if t.len = 0 then invalid_arg "Exact.min: no observations";
+  ensure_sorted t;
+  t.data.(0)
+
+let max t =
+  if t.len = 0 then invalid_arg "Exact.max: no observations";
+  ensure_sorted t;
+  t.data.(t.len - 1)
+
+let to_sorted_array t =
+  ensure_sorted t;
+  Array.sub t.data 0 t.len

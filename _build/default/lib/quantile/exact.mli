@@ -1,0 +1,31 @@
+(** Exact quantiles over stored observations.
+
+    This is the ground truth the P² estimator ({!P2}) approximates.  It is
+    used in the test suite to validate {!P2} and in the experiment pipelines
+    where the paper itself reports exact figures (for example the footnote to
+    Table 3 compares the P² approximation of GHOST's 75% quantile with the
+    true value). *)
+
+type t
+(** A growable multiset of observations. *)
+
+val create : unit -> t
+
+val observe : t -> float -> unit
+
+val count : t -> int
+
+val quantile : t -> float -> float
+(** [quantile t p] is the exact [p]-quantile by linear interpolation between
+    order statistics, for [0 <= p <= 1].  Repeated calls share one sort.
+
+    @raise Invalid_argument if [t] is empty or [p] is outside [0, 1]. *)
+
+val min : t -> float
+(** @raise Invalid_argument if [t] is empty. *)
+
+val max : t -> float
+(** @raise Invalid_argument if [t] is empty. *)
+
+val to_sorted_array : t -> float array
+(** A sorted copy of the observations. *)

@@ -1,0 +1,75 @@
+type quartiles = {
+  min : float;
+  q25 : float;
+  median : float;
+  q75 : float;
+  max : float;
+}
+
+type t = {
+  q25e : P2.t;
+  q50e : P2.t;
+  q75e : P2.t;
+  mutable lo : float;
+  mutable hi : float;
+  mutable total_weight : int;
+  mutable sum : float;
+}
+
+let create () =
+  {
+    q25e = P2.create 0.25;
+    q50e = P2.create 0.50;
+    q75e = P2.create 0.75;
+    lo = infinity;
+    hi = neg_infinity;
+    total_weight = 0;
+    sum = 0.;
+  }
+
+let observe_n t n x =
+  for _ = 1 to n do
+    P2.observe t.q25e x;
+    P2.observe t.q50e x;
+    P2.observe t.q75e x
+  done
+
+let observe t x =
+  if x < t.lo then t.lo <- x;
+  if x > t.hi then t.hi <- x;
+  t.total_weight <- t.total_weight + 1;
+  t.sum <- t.sum +. x;
+  observe_n t 1 x
+
+let observe_weighted t ~weight x =
+  if weight <= 0 then invalid_arg "Histogram.observe_weighted: weight must be positive";
+  if x < t.lo then t.lo <- x;
+  if x > t.hi then t.hi <- x;
+  t.total_weight <- t.total_weight + weight;
+  t.sum <- t.sum +. (float_of_int weight *. x);
+  (* Feed a logarithmic number of repetitions: enough for the markers to move
+     in proportion to the weight without O(weight) cost.  The repetition
+     count is 1 + floor(log2 weight), preserving the relative ordering of
+     light and heavy observations. *)
+  let rec reps acc w = if w <= 1 then acc else reps (acc + 1) (w lsr 1) in
+  observe_n t (reps 1 weight) x
+
+let count t = t.total_weight
+
+let quartiles t =
+  if t.total_weight = 0 then invalid_arg "Histogram.quartiles: no observations";
+  {
+    min = t.lo;
+    q25 = P2.quantile t.q25e;
+    median = P2.quantile t.q50e;
+    q75 = P2.quantile t.q75e;
+    max = t.hi;
+  }
+
+let mean t =
+  if t.total_weight = 0 then invalid_arg "Histogram.mean: no observations";
+  t.sum /. float_of_int t.total_weight
+
+let pp_quartiles ppf q =
+  Format.fprintf ppf "{min=%.0f; q25=%.0f; median=%.0f; q75=%.0f; max=%.0f}" q.min
+    q.q25 q.median q.q75 q.max

@@ -1,0 +1,45 @@
+(** Quantile histograms of object lifetimes.
+
+    A quantile histogram, in the sense of Barrett & Zorn §4.1, is a compact
+    summary of a distribution: the exact minimum and maximum together with P²
+    estimates of the three quartiles.  The paper keeps one per allocation
+    site; Table 3 shows one per program.
+
+    [weighted] observation support exists because the paper's Table 3 reads
+    "each column gives the lifetime for which that percentage of bytes is
+    alive" — i.e. the distribution is weighted by object size, not by object
+    count. *)
+
+type t
+
+type quartiles = {
+  min : float;
+  q25 : float;
+  median : float;
+  q75 : float;
+  max : float;
+}
+(** The five summary values reported per row of Table 3. *)
+
+val create : unit -> t
+
+val observe : t -> float -> unit
+(** [observe t x] records one observation with weight 1. *)
+
+val observe_weighted : t -> weight:int -> float -> unit
+(** [observe_weighted t ~weight x] records [x] as if it occurred [weight]
+    times, but feeds the P² markers only O(log weight) synthetic
+    observations so that byte-weighted histograms over multi-megabyte runs
+    stay cheap.  [weight] must be positive. *)
+
+val count : t -> int
+(** Total weight observed. *)
+
+val quartiles : t -> quartiles
+(** @raise Invalid_argument if nothing has been observed. *)
+
+val mean : t -> float
+(** Arithmetic mean of the (weighted) observations.
+    @raise Invalid_argument if nothing has been observed. *)
+
+val pp_quartiles : Format.formatter -> quartiles -> unit

@@ -1,0 +1,45 @@
+(** The P² ("P-square") algorithm of Jain and Chlamtac (CACM 1985) for
+    dynamic estimation of a single quantile without storing observations.
+
+    The paper (Barrett & Zorn, §4.1) uses this algorithm to summarise the
+    object-lifetime distribution of every allocation site with five markers,
+    because a per-site list of lifetimes would be prohibitively large.
+
+    The estimator maintains five markers whose heights approximate the
+    minimum, the [p/2], [p], and [(1+p)/2] quantiles, and the maximum of the
+    observations seen so far.  Marker heights are adjusted with a
+    piecewise-parabolic (hence "P²") interpolation formula as observations
+    arrive.  Storage is O(1) and each observation costs O(1). *)
+
+type t
+(** Mutable state of one P² estimator. *)
+
+val create : float -> t
+(** [create p] is an estimator for the [p]-quantile, [0 < p < 1].
+
+    @raise Invalid_argument if [p] is outside (0, 1). *)
+
+val observe : t -> float -> unit
+(** [observe t x] folds the observation [x] into the estimate. *)
+
+val count : t -> int
+(** Number of observations seen so far. *)
+
+val quantile : t -> float
+(** Current estimate of the [p]-quantile.
+
+    For fewer than five observations the estimate is the exact quantile of
+    the observations seen (by linear interpolation on the sorted sample).
+
+    @raise Invalid_argument if no observation has been made. *)
+
+val min : t -> float
+(** Exact minimum of the observations seen.
+    @raise Invalid_argument if no observation has been made. *)
+
+val max : t -> float
+(** Exact maximum of the observations seen.
+    @raise Invalid_argument if no observation has been made. *)
+
+val p : t -> float
+(** The target quantile this estimator was created with. *)

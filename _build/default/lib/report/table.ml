@@ -1,0 +1,69 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else begin
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+  end
+
+let render ?title ?(notes = []) ~columns ~rows () =
+  let n_cols = List.length columns in
+  List.iter
+    (fun row ->
+      if List.length row <> n_cols then
+        invalid_arg
+          (Printf.sprintf "Table.render: row has %d cells, expected %d"
+             (List.length row) n_cols))
+    rows;
+  let widths =
+    List.mapi
+      (fun i (header, _) ->
+        List.fold_left
+          (fun acc row -> max acc (String.length (List.nth row i)))
+          (String.length header) rows)
+      columns
+  in
+  let buf = Buffer.create 1024 in
+  let sep =
+    "+" ^ String.concat "+" (List.map (fun w -> String.make (w + 2) '-') widths) ^ "+"
+  in
+  (match title with
+  | Some t ->
+      Buffer.add_string buf t;
+      Buffer.add_char buf '\n'
+  | None -> ());
+  Buffer.add_string buf sep;
+  Buffer.add_char buf '\n';
+  let emit_row cells aligns =
+    Buffer.add_string buf "|";
+    List.iteri
+      (fun i cell ->
+        let w = List.nth widths i in
+        let a = List.nth aligns i in
+        Buffer.add_string buf (" " ^ pad a w cell ^ " |"))
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  emit_row (List.map fst columns) (List.map (fun _ -> Left) columns);
+  Buffer.add_string buf sep;
+  Buffer.add_char buf '\n';
+  List.iter (fun row -> emit_row row (List.map snd columns)) rows;
+  Buffer.add_string buf sep;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun note ->
+      Buffer.add_string buf note;
+      Buffer.add_char buf '\n')
+    notes;
+  Buffer.contents buf
+
+let fnum f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else if Float.abs f >= 100. then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.1f" f
+
+let pct f = Printf.sprintf "%.1f" f
+
+let kbytes b = Printf.sprintf "%d" (b / 1024)

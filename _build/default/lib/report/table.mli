@@ -1,0 +1,24 @@
+(** Plain-text table rendering for the benchmark harness and CLI. *)
+
+type align = Left | Right
+
+val render :
+  ?title:string ->
+  ?notes:string list ->
+  columns:(string * align) list ->
+  rows:string list list ->
+  unit ->
+  string
+(** Render a boxed ASCII table.  Every row must have as many cells as
+    there are columns.
+    @raise Invalid_argument on a ragged row. *)
+
+val fnum : float -> string
+(** Compact numeric formatting: integers without decimals, small values
+    with one decimal. *)
+
+val pct : float -> string
+(** A percentage with one decimal, e.g. ["79.0"]. *)
+
+val kbytes : int -> string
+(** Bytes rendered as kilobytes, e.g. ["144"] for 147456. *)

@@ -1,0 +1,1 @@
+lib/trace/lifetimes.ml: Array Event Trace

@@ -1,0 +1,1 @@
+lib/trace/stats.mli: Format Trace

@@ -1,0 +1,1 @@
+lib/trace/textio.ml: Array Buffer Event List Lp_callchain Printf String Trace

@@ -1,0 +1,1 @@
+lib/trace/textio.mli: Trace

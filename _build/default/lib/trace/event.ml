@@ -1,0 +1,11 @@
+type t =
+  | Alloc of { obj : int; size : int; chain : int; key : int; tag : int }
+  | Free of { obj : int }
+  | Touch of { obj : int; mutable count : int }
+
+let pp ppf = function
+  | Alloc { obj; size; chain; key; tag } ->
+      Format.fprintf ppf "alloc obj=%d size=%d chain=%d key=%#x tag=%d" obj size
+        chain key tag
+  | Free { obj } -> Format.fprintf ppf "free obj=%d" obj
+  | Touch { obj; count } -> Format.fprintf ppf "touch obj=%d count=%d" obj count

@@ -1,0 +1,25 @@
+(** Allocation-trace events.
+
+    A trace is the sequence of the allocation and deallocation events of one
+    program execution, the same information Larus' AE tool gave the paper's
+    authors: per allocation, the object's size and the raw call-chain (and
+    the call-chain encryption key) at birth; per deallocation, the object.
+
+    Objects are numbered densely in birth order, so [obj] doubles as an index
+    into per-object arrays.  Chains are interned; [chain] is an index into
+    the trace's chain table. *)
+
+type t =
+  | Alloc of { obj : int; size : int; chain : int; key : int; tag : int }
+      (** Birth of object [obj]: [size] bytes, raw stack snapshot
+          [chain] (an interned chain id), encryption key [key], and an
+          interned type tag ([-1] when the program supplied none).  Tags
+          support the paper's future-work experiment: predicting lifetimes
+          from the object's type, as class-aware languages could. *)
+  | Free of { obj : int }  (** Death of object [obj]. *)
+  | Touch of { obj : int; mutable count : int }
+      (** [count] heap references to [obj] at this point of the program.
+          Consecutive touches of one object are merged.  The count is
+          mutable only so the trace builder can merge in place. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,50 @@
+type t = {
+  birth_clock : int array;
+  lifetime : int array;
+  survived : bool array;
+  end_clock : int;
+}
+
+let compute (trace : Trace.t) =
+  let n = trace.n_objects in
+  let birth_clock = Array.make n 0 in
+  let lifetime = Array.make n 0 in
+  let survived = Array.make n true in
+  let clock = ref 0 in
+  Array.iter
+    (function
+      | Event.Alloc { obj; size; _ } ->
+          birth_clock.(obj) <- !clock;
+          clock := !clock + size
+      | Event.Free { obj } ->
+          lifetime.(obj) <- !clock - birth_clock.(obj);
+          survived.(obj) <- false
+      | Event.Touch _ -> ())
+    trace.events;
+  let end_clock = !clock in
+  for obj = 0 to n - 1 do
+    if survived.(obj) then lifetime.(obj) <- end_clock - birth_clock.(obj)
+  done;
+  { birth_clock; lifetime; survived; end_clock }
+
+let is_short_lived t ~threshold obj =
+  (not t.survived.(obj)) && t.lifetime.(obj) < threshold
+
+let max_live (trace : Trace.t) =
+  let sizes = Array.make trace.n_objects 0 in
+  let live_bytes = ref 0 and live_objs = ref 0 in
+  let max_bytes = ref 0 and max_objs = ref 0 in
+  Array.iter
+    (function
+      | Event.Alloc { obj; size; _ } ->
+          sizes.(obj) <- size;
+          live_bytes := !live_bytes + size;
+          incr live_objs;
+          if !live_bytes > !max_bytes then max_bytes := !live_bytes;
+          if !live_objs > !max_objs then max_objs := !live_objs
+      | Event.Free { obj } ->
+          live_bytes := !live_bytes - sizes.(obj);
+          decr live_objs
+      | Event.Touch _ -> ())
+    trace.events;
+  (!max_bytes, !max_objs)

@@ -1,0 +1,33 @@
+(** Object lifetimes, in bytes-allocated time.
+
+    The paper defines an object's lifetime as the number of bytes allocated
+    between its birth and its death (§3.2) — time measured by the clock the
+    allocator itself experiences.  Objects still alive when the program ends
+    have no death event; they are assigned the bytes remaining until the end
+    of the run and flagged [survived], which makes them long-lived for any
+    reasonable threshold and matches the conservative treatment a predictor
+    must give them. *)
+
+type t = {
+  birth_clock : int array;  (** bytes allocated before each object's birth *)
+  lifetime : int array;  (** per-object lifetime in bytes *)
+  survived : bool array;  (** object was still alive at end of run *)
+  end_clock : int;  (** total bytes allocated over the run *)
+}
+
+val compute : Trace.t -> t
+(** One linear pass over the events.
+
+    The clock advances by [size] {i at} each allocation; an object's birth
+    clock is the clock value {i before} its own allocation, so an object
+    freed immediately after allocation has lifetime 0 bytes if nothing else
+    was allocated in between. *)
+
+val is_short_lived : t -> threshold:int -> int -> bool
+(** [is_short_lived lt ~threshold obj] — did [obj] die before [threshold]
+    bytes were allocated?  Survivors are never short-lived. *)
+
+val max_live : Trace.t -> int * int
+(** [(max_bytes, max_objects)] — the largest numbers of bytes and of objects
+    simultaneously alive at any point (Table 2's "Maximum Bytes/Objects").
+    The two maxima may occur at different times. *)

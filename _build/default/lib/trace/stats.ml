@@ -1,0 +1,43 @@
+type t = {
+  program : string;
+  input : string;
+  instructions : int;
+  calls : int;
+  total_bytes : int;
+  total_objects : int;
+  max_bytes : int;
+  max_objects : int;
+  heap_ref_pct : float;
+  distinct_chains : int;
+  mean_object_size : float;
+}
+
+let compute (trace : Trace.t) =
+  let total_bytes = Trace.total_bytes trace in
+  let total_objects = Trace.total_objects trace in
+  let max_bytes, max_objects = Lifetimes.max_live trace in
+  let heap_ref_pct =
+    if trace.total_refs = 0 then 0.
+    else 100. *. float_of_int trace.heap_refs /. float_of_int trace.total_refs
+  in
+  {
+    program = trace.program;
+    input = trace.input;
+    instructions = trace.instructions;
+    calls = trace.calls;
+    total_bytes;
+    total_objects;
+    max_bytes;
+    max_objects;
+    heap_ref_pct;
+    distinct_chains = Array.length trace.chains;
+    mean_object_size =
+      (if total_objects = 0 then 0. else float_of_int total_bytes /. float_of_int total_objects);
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>%s (%s):@ instructions %d@ calls %d@ bytes %d in %d objects (mean %.1f)@ max \
+     live %d bytes / %d objects@ heap refs %.1f%%@ distinct chains %d@]"
+    t.program t.input t.instructions t.calls t.total_bytes t.total_objects
+    t.mean_object_size t.max_bytes t.max_objects t.heap_ref_pct t.distinct_chains

@@ -1,0 +1,19 @@
+(** Execution-wide statistics of a trace — the quantities of Table 2. *)
+
+type t = {
+  program : string;
+  input : string;
+  instructions : int;  (** simulated instructions executed *)
+  calls : int;  (** function calls *)
+  total_bytes : int;  (** total bytes allocated *)
+  total_objects : int;  (** total objects allocated *)
+  max_bytes : int;  (** maximum bytes simultaneously alive *)
+  max_objects : int;  (** maximum objects simultaneously alive *)
+  heap_ref_pct : float;  (** % of all memory references made to the heap *)
+  distinct_chains : int;  (** distinct raw stack snapshots at allocations *)
+  mean_object_size : float;
+}
+
+val compute : Trace.t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,166 @@
+let write ~(line : string -> unit) (t : Trace.t) =
+  line (Printf.sprintf "trace %s %s" t.program t.input);
+  let names = Lp_callchain.Func.names t.funcs in
+  Array.iteri (fun id name -> line (Printf.sprintf "func %d %s" id name)) names;
+  Array.iteri
+    (fun id chain ->
+      let b = Buffer.create 64 in
+      Buffer.add_string b (Printf.sprintf "chain %d" id);
+      Array.iter (fun f -> Buffer.add_string b (Printf.sprintf " %d" f)) chain;
+      line (Buffer.contents b))
+    t.chains;
+  Array.iteri (fun id name -> line (Printf.sprintf "tag %d %s" id name)) t.tags;
+  line
+    (Printf.sprintf "counters %d %d %d %d" t.instructions t.calls t.heap_refs
+       t.total_refs);
+  Array.iter
+    (function
+      | Event.Alloc { obj; size; chain; key; tag } ->
+          line
+            (Printf.sprintf "a %d %d %d %d %d %d" obj size chain key tag
+               t.obj_refs.(obj))
+      | Event.Free { obj } -> line (Printf.sprintf "f %d" obj)
+      | Event.Touch { obj; count } -> line (Printf.sprintf "r %d %d" obj count))
+    t.events;
+  line "end"
+
+let output oc t =
+  write t ~line:(fun s ->
+      output_string oc s;
+      output_char oc '\n')
+
+type parse_state = {
+  mutable program : string;
+  mutable input_name : string;
+  funcs : Lp_callchain.Func.table;
+  mutable func_names : (int * string) list;
+  mutable chains : (int * int array) list;
+  mutable tag_names : (int * string) list;
+  mutable events : Event.t list;
+  mutable n_objects : int;
+  mutable obj_refs : (int * int) list;
+  mutable instructions : int;
+  mutable calls : int;
+  mutable heap_refs : int;
+  mutable total_refs : int;
+  mutable finished : bool;
+}
+
+let fail lineno msg = failwith (Printf.sprintf "Textio.input: line %d: %s" lineno msg)
+
+let parse_line st lineno line =
+  match String.split_on_char ' ' (String.trim line) with
+  | [ "" ] -> ()
+  | "trace" :: program :: rest ->
+      st.program <- program;
+      st.input_name <- String.concat " " rest
+  | [ "func"; id; name ] ->
+      st.func_names <- (int_of_string id, name) :: st.func_names
+  | "chain" :: id :: funcs ->
+      let chain = Array.of_list (List.map int_of_string funcs) in
+      st.chains <- (int_of_string id, chain) :: st.chains
+  | [ "tag"; id; name ] -> st.tag_names <- (int_of_string id, name) :: st.tag_names
+  | [ "counters"; i; c; h; t ] ->
+      st.instructions <- int_of_string i;
+      st.calls <- int_of_string c;
+      st.heap_refs <- int_of_string h;
+      st.total_refs <- int_of_string t
+  | [ "a"; obj; size; chain; key; tag; refs ] ->
+      let obj = int_of_string obj in
+      st.events <-
+        Event.Alloc
+          { obj; size = int_of_string size; chain = int_of_string chain;
+            key = int_of_string key; tag = int_of_string tag }
+        :: st.events;
+      st.obj_refs <- (obj, int_of_string refs) :: st.obj_refs;
+      if obj >= st.n_objects then st.n_objects <- obj + 1
+  | [ "f"; obj ] -> st.events <- Event.Free { obj = int_of_string obj } :: st.events
+  | [ "r"; obj; count ] ->
+      st.events <-
+        Event.Touch { obj = int_of_string obj; count = int_of_string count }
+        :: st.events
+  | [ "end" ] -> st.finished <- true
+  | _ -> fail lineno (Printf.sprintf "unrecognised line %S" line)
+
+let finish st : Trace.t =
+  if not st.finished then failwith "Textio.input: missing 'end' line";
+  (* Re-intern functions in id order so interned ids match the file's. *)
+  let func_names = List.sort compare (List.rev st.func_names) in
+  List.iteri
+    (fun expect (id, name) ->
+      if id <> expect then failwith "Textio.input: non-dense function ids";
+      let interned = Lp_callchain.Func.intern st.funcs name in
+      if interned <> id then failwith "Textio.input: duplicate function name")
+    func_names;
+  let chains = List.sort compare (List.rev st.chains) in
+  let chain_arr = Array.make (List.length chains) [||] in
+  List.iteri
+    (fun expect (id, chain) ->
+      if id <> expect then failwith "Textio.input: non-dense chain ids";
+      chain_arr.(expect) <- chain)
+    chains;
+  let obj_refs = Array.make st.n_objects 0 in
+  List.iter (fun (obj, refs) -> obj_refs.(obj) <- refs) st.obj_refs;
+  let tag_list = List.sort compare (List.rev st.tag_names) in
+  let tags = Array.make (List.length tag_list) "" in
+  List.iteri
+    (fun expect (id, name) ->
+      if id <> expect then failwith "Textio.input: non-dense tag ids";
+      tags.(expect) <- name)
+    tag_list;
+  {
+    program = st.program;
+    input = st.input_name;
+    events = Array.of_list (List.rev st.events);
+    chains = chain_arr;
+    funcs = st.funcs;
+    n_objects = st.n_objects;
+    instructions = st.instructions;
+    calls = st.calls;
+    heap_refs = st.heap_refs;
+    total_refs = st.total_refs;
+    obj_refs;
+    tags;
+  }
+
+let fresh_state () =
+  {
+    program = "?";
+    input_name = "?";
+    funcs = Lp_callchain.Func.create_table ();
+    func_names = [];
+    chains = [];
+    tag_names = [];
+    events = [];
+    n_objects = 0;
+    obj_refs = [];
+    instructions = 0;
+    calls = 0;
+    heap_refs = 0;
+    total_refs = 0;
+    finished = false;
+  }
+
+let input ic =
+  let st = fresh_state () in
+  let lineno = ref 0 in
+  (try
+     while not st.finished do
+       incr lineno;
+       parse_line st !lineno (input_line ic)
+     done
+   with End_of_file -> ());
+  finish st
+
+let to_string t =
+  let buf = Buffer.create 65536 in
+  write t ~line:(fun s ->
+      Buffer.add_string buf s;
+      Buffer.add_char buf '\n');
+  Buffer.contents buf
+
+let of_string s =
+  let st = fresh_state () in
+  let lines = String.split_on_char '\n' s in
+  List.iteri (fun i line -> if not st.finished then parse_line st (i + 1) line) lines;
+  finish st

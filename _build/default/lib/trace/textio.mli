@@ -1,0 +1,27 @@
+(** Text serialization of traces.
+
+    A simple line-oriented format so traces can be written to disk by the
+    CLI, inspected with ordinary text tools, and read back:
+
+    {v
+    trace <program> <input>
+    func <id> <name>
+    chain <id> <func-id> <func-id> ...
+    counters <instructions> <calls> <heap-refs> <total-refs>
+    a <obj> <size> <chain-id> <key> [<refs>]
+    f <obj>
+    end
+    v}
+
+    Allocation lines carry the object's final heap-reference count so a
+    round-tripped trace preserves the locality statistics. *)
+
+val output : out_channel -> Trace.t -> unit
+
+val input : in_channel -> Trace.t
+(** @raise Failure on malformed input, with a line number in the message. *)
+
+val to_string : Trace.t -> string
+
+val of_string : string -> Trace.t
+(** @raise Failure on malformed input. *)

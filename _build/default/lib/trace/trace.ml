@@ -1,0 +1,178 @@
+type t = {
+  program : string;
+  input : string;
+  events : Event.t array;
+  chains : Lp_callchain.Chain.t array;
+  funcs : Lp_callchain.Func.table;
+  n_objects : int;
+  instructions : int;
+  calls : int;
+  heap_refs : int;
+  total_refs : int;
+  obj_refs : int array;
+  tags : string array;
+}
+
+module Int_array = struct
+  type t = { mutable data : int array; mutable len : int }
+
+  let create () = { data = Array.make 1024 0; len = 0 }
+
+  let push t x =
+    if t.len = Array.length t.data then begin
+      let grown = Array.make (2 * t.len) 0 in
+      Array.blit t.data 0 grown 0 t.len;
+      t.data <- grown
+    end;
+    t.data.(t.len) <- x;
+    t.len <- t.len + 1
+
+  let get t i = t.data.(i)
+  let set t i x = t.data.(i) <- x
+  let to_array t = Array.sub t.data 0 t.len
+end
+
+module Builder = struct
+  type trace = t
+
+  module Chain_tbl = Hashtbl.Make (struct
+    type t = Lp_callchain.Chain.t
+
+    let equal = Lp_callchain.Chain.equal
+    let hash = Lp_callchain.Chain.hash
+  end)
+
+  type t = {
+    program : string;
+    input : string;
+    funcs : Lp_callchain.Func.table;
+    mutable events : Event.t array;
+    mutable n_events : int;
+    chain_ids : int Chain_tbl.t;
+    mutable chains : Lp_callchain.Chain.t list;  (* reversed *)
+    mutable n_chains : int;
+    tag_ids : (string, int) Hashtbl.t;
+    mutable tag_names : string list;  (* reversed *)
+    mutable n_tags : int;
+    mutable n_objects : int;
+    alive : (int, unit) Hashtbl.t;
+    obj_refs : Int_array.t;
+    mutable instructions : int;
+    mutable calls : int;
+    mutable heap_refs : int;
+    mutable non_heap : int;
+  }
+
+  let create ~program ~input ~funcs =
+    {
+      program;
+      input;
+      funcs;
+      events = Array.make 4096 (Event.Free { obj = -1 });
+      n_events = 0;
+      chain_ids = Chain_tbl.create 256;
+      chains = [];
+      n_chains = 0;
+      tag_ids = Hashtbl.create 32;
+      tag_names = [];
+      n_tags = 0;
+      n_objects = 0;
+      alive = Hashtbl.create 1024;
+      obj_refs = Int_array.create ();
+      instructions = 0;
+      calls = 0;
+      heap_refs = 0;
+      non_heap = 0;
+    }
+
+  let push_event t e =
+    if t.n_events = Array.length t.events then begin
+      let grown = Array.make (2 * t.n_events) (Event.Free { obj = -1 }) in
+      Array.blit t.events 0 grown 0 t.n_events;
+      t.events <- grown
+    end;
+    t.events.(t.n_events) <- e;
+    t.n_events <- t.n_events + 1
+
+  let intern_chain t chain =
+    match Chain_tbl.find_opt t.chain_ids chain with
+    | Some id -> id
+    | None ->
+        let id = t.n_chains in
+        t.n_chains <- id + 1;
+        t.chains <- chain :: t.chains;
+        Chain_tbl.add t.chain_ids chain id;
+        id
+
+  let intern_tag t name =
+    match Hashtbl.find_opt t.tag_ids name with
+    | Some id -> id
+    | None ->
+        let id = t.n_tags in
+        t.n_tags <- id + 1;
+        t.tag_names <- name :: t.tag_names;
+        Hashtbl.replace t.tag_ids name id;
+        id
+
+  let alloc t ?(tag = -1) ~size ~chain ~key () =
+    let obj = t.n_objects in
+    t.n_objects <- obj + 1;
+    Hashtbl.replace t.alive obj ();
+    Int_array.push t.obj_refs 0;
+    push_event t (Event.Alloc { obj; size; chain; key; tag });
+    obj
+
+  let free t ~obj =
+    if obj < 0 || obj >= t.n_objects then invalid_arg "Trace.Builder.free: unknown object";
+    if not (Hashtbl.mem t.alive obj) then invalid_arg "Trace.Builder.free: double free";
+    Hashtbl.remove t.alive obj;
+    push_event t (Event.Free { obj })
+
+  let touch t ~obj n =
+    Int_array.set t.obj_refs obj (Int_array.get t.obj_refs obj + n);
+    t.heap_refs <- t.heap_refs + n;
+    (* record the reference in the event stream (merging with an immediately
+       preceding touch of the same object keeps the stream compact) *)
+    if t.n_events > 0 then begin
+      match t.events.(t.n_events - 1) with
+      | Event.Touch r when r.obj = obj -> r.count <- r.count + n
+      | _ -> push_event t (Event.Touch { obj; count = n })
+    end
+    else push_event t (Event.Touch { obj; count = n })
+
+  let non_heap_refs t n = t.non_heap <- t.non_heap + n
+  let instructions t n = t.instructions <- t.instructions + n
+  let set_calls t n = t.calls <- n
+  let live_objects t = Hashtbl.length t.alive
+
+  let finish t : trace =
+    {
+      program = t.program;
+      input = t.input;
+      events = Array.sub t.events 0 t.n_events;
+      chains = Array.of_list (List.rev t.chains);
+      funcs = t.funcs;
+      n_objects = t.n_objects;
+      instructions = t.instructions;
+      calls = t.calls;
+      heap_refs = t.heap_refs;
+      total_refs = t.heap_refs + t.non_heap;
+      obj_refs = Int_array.to_array t.obj_refs;
+      tags = Array.of_list (List.rev t.tag_names);
+    }
+end
+
+let iter_allocs t f =
+  Array.iter
+    (function
+      | Event.Alloc { obj; size; chain; key; tag } -> f ~obj ~size ~chain ~key ~tag
+      | Event.Free _ | Event.Touch _ -> ())
+    t.events
+
+let total_bytes t =
+  let sum = ref 0 in
+  iter_allocs t (fun ~obj:_ ~size ~chain:_ ~key:_ ~tag:_ -> sum := !sum + size);
+  !sum
+
+let total_objects t = t.n_objects
+let chain_of_alloc t id = t.chains.(id)

@@ -1,0 +1,1 @@
+lib/workloads/awk_interp.ml: Array Awk_ast Buffer Float Hashtbl List Lp_callchain Lp_ialloc Option Printf Regex Scanf Stdlib String Xalloc

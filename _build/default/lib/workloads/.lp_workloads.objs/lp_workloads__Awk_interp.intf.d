@@ -1,0 +1,1 @@
+lib/workloads/awk_interp.mli: Awk_ast Lp_ialloc

@@ -1,0 +1,1 @@
+lib/workloads/awk_lexer.ml: Array Buffer List Printf String

@@ -1,0 +1,1 @@
+lib/workloads/awk_parser.ml: Array Awk_ast Awk_lexer List Printf

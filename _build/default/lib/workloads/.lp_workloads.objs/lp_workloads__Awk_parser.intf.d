@@ -1,0 +1,1 @@
+lib/workloads/awk_parser.mli: Awk_ast

@@ -1,0 +1,1 @@
+lib/workloads/bignum.ml: Array Buffer Char Lp_callchain Lp_ialloc Printf Stdlib String Xalloc

@@ -1,0 +1,1 @@
+lib/workloads/bignum.mli: Lp_ialloc

@@ -1,0 +1,1 @@
+lib/workloads/cfrac.ml: Array Bignum Hashtbl List Lp_callchain Lp_ialloc Option Printf

@@ -1,0 +1,1 @@
+lib/workloads/cfrac.mli: Lp_ialloc Lp_trace

@@ -1,0 +1,1 @@
+lib/workloads/corpus.ml: Array Buffer Hashtbl Prng

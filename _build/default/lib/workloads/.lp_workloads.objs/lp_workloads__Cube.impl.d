@@ -1,0 +1,1 @@
+lib/workloads/cube.ml: Array List Lp_callchain Lp_ialloc Option String Xalloc

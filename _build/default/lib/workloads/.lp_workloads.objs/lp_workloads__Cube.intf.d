@@ -1,0 +1,1 @@
+lib/workloads/cube.mli: Lp_ialloc

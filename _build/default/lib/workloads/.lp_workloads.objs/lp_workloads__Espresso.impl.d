@@ -1,0 +1,1 @@
+lib/workloads/espresso.ml: Cube List Lp_callchain Lp_ialloc Prng String

@@ -1,0 +1,1 @@
+lib/workloads/espresso.mli: Lp_ialloc Lp_trace

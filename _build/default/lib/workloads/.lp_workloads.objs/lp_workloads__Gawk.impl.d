@@ -1,0 +1,1 @@
+lib/workloads/gawk.ml: Array Awk_interp Awk_parser Corpus List Lp_ialloc Prng String

@@ -1,0 +1,1 @@
+lib/workloads/gawk.mli: Lp_ialloc Lp_trace

@@ -1,0 +1,1 @@
+lib/workloads/ghost.ml: Buffer Corpus List Lp_ialloc Printf Prng Ps_interp String

@@ -1,0 +1,1 @@
+lib/workloads/ghost.mli: Lp_ialloc Lp_trace

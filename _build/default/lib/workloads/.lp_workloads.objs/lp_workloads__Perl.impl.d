@@ -1,0 +1,1 @@
+lib/workloads/perl.ml: Array Corpus List Lp_ialloc Perl_interp Perl_parser Prng String

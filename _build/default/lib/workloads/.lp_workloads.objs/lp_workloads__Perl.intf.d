@@ -1,0 +1,1 @@
+lib/workloads/perl.mli: Lp_ialloc Lp_trace

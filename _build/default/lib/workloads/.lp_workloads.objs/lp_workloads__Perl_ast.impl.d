@@ -1,0 +1,1 @@
+lib/workloads/perl_ast.ml:

@@ -1,0 +1,1 @@
+lib/workloads/perl_interp.ml: Array Buffer Char Float Hashtbl List Lp_callchain Lp_ialloc Option Perl_ast Printf Regex Scanf Stdlib String Xalloc

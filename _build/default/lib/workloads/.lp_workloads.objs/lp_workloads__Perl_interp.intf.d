@@ -1,0 +1,1 @@
+lib/workloads/perl_interp.mli: Lp_ialloc Perl_ast

@@ -1,0 +1,1 @@
+lib/workloads/perl_lexer.ml: Array Buffer List Printf String

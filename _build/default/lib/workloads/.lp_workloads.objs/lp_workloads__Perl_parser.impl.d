@@ -1,0 +1,1 @@
+lib/workloads/perl_parser.ml: Array List Perl_ast Perl_lexer Printf String

@@ -1,0 +1,1 @@
+lib/workloads/perl_parser.mli: Perl_ast

@@ -1,0 +1,1 @@
+lib/workloads/prng.ml: Array Char Int64 String

@@ -1,0 +1,1 @@
+lib/workloads/ps_graphics.ml: Float List Lp_callchain Lp_ialloc Ps_object String Xalloc

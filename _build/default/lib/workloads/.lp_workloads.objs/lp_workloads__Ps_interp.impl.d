@@ -1,0 +1,1 @@
+lib/workloads/ps_interp.ml: Array Bytes Char Float Hashtbl List Lp_callchain Lp_ialloc Option Printf Ps_graphics Ps_object Ps_scanner Stdlib String Xalloc

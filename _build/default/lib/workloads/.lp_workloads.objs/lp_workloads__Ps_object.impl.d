@@ -1,0 +1,1 @@
+lib/workloads/ps_object.ml: Bytes Hashtbl Lp_ialloc Printf String Xalloc

@@ -1,0 +1,1 @@
+lib/workloads/ps_scanner.ml: Buffer Bytes Lp_callchain Lp_ialloc Ps_object String Xalloc

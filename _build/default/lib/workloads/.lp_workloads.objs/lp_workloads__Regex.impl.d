@@ -1,0 +1,1 @@
+lib/workloads/regex.ml: Array Buffer Char List String

@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: Cfrac Espresso Gawk Ghost Hashtbl List Lp_trace Perl

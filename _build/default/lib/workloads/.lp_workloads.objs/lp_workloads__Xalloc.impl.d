@@ -1,0 +1,1 @@
+lib/workloads/xalloc.ml: Array List Lp_callchain Lp_ialloc

@@ -1,0 +1,1 @@
+lib/workloads/xalloc.mli: Lp_ialloc

@@ -1,0 +1,71 @@
+(* Abstract syntax of the mini-AWK language interpreted by the GAWK
+   workload.  The subset covers what dictionary-formatting scripts need:
+   BEGIN/END/expression patterns, field access, one-dimensional associative
+   arrays, string concatenation by juxtaposition, the usual statement forms,
+   a handful of built-ins, and user-defined functions. *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Pow
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Ne
+  | Concat
+
+type lvalue =
+  | LVar of string
+  | LField of expr  (* $expr *)
+  | LArray of string * expr  (* name[subscript] *)
+
+and expr =
+  | Num of float
+  | Str of string
+  | Lvalue of lvalue
+  | Assign of lvalue * expr
+  | OpAssign of lvalue * binop * expr  (* +=, -=, ... *)
+  | Binop of binop * expr * expr
+  | And of expr * expr
+  | Or of expr * expr
+  | Not of expr
+  | Neg of expr
+  | Ternary of expr * expr * expr
+  | Incr of bool * lvalue  (* prefix?, ++ *)
+  | Decr of bool * lvalue
+  | Call of string * expr list
+  | In of expr * string  (* (subscript in array) *)
+  | Regex of string  (* /re/ in expression position: matches against $0 *)
+  | MatchOp of bool * expr * expr  (* negated?, subject, pattern *)
+  | Split of expr * string * expr option  (* split(s, arr [, sep]) *)
+  | SubstOp of bool * expr * expr * lvalue option
+      (* global?, pattern, replacement, target (default $0) *)
+
+type stmt =
+  | Block of stmt list
+  | ExprStmt of expr
+  | Print of expr list
+  | Printf of expr list
+  | If of expr * stmt * stmt option
+  | While of expr * stmt
+  | Do of stmt * expr
+  | For of stmt option * expr option * stmt option * stmt
+  | ForIn of string * string * stmt  (* for (var in array) *)
+  | Next
+  | Break
+  | Continue
+  | Return of expr option
+  | Delete of string * expr
+
+type pattern = Begin | End | Always | When of expr
+
+type item =
+  | Rule of pattern * stmt option  (* missing action means { print $0 } *)
+  | Func of string * string list * stmt
+
+type program = item list

@@ -1,0 +1,875 @@
+open Awk_ast
+module Rt = Lp_ialloc.Runtime
+
+type value = VNum of float | VStr of string | VUninit
+
+(* A cell is a simulated heap object holding one value.  The simulated size
+   mirrors gawk's NODE struct: 16 bytes for numbers, header + bytes for
+   strings. *)
+type cell = { mutable v : value; handle : Rt.handle }
+
+type array_entry = { mutable cell : cell; node_handle : Rt.handle }
+
+type t = {
+  rt : Rt.t;
+  program : program;
+  functions : (string, string list * stmt) Hashtbl.t;
+  globals : (string, cell) Hashtbl.t;
+  arrays : (string, (string, array_entry) Hashtbl.t) Hashtbl.t;
+  mutable locals : (string, cell) Hashtbl.t list;  (* innermost first *)
+  mutable fields : cell array;  (* fields.(0) is $0 *)
+  mutable nr : int;
+  output : Buffer.t;
+  cell_wrapper : Xalloc.t;  (* make_cell -> xmalloc *)
+  node_wrapper : Xalloc.t;  (* array_node -> xmalloc *)
+  f_eval : Lp_callchain.Func.id;
+  f_exec : Lp_callchain.Func.id;
+  f_concat : Lp_callchain.Func.id;
+  f_arith : Lp_callchain.Func.id;
+  f_compare : Lp_callchain.Func.id;
+  f_assign : Lp_callchain.Func.id;
+  f_store : Lp_callchain.Func.id;
+  f_field : Lp_callchain.Func.id;
+  f_array : Lp_callchain.Func.id;
+  f_split : Lp_callchain.Func.id;
+  f_call : Lp_callchain.Func.id;
+  f_print : Lp_callchain.Func.id;
+  f_match : Lp_callchain.Func.id;
+  builtin_frames : (string, Lp_callchain.Func.id) Hashtbl.t;
+  regex_cache : (string, Regex.t) Hashtbl.t;
+}
+
+exception Next_record
+exception Break_loop
+exception Continue_loop
+exception Return_value of cell
+
+let create rt program =
+  let functions = Hashtbl.create 16 in
+  List.iter
+    (function
+      | Func (name, params, body) -> Hashtbl.replace functions name (params, body)
+      | Rule _ -> ())
+    program;
+  let builtin_frames = Hashtbl.create 16 in
+  List.iter
+    (fun b -> Hashtbl.replace builtin_frames b (Rt.func rt ("awk_" ^ b)))
+    [ "length"; "substr"; "index"; "int"; "sprintf"; "toupper"; "tolower"; "match" ];
+  {
+    rt;
+    program;
+    functions;
+    globals = Hashtbl.create 64;
+    arrays = Hashtbl.create 16;
+    locals = [];
+    fields = [||];
+    nr = 0;
+    output = Buffer.create 4096;
+    cell_wrapper = Xalloc.create rt ~layers:[ "make_cell"; "xmalloc" ];
+    node_wrapper = Xalloc.create rt ~layers:[ "array_node"; "xmalloc" ];
+    f_eval = Rt.func rt "tree_eval";
+    f_exec = Rt.func rt "exec_stmt";
+    f_concat = Rt.func rt "op_concat";
+    f_arith = Rt.func rt "op_arith";
+    f_compare = Rt.func rt "op_compare";
+    f_assign = Rt.func rt "op_assign";
+    f_store = Rt.func rt "store_value";
+    f_field = Rt.func rt "field_ref";
+    f_array = Rt.func rt "array_ref";
+    f_split = Rt.func rt "split_record";
+    f_call = Rt.func rt "call_func";
+    f_print = Rt.func rt "do_print";
+    f_match = Rt.func rt "re_match";
+    builtin_frames;
+    regex_cache = Hashtbl.create 16;
+  }
+
+(* AWK regular expressions run on the shared backtracking engine; compiled
+   programs are cached (and are long-lived allocations, like gawk's). *)
+let compiled t pat =
+  match Hashtbl.find_opt t.regex_cache pat with
+  | Some re -> re
+  | None ->
+      let re = Regex.compile pat in
+      let h = Xalloc.alloc t.cell_wrapper ~size:(48 + (8 * String.length pat)) in
+      Rt.touch t.rt h 2;
+      Hashtbl.replace t.regex_cache pat re;
+      re
+
+let run_regex t re subject =
+  let result = Regex.search re subject in
+  Rt.instructions t.rt (Regex.steps_of_last_search ());
+  result
+
+(* -- cells ----------------------------------------------------------------- *)
+
+let cell_size = function
+  | VNum _ -> 16
+  | VStr s -> 17 + String.length s
+  | VUninit -> 16
+
+let mk t v =
+  let handle = Xalloc.alloc t.cell_wrapper ~size:(cell_size v) in
+  Rt.touch t.rt handle 1;
+  { v; handle }
+
+let mk_num t f = mk t (VNum f)
+let mk_str t s = mk t (VStr s)
+let free_cell t c = Rt.free t.rt c.handle
+
+let read_cell t c =
+  Rt.touch t.rt c.handle 1;
+  c.v
+
+(* Fresh copy of a stored cell: variable reads hand out copies, so the
+   stored cell keeps single ownership. *)
+let copy_cell t c =
+  Rt.touch t.rt c.handle 1;
+  mk t c.v
+
+(* Overwrite a cell in place when the new value fits its allocation (gawk
+   reuses the variable's NODE); otherwise report failure so the caller can
+   reallocate. *)
+let overwrite t c v =
+  if cell_size v <= Rt.size_of t.rt c.handle then begin
+    c.v <- v;
+    Rt.touch t.rt c.handle 1;
+    true
+  end
+  else false
+
+(* -- coercions ------------------------------------------------------------- *)
+
+let num_of_string s =
+  (* AWK semantics: leading numeric prefix, else 0. *)
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n && (s.[!i] = ' ' || s.[!i] = '\t') do
+    incr i
+  done;
+  let start = !i in
+  if !i < n && (s.[!i] = '+' || s.[!i] = '-') then incr i;
+  let digits_start = !i in
+  while
+    !i < n && ((s.[!i] >= '0' && s.[!i] <= '9') || s.[!i] = '.' || s.[!i] = 'e'
+               || s.[!i] = 'E' || ((s.[!i] = '+' || s.[!i] = '-')
+                                   && (s.[!i - 1] = 'e' || s.[!i - 1] = 'E')))
+  do
+    incr i
+  done;
+  if !i = digits_start then 0.
+  else begin
+    match float_of_string_opt (String.sub s start (!i - start)) with
+    | Some f -> f
+    | None -> 0.
+  end
+
+let str_of_num f =
+  if Float.is_integer f && Float.abs f < 1e16 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.6g" f
+
+let to_num = function VNum f -> f | VStr s -> num_of_string s | VUninit -> 0.
+let to_str = function VNum f -> str_of_num f | VStr s -> s | VUninit -> ""
+
+let looks_numeric = function VNum _ -> true | VUninit -> true | VStr _ -> false
+
+(* -- variables ------------------------------------------------------------- *)
+
+let find_scope t name =
+  let rec go = function
+    | [] -> None
+    | scope :: rest -> if Hashtbl.mem scope name then Some scope else go rest
+  in
+  go t.locals
+
+let get_var t name =
+  match name with
+  | "NR" -> mk_num t (float_of_int t.nr)
+  | "NF" -> mk_num t (float_of_int (max 0 (Array.length t.fields - 1)))
+  | _ -> (
+      match find_scope t name with
+      | Some scope -> copy_cell t (Hashtbl.find scope name)
+      | None -> (
+          match Hashtbl.find_opt t.globals name with
+          | Some c -> copy_cell t c
+          | None -> mk t VUninit))
+
+(* Takes ownership of [cell]. *)
+let set_var t name cell =
+  let store scope =
+    (match Hashtbl.find_opt scope name with
+    | Some old -> free_cell t old
+    | None -> ());
+    Hashtbl.replace scope name cell
+  in
+  match find_scope t name with
+  | Some scope -> store scope
+  | None -> store t.globals
+
+let get_array t name =
+  match Hashtbl.find_opt t.arrays name with
+  | Some a -> a
+  | None ->
+      let a = Hashtbl.create 64 in
+      Hashtbl.replace t.arrays name a;
+      a
+
+(* -- fields ---------------------------------------------------------------- *)
+
+let free_fields t =
+  Array.iter (fun c -> free_cell t c) t.fields;
+  t.fields <- [||]
+
+let split_record t line =
+  Rt.in_frame t.rt t.f_split (fun () ->
+      free_fields t;
+      let words =
+        String.split_on_char ' ' line |> List.filter (fun w -> w <> "")
+      in
+      Rt.instructions t.rt (String.length line);
+      t.fields <- Array.of_list (mk_str t line :: List.map (mk_str t) words))
+
+let get_field t i =
+  Rt.in_frame t.rt t.f_field (fun () ->
+      if i >= 0 && i < Array.length t.fields then copy_cell t t.fields.(i)
+      else mk t VUninit)
+
+let set_field t i cell =
+  Rt.in_frame t.rt t.f_field (fun () ->
+      let n = Array.length t.fields in
+      if i >= 0 && i < n then begin
+        free_cell t t.fields.(i);
+        t.fields.(i) <- cell
+      end
+      else begin
+        let grown = Array.init (i + 1) (fun j -> if j < n then t.fields.(j) else mk t VUninit) in
+        free_cell t grown.(i);
+        grown.(i) <- cell;
+        t.fields <- grown
+      end)
+
+(* -- expression evaluation -------------------------------------------------- *)
+
+let rec eval t e : cell =
+  Rt.in_frame t.rt t.f_eval (fun () ->
+      Rt.instructions t.rt 4;
+      Rt.non_heap_refs t.rt 2;
+      match e with
+      | Num f -> mk_num t f
+      | Str s -> mk_str t s
+      | Lvalue lv -> eval_lvalue t lv
+      | Assign (lv, rhs) ->
+          Rt.in_frame t.rt t.f_assign (fun () ->
+              (* like gawk's assign: the rhs temporary stays short-lived;
+                 the variable's own cell is overwritten in place, or
+                 reallocated at the store site when the value outgrows it *)
+              let v = eval t rhs in
+              store_lvalue t lv (read_cell t v);
+              v)
+      | OpAssign (lv, op, rhs) ->
+          Rt.in_frame t.rt t.f_assign (fun () ->
+              let old = eval_lvalue t lv in
+              let r = eval t rhs in
+              let result = apply_binop t op old r in
+              free_cell t old;
+              free_cell t r;
+              store_lvalue t lv (read_cell t result);
+              result)
+      | Binop (op, a, b) ->
+          let ca = eval t a in
+          let cb = eval t b in
+          apply_binop_consuming t op ca cb
+      | And (a, b) ->
+          let ca = eval t a in
+          let truth = to_num (read_cell t ca) <> 0. in
+          free_cell t ca;
+          if not truth then mk_num t 0.
+          else begin
+            let cb = eval t b in
+            let r = to_num (read_cell t cb) <> 0. in
+            free_cell t cb;
+            mk_num t (if r then 1. else 0.)
+          end
+      | Or (a, b) ->
+          let ca = eval t a in
+          let truth = to_num (read_cell t ca) <> 0. in
+          free_cell t ca;
+          if truth then mk_num t 1.
+          else begin
+            let cb = eval t b in
+            let r = to_num (read_cell t cb) <> 0. in
+            free_cell t cb;
+            mk_num t (if r then 1. else 0.)
+          end
+      | Not a ->
+          let ca = eval t a in
+          let truth = to_num (read_cell t ca) <> 0. in
+          free_cell t ca;
+          mk_num t (if truth then 0. else 1.)
+      | Neg a ->
+          let ca = eval t a in
+          let f = to_num (read_cell t ca) in
+          free_cell t ca;
+          mk_num t (-.f)
+      | Ternary (c, a, b) ->
+          let cc = eval t c in
+          let truth = to_num (read_cell t cc) <> 0. in
+          free_cell t cc;
+          if truth then eval t a else eval t b
+      | Incr (prefix, lv) -> incr_decr t lv prefix 1.
+      | Decr (prefix, lv) -> incr_decr t lv prefix (-1.)
+      | Call (name, args) -> eval_call t name args
+      | Regex pat ->
+          (* a bare /re/ matches against the current record *)
+          Rt.in_frame t.rt t.f_match (fun () ->
+              let subject =
+                if Array.length t.fields > 0 then to_str (read_cell t t.fields.(0))
+                else ""
+              in
+              let hit = run_regex t (compiled t pat) subject <> None in
+              mk_num t (if hit then 1. else 0.))
+      | MatchOp (negated, subject_e, pat_e) ->
+          Rt.in_frame t.rt t.f_match (fun () ->
+              let cs = eval t subject_e in
+              let subject = to_str (read_cell t cs) in
+              free_cell t cs;
+              let pat = pattern_text t pat_e in
+              let hit = run_regex t (compiled t pat) subject <> None in
+              mk_num t (if hit <> negated then 1. else 0.))
+      | Split (subject_e, arr_name, sep_e) ->
+          Rt.in_frame t.rt t.f_split (fun () ->
+              let cs = eval t subject_e in
+              let subject = to_str (read_cell t cs) in
+              free_cell t cs;
+              let parts =
+                match sep_e with
+                | None ->
+                    String.split_on_char ' ' subject
+                    |> List.filter (fun p -> p <> "")
+                | Some e ->
+                    let pat = pattern_text t e in
+                    regex_split t (compiled t pat) subject
+              in
+              (* split clears the array and fills a[1..n] *)
+              (match Hashtbl.find_opt t.arrays arr_name with
+              | Some arr ->
+                  Hashtbl.iter
+                    (fun _ entry ->
+                      free_cell t entry.cell;
+                      Rt.free t.rt entry.node_handle)
+                    arr;
+                  Hashtbl.reset arr
+              | None -> ());
+              List.iteri
+                (fun i part ->
+                  store_lvalue t
+                    (LArray (arr_name, Num (float_of_int (i + 1))))
+                    (VStr part))
+                parts;
+              mk_num t (float_of_int (List.length parts)))
+      | SubstOp (global, pat_e, repl_e, target) ->
+          Rt.in_frame t.rt t.f_match (fun () ->
+              let lv = Option.value target ~default:(LField (Num 0.)) in
+              let old = eval_lvalue t lv in
+              let subject = to_str (read_cell t old) in
+              free_cell t old;
+              let pat = pattern_text t pat_e in
+              let cr = eval t repl_e in
+              let repl = to_str (read_cell t cr) in
+              free_cell t cr;
+              (* AWK's & refers to the match; our engine's templates use $0-9
+                 only, so escape the replacement literally *)
+              let re = compiled t pat in
+              let count = ref 0 in
+              let result =
+                if global then begin
+                  let buf = Buffer.create (String.length subject) in
+                  let pos = ref 0 in
+                  let continue = ref true in
+                  while !continue && !pos <= String.length subject do
+                    let rest =
+                      String.sub subject !pos (String.length subject - !pos)
+                    in
+                    match run_regex t re rest with
+                    | Some m when m.Regex.end_pos > m.start_pos ->
+                        Buffer.add_string buf (String.sub rest 0 m.start_pos);
+                        Buffer.add_string buf repl;
+                        incr count;
+                        pos := !pos + m.end_pos
+                    | _ ->
+                        Buffer.add_string buf rest;
+                        continue := false
+                  done;
+                  Buffer.contents buf
+                end
+                else begin
+                  match run_regex t re subject with
+                  | Some m ->
+                      incr count;
+                      String.sub subject 0 m.start_pos ^ repl
+                      ^ String.sub subject m.end_pos
+                          (String.length subject - m.end_pos)
+                  | None -> subject
+                end
+              in
+              if !count > 0 then store_lvalue t lv (VStr result);
+              mk_num t (float_of_int !count))
+      | In (sub, arr) ->
+          let cs = eval t sub in
+          let key = to_str (read_cell t cs) in
+          free_cell t cs;
+          let present =
+            match Hashtbl.find_opt t.arrays arr with
+            | Some a -> Hashtbl.mem a key
+            | None -> false
+          in
+          mk_num t (if present then 1. else 0.))
+
+and pattern_text t = function
+  | Regex pat -> pat
+  | e ->
+      (* dynamic pattern: any expression whose string value is the ERE *)
+      let c = eval t e in
+      let pat = to_str (read_cell t c) in
+      free_cell t c;
+      pat
+
+and regex_split t re subject =
+  let n = String.length subject in
+  let parts = ref [] in
+  let pos = ref 0 in
+  let continue = ref true in
+  while !continue && !pos <= n do
+    let rest = String.sub subject !pos (n - !pos) in
+    match run_regex t re rest with
+    | Some m when m.Regex.end_pos > m.start_pos ->
+        parts := String.sub rest 0 m.start_pos :: !parts;
+        pos := !pos + m.end_pos
+    | _ ->
+        parts := rest :: !parts;
+        continue := false
+  done;
+  List.rev !parts
+
+and incr_decr t lv prefix delta =
+  Rt.in_frame t.rt t.f_assign (fun () ->
+      let old = eval_lvalue t lv in
+      let f = to_num (read_cell t old) in
+      free_cell t old;
+      let result = if prefix then mk_num t (f +. delta) else mk_num t f in
+      store_lvalue t lv (VNum (f +. delta));
+      result)
+
+and eval_lvalue t = function
+  | LVar name -> get_var t name
+  | LField e ->
+      let ci = eval t e in
+      let i = int_of_float (to_num (read_cell t ci)) in
+      free_cell t ci;
+      get_field t i
+  | LArray (name, sub) ->
+      Rt.in_frame t.rt t.f_array (fun () ->
+          let cs = eval t sub in
+          let key = to_str (read_cell t cs) in
+          free_cell t cs;
+          let arr = get_array t name in
+          match Hashtbl.find_opt arr key with
+          | Some entry ->
+              Rt.touch t.rt entry.node_handle 1;
+              copy_cell t entry.cell
+          | None -> mk t VUninit)
+
+(* Store a value into an lvalue, overwriting the destination cell in place
+   when it fits and reallocating at the dedicated store site otherwise. *)
+and store_lvalue t lv v =
+  let fresh () = Rt.in_frame t.rt t.f_store (fun () -> mk t v) in
+  match lv with
+  | LVar name -> (
+      let existing =
+        match find_scope t name with
+        | Some scope -> Hashtbl.find_opt scope name
+        | None -> Hashtbl.find_opt t.globals name
+      in
+      match existing with
+      | Some c when overwrite t c v -> ()
+      | _ -> set_var t name (fresh ()))
+  | LField e ->
+      let ci = eval t e in
+      let i = int_of_float (to_num (read_cell t ci)) in
+      free_cell t ci;
+      if i >= 0 && i < Array.length t.fields && overwrite t t.fields.(i) v then ()
+      else set_field t i (fresh ())
+  | LArray (name, sub) ->
+      Rt.in_frame t.rt t.f_array (fun () ->
+          let cs = eval t sub in
+          let key = to_str (read_cell t cs) in
+          free_cell t cs;
+          let arr = get_array t name in
+          match Hashtbl.find_opt arr key with
+          | Some entry ->
+              Rt.touch t.rt entry.node_handle 1;
+              if not (overwrite t entry.cell v) then begin
+                free_cell t entry.cell;
+                entry.cell <- fresh ()
+              end
+          | None ->
+              (* the hash node itself is a long-lived allocation *)
+              let node_handle =
+                Xalloc.alloc t.node_wrapper ~size:(24 + String.length key)
+              in
+              Rt.touch t.rt node_handle 2;
+              Hashtbl.replace arr key { cell = fresh (); node_handle })
+
+and apply_binop_consuming t op a b =
+  let r = apply_binop t op a b in
+  free_cell t a;
+  free_cell t b;
+  r
+
+(* Does not free the operand cells (OpAssign reuses one). *)
+and apply_binop t op a b =
+  match op with
+  | Concat ->
+      Rt.in_frame t.rt t.f_concat (fun () ->
+          let s = to_str (read_cell t a) ^ to_str (read_cell t b) in
+          Rt.instructions t.rt (String.length s);
+          mk_str t s)
+  | Add | Sub | Mul | Div | Mod | Pow ->
+      Rt.in_frame t.rt t.f_arith (fun () ->
+          let x = to_num (read_cell t a) and y = to_num (read_cell t b) in
+          let f =
+            match op with
+            | Add -> x +. y
+            | Sub -> x -. y
+            | Mul -> x *. y
+            | Div -> x /. y
+            | Mod -> Float.rem x y
+            | Pow -> Float.pow x y
+            | _ -> assert false
+          in
+          mk_num t f)
+  | Lt | Le | Gt | Ge | Eq | Ne ->
+      Rt.in_frame t.rt t.f_compare (fun () ->
+          let va = read_cell t a and vb = read_cell t b in
+          let c =
+            if looks_numeric va && looks_numeric vb then
+              Stdlib.compare (to_num va) (to_num vb)
+            else Stdlib.compare (to_str va) (to_str vb)
+          in
+          let r =
+            match op with
+            | Lt -> c < 0
+            | Le -> c <= 0
+            | Gt -> c > 0
+            | Ge -> c >= 0
+            | Eq -> c = 0
+            | Ne -> c <> 0
+            | _ -> assert false
+          in
+          mk_num t (if r then 1. else 0.))
+
+and eval_call t name args =
+  match Hashtbl.find_opt t.builtin_frames name with
+  | Some frame -> Rt.in_frame t.rt frame (fun () -> eval_builtin t name args)
+  | None -> (
+      match Hashtbl.find_opt t.functions name with
+      | Some (params, body) ->
+          Rt.in_frame t.rt t.f_call (fun () -> call_function t params body args)
+      | None -> failwith ("awk: call to undefined function " ^ name))
+
+and eval_builtin t name args =
+  let arg_cells = List.map (eval t) args in
+  let str i = to_str (read_cell t (List.nth arg_cells i)) in
+  let num i = to_num (read_cell t (List.nth arg_cells i)) in
+  let nargs = List.length arg_cells in
+  let result =
+    match (name, nargs) with
+    | "length", 0 -> mk_num t (float_of_int (String.length (to_str (read_cell t t.fields.(0)))))
+    | "length", _ -> mk_num t (float_of_int (String.length (str 0)))
+    | "substr", (2 | 3) ->
+        let s = str 0 in
+        let start = max 1 (int_of_float (num 1)) in
+        let len =
+          if nargs = 3 then int_of_float (num 2)
+          else String.length s - start + 1
+        in
+        let start0 = start - 1 in
+        let len = max 0 (min len (String.length s - start0)) in
+        mk_str t (if start0 >= String.length s then "" else String.sub s start0 len)
+    | "index", 2 ->
+        let s = str 0 and target = str 1 in
+        let n = String.length s and m = String.length target in
+        let found = ref 0 in
+        (try
+           for i = 0 to n - m do
+             if String.sub s i m = target then begin
+               found := i + 1;
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        Rt.instructions t.rt n;
+        mk_num t (float_of_int !found)
+    | "int", 1 -> mk_num t (Float.of_int (int_of_float (num 0)))
+    | "match", 2 ->
+        let subject = str 0 and pat = str 1 in
+        let pos =
+          match run_regex t (compiled t pat) subject with
+          | Some m -> m.Regex.start_pos + 1
+          | None -> 0
+        in
+        mk_num t (float_of_int pos)
+    | "toupper", 1 -> mk_str t (String.uppercase_ascii (str 0))
+    | "tolower", 1 -> mk_str t (String.lowercase_ascii (str 0))
+    | "sprintf", _ when nargs >= 1 ->
+        mk_str t (format_values t (str 0) (List.tl arg_cells))
+    | _ -> failwith (Printf.sprintf "awk: bad call %s/%d" name nargs)
+  in
+  List.iter (free_cell t) arg_cells;
+  result
+
+and format_values t fmt args =
+  (* Minimal printf: %d %i %s %f %g %c %% with no flags/width beyond
+     %-?[0-9]* which we honour for width on d and s. *)
+  let buf = Buffer.create 64 in
+  let args = ref args in
+  let next_arg () =
+    match !args with
+    | [] -> VUninit
+    | a :: rest ->
+        args := rest;
+        read_cell t a
+  in
+  let n = String.length fmt in
+  let i = ref 0 in
+  while !i < n do
+    let c = fmt.[!i] in
+    if c <> '%' then begin
+      Buffer.add_char buf c;
+      incr i
+    end
+    else begin
+      let spec_start = !i in
+      incr i;
+      while !i < n && (fmt.[!i] = '-' || (fmt.[!i] >= '0' && fmt.[!i] <= '9') || fmt.[!i] = '.') do
+        incr i
+      done;
+      if !i < n then begin
+        let conv = fmt.[!i] in
+        let spec = String.sub fmt spec_start (!i - spec_start + 1) in
+        incr i;
+        match conv with
+        | '%' -> Buffer.add_char buf '%'
+        | 'd' | 'i' ->
+            let spec = String.sub spec 0 (String.length spec - 1) ^ "d" in
+            Buffer.add_string buf
+              (Printf.sprintf (Scanf.format_from_string spec "%d")
+                 (int_of_float (to_num (next_arg ()))))
+        | 's' ->
+            Buffer.add_string buf
+              (Printf.sprintf (Scanf.format_from_string spec "%s") (to_str (next_arg ())))
+        | 'f' | 'g' | 'e' ->
+            let spec = String.sub spec 0 (String.length spec - 1) ^ "f" in
+            Buffer.add_string buf
+              (Printf.sprintf (Scanf.format_from_string spec "%f") (to_num (next_arg ())))
+        | 'c' ->
+            let s = to_str (next_arg ()) in
+            if s <> "" then Buffer.add_char buf s.[0]
+        | other -> failwith (Printf.sprintf "awk: unsupported conversion %%%c" other)
+      end
+    end
+  done;
+  Buffer.contents buf
+
+and call_function t params body args =
+  (* Evaluate arguments in the caller's scope, then bind. *)
+  let arg_cells = List.map (eval t) args in
+  let scope = Hashtbl.create 8 in
+  let rec bind params cells =
+    match (params, cells) with
+    | [], extra -> List.iter (free_cell t) extra
+    | p :: ps, [] ->
+        Hashtbl.replace scope p (mk t VUninit);
+        bind ps []
+    | p :: ps, c :: cs ->
+        Hashtbl.replace scope p c;
+        bind ps cs
+  in
+  bind params arg_cells;
+  t.locals <- scope :: t.locals;
+  let result =
+    match exec t body with
+    | () -> mk t VUninit
+    | exception Return_value c -> c
+  in
+  t.locals <- List.tl t.locals;
+  Hashtbl.iter (fun _ c -> free_cell t c) scope;
+  result
+
+(* -- statement execution ---------------------------------------------------- *)
+
+and exec t stmt : unit =
+  Rt.in_frame t.rt t.f_exec (fun () ->
+      Rt.instructions t.rt 4;
+      Rt.non_heap_refs t.rt 2;
+      match stmt with
+      | Block stmts -> List.iter (exec t) stmts
+      | ExprStmt e -> free_cell t (eval t e)
+      | Print args ->
+          Rt.in_frame t.rt t.f_print (fun () ->
+              let cells =
+                match args with
+                | [] -> [ copy_cell t t.fields.(0) ]
+                | args -> List.map (eval t) args
+              in
+              let strs = List.map (fun c -> to_str (read_cell t c)) cells in
+              Buffer.add_string t.output (String.concat " " strs);
+              Buffer.add_char t.output '\n';
+              List.iter (free_cell t) cells)
+      | Printf args ->
+          Rt.in_frame t.rt t.f_print (fun () ->
+              match args with
+              | [] -> ()
+              | fmt_e :: rest ->
+                  let fmt_c = eval t fmt_e in
+                  let cells = List.map (eval t) rest in
+                  Buffer.add_string t.output
+                    (format_values t (to_str (read_cell t fmt_c)) cells);
+                  free_cell t fmt_c;
+                  List.iter (free_cell t) cells)
+      | If (cond, then_, else_) ->
+          let c = eval t cond in
+          let truth = to_num (read_cell t c) <> 0. in
+          free_cell t c;
+          if truth then exec t then_
+          else Option.iter (exec t) else_
+      | While (cond, body) -> (
+          try
+            let continue = ref true in
+            while !continue do
+              let c = eval t cond in
+              let truth = to_num (read_cell t c) <> 0. in
+              free_cell t c;
+              if truth then (try exec t body with Continue_loop -> ())
+              else continue := false
+            done
+          with Break_loop -> ())
+      | Do (body, cond) -> (
+          try
+            let continue = ref true in
+            while !continue do
+              (try exec t body with Continue_loop -> ());
+              let c = eval t cond in
+              let truth = to_num (read_cell t c) <> 0. in
+              free_cell t c;
+              continue := truth
+            done
+          with Break_loop -> ())
+      | For (init, cond, update, body) -> (
+          Option.iter (exec t) init;
+          try
+            let continue = ref true in
+            while !continue do
+              let truth =
+                match cond with
+                | None -> true
+                | Some e ->
+                    let c = eval t e in
+                    let r = to_num (read_cell t c) <> 0. in
+                    free_cell t c;
+                    r
+              in
+              if truth then begin
+                (try exec t body with Continue_loop -> ());
+                Option.iter (exec t) update
+              end
+              else continue := false
+            done
+          with Break_loop -> ())
+      | ForIn (var, arr, body) -> (
+          let keys =
+            match Hashtbl.find_opt t.arrays arr with
+            | Some a -> Hashtbl.fold (fun k _ acc -> k :: acc) a []
+            | None -> []
+          in
+          (* sorted for deterministic iteration *)
+          let keys = List.sort Stdlib.compare keys in
+          try
+            List.iter
+              (fun k ->
+                store_lvalue t (LVar var) (VStr k);
+                try exec t body with Continue_loop -> ())
+              keys
+          with Break_loop -> ())
+      | Next -> raise Next_record
+      | Break -> raise Break_loop
+      | Continue -> raise Continue_loop
+      | Return e ->
+          let c = match e with Some e -> eval t e | None -> mk t VUninit in
+          raise (Return_value c)
+      | Delete (name, sub) -> (
+          let cs = eval t sub in
+          let key = to_str (read_cell t cs) in
+          free_cell t cs;
+          match Hashtbl.find_opt t.arrays name with
+          | Some a -> (
+              match Hashtbl.find_opt a key with
+              | Some entry ->
+                  free_cell t entry.cell;
+                  Rt.free t.rt entry.node_handle;
+                  Hashtbl.remove a key
+              | None -> ())
+          | None -> ()))
+
+(* -- top-level driver -------------------------------------------------------- *)
+
+let rules t which =
+  List.filter_map
+    (function
+      | Rule (p, action) when p = which ->
+          Some (Option.value action ~default:(Print []))
+      | _ -> None)
+    t.program
+
+let main_rules t =
+  List.filter_map
+    (function
+      | Rule (Always, action) -> Some (None, Option.value action ~default:(Print []))
+      | Rule (When cond, action) ->
+          Some (Some cond, Option.value action ~default:(Print []))
+      | _ -> None)
+    t.program
+
+let run t ~lines =
+  let f_main = Rt.func t.rt "awk_main" in
+  Rt.in_frame t.rt f_main (fun () ->
+      split_record t "";
+      List.iter (exec t) (rules t Begin);
+      let main = main_rules t in
+      Array.iter
+        (fun line ->
+          t.nr <- t.nr + 1;
+          Rt.non_heap_refs t.rt (String.length line / 4);
+          split_record t line;
+          try
+            List.iter
+              (fun (cond, action) ->
+                let fire =
+                  match cond with
+                  | None -> true
+                  | Some e ->
+                      let c = eval t e in
+                      let truth = to_num (read_cell t c) <> 0. in
+                      free_cell t c;
+                      truth
+                in
+                if fire then exec t action)
+              main
+          with Next_record -> ())
+        lines;
+      List.iter (exec t) (rules t End);
+      (* Release interpreter-owned cells so surviving objects are only the
+         genuinely global program state. *)
+      free_fields t;
+      Buffer.contents t.output)

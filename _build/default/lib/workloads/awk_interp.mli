@@ -1,0 +1,30 @@
+(** Tree-walking interpreter for the mini-AWK language, instrumented so
+    that every value cell is a simulated heap object.
+
+    Memory model (mirroring a C AWK implementation with explicit cell
+    management rather than OCaml's GC):
+
+    - every evaluation produces a {i fresh} cell, which its consumer owns
+      and must free — so temporaries (the vast majority of cells) die
+      within a few allocations of their birth;
+    - variables and array entries own their stored cell, freeing the old
+      one on reassignment — so accumulator strings and counters live longer;
+    - array insertion also allocates a hash-node object that lives until
+      the entry is deleted or the program ends — the long-lived population;
+    - field cells ($0, $1, …) are rebuilt per input record.
+
+    Evaluation and statement execution push interpreter frames
+    ([tree_eval], [exec_stmt], per-operator and per-builtin frames), so
+    allocation sites are distinguished by what the interpreter was doing —
+    the direct analogue of the call-chains inside the real gawk binary. *)
+
+type t
+
+val create : Lp_ialloc.Runtime.t -> Awk_ast.program -> t
+
+val run : t -> lines:string array -> string
+(** Execute BEGIN rules, the main rules over each input line, then END
+    rules; returns the accumulated output of [print]/[printf].
+
+    @raise Failure on runtime type errors (calling an unknown function,
+    wrong argument counts, etc.). *)

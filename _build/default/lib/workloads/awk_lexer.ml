@@ -1,0 +1,332 @@
+type token =
+  | NUMBER of float
+  | STRING of string
+  | IDENT of string
+  | BEGIN
+  | END_KW
+  | IF
+  | ELSE
+  | WHILE
+  | FOR
+  | IN
+  | DO
+  | BREAK
+  | CONTINUE
+  | NEXT
+  | DELETE
+  | FUNCTION
+  | RETURN
+  | PRINT
+  | PRINTF
+  | LBRACE
+  | RBRACE
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | SEMI
+  | NEWLINE
+  | COMMA
+  | ASSIGN
+  | ADD_ASSIGN
+  | SUB_ASSIGN
+  | MUL_ASSIGN
+  | DIV_ASSIGN
+  | MOD_ASSIGN
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | CARET
+  | LT
+  | LE
+  | GT
+  | GE
+  | EQ
+  | NE
+  | AND
+  | OR
+  | NOT
+  | INCR
+  | DECR
+  | DOLLAR
+  | QUESTION
+  | COLON
+  | ERE of string
+  | MATCH
+  | NOMATCH
+  | EOF
+
+exception Lex_error of string * int
+
+(* After these tokens a '/' must start a regex literal (operand position),
+   exactly the disambiguation real AWK lexers perform. *)
+let operand_expected = function
+  | None -> true
+  | Some
+      ( LBRACE | LPAREN | LBRACKET | SEMI | NEWLINE | COMMA | ASSIGN | ADD_ASSIGN
+      | SUB_ASSIGN | MUL_ASSIGN | DIV_ASSIGN | MOD_ASSIGN | PLUS | MINUS | STAR
+      | SLASH | PERCENT | CARET | LT | LE | GT | GE | EQ | NE | AND | OR | NOT
+      | MATCH | NOMATCH | QUESTION | COLON | PRINT | PRINTF | RETURN | IF | WHILE ) ->
+      true
+  | Some _ -> false
+
+let keyword = function
+  | "BEGIN" -> Some BEGIN
+  | "END" -> Some END_KW
+  | "if" -> Some IF
+  | "else" -> Some ELSE
+  | "while" -> Some WHILE
+  | "for" -> Some FOR
+  | "in" -> Some IN
+  | "do" -> Some DO
+  | "break" -> Some BREAK
+  | "continue" -> Some CONTINUE
+  | "next" -> Some NEXT
+  | "delete" -> Some DELETE
+  | "function" -> Some FUNCTION
+  | "return" -> Some RETURN
+  | "print" -> Some PRINT
+  | "printf" -> Some PRINTF
+  | _ -> None
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let emit t = toks := t :: !toks in
+  let prev () = match !toks with [] -> None | t :: _ -> Some t in
+  let i = ref 0 in
+  let peek k = if !i + k < n then src.[!i + k] else '\000' in
+  while !i < n do
+    let c = src.[!i] in
+    if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '#' then begin
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if c = '\\' && peek 1 = '\n' then i := !i + 2 (* explicit continuation *)
+    else if c = '\n' then begin
+      emit NEWLINE;
+      incr i
+    end
+    else if is_digit c || (c = '.' && is_digit (peek 1)) then begin
+      let start = !i in
+      while !i < n && (is_digit src.[!i] || src.[!i] = '.') do
+        incr i
+      done;
+      if !i < n && (src.[!i] = 'e' || src.[!i] = 'E') then begin
+        incr i;
+        if !i < n && (src.[!i] = '+' || src.[!i] = '-') then incr i;
+        while !i < n && is_digit src.[!i] do
+          incr i
+        done
+      end;
+      let text = String.sub src start (!i - start) in
+      match float_of_string_opt text with
+      | Some f -> emit (NUMBER f)
+      | None -> raise (Lex_error ("bad number " ^ text, start))
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident src.[!i] do
+        incr i
+      done;
+      let text = String.sub src start (!i - start) in
+      emit (match keyword text with Some k -> k | None -> IDENT text)
+    end
+    else if c = '"' then begin
+      let start = !i in
+      incr i;
+      let buf = Buffer.create 16 in
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        let c = src.[!i] in
+        if c = '"' then begin
+          closed := true;
+          incr i
+        end
+        else if c = '\\' && !i + 1 < n then begin
+          (match src.[!i + 1] with
+          | 'n' -> Buffer.add_char buf '\n'
+          | 't' -> Buffer.add_char buf '\t'
+          | '\\' -> Buffer.add_char buf '\\'
+          | '"' -> Buffer.add_char buf '"'
+          | other -> Buffer.add_char buf other);
+          i := !i + 2
+        end
+        else begin
+          Buffer.add_char buf c;
+          incr i
+        end
+      done;
+      if not !closed then raise (Lex_error ("unterminated string", start));
+      emit (STRING (Buffer.contents buf))
+    end
+    else if c = '/' && operand_expected (prev ()) then begin
+      (* ERE literal: read to the next unescaped '/' *)
+      let start = !i in
+      incr i;
+      let buf = Buffer.create 16 in
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        let c = src.[!i] in
+        if c = '\\' && !i + 1 < n then begin
+          (match src.[!i + 1] with
+          | '/' -> Buffer.add_char buf '/'
+          | other ->
+              Buffer.add_char buf '\\';
+              Buffer.add_char buf other);
+          i := !i + 2
+        end
+        else if c = '/' then begin
+          closed := true;
+          incr i
+        end
+        else if c = '\n' then raise (Lex_error ("newline in regex", start))
+        else begin
+          Buffer.add_char buf c;
+          incr i
+        end
+      done;
+      if not !closed then raise (Lex_error ("unterminated regex", start));
+      emit (ERE (Buffer.contents buf))
+    end
+    else begin
+      let two = if !i + 1 < n then String.sub src !i 2 else "" in
+      let advance t k =
+        emit t;
+        i := !i + k
+      in
+      match two with
+      | "!~" -> advance NOMATCH 2
+      | "+=" -> advance ADD_ASSIGN 2
+      | "-=" -> advance SUB_ASSIGN 2
+      | "*=" -> advance MUL_ASSIGN 2
+      | "/=" -> advance DIV_ASSIGN 2
+      | "%=" -> advance MOD_ASSIGN 2
+      | "==" -> advance EQ 2
+      | "!=" -> advance NE 2
+      | "<=" -> advance LE 2
+      | ">=" -> advance GE 2
+      | "&&" -> advance AND 2
+      | "||" -> advance OR 2
+      | "++" -> advance INCR 2
+      | "--" -> advance DECR 2
+      | _ -> (
+          match c with
+          | '{' -> advance LBRACE 1
+          | '}' -> advance RBRACE 1
+          | '(' -> advance LPAREN 1
+          | ')' -> advance RPAREN 1
+          | '[' -> advance LBRACKET 1
+          | ']' -> advance RBRACKET 1
+          | ';' -> advance SEMI 1
+          | ',' -> advance COMMA 1
+          | '=' -> advance ASSIGN 1
+          | '+' -> advance PLUS 1
+          | '-' -> advance MINUS 1
+          | '*' -> advance STAR 1
+          | '/' -> advance SLASH 1
+          | '%' -> advance PERCENT 1
+          | '^' -> advance CARET 1
+          | '<' -> advance LT 1
+          | '>' -> advance GT 1
+          | '!' -> advance NOT 1
+          | '$' -> advance DOLLAR 1
+          | '?' -> advance QUESTION 1
+          | ':' -> advance COLON 1
+          | '~' -> advance MATCH 1
+          | _ -> raise (Lex_error (Printf.sprintf "unexpected character %C" c, !i)))
+    end
+  done;
+  emit EOF;
+  (* Drop newlines that cannot terminate a statement: after tokens that
+     syntactically require a continuation, and leading/duplicate ones. *)
+  let raw = Array.of_list (List.rev !toks) in
+  let out = ref [] in
+  let last = ref None in
+  Array.iter
+    (fun t ->
+      let continuing =
+        match !last with
+        | None -> true (* leading newline *)
+        | Some
+            ( LBRACE | COMMA | AND | OR | ELSE | DO | NEWLINE | SEMI | LPAREN
+            | ASSIGN | ADD_ASSIGN | SUB_ASSIGN | MUL_ASSIGN | DIV_ASSIGN
+            | MOD_ASSIGN | QUESTION | COLON ) ->
+            true
+        | Some _ -> false
+      in
+      if t = NEWLINE && continuing then ()
+      else begin
+        out := t :: !out;
+        last := Some t
+      end)
+    raw;
+  Array.of_list (List.rev !out)
+
+let token_to_string = function
+  | NUMBER f -> Printf.sprintf "NUMBER(%g)" f
+  | STRING s -> Printf.sprintf "STRING(%S)" s
+  | IDENT s -> Printf.sprintf "IDENT(%s)" s
+  | BEGIN -> "BEGIN"
+  | END_KW -> "END"
+  | IF -> "if"
+  | ELSE -> "else"
+  | WHILE -> "while"
+  | FOR -> "for"
+  | IN -> "in"
+  | DO -> "do"
+  | BREAK -> "break"
+  | CONTINUE -> "continue"
+  | NEXT -> "next"
+  | DELETE -> "delete"
+  | FUNCTION -> "function"
+  | RETURN -> "return"
+  | PRINT -> "print"
+  | PRINTF -> "printf"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | SEMI -> ";"
+  | NEWLINE -> "\\n"
+  | COMMA -> ","
+  | ASSIGN -> "="
+  | ADD_ASSIGN -> "+="
+  | SUB_ASSIGN -> "-="
+  | MUL_ASSIGN -> "*="
+  | DIV_ASSIGN -> "/="
+  | MOD_ASSIGN -> "%="
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | PERCENT -> "%"
+  | CARET -> "^"
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | EQ -> "=="
+  | NE -> "!="
+  | AND -> "&&"
+  | OR -> "||"
+  | NOT -> "!"
+  | INCR -> "++"
+  | DECR -> "--"
+  | DOLLAR -> "$"
+  | QUESTION -> "?"
+  | COLON -> ":"
+  | ERE r -> Printf.sprintf "/%s/" r
+  | MATCH -> "~"
+  | NOMATCH -> "!~"
+  | EOF -> "EOF"

@@ -1,0 +1,79 @@
+(** Lexer for the mini-AWK language.
+
+    Newlines are significant in AWK (they terminate statements), so the
+    lexer emits {!token.NEWLINE} tokens rather than swallowing them;
+    the parser decides where they act as terminators.  Comments ([#] to end
+    of line) and blank continuation after [{], [&&] etc. are handled here. *)
+
+type token =
+  | NUMBER of float
+  | STRING of string
+  | IDENT of string
+  | BEGIN
+  | END_KW
+  | IF
+  | ELSE
+  | WHILE
+  | FOR
+  | IN
+  | DO
+  | BREAK
+  | CONTINUE
+  | NEXT
+  | DELETE
+  | FUNCTION
+  | RETURN
+  | PRINT
+  | PRINTF
+  | LBRACE
+  | RBRACE
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | SEMI
+  | NEWLINE
+  | COMMA
+  | ASSIGN
+  | ADD_ASSIGN
+  | SUB_ASSIGN
+  | MUL_ASSIGN
+  | DIV_ASSIGN
+  | MOD_ASSIGN
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | CARET
+  | LT
+  | LE
+  | GT
+  | GE
+  | EQ
+  | NE
+  | AND
+  | OR
+  | NOT
+  | INCR
+  | DECR
+  | DOLLAR
+  | QUESTION
+  | COLON
+  | ERE of string  (** /regex/ literal *)
+  | MATCH  (** ~ *)
+  | NOMATCH  (** !~ *)
+  | EOF
+
+exception Lex_error of string * int
+(** (message, byte offset) *)
+
+val tokenize : string -> token array
+(** Tokenize a whole script.  The result always ends with {!token.EOF}.
+    Newlines immediately following [{], [,], [&&], [||], [else], [do] or
+    another newline are dropped, implementing AWK's line-continuation
+    rules in the simplest way that keeps realistic scripts parseable.
+
+    @raise Lex_error on an unterminated string or an unexpected byte. *)
+
+val token_to_string : token -> string

@@ -1,0 +1,492 @@
+open Awk_ast
+module L = Awk_lexer
+
+exception Parse_error of string
+
+type state = { toks : L.token array; mutable pos : int }
+
+let peek st = st.toks.(st.pos)
+let peek2 st = if st.pos + 1 < Array.length st.toks then st.toks.(st.pos + 1) else L.EOF
+let advance st = st.pos <- st.pos + 1
+
+let fail st msg =
+  raise (Parse_error (Printf.sprintf "%s (at %s)" msg (L.token_to_string (peek st))))
+
+let expect st tok msg =
+  if peek st = tok then advance st else fail st ("expected " ^ msg)
+
+let skip_newlines st =
+  while peek st = L.NEWLINE do
+    advance st
+  done
+
+let skip_terminators st =
+  while peek st = L.NEWLINE || peek st = L.SEMI do
+    advance st
+  done
+
+(* Does this token begin an expression?  Used for concatenation-by-
+   juxtaposition and for optional print arguments. *)
+let starts_expr = function
+  | L.NUMBER _ | L.STRING _ | L.IDENT _ | L.DOLLAR | L.LPAREN | L.NOT | L.MINUS
+  | L.INCR | L.DECR | L.ERE _ ->
+      true
+  | _ -> false
+
+let rec parse_lvalue_from_ident st name =
+  if peek st = L.LBRACKET then begin
+    advance st;
+    let sub = parse_expr st in
+    expect st L.RBRACKET "]";
+    LArray (name, sub)
+  end
+  else LVar name
+
+and parse_primary st =
+  match peek st with
+  | L.ERE re ->
+      advance st;
+      Regex re
+  | L.NUMBER f ->
+      advance st;
+      Num f
+  | L.STRING s ->
+      advance st;
+      Str s
+  | L.DOLLAR ->
+      advance st;
+      let e = parse_primary st in
+      Lvalue (LField e)
+  | L.LPAREN ->
+      advance st;
+      let e = parse_expr st in
+      (match peek st with
+      | L.RPAREN -> advance st
+      | _ -> fail st "expected )");
+      e
+  | L.INCR ->
+      advance st;
+      let lv = parse_lvalue st in
+      Incr (true, lv)
+  | L.DECR ->
+      advance st;
+      let lv = parse_lvalue st in
+      Decr (true, lv)
+  | L.IDENT ("split" as name) when peek2 st = L.LPAREN ->
+      advance st;
+      advance st;
+      ignore name;
+      let subject = parse_expr st in
+      expect st L.COMMA ",";
+      let arr =
+        match peek st with
+        | L.IDENT a ->
+            advance st;
+            a
+        | _ -> fail st "split needs an array name"
+      in
+      let sep =
+        if peek st = L.COMMA then begin
+          advance st;
+          Some (parse_expr st)
+        end
+        else None
+      in
+      expect st L.RPAREN ")";
+      Split (subject, arr, sep)
+  | L.IDENT (("sub" | "gsub") as name) when peek2 st = L.LPAREN ->
+      advance st;
+      advance st;
+      let pat = parse_expr st in
+      expect st L.COMMA ",";
+      let repl = parse_expr st in
+      let target =
+        if peek st = L.COMMA then begin
+          advance st;
+          Some (parse_lvalue st)
+        end
+        else None
+      in
+      expect st L.RPAREN ")";
+      SubstOp (name = "gsub", pat, repl, target)
+  | L.IDENT name ->
+      if peek2 st = L.LPAREN then begin
+        advance st;
+        advance st;
+        let args =
+          if peek st = L.RPAREN then []
+          else begin
+            let rec loop acc =
+              let e = parse_expr st in
+              if peek st = L.COMMA then begin
+                advance st;
+                loop (e :: acc)
+              end
+              else List.rev (e :: acc)
+            in
+            loop []
+          end
+        in
+        expect st L.RPAREN ")";
+        Call (name, args)
+      end
+      else begin
+        advance st;
+        let lv = parse_lvalue_from_ident st name in
+        (* postfix ++/-- *)
+        match peek st with
+        | L.INCR ->
+            advance st;
+            Incr (false, lv)
+        | L.DECR ->
+            advance st;
+            Decr (false, lv)
+        | _ -> Lvalue lv
+      end
+  | _ -> fail st "expected expression"
+
+and parse_lvalue st =
+  match peek st with
+  | L.DOLLAR ->
+      advance st;
+      let e = parse_primary st in
+      LField e
+  | L.IDENT name ->
+      advance st;
+      parse_lvalue_from_ident st name
+  | _ -> fail st "expected lvalue"
+
+and parse_unary st =
+  match peek st with
+  | L.NOT ->
+      advance st;
+      Not (parse_unary st)
+  | L.MINUS ->
+      advance st;
+      Neg (parse_unary st)
+  | L.PLUS ->
+      advance st;
+      parse_unary st
+  | _ -> parse_primary st
+
+and parse_power st =
+  let base = parse_unary st in
+  if peek st = L.CARET then begin
+    advance st;
+    let e = parse_power st in
+    Binop (Pow, base, e)
+  end
+  else base
+
+and parse_mul st =
+  let rec loop lhs =
+    match peek st with
+    | L.STAR ->
+        advance st;
+        loop (Binop (Mul, lhs, parse_power st))
+    | L.SLASH ->
+        advance st;
+        loop (Binop (Div, lhs, parse_power st))
+    | L.PERCENT ->
+        advance st;
+        loop (Binop (Mod, lhs, parse_power st))
+    | _ -> lhs
+  in
+  loop (parse_power st)
+
+and parse_add st =
+  let rec loop lhs =
+    match peek st with
+    | L.PLUS ->
+        advance st;
+        loop (Binop (Add, lhs, parse_mul st))
+    | L.MINUS ->
+        advance st;
+        loop (Binop (Sub, lhs, parse_mul st))
+    | _ -> lhs
+  in
+  loop (parse_mul st)
+
+and parse_concat st =
+  let rec loop lhs =
+    if starts_expr (peek st) then loop (Binop (Concat, lhs, parse_add st)) else lhs
+  in
+  loop (parse_add st)
+
+and parse_comparison st =
+  let lhs = parse_concat st in
+  let cmp op =
+    advance st;
+    Binop (op, lhs, parse_concat st)
+  in
+  match peek st with
+  | L.MATCH ->
+      advance st;
+      MatchOp (false, lhs, parse_concat st)
+  | L.NOMATCH ->
+      advance st;
+      MatchOp (true, lhs, parse_concat st)
+  | L.LT -> cmp Lt
+  | L.LE -> cmp Le
+  | L.GT -> cmp Gt
+  | L.GE -> cmp Ge
+  | L.EQ -> cmp Eq
+  | L.NE -> cmp Ne
+  | _ -> lhs
+
+and parse_in st =
+  let lhs = parse_comparison st in
+  if peek st = L.IN then begin
+    advance st;
+    match peek st with
+    | L.IDENT arr ->
+        advance st;
+        In (lhs, arr)
+    | _ -> fail st "expected array name after 'in'"
+  end
+  else lhs
+
+and parse_and st =
+  let rec loop lhs =
+    if peek st = L.AND then begin
+      advance st;
+      loop (And (lhs, parse_in st))
+    end
+    else lhs
+  in
+  loop (parse_in st)
+
+and parse_or st =
+  let rec loop lhs =
+    if peek st = L.OR then begin
+      advance st;
+      loop (Or (lhs, parse_and st))
+    end
+    else lhs
+  in
+  loop (parse_and st)
+
+and parse_ternary st =
+  let cond = parse_or st in
+  if peek st = L.QUESTION then begin
+    advance st;
+    let t = parse_ternary st in
+    expect st L.COLON ":";
+    let f = parse_ternary st in
+    Ternary (cond, t, f)
+  end
+  else cond
+
+and parse_expr st =
+  (* Assignment needs an lvalue on the left; parse a ternary and convert. *)
+  let lhs = parse_ternary st in
+  let to_lvalue = function
+    | Lvalue lv -> lv
+    | _ -> fail st "left side of assignment is not assignable"
+  in
+  match peek st with
+  | L.ASSIGN ->
+      advance st;
+      Assign (to_lvalue lhs, parse_expr st)
+  | L.ADD_ASSIGN ->
+      advance st;
+      OpAssign (to_lvalue lhs, Add, parse_expr st)
+  | L.SUB_ASSIGN ->
+      advance st;
+      OpAssign (to_lvalue lhs, Sub, parse_expr st)
+  | L.MUL_ASSIGN ->
+      advance st;
+      OpAssign (to_lvalue lhs, Mul, parse_expr st)
+  | L.DIV_ASSIGN ->
+      advance st;
+      OpAssign (to_lvalue lhs, Div, parse_expr st)
+  | L.MOD_ASSIGN ->
+      advance st;
+      OpAssign (to_lvalue lhs, Mod, parse_expr st)
+  | _ -> lhs
+
+let parse_expr_list st =
+  let rec loop acc =
+    let e = parse_expr st in
+    if peek st = L.COMMA then begin
+      advance st;
+      skip_newlines st;
+      loop (e :: acc)
+    end
+    else List.rev (e :: acc)
+  in
+  loop []
+
+let rec parse_stmt st =
+  match peek st with
+  | L.LBRACE -> parse_block st
+  | L.IF ->
+      advance st;
+      expect st L.LPAREN "(";
+      let cond = parse_expr st in
+      expect st L.RPAREN ")";
+      skip_newlines st;
+      let then_ = parse_stmt st in
+      let else_ =
+        (* an ELSE may be separated by terminators *)
+        let save = st.pos in
+        skip_terminators st;
+        if peek st = L.ELSE then begin
+          advance st;
+          skip_newlines st;
+          Some (parse_stmt st)
+        end
+        else begin
+          st.pos <- save;
+          None
+        end
+      in
+      If (cond, then_, else_)
+  | L.WHILE ->
+      advance st;
+      expect st L.LPAREN "(";
+      let cond = parse_expr st in
+      expect st L.RPAREN ")";
+      skip_newlines st;
+      While (cond, parse_stmt st)
+  | L.DO ->
+      advance st;
+      skip_newlines st;
+      let body = parse_stmt st in
+      skip_terminators st;
+      expect st L.WHILE "while";
+      expect st L.LPAREN "(";
+      let cond = parse_expr st in
+      expect st L.RPAREN ")";
+      Do (body, cond)
+  | L.FOR -> (
+      advance st;
+      expect st L.LPAREN "(";
+      (* for (v in arr) or for (init; cond; update) *)
+      match (peek st, peek2 st) with
+      | L.IDENT v, L.IN ->
+          advance st;
+          advance st;
+          let arr =
+            match peek st with
+            | L.IDENT a ->
+                advance st;
+                a
+            | _ -> fail st "expected array name"
+          in
+          expect st L.RPAREN ")";
+          skip_newlines st;
+          ForIn (v, arr, parse_stmt st)
+      | _ ->
+          let init = if peek st = L.SEMI then None else Some (ExprStmt (parse_expr st)) in
+          expect st L.SEMI ";";
+          let cond = if peek st = L.SEMI then None else Some (parse_expr st) in
+          expect st L.SEMI ";";
+          let update =
+            if peek st = L.RPAREN then None else Some (ExprStmt (parse_expr st))
+          in
+          expect st L.RPAREN ")";
+          skip_newlines st;
+          For (init, cond, update, parse_stmt st))
+  | L.PRINT ->
+      advance st;
+      let args = if starts_expr (peek st) then parse_expr_list st else [] in
+      Print args
+  | L.PRINTF ->
+      advance st;
+      Printf (parse_expr_list st)
+  | L.NEXT ->
+      advance st;
+      Next
+  | L.BREAK ->
+      advance st;
+      Break
+  | L.CONTINUE ->
+      advance st;
+      Continue
+  | L.RETURN ->
+      advance st;
+      if starts_expr (peek st) then Return (Some (parse_expr st)) else Return None
+  | L.DELETE -> (
+      advance st;
+      match peek st with
+      | L.IDENT name ->
+          advance st;
+          expect st L.LBRACKET "[";
+          let sub = parse_expr st in
+          expect st L.RBRACKET "]";
+          Delete (name, sub)
+      | _ -> fail st "expected array name after delete")
+  | _ -> ExprStmt (parse_expr st)
+
+and parse_block st =
+  expect st L.LBRACE "{";
+  skip_terminators st;
+  let rec loop acc =
+    if peek st = L.RBRACE then begin
+      advance st;
+      Block (List.rev acc)
+    end
+    else begin
+      let s = parse_stmt st in
+      skip_terminators st;
+      loop (s :: acc)
+    end
+  in
+  loop []
+
+let parse_item st =
+  match peek st with
+  | L.FUNCTION -> (
+      advance st;
+      match peek st with
+      | L.IDENT name ->
+          advance st;
+          expect st L.LPAREN "(";
+          let params =
+            if peek st = L.RPAREN then []
+            else begin
+              let rec loop acc =
+                match peek st with
+                | L.IDENT p ->
+                    advance st;
+                    if peek st = L.COMMA then begin
+                      advance st;
+                      loop (p :: acc)
+                    end
+                    else List.rev (p :: acc)
+                | _ -> fail st "expected parameter name"
+              in
+              loop []
+            end
+          in
+          expect st L.RPAREN ")";
+          skip_newlines st;
+          Func (name, params, parse_block st)
+      | _ -> fail st "expected function name")
+  | L.BEGIN ->
+      advance st;
+      skip_newlines st;
+      Rule (Begin, Some (parse_block st))
+  | L.END_KW ->
+      advance st;
+      skip_newlines st;
+      Rule (End, Some (parse_block st))
+  | L.LBRACE -> Rule (Always, Some (parse_block st))
+  | _ ->
+      let cond = parse_expr st in
+      if peek st = L.LBRACE then Rule (When cond, Some (parse_block st))
+      else Rule (When cond, None)
+
+let parse src =
+  let st = { toks = L.tokenize src; pos = 0 } in
+  skip_terminators st;
+  let rec loop acc =
+    if peek st = L.EOF then List.rev acc
+    else begin
+      let item = parse_item st in
+      skip_terminators st;
+      loop (item :: acc)
+    end
+  in
+  loop []

@@ -1,0 +1,15 @@
+(** Recursive-descent parser for the mini-AWK language.
+
+    The grammar follows AWK's: items are pattern-action rules or function
+    definitions; expressions include string concatenation by juxtaposition
+    (two expressions side by side concatenate), which is parsed at a
+    precedence level between comparison and addition. *)
+
+exception Parse_error of string
+(** Raised on syntax errors, with a short description including the
+    offending token. *)
+
+val parse : string -> Awk_ast.program
+(** Parse a whole script.
+    @raise Parse_error on a syntax error.
+    @raise Awk_lexer.Lex_error on a lexical error. *)

@@ -1,0 +1,475 @@
+module Rt = Lp_ialloc.Runtime
+
+(* Limbs are base 2^15 so that a limb product (2^30) plus carries stays well
+   inside OCaml's 63-bit integers even in the middle of Algorithm D. *)
+let limb_bits = 15
+let base = 1 lsl limb_bits
+let limb_mask = base - 1
+
+type ctx = {
+  rt : Rt.t;
+  wrapper : Xalloc.t;  (* bn_new -> xmalloc *)
+  f_add : Lp_callchain.Func.id;
+  f_sub : Lp_callchain.Func.id;
+  f_mul : Lp_callchain.Func.id;
+  f_div : Lp_callchain.Func.id;
+  f_small : Lp_callchain.Func.id;
+  f_sqrt : Lp_callchain.Func.id;
+  f_gcd : Lp_callchain.Func.id;
+  f_str : Lp_callchain.Func.id;
+}
+
+type t = { limbs : int array; handle : Rt.handle }
+(* limbs is little-endian with no leading zero limb; the zero value has an
+   empty limb array.  The handle is the simulated heap object. *)
+
+let make_ctx rt =
+  {
+    rt;
+    wrapper = Xalloc.create rt ~layers:[ "bn_new"; "xmalloc" ];
+    f_add = Rt.func rt "bn_add";
+    f_sub = Rt.func rt "bn_sub";
+    f_mul = Rt.func rt "bn_mul";
+    f_div = Rt.func rt "bn_div";
+    f_small = Rt.func rt "bn_small";
+    f_sqrt = Rt.func rt "bn_sqrt";
+    f_gcd = Rt.func rt "bn_gcd";
+    f_str = Rt.func rt "bn_str";
+  }
+
+let obj_size n_limbs = 8 + (4 * max 1 n_limbs)
+
+(* Wrap a freshly computed limb array as a heap object.  The traced size
+   mirrors a C implementation's struct: header + limb storage. *)
+let birth ctx limbs =
+  let handle = Xalloc.alloc ctx.wrapper ~size:(obj_size (Array.length limbs)) in
+  Rt.touch ctx.rt handle (1 + Array.length limbs);
+  { limbs; handle }
+
+let release ctx t = Rt.free ctx.rt t.handle
+let copy ctx t = birth ctx (Array.copy t.limbs)
+
+let trim limbs =
+  let n = ref (Array.length limbs) in
+  while !n > 0 && limbs.(!n - 1) = 0 do
+    decr n
+  done;
+  if !n = Array.length limbs then limbs else Array.sub limbs 0 !n
+
+let of_int ctx n =
+  if n < 0 then invalid_arg "Bignum.of_int: negative";
+  let rec limbs n = if n = 0 then [] else (n land limb_mask) :: limbs (n lsr limb_bits) in
+  birth ctx (Array.of_list (limbs n))
+
+let is_zero t = Array.length t.limbs = 0
+
+let to_int t =
+  let n = Array.length t.limbs in
+  if n * limb_bits >= 62 then None
+  else begin
+    let v = ref 0 in
+    for i = n - 1 downto 0 do
+      v := (!v lsl limb_bits) lor t.limbs.(i)
+    done;
+    Some !v
+  end
+
+let num_limbs t = Array.length t.limbs
+
+(* -- comparison ---------------------------------------------------------- *)
+
+let compare_limbs a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Stdlib.compare la lb
+  else begin
+    let rec go i =
+      if i < 0 then 0
+      else begin
+        let c = Stdlib.compare a.(i) b.(i) in
+        if c <> 0 then c else go (i - 1)
+      end
+    in
+    go (la - 1)
+  end
+
+let compare ctx a b =
+  Rt.touch ctx.rt a.handle 1;
+  Rt.touch ctx.rt b.handle 1;
+  Rt.instructions ctx.rt 4;
+  compare_limbs a.limbs b.limbs
+
+let equal ctx a b = compare ctx a b = 0
+
+(* -- addition / subtraction --------------------------------------------- *)
+
+let add_limbs a b =
+  let la = Array.length a and lb = Array.length b in
+  let n = max la lb in
+  let out = Array.make (n + 1) 0 in
+  let carry = ref 0 in
+  for i = 0 to n - 1 do
+    let s = (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry in
+    out.(i) <- s land limb_mask;
+    carry := s lsr limb_bits
+  done;
+  out.(n) <- !carry;
+  trim out
+
+(* a - b, requires a >= b. *)
+let sub_limbs a b =
+  let la = Array.length a and lb = Array.length b in
+  let out = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let d = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
+    if d < 0 then begin
+      out.(i) <- d + base;
+      borrow := 1
+    end
+    else begin
+      out.(i) <- d;
+      borrow := 0
+    end
+  done;
+  if !borrow <> 0 then invalid_arg "Bignum.sub: negative result";
+  trim out
+
+let charge ctx f a b =
+  Rt.touch ctx.rt a.handle (Array.length a.limbs);
+  Rt.touch ctx.rt b.handle (Array.length b.limbs);
+  Rt.instructions ctx.rt (2 * (Array.length a.limbs + Array.length b.limbs));
+  ignore f
+
+let add ctx a b =
+  Rt.in_frame ctx.rt ctx.f_add (fun () ->
+      charge ctx `Add a b;
+      birth ctx (add_limbs a.limbs b.limbs))
+
+let sub ctx a b =
+  Rt.in_frame ctx.rt ctx.f_sub (fun () ->
+      charge ctx `Sub a b;
+      birth ctx (sub_limbs a.limbs b.limbs))
+
+(* -- multiplication ------------------------------------------------------ *)
+
+let mul_limbs a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then [||]
+  else begin
+    let out = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      let ai = a.(i) in
+      for j = 0 to lb - 1 do
+        let v = out.(i + j) + (ai * b.(j)) + !carry in
+        out.(i + j) <- v land limb_mask;
+        carry := v lsr limb_bits
+      done;
+      let k = ref (i + lb) in
+      while !carry <> 0 do
+        let v = out.(!k) + !carry in
+        out.(!k) <- v land limb_mask;
+        carry := v lsr limb_bits;
+        incr k
+      done
+    done;
+    trim out
+  end
+
+let mul ctx a b =
+  Rt.in_frame ctx.rt ctx.f_mul (fun () ->
+      Rt.touch ctx.rt a.handle (Array.length a.limbs);
+      Rt.touch ctx.rt b.handle (Array.length b.limbs);
+      Rt.instructions ctx.rt (3 * max 1 (Array.length a.limbs * Array.length b.limbs));
+      birth ctx (mul_limbs a.limbs b.limbs))
+
+(* -- small-operand helpers ----------------------------------------------- *)
+
+let mul_small_limbs a m =
+  if m = 0 || Array.length a = 0 then [||]
+  else begin
+    (* m may exceed the limb base; split it into limbs first. *)
+    let rec m_limbs n = if n = 0 then [] else (n land limb_mask) :: m_limbs (n lsr limb_bits) in
+    mul_limbs a (Array.of_list (m_limbs m))
+  end
+
+let add_small_limbs a m =
+  let rec m_limbs n = if n = 0 then [] else (n land limb_mask) :: m_limbs (n lsr limb_bits) in
+  add_limbs a (Array.of_list (m_limbs m))
+
+let mul_small ctx a m =
+  if m < 0 then invalid_arg "Bignum.mul_small: negative";
+  Rt.in_frame ctx.rt ctx.f_small (fun () ->
+      Rt.touch ctx.rt a.handle (Array.length a.limbs);
+      Rt.instructions ctx.rt (2 * max 1 (Array.length a.limbs));
+      birth ctx (mul_small_limbs a.limbs m))
+
+let add_small ctx a m =
+  if m < 0 then invalid_arg "Bignum.add_small: negative";
+  Rt.in_frame ctx.rt ctx.f_small (fun () ->
+      Rt.touch ctx.rt a.handle (Array.length a.limbs);
+      Rt.instructions ctx.rt (2 * max 1 (Array.length a.limbs));
+      birth ctx (add_small_limbs a.limbs m))
+
+(* Divide by a machine integer 0 < d < 2^30 (so limb*base + limb < 2^45). *)
+let divmod_small_limbs a d =
+  let n = Array.length a in
+  let out = Array.make n 0 in
+  let r = ref 0 in
+  for i = n - 1 downto 0 do
+    let cur = (!r lsl limb_bits) lor a.(i) in
+    out.(i) <- cur / d;
+    r := cur mod d
+  done;
+  (trim out, !r)
+
+let divmod_small ctx a d =
+  if d = 0 then raise Division_by_zero;
+  if d < 0 || d >= 1 lsl 30 then invalid_arg "Bignum.divmod_small: divisor out of range";
+  Rt.in_frame ctx.rt ctx.f_small (fun () ->
+      Rt.touch ctx.rt a.handle (Array.length a.limbs);
+      Rt.instructions ctx.rt (4 * max 1 (Array.length a.limbs));
+      let q, r = divmod_small_limbs a.limbs d in
+      (birth ctx q, r))
+
+let rem_small ctx a d =
+  if d = 0 then raise Division_by_zero;
+  if d < 0 || d >= 1 lsl 30 then invalid_arg "Bignum.rem_small: divisor out of range";
+  (* Remainder only: no result object is born, mirroring a C routine that
+     keeps the running remainder in a register. *)
+  Rt.touch ctx.rt a.handle (Array.length a.limbs);
+  Rt.instructions ctx.rt (3 * max 1 (Array.length a.limbs));
+  let r = ref 0 in
+  for i = Array.length a.limbs - 1 downto 0 do
+    r := ((!r lsl limb_bits) lor a.limbs.(i)) mod d
+  done;
+  !r
+
+(* -- general division: Knuth TAOCP vol. 2, Algorithm 4.3.1 D ------------- *)
+
+let shift_left_bits limbs k =
+  (* 0 <= k < limb_bits *)
+  if k = 0 then Array.copy limbs
+  else begin
+    let n = Array.length limbs in
+    let out = Array.make (n + 1) 0 in
+    let carry = ref 0 in
+    for i = 0 to n - 1 do
+      let v = (limbs.(i) lsl k) lor !carry in
+      out.(i) <- v land limb_mask;
+      carry := v lsr limb_bits
+    done;
+    out.(n) <- !carry;
+    trim out
+  end
+
+let shift_right_bits limbs k =
+  if k = 0 then Array.copy limbs
+  else begin
+    let n = Array.length limbs in
+    let out = Array.make n 0 in
+    let carry = ref 0 in
+    for i = n - 1 downto 0 do
+      let v = (!carry lsl limb_bits) lor limbs.(i) in
+      out.(i) <- v lsr k;
+      carry := v land ((1 lsl k) - 1)
+    done;
+    trim out
+  end
+
+let divmod_limbs u v =
+  let n = Array.length v in
+  if n = 0 then raise Division_by_zero;
+  if compare_limbs u v < 0 then ([||], Array.copy u)
+  else if n = 1 then begin
+    let q, r = divmod_small_limbs u v.(0) in
+    (q, if r = 0 then [||] else [| r |])
+  end
+  else begin
+    (* Normalise so the top limb of v is >= base/2. *)
+    let shift =
+      let rec go s top = if top >= base / 2 then s else go (s + 1) (top * 2) in
+      go 0 v.(n - 1)
+    in
+    let u = shift_left_bits u shift in
+    let v = shift_left_bits v shift in
+    let m = Array.length u - n in
+    (* Working copy of u with one extra top limb. *)
+    let w = Array.make (Array.length u + 1) 0 in
+    Array.blit u 0 w 0 (Array.length u);
+    let q = Array.make (m + 1) 0 in
+    for j = m downto 0 do
+      (* Estimate q_hat from the top two limbs of the current remainder
+         against the top limb of v. *)
+      let top2 = (w.(j + n) lsl limb_bits) lor w.(j + n - 1) in
+      let q_hat = ref (top2 / v.(n - 1)) in
+      let r_hat = ref (top2 mod v.(n - 1)) in
+      if !q_hat >= base then begin
+        r_hat := !r_hat + (v.(n - 1) * (!q_hat - (base - 1)));
+        q_hat := base - 1
+      end;
+      while
+        !r_hat < base
+        && !q_hat * v.(n - 2) > (!r_hat lsl limb_bits) lor w.(j + n - 2)
+      do
+        decr q_hat;
+        r_hat := !r_hat + v.(n - 1)
+      done;
+      (* Multiply-subtract q_hat * v from w[j .. j+n]. *)
+      let borrow = ref 0 and carry = ref 0 in
+      for i = 0 to n - 1 do
+        let p = (!q_hat * v.(i)) + !carry in
+        carry := p lsr limb_bits;
+        let d = w.(i + j) - (p land limb_mask) - !borrow in
+        if d < 0 then begin
+          w.(i + j) <- d + base;
+          borrow := 1
+        end
+        else begin
+          w.(i + j) <- d;
+          borrow := 0
+        end
+      done;
+      let d = w.(j + n) - !carry - !borrow in
+      if d < 0 then begin
+        (* q_hat was one too large: add v back once. *)
+        w.(j + n) <- d + base;
+        decr q_hat;
+        let carry = ref 0 in
+        for i = 0 to n - 1 do
+          let s = w.(i + j) + v.(i) + !carry in
+          w.(i + j) <- s land limb_mask;
+          carry := s lsr limb_bits
+        done;
+        w.(j + n) <- (w.(j + n) + !carry) land limb_mask
+      end
+      else w.(j + n) <- d;
+      q.(j) <- !q_hat
+    done;
+    let r = shift_right_bits (trim (Array.sub w 0 n)) shift in
+    (trim q, r)
+  end
+
+let divmod ctx a b =
+  Rt.in_frame ctx.rt ctx.f_div (fun () ->
+      Rt.touch ctx.rt a.handle (Array.length a.limbs);
+      Rt.touch ctx.rt b.handle (Array.length b.limbs);
+      Rt.instructions ctx.rt
+        (4 * max 1 (Array.length a.limbs * max 1 (Array.length b.limbs)));
+      let q, r = divmod_limbs a.limbs b.limbs in
+      let q = birth ctx q in
+      let r = birth ctx r in
+      (q, r))
+
+let rem ctx a b =
+  let q, r = divmod ctx a b in
+  release ctx q;
+  r
+
+(* -- square root ---------------------------------------------------------- *)
+
+let isqrt ctx n =
+  Rt.in_frame ctx.rt ctx.f_sqrt (fun () ->
+      if is_zero n then birth ctx [||]
+      else begin
+        (* Newton's iteration x' = (x + n/x) / 2, starting above sqrt(n). *)
+        let bits = ((Array.length n.limbs - 1) * limb_bits)
+                   + (let top = n.limbs.(Array.length n.limbs - 1) in
+                      let rec bl i = if 1 lsl i > top then i else bl (i + 1) in
+                      bl 1)
+        in
+        let x0 = shift_left_bits [| 1 |] ((bits / 2 + 1) mod limb_bits) in
+        let x0 =
+          let words = (bits / 2 + 1) / limb_bits in
+          if words = 0 then x0
+          else begin
+            let padded = Array.make (words + Array.length x0) 0 in
+            Array.blit x0 0 padded words (Array.length x0);
+            padded
+          end
+        in
+        let x = ref (birth ctx x0) in
+        let continue = ref true in
+        while !continue do
+          let q, r = divmod ctx n !x in
+          release ctx r;
+          let s = add ctx !x q in
+          release ctx q;
+          let next, r2 = divmod_small ctx s 2 in
+          ignore r2;
+          release ctx s;
+          if compare ctx next !x < 0 then begin
+            release ctx !x;
+            x := next
+          end
+          else begin
+            release ctx next;
+            continue := false
+          end
+        done;
+        !x
+      end)
+
+(* -- gcd ------------------------------------------------------------------ *)
+
+let gcd ctx a b =
+  Rt.in_frame ctx.rt ctx.f_gcd (fun () ->
+      let a = ref (copy ctx a) and b = ref (copy ctx b) in
+      while not (is_zero !b) do
+        let r = rem ctx !a !b in
+        release ctx !a;
+        a := !b;
+        b := r
+      done;
+      release ctx !b;
+      !a)
+
+let mul_mod ctx a b m =
+  let p = mul ctx a b in
+  let r = rem ctx p m in
+  release ctx p;
+  r
+
+(* -- decimal I/O ---------------------------------------------------------- *)
+
+let of_string ctx s =
+  if s = "" then invalid_arg "Bignum.of_string: empty string";
+  Rt.in_frame ctx.rt ctx.f_str (fun () ->
+      let acc = ref (birth ctx [||]) in
+      String.iter
+        (fun c ->
+          if c < '0' || c > '9' then invalid_arg "Bignum.of_string: not a digit";
+          let ten = mul_small ctx !acc 10 in
+          release ctx !acc;
+          let next = add_small ctx ten (Char.code c - Char.code '0') in
+          release ctx ten;
+          acc := next)
+        s;
+      !acc)
+
+let to_string ctx t =
+  Rt.in_frame ctx.rt ctx.f_str (fun () ->
+      if is_zero t then "0"
+      else begin
+        let digits = Buffer.create 32 in
+        let cur = ref (copy ctx t) in
+        while not (is_zero !cur) do
+          let q, r = divmod_small ctx !cur 10000 in
+          release ctx !cur;
+          cur := q;
+          if is_zero q then Buffer.add_string digits (Printf.sprintf "%d" r)
+          else Buffer.add_string digits (Printf.sprintf "%04d" r)
+        done;
+        release ctx !cur;
+        (* digits holds 4-digit groups least-significant first; reverse them. *)
+        let s = Buffer.contents digits in
+        let groups = ref [] in
+        let i = ref 0 in
+        let n = String.length s in
+        while !i < n do
+          let len = min 4 (n - !i) in
+          groups := String.sub s !i len :: !groups;
+          i := !i + len
+        done;
+        String.concat "" !groups
+      end)

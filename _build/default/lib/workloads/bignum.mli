@@ -1,0 +1,81 @@
+(** Arbitrary-precision natural numbers over the instrumented heap.
+
+    This is the allocation substrate of the {!Cfrac} workload, standing in
+    for the multi-precision arithmetic package of the original CFRAC
+    program.  Every bignum value is a simulated heap object (allocated
+    through a [bn_new] → [xmalloc] wrapper stack, sized like a C struct:
+    an 8-byte header plus 4 bytes per limb), every limb access counts as a
+    heap reference, and every arithmetic routine runs in its own stack
+    frame — so the arithmetic produces exactly the kind of torrent of tiny,
+    mostly short-lived, site-labelled objects the paper measured in CFRAC.
+
+    Values are immutable; operations return freshly allocated results.
+    Temporaries must be released explicitly with {!release} (the original
+    program manages memory explicitly too).  Numbers are natural (≥ 0);
+    subtraction of a larger number from a smaller raises. *)
+
+type ctx
+(** Arithmetic context: the runtime, wrapper layers, and frame ids. *)
+
+type t
+(** A bignum: an immutable limb vector plus its heap handle. *)
+
+val make_ctx : Lp_ialloc.Runtime.t -> ctx
+
+val of_int : ctx -> int -> t
+(** @raise Invalid_argument on a negative argument. *)
+
+val of_string : ctx -> string -> t
+(** Parse a decimal string.
+    @raise Invalid_argument on a malformed string. *)
+
+val to_string : ctx -> t -> string
+(** Decimal rendering (allocates and releases temporaries). *)
+
+val to_int : t -> int option
+(** [Some n] if the value fits in an OCaml [int]. *)
+
+val release : ctx -> t -> unit
+(** Free the underlying heap object.  Using [t] afterwards is an error
+    (detected by the runtime). *)
+
+val copy : ctx -> t -> t
+
+val compare : ctx -> t -> t -> int
+val equal : ctx -> t -> t -> bool
+val is_zero : t -> bool
+
+val add : ctx -> t -> t -> t
+val sub : ctx -> t -> t -> t
+(** @raise Invalid_argument if the result would be negative. *)
+
+val mul : ctx -> t -> t -> t
+
+val divmod : ctx -> t -> t -> t * t
+(** [(quotient, remainder)] by Knuth's Algorithm D.
+    @raise Division_by_zero on a zero divisor. *)
+
+val rem : ctx -> t -> t -> t
+
+val mul_small : ctx -> t -> int -> t
+val add_small : ctx -> t -> int -> t
+
+val divmod_small : ctx -> t -> int -> t * int
+(** Divide by a machine-word divisor; the remainder needs no allocation.
+    @raise Division_by_zero on a zero divisor. *)
+
+val rem_small : ctx -> t -> int -> int
+(** Remainder by a machine-word divisor, computed without allocating.
+    @raise Division_by_zero on a zero divisor. *)
+
+val isqrt : ctx -> t -> t
+(** Integer square root (largest [r] with [r*r <= n]), by Newton's method. *)
+
+val gcd : ctx -> t -> t -> t
+(** Euclid's algorithm; releases its own temporaries. *)
+
+val mul_mod : ctx -> t -> t -> t -> t
+(** [mul_mod ctx a b m] is [(a * b) mod m]. *)
+
+val num_limbs : t -> int
+(** Limb count — proportional to the simulated object size. *)

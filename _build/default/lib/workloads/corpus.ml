@@ -1,0 +1,49 @@
+let consonants = [| "b"; "c"; "d"; "f"; "g"; "h"; "j"; "k"; "l"; "m"; "n"; "p";
+                    "r"; "s"; "t"; "v"; "w"; "z"; "ch"; "sh"; "th"; "st"; "br" |]
+
+let vowels = [| "a"; "e"; "i"; "o"; "u"; "ai"; "ea"; "ou"; "y" |]
+
+let word rng =
+  let syllables = 1 + Prng.geometric rng ~p:0.45 in
+  let syllables = min syllables 5 in
+  let buf = Buffer.create 16 in
+  for _ = 1 to syllables do
+    Buffer.add_string buf (Prng.choose rng consonants);
+    Buffer.add_string buf (Prng.choose rng vowels);
+    if Prng.float rng < 0.3 then Buffer.add_string buf (Prng.choose rng consonants)
+  done;
+  Buffer.contents buf
+
+let dictionary rng n =
+  let seen = Hashtbl.create (2 * n) in
+  let out = ref [] in
+  let count = ref 0 in
+  while !count < n do
+    let w = word rng in
+    if not (Hashtbl.mem seen w) then begin
+      Hashtbl.add seen w ();
+      out := w :: !out;
+      incr count
+    end
+  done;
+  let arr = Array.of_list !out in
+  Array.sort compare arr;
+  arr
+
+let lines rng ~words ~n =
+  Array.init n (fun _ ->
+      let k = Prng.in_range rng 1 12 in
+      let buf = Buffer.create 64 in
+      for i = 1 to k do
+        if i > 1 then Buffer.add_char buf ' ';
+        Buffer.add_string buf (Prng.choose rng words)
+      done;
+      Buffer.contents buf)
+
+let paragraph_text rng ~words ~n_words =
+  let buf = Buffer.create (8 * n_words) in
+  for i = 1 to n_words do
+    if i > 1 then Buffer.add_char buf ' ';
+    Buffer.add_string buf (Prng.choose rng words)
+  done;
+  Buffer.contents buf

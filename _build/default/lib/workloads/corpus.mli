@@ -1,0 +1,23 @@
+(** Deterministic text corpora for the interpreter workloads.
+
+    The paper drove GAWK and PERL with dictionaries formatted into filled
+    paragraphs and GhostScript with large documents.  We generate synthetic
+    equivalents: pronounceable pseudo-words with a Zipf-ish length
+    distribution, dictionaries (sorted unique words), and line-oriented
+    documents.  Everything derives from a {!Prng.t}, so a named corpus is
+    reproducible. *)
+
+val word : Prng.t -> string
+(** A pronounceable pseudo-word of 2–14 letters (alternating consonant and
+    vowel clusters), lowercase. *)
+
+val dictionary : Prng.t -> int -> string array
+(** [dictionary rng n] is [n] distinct words, sorted. *)
+
+val lines : Prng.t -> words:string array -> n:int -> string array
+(** [lines rng ~words ~n] is [n] text lines of 1–12 words drawn from
+    [words], space-separated. *)
+
+val paragraph_text : Prng.t -> words:string array -> n_words:int -> string
+(** A single long run of words separated by single spaces — raw material
+    for paragraph-filling scripts. *)

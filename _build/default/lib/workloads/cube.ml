@@ -1,0 +1,330 @@
+module Rt = Lp_ialloc.Runtime
+
+(* Two bits per variable packed into an int array, 31 variables per word so
+   the bit pair never straddles a word.  Bit layout per variable: bit0 set =
+   "can be 0", bit1 set = "can be 1". *)
+let vars_per_word = 31
+
+type ctx = {
+  rt : Rt.t;
+  n_vars : int;
+  words : int;
+  wrapper : Xalloc.t;  (* new_cube -> cube_alloc -> xmalloc *)
+  cover_wrapper : Xalloc.t;  (* new_cover -> xmalloc *)
+  f_taut : Lp_callchain.Func.id;
+  f_compl : Lp_callchain.Func.id;
+  f_cof : Lp_callchain.Func.id;
+  f_setops : Lp_callchain.Func.id;
+}
+
+type t = { bits : int array; handle : Rt.handle }
+type cover = t list
+
+let make_ctx rt ~n_vars =
+  if n_vars <= 0 then invalid_arg "Cube.make_ctx: need at least one variable";
+  {
+    rt;
+    n_vars;
+    words = ((n_vars - 1) / vars_per_word) + 1;
+    wrapper = Xalloc.create rt ~layers:[ "new_cube"; "cube_alloc"; "xmalloc" ];
+    cover_wrapper = Xalloc.create rt ~layers:[ "new_cover"; "xmalloc" ];
+    f_taut = Rt.func rt "tautology";
+    f_compl = Rt.func rt "complement";
+    f_cof = Rt.func rt "cofactor";
+    f_setops = Rt.func rt "cube_setops";
+  }
+
+let n_vars ctx = ctx.n_vars
+
+(* Simulated C size: header + 2 bits per variable, rounded to bytes. *)
+let obj_size ctx = 8 + (((2 * ctx.n_vars) + 7) / 8)
+
+let birth ctx bits =
+  let handle = Xalloc.alloc ctx.wrapper ~size:(obj_size ctx) in
+  Rt.touch ctx.rt handle (Array.length bits);
+  { bits; handle }
+
+let release ctx t = Rt.free ctx.rt t.handle
+let release_cover ctx cover = List.iter (release ctx) cover
+let copy ctx t = birth ctx (Array.copy t.bits)
+
+let full_word n_vars_in_word = (1 lsl (2 * n_vars_in_word)) - 1
+
+let universe_bits ctx =
+  Array.init ctx.words (fun w ->
+      let lo = w * vars_per_word in
+      let n = min vars_per_word (ctx.n_vars - lo) in
+      full_word n)
+
+let universe ctx = birth ctx (universe_bits ctx)
+
+let pos v = (v / vars_per_word, 2 * (v mod vars_per_word))
+
+let get t v =
+  let w, b = pos v in
+  match (t.bits.(w) lsr b) land 3 with
+  | 0 -> `Empty
+  | 1 -> `Zero
+  | 2 -> `One
+  | _ -> `Dash
+
+let lit_bits = function `Zero -> 1 | `One -> 2 | `Dash -> 3
+
+let set ctx t v lit =
+  let w, b = pos v in
+  let bits = Array.copy t.bits in
+  bits.(w) <- bits.(w) land lnot (3 lsl b) lor (lit_bits lit lsl b);
+  Rt.touch ctx.rt t.handle 1;
+  birth ctx bits
+
+let of_string ctx s =
+  if String.length s <> ctx.n_vars then invalid_arg "Cube.of_string: wrong length";
+  let bits = Array.make ctx.words 0 in
+  String.iteri
+    (fun v c ->
+      let w, b = pos v in
+      let lit =
+        match c with
+        | '0' -> 1
+        | '1' -> 2
+        | '-' -> 3
+        | _ -> invalid_arg "Cube.of_string: expected 0, 1 or -"
+      in
+      bits.(w) <- bits.(w) lor (lit lsl b))
+    s;
+  birth ctx bits
+
+let to_string ctx t =
+  String.init ctx.n_vars (fun v ->
+      match get t v with `Zero -> '0' | `One -> '1' | `Dash -> '-' | `Empty -> 'x')
+
+let minterm ctx m =
+  let bits = Array.make ctx.words 0 in
+  for v = 0 to ctx.n_vars - 1 do
+    let w, b = pos v in
+    let lit = if (m lsr v) land 1 = 1 then 2 else 1 in
+    bits.(w) <- bits.(w) lor (lit lsl b)
+  done;
+  birth ctx bits
+
+(* A word has an empty variable iff some bit pair is 00.  Detect by checking
+   (w | w >> 1) against the 01 mask of valid positions. *)
+let word_has_empty w n_vars_in_word =
+  let odd_mask =
+    (* bits 0, 2, 4, ... for each valid variable *)
+    let m = ref 0 in
+    for i = 0 to n_vars_in_word - 1 do
+      m := !m lor (1 lsl (2 * i))
+    done;
+    !m
+  in
+  (w lor (w lsr 1)) land odd_mask <> odd_mask
+
+let is_empty ctx t =
+  let empty = ref false in
+  for w = 0 to ctx.words - 1 do
+    let lo = w * vars_per_word in
+    let n = min vars_per_word (ctx.n_vars - lo) in
+    if word_has_empty t.bits.(w) n then empty := true
+  done;
+  !empty
+
+let contains ctx a b =
+  Rt.touch ctx.rt a.handle 1;
+  Rt.touch ctx.rt b.handle 1;
+  Rt.instructions ctx.rt (2 * Array.length a.bits);
+  let n = Array.length a.bits in
+  let rec go w = w = n || (a.bits.(w) lor b.bits.(w) = a.bits.(w) && go (w + 1)) in
+  go 0
+
+let intersect ctx a b =
+  Rt.in_frame ctx.rt ctx.f_setops (fun () ->
+      Rt.touch ctx.rt a.handle 1;
+      Rt.touch ctx.rt b.handle 1;
+      Rt.instructions ctx.rt (2 * ctx.words);
+      let bits = Array.init ctx.words (fun w -> a.bits.(w) land b.bits.(w)) in
+      let empty = ref false in
+      for w = 0 to ctx.words - 1 do
+        let lo = w * vars_per_word in
+        let n = min vars_per_word (ctx.n_vars - lo) in
+        if word_has_empty bits.(w) n then empty := true
+      done;
+      if !empty then None else Some (birth ctx bits))
+
+let distance ctx a b =
+  Rt.touch ctx.rt a.handle 1;
+  Rt.touch ctx.rt b.handle 1;
+  Rt.instructions ctx.rt (3 * ctx.words);
+  let d = ref 0 in
+  for w = 0 to ctx.words - 1 do
+    let x = a.bits.(w) land b.bits.(w) in
+    let lo = w * vars_per_word in
+    let n = min vars_per_word (ctx.n_vars - lo) in
+    for i = 0 to n - 1 do
+      if (x lsr (2 * i)) land 3 = 0 then incr d
+    done
+  done;
+  !d
+
+let cofactor ctx c p =
+  Rt.in_frame ctx.rt ctx.f_cof (fun () ->
+      Rt.touch ctx.rt c.handle 1;
+      Rt.touch ctx.rt p.handle 1;
+      Rt.instructions ctx.rt (3 * ctx.words);
+      (* c cofactored by p: empty if they conflict; otherwise raise to
+         don't-care every variable where p is a literal. *)
+      if distance ctx c p > 0 then None
+      else begin
+        let bits =
+          Array.init ctx.words (fun w ->
+              (* positions where p has a literal (01 or 10): set to 11 *)
+              let lo = w * vars_per_word in
+              let n = min vars_per_word (ctx.n_vars - lo) in
+              let out = ref c.bits.(w) in
+              for i = 0 to n - 1 do
+                let pl = (p.bits.(w) lsr (2 * i)) land 3 in
+                if pl = 1 || pl = 2 then out := !out lor (3 lsl (2 * i))
+              done;
+              !out)
+        in
+        Some (birth ctx bits)
+      end)
+
+(* Allocate a cover spine (the set-family header + cube-pointer array of a
+   C implementation) sized for [n] cubes around [f].  Spine sizes vary with
+   cover length, multiplying the allocation sites the way real espresso's
+   set families do. *)
+let with_workspace ctx n f =
+  let h = Xalloc.alloc ctx.cover_wrapper ~size:(16 + (8 * max 1 n)) in
+  Rt.touch ctx.rt h (1 + n);
+  match f () with
+  | result ->
+      Rt.free ctx.rt h;
+      result
+  | exception e ->
+      Rt.free ctx.rt h;
+      raise e
+
+let cofactor_cover ctx cover p =
+  with_workspace ctx (List.length cover) (fun () ->
+      List.filter_map (fun c -> cofactor ctx c p) cover)
+
+let count_literals t =
+  (* count positions that are 01 or 10 *)
+  let n = ref 0 in
+  Array.iter
+    (fun w ->
+      let rec go w =
+        if w <> 0 then begin
+          (match w land 3 with 1 | 2 -> incr n | _ -> ());
+          go (w lsr 2)
+        end
+      in
+      go w)
+    t.bits;
+  !n
+
+let cover_cost cover =
+  (List.length cover, List.fold_left (fun acc c -> acc + count_literals c) 0 cover)
+
+(* Select the most binate variable of a cover: the variable appearing as a
+   literal in the most cubes, preferring variables that appear in both
+   phases.  Returns None when the cover is free of literals. *)
+let binate_select ctx cover =
+  let zeros = Array.make ctx.n_vars 0 in
+  let ones = Array.make ctx.n_vars 0 in
+  List.iter
+    (fun c ->
+      Rt.touch ctx.rt c.handle 1;
+      for v = 0 to ctx.n_vars - 1 do
+        match get c v with
+        | `Zero -> zeros.(v) <- zeros.(v) + 1
+        | `One -> ones.(v) <- ones.(v) + 1
+        | _ -> ()
+      done)
+    cover;
+  Rt.instructions ctx.rt (ctx.n_vars * List.length cover);
+  let best = ref None in
+  for v = 0 to ctx.n_vars - 1 do
+    let z = zeros.(v) and o = ones.(v) in
+    if z + o > 0 then begin
+      let binate = min z o > 0 in
+      let score = ((if binate then 1 lsl 20 else 0) + z + o, v) in
+      match !best with
+      | Some (s, _) when s >= fst score -> ()
+      | _ -> best := Some (fst score, v)
+    end
+  done;
+  Option.map snd !best
+
+(* Each recursion level enters the [tautology] frame again, as the C
+   implementation's recursive calls would; recursive-cycle elimination
+   collapses these in complete chains while raw chains keep the depth. *)
+let rec tautology_rec ctx cover =
+  Rt.in_frame ctx.rt ctx.f_taut (fun () ->
+      if List.exists (fun c -> count_literals c = 0) cover then true
+      else begin
+        match binate_select ctx cover with
+        | None -> false (* no universal cube and no literals: cover is empty *)
+        | Some v ->
+            let branch lit =
+              let p = universe ctx in
+              let p' = set ctx p v lit in
+              release ctx p;
+              let cof = cofactor_cover ctx cover p' in
+              release ctx p';
+              let r = tautology_rec ctx cof in
+              release_cover ctx cof;
+              r
+            in
+            branch `Zero && branch `One
+      end)
+
+let is_tautology ctx cover = tautology_rec ctx cover
+
+let covers_cube ctx f c =
+  let cof = cofactor_cover ctx f c in
+  let r = is_tautology ctx cof in
+  release_cover ctx cof;
+  r
+
+(* Complement by the unate-recursive paradigm: complement(F) =
+   x' * complement(F_x') + x * complement(F_x) on the most binate variable,
+   with terminal cases for trivial covers. *)
+let rec complement_rec ctx cover =
+  Rt.in_frame ctx.rt ctx.f_compl (fun () ->
+      if cover = [] then [ universe ctx ]
+      else if List.exists (fun c -> count_literals c = 0) cover then []
+      else begin
+        match binate_select ctx cover with
+        | None -> []
+        | Some v ->
+            let branch lit =
+              let u = universe ctx in
+              let p = set ctx u v lit in
+              release ctx u;
+              let cof = cofactor_cover ctx cover p in
+              let comp = complement_rec ctx cof in
+              release_cover ctx cof;
+              (* AND the branch literal back into each complement cube. *)
+              let out =
+                List.filter_map
+                  (fun c ->
+                    let r = intersect ctx c p in
+                    r)
+                  comp
+              in
+              release_cover ctx comp;
+              release ctx p;
+              out
+            in
+            branch `Zero @ branch `One
+      end)
+
+let complement ctx cover = complement_rec ctx cover
+
+let eval ctx f m =
+  let mt = minterm ctx m in
+  let hit = List.exists (fun c -> contains ctx c mt) f in
+  release ctx mt;
+  hit

@@ -1,0 +1,97 @@
+(** Cubes and covers for two-level logic minimization.
+
+    A cube over [n] binary variables is a conjunction of literals,
+    represented positionally with two bits per variable:
+    [01] — the variable must be 0, [10] — it must be 1, [11] — don't care,
+    [00] — the empty (contradictory) literal.  A cover is a set of cubes
+    whose union is the function's on-set.  This is the representation of the
+    Espresso logic minimizer, and the {!Espresso} workload's allocation
+    engine: cube objects are created and destroyed in torrents by the
+    recursive cofactor/tautology/complement procedures.
+
+    Cubes are simulated heap objects: every cube carries an instrumented
+    handle, and its traced size is [8 + ceil(2n/8)] bytes, like a C bit-pair
+    implementation. *)
+
+type ctx
+(** Cube-algebra context: runtime, wrapper layers, frame ids, and the
+    variable count. *)
+
+type t
+(** A cube.  Immutable once built. *)
+
+type cover = t list
+(** A cover, most recently created cube first. *)
+
+val make_ctx : Lp_ialloc.Runtime.t -> n_vars:int -> ctx
+
+val n_vars : ctx -> int
+
+val universe : ctx -> t
+(** The cube with every position don't-care. *)
+
+val of_string : ctx -> string -> t
+(** Parse a cube from a string of ['0'], ['1'], ['-'] characters, one per
+    variable.  @raise Invalid_argument on bad length or characters. *)
+
+val to_string : ctx -> t -> string
+
+val release : ctx -> t -> unit
+val release_cover : ctx -> cover -> unit
+val copy : ctx -> t -> t
+
+val minterm : ctx -> int -> t
+(** [minterm ctx m] is the cube of the single point whose bits are the
+    binary digits of [m] (variable 0 = least significant bit). *)
+
+val get : t -> int -> [ `Zero | `One | `Dash | `Empty ]
+(** Literal of one variable position. *)
+
+val set : ctx -> t -> int -> [ `Zero | `One | `Dash ] -> t
+(** A fresh cube equal to [t] except at one position. *)
+
+val is_empty : ctx -> t -> bool
+(** Does some variable have the empty literal? *)
+
+val contains : ctx -> t -> t -> bool
+(** [contains a b]: does cube [a] contain cube [b] (b ⊆ a)? *)
+
+val intersect : ctx -> t -> t -> t option
+(** Cube intersection; [None] when empty. *)
+
+val distance : ctx -> t -> t -> int
+(** Number of variable positions where the two cubes conflict. *)
+
+val cofactor : ctx -> t -> t -> t option
+(** [cofactor c p] is the Shannon cofactor of [c] with respect to cube [p]
+    ([None] if they don't intersect). *)
+
+val with_workspace : ctx -> int -> (unit -> 'a) -> 'a
+(** [with_workspace ctx n f] brackets [f] with a transient cover-spine
+    allocation sized for [n] cubes (the set-family header and pointer array
+    a C implementation would carve), freed when [f] returns. *)
+
+val cofactor_cover : ctx -> cover -> t -> cover
+(** Cofactor every cube of a cover, dropping empties. *)
+
+val count_literals : t -> int
+(** Number of non-dash positions — the cost measure minimization shrinks. *)
+
+val cover_cost : cover -> int * int
+(** [(cubes, literals)] of a cover. *)
+
+val is_tautology : ctx -> cover -> bool
+(** Does the cover contain every minterm?  Unate-recursive paradigm:
+    unate-reduction special cases plus binate branching. *)
+
+val complement : ctx -> cover -> cover
+(** Complement of a cover, by the unate-recursive paradigm (sharp against
+    branching cofactors).  The result is freshly allocated. *)
+
+val covers_cube : ctx -> cover -> t -> bool
+(** [covers_cube f c]: is cube [c] entirely inside the union of [f]?
+    (Tautology of the cofactor of [f] by [c].) *)
+
+val eval : ctx -> cover -> int -> bool
+(** [eval ctx f m] — does minterm [m] satisfy some cube of [f]?  (Direct
+    evaluation, used by tests as ground truth.) *)

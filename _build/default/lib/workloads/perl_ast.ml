@@ -1,0 +1,76 @@
+(* Abstract syntax of the mini-Perl language (a Perl-4-flavoured subset):
+   scalars, arrays, hashes, regular-expression matching and substitution,
+   subroutines with @_, and the list-producing builtins report scripts
+   live on (split / sort / keys). *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Repeat  (* x *)
+  | Concat  (* . *)
+  | NumEq
+  | NumNe
+  | NumLt
+  | NumGt
+  | NumLe
+  | NumGe
+  | StrEq  (* eq *)
+  | StrNe  (* ne *)
+  | StrLt  (* lt *)
+  | StrGt  (* gt *)
+
+type expr =
+  | Num of float
+  | Str of string
+  | Undef
+  | Scalar of string  (* $x; "_" is $_, "1".."9" are match groups *)
+  | Elem of string * expr  (* $a[i] *)
+  | HElem of string * expr  (* $h{k} *)
+  | Assign of lvalue * expr
+  | OpAssign of lvalue * binop * expr
+  | Binop of binop * expr * expr
+  | And of expr * expr
+  | Or of expr * expr
+  | Not of expr
+  | Neg of expr
+  | Incr of bool * lvalue
+  | Decr of bool * lvalue
+  | Match of expr * string  (* target =~ m/pat/ *)
+  | NoMatch of expr * string  (* target !~ m/pat/ *)
+  | Subst of lvalue * string * string  (* target =~ s/pat/repl/ *)
+  | Call of string * arg list
+  | ReadLine  (* <> *)
+  | ScalarOf of lexpr  (* scalar(@a) etc. *)
+
+and arg = AExpr of expr | AList of lexpr | ARegex of string
+
+and lvalue = LScalar of string | LElem of string * expr | LHElem of string * expr
+
+(* List-producing expressions, usable where Perl wants a LIST. *)
+and lexpr =
+  | LArr of string  (* @a *)
+  | LSplit of string * expr  (* split /pat/, expr *)
+  | LSortL of lexpr  (* sort LIST (default string order) *)
+  | LKeys of string  (* keys %h *)
+  | LValuesOf of string  (* values %h *)
+  | LWords of expr list  (* (e1, e2, ...) literal list *)
+
+type stmt =
+  | SExpr of expr
+  | SMy of string list * expr option  (* my ($a, $b) = expr? (scalars only) *)
+  | SIf of (expr * stmt list) list * stmt list option  (* if/elsif.../else *)
+  | SWhile of expr * stmt list
+  | SWhileRead of stmt list  (* while (<>) { ... } binding $_ *)
+  | SForeach of string * lexpr * stmt list
+  | SAssignList of string * lexpr  (* @a = LIST *)
+  | SSub of string * stmt list
+  | SReturn of expr option
+  | SLast
+  | SNext
+  | SPrint of expr list
+  | SPrintf of expr list
+
+type program = stmt list

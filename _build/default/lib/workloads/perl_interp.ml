@@ -1,0 +1,912 @@
+open Perl_ast
+module Rt = Lp_ialloc.Runtime
+
+type value = VNum of float | VStr of string | VUndef
+
+type cell = { mutable v : value; handle : Rt.handle }
+
+type harray = { mutable cells : cell option array; mutable len : int; mutable spine : Rt.handle }
+
+type hentry = { mutable cell : cell; node : Rt.handle }
+type hhash = { tbl : (string, hentry) Hashtbl.t; h_spine : Rt.handle }
+
+type t = {
+  rt : Rt.t;
+  program : program;
+  subs : (string, stmt list) Hashtbl.t;
+  globals : (string, cell) Hashtbl.t;
+  mutable scopes : (string, cell) Hashtbl.t list;
+  arrays : (string, harray) Hashtbl.t;
+  hashes : (string, hhash) Hashtbl.t;
+  mutable stdin_lines : string array;
+  mutable stdin_pos : int;
+  mutable last_match : (Regex.match_result * string) option;
+  regex_cache : (string, Regex.t) Hashtbl.t;
+  output : Buffer.t;
+  sv_wrapper : Xalloc.t;  (* new_sv -> safemalloc *)
+  spine_wrapper : Xalloc.t;  (* av_extend -> safemalloc *)
+  node_wrapper : Xalloc.t;  (* hv_store -> safemalloc *)
+  match_wrapper : Xalloc.t;  (* regmatch -> safemalloc *)
+  f_eval : Lp_callchain.Func.id;
+  f_exec : Lp_callchain.Func.id;
+  f_concat : Lp_callchain.Func.id;
+  f_arith : Lp_callchain.Func.id;
+  f_compare : Lp_callchain.Func.id;
+  f_assign : Lp_callchain.Func.id;
+  f_store : Lp_callchain.Func.id;
+  f_match : Lp_callchain.Func.id;
+  f_subst : Lp_callchain.Func.id;
+  f_split : Lp_callchain.Func.id;
+  f_sort : Lp_callchain.Func.id;
+  f_sub : Lp_callchain.Func.id;
+  f_print : Lp_callchain.Func.id;
+  builtin_frames : (string, Lp_callchain.Func.id) Hashtbl.t;
+}
+
+exception Last_loop
+exception Next_loop
+exception Return_value of cell
+
+let create rt program =
+  let subs = Hashtbl.create 8 in
+  List.iter (function SSub (name, body) -> Hashtbl.replace subs name body | _ -> ()) program;
+  let builtin_frames = Hashtbl.create 16 in
+  List.iter
+    (fun b -> Hashtbl.replace builtin_frames b (Rt.func rt ("pp_" ^ b)))
+    [ "length"; "substr"; "join"; "chomp"; "uc"; "lc"; "push"; "pop"; "shift";
+      "unshift"; "sprintf"; "defined"; "index"; "int"; "abs" ];
+  {
+    rt;
+    program;
+    subs;
+    globals = Hashtbl.create 64;
+    scopes = [];
+    arrays = Hashtbl.create 16;
+    hashes = Hashtbl.create 16;
+    stdin_lines = [||];
+    stdin_pos = 0;
+    last_match = None;
+    regex_cache = Hashtbl.create 16;
+    output = Buffer.create 4096;
+    sv_wrapper = Xalloc.create rt ~layers:[ "new_sv"; "safemalloc" ];
+    spine_wrapper = Xalloc.create rt ~layers:[ "av_extend"; "safemalloc" ];
+    node_wrapper = Xalloc.create rt ~layers:[ "hv_store"; "safemalloc" ];
+    match_wrapper = Xalloc.create rt ~layers:[ "regmatch_state"; "safemalloc" ];
+    f_eval = Rt.func rt "pl_eval";
+    f_exec = Rt.func rt "pl_exec";
+    f_concat = Rt.func rt "pp_concat";
+    f_arith = Rt.func rt "pp_arith";
+    f_compare = Rt.func rt "pp_compare";
+    f_assign = Rt.func rt "pp_sassign";
+    f_store = Rt.func rt "sv_setsv";
+    f_match = Rt.func rt "pp_match";
+    f_subst = Rt.func rt "pp_subst";
+    f_split = Rt.func rt "pp_split";
+    f_sort = Rt.func rt "pp_sort";
+    f_sub = Rt.func rt "pp_entersub";
+    f_print = Rt.func rt "pp_print";
+    builtin_frames;
+  }
+
+(* -- cells ---------------------------------------------------------------------- *)
+
+let cell_size = function VNum _ -> 24 | VStr s -> 25 + String.length s | VUndef -> 24
+
+let mk t v =
+  let handle = Xalloc.alloc t.sv_wrapper ~size:(cell_size v) in
+  Rt.touch t.rt handle 1;
+  { v; handle }
+
+let mk_num t f = mk t (VNum f)
+let mk_str t s = mk t (VStr s)
+let free_cell t c = Rt.free t.rt c.handle
+
+let read t c =
+  Rt.touch t.rt c.handle 1;
+  c.v
+
+let copy t c =
+  Rt.touch t.rt c.handle 1;
+  mk t c.v
+
+(* Overwrite a cell in place when the new value fits its allocation (perl's
+   sv_setsv upgrades the SV body only when it must grow). *)
+let overwrite t c v =
+  if cell_size v <= Rt.size_of t.rt c.handle then begin
+    c.v <- v;
+    Rt.touch t.rt c.handle 1;
+    true
+  end
+  else false
+
+let to_num = function
+  | VNum f -> f
+  | VStr s -> (
+      (* leading numeric prefix, Perl-style *)
+      let n = String.length s in
+      let i = ref 0 in
+      while !i < n && (s.[!i] = ' ' || s.[!i] = '\t') do
+        incr i
+      done;
+      let start = !i in
+      if !i < n && (s.[!i] = '+' || s.[!i] = '-') then incr i;
+      while !i < n && ((s.[!i] >= '0' && s.[!i] <= '9') || s.[!i] = '.') do
+        incr i
+      done;
+      if !i = start then 0.
+      else begin
+        match float_of_string_opt (String.sub s start (!i - start)) with
+        | Some f -> f
+        | None -> 0.
+      end)
+  | VUndef -> 0.
+
+let to_str = function
+  | VNum f ->
+      if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+      else Printf.sprintf "%g" f
+  | VStr s -> s
+  | VUndef -> ""
+
+let truthy = function
+  | VUndef -> false
+  | VNum f -> f <> 0.
+  | VStr s -> s <> "" && s <> "0"
+
+(* -- variables -------------------------------------------------------------------- *)
+
+let match_group t i =
+  match t.last_match with
+  | Some (m, subject) -> (
+      match Regex.group m subject i with Some s -> VStr s | None -> VUndef)
+  | None -> VUndef
+
+let get_scalar t name =
+  if String.length name = 1 && name.[0] >= '1' && name.[0] <= '9' then
+    mk t (match_group t (Char.code name.[0] - Char.code '0'))
+  else begin
+    let rec find = function
+      | [] -> Hashtbl.find_opt t.globals name
+      | scope :: rest -> (
+          match Hashtbl.find_opt scope name with Some c -> Some c | None -> find rest)
+    in
+    match find t.scopes with
+    | Some c -> copy t c
+    | None -> mk t VUndef
+  end
+
+(* Takes ownership of [cell]. *)
+let set_scalar t name cell =
+  let rec find = function
+    | [] -> None
+    | scope :: rest -> if Hashtbl.mem scope name then Some scope else find rest
+  in
+  let store tbl =
+    (match Hashtbl.find_opt tbl name with Some old -> free_cell t old | None -> ());
+    Hashtbl.replace tbl name cell
+  in
+  match find t.scopes with Some s -> store s | None -> store t.globals
+
+let declare_my t name =
+  match t.scopes with
+  | scope :: _ ->
+      (match Hashtbl.find_opt scope name with Some old -> free_cell t old | None -> ());
+      Hashtbl.replace scope name (mk t VUndef)
+  | [] -> set_scalar t name (mk t VUndef)
+
+let get_harray t name =
+  match Hashtbl.find_opt t.arrays name with
+  | Some a -> a
+  | None ->
+      let spine = Xalloc.alloc t.spine_wrapper ~size:(16 + (8 * 8)) in
+      Rt.touch t.rt spine 1;
+      let a = { cells = Array.make 8 None; len = 0; spine } in
+      Hashtbl.replace t.arrays name a;
+      a
+
+let aget a i =
+  match a.cells.(i) with
+  | Some c -> c
+  | None -> invalid_arg "perl array: hole"
+
+let array_push t a cell =
+  if a.len = Array.length a.cells then begin
+    (* grow the spine: the old spine object dies, a bigger one is born *)
+    let bigger = Array.make (2 * a.len) None in
+    Array.blit a.cells 0 bigger 0 a.len;
+    a.cells <- bigger;
+    Rt.free t.rt a.spine;
+    let spine = Xalloc.alloc t.spine_wrapper ~size:(16 + (8 * 2 * a.len)) in
+    Rt.touch t.rt spine 1;
+    a.spine <- spine
+  end;
+  a.cells.(a.len) <- Some cell;
+  a.len <- a.len + 1;
+  Rt.touch t.rt a.spine 1
+
+let array_clear t a =
+  for i = 0 to a.len - 1 do
+    free_cell t (aget a i)
+  done;
+  a.len <- 0
+
+let get_hhash t name =
+  match Hashtbl.find_opt t.hashes name with
+  | Some h -> h
+  | None ->
+      let h_spine = Xalloc.alloc t.spine_wrapper ~size:(32 + (16 * 8)) in
+      Rt.touch t.rt h_spine 1;
+      let h = { tbl = Hashtbl.create 16; h_spine } in
+      Hashtbl.replace t.hashes name h;
+      h
+
+(* -- regex ------------------------------------------------------------------------- *)
+
+let compiled t pat =
+  match Hashtbl.find_opt t.regex_cache pat with
+  | Some re -> re
+  | None ->
+      let re = Regex.compile pat in
+      (* compiled program node: long-lived *)
+      let h = Xalloc.alloc t.match_wrapper ~size:(48 + (8 * String.length pat)) in
+      Rt.touch t.rt h 2;
+      Hashtbl.replace t.regex_cache pat re;
+      re
+
+let run_match t re subject =
+  (* per-application match state, freed when matching completes *)
+  let state = Xalloc.alloc t.match_wrapper ~size:96 in
+  Rt.touch t.rt state 4;
+  let result = Regex.search re subject in
+  Rt.instructions t.rt (Regex.steps_of_last_search ());
+  Rt.free t.rt state;
+  result
+
+(* -- evaluation --------------------------------------------------------------------- *)
+
+let rec eval t e : cell =
+  Rt.in_frame t.rt t.f_eval (fun () ->
+      Rt.instructions t.rt 4;
+      Rt.non_heap_refs t.rt 2;
+      match e with
+      | Num f -> mk_num t f
+      | Str s -> mk_str t s
+      | Undef -> mk t VUndef
+      | Scalar name -> get_scalar t name
+      | Elem (name, idx) ->
+          let ci = eval t idx in
+          let i = int_of_float (to_num (read t ci)) in
+          free_cell t ci;
+          let a = get_harray t name in
+          Rt.touch t.rt a.spine 1;
+          if i >= 0 && i < a.len then copy t (aget a i) else mk t VUndef
+      | HElem (name, key) ->
+          let ck = eval t key in
+          let k = to_str (read t ck) in
+          free_cell t ck;
+          let h = get_hhash t name in
+          Rt.touch t.rt h.h_spine 1;
+          (match Hashtbl.find_opt h.tbl k with
+          | Some entry ->
+              Rt.touch t.rt entry.node 1;
+              copy t entry.cell
+          | None -> mk t VUndef)
+      | Assign (lv, rhs) ->
+          Rt.in_frame t.rt t.f_assign (fun () ->
+              (* like perl's sv_setsv: the rhs temporary stays short-lived;
+                 the destination SV is overwritten in place, or reallocated
+                 at the store site when the value outgrows its body *)
+              let v = eval t rhs in
+              store_value t lv (read t v);
+              v)
+      | OpAssign (lv, op, rhs) ->
+          Rt.in_frame t.rt t.f_assign (fun () ->
+              let old = eval t (lv_to_expr lv) in
+              let r = eval t rhs in
+              let combined = binop t op old r in
+              free_cell t old;
+              free_cell t r;
+              store_value t lv (read t combined);
+              combined)
+      | Binop (op, a, b) ->
+          let ca = eval t a in
+          let cb = eval t b in
+          let r = binop t op ca cb in
+          free_cell t ca;
+          free_cell t cb;
+          r
+      | And (a, b) ->
+          let ca = eval t a in
+          let tr = truthy (read t ca) in
+          if tr then begin
+            free_cell t ca;
+            eval t b
+          end
+          else ca
+      | Or (a, b) ->
+          let ca = eval t a in
+          let tr = truthy (read t ca) in
+          if tr then ca
+          else begin
+            free_cell t ca;
+            eval t b
+          end
+      | Not a ->
+          let ca = eval t a in
+          let tr = truthy (read t ca) in
+          free_cell t ca;
+          mk_num t (if tr then 0. else 1.)
+      | Neg a ->
+          let ca = eval t a in
+          let f = to_num (read t ca) in
+          free_cell t ca;
+          mk_num t (-.f)
+      | Incr (prefix, lv) -> step t lv prefix 1.
+      | Decr (prefix, lv) -> step t lv prefix (-1.)
+      | Match (target, pat) ->
+          Rt.in_frame t.rt t.f_match (fun () ->
+              let ct = eval t target in
+              let subject = to_str (read t ct) in
+              free_cell t ct;
+              let result = run_match t (compiled t pat) subject in
+              (match result with
+              | Some m -> t.last_match <- Some (m, subject)
+              | None -> ());
+              mk_num t (if result <> None then 1. else 0.))
+      | NoMatch (target, pat) ->
+          Rt.in_frame t.rt t.f_match (fun () ->
+              let ct = eval t target in
+              let subject = to_str (read t ct) in
+              free_cell t ct;
+              let result = run_match t (compiled t pat) subject in
+              mk_num t (if result = None then 1. else 0.))
+      | Subst (lv, pat, repl) ->
+          Rt.in_frame t.rt t.f_subst (fun () ->
+              let old = eval t (lv_to_expr lv) in
+              let subject = to_str (read t old) in
+              free_cell t old;
+              let re = compiled t pat in
+              let state = Xalloc.alloc t.match_wrapper ~size:96 in
+              Rt.touch t.rt state 4;
+              let replaced = Regex.replace_first re subject ~template:repl in
+              Rt.instructions t.rt (Regex.steps_of_last_search ());
+              Rt.free t.rt state;
+              (match replaced with
+              | Some s -> store_value t lv (VStr s)
+              | None -> ());
+              mk_num t (if replaced <> None then 1. else 0.))
+      | Call (name, args) -> call t name args
+      | ReadLine ->
+          if t.stdin_pos < Array.length t.stdin_lines then begin
+            let line = t.stdin_lines.(t.stdin_pos) in
+            t.stdin_pos <- t.stdin_pos + 1;
+            Rt.non_heap_refs t.rt (String.length line / 8);
+            mk_str t (line ^ "\n")
+          end
+          else mk t VUndef
+      | ScalarOf l ->
+          let cells = eval_list t l in
+          let n = List.length cells in
+          List.iter (free_cell t) cells;
+          mk_num t (float_of_int n))
+
+and lv_to_expr = function
+  | LScalar s -> Scalar s
+  | LElem (a, i) -> Elem (a, i)
+  | LHElem (h, k) -> HElem (h, k)
+
+and step t lv prefix delta =
+  Rt.in_frame t.rt t.f_assign (fun () ->
+      let old = eval t (lv_to_expr lv) in
+      let f = to_num (read t old) in
+      free_cell t old;
+      let result = if prefix then mk_num t (f +. delta) else mk_num t f in
+      store_value t lv (VNum (f +. delta));
+      result)
+
+(* Takes ownership of [cell]. *)
+and store t lv cell =
+  match lv with
+  | LScalar name -> set_scalar t name cell
+  | LElem (name, idx) ->
+      let ci = eval t idx in
+      let i = int_of_float (to_num (read t ci)) in
+      free_cell t ci;
+      let a = get_harray t name in
+      if i >= 0 && i < a.len then begin
+        free_cell t (aget a i);
+        a.cells.(i) <- Some cell
+      end
+      else if i = a.len then array_push t a cell
+      else begin
+        (* fill the gap with undefs *)
+        while a.len < i do
+          array_push t a (mk t VUndef)
+        done;
+        array_push t a cell
+      end
+  | LHElem (name, key) ->
+      let ck = eval t key in
+      let k = to_str (read t ck) in
+      free_cell t ck;
+      let h = get_hhash t name in
+      (match Hashtbl.find_opt h.tbl k with
+      | Some entry ->
+          Rt.touch t.rt entry.node 1;
+          free_cell t entry.cell;
+          entry.cell <- cell
+      | None ->
+          let node = Xalloc.alloc t.node_wrapper ~size:(32 + String.length k) in
+          Rt.touch t.rt node 2;
+          Hashtbl.replace h.tbl k { cell; node })
+
+(* Store a value, overwriting the destination in place when it fits and
+   allocating a fresh cell at the store site otherwise. *)
+and store_value t lv v =
+  let fresh () = Rt.in_frame t.rt t.f_store (fun () -> mk t v) in
+  match lv with
+  | LScalar name -> (
+      let existing =
+        let rec find = function
+          | [] -> Hashtbl.find_opt t.globals name
+          | scope :: rest -> (
+              match Hashtbl.find_opt scope name with
+              | Some c -> Some c
+              | None -> find rest)
+        in
+        if String.length name = 1 && name.[0] >= '1' && name.[0] <= '9' then None
+        else find t.scopes
+      in
+      match existing with
+      | Some c when overwrite t c v -> ()
+      | _ -> set_scalar t name (fresh ()))
+  | LElem (name, idx) ->
+      let ci = eval t idx in
+      let i = int_of_float (to_num (read t ci)) in
+      free_cell t ci;
+      let a = get_harray t name in
+      if i >= 0 && i < a.len && overwrite t (aget a i) v then ()
+      else store t (LElem (name, Num (float_of_int i))) (fresh ())
+  | LHElem (name, key) ->
+      let ck = eval t key in
+      let k = to_str (read t ck) in
+      free_cell t ck;
+      let h = get_hhash t name in
+      (match Hashtbl.find_opt h.tbl k with
+      | Some entry ->
+          Rt.touch t.rt entry.node 1;
+          if not (overwrite t entry.cell v) then begin
+            free_cell t entry.cell;
+            entry.cell <- fresh ()
+          end
+      | None ->
+          let node = Xalloc.alloc t.node_wrapper ~size:(32 + String.length k) in
+          Rt.touch t.rt node 2;
+          Hashtbl.replace h.tbl k { cell = fresh (); node })
+
+and binop t op a b =
+  match op with
+  | Concat ->
+      Rt.in_frame t.rt t.f_concat (fun () ->
+          let s = to_str (read t a) ^ to_str (read t b) in
+          Rt.instructions t.rt (String.length s);
+          mk_str t s)
+  | Repeat ->
+      Rt.in_frame t.rt t.f_concat (fun () ->
+          let s = to_str (read t a) in
+          let n = int_of_float (to_num (read t b)) in
+          let buf = Buffer.create (String.length s * max 1 n) in
+          for _ = 1 to n do
+            Buffer.add_string buf s
+          done;
+          Rt.instructions t.rt (Buffer.length buf);
+          mk_str t (Buffer.contents buf))
+  | Add | Sub | Mul | Div | Mod ->
+      Rt.in_frame t.rt t.f_arith (fun () ->
+          let x = to_num (read t a) and y = to_num (read t b) in
+          let f =
+            match op with
+            | Add -> x +. y
+            | Sub -> x -. y
+            | Mul -> x *. y
+            | Div -> x /. y
+            | Mod -> Float.rem x y
+            | _ -> assert false
+          in
+          mk_num t f)
+  | NumEq | NumNe | NumLt | NumGt | NumLe | NumGe ->
+      Rt.in_frame t.rt t.f_compare (fun () ->
+          let c = Float.compare (to_num (read t a)) (to_num (read t b)) in
+          let r =
+            match op with
+            | NumEq -> c = 0
+            | NumNe -> c <> 0
+            | NumLt -> c < 0
+            | NumGt -> c > 0
+            | NumLe -> c <= 0
+            | NumGe -> c >= 0
+            | _ -> assert false
+          in
+          mk_num t (if r then 1. else 0.))
+  | StrEq | StrNe | StrLt | StrGt ->
+      Rt.in_frame t.rt t.f_compare (fun () ->
+          let c = Stdlib.compare (to_str (read t a)) (to_str (read t b)) in
+          let r =
+            match op with
+            | StrEq -> c = 0
+            | StrNe -> c <> 0
+            | StrLt -> c < 0
+            | StrGt -> c > 0
+            | _ -> assert false
+          in
+          mk_num t (if r then 1. else 0.))
+
+and eval_list t (l : lexpr) : cell list =
+  match l with
+  | LArr name ->
+      let a = get_harray t name in
+      Rt.touch t.rt a.spine 1;
+      List.init a.len (fun i -> copy t (aget a i))
+  | LWords exprs -> List.map (eval t) exprs
+  | LKeys name ->
+      let h = get_hhash t name in
+      Rt.touch t.rt h.h_spine 1;
+      let keys = Hashtbl.fold (fun k _ acc -> k :: acc) h.tbl [] in
+      List.map (mk_str t) (List.sort Stdlib.compare keys)
+  | LValuesOf name ->
+      let h = get_hhash t name in
+      Rt.touch t.rt h.h_spine 1;
+      let keys = Hashtbl.fold (fun k _ acc -> k :: acc) h.tbl [] in
+      List.map
+        (fun k ->
+          let entry = Hashtbl.find h.tbl k in
+          copy t entry.cell)
+        (List.sort Stdlib.compare keys)
+  | LSortL inner ->
+      Rt.in_frame t.rt t.f_sort (fun () ->
+          let cells = eval_list t inner in
+          let keyed = List.map (fun c -> (to_str (read t c), c)) cells in
+          let sorted = List.sort (fun (a, _) (b, _) -> Stdlib.compare a b) keyed in
+          Rt.instructions t.rt (4 * List.length sorted);
+          List.map snd sorted)
+  | LSplit (pat, target) ->
+      Rt.in_frame t.rt t.f_split (fun () ->
+          let ct = eval t target in
+          let subject = to_str (read t ct) in
+          free_cell t ct;
+          let re = compiled t pat in
+          let parts = ref [] in
+          let pos = ref 0 in
+          let n = String.length subject in
+          let continue = ref true in
+          while !continue && !pos <= n do
+            let rest = String.sub subject !pos (n - !pos) in
+            match run_match t re rest with
+            | Some m when m.Regex.end_pos > m.Regex.start_pos ->
+                parts := String.sub rest 0 m.Regex.start_pos :: !parts;
+                pos := !pos + m.Regex.end_pos
+            | _ ->
+                parts := rest :: !parts;
+                continue := false
+          done;
+          List.rev_map (mk_str t) !parts)
+
+and call t name args =
+  match Hashtbl.find_opt t.builtin_frames name with
+  | Some frame -> Rt.in_frame t.rt frame (fun () -> builtin t name args)
+  | None -> (
+      match Hashtbl.find_opt t.subs name with
+      | Some body -> Rt.in_frame t.rt t.f_sub (fun () -> call_sub t body args)
+      | None -> failwith ("perl: undefined subroutine " ^ name))
+
+and call_sub t body args =
+  (* arguments land in @_ (saved and restored around the call) *)
+  let arg_cells =
+    List.concat_map
+      (function
+        | AExpr e -> [ eval t e ]
+        | AList l -> eval_list t l
+        | ARegex _ -> failwith "perl: regex argument to subroutine")
+      args
+  in
+  let saved_underscore_array = Hashtbl.find_opt t.arrays "_" in
+  let spine = Xalloc.alloc t.spine_wrapper ~size:(16 + (8 * max 1 (List.length arg_cells))) in
+  Rt.touch t.rt spine 1;
+  let argv =
+    { cells = Array.of_list (List.map Option.some arg_cells @ [ None ]);
+      len = List.length arg_cells;
+      spine }
+  in
+  Hashtbl.replace t.arrays "_" argv;
+  let scope = Hashtbl.create 8 in
+  t.scopes <- scope :: t.scopes;
+  let result =
+    match List.iter (exec t) body with
+    | () -> mk t VUndef
+    | exception Return_value c -> c
+  in
+  t.scopes <- List.tl t.scopes;
+  Hashtbl.iter (fun _ c -> free_cell t c) scope;
+  array_clear t argv;
+  Rt.free t.rt argv.spine;
+  (match saved_underscore_array with
+  | Some old -> Hashtbl.replace t.arrays "_" old
+  | None -> Hashtbl.remove t.arrays "_");
+  result
+
+and builtin t name args =
+  let scalar_args =
+    List.filter_map (function AExpr e -> Some (eval t e) | _ -> None) args
+  in
+  let str i = to_str (read t (List.nth scalar_args i)) in
+  let num i = to_num (read t (List.nth scalar_args i)) in
+  let nargs = List.length scalar_args in
+  let finish result =
+    List.iter (free_cell t) scalar_args;
+    result
+  in
+  match (name, args) with
+  | "push", AList (LArr arr) :: rest ->
+      let a = get_harray t arr in
+      List.iter
+        (function
+          | AExpr e -> array_push t a (eval t e)
+          | AList l -> List.iter (array_push t a) (eval_list t l)
+          | ARegex _ -> failwith "perl: bad push argument")
+        rest;
+      finish (mk_num t (float_of_int a.len))
+  | "pop", [ AList (LArr arr) ] ->
+      let a = get_harray t arr in
+      if a.len = 0 then finish (mk t VUndef)
+      else begin
+        a.len <- a.len - 1;
+        finish (aget a a.len)
+      end
+  | "shift", [ AList (LArr arr) ] ->
+      let a = get_harray t arr in
+      if a.len = 0 then finish (mk t VUndef)
+      else begin
+        let first = aget a 0 in
+        Array.blit a.cells 1 a.cells 0 (a.len - 1);
+        a.len <- a.len - 1;
+        Rt.touch t.rt a.spine (1 + a.len);
+        finish first
+      end
+  | "shift", [] ->
+      (* shift @_ *)
+      let a = get_harray t "_" in
+      if a.len = 0 then finish (mk t VUndef)
+      else begin
+        let first = aget a 0 in
+        Array.blit a.cells 1 a.cells 0 (a.len - 1);
+        a.len <- a.len - 1;
+        finish first
+      end
+  | "unshift", AList (LArr arr) :: [ AExpr e ] ->
+      let a = get_harray t arr in
+      let c = eval t e in
+      array_push t a c;
+      (* rotate right by one *)
+      let last = a.cells.(a.len - 1) in
+      Array.blit a.cells 0 a.cells 1 (a.len - 1);
+      a.cells.(0) <- last;
+
+      Rt.touch t.rt a.spine a.len;
+      finish (mk_num t (float_of_int a.len))
+  | "join", AExpr sep :: rest ->
+      let csep = eval t sep in
+      let sep_s = to_str (read t csep) in
+      free_cell t csep;
+      let cells =
+        List.concat_map
+          (function
+            | AExpr e -> [ eval t e ]
+            | AList l -> eval_list t l
+            | ARegex _ -> failwith "perl: bad join argument")
+          rest
+      in
+      let s = String.concat sep_s (List.map (fun c -> to_str (read t c)) cells) in
+      List.iter (free_cell t) cells;
+      Rt.instructions t.rt (String.length s);
+      finish (mk_str t s)
+  | "length", _ when nargs = 1 -> finish (mk_num t (float_of_int (String.length (str 0))))
+  | "length", [] ->
+      let c = get_scalar t "_" in
+      let n = String.length (to_str (read t c)) in
+      free_cell t c;
+      finish (mk_num t (float_of_int n))
+  | "substr", _ when nargs >= 2 ->
+      let s = str 0 in
+      let start = int_of_float (num 1) in
+      let start = if start < 0 then max 0 (String.length s + start) else start in
+      let len = if nargs >= 3 then int_of_float (num 2) else String.length s - start in
+      let start = min start (String.length s) in
+      let len = max 0 (min len (String.length s - start)) in
+      finish (mk_str t (String.sub s start len))
+  | "index", _ when nargs = 2 ->
+      let s = str 0 and target = str 1 in
+      let n = String.length s and m = String.length target in
+      let found = ref (-1) in
+      (try
+         for i = 0 to n - m do
+           if String.sub s i m = target then begin
+             found := i;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      Rt.instructions t.rt n;
+      finish (mk_num t (float_of_int !found))
+  | "chomp", [ AExpr (Scalar v) ] ->
+      let c = get_scalar t v in
+      let s = to_str (read t c) in
+      free_cell t c;
+      let s =
+        if String.length s > 0 && s.[String.length s - 1] = '\n' then
+          String.sub s 0 (String.length s - 1)
+        else s
+      in
+      store_value t (LScalar v) (VStr s);
+      finish (mk_num t 1.)
+  | "uc", _ when nargs = 1 -> finish (mk_str t (String.uppercase_ascii (str 0)))
+  | "lc", _ when nargs = 1 -> finish (mk_str t (String.lowercase_ascii (str 0)))
+  | "int", _ when nargs = 1 -> finish (mk_num t (Float.of_int (int_of_float (num 0))))
+  | "abs", _ when nargs = 1 -> finish (mk_num t (Float.abs (num 0)))
+  | "defined", _ when nargs = 1 ->
+      let is_def = match read t (List.nth scalar_args 0) with VUndef -> false | _ -> true in
+      finish (mk_num t (if is_def then 1. else 0.))
+  | "sprintf", _ when nargs >= 1 ->
+      let vals = List.tl scalar_args in
+      finish (mk_str t (format_values t (str 0) vals))
+  | _ -> failwith (Printf.sprintf "perl: bad builtin call %s/%d" name nargs)
+
+and format_values t fmt args =
+  let buf = Buffer.create 64 in
+  let args = ref args in
+  let next () =
+    match !args with
+    | [] -> VUndef
+    | a :: rest ->
+        args := rest;
+        read t a
+  in
+  let n = String.length fmt in
+  let i = ref 0 in
+  while !i < n do
+    let c = fmt.[!i] in
+    if c <> '%' then begin
+      Buffer.add_char buf c;
+      incr i
+    end
+    else begin
+      let start = !i in
+      incr i;
+      while
+        !i < n && (fmt.[!i] = '-' || fmt.[!i] = '.' || (fmt.[!i] >= '0' && fmt.[!i] <= '9'))
+      do
+        incr i
+      done;
+      if !i < n then begin
+        let conv = fmt.[!i] in
+        let spec = String.sub fmt start (!i - start + 1) in
+        incr i;
+        match conv with
+        | '%' -> Buffer.add_char buf '%'
+        | 'd' ->
+            Buffer.add_string buf
+              (Printf.sprintf
+                 (Scanf.format_from_string spec "%d")
+                 (int_of_float (to_num (next ()))))
+        | 's' ->
+            Buffer.add_string buf
+              (Printf.sprintf (Scanf.format_from_string spec "%s") (to_str (next ())))
+        | 'f' | 'g' ->
+            let spec = String.sub spec 0 (String.length spec - 1) ^ "f" in
+            Buffer.add_string buf
+              (Printf.sprintf (Scanf.format_from_string spec "%f") (to_num (next ())))
+        | other -> failwith (Printf.sprintf "perl: unsupported conversion %%%c" other)
+      end
+    end
+  done;
+  Buffer.contents buf
+
+(* -- statements ----------------------------------------------------------------------- *)
+
+and exec t stmt : unit =
+  Rt.in_frame t.rt t.f_exec (fun () ->
+      Rt.instructions t.rt 4;
+      Rt.non_heap_refs t.rt 2;
+      match stmt with
+      | SExpr e -> free_cell t (eval t e)
+      | SMy (vars, init) -> (
+          List.iter (declare_my t) vars;
+          match (vars, init) with
+          | [ v ], Some e ->
+              let c = eval t e in
+              set_scalar t v c
+          | _, None -> ()
+          | _, Some _ -> failwith "perl: my-list initialisation unsupported")
+      | SIf (branches, else_) ->
+          let rec go = function
+            | [] -> Option.iter (List.iter (exec t)) else_
+            | (cond, body) :: rest ->
+                let c = eval t cond in
+                let tr = truthy (read t c) in
+                free_cell t c;
+                if tr then List.iter (exec t) body else go rest
+          in
+          go branches
+      | SWhile (cond, body) -> (
+          try
+            let continue = ref true in
+            while !continue do
+              let c = eval t cond in
+              let tr = truthy (read t c) in
+              free_cell t c;
+              if tr then (try List.iter (exec t) body with Next_loop -> ())
+              else continue := false
+            done
+          with Last_loop -> ())
+      | SWhileRead body -> (
+          try
+            let continue = ref true in
+            while !continue do
+              let line = eval t ReadLine in
+              match read t line with
+              | VUndef ->
+                  free_cell t line;
+                  continue := false
+              | _ -> (
+                  store_value t (LScalar "_") (read t line);
+                  free_cell t line;
+                  try List.iter (exec t) body with Next_loop -> ())
+            done
+          with Last_loop -> ())
+      | SForeach (var, l, body) -> (
+          let cells = eval_list t l in
+          try
+            List.iter
+              (fun c ->
+                store_value t (LScalar var) (read t c);
+                free_cell t c;
+                try List.iter (exec t) body with Next_loop -> ())
+              cells
+          with Last_loop -> ())
+      | SAssignList (name, l) ->
+          let cells = eval_list t l in
+          let a = get_harray t name in
+          array_clear t a;
+          List.iter (array_push t a) cells
+      | SSub _ -> () (* bound at create *)
+      | SReturn e ->
+          let c = match e with Some e -> eval t e | None -> mk t VUndef in
+          raise (Return_value c)
+      | SLast -> raise Last_loop
+      | SNext -> raise Next_loop
+      | SPrint args ->
+          Rt.in_frame t.rt t.f_print (fun () ->
+              List.iter
+                (fun e ->
+                  let c = eval t e in
+                  Buffer.add_string t.output (to_str (read t c));
+                  free_cell t c)
+                args;
+              Buffer.add_char t.output '\n')
+      | SPrintf args ->
+          Rt.in_frame t.rt t.f_print (fun () ->
+              match args with
+              | [] -> ()
+              | fmt :: rest ->
+                  let cf = eval t fmt in
+                  let cells = List.map (eval t) rest in
+                  Buffer.add_string t.output (format_values t (to_str (read t cf)) cells);
+                  free_cell t cf;
+                  List.iter (free_cell t) cells))
+
+let run t ~stdin =
+  t.stdin_lines <- stdin;
+  t.stdin_pos <- 0;
+  let f_main = Rt.func t.rt "perl_main" in
+  Rt.in_frame t.rt f_main (fun () ->
+      List.iter (exec t) t.program;
+      Buffer.contents t.output)

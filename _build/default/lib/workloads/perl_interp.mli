@@ -1,0 +1,21 @@
+(** Tree-walking interpreter for the mini-Perl language, with the same
+    instrumented-cell memory discipline as the AWK interpreter: every
+    evaluation yields a fresh heap cell owned by its consumer; variables,
+    array slots and hash entries own their stored cells; hash and array
+    spines are long-lived heap objects.
+
+    Regular-expression matching runs on the {!Regex} engine; the
+    interpreter charges simulated instructions proportional to the
+    backtracking steps and allocates a match-state object per application
+    (Perl's runtime match stack), freed when the match completes. *)
+
+type t
+
+val create : Lp_ialloc.Runtime.t -> Perl_ast.program -> t
+
+val run : t -> stdin:string array -> string
+(** Execute the program; [<>] reads successive lines of [stdin].  Returns
+    everything printed.
+
+    @raise Failure on runtime errors (undefined subroutine, bad builtin
+    arity, etc.). *)

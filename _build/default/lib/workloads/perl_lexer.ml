@@ -1,0 +1,304 @@
+type token =
+  | NUMBER of float
+  | STRING of string
+  | SCALAR of string
+  | ARRAY of string
+  | HASH of string
+  | IDENT of string
+  | REGEX of string
+  | SUBST of string * string
+  | READLINE
+  | LBRACE
+  | RBRACE
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | SEMI
+  | COMMA
+  | FATCOMMA
+  | ASSIGN
+  | ADD_ASSIGN
+  | SUB_ASSIGN
+  | MUL_ASSIGN
+  | DIV_ASSIGN
+  | CAT_ASSIGN
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | DOT
+  | XOP
+  | NUMEQ
+  | NUMNE
+  | NUMLT
+  | NUMGT
+  | NUMLE
+  | NUMGE
+  | ANDAND
+  | OROR
+  | NOT
+  | INCR
+  | DECR
+  | BIND
+  | NBIND
+  | EOF
+
+exception Lex_error of string * int
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+(* After these tokens a '/' must start a regex (an operand position). *)
+let operand_expected = function
+  | None -> true
+  | Some
+      ( LPAREN | LBRACE | LBRACKET | SEMI | COMMA | FATCOMMA | ASSIGN | ADD_ASSIGN
+      | SUB_ASSIGN | MUL_ASSIGN | DIV_ASSIGN | CAT_ASSIGN | PLUS | MINUS | STAR
+      | SLASH | PERCENT | DOT | NUMEQ | NUMNE | NUMLT | NUMGT | NUMLE | NUMGE
+      | ANDAND | OROR | NOT | BIND | NBIND ) ->
+      true
+  | Some _ -> false
+
+let read_delimited src pos delim =
+  (* reads to the next unescaped [delim]; returns (content, next_pos) *)
+  let n = String.length src in
+  let buf = Buffer.create 16 in
+  let i = ref pos in
+  let closed = ref false in
+  while (not !closed) && !i < n do
+    let c = src.[!i] in
+    if c = '\\' && !i + 1 < n && src.[!i + 1] = delim then begin
+      Buffer.add_char buf delim;
+      i := !i + 2
+    end
+    else if c = '\\' && !i + 1 < n then begin
+      Buffer.add_char buf '\\';
+      Buffer.add_char buf src.[!i + 1];
+      i := !i + 2
+    end
+    else if c = delim then begin
+      closed := true;
+      incr i
+    end
+    else begin
+      Buffer.add_char buf c;
+      incr i
+    end
+  done;
+  if not !closed then raise (Lex_error (Printf.sprintf "unterminated %c...%c" delim delim, pos));
+  (Buffer.contents buf, !i)
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let last = ref None in
+  let emit t =
+    toks := t :: !toks;
+    last := Some t
+  in
+  let i = ref 0 in
+  let peek k = if !i + k < n then src.[!i + k] else '\000' in
+  while !i < n do
+    let c = src.[!i] in
+    if c = ' ' || c = '\t' || c = '\r' || c = '\n' then incr i
+    else if c = '#' then
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    else if c = '$' && is_ident_start (peek 1) then begin
+      incr i;
+      let start = !i in
+      while !i < n && is_ident src.[!i] do
+        incr i
+      done;
+      emit (SCALAR (String.sub src start (!i - start)))
+    end
+    else if c = '$' && peek 1 >= '1' && peek 1 <= '9' then begin
+      emit (SCALAR (String.make 1 (peek 1)));
+      i := !i + 2
+    end
+    else if c = '$' && peek 1 = '_' then begin
+      emit (SCALAR "_");
+      i := !i + 2
+    end
+    else if c = '@' && (is_ident_start (peek 1) || peek 1 = '_') then begin
+      incr i;
+      let start = !i in
+      while !i < n && is_ident src.[!i] do
+        incr i
+      done;
+      emit (ARRAY (String.sub src start (!i - start)))
+    end
+    else if c = '%' && is_ident_start (peek 1) then begin
+      incr i;
+      let start = !i in
+      while !i < n && is_ident src.[!i] do
+        incr i
+      done;
+      emit (HASH (String.sub src start (!i - start)))
+    end
+    else if is_digit c || (c = '.' && is_digit (peek 1)) then begin
+      let start = !i in
+      while !i < n && (is_digit src.[!i] || src.[!i] = '.') do
+        incr i
+      done;
+      match float_of_string_opt (String.sub src start (!i - start)) with
+      | Some f -> emit (NUMBER f)
+      | None -> raise (Lex_error ("bad number", start))
+    end
+    else if c = 'm' && peek 1 = '/' then begin
+      let pat, next = read_delimited src (!i + 2) '/' in
+      emit (REGEX pat);
+      i := next
+    end
+    else if c = 's' && peek 1 = '/' then begin
+      let pat, next = read_delimited src (!i + 2) '/' in
+      let repl, next = read_delimited src next '/' in
+      emit (SUBST (pat, repl));
+      i := next
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident src.[!i] do
+        incr i
+      done;
+      let text = String.sub src start (!i - start) in
+      (match text with
+      | "eq" | "ne" | "lt" | "gt" | "le" | "ge" | "x" | "and" | "or" | "not" ->
+          emit (IDENT text)
+      | _ -> emit (IDENT text))
+    end
+    else if c = '"' || c = '\'' then begin
+      let quote = c in
+      incr i;
+      let buf = Buffer.create 16 in
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        let c = src.[!i] in
+        if c = quote then begin
+          closed := true;
+          incr i
+        end
+        else if c = '\\' && quote = '"' && !i + 1 < n then begin
+          (match src.[!i + 1] with
+          | 'n' -> Buffer.add_char buf '\n'
+          | 't' -> Buffer.add_char buf '\t'
+          | other -> Buffer.add_char buf other);
+          i := !i + 2
+        end
+        else begin
+          Buffer.add_char buf c;
+          incr i
+        end
+      done;
+      if not !closed then raise (Lex_error ("unterminated string", !i));
+      emit (STRING (Buffer.contents buf))
+    end
+    else if c = '<' && (peek 1 = '>' || (peek 1 = 'S' && !i + 6 < n && String.sub src !i 7 = "<STDIN>"))
+    then begin
+      if peek 1 = '>' then i := !i + 2 else i := !i + 7;
+      emit READLINE
+    end
+    else if c = '/' && operand_expected !last then begin
+      let pat, next = read_delimited src (!i + 1) '/' in
+      emit (REGEX pat);
+      i := next
+    end
+    else begin
+      let two = if !i + 1 < n then String.sub src !i 2 else "" in
+      let adv t k =
+        emit t;
+        i := !i + k
+      in
+      match two with
+      | "=~" -> adv BIND 2
+      | "!~" -> adv NBIND 2
+      | "==" -> adv NUMEQ 2
+      | "!=" -> adv NUMNE 2
+      | "<=" -> adv NUMLE 2
+      | ">=" -> adv NUMGE 2
+      | "&&" -> adv ANDAND 2
+      | "||" -> adv OROR 2
+      | "++" -> adv INCR 2
+      | "--" -> adv DECR 2
+      | "+=" -> adv ADD_ASSIGN 2
+      | "-=" -> adv SUB_ASSIGN 2
+      | "*=" -> adv MUL_ASSIGN 2
+      | "/=" -> adv DIV_ASSIGN 2
+      | ".=" -> adv CAT_ASSIGN 2
+      | "=>" -> adv FATCOMMA 2
+      | _ -> (
+          match c with
+          | '{' -> adv LBRACE 1
+          | '}' -> adv RBRACE 1
+          | '(' -> adv LPAREN 1
+          | ')' -> adv RPAREN 1
+          | '[' -> adv LBRACKET 1
+          | ']' -> adv RBRACKET 1
+          | ';' -> adv SEMI 1
+          | ',' -> adv COMMA 1
+          | '=' -> adv ASSIGN 1
+          | '+' -> adv PLUS 1
+          | '-' -> adv MINUS 1
+          | '*' -> adv STAR 1
+          | '/' -> adv SLASH 1
+          | '%' -> adv PERCENT 1
+          | '.' -> adv DOT 1
+          | '<' -> adv NUMLT 1
+          | '>' -> adv NUMGT 1
+          | '!' -> adv NOT 1
+          | _ -> raise (Lex_error (Printf.sprintf "unexpected character %C" c, !i)))
+    end
+  done;
+  emit EOF;
+  Array.of_list (List.rev !toks)
+
+let token_to_string = function
+  | NUMBER f -> Printf.sprintf "NUMBER(%g)" f
+  | STRING s -> Printf.sprintf "STRING(%S)" s
+  | SCALAR s -> "$" ^ s
+  | ARRAY s -> "@" ^ s
+  | HASH s -> "%" ^ s
+  | IDENT s -> s
+  | REGEX r -> Printf.sprintf "/%s/" r
+  | SUBST (p, r) -> Printf.sprintf "s/%s/%s/" p r
+  | READLINE -> "<>"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | SEMI -> ";"
+  | COMMA -> ","
+  | FATCOMMA -> "=>"
+  | ASSIGN -> "="
+  | ADD_ASSIGN -> "+="
+  | SUB_ASSIGN -> "-="
+  | MUL_ASSIGN -> "*="
+  | DIV_ASSIGN -> "/="
+  | CAT_ASSIGN -> ".="
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | PERCENT -> "%"
+  | DOT -> "."
+  | XOP -> "x"
+  | NUMEQ -> "=="
+  | NUMNE -> "!="
+  | NUMLT -> "<"
+  | NUMGT -> ">"
+  | NUMLE -> "<="
+  | NUMGE -> ">="
+  | ANDAND -> "&&"
+  | OROR -> "||"
+  | NOT -> "!"
+  | INCR -> "++"
+  | DECR -> "--"
+  | BIND -> "=~"
+  | NBIND -> "!~"
+  | EOF -> "EOF"

@@ -1,0 +1,59 @@
+(** Lexer for the mini-Perl language.
+
+    Handles Perl's context-sensitive regex literals the way real Perl
+    lexers do: [m/.../], [s/.../.../] and bare [/.../] where an operand is
+    expected are lexed as single regex tokens. *)
+
+type token =
+  | NUMBER of float
+  | STRING of string
+  | SCALAR of string  (* $name *)
+  | ARRAY of string  (* @name *)
+  | HASH of string  (* %name *)
+  | IDENT of string  (* bareword: keyword or function name *)
+  | REGEX of string  (* /pat/ or m/pat/ *)
+  | SUBST of string * string  (* s/pat/repl/ *)
+  | READLINE  (* <> or <STDIN> *)
+  | LBRACE
+  | RBRACE
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | SEMI
+  | COMMA
+  | FATCOMMA  (* => *)
+  | ASSIGN
+  | ADD_ASSIGN
+  | SUB_ASSIGN
+  | MUL_ASSIGN
+  | DIV_ASSIGN
+  | CAT_ASSIGN  (* .= *)
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | DOT
+  | XOP  (* x (string repetition) arrives as IDENT "x"; parser decides *)
+  | NUMEQ
+  | NUMNE
+  | NUMLT
+  | NUMGT
+  | NUMLE
+  | NUMGE
+  | ANDAND
+  | OROR
+  | NOT
+  | INCR
+  | DECR
+  | BIND  (* =~ *)
+  | NBIND  (* !~ *)
+  | EOF
+
+exception Lex_error of string * int
+
+val tokenize : string -> token array
+(** @raise Lex_error on malformed input. *)
+
+val token_to_string : token -> string

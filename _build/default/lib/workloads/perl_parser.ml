@@ -1,0 +1,531 @@
+open Perl_ast
+module L = Perl_lexer
+
+exception Parse_error of string
+
+type st = { toks : L.token array; mutable pos : int }
+
+let peek st = st.toks.(st.pos)
+let peek2 st = if st.pos + 1 < Array.length st.toks then st.toks.(st.pos + 1) else L.EOF
+let advance st = st.pos <- st.pos + 1
+
+let fail st msg =
+  raise (Parse_error (Printf.sprintf "%s (at %s)" msg (L.token_to_string (peek st))))
+
+let expect st tok what = if peek st = tok then advance st else fail st ("expected " ^ what)
+
+(* -- expressions --------------------------------------------------------------- *)
+
+(* A bareword immediately closed by '}' inside a hash subscript is a string
+   key, as in Perl: [$h{word}] means [$h{"word"}]. *)
+let rec parse_hash_key st =
+  match (peek st, peek2 st) with
+  | L.IDENT word, L.RBRACE ->
+      advance st;
+      Str word
+  | _ -> parse_expr st
+
+and parse_primary st =
+  match peek st with
+  | L.NUMBER f ->
+      advance st;
+      Num f
+  | L.STRING s ->
+      advance st;
+      Str s
+  | L.READLINE ->
+      advance st;
+      ReadLine
+  | L.SCALAR name -> (
+      advance st;
+      match peek st with
+      | L.LBRACKET ->
+          advance st;
+          let idx = parse_expr st in
+          expect st L.RBRACKET "]";
+          Elem (name, idx)
+      | L.LBRACE ->
+          advance st;
+          let key = parse_hash_key st in
+          expect st L.RBRACE "}";
+          HElem (name, key)
+      | L.INCR ->
+          advance st;
+          Incr (false, LScalar name)
+      | L.DECR ->
+          advance st;
+          Decr (false, LScalar name)
+      | _ -> Scalar name)
+  | L.LPAREN ->
+      advance st;
+      let e = parse_expr st in
+      expect st L.RPAREN ")";
+      e
+  | L.NOT ->
+      advance st;
+      Not (parse_primary st)
+  | L.MINUS ->
+      advance st;
+      Neg (parse_primary st)
+  | L.INCR ->
+      advance st;
+      Incr (true, parse_lvalue st)
+  | L.DECR ->
+      advance st;
+      Decr (true, parse_lvalue st)
+  | L.IDENT "scalar" ->
+      advance st;
+      expect st L.LPAREN "(";
+      let l = parse_lexpr st in
+      expect st L.RPAREN ")";
+      ScalarOf l
+  | L.IDENT "defined" ->
+      advance st;
+      expect st L.LPAREN "(";
+      let e = parse_expr st in
+      expect st L.RPAREN ")";
+      Call ("defined", [ AExpr e ])
+  | L.IDENT name ->
+      advance st;
+      if peek st = L.LPAREN then begin
+        advance st;
+        let args =
+          if peek st = L.RPAREN then []
+          else begin
+            let rec loop acc =
+              let a = parse_arg st in
+              if peek st = L.COMMA then begin
+                advance st;
+                loop (a :: acc)
+              end
+              else List.rev (a :: acc)
+            in
+            loop []
+          end
+        in
+        expect st L.RPAREN ")";
+        Call (name, args)
+      end
+      else Call (name, []) (* bare call, e.g. `shift` *)
+  | _ -> fail st "expected expression"
+
+and parse_arg st =
+  match peek st with
+  | L.ARRAY name ->
+      advance st;
+      AList (LArr name)
+  | L.HASH name ->
+      advance st;
+      AList (LValuesOf name)
+  | L.REGEX pat ->
+      advance st;
+      ARegex pat
+  | L.IDENT ("keys" | "values" | "sort" | "split") -> AList (parse_lexpr st)
+  | _ -> AExpr (parse_expr st)
+
+and parse_lvalue st =
+  match peek st with
+  | L.SCALAR name -> (
+      advance st;
+      match peek st with
+      | L.LBRACKET ->
+          advance st;
+          let idx = parse_expr st in
+          expect st L.RBRACKET "]";
+          LElem (name, idx)
+      | L.LBRACE ->
+          advance st;
+          let key = parse_hash_key st in
+          expect st L.RBRACE "}";
+          LHElem (name, key)
+      | _ -> LScalar name)
+  | _ -> fail st "expected lvalue"
+
+and parse_term st =
+  let rec loop lhs =
+    match peek st with
+    | L.STAR ->
+        advance st;
+        loop (Binop (Mul, lhs, parse_primary st))
+    | L.SLASH ->
+        advance st;
+        loop (Binop (Div, lhs, parse_primary st))
+    | L.PERCENT ->
+        advance st;
+        loop (Binop (Mod, lhs, parse_primary st))
+    | L.IDENT "x" ->
+        advance st;
+        loop (Binop (Repeat, lhs, parse_primary st))
+    | _ -> lhs
+  in
+  loop (parse_primary st)
+
+and parse_addcat st =
+  let rec loop lhs =
+    match peek st with
+    | L.PLUS ->
+        advance st;
+        loop (Binop (Add, lhs, parse_term st))
+    | L.MINUS ->
+        advance st;
+        loop (Binop (Sub, lhs, parse_term st))
+    | L.DOT ->
+        advance st;
+        loop (Binop (Concat, lhs, parse_term st))
+    | _ -> lhs
+  in
+  loop (parse_term st)
+
+and parse_bind st =
+  let lhs = parse_addcat st in
+  match peek st with
+  | L.BIND -> (
+      advance st;
+      match peek st with
+      | L.REGEX pat ->
+          advance st;
+          Match (lhs, pat)
+      | L.SUBST (pat, repl) -> (
+          advance st;
+          match lhs with
+          | Scalar s -> Subst (LScalar s, pat, repl)
+          | Elem (a, i) -> Subst (LElem (a, i), pat, repl)
+          | HElem (h, k) -> Subst (LHElem (h, k), pat, repl)
+          | _ -> fail st "substitution target must be an lvalue")
+      | _ -> fail st "expected regex after =~")
+  | L.NBIND -> (
+      advance st;
+      match peek st with
+      | L.REGEX pat ->
+          advance st;
+          NoMatch (lhs, pat)
+      | _ -> fail st "expected regex after !~")
+  | _ -> lhs
+
+and parse_comparison st =
+  let lhs = parse_bind st in
+  let bin op =
+    advance st;
+    Binop (op, lhs, parse_bind st)
+  in
+  match peek st with
+  | L.NUMEQ -> bin NumEq
+  | L.NUMNE -> bin NumNe
+  | L.NUMLT -> bin NumLt
+  | L.NUMGT -> bin NumGt
+  | L.NUMLE -> bin NumLe
+  | L.NUMGE -> bin NumGe
+  | L.IDENT "eq" -> bin StrEq
+  | L.IDENT "ne" -> bin StrNe
+  | L.IDENT "lt" -> bin StrLt
+  | L.IDENT "gt" -> bin StrGt
+  | _ -> lhs
+
+and parse_and st =
+  let rec loop lhs =
+    if peek st = L.ANDAND then begin
+      advance st;
+      loop (And (lhs, parse_comparison st))
+    end
+    else lhs
+  in
+  loop (parse_comparison st)
+
+and parse_or st =
+  let rec loop lhs =
+    if peek st = L.OROR then begin
+      advance st;
+      loop (Or (lhs, parse_and st))
+    end
+    else lhs
+  in
+  loop (parse_and st)
+
+and parse_expr st =
+  (* assignment, right-associative *)
+  let lhs = parse_or st in
+  let to_lvalue = function
+    | Scalar s -> LScalar s
+    | Elem (a, i) -> LElem (a, i)
+    | HElem (h, k) -> LHElem (h, k)
+    | _ -> fail st "not assignable"
+  in
+  match peek st with
+  | L.ASSIGN ->
+      advance st;
+      Assign (to_lvalue lhs, parse_expr st)
+  | L.ADD_ASSIGN ->
+      advance st;
+      OpAssign (to_lvalue lhs, Add, parse_expr st)
+  | L.SUB_ASSIGN ->
+      advance st;
+      OpAssign (to_lvalue lhs, Sub, parse_expr st)
+  | L.MUL_ASSIGN ->
+      advance st;
+      OpAssign (to_lvalue lhs, Mul, parse_expr st)
+  | L.DIV_ASSIGN ->
+      advance st;
+      OpAssign (to_lvalue lhs, Div, parse_expr st)
+  | L.CAT_ASSIGN ->
+      advance st;
+      OpAssign (to_lvalue lhs, Concat, parse_expr st)
+  | _ -> lhs
+
+(* list expressions *)
+and parse_lexpr st =
+  match peek st with
+  | L.ARRAY name ->
+      advance st;
+      LArr name
+  | L.IDENT "split" ->
+      advance st;
+      let parenthesised = peek st = L.LPAREN in
+      if parenthesised then advance st;
+      let pat =
+        match peek st with
+        | L.REGEX pat ->
+            advance st;
+            pat
+        | L.STRING s ->
+            advance st;
+            (* a string separator is a literal: escape regex metacharacters *)
+            String.concat ""
+              (List.map
+                 (fun c ->
+                   match c with
+                   | '.' | '*' | '+' | '?' | '(' | ')' | '[' | ']' | '^' | '$'
+                   | '\\' | '|' ->
+                       Printf.sprintf "\\%c" c
+                   | c -> String.make 1 c)
+                 (List.init (String.length s) (String.get s)))
+        | _ -> fail st "split needs a pattern"
+      in
+      expect st L.COMMA ",";
+      let target = parse_expr st in
+      if parenthesised then expect st L.RPAREN ")";
+      LSplit (pat, target)
+  | L.IDENT "sort" ->
+      advance st;
+      let parenthesised = peek st = L.LPAREN in
+      if parenthesised then advance st;
+      let inner = parse_lexpr st in
+      if parenthesised then expect st L.RPAREN ")";
+      LSortL inner
+  | L.IDENT "keys" ->
+      advance st;
+      let parenthesised = peek st = L.LPAREN in
+      if parenthesised then advance st;
+      let name =
+        match peek st with
+        | L.HASH h ->
+            advance st;
+            h
+        | _ -> fail st "keys needs a hash"
+      in
+      if parenthesised then expect st L.RPAREN ")";
+      LKeys name
+  | L.IDENT "values" ->
+      advance st;
+      let parenthesised = peek st = L.LPAREN in
+      if parenthesised then advance st;
+      let name =
+        match peek st with
+        | L.HASH h ->
+            advance st;
+            h
+        | _ -> fail st "values needs a hash"
+      in
+      if parenthesised then expect st L.RPAREN ")";
+      LValuesOf name
+  | L.LPAREN ->
+      advance st;
+      let rec loop acc =
+        let e = parse_expr st in
+        if peek st = L.COMMA then begin
+          advance st;
+          loop (e :: acc)
+        end
+        else List.rev (e :: acc)
+      in
+      let items = if peek st = L.RPAREN then [] else loop [] in
+      expect st L.RPAREN ")";
+      LWords items
+  | _ -> fail st "expected list expression"
+
+(* -- statements ----------------------------------------------------------------- *)
+
+let rec parse_block st =
+  expect st L.LBRACE "{";
+  let rec loop acc =
+    if peek st = L.RBRACE then begin
+      advance st;
+      List.rev acc
+    end
+    else loop (parse_stmt st :: acc)
+  in
+  loop []
+
+and parse_stmt st =
+  match peek st with
+  | L.IDENT "if" ->
+      advance st;
+      expect st L.LPAREN "(";
+      let cond = parse_expr st in
+      expect st L.RPAREN ")";
+      let body = parse_block st in
+      let rec elifs acc =
+        match peek st with
+        | L.IDENT "elsif" ->
+            advance st;
+            expect st L.LPAREN "(";
+            let c = parse_expr st in
+            expect st L.RPAREN ")";
+            let b = parse_block st in
+            elifs ((c, b) :: acc)
+        | L.IDENT "else" ->
+            advance st;
+            let b = parse_block st in
+            (List.rev acc, Some b)
+        | _ -> (List.rev acc, None)
+      in
+      let elifs_list, else_ = elifs [] in
+      SIf ((cond, body) :: elifs_list, else_)
+  | L.IDENT "while" ->
+      advance st;
+      expect st L.LPAREN "(";
+      if peek st = L.READLINE then begin
+        advance st;
+        expect st L.RPAREN ")";
+        SWhileRead (parse_block st)
+      end
+      else begin
+        let cond = parse_expr st in
+        expect st L.RPAREN ")";
+        SWhile (cond, parse_block st)
+      end
+  | L.IDENT "foreach" | L.IDENT "for" ->
+      advance st;
+      let var =
+        match peek st with
+        | L.IDENT "my" -> (
+            advance st;
+            match peek st with
+            | L.SCALAR v ->
+                advance st;
+                v
+            | _ -> fail st "expected loop variable")
+        | L.SCALAR v ->
+            advance st;
+            v
+        | _ -> fail st "expected loop variable"
+      in
+      expect st L.LPAREN "(";
+      let l = parse_lexpr st in
+      expect st L.RPAREN ")";
+      SForeach (var, l, parse_block st)
+  | L.IDENT "sub" -> (
+      advance st;
+      match peek st with
+      | L.IDENT name ->
+          advance st;
+          SSub (name, parse_block st)
+      | _ -> fail st "expected sub name")
+  | L.IDENT "my" -> (
+      advance st;
+      match peek st with
+      | L.SCALAR v ->
+          advance st;
+          if peek st = L.ASSIGN then begin
+            advance st;
+            let e = parse_expr st in
+            expect st L.SEMI ";";
+            SMy ([ v ], Some e)
+          end
+          else begin
+            expect st L.SEMI ";";
+            SMy ([ v ], None)
+          end
+      | L.LPAREN ->
+          advance st;
+          let rec vars acc =
+            match peek st with
+            | L.SCALAR v ->
+                advance st;
+                if peek st = L.COMMA then begin
+                  advance st;
+                  vars (v :: acc)
+                end
+                else List.rev (v :: acc)
+            | _ -> fail st "expected scalar in my()"
+          in
+          let vs = vars [] in
+          expect st L.RPAREN ")";
+          expect st L.SEMI ";";
+          SMy (vs, None)
+      | _ -> fail st "expected variable after my")
+  | L.IDENT "return" ->
+      advance st;
+      if peek st = L.SEMI then begin
+        advance st;
+        SReturn None
+      end
+      else begin
+        let e = parse_expr st in
+        expect st L.SEMI ";";
+        SReturn (Some e)
+      end
+  | L.IDENT "last" ->
+      advance st;
+      expect st L.SEMI ";";
+      SLast
+  | L.IDENT "next" ->
+      advance st;
+      expect st L.SEMI ";";
+      SNext
+  | L.IDENT "print" ->
+      advance st;
+      let args = parse_call_args st in
+      expect st L.SEMI ";";
+      SPrint args
+  | L.IDENT "printf" ->
+      advance st;
+      let args = parse_call_args st in
+      expect st L.SEMI ";";
+      SPrintf args
+  | L.ARRAY name ->
+      advance st;
+      expect st L.ASSIGN "=";
+      let l = parse_lexpr st in
+      expect st L.SEMI ";";
+      SAssignList (name, l)
+  | _ ->
+      let e = parse_expr st in
+      expect st L.SEMI ";";
+      SExpr e
+
+and parse_call_args st =
+  let parenthesised = peek st = L.LPAREN in
+  if parenthesised then advance st;
+  let args =
+    if (parenthesised && peek st = L.RPAREN) || peek st = L.SEMI then []
+    else begin
+      let rec loop acc =
+        let e = parse_expr st in
+        if peek st = L.COMMA then begin
+          advance st;
+          loop (e :: acc)
+        end
+        else List.rev (e :: acc)
+      in
+      loop []
+    end
+  in
+  if parenthesised then expect st L.RPAREN ")";
+  args
+
+let parse src =
+  let st = { toks = L.tokenize src; pos = 0 } in
+  let rec loop acc =
+    if peek st = L.EOF then List.rev acc else loop (parse_stmt st :: acc)
+  in
+  loop []

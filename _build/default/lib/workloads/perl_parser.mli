@@ -1,0 +1,7 @@
+(** Recursive-descent parser for the mini-Perl language. *)
+
+exception Parse_error of string
+
+val parse : string -> Perl_ast.program
+(** @raise Parse_error on a syntax error.
+    @raise Perl_lexer.Lex_error on a lexical error. *)

@@ -1,0 +1,46 @@
+type t = { mutable state : int64 }
+
+let create ~seed = { state = seed }
+
+let of_string s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001b3L)
+    s;
+  create ~seed:!h
+
+(* SplitMix64 (Steele, Lea & Flood, OOPSLA 2014). *)
+let int64 t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  let mask = Int64.to_int (Int64.shift_right_logical (int64 t) 2) in
+  mask mod bound
+
+let in_range t lo hi =
+  if hi < lo then invalid_arg "Prng.in_range: empty range";
+  lo + int t (hi - lo + 1)
+
+let float t =
+  let bits = Int64.to_int (Int64.shift_right_logical (int64 t) 11) in
+  float_of_int bits /. 9007199254740992. (* 2^53 *)
+
+let bool t = Int64.logand (int64 t) 1L = 1L
+
+let choose t arr =
+  if Array.length arr = 0 then invalid_arg "Prng.choose: empty array";
+  arr.(int t (Array.length arr))
+
+let geometric t ~p =
+  if not (p > 0. && p <= 1.) then invalid_arg "Prng.geometric: p outside (0, 1]";
+  let rec go n = if float t < p then n else go (n + 1) in
+  go 0
+
+let split t = create ~seed:(int64 t)

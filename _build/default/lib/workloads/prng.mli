@@ -1,0 +1,40 @@
+(** Deterministic pseudo-random numbers (SplitMix64).
+
+    Every workload derives all of its randomness from one of these
+    generators seeded from the input-set name, so a given (program, input)
+    pair always produces the identical allocation trace.  Determinism is
+    what makes self prediction exact (train and test on the same input see
+    the same events) and makes every experiment repeatable. *)
+
+type t
+
+val create : seed:int64 -> t
+
+val of_string : string -> t
+(** Seed from a string (FNV-1a hash of the bytes). *)
+
+val int64 : t -> int64
+(** Next raw 64-bit value. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound).
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val in_range : t -> int -> int -> int
+(** [in_range t lo hi] is uniform in [lo, hi] inclusive. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val bool : t -> bool
+
+val choose : t -> 'a array -> 'a
+(** Uniform choice from a non-empty array.
+    @raise Invalid_argument on an empty array. *)
+
+val geometric : t -> p:float -> int
+(** Number of failures before the first success of a Bernoulli([p]) trial;
+    mean (1-p)/p.  Used for bursty allocation patterns. *)
+
+val split : t -> t
+(** An independent generator derived from [t]'s stream. *)

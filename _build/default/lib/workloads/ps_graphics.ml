@@ -1,0 +1,310 @@
+(* Graphics machinery of the mini-PostScript interpreter: path construction,
+   curve flattening, and a banded scanline rasterizer.
+
+   The page (612 x 792 points, US Letter at 1 pt/px) is rasterized in
+   horizontal bands of 78 rows at one bit per pixel: 612/8 = 77 bytes per
+   row, 77 * 78 = 6006 bytes per band buffer.  Painting a shape allocates
+   the band buffers its bounding box overlaps, rasterizes into them, and
+   frees them when the shape is done — these are the ~6-kilobyte
+   short-lived objects the paper calls out in GHOST (Table 7 discussion:
+   "GHOST allocates about 5000 6-kilobyte short-lived objects", too big for
+   its 4-kilobyte arenas). *)
+
+module Rt = Lp_ialloc.Runtime
+
+let page_width = 612
+let page_height = 792
+let band_rows = 78
+let bytes_per_row = (page_width + 7) / 8
+let band_size = bytes_per_row * band_rows (* = 6006 *)
+let n_bands = ((page_height - 1) / band_rows) + 1
+
+type point = { x : float; y : float }
+
+(* A path segment is a small heap object, freed at newpath/showpage. *)
+type segment = { p0 : point; p1 : point; seg_handle : Rt.handle }
+
+type t = {
+  rt : Rt.t;
+  seg_wrapper : Xalloc.t;  (* path_seg -> vm_alloc *)
+  band_wrapper : Xalloc.t;  (* band_buffer -> vm_alloc *)
+  state_wrapper : Xalloc.t;  (* gstate -> vm_alloc *)
+  glyph_wrapper : Xalloc.t;  (* glyph_ref -> vm_alloc *)
+  f_fill : Lp_callchain.Func.id;
+  f_stroke : Lp_callchain.Func.id;
+  f_flatten : Lp_callchain.Func.id;
+  f_raster : Lp_callchain.Func.id;
+  mutable path : segment list;
+  mutable current : point option;
+  mutable start : point option;  (* subpath start, for closepath *)
+  mutable tx : float;  (* translation part of the CTM *)
+  mutable ty : float;
+  mutable gray : float;
+  mutable line_width : float;
+  mutable font_size : float;
+  mutable gsave_stack : (float * float * float * float * float * Rt.handle) list;
+  mutable bands_painted : int;
+  mutable cells_touched : int;
+  cmd_wrapper : Xalloc.t;  (* band_cmd_list -> vm_alloc *)
+  mutable page_cmds : Rt.handle list;  (* per-page command lists, freed at showpage *)
+}
+
+let create rt =
+  {
+    rt;
+    seg_wrapper = Xalloc.create rt ~layers:[ "path_seg"; "vm_alloc" ];
+    band_wrapper = Xalloc.create rt ~layers:[ "band_buffer"; "vm_alloc" ];
+    state_wrapper = Xalloc.create rt ~layers:[ "gstate"; "vm_alloc" ];
+    glyph_wrapper = Xalloc.create rt ~layers:[ "glyph_ref"; "render_char"; "vm_alloc" ];
+    cmd_wrapper = Xalloc.create rt ~layers:[ "band_cmd_list"; "vm_alloc" ];
+    f_fill = Rt.func rt "ps_fill";
+    f_stroke = Rt.func rt "ps_stroke";
+    f_flatten = Rt.func rt "flatten_curve";
+    f_raster = Rt.func rt "rasterize_band";
+    path = [];
+    current = None;
+    start = None;
+    tx = 0.;
+    ty = 0.;
+    gray = 0.;
+    line_width = 1.;
+    font_size = 10.;
+    gsave_stack = [];
+    bands_painted = 0;
+    cells_touched = 0;
+    page_cmds = [];
+  }
+
+let transform g p = { x = p.x +. g.tx; y = p.y +. g.ty }
+
+let add_segment g p0 p1 =
+  let seg_handle = Xalloc.alloc g.seg_wrapper ~size:40 in
+  Rt.touch g.rt seg_handle 4;
+  g.path <- { p0; p1; seg_handle } :: g.path
+
+let newpath g =
+  List.iter (fun s -> Rt.free g.rt s.seg_handle) g.path;
+  g.path <- [];
+  g.current <- None;
+  g.start <- None
+
+let moveto g p =
+  let p = transform g p in
+  g.current <- Some p;
+  g.start <- Some p
+
+let lineto g p =
+  match g.current with
+  | None -> Ps_object.err "nocurrentpoint: lineto"
+  | Some c ->
+      let p = transform g p in
+      add_segment g c p;
+      g.current <- Some p
+
+let rlineto g (dx, dy) =
+  match g.current with
+  | None -> Ps_object.err "nocurrentpoint: rlineto"
+  | Some c ->
+      let p = { x = c.x +. dx; y = c.y +. dy } in
+      add_segment g c p;
+      g.current <- Some p
+
+let rmoveto g (dx, dy) =
+  match g.current with
+  | None -> Ps_object.err "nocurrentpoint: rmoveto"
+  | Some c ->
+      let p = { x = c.x +. dx; y = c.y +. dy } in
+      g.current <- Some p;
+      g.start <- Some p
+
+let closepath g =
+  match (g.current, g.start) with
+  | Some c, Some s when c <> s -> add_segment g c s
+  | _ -> ()
+
+(* De Casteljau subdivision to depth 4 (16 chords), allocating a transient
+   control-point record per subdivision like a C flattener's workspace. *)
+let curveto g p1 p2 p3 =
+  match g.current with
+  | None -> Ps_object.err "nocurrentpoint: curveto"
+  | Some p0 ->
+      let p1 = transform g p1 and p2 = transform g p2 and p3 = transform g p3 in
+      Rt.in_frame g.rt g.f_flatten (fun () ->
+          let lerp a b t = { x = a.x +. ((b.x -. a.x) *. t); y = a.y +. ((b.y -. a.y) *. t) } in
+          let bezier t =
+            let a = lerp p0 p1 t and b = lerp p1 p2 t and c = lerp p2 p3 t in
+            let d = lerp a b t and e = lerp b c t in
+            lerp d e t
+          in
+          let steps = 16 in
+          let prev = ref p0 in
+          for i = 1 to steps do
+            (* workspace record for this subdivision step *)
+            let w = Xalloc.alloc g.seg_wrapper ~size:48 in
+            Rt.touch g.rt w 6;
+            let t = float_of_int i /. float_of_int steps in
+            let p = bezier t in
+            add_segment g !prev p;
+            prev := p;
+            Rt.free g.rt w
+          done;
+          g.current <- Some !prev)
+
+let gsave g =
+  let h = Xalloc.alloc g.state_wrapper ~size:72 in
+  Rt.touch g.rt h 8;
+  g.gsave_stack <- (g.tx, g.ty, g.gray, g.line_width, g.font_size, h) :: g.gsave_stack
+
+let grestore g =
+  match g.gsave_stack with
+  | [] -> () (* permissible: restore at bottom is a no-op *)
+  | (tx, ty, gray, lw, fs, h) :: rest ->
+      g.tx <- tx;
+      g.ty <- ty;
+      g.gray <- gray;
+      g.line_width <- lw;
+      g.font_size <- fs;
+      Rt.free g.rt h;
+      g.gsave_stack <- rest
+
+let translate g (dx, dy) =
+  g.tx <- g.tx +. dx;
+  g.ty <- g.ty +. dy
+
+(* Bounding box of the current path, clamped to the page. *)
+let path_bbox g =
+  match g.path with
+  | [] -> None
+  | segs ->
+      let lo_y = ref infinity and hi_y = ref neg_infinity in
+      List.iter
+        (fun { p0; p1; _ } ->
+          lo_y := Float.min !lo_y (Float.min p0.y p1.y);
+          hi_y := Float.max !hi_y (Float.max p0.y p1.y))
+        segs;
+      let lo = max 0 (int_of_float (floor !lo_y)) in
+      let hi = min (page_height - 1) (int_of_float (ceil !hi_y)) in
+      if lo > hi then None else Some (lo, hi)
+
+(* Scanline fill (even-odd rule) of the current path into the overlapped
+   bands.  Band buffers are allocated per painting operation and freed when
+   the operation completes. *)
+let paint g ~frame ~as_stroke =
+  Rt.in_frame g.rt frame (fun () ->
+      match path_bbox g with
+      | None -> ()
+      | Some (lo_row, hi_row) ->
+          let b_lo = lo_row / band_rows and b_hi = hi_row / band_rows in
+          let segs = g.path in
+          (* banding: the operation is also recorded into a per-page command
+             list (as a banded GhostScript accumulates display commands),
+             which lives until showpage.  These page-lived records
+             interleave with the band-buffer churn, which is what
+             fragments a first-fit heap and what arena segregation
+             rescues (the paper's Table 8 GHOST result). *)
+          let cmd =
+            Xalloc.alloc g.cmd_wrapper
+              ~size:(24 + (8 * List.length segs) + (40 * (b_hi - b_lo + 1)))
+          in
+          Rt.touch g.rt cmd (1 + List.length segs);
+          g.page_cmds <- cmd :: g.page_cmds;
+          for band = b_lo to min b_hi (n_bands - 1) do
+            let buf = Xalloc.alloc g.band_wrapper ~size:band_size in
+            g.bands_painted <- g.bands_painted + 1;
+            Rt.in_frame g.rt g.f_raster (fun () ->
+                let row0 = band * band_rows in
+                let row1 = min (row0 + band_rows - 1) hi_row in
+                let row0 = max row0 lo_row in
+                let touched = ref 0 in
+                for row = row0 to row1 do
+                  let y = float_of_int row +. 0.5 in
+                  (* gather x-crossings *)
+                  let xs =
+                    List.filter_map
+                      (fun { p0; p1; _ } ->
+                        if as_stroke then begin
+                          (* stroke: mark pixels near the segment on rows it
+                             spans (cheap approximation of pen stamping) *)
+                          if Float.min p0.y p1.y <= y && y <= Float.max p0.y p1.y
+                             && p0.y <> p1.y
+                          then begin
+                            let t = (y -. p0.y) /. (p1.y -. p0.y) in
+                            Some (p0.x +. (t *. (p1.x -. p0.x)))
+                          end
+                          else None
+                        end
+                        else if
+                          (* even-odd crossing: half-open rule *)
+                          (p0.y <= y && p1.y > y) || (p1.y <= y && p0.y > y)
+                        then begin
+                          let t = (y -. p0.y) /. (p1.y -. p0.y) in
+                          Some (p0.x +. (t *. (p1.x -. p0.x)))
+                        end
+                        else None)
+                      segs
+                  in
+                  let xs = List.sort Float.compare xs in
+                  let rec spans = function
+                    | x0 :: x1 :: rest when not as_stroke ->
+                        touched := !touched + max 1 (int_of_float ((x1 -. x0) /. 8.));
+                        spans rest
+                    | [ _ ] | [] -> ()
+                    | x0 :: rest ->
+                        (* stroking: stamp around each crossing *)
+                        ignore x0;
+                        touched := !touched + 1;
+                        spans rest
+                  in
+                  spans xs;
+                  Rt.instructions g.rt (8 + List.length xs)
+                done;
+                g.cells_touched <- g.cells_touched + !touched;
+                Rt.touch g.rt buf (max 1 !touched));
+            Rt.free g.rt buf
+          done;
+          newpath g)
+
+let fill g = paint g ~frame:g.f_fill ~as_stroke:false
+let stroke g = paint g ~frame:g.f_stroke ~as_stroke:true
+
+let showpage g =
+  newpath g;
+  (* write the page out: the accumulated command lists are replayed and
+     released *)
+  List.iter (fun h -> Rt.free g.rt h) g.page_cmds;
+  g.page_cmds <- [];
+  g.tx <- 0.;
+  g.ty <- 0.
+
+(* Render a text string as one filled rectangle spanning the run (width
+   heuristic: 0.6 em per glyph).  Each glyph also materialises a transient
+   glyph-reference record — the per-character workspace of a text renderer —
+   freed as soon as the run is painted. *)
+let show g s =
+  match g.current with
+  | None -> Ps_object.err "nocurrentpoint: show"
+  | Some c ->
+      let len = String.length s in
+      let em = g.font_size in
+      let glyphs =
+        List.init len (fun _ ->
+            let h = Xalloc.alloc g.glyph_wrapper ~size:20 in
+            Rt.touch g.rt h 2;
+            h)
+      in
+      let w = 0.6 *. em *. float_of_int len in
+      let y0 = c.y and y1 = c.y +. (0.72 *. em) in
+      add_segment g { x = c.x; y = y0 } { x = c.x +. w; y = y0 };
+      add_segment g { x = c.x +. w; y = y0 } { x = c.x +. w; y = y1 };
+      add_segment g { x = c.x +. w; y = y1 } { x = c.x; y = y1 };
+      add_segment g { x = c.x; y = y1 } { x = c.x; y = y0 };
+      fill g;
+      List.iter (fun h -> Rt.free g.rt h) glyphs;
+      g.current <- Some { x = c.x +. w; y = c.y }
+
+let finish g =
+  newpath g;
+  List.iter (fun h -> Rt.free g.rt h) g.page_cmds;
+  g.page_cmds <- [];
+  List.iter (fun (_, _, _, _, _, h) -> Rt.free g.rt h) g.gsave_stack;
+  g.gsave_stack <- []

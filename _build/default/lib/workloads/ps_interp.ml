@@ -1,0 +1,592 @@
+(* Executive of the mini-PostScript interpreter: operand stack, dictionary
+   stack, and operator set sufficient for document rendering. *)
+
+module Rt = Lp_ialloc.Runtime
+open Ps_object
+
+type t = {
+  rt : Rt.t;
+  mutable ostack : Ps_object.t list;
+  mutable dstack : dict list;  (* innermost first; last is systemdict *)
+  gfx : Ps_graphics.t;
+  dict_wrapper : Xalloc.t;
+  node_wrapper : Xalloc.t;
+  arr_wrapper : Xalloc.t;
+  str_wrapper : Xalloc.t;
+  f_exec : Lp_callchain.Func.id;
+  f_op : Lp_callchain.Func.id;
+  op_frames : (string, Lp_callchain.Func.id) Hashtbl.t;
+  fonts : (string, dict) Hashtbl.t;
+  glyph_cache_wrapper : Xalloc.t;
+  cached_font_sizes : (string, unit) Hashtbl.t;
+  mutable pages : int;
+}
+
+let op_groups =
+  [
+    ("op_stack", [ "dup"; "pop"; "exch"; "copy"; "index"; "roll"; "clear"; "count" ]);
+    ("op_arith",
+     [ "add"; "sub"; "mul"; "div"; "idiv"; "mod"; "neg"; "abs"; "sqrt"; "round";
+       "truncate" ]);
+    ("op_compare", [ "eq"; "ne"; "gt"; "lt"; "ge"; "le"; "and"; "or"; "not" ]);
+    ("op_control", [ "if"; "ifelse"; "for"; "repeat"; "loop"; "exit"; "exec" ]);
+    ("op_dict", [ "dict"; "def"; "begin"; "end"; "load"; "known"; "bind" ]);
+    ("op_array", [ "array"; "length"; "get"; "put"; "aload"; "forall" ]);
+    ("op_string", [ "string"; "cvs"; "stringwidth" ]);
+    ("op_path",
+     [ "newpath"; "moveto"; "lineto"; "rlineto"; "rmoveto"; "curveto"; "closepath" ]);
+    ("op_paint", [ "fill"; "stroke"; "show"; "showpage" ]);
+    ("op_gstate",
+     [ "gsave"; "grestore"; "translate"; "setgray"; "setlinewidth"; "findfont";
+       "scalefont"; "setfont"; "currentpoint" ]);
+  ]
+
+exception Exit_loop
+
+let create rt =
+  let dict_wrapper = Xalloc.create rt ~layers:[ "ps_dict"; "vm_alloc" ] in
+  let node_wrapper = Xalloc.create rt ~layers:[ "dict_node"; "vm_alloc" ] in
+  let op_frames = Hashtbl.create 64 in
+  List.iter
+    (fun (group, ops) ->
+      let frame = Rt.func rt group in
+      List.iter (fun op -> Hashtbl.replace op_frames op frame) ops)
+    op_groups;
+  let systemdict = dict_create rt dict_wrapper node_wrapper ~capacity:128 in
+  List.iter
+    (fun (_, ops) -> List.iter (fun op -> dict_put systemdict op (Op op)) ops)
+    op_groups;
+  dict_put systemdict "true" (Bool true);
+  dict_put systemdict "false" (Bool false);
+  dict_put systemdict "null" Null;
+  let userdict = dict_create rt dict_wrapper node_wrapper ~capacity:64 in
+  (* Long-lived VM structures: the page device raster (612 x 792 bytes),
+     the halftone/pattern cache, and the name table.  These dominate the
+     live heap, giving GHOST the large-footprint profile the paper measured
+     (Table 2: GHOST's maximum live bytes dwarf the other programs'). *)
+  let device_wrapper = Xalloc.create rt ~layers:[ "open_device"; "vm_alloc" ] in
+  let device = Xalloc.alloc device_wrapper ~size:(612 * 792) in
+  Rt.touch rt device 512;
+  let pattern_cache = Xalloc.alloc device_wrapper ~size:65536 in
+  Rt.touch rt pattern_cache 64;
+  let name_table = Xalloc.alloc device_wrapper ~size:32768 in
+  Rt.touch rt name_table 64;
+  {
+    rt;
+    ostack = [];
+    dstack = [ userdict; systemdict ];
+    gfx = Ps_graphics.create rt;
+    dict_wrapper;
+    node_wrapper;
+    arr_wrapper = Xalloc.create rt ~layers:[ "ps_array"; "vm_alloc" ];
+    str_wrapper = Xalloc.create rt ~layers:[ "ps_string"; "vm_alloc" ];
+    f_exec = Rt.func rt "ps_exec";
+    f_op = Rt.func rt "ps_op";
+    op_frames;
+    fonts = Hashtbl.create 8;
+    glyph_cache_wrapper = Xalloc.create rt ~layers:[ "load_glyphs"; "vm_alloc" ];
+    cached_font_sizes = Hashtbl.create 8;
+    pages = 0;
+  }
+
+(* -- stack ------------------------------------------------------------------ *)
+
+let push t o = t.ostack <- o :: t.ostack
+
+let pop t =
+  match t.ostack with
+  | [] -> err "stackunderflow"
+  | o :: rest ->
+      t.ostack <- rest;
+      o
+
+let pop_num t = to_real (pop t)
+let pop_int t = to_int (pop t)
+
+let pop_point t =
+  let y = pop_num t in
+  let x = pop_num t in
+  ({ Ps_graphics.x; y }, (x, y))
+
+let lookup t name =
+  let rec go = function
+    | [] -> err "undefined: %s" name
+    | d :: rest -> ( match dict_find d name with Some o -> o | None -> go rest)
+  in
+  go t.dstack
+
+let alloc_arr t elems =
+  let a_handle = Xalloc.alloc t.arr_wrapper ~size:(16 + (8 * max 1 (Array.length elems))) in
+  Rt.touch t.rt a_handle (1 + Array.length elems);
+  { elems; a_handle }
+
+let alloc_str t bytes =
+  let s_handle = Xalloc.alloc t.str_wrapper ~size:(16 + Bytes.length bytes) in
+  Rt.touch t.rt s_handle (1 + (Bytes.length bytes / 8));
+  { bytes; s_handle }
+
+(* -- execution ---------------------------------------------------------------- *)
+
+let rec execute t (o : Ps_object.t) =
+  Rt.in_frame t.rt t.f_exec (fun () ->
+      Rt.instructions t.rt 6;
+      Rt.non_heap_refs t.rt 3;
+      match o with
+      | Int _ | Real _ | Bool _ | Null | Mark | Lit_name _ | Str _ | Arr _ | Dict _ ->
+          push t o
+      | Proc _ -> push t o (* procs execute only via names/control operators *)
+      | Name name -> (
+          match lookup t name with
+          | Proc a -> run_proc t a
+          | Op op -> apply t op
+          | other -> push t other)
+      | Op op -> apply t op)
+
+and run_proc t (a : arr) =
+  Rt.touch t.rt a.a_handle 1;
+  Array.iter (fun o -> execute t o) a.elems
+
+and exec_obj t = function
+  | Proc a -> run_proc t a
+  | Op op -> apply t op
+  | Name n -> execute t (Name n)
+  | other -> push t other
+
+and apply t op =
+  let frame =
+    match Hashtbl.find_opt t.op_frames op with Some f -> f | None -> t.f_op
+  in
+  Rt.in_frame t.rt frame (fun () ->
+      Rt.instructions t.rt 5;
+      match op with
+      (* stack *)
+      | "dup" ->
+          let o = pop t in
+          push t o;
+          push t o
+      | "pop" -> ignore (pop t : Ps_object.t)
+      | "exch" ->
+          let b = pop t and a = pop t in
+          push t b;
+          push t a
+      | "copy" ->
+          let n = pop_int t in
+          let top = List.filteri (fun i _ -> i < n) t.ostack in
+          t.ostack <- List.rev_append (List.rev top) t.ostack
+      | "index" ->
+          let n = pop_int t in
+          (match List.nth_opt t.ostack n with
+          | Some o -> push t o
+          | None -> err "stackunderflow: index")
+      | "roll" ->
+          let j = pop_int t in
+          let n = pop_int t in
+          if n < 0 || n > List.length t.ostack then err "rangecheck: roll";
+          if n > 0 then begin
+            let top = List.filteri (fun i _ -> i < n) t.ostack in
+            let rest = List.filteri (fun i _ -> i >= n) t.ostack in
+            let j = ((j mod n) + n) mod n in
+            (* roll by j: top of stack is element 0 *)
+            let arr = Array.of_list top in
+            let rolled = Array.init n (fun i -> arr.((i + n - j) mod n)) in
+            t.ostack <- Array.to_list rolled @ rest
+          end
+      | "clear" -> t.ostack <- []
+      | "count" -> push t (Int (List.length t.ostack))
+      (* arithmetic *)
+      | "add" ->
+          let b = pop t and a = pop t in
+          (match (a, b) with
+          | Int a, Int b -> push t (Int (a + b))
+          | _ -> push t (Real (to_real a +. to_real b)))
+      | "sub" ->
+          let b = pop t and a = pop t in
+          (match (a, b) with
+          | Int a, Int b -> push t (Int (a - b))
+          | _ -> push t (Real (to_real a -. to_real b)))
+      | "mul" ->
+          let b = pop t and a = pop t in
+          (match (a, b) with
+          | Int a, Int b -> push t (Int (a * b))
+          | _ -> push t (Real (to_real a *. to_real b)))
+      | "div" ->
+          let b = pop_num t and a = pop_num t in
+          push t (Real (a /. b))
+      | "idiv" ->
+          let b = pop_int t and a = pop_int t in
+          if b = 0 then err "undefinedresult: idiv";
+          push t (Int (a / b))
+      | "mod" ->
+          let b = pop_int t and a = pop_int t in
+          if b = 0 then err "undefinedresult: mod";
+          push t (Int (a mod b))
+      | "neg" -> (
+          match pop t with
+          | Int i -> push t (Int (-i))
+          | o -> push t (Real (-.to_real o)))
+      | "abs" -> (
+          match pop t with
+          | Int i -> push t (Int (abs i))
+          | o -> push t (Real (Float.abs (to_real o))))
+      | "sqrt" -> push t (Real (sqrt (pop_num t)))
+      | "round" -> push t (Int (int_of_float (Float.round (pop_num t))))
+      | "truncate" -> push t (Int (int_of_float (pop_num t)))
+      (* comparison / logic *)
+      | "eq" | "ne" | "gt" | "lt" | "ge" | "le" ->
+          let b = pop t and a = pop t in
+          let c =
+            match (a, b) with
+            | Str a, Str b -> Stdlib.compare (Bytes.to_string a.bytes) (Bytes.to_string b.bytes)
+            | (Lit_name a | Name a), (Lit_name b | Name b) -> Stdlib.compare a b
+            | _ -> Float.compare (to_real a) (to_real b)
+          in
+          let r =
+            match op with
+            | "eq" -> c = 0
+            | "ne" -> c <> 0
+            | "gt" -> c > 0
+            | "lt" -> c < 0
+            | "ge" -> c >= 0
+            | _ -> c <= 0
+          in
+          push t (Bool r)
+      | "and" | "or" -> (
+          let b = pop t and a = pop t in
+          match (a, b) with
+          | Bool a, Bool b -> push t (Bool (if op = "and" then a && b else a || b))
+          | Int a, Int b -> push t (Int (if op = "and" then a land b else a lor b))
+          | _ -> err "typecheck: %s" op)
+      | "not" -> (
+          match pop t with
+          | Bool b -> push t (Bool (not b))
+          | Int i -> push t (Int (lnot i))
+          | o -> err "typecheck: not %s" (type_name o))
+      (* control *)
+      | "if" -> (
+          let proc = pop t in
+          let cond = pop t in
+          match cond with
+          | Bool true -> exec_obj t proc
+          | Bool false -> ()
+          | o -> err "typecheck: if needs bool, got %s" (type_name o))
+      | "ifelse" -> (
+          let pelse = pop t in
+          let pthen = pop t in
+          match pop t with
+          | Bool true -> exec_obj t pthen
+          | Bool false -> exec_obj t pelse
+          | o -> err "typecheck: ifelse needs bool, got %s" (type_name o))
+      | "for" -> (
+          let proc = pop t in
+          let limit = pop_num t in
+          let step = pop_num t in
+          let init = pop_num t in
+          try
+            let i = ref init in
+            while (step >= 0. && !i <= limit) || (step < 0. && !i >= limit) do
+              if Float.is_integer !i then push t (Int (int_of_float !i))
+              else push t (Real !i);
+              exec_obj t proc;
+              i := !i +. step
+            done
+          with Exit_loop -> ())
+      | "repeat" -> (
+          let proc = pop t in
+          let n = pop_int t in
+          try
+            for _ = 1 to n do
+              exec_obj t proc
+            done
+          with Exit_loop -> ())
+      | "loop" -> (
+          let proc = pop t in
+          try
+            while true do
+              exec_obj t proc
+            done
+          with Exit_loop -> ())
+      | "exit" -> raise Exit_loop
+      | "exec" -> exec_obj t (pop t)
+      (* dictionaries *)
+      | "dict" ->
+          let n = pop_int t in
+          push t (Dict (dict_create t.rt t.dict_wrapper t.node_wrapper ~capacity:(max 1 n)))
+      | "def" -> (
+          let v = pop t in
+          match pop t with
+          | Lit_name key -> (
+              match t.dstack with
+              | d :: _ -> dict_put d key v
+              | [] -> err "dictstackunderflow")
+          | o -> err "typecheck: def key is %s" (type_name o))
+      | "begin" -> (
+          match pop t with
+          | Dict d -> t.dstack <- d :: t.dstack
+          | o -> err "typecheck: begin needs dict, got %s" (type_name o))
+      | "end" -> (
+          match t.dstack with
+          | _ :: (_ :: _ as rest) -> t.dstack <- rest
+          | _ -> err "dictstackunderflow: end")
+      | "load" -> (
+          match pop t with
+          | Lit_name key -> push t (lookup t key)
+          | o -> err "typecheck: load needs name, got %s" (type_name o))
+      | "known" -> (
+          let key = pop t in
+          match (pop t, key) with
+          | Dict d, Lit_name key -> push t (Bool (dict_find d key <> None))
+          | _ -> err "typecheck: known")
+      | "bind" -> () (* name resolution stays dynamic in this mini VM *)
+      (* arrays *)
+      | "array" ->
+          let n = pop_int t in
+          push t (Arr (alloc_arr t (Array.make n Null)))
+      | "length" -> (
+          match pop t with
+          | Arr a | Proc a -> push t (Int (Array.length a.elems))
+          | Str s -> push t (Int (Bytes.length s.bytes))
+          | Dict d -> push t (Int (Hashtbl.length d.tbl))
+          | o -> err "typecheck: length of %s" (type_name o))
+      | "get" -> (
+          let i = pop t in
+          match (pop t, i) with
+          | Arr a, Int i ->
+              Rt.touch t.rt a.a_handle 1;
+              if i < 0 || i >= Array.length a.elems then err "rangecheck: get";
+              push t a.elems.(i)
+          | Str s, Int i ->
+              Rt.touch t.rt s.s_handle 1;
+              if i < 0 || i >= Bytes.length s.bytes then err "rangecheck: get";
+              push t (Int (Char.code (Bytes.get s.bytes i)))
+          | Dict d, Lit_name key -> (
+              match dict_find d key with
+              | Some v -> push t v
+              | None -> err "undefined: %s" key)
+          | o, _ -> err "typecheck: get from %s" (type_name o))
+      | "put" -> (
+          let v = pop t in
+          let i = pop t in
+          match (pop t, i) with
+          | Arr a, Int i ->
+              Rt.touch t.rt a.a_handle 1;
+              if i < 0 || i >= Array.length a.elems then err "rangecheck: put";
+              a.elems.(i) <- v
+          | Str s, Int i ->
+              Rt.touch t.rt s.s_handle 1;
+              if i < 0 || i >= Bytes.length s.bytes then err "rangecheck: put";
+              Bytes.set s.bytes i (Char.chr (to_int v land 0xff))
+          | Dict d, Lit_name key -> dict_put d key v
+          | o, _ -> err "typecheck: put into %s" (type_name o))
+      | "aload" -> (
+          match pop t with
+          | Arr a ->
+              Rt.touch t.rt a.a_handle (Array.length a.elems);
+              Array.iter (push t) a.elems;
+              push t (Arr a)
+          | o -> err "typecheck: aload of %s" (type_name o))
+      | "forall" -> (
+          let proc = pop t in
+          match pop t with
+          | Arr a -> (
+              try
+                Array.iter
+                  (fun o ->
+                    push t o;
+                    exec_obj t proc)
+                  a.elems
+              with Exit_loop -> ())
+          | Str s -> (
+              try
+                Bytes.iter
+                  (fun c ->
+                    push t (Int (Char.code c));
+                    exec_obj t proc)
+                  s.bytes
+              with Exit_loop -> ())
+          | o -> err "typecheck: forall of %s" (type_name o))
+      (* strings *)
+      | "string" ->
+          let n = pop_int t in
+          push t (Str (alloc_str t (Bytes.make n '\000')))
+      | "cvs" -> (
+          let s = pop t in
+          let v = pop t in
+          let text =
+            match v with
+            | Int i -> string_of_int i
+            | Real f -> Printf.sprintf "%g" f
+            | Bool b -> string_of_bool b
+            | Lit_name n | Name n -> n
+            | _ -> "--nostringval--"
+          in
+          match s with
+          | Str s ->
+              let n = min (String.length text) (Bytes.length s.bytes) in
+              Bytes.blit_string text 0 s.bytes 0 n;
+              Rt.touch t.rt s.s_handle (1 + (n / 8));
+              Rt.free t.rt s.s_handle;
+              push t (Str (alloc_str t (Bytes.of_string (String.sub text 0 n))))
+          | o -> err "typecheck: cvs into %s" (type_name o))
+      | "stringwidth" -> (
+          match pop t with
+          | Str s ->
+              let w =
+                0.6 *. t.gfx.Ps_graphics.font_size *. float_of_int (Bytes.length s.bytes)
+              in
+              push t (Real w);
+              push t (Real 0.)
+          | o -> err "typecheck: stringwidth of %s" (type_name o))
+      (* path *)
+      | "newpath" -> Ps_graphics.newpath t.gfx
+      | "moveto" ->
+          let p, _ = pop_point t in
+          Ps_graphics.moveto t.gfx p
+      | "lineto" ->
+          let p, _ = pop_point t in
+          Ps_graphics.lineto t.gfx p
+      | "rlineto" ->
+          let _, d = pop_point t in
+          Ps_graphics.rlineto t.gfx d
+      | "rmoveto" ->
+          let _, d = pop_point t in
+          Ps_graphics.rmoveto t.gfx d
+      | "curveto" ->
+          let p3, _ = pop_point t in
+          let p2, _ = pop_point t in
+          let p1, _ = pop_point t in
+          Ps_graphics.curveto t.gfx p1 p2 p3
+      | "closepath" -> Ps_graphics.closepath t.gfx
+      (* painting *)
+      | "fill" -> Ps_graphics.fill t.gfx
+      | "stroke" -> Ps_graphics.stroke t.gfx
+      | "show" -> (
+          match pop t with
+          | Str s ->
+              Rt.touch t.rt s.s_handle (1 + (Bytes.length s.bytes / 8));
+              Ps_graphics.show t.gfx (Bytes.to_string s.bytes);
+              (* page text is consumed linearly; a real VM reclaims it at
+                 the enclosing restore -- we reclaim on consumption *)
+              Rt.free t.rt s.s_handle
+          | o -> err "typecheck: show of %s" (type_name o))
+      | "showpage" ->
+          t.pages <- t.pages + 1;
+          Ps_graphics.showpage t.gfx
+      (* graphics state *)
+      | "gsave" -> Ps_graphics.gsave t.gfx
+      | "grestore" -> Ps_graphics.grestore t.gfx
+      | "translate" ->
+          let _, d = pop_point t in
+          Ps_graphics.translate t.gfx d
+      | "setgray" -> t.gfx.Ps_graphics.gray <- pop_num t
+      | "setlinewidth" -> t.gfx.Ps_graphics.line_width <- pop_num t
+      | "findfont" -> (
+          match pop t with
+          | Lit_name name ->
+              let font =
+                match Hashtbl.find_opt t.fonts name with
+                | Some d -> d
+                | None ->
+                    let d = dict_create t.rt t.dict_wrapper t.node_wrapper ~capacity:8 in
+                    dict_put d "FontName" (Lit_name name);
+                    dict_put d "FontSize" (Real 1.);
+                    Hashtbl.replace t.fonts name d;
+                    d
+              in
+              push t (Dict font)
+          | o -> err "typecheck: findfont of %s" (type_name o))
+      | "scalefont" -> (
+          let size = pop_num t in
+          match pop t with
+          | Dict base ->
+              (* a scaled font is a fresh (shortish-lived) dict *)
+              let d = dict_create t.rt t.dict_wrapper t.node_wrapper ~capacity:8 in
+              (match dict_find base "FontName" with
+              | Some n -> dict_put d "FontName" n
+              | None -> ());
+              dict_put d "FontSize" (Real size);
+              push t (Dict d)
+          | o -> err "typecheck: scalefont of %s" (type_name o))
+      | "setfont" -> (
+          match pop t with
+          | Dict d ->
+              (match dict_find d "FontSize" with
+              | Some s -> t.gfx.Ps_graphics.font_size <- to_real s
+              | None -> ());
+              (* First use of a (font, size) pair warms the glyph cache: a
+                 long-lived bitmap-budget chunk, like GhostScript's character
+                 cache. *)
+              let key =
+                Printf.sprintf "%s@%g"
+                  (match dict_find d "FontName" with
+                  | Some (Lit_name n) -> n
+                  | _ -> "?")
+                  t.gfx.Ps_graphics.font_size
+              in
+              if not (Hashtbl.mem t.cached_font_sizes key) then begin
+                Hashtbl.replace t.cached_font_sizes key ();
+                let chunk = Xalloc.alloc t.glyph_cache_wrapper ~size:24576 in
+                Rt.touch t.rt chunk 128
+              end
+          | o -> err "typecheck: setfont of %s" (type_name o))
+      | "currentpoint" -> (
+          match t.gfx.Ps_graphics.current with
+          | Some p ->
+              push t (Real (p.Ps_graphics.x -. t.gfx.Ps_graphics.tx));
+              push t (Real (p.Ps_graphics.y -. t.gfx.Ps_graphics.ty))
+          | None -> err "nocurrentpoint: currentpoint")
+      | other -> err "undefined operator: %s" other)
+
+(* -- program scanning / top level --------------------------------------------- *)
+
+let rec scan_proc t scanner : arr =
+  let items = ref [] in
+  let rec loop () =
+    let tok, cell = Ps_scanner.next scanner in
+    Option.iter (fun h -> Rt.free t.rt h) cell;
+    match tok with
+    | Ps_scanner.TProc_close -> ()
+    | TProc_open ->
+        items := Proc (scan_proc t scanner) :: !items;
+        loop ()
+    | TObj o ->
+        items := o :: !items;
+        loop ()
+    | TArr_open | TArr_close -> err "syntaxerror: bad token in procedure"
+    | TEof -> err "syntaxerror: unterminated procedure"
+  in
+  loop ();
+  alloc_arr t (Array.of_list (List.rev !items))
+
+let run t source =
+  let scanner = Ps_scanner.create t.rt source in
+  let f_main = Rt.func t.rt "ps_interpret" in
+  Rt.in_frame t.rt f_main (fun () ->
+      let rec loop () =
+        let tok, cell = Ps_scanner.next scanner in
+        Option.iter (fun h -> Rt.free t.rt h) cell;
+        match tok with
+        | Ps_scanner.TEof -> ()
+        | TProc_open ->
+            push t (Proc (scan_proc t scanner));
+            loop ()
+        | TProc_close -> err "syntaxerror: unmatched }"
+        | TArr_open ->
+            push t Mark;
+            loop ()
+        | TArr_close ->
+            let rec collect acc =
+              match pop t with
+              | Mark -> acc
+              | o -> collect (o :: acc)
+            in
+            push t (Arr (alloc_arr t (Array.of_list (collect []))));
+            loop ()
+        | TObj o ->
+            execute t o;
+            loop ()
+      in
+      loop ();
+      Ps_graphics.finish t.gfx)
+
+let pages t = t.pages
+let bands_painted t = t.gfx.Ps_graphics.bands_painted

@@ -1,0 +1,94 @@
+(* Object model of the mini-PostScript interpreter (the GHOST workload).
+
+   Scalars (integers, reals, booleans, names, marks) are immediate values;
+   composite objects — strings, arrays, procedures, dictionaries — own a
+   simulated heap allocation, as they do in a real PostScript VM.  The
+   interpreter frees composites when their VM lifetime ends (token cells
+   when consumed, paths at newpath/showpage, band buffers after painting,
+   save states at grestore); dictionaries installed in the dict stack
+   persist, forming the long-lived population. *)
+
+module Rt = Lp_ialloc.Runtime
+
+type t =
+  | Int of int
+  | Real of float
+  | Bool of bool
+  | Null
+  | Mark
+  | Name of string  (* executable name: looked up when executed *)
+  | Lit_name of string  (* /name: pushed as data *)
+  | Str of str
+  | Arr of arr
+  | Proc of arr  (* executable array *)
+  | Dict of dict
+  | Op of string  (* built-in operator *)
+
+and str = { mutable bytes : Bytes.t; s_handle : Rt.handle }
+and arr = { mutable elems : t array; a_handle : Rt.handle }
+
+and dict = {
+  tbl : (string, t) Hashtbl.t;
+  d_handle : Rt.handle;
+  node_wrapper : Xalloc.t;
+  rt : Rt.t;
+  mutable nodes : (string, Rt.handle) Hashtbl.t;
+}
+
+exception Ps_error of string
+
+let type_name = function
+  | Int _ -> "integertype"
+  | Real _ -> "realtype"
+  | Bool _ -> "booleantype"
+  | Null -> "nulltype"
+  | Mark -> "marktype"
+  | Name _ | Lit_name _ -> "nametype"
+  | Str _ -> "stringtype"
+  | Arr _ -> "arraytype"
+  | Proc _ -> "packedarraytype"
+  | Dict _ -> "dicttype"
+  | Op _ -> "operatortype"
+
+let err fmt = Printf.ksprintf (fun s -> raise (Ps_error s)) fmt
+
+let to_real = function
+  | Int i -> float_of_int i
+  | Real f -> f
+  | o -> err "typecheck: expected number, got %s" (type_name o)
+
+let to_int = function
+  | Int i -> i
+  | Real f -> int_of_float f
+  | o -> err "typecheck: expected integer, got %s" (type_name o)
+
+(* Dictionary entries allocate hash nodes, like the string/value pair
+   storage inside a PostScript VM's dict implementation. *)
+let dict_create rt wrapper node_wrapper ~capacity =
+  let d_handle = Xalloc.alloc wrapper ~size:(32 + (16 * capacity)) in
+  Rt.touch rt d_handle 2;
+  {
+    tbl = Hashtbl.create capacity;
+    d_handle;
+    node_wrapper;
+    rt;
+    nodes = Hashtbl.create capacity;
+  }
+
+let dict_put d key v =
+  Rt.touch d.rt d.d_handle 1;
+  if not (Hashtbl.mem d.nodes key) then begin
+    let node = Xalloc.alloc d.node_wrapper ~size:(24 + String.length key) in
+    Rt.touch d.rt node 2;
+    Hashtbl.replace d.nodes key node
+  end;
+  Hashtbl.replace d.tbl key v
+
+let dict_find d key =
+  Rt.touch d.rt d.d_handle 1;
+  Hashtbl.find_opt d.tbl key
+
+let dict_free d =
+  Hashtbl.iter (fun _ node -> Rt.free d.rt node) d.nodes;
+  Hashtbl.reset d.nodes;
+  Rt.free d.rt d.d_handle

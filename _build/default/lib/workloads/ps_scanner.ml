@@ -1,0 +1,139 @@
+(* Tokenizer for the mini-PostScript language.
+
+   Following a real PostScript scanner, each scanned token materialises an
+   object; composite tokens (strings) allocate.  To model the scanner's own
+   workspace churn we also allocate a small token cell per token, freed as
+   soon as the interpreter has consumed the token — a large population of
+   extremely short-lived objects, just like GhostScript's scanner refs. *)
+
+module Rt = Lp_ialloc.Runtime
+open Ps_object
+
+type token =
+  | TObj of Ps_object.t
+  | TProc_open  (* { *)
+  | TProc_close  (* } *)
+  | TArr_open  (* [ *)
+  | TArr_close  (* ] *)
+  | TEof
+
+type t = {
+  src : string;
+  mutable pos : int;
+  rt : Rt.t;
+  str_wrapper : Xalloc.t;
+  token_wrapper : Xalloc.t;
+  f_scan : Lp_callchain.Func.id;
+}
+
+let create rt src =
+  {
+    src;
+    pos = 0;
+    rt;
+    str_wrapper = Xalloc.create rt ~layers:[ "ps_string"; "vm_alloc" ];
+    token_wrapper = Xalloc.create rt ~layers:[ "scan_token"; "vm_alloc" ];
+    f_scan = Rt.func rt "ps_scan";
+  }
+
+let is_white = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+
+let is_delim = function
+  | '{' | '}' | '[' | ']' | '(' | ')' | '/' | '%' -> true
+  | c -> is_white c
+
+let alloc_string t bytes =
+  let s_handle = Xalloc.alloc t.str_wrapper ~size:(16 + Bytes.length bytes) in
+  Rt.touch t.rt s_handle (1 + (Bytes.length bytes / 8));
+  { bytes; s_handle }
+
+(* The per-token scanner cell: born here, freed by the interpreter right
+   after dispatch. *)
+let token_cell t =
+  let h = Xalloc.alloc t.token_wrapper ~size:24 in
+  Rt.touch t.rt h 1;
+  h
+
+let rec skip_space t =
+  let n = String.length t.src in
+  while t.pos < n && is_white t.src.[t.pos] do
+    t.pos <- t.pos + 1
+  done;
+  if t.pos < n && t.src.[t.pos] = '%' then begin
+    while t.pos < n && t.src.[t.pos] <> '\n' do
+      t.pos <- t.pos + 1
+    done;
+    skip_space t
+  end
+
+let read_name t =
+  let n = String.length t.src in
+  let start = t.pos in
+  while t.pos < n && not (is_delim t.src.[t.pos]) do
+    t.pos <- t.pos + 1
+  done;
+  String.sub t.src start (t.pos - start)
+
+let classify_name name =
+  (* numbers are scanned as names first, then reinterpreted *)
+  match int_of_string_opt name with
+  | Some i -> Int i
+  | None -> (
+      match float_of_string_opt name with
+      | Some f -> Real f
+      | None -> Name name)
+
+(* Returns the token plus the scanner-cell handle the caller must free. *)
+let next t : token * Rt.handle option =
+  Rt.in_frame t.rt t.f_scan (fun () ->
+      skip_space t;
+      Rt.instructions t.rt 8;
+      let n = String.length t.src in
+      if t.pos >= n then (TEof, None)
+      else begin
+        let c = t.src.[t.pos] in
+        match c with
+        | '{' ->
+            t.pos <- t.pos + 1;
+            (TProc_open, None)
+        | '}' ->
+            t.pos <- t.pos + 1;
+            (TProc_close, None)
+        | '[' ->
+            t.pos <- t.pos + 1;
+            (TArr_open, None)
+        | ']' ->
+            t.pos <- t.pos + 1;
+            (TArr_close, None)
+        | '(' ->
+            (* string literal with nesting *)
+            t.pos <- t.pos + 1;
+            let buf = Buffer.create 16 in
+            let depth = ref 1 in
+            while !depth > 0 && t.pos < n do
+              let c = t.src.[t.pos] in
+              (match c with
+              | '(' ->
+                  incr depth;
+                  Buffer.add_char buf c
+              | ')' ->
+                  decr depth;
+                  if !depth > 0 then Buffer.add_char buf c
+              | '\\' when t.pos + 1 < n ->
+                  t.pos <- t.pos + 1;
+                  Buffer.add_char buf t.src.[t.pos]
+              | c -> Buffer.add_char buf c);
+              t.pos <- t.pos + 1
+            done;
+            if !depth > 0 then err "syntaxerror: unterminated string";
+            let s = alloc_string t (Bytes.of_string (Buffer.contents buf)) in
+            (TObj (Str s), Some (token_cell t))
+        | '/' ->
+            t.pos <- t.pos + 1;
+            let name = read_name t in
+            (TObj (Lit_name name), Some (token_cell t))
+        | _ ->
+            let name = read_name t in
+            if name = "" then err "syntaxerror: bad character %C" c;
+            (TObj (classify_name name), Some (token_cell t))
+      end)

@@ -1,0 +1,279 @@
+exception Bad_pattern of string
+
+type node =
+  | Char of char
+  | Any
+  | Class of (char -> bool) * string  (* predicate + description *)
+  | Seq of node list
+  | Alt of node * node
+  | Star of node
+  | Plus of node
+  | Opt of node
+  | Group of int * node  (* capture index, 1-based *)
+  | Bol
+  | Eol
+  | Empty
+
+type t = { ast : node; n_groups : int; src : string }
+
+(* -- parser ------------------------------------------------------------------- *)
+
+type pstate = { pat : string; mutable pos : int; mutable groups : int }
+
+let peek st = if st.pos < String.length st.pat then Some st.pat.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let escape_class = function
+  | 'w' -> Some ((fun c -> (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+                           || (c >= '0' && c <= '9') || c = '_'), "\\w")
+  | 'd' -> Some ((fun c -> c >= '0' && c <= '9'), "\\d")
+  | 's' -> Some ((fun c -> c = ' ' || c = '\t' || c = '\n' || c = '\r'), "\\s")
+  | 'W' -> Some ((fun c -> not ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+                                || (c >= '0' && c <= '9') || c = '_')), "\\W")
+  | 'D' -> Some ((fun c -> not (c >= '0' && c <= '9')), "\\D")
+  | 'S' -> Some ((fun c -> not (c = ' ' || c = '\t' || c = '\n' || c = '\r')), "\\S")
+  | _ -> None
+
+let parse_char_class st =
+  (* on entry, pos is just past '[' *)
+  let negated =
+    match peek st with
+    | Some '^' ->
+        advance st;
+        true
+    | _ -> false
+  in
+  let ranges = ref [] in
+  let chars = ref [] in
+  let finished = ref false in
+  let first = ref true in
+  while not !finished do
+    match peek st with
+    | None -> raise (Bad_pattern "unterminated character class")
+    | Some ']' when not !first ->
+        advance st;
+        finished := true
+    | Some c ->
+        first := false;
+        advance st;
+        let c =
+          if c = '\\' then begin
+            match peek st with
+            | None -> raise (Bad_pattern "trailing backslash in class")
+            | Some e ->
+                advance st;
+                (match e with 'n' -> '\n' | 't' -> '\t' | e -> e)
+          end
+          else c
+        in
+        (* range? *)
+        if peek st = Some '-' && st.pos + 1 < String.length st.pat
+           && st.pat.[st.pos + 1] <> ']'
+        then begin
+          advance st;
+          match peek st with
+          | Some hi ->
+              advance st;
+              ranges := (c, hi) :: !ranges
+          | None -> raise (Bad_pattern "unterminated range")
+        end
+        else chars := c :: !chars
+  done;
+  let ranges = !ranges and chars = !chars in
+  let member c =
+    List.mem c chars || List.exists (fun (lo, hi) -> c >= lo && c <= hi) ranges
+  in
+  let pred c = if negated then not (member c) else member c in
+  Class (pred, "[class]")
+
+let rec parse_alt st =
+  let lhs = parse_seq st in
+  match peek st with
+  | Some '|' ->
+      advance st;
+      Alt (lhs, parse_alt st)
+  | _ -> lhs
+
+and parse_seq st =
+  let items = ref [] in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | None | Some ')' | Some '|' -> continue := false
+    | Some _ -> items := parse_repeat st :: !items
+  done;
+  match !items with [ one ] -> one | items -> Seq (List.rev items)
+
+and parse_repeat st =
+  let atom = parse_atom st in
+  match peek st with
+  | Some '*' ->
+      advance st;
+      Star atom
+  | Some '+' ->
+      advance st;
+      Plus atom
+  | Some '?' ->
+      advance st;
+      Opt atom
+  | _ -> atom
+
+and parse_atom st =
+  match peek st with
+  | None -> raise (Bad_pattern "expected atom")
+  | Some '(' ->
+      advance st;
+      st.groups <- st.groups + 1;
+      let idx = st.groups in
+      let inner = parse_alt st in
+      (match peek st with
+      | Some ')' -> advance st
+      | _ -> raise (Bad_pattern "unbalanced parenthesis"));
+      Group (idx, inner)
+  | Some '[' ->
+      advance st;
+      parse_char_class st
+  | Some '.' ->
+      advance st;
+      Any
+  | Some '^' ->
+      advance st;
+      Bol
+  | Some '$' ->
+      advance st;
+      Eol
+  | Some '\\' -> (
+      advance st;
+      match peek st with
+      | None -> raise (Bad_pattern "trailing backslash")
+      | Some e -> (
+          advance st;
+          match escape_class e with
+          | Some (pred, desc) -> Class (pred, desc)
+          | None -> (
+              match e with
+              | 'n' -> Char '\n'
+              | 't' -> Char '\t'
+              | e -> Char e)))
+  | Some ('*' | '+' | '?') -> raise (Bad_pattern "repetition of nothing")
+  | Some ')' -> Empty
+  | Some c ->
+      advance st;
+      Char c
+
+let compile src =
+  let st = { pat = src; pos = 0; groups = 0 } in
+  let ast = parse_alt st in
+  if st.pos <> String.length src then raise (Bad_pattern "trailing characters");
+  { ast; n_groups = st.groups; src }
+
+let source t = t.src
+
+(* -- matcher ------------------------------------------------------------------ *)
+
+type match_result = {
+  start_pos : int;
+  end_pos : int;
+  groups : (int * int) option array;
+}
+
+let steps = ref 0
+let steps_of_last_search () = !steps
+
+(* Backtracking with a success continuation; groups recorded in a mutable
+   array with undo on failure. *)
+let match_at t subject start =
+  let n = String.length subject in
+  let groups = Array.make (max 1 t.n_groups) None in
+  let rec go node pos (k : int -> bool) =
+    incr steps;
+    match node with
+    | Empty -> k pos
+    | Char c -> pos < n && subject.[pos] = c && k (pos + 1)
+    | Any -> pos < n && k (pos + 1)
+    | Class (pred, _) -> pos < n && pred subject.[pos] && k (pos + 1)
+    | Bol -> (pos = 0 || subject.[pos - 1] = '\n') && k pos
+    | Eol -> (pos = n || subject.[pos] = '\n') && k pos
+    | Seq items ->
+        let rec seq items pos =
+          match items with [] -> k pos | x :: rest -> go x pos (fun p -> seq rest p)
+        in
+        seq items pos
+    | Alt (a, b) -> go a pos k || go b pos k
+    | Opt a -> go a pos k || k pos
+    | Star a ->
+        (* greedy: longest first; guard against empty-match loops *)
+        let rec star pos =
+          go a pos (fun p -> p > pos && star p) || k pos
+        in
+        star pos
+    | Plus a -> go a pos (fun p ->
+        let rec star pos =
+          go a pos (fun p -> p > pos && star p) || k pos
+        in
+        star p)
+    | Group (idx, inner) ->
+        let saved = groups.(idx - 1) in
+        go inner pos (fun p ->
+            groups.(idx - 1) <- Some (pos, p);
+            k p || begin
+              groups.(idx - 1) <- saved;
+              false
+            end)
+  in
+  let end_pos = ref (-1) in
+  if
+    go t.ast start (fun p ->
+        end_pos := p;
+        true)
+  then Some { start_pos = start; end_pos = !end_pos; groups }
+  else None
+
+let search t subject =
+  steps := 0;
+  let n = String.length subject in
+  let rec try_from i = if i > n then None
+    else begin
+      match match_at t subject i with
+      | Some m -> Some m
+      | None -> try_from (i + 1)
+    end
+  in
+  try_from 0
+
+let matches t subject = search t subject <> None
+
+let group m subject i =
+  if i < 1 || i > Array.length m.groups then None
+  else begin
+    match m.groups.(i - 1) with
+    | Some (s, e) -> Some (String.sub subject s (e - s))
+    | None -> None
+  end
+
+let replace_first t subject ~template =
+  match search t subject with
+  | None -> None
+  | Some m ->
+      let buf = Buffer.create (String.length subject) in
+      Buffer.add_string buf (String.sub subject 0 m.start_pos);
+      let n = String.length template in
+      let i = ref 0 in
+      while !i < n do
+        let c = template.[!i] in
+        if c = '$' && !i + 1 < n && template.[!i + 1] >= '1' && template.[!i + 1] <= '9'
+        then begin
+          let g = Char.code template.[!i + 1] - Char.code '0' in
+          (match group m subject g with
+          | Some text -> Buffer.add_string buf text
+          | None -> ());
+          i := !i + 2
+        end
+        else begin
+          Buffer.add_char buf c;
+          incr i
+        end
+      done;
+      Buffer.add_string buf (String.sub subject m.end_pos (String.length subject - m.end_pos));
+      Some (Buffer.contents buf)

@@ -1,0 +1,48 @@
+(** A small backtracking regular-expression engine.
+
+    This is the PERL workload's pattern-matching substrate (Perl without
+    regular expressions would not be Perl).  Supported syntax: literal
+    characters, [.], character classes [[abc]], [[a-z]], [[^...]], the
+    escapes [\w \d \s \W \D \S], repetition [* + ?], alternation [|],
+    grouping and capture [( )], and the anchors [^ $].
+
+    Compilation produces an immutable AST; matching is by recursive
+    backtracking with capture recording.  The engine is pure OCaml with no
+    instrumentation of its own — the interpreter charges the simulated
+    costs and allocates the match-result objects. *)
+
+type t
+(** A compiled pattern. *)
+
+exception Bad_pattern of string
+
+val compile : string -> t
+(** @raise Bad_pattern on malformed syntax. *)
+
+val source : t -> string
+(** The original pattern text. *)
+
+type match_result = {
+  start_pos : int;  (** offset of the match *)
+  end_pos : int;  (** offset one past the match *)
+  groups : (int * int) option array;  (** capture spans, group 1 at index 0 *)
+}
+
+val search : t -> string -> match_result option
+(** Find the leftmost match (earliest start; at each start, the
+    backtracking engine's first success). *)
+
+val matches : t -> string -> bool
+
+val group : match_result -> string -> int -> string option
+(** [group m subject i] is the text of capture group [i] (1-based). *)
+
+val replace_first : t -> string -> template:string -> string option
+(** [replace_first re s ~template] replaces the first match with
+    [template], in which [$1]..[$9] refer to capture groups.  [None] when
+    there is no match. *)
+
+val steps_of_last_search : unit -> int
+(** Backtracking steps taken by the most recent search on this domain —
+    used by the workload to charge simulated instructions proportional to
+    the real matching work. *)

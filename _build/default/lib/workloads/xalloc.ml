@@ -1,0 +1,31 @@
+module Rt = Lp_ialloc.Runtime
+
+type t = { rt : Rt.t; layers : Lp_callchain.Func.id array; tag : string option }
+
+let create rt ~layers =
+  {
+    rt;
+    layers = Array.of_list (List.map (Rt.func rt) layers);
+    (* the outermost wrapper names the kind of object being built
+       (make_cell, new_cube, band_buffer, ...) — a natural type tag for the
+       type-based prediction experiment *)
+    tag = (match layers with [] -> None | outer :: _ -> Some outer);
+  }
+
+let alloc t ~size =
+  let n = Array.length t.layers in
+  for i = 0 to n - 1 do
+    Rt.enter t.rt t.layers.(i)
+  done;
+  Rt.instructions t.rt (2 * n);
+  let h = Rt.alloc ?tag:t.tag t.rt ~size in
+  for _ = 1 to n do
+    Rt.leave t.rt
+  done;
+  h
+
+let calloc t ~size =
+  let h = alloc t ~size in
+  Rt.instructions t.rt (size / 4);
+  Rt.touch t.rt h (1 + (size / 16));
+  h

@@ -1,0 +1,27 @@
+(** Layered allocation wrappers.
+
+    Real C programs rarely call [malloc] directly; they route allocations
+    through safety wrappers ([xmalloc]) and type-specific constructors.
+    The paper leans on this (§4): layered designs are exactly why length-1
+    call-chains predict poorly and why prediction quality jumps once enough
+    layers are resolved (Table 6).
+
+    An {!t} represents such a wrapper stack: calling {!alloc} pushes the
+    configured wrapper frames (e.g. [new_node] → [safe_alloc] → [xmalloc])
+    before performing the underlying instrumented allocation, charging a
+    few instructions per layer, and pops them again. *)
+
+type t
+
+val create : Lp_ialloc.Runtime.t -> layers:string list -> t
+(** [create rt ~layers] builds a wrapper whose frames are [layers], listed
+    outermost first.  [layers] may be empty (a direct allocation).  The
+    outermost layer's name doubles as the allocation's type tag (see
+    {!Lp_ialloc.Runtime.alloc}). *)
+
+val alloc : t -> size:int -> Lp_ialloc.Runtime.handle
+(** Allocate through the wrapper layers. *)
+
+val calloc : t -> size:int -> Lp_ialloc.Runtime.handle
+(** Like {!alloc} but also charges the zero-fill cost ([size/4]
+    instructions) and one initialising heap reference per 16 bytes. *)

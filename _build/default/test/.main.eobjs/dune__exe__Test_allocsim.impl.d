@@ -1,0 +1,1 @@
+test/test_allocsim.ml: Alcotest Gen List Lp_allocsim Lp_ialloc QCheck QCheck_alcotest

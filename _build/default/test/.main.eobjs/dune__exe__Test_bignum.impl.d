@@ -1,0 +1,1 @@
+test/test_bignum.ml: Alcotest List Lp_ialloc Lp_workloads Option Printf String

@@ -1,0 +1,1 @@
+test/test_callchain.ml: Alcotest Array Gen List Lp_callchain Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_cube.ml: Alcotest Array List Lp_ialloc Lp_workloads String

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array List Lp_allocsim Lp_ialloc Lp_trace

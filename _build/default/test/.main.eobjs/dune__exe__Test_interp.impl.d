@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest List Lp_ialloc Lp_workloads

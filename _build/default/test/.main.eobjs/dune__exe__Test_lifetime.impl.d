@@ -1,0 +1,1 @@
+test/test_lifetime.ml: Alcotest Lifetime List Lp_allocsim Lp_callchain Lp_ialloc Option String

@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array Float Gen List Lp_allocsim Lp_ialloc Lp_quantile Lp_trace Lp_workloads Printf QCheck QCheck_alcotest String

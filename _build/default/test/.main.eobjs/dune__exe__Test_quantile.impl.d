@@ -1,0 +1,1 @@
+test/test_quantile.ml: Alcotest Float Gen List Lp_quantile Lp_workloads QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Array Lp_callchain Lp_ialloc Lp_trace

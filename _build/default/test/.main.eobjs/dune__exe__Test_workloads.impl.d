@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array List Lp_ialloc Lp_trace Lp_workloads Printf

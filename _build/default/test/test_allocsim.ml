@@ -1,0 +1,297 @@
+(* Tests for lp_allocsim: the first-fit allocator's structural invariants
+   (block tiling, coalescing, free-list consistency), the BSD buckets, the
+   arena allocator's bump/reset/overflow/free behaviours, and the driver. *)
+
+module FF = Lp_allocsim.First_fit
+module Bsd = Lp_allocsim.Bsd
+module Arena = Lp_allocsim.Arena
+
+let ff_alloc_free_roundtrip () =
+  let ff = FF.create () in
+  let a = FF.alloc ff 100 in
+  let b = FF.alloc ff 200 in
+  Alcotest.(check bool) "distinct addresses" true (a <> b);
+  FF.check_invariants ff;
+  FF.free ff a;
+  FF.check_invariants ff;
+  FF.free ff b;
+  FF.check_invariants ff;
+  Alcotest.(check int) "all free coalesces to zero live" 0 (FF.live_bytes ff)
+
+let ff_reuses_freed_space () =
+  let ff = FF.create () in
+  let a = FF.alloc ff 1000 in
+  FF.free ff a;
+  let b = FF.alloc ff 1000 in
+  Alcotest.(check int) "address reused" a b;
+  Alcotest.(check int) "heap did not grow past one chunk" 8192 (FF.max_heap_size ff)
+
+let ff_coalescing () =
+  let ff = FF.create () in
+  let a = FF.alloc ff 100 in
+  let b = FF.alloc ff 100 in
+  let c = FF.alloc ff 100 in
+  (* free in an order that exercises both next- and prev-coalescing *)
+  FF.free ff a;
+  FF.free ff c;
+  FF.free ff b;
+  FF.check_invariants ff;
+  (* after full coalescing a large block must be allocatable without growth *)
+  let before = FF.max_heap_size ff in
+  let big = FF.alloc ff 4000 in
+  ignore big;
+  Alcotest.(check int) "no growth for big alloc" before (FF.max_heap_size ff)
+
+let ff_heap_grows_in_chunks () =
+  let ff = FF.create () in
+  ignore (FF.alloc ff 20000);
+  Alcotest.(check int) "24KB for 20000+header" 24576 (FF.max_heap_size ff)
+
+let ff_free_unknown () =
+  let ff = FF.create () in
+  ignore (FF.alloc ff 64);
+  Alcotest.check_raises "bad free" (Invalid_argument "First_fit.free: not an allocated address")
+    (fun () -> FF.free ff 4)
+
+let ff_invalid_size () =
+  let ff = FF.create () in
+  Alcotest.check_raises "size 0" (Invalid_argument "First_fit.alloc: size must be positive")
+    (fun () -> ignore (FF.alloc ff 0))
+
+(* random alloc/free sequences keep the invariants and never overlap *)
+let ff_random_property =
+  QCheck.Test.make ~name:"first-fit invariants under random traffic" ~count:60
+    QCheck.(list_of_size Gen.(int_range 1 300) (pair bool (int_range 1 600)))
+    (fun ops ->
+      let ff = FF.create () in
+      let live = ref [] in
+      List.iter
+        (fun (do_alloc, size) ->
+          if do_alloc || !live = [] then begin
+            let addr = FF.alloc ff size in
+            (* payload [addr, addr+size) must not overlap any live object *)
+            List.iter
+              (fun (a, s) ->
+                if addr < a + s && a < addr + size then
+                  QCheck.Test.fail_reportf "overlap: new (%d,%d) vs live (%d,%d)"
+                    addr size a s)
+              !live;
+            live := (addr, size) :: !live
+          end
+          else begin
+            match !live with
+            | (a, _) :: rest ->
+                FF.free ff a;
+                live := rest
+            | [] -> ()
+          end)
+        ops;
+      FF.check_invariants ff;
+      true)
+
+let best_fit_picks_tightest () =
+  let bf = FF.create ~policy:FF.Best () in
+  (* create two holes: 100 bytes and 300 bytes *)
+  let a = FF.alloc bf 100 in
+  let _gap1 = FF.alloc bf 8 in
+  let b = FF.alloc bf 300 in
+  let _gap2 = FF.alloc bf 8 in
+  FF.free bf a;
+  FF.free bf b;
+  (* an 80-byte request must land in the 100-byte hole, not the 300 *)
+  let c = FF.alloc bf 80 in
+  Alcotest.(check int) "tightest hole chosen" a c;
+  FF.check_invariants bf
+
+let best_fit_invariants_random =
+  QCheck.Test.make ~name:"best-fit invariants under random traffic" ~count:40
+    QCheck.(list_of_size Gen.(int_range 1 200) (pair bool (int_range 1 400)))
+    (fun ops ->
+      let bf = FF.create ~policy:FF.Best () in
+      let live = ref [] in
+      List.iter
+        (fun (do_alloc, size) ->
+          if do_alloc || !live = [] then live := (FF.alloc bf size, size) :: !live
+          else begin
+            match !live with
+            | (a, _) :: rest ->
+                FF.free bf a;
+                live := rest
+            | [] -> ()
+          end)
+        ops;
+      FF.check_invariants bf;
+      true)
+
+let bsd_basics () =
+  let b = Bsd.create () in
+  let a1 = Bsd.alloc b 10 in
+  Bsd.free b a1;
+  let a2 = Bsd.alloc b 10 in
+  Alcotest.(check int) "LIFO reuse" a1 a2;
+  Alcotest.(check int) "frees counted" 1 (Bsd.frees b)
+
+let bsd_size_classes () =
+  let b = Bsd.create () in
+  (* 10 + 8 header -> 32-byte class; 24 + 8 -> 32 too; 25+8 -> 64 *)
+  let x = Bsd.alloc b 10 in
+  Bsd.free b x;
+  let y = Bsd.alloc b 24 in
+  Alcotest.(check int) "same class reused" x y;
+  Bsd.free b y;
+  let z = Bsd.alloc b 25 in
+  Alcotest.(check bool) "bigger class is a fresh block" true (z <> x)
+
+let bsd_never_coalesces () =
+  let b = Bsd.create () in
+  let xs = List.init 200 (fun _ -> Bsd.alloc b 100) in
+  List.iter (Bsd.free b) xs;
+  let peak = Bsd.max_heap_size b in
+  let ys = List.init 200 (fun _ -> Bsd.alloc b 100) in
+  ignore ys;
+  Alcotest.(check int) "refill reuses every page" peak (Bsd.max_heap_size b)
+
+(* -- arena ----------------------------------------------------------------------- *)
+
+let small_config = { Arena.n_arenas = 4; arena_size = 128 }
+
+let arena_bump () =
+  let a = Arena.create ~config:small_config () in
+  let x = Arena.alloc a ~size:40 ~predicted:true in
+  let y = Arena.alloc a ~size:40 ~predicted:true in
+  Alcotest.(check int) "bump: consecutive" (x + 40) y;
+  Alcotest.(check int) "arena allocs" 2 (Arena.arena_allocs a);
+  Alcotest.(check int) "arena bytes" 80 (Arena.arena_bytes a)
+
+let arena_unpredicted_goes_general () =
+  let a = Arena.create ~config:small_config () in
+  let x = Arena.alloc a ~size:40 ~predicted:false in
+  Alcotest.(check bool) "general heap is above arena area" true (x >= 4 * 128);
+  Alcotest.(check int) "no arena allocs" 0 (Arena.arena_allocs a)
+
+let arena_too_big_goes_general () =
+  let a = Arena.create ~config:small_config () in
+  let x = Arena.alloc a ~size:129 ~predicted:true in
+  Alcotest.(check bool) "oversized object in general heap" true (x >= 4 * 128)
+
+let arena_reset_on_empty () =
+  let a = Arena.create ~config:small_config () in
+  (* fill arena 0, free everything, fill again: must recycle *)
+  let xs = List.init 3 (fun _ -> Arena.alloc a ~size:40 ~predicted:true) in
+  List.iter (Arena.free a) xs;
+  let more = List.init 8 (fun _ -> Arena.alloc a ~size:40 ~predicted:true) in
+  ignore more;
+  Alcotest.(check bool) "arenas recycled" true (Arena.arena_resets a >= 1);
+  Alcotest.(check int) "no overflow" 0 (Arena.overflow_allocs a)
+
+let arena_pollution_overflows () =
+  let a = Arena.create ~config:small_config () in
+  (* fill all four arenas with objects that stay live (mispredicted
+     long-lived objects) -> further predicted allocs must overflow *)
+  let held = List.init 12 (fun _ -> Arena.alloc a ~size:40 ~predicted:true) in
+  let overflow = Arena.alloc a ~size:40 ~predicted:true in
+  Alcotest.(check bool) "overflow lands in general heap" true (overflow >= 4 * 128);
+  Alcotest.(check bool) "overflow counted" true (Arena.overflow_allocs a >= 1);
+  List.iter (Arena.free a) held
+
+let arena_free_dispatch () =
+  let a = Arena.create ~config:small_config () in
+  let in_arena = Arena.alloc a ~size:40 ~predicted:true in
+  let in_general = Arena.alloc a ~size:40 ~predicted:false in
+  Arena.free a in_arena;
+  Arena.free a in_general;
+  Alcotest.(check int) "both freed" 2 (Arena.frees a);
+  FF.check_invariants (Arena.general a)
+
+let arena_heap_includes_area () =
+  let a = Arena.create ~config:small_config () in
+  ignore (Arena.alloc a ~size:40 ~predicted:true);
+  Alcotest.(check bool) "max heap >= arena area" true (Arena.max_heap_size a >= 4 * 128)
+
+(* -- driver ----------------------------------------------------------------------- *)
+
+let make_trace () =
+  let rt = Lp_ialloc.Runtime.create ~program:"drv" ~input:"t" () in
+  let main = Lp_ialloc.Runtime.func rt "main" in
+  Lp_ialloc.Runtime.enter rt main;
+  let hs = List.init 50 (fun i -> Lp_ialloc.Runtime.alloc rt ~size:(16 + (i mod 5 * 8))) in
+  List.iteri (fun i h -> if i mod 2 = 0 then Lp_ialloc.Runtime.free rt h) hs;
+  Lp_ialloc.Runtime.leave rt;
+  Lp_ialloc.Runtime.finish rt
+
+let driver_first_fit () =
+  let trace = make_trace () in
+  let m = Lp_allocsim.Driver.run trace Lp_allocsim.Driver.First_fit in
+  Alcotest.(check int) "allocs" 50 m.Lp_allocsim.Metrics.allocs;
+  Alcotest.(check int) "frees" 25 m.Lp_allocsim.Metrics.frees;
+  Alcotest.(check bool) "instr/alloc positive" true (m.instr_per_alloc > 0.)
+
+let driver_arena_predict_all () =
+  let trace = make_trace () in
+  let m =
+    Lp_allocsim.Driver.run trace
+      (Lp_allocsim.Driver.Arena
+         {
+           config = Arena.default_config;
+           predicted = (fun ~obj:_ ~size:_ ~chain:_ ~key:_ -> true);
+           predict_cost = 18;
+         })
+  in
+  Alcotest.(check int) "everything in arenas" 50 m.Lp_allocsim.Metrics.arena_allocs;
+  Alcotest.(check bool) "heap includes 64KB area" true (m.max_heap >= 65536)
+
+let driver_arena_predict_none_equals_first_fit () =
+  let trace = make_trace () in
+  let ff = Lp_allocsim.Driver.run trace Lp_allocsim.Driver.First_fit in
+  let ar =
+    Lp_allocsim.Driver.run trace
+      (Lp_allocsim.Driver.Arena
+         {
+           config = Arena.default_config;
+           predicted = (fun ~obj:_ ~size:_ ~chain:_ ~key:_ -> false);
+           predict_cost = 18;
+         })
+  in
+  (* the degenerate case of the paper: an arena allocator that puts nothing
+     in arenas is first-fit plus the arena area *)
+  Alcotest.(check int) "heap = first-fit + arena area"
+    (ff.Lp_allocsim.Metrics.max_heap + 65536) ar.Lp_allocsim.Metrics.max_heap
+
+let suites =
+  [
+    ( "first-fit",
+      [
+        Alcotest.test_case "alloc/free round-trip" `Quick ff_alloc_free_roundtrip;
+        Alcotest.test_case "reuses freed space" `Quick ff_reuses_freed_space;
+        Alcotest.test_case "coalescing" `Quick ff_coalescing;
+        Alcotest.test_case "grows in 8KB chunks" `Quick ff_heap_grows_in_chunks;
+        Alcotest.test_case "free unknown address" `Quick ff_free_unknown;
+        Alcotest.test_case "invalid size" `Quick ff_invalid_size;
+        QCheck_alcotest.to_alcotest ff_random_property;
+        Alcotest.test_case "best fit picks tightest" `Quick best_fit_picks_tightest;
+        QCheck_alcotest.to_alcotest best_fit_invariants_random;
+      ] );
+    ( "bsd",
+      [
+        Alcotest.test_case "basics" `Quick bsd_basics;
+        Alcotest.test_case "size classes" `Quick bsd_size_classes;
+        Alcotest.test_case "never coalesces" `Quick bsd_never_coalesces;
+      ] );
+    ( "arena",
+      [
+        Alcotest.test_case "bump allocation" `Quick arena_bump;
+        Alcotest.test_case "unpredicted -> general" `Quick arena_unpredicted_goes_general;
+        Alcotest.test_case "oversized -> general" `Quick arena_too_big_goes_general;
+        Alcotest.test_case "reset on empty" `Quick arena_reset_on_empty;
+        Alcotest.test_case "pollution overflows" `Quick arena_pollution_overflows;
+        Alcotest.test_case "free dispatch" `Quick arena_free_dispatch;
+        Alcotest.test_case "heap includes area" `Quick arena_heap_includes_area;
+      ] );
+    ( "driver",
+      [
+        Alcotest.test_case "first-fit metrics" `Quick driver_first_fit;
+        Alcotest.test_case "arena predict-all" `Quick driver_arena_predict_all;
+        Alcotest.test_case "predict-none degenerates to first-fit" `Quick
+          driver_arena_predict_none_equals_first_fit;
+      ] );
+  ]

@@ -1,0 +1,205 @@
+(* Tests for the bignum substrate: correctness against OCaml's native
+   integers (for values that fit) and algebraic properties via qcheck. *)
+
+module Bn = Lp_workloads.Bignum
+module Rt = Lp_ialloc.Runtime
+
+let with_ctx f =
+  let rt = Rt.create ~program:"bn" ~input:"t" () in
+  let ctx = Bn.make_ctx rt in
+  f ctx
+
+let of_to_int ctx n =
+  let v = Bn.of_int ctx n in
+  let r = Bn.to_int v in
+  Bn.release ctx v;
+  r
+
+let roundtrip () =
+  with_ctx (fun ctx ->
+      List.iter
+        (fun n -> Alcotest.(check (option int)) (string_of_int n) (Some n) (of_to_int ctx n))
+        [ 0; 1; 7; 32767; 32768; 1000000; 123456789012345 ])
+
+let decimal_strings () =
+  with_ctx (fun ctx ->
+      List.iter
+        (fun s ->
+          let v = Bn.of_string ctx s in
+          Alcotest.(check string) s s (Bn.to_string ctx v);
+          Bn.release ctx v)
+        [ "0"; "1"; "10000"; "999999999999999999999999"; "123456789123456789" ])
+
+let binop_check name f g () =
+  with_ctx (fun ctx ->
+      let rng = Lp_workloads.Prng.create ~seed:99L in
+      for _ = 1 to 200 do
+        let a = Lp_workloads.Prng.int rng 1_000_000_000 in
+        let b = 1 + Lp_workloads.Prng.int rng 1_000_000 in
+        let va = Bn.of_int ctx a and vb = Bn.of_int ctx b in
+        let vr = f ctx va vb in
+        let expected = g a b in
+        Alcotest.(check (option int))
+          (Printf.sprintf "%s %d %d" name a b)
+          (Some expected) (Bn.to_int vr);
+        Bn.release ctx va;
+        Bn.release ctx vb;
+        Bn.release ctx vr
+      done)
+
+let add_check = binop_check "add" Bn.add ( + )
+let mul_check = binop_check "mul" Bn.mul ( * )
+
+let sub_check () =
+  with_ctx (fun ctx ->
+      let rng = Lp_workloads.Prng.create ~seed:3L in
+      for _ = 1 to 200 do
+        let a = Lp_workloads.Prng.int rng 1_000_000_000 in
+        let b = Lp_workloads.Prng.int rng (a + 1) in
+        let va = Bn.of_int ctx a and vb = Bn.of_int ctx b in
+        let vr = Bn.sub ctx va vb in
+        Alcotest.(check (option int)) "sub" (Some (a - b)) (Bn.to_int vr);
+        Bn.release ctx va;
+        Bn.release ctx vb;
+        Bn.release ctx vr
+      done)
+
+let sub_negative_rejected () =
+  with_ctx (fun ctx ->
+      let a = Bn.of_int ctx 5 and b = Bn.of_int ctx 7 in
+      Alcotest.check_raises "negative" (Invalid_argument "Bignum.sub: negative result")
+        (fun () -> ignore (Bn.sub ctx a b)))
+
+let divmod_int_check () =
+  with_ctx (fun ctx ->
+      let rng = Lp_workloads.Prng.create ~seed:5L in
+      for _ = 1 to 300 do
+        let a = Lp_workloads.Prng.int rng 4_000_000_000_000_000 in
+        let b = 1 + Lp_workloads.Prng.int rng 2_000_000_000 in
+        let va = Bn.of_int ctx a and vb = Bn.of_int ctx b in
+        let q, r = Bn.divmod ctx va vb in
+        Alcotest.(check (option int)) "quotient" (Some (a / b)) (Bn.to_int q);
+        Alcotest.(check (option int)) "remainder" (Some (a mod b)) (Bn.to_int r);
+        List.iter (Bn.release ctx) [ va; vb; q; r ]
+      done)
+
+let divmod_small_check () =
+  with_ctx (fun ctx ->
+      let rng = Lp_workloads.Prng.create ~seed:6L in
+      for _ = 1 to 300 do
+        let a = Lp_workloads.Prng.int rng max_int in
+        let d = 1 + Lp_workloads.Prng.int rng 1_000_000 in
+        let va = Bn.of_int ctx a in
+        let q, r = Bn.divmod_small ctx va d in
+        Alcotest.(check (option int)) "q" (Some (a / d)) (Bn.to_int q);
+        Alcotest.(check int) "r" (a mod d) r;
+        Alcotest.(check int) "rem_small agrees" (a mod d) (Bn.rem_small ctx va d);
+        Bn.release ctx va;
+        Bn.release ctx q
+      done)
+
+let division_by_zero () =
+  with_ctx (fun ctx ->
+      let a = Bn.of_int ctx 10 and z = Bn.of_int ctx 0 in
+      Alcotest.check_raises "divmod by zero" Division_by_zero (fun () ->
+          ignore (Bn.divmod ctx a z));
+      Alcotest.check_raises "divmod_small by zero" Division_by_zero (fun () ->
+          ignore (Bn.divmod_small ctx a 0)))
+
+let isqrt_check () =
+  with_ctx (fun ctx ->
+      List.iter
+        (fun n ->
+          let v = Bn.of_int ctx n in
+          let r = Bn.isqrt ctx v in
+          let s = Option.get (Bn.to_int r) in
+          if not (s * s <= n && (s + 1) * (s + 1) > n) then
+            Alcotest.failf "isqrt %d = %d" n s;
+          Bn.release ctx v;
+          Bn.release ctx r)
+        [ 0; 1; 2; 3; 4; 15; 16; 17; 99; 100; 1000000; 999999999999; 4611686018427387 ])
+
+let gcd_check () =
+  with_ctx (fun ctx ->
+      let rec gcd a b = if b = 0 then a else gcd b (a mod b) in
+      let rng = Lp_workloads.Prng.create ~seed:8L in
+      for _ = 1 to 100 do
+        let a = 1 + Lp_workloads.Prng.int rng 1_000_000_000 in
+        let b = 1 + Lp_workloads.Prng.int rng 1_000_000_000 in
+        let va = Bn.of_int ctx a and vb = Bn.of_int ctx b in
+        let g = Bn.gcd ctx va vb in
+        Alcotest.(check (option int)) "gcd" (Some (gcd a b)) (Bn.to_int g);
+        List.iter (Bn.release ctx) [ va; vb; g ]
+      done)
+
+(* big-number properties: (a+b)-b = a, (a*b)/b = a, divmod identity *)
+let big_of_rng ctx rng =
+  (* a random number of up to ~40 digits built from decimal chunks *)
+  let n = 1 + Lp_workloads.Prng.int rng 40 in
+  let s =
+    String.concat ""
+      (List.init n (fun i ->
+           string_of_int
+             (if i = 0 then 1 + Lp_workloads.Prng.int rng 9
+              else Lp_workloads.Prng.int rng 10)))
+  in
+  Bn.of_string ctx s
+
+let big_properties () =
+  with_ctx (fun ctx ->
+      let rng = Lp_workloads.Prng.create ~seed:11L in
+      for _ = 1 to 60 do
+        let a = big_of_rng ctx rng and b = big_of_rng ctx rng in
+        (* (a + b) - b = a *)
+        let s = Bn.add ctx a b in
+        let d = Bn.sub ctx s b in
+        Alcotest.(check int) "(a+b)-b = a" 0 (Bn.compare ctx d a);
+        (* divmod identity: a = q*b + r, r < b *)
+        if not (Bn.is_zero b) then begin
+          let q, r = Bn.divmod ctx a b in
+          Alcotest.(check bool) "r < b" true (Bn.compare ctx r b < 0);
+          let qb = Bn.mul ctx q b in
+          let back = Bn.add ctx qb r in
+          Alcotest.(check int) "a = q*b + r" 0 (Bn.compare ctx back a);
+          List.iter (Bn.release ctx) [ q; r; qb; back ]
+        end;
+        (* isqrt: r^2 <= a < (r+1)^2 *)
+        let r = Bn.isqrt ctx a in
+        let r2 = Bn.mul ctx r r in
+        Alcotest.(check bool) "isqrt lower" true (Bn.compare ctx r2 a <= 0);
+        let r1 = Bn.add_small ctx r 1 in
+        let r12 = Bn.mul ctx r1 r1 in
+        Alcotest.(check bool) "isqrt upper" true (Bn.compare ctx r12 a > 0);
+        List.iter (Bn.release ctx) [ a; b; s; d; r; r2; r1; r12 ]
+      done)
+
+let no_leaks () =
+  let rt = Rt.create ~program:"bn" ~input:"t" () in
+  let ctx = Bn.make_ctx rt in
+  let a = Bn.of_string ctx "123456789123456789123456789" in
+  let b = Bn.of_string ctx "987654321987654321" in
+  let q, r = Bn.divmod ctx a b in
+  let g = Bn.gcd ctx a b in
+  let s = Bn.isqrt ctx a in
+  List.iter (Bn.release ctx) [ a; b; q; r; g; s ];
+  Alcotest.(check int) "all bignums released" 0 (Rt.live_objects rt)
+
+let suites =
+  [
+    ( "bignum",
+      [
+        Alcotest.test_case "int round-trip" `Quick roundtrip;
+        Alcotest.test_case "decimal strings" `Quick decimal_strings;
+        Alcotest.test_case "add vs native" `Quick add_check;
+        Alcotest.test_case "mul vs native" `Quick mul_check;
+        Alcotest.test_case "sub vs native" `Quick sub_check;
+        Alcotest.test_case "sub negative rejected" `Quick sub_negative_rejected;
+        Alcotest.test_case "divmod vs native" `Quick divmod_int_check;
+        Alcotest.test_case "divmod_small vs native" `Quick divmod_small_check;
+        Alcotest.test_case "division by zero" `Quick division_by_zero;
+        Alcotest.test_case "isqrt" `Quick isqrt_check;
+        Alcotest.test_case "gcd vs native" `Quick gcd_check;
+        Alcotest.test_case "40-digit properties" `Quick big_properties;
+        Alcotest.test_case "no leaks" `Quick no_leaks;
+      ] );
+  ]

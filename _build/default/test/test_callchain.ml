@@ -1,0 +1,195 @@
+(* Tests for lp_callchain: interning, the dynamic stack, cycle elimination,
+   sub-chains, sites, and call-chain encryption. *)
+
+module F = Lp_callchain.Func
+module S = Lp_callchain.Stack
+module C = Lp_callchain.Chain
+module Site = Lp_callchain.Site
+
+let interning () =
+  let tbl = F.create_table () in
+  let a = F.intern tbl "alpha" in
+  let b = F.intern tbl "beta" in
+  Alcotest.(check int) "alpha again" a (F.intern tbl "alpha");
+  Alcotest.(check bool) "distinct ids" true (a <> b);
+  Alcotest.(check string) "name round-trip" "beta" (F.name tbl b);
+  Alcotest.(check int) "size" 2 (F.size tbl)
+
+let interning_many () =
+  let tbl = F.create_table () in
+  let ids = List.init 500 (fun i -> F.intern tbl (Printf.sprintf "f%d" i)) in
+  Alcotest.(check int) "500 distinct" 500 (List.length (List.sort_uniq compare ids));
+  Alcotest.(check string) "f250" "f250" (F.name tbl (List.nth ids 250))
+
+let encryption_ids_stable () =
+  (* ids derive from names, so two tables agree -- the property cross-run
+     mapping of encrypted sites relies on *)
+  let t1 = F.create_table () and t2 = F.create_table () in
+  let a1 = F.intern t1 "foo" in
+  let _ = F.intern t2 "other" in
+  let a2 = F.intern t2 "foo" in
+  Alcotest.(check int) "same 16-bit id" (F.encryption_id t1 a1) (F.encryption_id t2 a2);
+  Alcotest.(check bool) "fits 16 bits" true (F.encryption_id t1 a1 < 65536)
+
+let stack_basics () =
+  let tbl = F.create_table () in
+  let st = S.create tbl in
+  let main = F.intern tbl "main" and f = F.intern tbl "f" and g = F.intern tbl "g" in
+  S.push st main;
+  S.push st f;
+  S.push st g;
+  Alcotest.(check int) "depth" 3 (S.depth st);
+  Alcotest.(check (option int)) "top" (Some g) (S.top st);
+  Alcotest.(check (array int)) "snapshot innermost first" [| g; f; main |] (S.snapshot st);
+  Alcotest.(check (array int)) "last 2" [| g; f |] (S.snapshot_last st 2);
+  S.pop st;
+  Alcotest.(check int) "depth after pop" 2 (S.depth st);
+  Alcotest.(check int) "calls counted" 3 (S.calls st)
+
+let stack_underflow () =
+  let tbl = F.create_table () in
+  let st = S.create tbl in
+  Alcotest.check_raises "pop empty" (Invalid_argument "Stack.pop: empty stack")
+    (fun () -> S.pop st)
+
+let encryption_key_invertible () =
+  let tbl = F.create_table () in
+  let st = S.create tbl in
+  Alcotest.(check int) "initial key" 0 (S.encryption_key st);
+  let f = F.intern tbl "f" and g = F.intern tbl "g" in
+  S.push st f;
+  let key_f = S.encryption_key st in
+  S.push st g;
+  S.pop st;
+  Alcotest.(check int) "pop restores key" key_f (S.encryption_key st);
+  S.pop st;
+  Alcotest.(check int) "empty again" 0 (S.encryption_key st)
+
+let encryption_key_order_insensitive () =
+  (* XOR keys cannot distinguish permutations -- a known weakness of the
+     scheme, worth pinning down as documented behaviour *)
+  let tbl = F.create_table () in
+  let f = F.intern tbl "f" and g = F.intern tbl "g" in
+  let st1 = S.create tbl in
+  S.push st1 f;
+  S.push st1 g;
+  let st2 = S.create tbl in
+  S.push st2 g;
+  S.push st2 f;
+  Alcotest.(check int) "same key for permuted stacks" (S.encryption_key st1)
+    (S.encryption_key st2)
+
+(* -- cycle elimination -------------------------------------------------------- *)
+
+let elim input expected () =
+  Alcotest.(check (array int)) "eliminated" expected (C.eliminate_cycles input)
+
+let cycle_cases =
+  [
+    ("no recursion", [| 2; 1; 0 |], [| 2; 1; 0 |]);
+    ("empty", [||], [||]);
+    ("single", [| 5 |], [| 5 |]);
+    (* main(0) -> f(1) -> g(2) -> f(1) -> g(2) -> malloc(3), innermost first *)
+    ("two-cycle", [| 3; 2; 1; 2; 1; 0 |], [| 3; 2; 1; 0 |]);
+    ("self-recursion", [| 1; 1; 1; 0 |], [| 1; 0 |]);
+    ("recursion at top", [| 0; 0 |], [| 0 |]);
+    (* cycle not involving the innermost frame *)
+    ("inner unique", [| 9; 1; 2; 1; 0 |], [| 9; 1; 0 |]);
+  ]
+
+let no_duplicates_after_elim =
+  QCheck.Test.make ~name:"cycle elimination leaves no duplicate functions" ~count:500
+    QCheck.(list_of_size Gen.(int_range 0 30) (int_range 0 5))
+    (fun frames ->
+      let raw = Array.of_list frames in
+      let out = C.eliminate_cycles raw in
+      let l = Array.to_list out in
+      List.length l = List.length (List.sort_uniq compare l))
+
+let elim_preserves_innermost =
+  QCheck.Test.make ~name:"cycle elimination keeps the innermost frame" ~count:500
+    QCheck.(list_of_size Gen.(int_range 1 30) (int_range 0 5))
+    (fun frames ->
+      let raw = Array.of_list frames in
+      let out = C.eliminate_cycles raw in
+      Array.length out > 0 && out.(0) = raw.(0))
+
+let subchain () =
+  let chain = [| 4; 3; 2; 1; 0 |] in
+  Alcotest.(check (array int)) "last 2" [| 4; 3 |] (C.last chain 2);
+  Alcotest.(check (array int)) "last 10 = all" chain (C.last chain 10);
+  Alcotest.(check (array int)) "last 0" [||] (C.last chain 0)
+
+let chain_equal_hash () =
+  let a = [| 1; 2; 3 |] and b = [| 1; 2; 3 |] and c = [| 1; 2 |] in
+  Alcotest.(check bool) "equal" true (C.equal a b);
+  Alcotest.(check bool) "not equal" false (C.equal a c);
+  Alcotest.(check int) "hash agrees" (C.hash a) (C.hash b);
+  Alcotest.(check int) "compare equal" 0 (C.compare a b)
+
+(* -- sites ----------------------------------------------------------------------- *)
+
+let site_policies () =
+  let raw = [| 3; 2; 1; 2; 1; 0 |] in
+  let complete = Site.make Site.Complete_chain ~raw_chain:raw ~key:77 ~size:24 in
+  Alcotest.(check (array int)) "complete eliminates cycles" [| 3; 2; 1; 0 |]
+    complete.Site.chain;
+  let last2 = Site.make (Site.Last_callers 2) ~raw_chain:raw ~key:77 ~size:24 in
+  Alcotest.(check (array int)) "last-2 keeps raw" [| 3; 2 |] last2.Site.chain;
+  let size_only = Site.make Site.Size_only ~raw_chain:raw ~key:77 ~size:24 in
+  Alcotest.(check (array int)) "size-only has empty chain" [||] size_only.Site.chain;
+  let enc = Site.make Site.Encrypted_key ~raw_chain:raw ~key:77 ~size:24 in
+  Alcotest.(check (array int)) "encrypted key chain" [| 77 |] enc.Site.chain
+
+let site_equality () =
+  let raw = [| 2; 1; 0 |] in
+  let s8 = Site.make Site.Complete_chain ~raw_chain:raw ~key:0 ~size:8 in
+  let s8' = Site.make Site.Complete_chain ~raw_chain:[| 2; 1; 0 |] ~key:0 ~size:8 in
+  let s16 = Site.make Site.Complete_chain ~raw_chain:raw ~key:0 ~size:16 in
+  Alcotest.(check bool) "same chain+size equal" true (Site.equal s8 s8');
+  Alcotest.(check bool) "different size differs (the paper's rule)" false
+    (Site.equal s8 s16)
+
+let site_rounding () =
+  Alcotest.(check int) "13 -> 16" 16 (Site.round_size ~multiple:4 13);
+  Alcotest.(check int) "12 -> 12" 12 (Site.round_size ~multiple:4 12);
+  Alcotest.(check int) "1 -> 4" 4 (Site.round_size ~multiple:4 1);
+  Alcotest.check_raises "multiple 0 rejected"
+    (Invalid_argument "Site.round_size: multiple must be positive") (fun () ->
+      ignore (Site.round_size ~multiple:0 5))
+
+let site_table () =
+  let module T = Site.Table in
+  let tbl = T.create 16 in
+  let raw = [| 1; 0 |] in
+  let s = Site.make Site.Complete_chain ~raw_chain:raw ~key:0 ~size:8 in
+  T.replace tbl s 42;
+  let s' = Site.make Site.Complete_chain ~raw_chain:[| 1; 0 |] ~key:0 ~size:8 in
+  Alcotest.(check (option int)) "lookup by equal site" (Some 42) (T.find_opt tbl s')
+
+let suites =
+  [
+    ( "callchain",
+      [
+        Alcotest.test_case "interning" `Quick interning;
+        Alcotest.test_case "interning many" `Quick interning_many;
+        Alcotest.test_case "encryption ids stable" `Quick encryption_ids_stable;
+        Alcotest.test_case "stack basics" `Quick stack_basics;
+        Alcotest.test_case "stack underflow" `Quick stack_underflow;
+        Alcotest.test_case "encryption key invertible" `Quick encryption_key_invertible;
+        Alcotest.test_case "encryption key order-insensitive" `Quick
+          encryption_key_order_insensitive;
+        Alcotest.test_case "subchain" `Quick subchain;
+        Alcotest.test_case "chain equal/hash" `Quick chain_equal_hash;
+        Alcotest.test_case "site policies" `Quick site_policies;
+        Alcotest.test_case "site equality" `Quick site_equality;
+        Alcotest.test_case "site rounding" `Quick site_rounding;
+        Alcotest.test_case "site table" `Quick site_table;
+        QCheck_alcotest.to_alcotest no_duplicates_after_elim;
+        QCheck_alcotest.to_alcotest elim_preserves_innermost;
+      ]
+      @ List.map
+          (fun (name, input, expected) ->
+            Alcotest.test_case ("cycle: " ^ name) `Quick (elim input expected))
+          cycle_cases );
+  ]

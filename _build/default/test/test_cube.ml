@@ -1,0 +1,176 @@
+(* Tests for the cube algebra: set semantics validated against direct
+   truth-table evaluation on small variable counts. *)
+
+module Cube = Lp_workloads.Cube
+module Rt = Lp_ialloc.Runtime
+
+let with_ctx n f =
+  let rt = Rt.create ~program:"cube" ~input:"t" () in
+  f (Cube.make_ctx rt ~n_vars:n)
+
+let string_roundtrip () =
+  with_ctx 5 (fun ctx ->
+      List.iter
+        (fun s ->
+          let c = Cube.of_string ctx s in
+          Alcotest.(check string) s s (Cube.to_string ctx c);
+          Cube.release ctx c)
+        [ "01-10"; "-----"; "00000"; "11111" ])
+
+let contains_cases () =
+  with_ctx 3 (fun ctx ->
+      let dash = Cube.of_string ctx "---" in
+      let c01 = Cube.of_string ctx "01-" in
+      let m010 = Cube.of_string ctx "010" in
+      Alcotest.(check bool) "--- contains 01-" true (Cube.contains ctx dash c01);
+      Alcotest.(check bool) "01- contains 010" true (Cube.contains ctx c01 m010);
+      Alcotest.(check bool) "010 !contains 01-" false (Cube.contains ctx m010 c01);
+      Cube.release_cover ctx [ dash; c01; m010 ])
+
+let intersect_cases () =
+  with_ctx 3 (fun ctx ->
+      let a = Cube.of_string ctx "0--" in
+      let b = Cube.of_string ctx "-1-" in
+      (match Cube.intersect ctx a b with
+      | Some i ->
+          Alcotest.(check string) "0-- and -1-" "01-" (Cube.to_string ctx i);
+          Cube.release ctx i
+      | None -> Alcotest.fail "expected intersection");
+      let c = Cube.of_string ctx "1--" in
+      (match Cube.intersect ctx a c with
+      | Some _ -> Alcotest.fail "0-- and 1-- must be disjoint"
+      | None -> ());
+      Cube.release_cover ctx [ a; b; c ])
+
+let distance_cases () =
+  with_ctx 4 (fun ctx ->
+      let a = Cube.of_string ctx "01-0" in
+      let b = Cube.of_string ctx "10-0" in
+      Alcotest.(check int) "distance 2" 2 (Cube.distance ctx a b);
+      Alcotest.(check int) "distance to self" 0 (Cube.distance ctx a a);
+      Cube.release_cover ctx [ a; b ])
+
+(* evaluate a cover exhaustively for ground truth *)
+let cover_minterms ctx cover =
+  let n = Cube.n_vars ctx in
+  List.init (1 lsl n) (fun m -> Cube.eval ctx cover m)
+
+let tautology_cases () =
+  with_ctx 3 (fun ctx ->
+      let full = [ Cube.of_string ctx "---" ] in
+      Alcotest.(check bool) "universe is tautology" true (Cube.is_tautology ctx full);
+      let split = [ Cube.of_string ctx "0--"; Cube.of_string ctx "1--" ] in
+      Alcotest.(check bool) "x + x' is tautology" true (Cube.is_tautology ctx split);
+      let partial = [ Cube.of_string ctx "0--"; Cube.of_string ctx "11-" ] in
+      Alcotest.(check bool) "partial is not" false (Cube.is_tautology ctx partial);
+      List.iter (Cube.release_cover ctx) [ full; split; partial ])
+
+let tautology_matches_truth_table () =
+  with_ctx 4 (fun ctx ->
+      let rng = Lp_workloads.Prng.create ~seed:17L in
+      for _ = 1 to 40 do
+        let cover =
+          List.init
+            (1 + Lp_workloads.Prng.int rng 6)
+            (fun _ ->
+              Cube.of_string ctx
+                (String.init 4 (fun _ ->
+                     [| '0'; '1'; '-' |].(Lp_workloads.Prng.int rng 3))))
+        in
+        let truth = List.for_all (fun b -> b) (cover_minterms ctx cover) in
+        Alcotest.(check bool) "tautology = truth table" truth
+          (Cube.is_tautology ctx cover);
+        Cube.release_cover ctx cover
+      done)
+
+let complement_matches_truth_table () =
+  with_ctx 4 (fun ctx ->
+      let rng = Lp_workloads.Prng.create ~seed:23L in
+      for _ = 1 to 40 do
+        let cover =
+          List.init
+            (1 + Lp_workloads.Prng.int rng 5)
+            (fun _ ->
+              Cube.of_string ctx
+                (String.init 4 (fun _ ->
+                     [| '0'; '1'; '-' |].(Lp_workloads.Prng.int rng 3))))
+        in
+        let comp = Cube.complement ctx cover in
+        let f = cover_minterms ctx cover in
+        let g = cover_minterms ctx comp in
+        List.iteri
+          (fun m fv ->
+            if fv = List.nth g m then
+              Alcotest.failf "complement wrong at minterm %d" m)
+          f;
+        Cube.release_cover ctx cover;
+        Cube.release_cover ctx comp
+      done)
+
+let covers_cube_cases () =
+  with_ctx 3 (fun ctx ->
+      let f = [ Cube.of_string ctx "0--"; Cube.of_string ctx "-1-" ] in
+      let inside = Cube.of_string ctx "01-" in
+      let outside = Cube.of_string ctx "1--" in
+      Alcotest.(check bool) "01- covered" true (Cube.covers_cube ctx f inside);
+      Alcotest.(check bool) "1-- not covered" false (Cube.covers_cube ctx f outside);
+      Cube.release_cover ctx f;
+      Cube.release_cover ctx [ inside; outside ])
+
+let minterm_eval () =
+  with_ctx 3 (fun ctx ->
+      (* f = x0 x1' (x0 is LSB) *)
+      let f = [ Cube.of_string ctx "10-" ] in
+      (* cube string position v corresponds to variable v: "10-" means
+         x0=1, x1=0, x2=dash *)
+      Alcotest.(check bool) "m=1 (x0=1,x1=0,x2=0)" true (Cube.eval ctx f 1);
+      Alcotest.(check bool) "m=5 (x0=1,x1=0,x2=1)" true (Cube.eval ctx f 5);
+      Alcotest.(check bool) "m=3 (x0=1,x1=1)" false (Cube.eval ctx f 3);
+      Alcotest.(check bool) "m=0" false (Cube.eval ctx f 0);
+      Cube.release_cover ctx f)
+
+let espresso_preserves_function () =
+  let rng = Lp_workloads.Prng.create ~seed:31L in
+  for _ = 1 to 10 do
+    let rt = Rt.create ~program:"esp" ~input:"t" () in
+    let n_vars = 4 + Lp_workloads.Prng.int rng 2 in
+    let on_set =
+      List.init
+        (3 + Lp_workloads.Prng.int rng 8)
+        (fun _ ->
+          String.init n_vars (fun _ ->
+              [| '0'; '1'; '-' |].(Lp_workloads.Prng.int rng 3)))
+    in
+    (* compute ground truth before minimization *)
+    let ctx = Cube.make_ctx rt ~n_vars in
+    let cover = List.map (Cube.of_string ctx) on_set in
+    let truth = List.init (1 lsl n_vars) (fun m -> Cube.eval ctx cover m) in
+    Cube.release_cover ctx cover;
+    let stats = Lp_workloads.Espresso.minimize rt ~n_vars ~on_set in
+    Alcotest.(check bool) "cost never grows" true
+      (stats.final_cubes <= max 1 stats.initial_cubes);
+    (* the minimized cover must compute exactly the same function *)
+    let ctx2 = Cube.make_ctx rt ~n_vars in
+    let cover2 = List.map (Cube.of_string ctx2) stats.final_cover in
+    let truth2 = List.init (1 lsl n_vars) (fun m -> Cube.eval ctx2 cover2 m) in
+    Alcotest.(check (list bool)) "minimized cover computes same function" truth truth2;
+    Cube.release_cover ctx2 cover2
+  done
+
+let suites =
+  [
+    ( "cube",
+      [
+        Alcotest.test_case "string round-trip" `Quick string_roundtrip;
+        Alcotest.test_case "contains" `Quick contains_cases;
+        Alcotest.test_case "intersect" `Quick intersect_cases;
+        Alcotest.test_case "distance" `Quick distance_cases;
+        Alcotest.test_case "tautology basics" `Quick tautology_cases;
+        Alcotest.test_case "tautology vs truth table" `Quick tautology_matches_truth_table;
+        Alcotest.test_case "complement vs truth table" `Quick
+          complement_matches_truth_table;
+        Alcotest.test_case "covers_cube" `Quick covers_cube_cases;
+        Alcotest.test_case "minterm eval" `Quick minterm_eval;
+        Alcotest.test_case "espresso smoke" `Quick espresso_preserves_function;
+      ] );
+  ]

@@ -1,0 +1,254 @@
+(* Tests for the extension modules: the cache simulator, the reference
+   stream (Touch events), the locality replay, and the generational
+   collector simulator. *)
+
+module Rt = Lp_ialloc.Runtime
+module Cache = Lp_allocsim.Cache
+module Gen = Lp_allocsim.Generational
+
+(* -- cache ---------------------------------------------------------------------- *)
+
+let cache_hit_after_miss () =
+  let c = Cache.create ~size_bytes:1024 () in
+  Cache.access c 0;
+  Cache.access c 0;
+  Cache.access c 8;
+  (* same 32-byte line *)
+  Alcotest.(check int) "accesses" 3 (Cache.accesses c);
+  Alcotest.(check int) "one compulsory miss" 1 (Cache.misses c)
+
+let cache_eviction () =
+  (* direct-mapped 64-byte cache with 32-byte lines: two sets.
+     addresses 0 and 64 map to set 0 and evict each other. *)
+  let c = Cache.create ~associativity:1 ~size_bytes:64 () in
+  Cache.access c 0;
+  Cache.access c 64;
+  Cache.access c 0;
+  Alcotest.(check int) "all three miss" 3 (Cache.misses c)
+
+let cache_associativity_helps () =
+  (* the same conflict pattern in a 2-way cache of the same total size:
+     both lines coexist in set 0 *)
+  let c = Cache.create ~associativity:2 ~size_bytes:64 () in
+  Cache.access c 0;
+  Cache.access c 64;
+  Cache.access c 0;
+  Cache.access c 64;
+  Alcotest.(check int) "only compulsory misses" 2 (Cache.misses c)
+
+let cache_lru () =
+  (* 2-way, one set (64 B total): touch A, B, A, then C evicts B (LRU) *)
+  let c = Cache.create ~associativity:2 ~size_bytes:64 () in
+  let a = 0 and b = 64 and new_line = 128 in
+  Cache.access c a;
+  Cache.access c b;
+  Cache.access c a;
+  Cache.access c new_line;
+  (* b was least recently used: a must still hit *)
+  let misses_before = Cache.misses c in
+  Cache.access c a;
+  Alcotest.(check int) "a still resident" misses_before (Cache.misses c);
+  Cache.access c b;
+  Alcotest.(check int) "b was evicted" (misses_before + 1) (Cache.misses c)
+
+let cache_range () =
+  let c = Cache.create ~size_bytes:1024 () in
+  Cache.access_range c ~addr:0 ~bytes:100;
+  (* bytes 0..99 cover lines 0,32,64,96: 4 accesses *)
+  Alcotest.(check int) "4 line accesses" 4 (Cache.accesses c)
+
+let cache_footprint () =
+  let c = Cache.create ~size_bytes:1024 () in
+  Cache.access c 0;
+  Cache.access c 100;
+  Cache.access c 5000;
+  Alcotest.(check int) "two pages" 2 (Cache.footprint_pages c);
+  Cache.reset c;
+  Alcotest.(check int) "reset clears" 0 (Cache.footprint_pages c)
+
+let cache_bad_geometry () =
+  Alcotest.check_raises "non-power-of-two line"
+    (Invalid_argument "Cache.create: line size must be a positive power of two")
+    (fun () -> ignore (Cache.create ~line_bytes:24 ~size_bytes:1024 ()))
+
+(* -- touch events ------------------------------------------------------------------ *)
+
+let touch_events_recorded () =
+  let rt = Rt.create ~program:"t" ~input:"t" () in
+  let a = Rt.alloc rt ~size:64 in
+  Rt.touch rt a 3;
+  Rt.touch rt a 2;
+  (* merges with previous *)
+  let b = Rt.alloc rt ~size:32 in
+  Rt.touch rt b 1;
+  Rt.touch rt a 1;
+  (* cannot merge across b's event *)
+  let trace = Rt.finish rt in
+  let touches =
+    Array.to_list trace.events
+    |> List.filter_map (function
+         | Lp_trace.Event.Touch { obj; count } -> Some (obj, count)
+         | _ -> None)
+  in
+  Alcotest.(check (list (pair int int)))
+    "merged stream"
+    [ (0, 5); (1, 1); (0, 1) ]
+    touches;
+  Alcotest.(check int) "aggregate per object" 6 trace.obj_refs.(0)
+
+let touch_zero_noop () =
+  let rt = Rt.create ~program:"t" ~input:"t" () in
+  let a = Rt.alloc rt ~size:8 in
+  Rt.touch rt a 0;
+  let trace = Rt.finish rt in
+  let n_touch =
+    Array.fold_left
+      (fun acc e -> match e with Lp_trace.Event.Touch _ -> acc + 1 | _ -> acc)
+      0 trace.events
+  in
+  Alcotest.(check int) "no touch event" 0 n_touch
+
+let touch_textio_roundtrip () =
+  let rt = Rt.create ~program:"t" ~input:"t" () in
+  let a = Rt.alloc rt ~size:64 in
+  Rt.touch rt a 7;
+  Rt.free rt a;
+  let trace = Rt.finish rt in
+  let trace' = Lp_trace.Textio.of_string (Lp_trace.Textio.to_string trace) in
+  Alcotest.(check int) "events preserved" (Array.length trace.events)
+    (Array.length trace'.events);
+  Alcotest.(check string) "identical text" (Lp_trace.Textio.to_string trace)
+    (Lp_trace.Textio.to_string trace')
+
+(* -- locality replay ----------------------------------------------------------------- *)
+
+let locality_replay_counts_refs () =
+  let rt = Rt.create ~program:"t" ~input:"t" () in
+  let a = Rt.alloc rt ~size:64 in
+  Rt.touch rt a 10;
+  Rt.free rt a;
+  let trace = Rt.finish rt in
+  let cache = Cache.create ~size_bytes:4096 () in
+  let (_ : Lp_allocsim.Metrics.t) =
+    Lp_allocsim.Driver.run ~cache trace Lp_allocsim.Driver.First_fit
+  in
+  (* 10 touch refs + header accesses at alloc and free *)
+  Alcotest.(check int) "12 accesses" 12 (Cache.accesses cache)
+
+let locality_hot_reuse_beats_spread () =
+  (* many short-lived objects: first-fit reuses one address; misses stay
+     near zero after warm-up *)
+  let rt = Rt.create ~program:"t" ~input:"t" () in
+  for _ = 1 to 1000 do
+    let h = Rt.alloc rt ~size:64 in
+    Rt.touch rt h 4;
+    Rt.free rt h
+  done;
+  let trace = Rt.finish rt in
+  let cache = Cache.create ~size_bytes:4096 () in
+  let (_ : Lp_allocsim.Metrics.t) =
+    Lp_allocsim.Driver.run ~cache trace Lp_allocsim.Driver.First_fit
+  in
+  Alcotest.(check bool) "miss rate under 1%" true (Cache.miss_rate cache < 0.01)
+
+(* -- generational collector ------------------------------------------------------------ *)
+
+let never _ = false
+let gen_config = { Gen.nursery_bytes = 1024; copy_cost_per_byte = 2 }
+
+let make_gen_trace ~n ~hold =
+  (* n objects of 100 bytes; every [hold]-th survives to the end *)
+  let rt = Rt.create ~program:"g" ~input:"t" () in
+  let kept = ref [] in
+  for i = 1 to n do
+    let h = Rt.alloc rt ~size:100 in
+    if i mod hold = 0 then kept := h :: !kept else Rt.free rt h
+  done;
+  List.iter (Rt.free rt) !kept;
+  Rt.finish rt
+
+let gen_baseline_copies_survivors () =
+  let trace = make_gen_trace ~n:100 ~hold:10 in
+  let stats =
+    Gen.run ~config:gen_config
+      ~pretenure:(fun ~obj:_ ~size:_ ~chain:_ ~key:_ -> never ())
+      trace
+  in
+  (* nursery holds 10 objects; each GC copies the ~1 surviving holder *)
+  Alcotest.(check bool) "several minor GCs" true (stats.minor_gcs >= 9);
+  Alcotest.(check bool) "copies happened" true (stats.copied_bytes > 0);
+  Alcotest.(check int) "copy cost priced" (2 * stats.copied_bytes) stats.copy_instr
+
+let gen_dead_nursery_objects_are_free () =
+  let trace = make_gen_trace ~n:100 ~hold:1000 (* everything dies young *) in
+  let stats =
+    Gen.run ~config:gen_config
+      ~pretenure:(fun ~obj:_ ~size:_ ~chain:_ ~key:_ -> never ())
+      trace
+  in
+  Alcotest.(check int) "nothing copied" 0 stats.copied_bytes
+
+let gen_pretenure_skips_copying () =
+  let trace = make_gen_trace ~n:100 ~hold:10 in
+  (* oracle pretenure: exactly the survivors (every 10th allocation) *)
+  let stats =
+    Gen.run ~config:gen_config
+      ~pretenure:(fun ~obj ~size:_ ~chain:_ ~key:_ -> (obj + 1) mod 10 = 0)
+      trace
+  in
+  Alcotest.(check int) "no copying at all" 0 stats.copied_bytes;
+  Alcotest.(check int) "10 pretenured" 10 stats.pretenured
+
+let gen_wrong_pretenure_makes_garbage () =
+  let trace = make_gen_trace ~n:100 ~hold:1000 in
+  let stats =
+    Gen.run ~config:gen_config
+      ~pretenure:(fun ~obj:_ ~size:_ ~chain:_ ~key:_ -> true)
+      trace
+  in
+  (* everything tenured, everything died: all of it is tenured garbage *)
+  Alcotest.(check int) "tenured garbage" (100 * 100) stats.tenured_garbage_bytes
+
+let gen_oversized_objects_tenure () =
+  let rt = Rt.create ~program:"g" ~input:"t" () in
+  let h = Rt.alloc rt ~size:5000 in
+  Rt.free rt h;
+  let trace = Rt.finish rt in
+  let stats =
+    Gen.run ~config:gen_config
+      ~pretenure:(fun ~obj:_ ~size:_ ~chain:_ ~key:_ -> false)
+      trace
+  in
+  Alcotest.(check int) "bigger than nursery -> tenured" 1 stats.pretenured
+
+let suites =
+  [
+    ( "cache",
+      [
+        Alcotest.test_case "hit after miss" `Quick cache_hit_after_miss;
+        Alcotest.test_case "direct-mapped eviction" `Quick cache_eviction;
+        Alcotest.test_case "associativity helps" `Quick cache_associativity_helps;
+        Alcotest.test_case "LRU replacement" `Quick cache_lru;
+        Alcotest.test_case "range access" `Quick cache_range;
+        Alcotest.test_case "footprint pages" `Quick cache_footprint;
+        Alcotest.test_case "bad geometry" `Quick cache_bad_geometry;
+      ] );
+    ( "reference stream",
+      [
+        Alcotest.test_case "touch events merge" `Quick touch_events_recorded;
+        Alcotest.test_case "touch zero is no-op" `Quick touch_zero_noop;
+        Alcotest.test_case "textio round-trip" `Quick touch_textio_roundtrip;
+        Alcotest.test_case "locality replay counts" `Quick locality_replay_counts_refs;
+        Alcotest.test_case "hot reuse stays cached" `Quick locality_hot_reuse_beats_spread;
+      ] );
+    ( "generational",
+      [
+        Alcotest.test_case "baseline copies survivors" `Quick
+          gen_baseline_copies_survivors;
+        Alcotest.test_case "dead nursery is free" `Quick gen_dead_nursery_objects_are_free;
+        Alcotest.test_case "oracle pretenure" `Quick gen_pretenure_skips_copying;
+        Alcotest.test_case "wrong pretenure -> garbage" `Quick
+          gen_wrong_pretenure_makes_garbage;
+        Alcotest.test_case "oversized objects tenure" `Quick gen_oversized_objects_tenure;
+      ] );
+  ]

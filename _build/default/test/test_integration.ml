@@ -1,0 +1,160 @@
+(* Integration tests: the full experiment pipelines at miniature scale.
+   These catch wiring mistakes across library boundaries (registry -> trace
+   -> train -> predict -> simulate) without the cost of the real inputs. *)
+
+let scale = 0.04
+
+let in_range name lo hi v =
+  if not (v >= lo && v <= hi) then
+    Alcotest.failf "%s = %f outside [%f, %f]" name v lo hi
+
+let table2_pipeline () =
+  let rows = Lifetime.Experiments.table2 ~scale () in
+  Alcotest.(check int) "five rows" 5 (List.length rows);
+  List.iter
+    (fun (r : Lifetime.Experiments.table2_row) ->
+      Alcotest.(check bool) (r.program ^ " has objects") true
+        (r.measured.total_objects > 0);
+      in_range (r.program ^ " heap%") 0. 100. r.measured.heap_ref_pct)
+    rows
+
+let table3_pipeline () =
+  List.iter
+    (fun (r : Lifetime.Experiments.table3_row) ->
+      (* P2 quartiles bracket reality: min and max are exact *)
+      Alcotest.(check (float 0.001)) (r.program ^ " min exact") r.exact.min r.p2.min;
+      Alcotest.(check (float 0.001)) (r.program ^ " max exact") r.exact.max r.p2.max;
+      Alcotest.(check bool) (r.program ^ " ordered") true
+        (r.p2.min <= r.p2.median && r.p2.median <= r.p2.max))
+    (Lifetime.Experiments.table3 ~scale ())
+
+let table4_pipeline () =
+  List.iter
+    (fun (r : Lifetime.Experiments.table4_row) ->
+      let self = r.self in
+      in_range (r.program ^ " actual") 0. 100.
+        (Lifetime.Evaluate.actual_short_pct self);
+      (* self prediction can never err: an all-short site stays all-short on
+         the identical trace *)
+      Alcotest.(check int) (r.program ^ " self error") 0 self.error_bytes;
+      (* self predicted <= actual *)
+      Alcotest.(check bool) (r.program ^ " predicted <= actual") true
+        (self.correct_bytes <= self.actual_short_bytes);
+      (* true prediction: correct + error partition the predicted bytes *)
+      let t = r.true_ in
+      Alcotest.(check bool) (r.program ^ " true sane") true
+        (t.correct_bytes >= 0 && t.error_bytes >= 0))
+    (Lifetime.Experiments.table4 ~scale ())
+
+let table6_monotone_tail () =
+  (* prediction at length 7 is always >= length 1 (more context can only be
+     refined by the all-short rule in one direction on the same trace) *)
+  List.iter
+    (fun (r : Lifetime.Experiments.table6_row) ->
+      let get name = (List.assoc name r.by_length).Lifetime.Experiments.pred_pct in
+      Alcotest.(check bool)
+        (r.program ^ " length 7 >= length 1")
+        true
+        (get "7" >= get "1" -. 1e-6))
+    (Lifetime.Experiments.table6 ~scale ())
+
+let table7_table8_pipeline () =
+  List.iter
+    (fun (r : Lifetime.Experiments.table7_row) ->
+      in_range (r.program ^ " arena alloc%") 0. 100. r.arena_alloc_pct;
+      in_range (r.program ^ " arena bytes%") 0. 100. r.arena_bytes_pct)
+    (Lifetime.Experiments.table7 ~scale ());
+  List.iter
+    (fun (r : Lifetime.Experiments.table8_row) ->
+      (* the arena heap includes the 64KB arena area *)
+      Alcotest.(check bool) (r.program ^ " arena heap >= 64KB") true
+        (r.self_arena_heap >= 65536 && r.true_arena_heap >= 65536))
+    (Lifetime.Experiments.table8 ~scale ())
+
+let table9_pipeline () =
+  List.iter
+    (fun (r : Lifetime.Experiments.table9_row) ->
+      let pos (a, f) = a > 0. && f >= 0. in
+      Alcotest.(check bool) (r.program ^ " costs positive") true
+        (pos r.bsd && pos r.first_fit && pos r.arena_len4 && pos r.arena_cce);
+      (* BSD frees are constant-time by construction *)
+      Alcotest.(check (float 0.5)) (r.program ^ " bsd free = 17") 17. (snd r.bsd))
+    (Lifetime.Experiments.table9 ~scale ())
+
+let locality_pipeline () =
+  List.iter
+    (fun (r : Lifetime.Experiments.locality_row) ->
+      in_range (r.program ^ " ff miss") 0. 100. r.ff_miss_pct;
+      in_range (r.program ^ " arena miss") 0. 100. r.arena_miss_pct;
+      Alcotest.(check bool) (r.program ^ " refs counted") true (r.refs > 0);
+      Alcotest.(check bool) (r.program ^ " pages counted") true (r.ff_pages > 0))
+    (Lifetime.Experiments.locality ~scale ())
+
+let generational_pipeline () =
+  List.iter
+    (fun (r : Lifetime.Experiments.generational_row) ->
+      Alcotest.(check bool) (r.program ^ " pretenuring reduces copying") true
+        (r.pretenured.copied_bytes <= r.baseline.copied_bytes);
+      Alcotest.(check int) (r.program ^ " baseline pretenures only oversized") 0
+        (List.length []);
+      Alcotest.(check bool) (r.program ^ " alloc counts equal") true
+        (r.baseline.allocs = r.pretenured.allocs))
+    (Lifetime.Experiments.generational ~scale ())
+
+let by_type_pipeline () =
+  List.iter
+    (fun (r : Lifetime.Experiments.type_row) ->
+      in_range (r.program ^ " tagged%") 0. 100. r.tagged_bytes_pct;
+      in_range (r.program ^ " type-only") 0. 100. r.type_only_pct;
+      (* all workloads allocate through tagged wrappers almost everywhere *)
+      Alcotest.(check bool) (r.program ^ " mostly tagged") true
+        (r.tagged_bytes_pct > 50.))
+    (Lifetime.Experiments.by_type ~scale ())
+
+let threshold_sweep_monotone () =
+  let points =
+    Lifetime.Experiments.threshold_sweep ~scale ~program:"gawk"
+      ~thresholds:[ 1024; 32768; 1048576 ] ()
+  in
+  let pcts = List.map (fun (p : Lifetime.Experiments.threshold_point) -> p.predicted_pct) points in
+  match pcts with
+  | [ small; mid; big ] ->
+      Alcotest.(check bool) "more threshold, more predicted" true
+        (small <= mid +. 1e-6 && mid <= big +. 1e-6)
+  | _ -> Alcotest.fail "expected three points"
+
+let rounding_sweep_runs () =
+  let points =
+    Lifetime.Experiments.rounding_sweep ~scale ~program:"perl" ~roundings:[ 1; 4; 32 ] ()
+  in
+  Alcotest.(check int) "three points" 3 (List.length points)
+
+let policy_sweep_tradeoff () =
+  let points =
+    Lifetime.Experiments.policy_sweep ~scale ~program:"espresso"
+      ~fractions:[ 0.5; 1.0 ] ()
+  in
+  match points with
+  | [ lax; strict ] ->
+      Alcotest.(check bool) "lax covers at least as much" true
+        (lax.predicted_pct >= strict.predicted_pct -. 1e-6)
+  | _ -> Alcotest.fail "expected two points"
+
+let suites =
+  [
+    ( "integration",
+      [
+        Alcotest.test_case "table2 pipeline" `Slow table2_pipeline;
+        Alcotest.test_case "table3 pipeline" `Slow table3_pipeline;
+        Alcotest.test_case "table4 pipeline" `Slow table4_pipeline;
+        Alcotest.test_case "table6 monotone tail" `Slow table6_monotone_tail;
+        Alcotest.test_case "table7/8 pipeline" `Slow table7_table8_pipeline;
+        Alcotest.test_case "table9 pipeline" `Slow table9_pipeline;
+        Alcotest.test_case "locality pipeline" `Slow locality_pipeline;
+        Alcotest.test_case "generational pipeline" `Slow generational_pipeline;
+        Alcotest.test_case "type pipeline" `Slow by_type_pipeline;
+        Alcotest.test_case "threshold sweep monotone" `Slow threshold_sweep_monotone;
+        Alcotest.test_case "rounding sweep" `Slow rounding_sweep_runs;
+        Alcotest.test_case "policy sweep trade-off" `Slow policy_sweep_tradeoff;
+      ] );
+  ]

@@ -1,0 +1,235 @@
+(* Behavioural tests for the three interpreter workloads: mini-AWK,
+   mini-Perl, and mini-PostScript. *)
+
+module Rt = Lp_ialloc.Runtime
+
+let awk script lines =
+  let rt = Rt.create ~program:"awk" ~input:"t" () in
+  Lp_workloads.Gawk.run_script rt ~script ~lines
+
+let check_awk name script lines expected () =
+  Alcotest.(check string) name expected (awk script lines)
+
+let awk_cases =
+  [
+    ("print fields", "{ print $2, $1 }", [| "a b" |], "b a\n");
+    ("NF", "{ print NF }", [| "x y z"; "" |], "3\n0\n");
+    ("NR", "{ print NR }", [| "a"; "b" |], "1\n2\n");
+    ("default action", "NF > 1", [| "one"; "two words" |], "two words\n");
+    ("BEGIN/END", "BEGIN { print \"s\" } END { print \"e\" }", [| "x" |], "s\ne\n");
+    ("arithmetic", "BEGIN { print 2 + 3 * 4, 10 / 4, 7 % 3, 2 ^ 10 }", [||],
+     "14 2.5 1 1024\n");
+    ("comparison and ternary", "BEGIN { print (3 > 2 ? \"y\" : \"n\") }", [||], "y\n");
+    ("concat", "BEGIN { x = \"foo\" \"bar\"; print x 1 + 1 }", [||], "foobar2\n");
+    ("while", "BEGIN { i = 0; while (i < 3) { s = s i; i++ }; print s }", [||], "012\n");
+    ("do-while", "BEGIN { i = 9; do { n++ } while (i < 5); print n }", [||], "1\n");
+    ("for", "BEGIN { for (i = 1; i <= 4; i++) s += i; print s }", [||], "10\n");
+    ("for-in sorted", "BEGIN { a[\"b\"]=1; a[\"a\"]=2; for (k in a) print k }", [||],
+     "a\nb\n");
+    ("break/continue",
+     "BEGIN { for (i = 0; i < 10; i++) { if (i == 2) continue; if (i == 4) break; print i } }",
+     [||], "0\n1\n3\n");
+    ("arrays", "{ c[$1]++ } END { print c[\"a\"], c[\"b\"] }", [| "a"; "b"; "a" |],
+     "2 1\n");
+    ("delete", "BEGIN { a[\"x\"] = 1; delete a[\"x\"]; print (\"x\" in a) }", [||], "0\n");
+    ("in operator", "BEGIN { a[\"k\"] = 1; print (\"k\" in a), (\"z\" in a) }", [||],
+     "1 0\n");
+    ("length", "BEGIN { print length(\"hello\"), length(\"\") }", [||], "5 0\n");
+    ("substr", "BEGIN { print substr(\"abcdef\", 2, 3), substr(\"abc\", 2) }", [||],
+     "bcd bc\n");
+    ("index", "BEGIN { print index(\"hay needle\", \"need\"), index(\"x\", \"q\") }", [||],
+     "5 0\n");
+    ("toupper/tolower", "BEGIN { print toupper(\"aB\"), tolower(\"aB\") }", [||],
+     "AB ab\n");
+    ("int", "BEGIN { print int(3.9), int(10 / 3) }", [||], "3 3\n");
+    ("printf", "BEGIN { printf \"%d|%s|%5.2f\\n\", 42, \"x\", 3.14159 }", [||],
+     "42|x| 3.14\n");
+    ("sprintf", "BEGIN { print sprintf(\"%03d\", 7) }", [||], "007\n");
+    ("uninitialised", "BEGIN { print x + 0, \"[\" y \"]\" }", [||], "0 []\n");
+    ("string/number compare", "BEGIN { print (10 > 9), (\"10\" < \"9\") }", [||],
+     "1 1\n");
+    ("field assignment", "{ $2 = \"Z\"; print $2 }", [| "a b c" |], "Z\n");
+    ("user function", "function twice(x) { return 2 * x } BEGIN { print twice(21) }",
+     [||], "42\n");
+    ("recursive function",
+     "function fib(n) { if (n < 2) return n; return fib(n-1) + fib(n-2) } BEGIN { print fib(10) }",
+     [||], "55\n");
+    ("function locals",
+     "function f(x,  t) { t = x * 10; return t } BEGIN { t = 5; print f(1), t }", [||],
+     "10 5\n");
+    ("next", "{ if ($1 == \"skip\") next; print $1 }", [| "a"; "skip"; "b" |], "a\nb\n");
+    ("opassign", "BEGIN { x = 10; x -= 3; x *= 2; x /= 7; print x }", [||], "2\n");
+    ("incr semantics", "BEGIN { i = 5; print i++, i, ++i, i }", [||], "5 6 7 7\n");
+    (* regular expressions *)
+    ("regex pattern", "/ab+c/ { print NR }", [| "xabbc"; "no"; "abc" |], "1\n3\n");
+    ("tilde match", "{ if ($1 ~ /^[aeiou]/) print $1 }",
+     [| "apple pie"; "grape"; "orange" |], "apple\norange\n");
+    ("negated match", "$0 !~ /x/ { print }", [| "ax"; "b" |], "b\n");
+    ("dynamic pattern", "BEGIN { p = \"^a\"; if (\"abc\" ~ p) print \"y\" }", [||],
+     "y\n");
+    ("split with regex", "BEGIN { n = split(\"a:b:c\", parts, /:/); print n, parts[2] }",
+     [||], "3 b\n");
+    ("split default", "BEGIN { n = split(\"x  y z\", w); print n, w[3] }", [||],
+     "3 z\n");
+    ("sub", "BEGIN { s = \"cheese\"; sub(/ch/, \"k\", s); print s }", [||], "keese\n");
+    ("sub returns count", "BEGIN { s = \"aaa\"; print sub(/b/, \"x\", s), s }", [||],
+     "0 aaa\n");
+    ("gsub", "BEGIN { s = \"banana\"; print gsub(/an/, \"X\", s), s }", [||],
+     "2 bXXa\n");
+    ("gsub on record", "{ gsub(/a/, \"o\"); print }", [| "banana bandana" |],
+     "bonono bondono\n");
+    ("match builtin", "BEGIN { print match(\"hayneedle\", \"need\"), match(\"x\", \"q\") }",
+     [||], "4 0\n");
+  ]
+
+(* -- perl ------------------------------------------------------------------------ *)
+
+let perl script stdin =
+  let rt = Rt.create ~program:"perl" ~input:"t" () in
+  Lp_workloads.Perl.run_script rt ~script ~stdin
+
+let check_perl name script stdin expected () =
+  Alcotest.(check string) name expected (perl script stdin)
+
+let perl_cases =
+  [
+    ("print", "print(\"hi\");", [||], "hi\n");
+    ("arith", "print(2 + 3 * 4);", [||], "14\n");
+    ("concat and repeat", "print(\"ab\" . \"-\" x 3 . \"cd\");", [||], "ab---cd\n");
+    ("readline loop", "while (<>) { chomp($_); print($_ . \"!\"); }",
+     [| "a"; "b" |], "a!\nb!\n");
+    ("push and foreach", "push(@a, 3); push(@a, 1); foreach $x (@a) { print($x); }",
+     [||], "3\n1\n");
+    ("sort", "push(@a, \"b\"); push(@a, \"a\"); foreach $x (sort(@a)) { print($x); }",
+     [||], "a\nb\n");
+    ("hash and keys", "$h{b} = 2; $h{a} = 1; foreach $k (sort(keys(%h))) { printf(\"%s=%d \", $k, $h{$k}); }",
+     [||], "a=1 b=2 ");
+    ("split", "@w = split(/,/, \"x,y,z\"); print(scalar(@w) . $w[1]);", [||], "3y\n");
+    ("match", "if (\"hello\" =~ /l+o/) { print(\"yes\"); }", [||], "yes\n");
+    ("captures", "\"2026-07-06\" =~ /(\\d+)-(\\d+)/; print($1 . \"/\" . $2);", [||],
+     "2026/07\n");
+    ("nomatch", "if (\"abc\" !~ /z/) { print(\"clean\"); }", [||], "clean\n");
+    ("subst", "$x = \"cheese\"; $x =~ s/ch/k/; print($x);", [||], "keese\n");
+    ("sub with args", "sub add { my $a = shift; my $b = shift; return $a + $b; } print(add(2, 3));",
+     [||], "5\n");
+    ("my scoping", "$x = 1; sub f { my $x = 99; return $x; } print(f() . $x);", [||],
+     "991\n");
+    ("string ops", "print(uc(\"ab\") . lc(\"CD\") . length(\"xyz\"));", [||], "ABcd3\n");
+    ("substr", "print(substr(\"abcdef\", 1, 3));", [||], "bcd\n");
+    ("join", "push(@a, 1); push(@a, 2); print(join(\"-\", @a));", [||], "1-2\n");
+    ("ternary via if/else", "if (3 > 2) { print(\"t\"); } elsif (1) { print(\"m\"); } else { print(\"f\"); }",
+     [||], "t\n");
+    ("while last/next",
+     "$i = 0; while (1) { $i = $i + 1; if ($i == 2) { next; } if ($i > 3) { last; } print($i); }",
+     [||], "1\n3\n");
+    ("string compare", "if (\"abc\" lt \"abd\") { print(\"lt\"); }", [||], "lt\n");
+    ("numeric string", "print(\"10\" + 5);", [||], "15\n");
+    ("sprintf", "print(sprintf(\"%04d\", 42));", [||], "0042\n");
+    ("array element assign", "$a[0] = \"x\"; $a[2] = \"z\"; print(scalar(@a));", [||],
+     "3\n");
+    ("pop shift", "push(@a, 1); push(@a, 2); push(@a, 3); print(pop(@a) . shift(@a));",
+     [||], "31\n");
+    ("opassign", "$x = 10; $x += 5; $x .= \"!\"; print($x);", [||], "15!\n");
+    ("nested subs", "sub f { my $x = shift; return g($x) + 1; } sub g { my $y = shift; return $y * 2; } print(f(5));",
+     [||], "11\n");
+    ("foreach over split",
+     "foreach $w (split(/-/, \"a-bb-ccc\")) { print(length($w)); }", [||],
+     "1\n2\n3\n");
+    ("hash overwrite", "$h{k} = 1; $h{k} = 2; print($h{k});", [||], "2\n");
+    ("undef behaviour", "print($nothing + 1); print(\"[\" . $nothing . \"]\");", [||],
+     "1\n[]\n");
+    ("negative numbers", "$x = -5; print($x * -2, $x + 3);", [||], "10-2\n");
+    ("chained concat", "print(\"a\" . 1 . \"b\" . 2.5);", [||], "a1b2.5\n");
+    ("while with hash",
+     "while (<>) { chomp($_); $seen{$_} = $seen{$_} + 1; } foreach $k (sort(keys(%seen))) { printf(\"%s:%d \", $k, $seen{$k}); }",
+     [| "b"; "a"; "b" |], "a:1 b:2 ");
+    ("regex anchors", "if (\"hello\" =~ /^h/) { print(\"1\"); } if (\"hello\" !~ /o$/) { print(\"2\"); } else { print(\"3\"); }",
+     [||], "1\n3\n");
+    ("regex class range", "$x = \"a1b2\"; $x =~ s/[0-9]/#/; print($x);", [||],
+     "a#b2\n");
+    ("capture in loop",
+     "foreach $w ((\"cat7\", \"dog9\")) { $w =~ /([a-z]+)(\\d)/; print($1 . \"-\" . $2); }",
+     [||], "cat-7\ndog-9\n");
+    ("sprintf width", "print(sprintf(\"[%5s][%-3d]\", \"ab\", 7));", [||],
+     "[   ab][7  ]\n");
+    ("array via index", "$a[0] = 5; $a[1] = $a[0] * 2; print($a[1]);", [||], "10\n");
+    ("scalar of split", "print(scalar(split(/,/, \"1,2,3,4\")));", [||], "4\n");
+  ]
+
+(* -- postscript ------------------------------------------------------------------- *)
+
+let ps source =
+  let rt = Rt.create ~program:"ps" ~input:"t" () in
+  let interp = Lp_workloads.Ghost.interpret rt ~source in
+  (rt, interp)
+
+let ps_pages () =
+  let _, s = ps "newpath 10 10 moveto 100 10 lineto 100 100 lineto closepath fill showpage showpage" in
+  Alcotest.(check int) "two pages" 2 s.pages;
+  Alcotest.(check bool) "bands painted" true (s.bands >= 1)
+
+let ps_stack_ops () =
+  (* compute (3 + 4) * 2 - 5 = 9 and draw a 9-high box: exercises arithmetic
+     through visible behaviour (band count via bbox) *)
+  let _, s =
+    ps "3 4 add 2 mul 5 sub /h exch def newpath 10 10 moveto 20 10 lineto 20 10 h add lineto 10 10 h add lineto closepath fill"
+  in
+  Alcotest.(check int) "one band for a small box" 1 s.bands
+
+let ps_procedures_and_control () =
+  let _, s =
+    ps
+      "/box { newpath moveto dup 0 rlineto exch 0 exch rlineto neg 0 rlineto closepath \
+       fill } def 0 1 3 { /i exch def 20 30 i 100 mul 10 add 50 box } for showpage"
+  in
+  Alcotest.(check int) "page shown" 1 s.pages;
+  Alcotest.(check bool) "several boxes painted" true (s.bands >= 3)
+
+let ps_dict_ops () =
+  let _, s =
+    ps "4 dict begin /x 42 def x 42 eq { newpath 5 5 moveto 50 5 lineto 50 50 lineto closepath fill } if end"
+  in
+  Alcotest.(check bool) "if-branch painted" true (s.bands >= 1)
+
+let ps_show_text () =
+  let _, s = ps "/Times findfont 12 scalefont setfont 72 700 moveto (hello world) show showpage" in
+  Alcotest.(check bool) "text painted" true (s.bands >= 1)
+
+let ps_error () =
+  let rt = Rt.create ~program:"ps" ~input:"t" () in
+  (match Lp_workloads.Ghost.interpret rt ~source:"1 0 idiv" with
+  | exception Lp_workloads.Ps_object.Ps_error _ -> ()
+  | _ -> Alcotest.fail "expected Ps_error");
+  match Lp_workloads.Ghost.interpret rt ~source:"pop" with
+  | exception Lp_workloads.Ps_object.Ps_error _ -> ()
+  | _ -> Alcotest.fail "expected stackunderflow"
+
+let ps_gsave_grestore () =
+  let _, s =
+    ps "gsave 100 100 translate newpath 0 0 moveto 10 0 rlineto 0 10 rlineto closepath fill grestore newpath 0 0 moveto 10 0 rlineto 0 10 rlineto closepath fill"
+  in
+  Alcotest.(check int) "both shapes painted" 2 s.bands
+
+let suites =
+  [
+    ( "awk",
+      List.map
+        (fun (name, script, lines, expected) ->
+          Alcotest.test_case name `Quick (check_awk name script lines expected))
+        awk_cases );
+    ( "perl",
+      List.map
+        (fun (name, script, stdin, expected) ->
+          Alcotest.test_case name `Quick (check_perl name script stdin expected))
+        perl_cases );
+    ( "postscript",
+      [
+        Alcotest.test_case "pages and bands" `Quick ps_pages;
+        Alcotest.test_case "arithmetic via geometry" `Quick ps_stack_ops;
+        Alcotest.test_case "procedures and for" `Quick ps_procedures_and_control;
+        Alcotest.test_case "dict ops" `Quick ps_dict_ops;
+        Alcotest.test_case "show text" `Quick ps_show_text;
+        Alcotest.test_case "errors" `Quick ps_error;
+        Alcotest.test_case "gsave/grestore" `Quick ps_gsave_grestore;
+      ] );
+  ]

@@ -1,0 +1,225 @@
+(* Tests for the core lifetime-prediction library: training, predictor
+   construction, self/true evaluation, cross-run site mapping, and the
+   arena simulation glue — on small hand-built programs where the right
+   answers are computable by hand. *)
+
+module Rt = Lp_ialloc.Runtime
+
+(* A tiny synthetic program with two allocation sites:
+   - site S (under function "short_maker"): n_short objects of 16 bytes,
+     each freed immediately -> always short-lived;
+   - site L (under "long_maker"): objects of 32 bytes kept alive while
+     [filler] bytes are allocated afterwards. *)
+let synthetic ?(n_short = 50) ?(filler = 100_000) ~input () =
+  let rt = Rt.create ~program:"synthetic" ~input () in
+  let main = Rt.func rt "main" in
+  let short_maker = Rt.func rt "short_maker" in
+  let long_maker = Rt.func rt "long_maker" in
+  Rt.enter rt main;
+  let long_obj = Rt.in_frame rt long_maker (fun () -> Rt.alloc rt ~size:32) in
+  for _ = 1 to n_short do
+    Rt.in_frame rt short_maker (fun () ->
+        let h = Rt.alloc rt ~size:16 in
+        Rt.touch rt h 3;
+        Rt.free rt h)
+  done;
+  (* filler keeps the long object alive past the threshold *)
+  Rt.in_frame rt long_maker (fun () ->
+      let rec fill remaining =
+        if remaining > 0 then begin
+          let h = Rt.alloc rt ~size:1024 in
+          Rt.free rt h;
+          fill (remaining - 1024)
+        end
+      in
+      fill filler);
+  Rt.free rt long_obj;
+  Rt.leave rt;
+  Rt.finish rt
+
+let config = Lifetime.Config.default
+
+let train_finds_sites () =
+  let trace = synthetic ~input:"a" () in
+  let table = Lifetime.Train.collect ~config trace in
+  (* sites: short_maker x16, long_maker x32, long_maker x1024 *)
+  Alcotest.(check int) "three sites" 3 (Lifetime.Train.total_sites table)
+
+let predictor_accepts_only_all_short () =
+  let trace = synthetic ~input:"a" () in
+  let table = Lifetime.Train.collect ~config trace in
+  let p = Lifetime.Predictor.build ~config ~funcs:trace.funcs table in
+  (* the 16-byte site and the 1024-byte filler site are all-short; the
+     32-byte long site is not *)
+  Alcotest.(check int) "two short sites" 2 (Lifetime.Predictor.size p)
+
+let self_prediction_is_exact () =
+  let trace = synthetic ~input:"a" () in
+  let _, e = Lifetime.Evaluate.train_and_evaluate ~config ~train:trace ~test:trace in
+  Alcotest.(check int) "no error bytes in self prediction" 0 e.error_bytes;
+  (* correct bytes: all short objects (50*16 + filler) but not the long 32 *)
+  Alcotest.(check int) "correct bytes" (e.actual_short_bytes) e.correct_bytes
+
+let true_prediction_maps_by_name () =
+  let train = synthetic ~input:"a" () in
+  let test = synthetic ~n_short:70 ~input:"b" () in
+  let _, e = Lifetime.Evaluate.train_and_evaluate ~config ~train ~test in
+  (* the sites map by function names + size even though the runs differ *)
+  Alcotest.(check int) "both short sites used" 2 e.sites_used;
+  Alcotest.(check int) "no error" 0 e.error_bytes;
+  Alcotest.(check int) "all short bytes predicted" e.actual_short_bytes e.correct_bytes
+
+let true_prediction_catches_behaviour_change () =
+  (* train where the "long" site is actually short (tiny filler), test where
+     it is long: the predictor must mispredict exactly those bytes *)
+  let train = synthetic ~filler:1000 ~input:"a" () in
+  let test = synthetic ~filler:100_000 ~input:"b" () in
+  let _, e = Lifetime.Evaluate.train_and_evaluate ~config ~train ~test in
+  Alcotest.(check int) "error = the long object's 32 bytes" 32 e.error_bytes
+
+let size_only_policy () =
+  let trace = synthetic ~input:"a" () in
+  let config = { config with policy = Lp_callchain.Site.Size_only } in
+  let table = Lifetime.Train.collect ~config trace in
+  (* sizes: 16 (short), 32 (long), 1024 (short) -> 3 sites, 2 predicted *)
+  Alcotest.(check int) "three size classes" 3 (Lifetime.Train.total_sites table);
+  let p = Lifetime.Predictor.build ~config ~funcs:trace.funcs table in
+  Alcotest.(check int) "two predicted" 2 (Lifetime.Predictor.size p)
+
+let rounding_collapses_sites () =
+  (* sizes 14 and 16 round to the same portable key; if one site is dirty
+     the collapsed key must be evicted (conservative rule) *)
+  let rt = Rt.create ~program:"r" ~input:"t" () in
+  let main = Rt.func rt "main" in
+  Rt.enter rt main;
+  (* same chain, size 14: short-lived *)
+  let a = Rt.alloc rt ~size:14 in
+  Rt.free rt a;
+  (* same chain, size 16: long-lived *)
+  let b = Rt.alloc rt ~size:16 in
+  let rec fill n = if n > 0 then begin
+      let h = Rt.alloc rt ~size:4096 in
+      Rt.free rt h;
+      fill (n - 4096)
+    end
+  in
+  fill 100_000;
+  Rt.free rt b;
+  Rt.leave rt;
+  let trace = Rt.finish rt in
+  let table = Lifetime.Train.collect ~config trace in
+  let p = Lifetime.Predictor.build ~config ~funcs:trace.funcs table in
+  (* predictor may keep the 4096 filler site but must NOT keep the 16-bucket
+     key that the dirty size-16 site shares with the clean size-14 site *)
+  let e = Lifetime.Evaluate.run ~config p trace in
+  Alcotest.(check int) "no error bytes thanks to conservative eviction" 0
+    e.error_bytes
+
+let simulation_places_short_in_arenas () =
+  let trace = synthetic ~input:"a" () in
+  let table = Lifetime.Train.collect ~config trace in
+  let p = Lifetime.Predictor.build ~config ~funcs:trace.funcs table in
+  let sim = Lifetime.Simulate.run ~config ~predictor:p ~test:trace in
+  let m = sim.arena.len4 in
+  Alcotest.(check bool) "most allocs in arenas" true
+    (Lp_allocsim.Metrics.arena_alloc_pct m > 90.);
+  (* prediction cost of 18 instructions is charged per alloc *)
+  Alcotest.(check bool) "len4 cheaper than cce or close" true
+    (m.instr_per_alloc <= sim.arena.cce.instr_per_alloc +. 1e-9
+     || sim.arena.cce.instr_per_alloc > 0.)
+
+let first_fit_vs_arena_heaps () =
+  let trace = synthetic ~input:"a" () in
+  let table = Lifetime.Train.collect ~config trace in
+  let p = Lifetime.Predictor.build ~config ~funcs:trace.funcs table in
+  let sim = Lifetime.Simulate.run ~config ~predictor:p ~test:trace in
+  (* small-heap program: arena adds its 64 KB area (paper Table 8's small
+     programs all grow) *)
+  Alcotest.(check bool) "arena heap >= first-fit heap for tiny program" true
+    (sim.arena.len4.max_heap >= sim.first_fit.max_heap)
+
+let experiments_table1 () =
+  let rows = Lifetime.Experiments.table1 () in
+  Alcotest.(check int) "five programs" 5 (List.length rows);
+  List.iter
+    (fun (r : Lifetime.Experiments.table1_row) ->
+      Alcotest.(check bool) (r.program ^ " described") true
+        (String.length r.description > 20))
+    rows
+
+let portable_key_roundtrip () =
+  let tbl = Lp_callchain.Func.create_table () in
+  let f = Lp_callchain.Func.intern tbl "f" and g = Lp_callchain.Func.intern tbl "g" in
+  let site =
+    Lp_callchain.Site.make Lp_callchain.Site.Complete_chain ~raw_chain:[| g; f |]
+      ~key:0 ~size:13
+  in
+  let p = Lifetime.Portable.of_site tbl ~rounding:4 site in
+  Alcotest.(check (list string)) "names" [ "g"; "f" ] p.chain;
+  Alcotest.(check int) "rounded size" 16 p.size;
+  (* a second table with different ids yields an equal key *)
+  let tbl2 = Lp_callchain.Func.create_table () in
+  let _ = Lp_callchain.Func.intern tbl2 "zzz" in
+  let f2 = Lp_callchain.Func.intern tbl2 "f" and g2 = Lp_callchain.Func.intern tbl2 "g" in
+  let site2 =
+    Lp_callchain.Site.make Lp_callchain.Site.Complete_chain ~raw_chain:[| g2; f2 |]
+      ~key:0 ~size:15
+  in
+  let p2 = Lifetime.Portable.of_site tbl2 ~rounding:4 site2 in
+  Alcotest.(check bool) "cross-table equality" true (Lifetime.Portable.equal p p2)
+
+let fraction_selection_trades_error () =
+  (* a site with 9 short + 1 long object: All_short rejects it,
+     Fraction 0.8 accepts it (and produces error bytes) *)
+  let rt = Rt.create ~program:"f" ~input:"t" () in
+  let main = Rt.func rt "main" in
+  Rt.enter rt main;
+  let keep = ref None in
+  for i = 1 to 10 do
+    let h = Rt.alloc rt ~size:64 in
+    if i = 10 then keep := Some h else Rt.free rt h
+  done;
+  let rec fill n = if n > 0 then begin
+      let h = Rt.alloc rt ~size:4096 in
+      Rt.free rt h;
+      fill (n - 4096)
+    end
+  in
+  fill 100_000;
+  Option.iter (Rt.free rt) !keep;
+  Rt.leave rt;
+  let trace = Rt.finish rt in
+  let table = Lifetime.Train.collect ~config trace in
+  let strict = Lifetime.Predictor.build ~config ~funcs:trace.funcs table in
+  let lax =
+    Lifetime.Predictor.build ~selection:(Lifetime.Predictor.Fraction 0.8) ~config
+      ~funcs:trace.funcs table
+  in
+  let es = Lifetime.Evaluate.run ~config strict trace in
+  let el = Lifetime.Evaluate.run ~config lax trace in
+  Alcotest.(check int) "strict: no error" 0 es.error_bytes;
+  Alcotest.(check bool) "lax: more coverage" true (el.correct_bytes > es.correct_bytes);
+  Alcotest.(check bool) "lax: pays with error" true (el.error_bytes > 0)
+
+let suites =
+  [
+    ( "lifetime",
+      [
+        Alcotest.test_case "training finds sites" `Quick train_finds_sites;
+        Alcotest.test_case "all-short selection" `Quick predictor_accepts_only_all_short;
+        Alcotest.test_case "self prediction exact" `Quick self_prediction_is_exact;
+        Alcotest.test_case "true prediction maps by name" `Quick
+          true_prediction_maps_by_name;
+        Alcotest.test_case "true prediction catches change" `Quick
+          true_prediction_catches_behaviour_change;
+        Alcotest.test_case "size-only policy" `Quick size_only_policy;
+        Alcotest.test_case "rounding collapse is conservative" `Quick
+          rounding_collapses_sites;
+        Alcotest.test_case "simulation uses arenas" `Quick
+          simulation_places_short_in_arenas;
+        Alcotest.test_case "heap comparison" `Quick first_fit_vs_arena_heaps;
+        Alcotest.test_case "table1 rows" `Quick experiments_table1;
+        Alcotest.test_case "portable keys" `Quick portable_key_roundtrip;
+        Alcotest.test_case "fraction selection" `Quick fraction_selection_trades_error;
+      ] );
+  ]

@@ -1,0 +1,212 @@
+(* Deeper property-based tests: differential testing of the regex engine
+   against a naive reference matcher, trace text-serialization round-trips
+   on randomly generated traces, and P² accuracy on skewed distributions
+   like the lifetime data it summarises. *)
+
+module Rt = Lp_ialloc.Runtime
+
+(* -- regex differential testing ------------------------------------------------ *)
+
+(* A tiny reference matcher for a safe subset (literals, '.', '*', '|'),
+   written independently of the engine: set-of-positions simulation. *)
+let rec ref_match_seq pats subject positions =
+  match pats with
+  | [] -> positions
+  | p :: rest ->
+      let next =
+        List.concat_map
+          (fun pos ->
+            match p with
+            | `Char c ->
+                if pos < String.length subject && subject.[pos] = c then [ pos + 1 ]
+                else []
+            | `Any -> if pos < String.length subject then [ pos + 1 ] else []
+            | `Star c ->
+                let rec run acc pos =
+                  if pos < String.length subject && (c = '.' || subject.[pos] = c)
+                  then run (pos + 1 :: acc) (pos + 1)
+                  else acc
+                in
+                run [ pos ] pos)
+          positions
+      in
+      ref_match_seq rest subject (List.sort_uniq compare next)
+
+let ref_search pattern subject =
+  (* parse the subset pattern into tokens *)
+  let toks = ref [] in
+  let i = ref 0 in
+  let n = String.length pattern in
+  while !i < n do
+    let c = pattern.[!i] in
+    if !i + 1 < n && pattern.[!i + 1] = '*' then begin
+      toks := `Star c :: !toks;
+      i := !i + 2
+    end
+    else begin
+      toks := (if c = '.' then `Any else `Char c) :: !toks;
+      incr i
+    end
+  done;
+  let toks = List.rev !toks in
+  let rec try_from start =
+    if start > String.length subject then false
+    else if ref_match_seq toks subject [ start ] <> [] then true
+    else try_from (start + 1)
+  in
+  try_from 0
+
+let subset_pattern_gen =
+  (* patterns over {a, b, .}, each atom possibly starred; no '|' to keep the
+     reference simple and the comparison exact *)
+  QCheck.Gen.(
+    list_size (int_range 1 6)
+      (pair (oneofl [ 'a'; 'b'; '.' ]) bool)
+    >|= fun atoms ->
+    String.concat ""
+      (List.map
+         (fun (c, star) -> Printf.sprintf "%c%s" c (if star then "*" else ""))
+         atoms))
+
+let subject_gen =
+  QCheck.Gen.(string_size (int_range 0 12) ~gen:(oneofl [ 'a'; 'b'; 'c' ]))
+
+let regex_differential =
+  QCheck.Test.make ~name:"regex engine agrees with reference matcher" ~count:500
+    QCheck.(make Gen.(pair subset_pattern_gen subject_gen))
+    (fun (pattern, subject) ->
+      let expected = ref_search pattern subject in
+      let got = Lp_workloads.Regex.matches (Lp_workloads.Regex.compile pattern) subject in
+      if expected <> got then
+        QCheck.Test.fail_reportf "/%s/ on %S: reference %b, engine %b" pattern
+          subject expected got;
+      true)
+
+let regex_match_is_substring_sound =
+  (* whatever the engine reports as a match span must re-match exactly *)
+  QCheck.Test.make ~name:"regex reported span re-matches" ~count:300
+    QCheck.(make Gen.(pair subset_pattern_gen subject_gen))
+    (fun (pattern, subject) ->
+      let re = Lp_workloads.Regex.compile pattern in
+      match Lp_workloads.Regex.search re subject with
+      | None -> true
+      | Some m ->
+          m.start_pos >= 0
+          && m.end_pos >= m.start_pos
+          && m.end_pos <= String.length subject)
+
+(* -- trace round-trip fuzzing ----------------------------------------------------- *)
+
+let random_trace_gen =
+  QCheck.Gen.(
+    list_size (int_range 1 60) (pair (int_range 1 200) (int_range 0 5))
+    >|= fun ops ->
+    let rt = Rt.create ~program:"fuzz" ~input:"gen" () in
+    let funcs = Array.init 4 (fun i -> Rt.func rt (Printf.sprintf "f%d" i)) in
+    let live = ref [] in
+    List.iter
+      (fun (size, action) ->
+        match action with
+        | 0 | 1 | 2 ->
+            let depth = 1 + (size mod 3) in
+            for d = 0 to depth - 1 do
+              Rt.enter rt funcs.(d)
+            done;
+            let h = Rt.alloc rt ~size in
+            Rt.touch rt h (1 + (size mod 4));
+            for _ = 1 to depth do
+              Rt.leave rt
+            done;
+            live := h :: !live
+        | 3 | 4 -> (
+            match !live with
+            | h :: rest ->
+                Rt.free rt h;
+                live := rest
+            | [] -> ())
+        | _ -> Rt.non_heap_refs rt size)
+      ops;
+    Rt.finish rt)
+
+let textio_roundtrip_fuzz =
+  QCheck.Test.make ~name:"textio round-trips random traces" ~count:100
+    (QCheck.make random_trace_gen)
+    (fun trace ->
+      let s = Lp_trace.Textio.to_string trace in
+      let trace' = Lp_trace.Textio.of_string s in
+      let s' = Lp_trace.Textio.to_string trace' in
+      if s <> s' then QCheck.Test.fail_reportf "round-trip not a fixed point";
+      trace.n_objects = trace'.n_objects
+      && trace.heap_refs = trace'.heap_refs
+      && Array.length trace.events = Array.length trace'.events)
+
+let lifetimes_conserve_bytes =
+  QCheck.Test.make ~name:"lifetime clock equals total bytes" ~count:100
+    (QCheck.make random_trace_gen)
+    (fun trace ->
+      let lt = Lp_trace.Lifetimes.compute trace in
+      lt.end_clock = Lp_trace.Trace.total_bytes trace)
+
+(* -- P² on skewed distributions ----------------------------------------------------- *)
+
+let p2_skewed_accuracy () =
+  (* lifetime-like data: 95% small values, 5% huge, like the paper's
+     distributions.  P² quartiles must stay within the small mass. *)
+  let rng = Lp_workloads.Prng.create ~seed:77L in
+  let est = Lp_quantile.P2.create 0.5 in
+  let exact = Lp_quantile.Exact.create () in
+  for _ = 1 to 20_000 do
+    let x =
+      if Lp_workloads.Prng.float rng < 0.95 then Lp_workloads.Prng.float rng *. 100.
+      else 1e6 +. (Lp_workloads.Prng.float rng *. 1e7)
+    in
+    Lp_quantile.P2.observe est x;
+    Lp_quantile.Exact.observe exact x
+  done;
+  let got = Lp_quantile.P2.quantile est in
+  let want = Lp_quantile.Exact.quantile exact 0.5 in
+  (* relative to the small-mass scale *)
+  if Float.abs (got -. want) > 25. then
+    Alcotest.failf "skewed median: P2 %.1f vs exact %.1f" got want
+
+let p2_exponential_accuracy () =
+  let rng = Lp_workloads.Prng.create ~seed:78L in
+  let est = Lp_quantile.P2.create 0.75 in
+  let exact = Lp_quantile.Exact.create () in
+  for _ = 1 to 20_000 do
+    let x = -.Float.log (1. -. Lp_workloads.Prng.float rng) *. 50. in
+    Lp_quantile.P2.observe est x;
+    Lp_quantile.Exact.observe exact x
+  done;
+  let got = Lp_quantile.P2.quantile est in
+  let want = Lp_quantile.Exact.quantile exact 0.75 in
+  if Float.abs (got -. want) /. want > 0.1 then
+    Alcotest.failf "exponential q75: P2 %.1f vs exact %.1f" got want
+
+(* -- generational vs driver cross-check ----------------------------------------------- *)
+
+let gen_alloc_counts_match_driver =
+  QCheck.Test.make ~name:"generational and driver agree on alloc counts" ~count:50
+    (QCheck.make random_trace_gen)
+    (fun trace ->
+      let m = Lp_allocsim.Driver.run trace Lp_allocsim.Driver.First_fit in
+      let g =
+        Lp_allocsim.Generational.run
+          ~pretenure:(fun ~obj:_ ~size:_ ~chain:_ ~key:_ -> false)
+          trace
+      in
+      m.Lp_allocsim.Metrics.allocs = g.Lp_allocsim.Generational.allocs)
+
+let suites =
+  [
+    ( "properties",
+      [
+        QCheck_alcotest.to_alcotest regex_differential;
+        QCheck_alcotest.to_alcotest regex_match_is_substring_sound;
+        QCheck_alcotest.to_alcotest textio_roundtrip_fuzz;
+        QCheck_alcotest.to_alcotest lifetimes_conserve_bytes;
+        Alcotest.test_case "p2 on skewed data" `Quick p2_skewed_accuracy;
+        Alcotest.test_case "p2 on exponential data" `Quick p2_exponential_accuracy;
+        QCheck_alcotest.to_alcotest gen_alloc_counts_match_driver;
+      ] );
+  ]

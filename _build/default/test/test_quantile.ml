@@ -1,0 +1,156 @@
+(* Tests for lp_quantile: the P² estimator against exact quantiles, the
+   exact-quantile reference itself, and quartile histograms. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let p2_small_sample () =
+  let e = Lp_quantile.P2.create 0.5 in
+  List.iter (Lp_quantile.P2.observe e) [ 3.; 1.; 2. ];
+  check_float "median of {1,2,3}" 2. (Lp_quantile.P2.quantile e);
+  check_float "min" 1. (Lp_quantile.P2.min e);
+  check_float "max" 3. (Lp_quantile.P2.max e)
+
+let p2_exact_five () =
+  let e = Lp_quantile.P2.create 0.5 in
+  List.iter (Lp_quantile.P2.observe e) [ 10.; 20.; 30.; 40.; 50. ];
+  check_float "median of 5 sorted" 30. (Lp_quantile.P2.quantile e)
+
+let p2_invalid_p () =
+  Alcotest.check_raises "p = 0 rejected" (Invalid_argument
+    "P2.create: quantile must lie strictly between 0 and 1")
+    (fun () -> ignore (Lp_quantile.P2.create 0.));
+  Alcotest.check_raises "p = 1 rejected" (Invalid_argument
+    "P2.create: quantile must lie strictly between 0 and 1")
+    (fun () -> ignore (Lp_quantile.P2.create 1.))
+
+let p2_no_observations () =
+  let e = Lp_quantile.P2.create 0.5 in
+  Alcotest.check_raises "empty quantile" (Invalid_argument "P2.quantile: no observations")
+    (fun () -> ignore (Lp_quantile.P2.quantile e))
+
+let p2_extremes_are_exact () =
+  (* min and max markers are exact regardless of approximation *)
+  let e = Lp_quantile.P2.create 0.75 in
+  let rng = Lp_workloads.Prng.create ~seed:42L in
+  let lo = ref infinity and hi = ref neg_infinity in
+  for _ = 1 to 2000 do
+    let x = Lp_workloads.Prng.float rng *. 1000. in
+    lo := Float.min !lo x;
+    hi := Float.max !hi x;
+    Lp_quantile.P2.observe e x
+  done;
+  check_float "exact min" !lo (Lp_quantile.P2.min e);
+  check_float "exact max" !hi (Lp_quantile.P2.max e)
+
+(* P² accuracy on uniform data: the estimate must land within a few
+   percentile ranks of the true quantile. *)
+let p2_accuracy_uniform p () =
+  let e = Lp_quantile.P2.create p in
+  let exact = Lp_quantile.Exact.create () in
+  let rng = Lp_workloads.Prng.create ~seed:7L in
+  for _ = 1 to 5000 do
+    let x = Lp_workloads.Prng.float rng in
+    Lp_quantile.P2.observe e x;
+    Lp_quantile.Exact.observe exact x
+  done;
+  let est = Lp_quantile.P2.quantile e in
+  let truth = Lp_quantile.Exact.quantile exact p in
+  if Float.abs (est -. truth) > 0.03 then
+    Alcotest.failf "P2(%g) = %f, exact = %f: error too large" p est truth
+
+let exact_basics () =
+  let e = Lp_quantile.Exact.create () in
+  List.iter (Lp_quantile.Exact.observe e) [ 5.; 1.; 9.; 3.; 7. ];
+  check_float "median" 5. (Lp_quantile.Exact.quantile e 0.5);
+  check_float "min" 1. (Lp_quantile.Exact.quantile e 0.);
+  check_float "max" 9. (Lp_quantile.Exact.quantile e 1.);
+  check_float "q25" 3. (Lp_quantile.Exact.quantile e 0.25);
+  Alcotest.(check int) "count" 5 (Lp_quantile.Exact.count e)
+
+let exact_interpolates () =
+  let e = Lp_quantile.Exact.create () in
+  List.iter (Lp_quantile.Exact.observe e) [ 0.; 10. ];
+  check_float "interpolated median" 5. (Lp_quantile.Exact.quantile e 0.5)
+
+let exact_observe_after_sort () =
+  let e = Lp_quantile.Exact.create () in
+  Lp_quantile.Exact.observe e 2.;
+  ignore (Lp_quantile.Exact.quantile e 0.5);
+  Lp_quantile.Exact.observe e 1.;
+  check_float "re-sorts after new observation" 1. (Lp_quantile.Exact.quantile e 0.)
+
+let histogram_quartiles () =
+  let h = Lp_quantile.Histogram.create () in
+  for i = 1 to 100 do
+    Lp_quantile.Histogram.observe h (float_of_int i)
+  done;
+  let q = Lp_quantile.Histogram.quartiles h in
+  check_float "min" 1. q.min;
+  check_float "max" 100. q.max;
+  if Float.abs (q.median -. 50.5) > 3. then Alcotest.failf "median %f too far" q.median;
+  if Float.abs (q.q25 -. 25.) > 4. then Alcotest.failf "q25 %f too far" q.q25;
+  if Float.abs (q.q75 -. 75.) > 4. then Alcotest.failf "q75 %f too far" q.q75
+
+let histogram_weighted () =
+  let h = Lp_quantile.Histogram.create () in
+  (* weight 99 at 1.0, weight 1 at 100.0: median must stay near 1 *)
+  Lp_quantile.Histogram.observe_weighted h ~weight:99 1.;
+  Lp_quantile.Histogram.observe_weighted h ~weight:1 100.;
+  Alcotest.(check int) "count is total weight" 100 (Lp_quantile.Histogram.count h);
+  let q = Lp_quantile.Histogram.quartiles h in
+  if q.median > 30. then Alcotest.failf "weighted median %f pulled too far up" q.median;
+  check_float "weighted mean" ((99. +. 100.) /. 100.) (Lp_quantile.Histogram.mean h)
+
+let histogram_weight_validation () =
+  let h = Lp_quantile.Histogram.create () in
+  Alcotest.check_raises "weight 0 rejected"
+    (Invalid_argument "Histogram.observe_weighted: weight must be positive")
+    (fun () -> Lp_quantile.Histogram.observe_weighted h ~weight:0 1.)
+
+(* property: P² median lies within the sample range and between the
+   25% and 75% estimates *)
+let prop_p2_ordering =
+  QCheck.Test.make ~name:"p2 markers stay ordered" ~count:200
+    QCheck.(list_of_size Gen.(int_range 5 200) (float_range (-1000.) 1000.))
+    (fun xs ->
+      let h = Lp_quantile.Histogram.create () in
+      List.iter (Lp_quantile.Histogram.observe h) xs;
+      let q = Lp_quantile.Histogram.quartiles h in
+      q.min <= q.q25 +. 1e-9
+      && q.q25 <= q.median +. 1e-9
+      && q.median <= q.q75 +. 1e-9
+      && q.q75 <= q.max +. 1e-9)
+
+let prop_exact_monotone =
+  QCheck.Test.make ~name:"exact quantile is monotone in p" ~count:200
+    QCheck.(pair (list_of_size Gen.(int_range 1 100) (float_range 0. 100.))
+              (pair (float_range 0. 1.) (float_range 0. 1.)))
+    (fun (xs, (p1, p2)) ->
+      let e = Lp_quantile.Exact.create () in
+      List.iter (Lp_quantile.Exact.observe e) xs;
+      let lo = Float.min p1 p2 and hi = Float.max p1 p2 in
+      Lp_quantile.Exact.quantile e lo <= Lp_quantile.Exact.quantile e hi +. 1e-9)
+
+let suites =
+  [
+    ( "quantile",
+      [
+        Alcotest.test_case "p2 small sample" `Quick p2_small_sample;
+        Alcotest.test_case "p2 exact at five" `Quick p2_exact_five;
+        Alcotest.test_case "p2 invalid p" `Quick p2_invalid_p;
+        Alcotest.test_case "p2 empty" `Quick p2_no_observations;
+        Alcotest.test_case "p2 exact extremes" `Quick p2_extremes_are_exact;
+        Alcotest.test_case "p2 accuracy p=0.25" `Quick (p2_accuracy_uniform 0.25);
+        Alcotest.test_case "p2 accuracy p=0.5" `Quick (p2_accuracy_uniform 0.5);
+        Alcotest.test_case "p2 accuracy p=0.75" `Quick (p2_accuracy_uniform 0.75);
+        Alcotest.test_case "p2 accuracy p=0.9" `Quick (p2_accuracy_uniform 0.9);
+        Alcotest.test_case "exact basics" `Quick exact_basics;
+        Alcotest.test_case "exact interpolation" `Quick exact_interpolates;
+        Alcotest.test_case "exact re-sorts" `Quick exact_observe_after_sort;
+        Alcotest.test_case "histogram quartiles" `Quick histogram_quartiles;
+        Alcotest.test_case "histogram weighted" `Quick histogram_weighted;
+        Alcotest.test_case "histogram weight check" `Quick histogram_weight_validation;
+        QCheck_alcotest.to_alcotest prop_p2_ordering;
+        QCheck_alcotest.to_alcotest prop_exact_monotone;
+      ] );
+  ]

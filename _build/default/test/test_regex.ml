@@ -1,0 +1,126 @@
+(* Tests for the backtracking regex engine. *)
+
+module R = Lp_workloads.Regex
+
+let matches pat s = R.matches (R.compile pat) s
+
+let check_match pat s expected () =
+  Alcotest.(check bool) (Printf.sprintf "/%s/ =~ %S" pat s) expected (matches pat s)
+
+let match_cases =
+  [
+    ("abc", "xabcy", true);
+    ("abc", "ab", false);
+    ("a.c", "axc", true);
+    ("a.c", "ac", false);
+    ("^abc", "abcdef", true);
+    ("^abc", "xabc", false);
+    ("abc$", "xabc", true);
+    ("abc$", "abcx", false);
+    ("^$", "", true);
+    ("a*", "", true);
+    ("aa*b", "aaab", true);
+    ("ab+c", "ac", false);
+    ("ab+c", "abbbc", true);
+    ("ab?c", "ac", true);
+    ("ab?c", "abc", true);
+    ("ab?c", "abbc", false);
+    ("a|b", "b", true);
+    ("cat|dog", "hotdog", true);
+    ("cat|dog", "bird", false);
+    ("[abc]x", "bx", true);
+    ("[abc]x", "dx", false);
+    ("[a-m]q", "fq", true);
+    ("[a-m]q", "zq", false);
+    ("[^aeiou]z", "bz", true);
+    ("[^aeiou]z", "az", false);
+    ("\\d+", "abc123", true);
+    ("\\d+", "abc", false);
+    ("\\w+", "__x9", true);
+    ("\\s", "a b", true);
+    ("\\S+", "   ", false);
+    ("(ab)+c", "ababc", true);
+    ("(ab)+c", "abac", false);
+    ("x(y|z)w", "xzw", true);
+    ("a[.]b", "a.b", true);
+    ("a[.]b", "axb", false);
+    ("colou?r", "color", true);
+    ("colou?r", "colour", true);
+  ]
+
+let leftmost_match () =
+  let re = R.compile "o+" in
+  match R.search re "foo boor" with
+  | Some m ->
+      Alcotest.(check int) "starts at first o" 1 m.start_pos;
+      Alcotest.(check int) "greedy" 3 m.end_pos
+  | None -> Alcotest.fail "expected a match"
+
+let capture_groups () =
+  let re = R.compile "(\\w+)@(\\w+)" in
+  match R.search re "mail bob@example now" with
+  | Some m ->
+      Alcotest.(check (option string)) "group 1" (Some "bob")
+        (R.group m "mail bob@example now" 1);
+      Alcotest.(check (option string)) "group 2" (Some "example")
+        (R.group m "mail bob@example now" 2);
+      Alcotest.(check (option string)) "group 3 absent" None
+        (R.group m "mail bob@example now" 3)
+  | None -> Alcotest.fail "expected a match"
+
+let alternation_captures () =
+  let re = R.compile "(a+|b+)c" in
+  let s = "xbbc" in
+  match R.search re s with
+  | Some m -> Alcotest.(check (option string)) "captured bb" (Some "bb") (R.group m s 1)
+  | None -> Alcotest.fail "expected a match"
+
+let replace_cases () =
+  let re = R.compile "ch" in
+  Alcotest.(check (option string)) "simple replace" (Some "keese")
+    (R.replace_first re "cheese" ~template:"k");
+  Alcotest.(check (option string)) "no match" None
+    (R.replace_first re "kite" ~template:"k");
+  let re2 = R.compile "(\\w+) (\\w+)" in
+  Alcotest.(check (option string)) "swap groups" (Some "world hello!")
+    (R.replace_first re2 "hello world!" ~template:"$2 $1")
+
+let bad_patterns () =
+  List.iter
+    (fun pat ->
+      match R.compile pat with
+      | exception R.Bad_pattern _ -> ()
+      | _ -> Alcotest.failf "pattern %S should be rejected" pat)
+    [ "*a"; "+"; "(ab"; "[abc"; "a\\" ]
+
+let empty_star_terminates () =
+  (* (a?)* style patterns must not loop on empty matches *)
+  let re = R.compile "(a?)*b" in
+  Alcotest.(check bool) "matches" true (R.matches re "aab");
+  Alcotest.(check bool) "no b" false (R.matches re "ccc")
+
+let steps_counted () =
+  let re = R.compile "a*a*a*c" in
+  ignore (R.search re "aaaaaaaaaaab");
+  Alcotest.(check bool) "backtracking steps recorded" true
+    (R.steps_of_last_search () > 10)
+
+let suites =
+  [
+    ( "regex",
+      List.map
+        (fun (pat, s, expected) ->
+          Alcotest.test_case
+            (Printf.sprintf "/%s/ on %S" pat s)
+            `Quick (check_match pat s expected))
+        match_cases
+      @ [
+          Alcotest.test_case "leftmost greedy" `Quick leftmost_match;
+          Alcotest.test_case "capture groups" `Quick capture_groups;
+          Alcotest.test_case "alternation captures" `Quick alternation_captures;
+          Alcotest.test_case "replace_first" `Quick replace_cases;
+          Alcotest.test_case "bad patterns" `Quick bad_patterns;
+          Alcotest.test_case "empty star terminates" `Quick empty_star_terminates;
+          Alcotest.test_case "steps counted" `Quick steps_counted;
+        ] );
+  ]

@@ -1,0 +1,38 @@
+(* Tests for the table renderer. *)
+
+let render_basic () =
+  let s =
+    Lp_report.Table.render ~title:"T"
+      ~columns:[ ("name", Lp_report.Table.Left); ("n", Lp_report.Table.Right) ]
+      ~rows:[ [ "alpha"; "1" ]; [ "b"; "22" ] ]
+      ()
+  in
+  Alcotest.(check bool) "has title" true (String.length s > 0 && s.[0] = 'T');
+  (* right-aligned numbers line up: " 1 |" and "22 |" *)
+  Alcotest.(check bool) "right alignment" true
+    (let lines = String.split_on_char '\n' s in
+     List.exists (fun l -> String.length l > 0 && String.ends_with ~suffix:"|" l) lines)
+
+let render_ragged_rejected () =
+  Alcotest.check_raises "ragged row"
+    (Invalid_argument "Table.render: row has 1 cells, expected 2") (fun () ->
+      ignore
+        (Lp_report.Table.render
+           ~columns:[ ("a", Lp_report.Table.Left); ("b", Lp_report.Table.Left) ]
+           ~rows:[ [ "only" ] ] ()))
+
+let formatting () =
+  Alcotest.(check string) "integer" "42" (Lp_report.Table.fnum 42.);
+  Alcotest.(check string) "one decimal" "3.1" (Lp_report.Table.fnum 3.14);
+  Alcotest.(check string) "pct" "79.0" (Lp_report.Table.pct 79.0);
+  Alcotest.(check string) "kbytes" "144" (Lp_report.Table.kbytes 147456)
+
+let suites =
+  [
+    ( "report",
+      [
+        Alcotest.test_case "render" `Quick render_basic;
+        Alcotest.test_case "ragged rejected" `Quick render_ragged_rejected;
+        Alcotest.test_case "formatting" `Quick formatting;
+      ] );
+  ]

@@ -1,0 +1,167 @@
+(* Tests for lp_trace and lp_ialloc: trace building, lifetimes in
+   bytes-allocated time, max-live tracking, statistics, text round-trips,
+   and the instrumented runtime's safety checks. *)
+
+module Rt = Lp_ialloc.Runtime
+module T = Lp_trace.Trace
+module L = Lp_trace.Lifetimes
+
+(* A tiny hand-built trace:
+     alloc a (10 bytes), alloc b (20), free a, alloc c (30), free c, end.
+   The clock counts an object's own bytes (the paper's Table 3 minima are
+   the programs' smallest object sizes, so birth happens before the
+   object's own size advances the clock):
+     a born at 0, dies at clock 30 -> lifetime 30 (10 own + 20 for b);
+     c born at 30, dies at 60 -> lifetime 30 (its own size);
+     b born at 10, survives -> lifetime 60 - 10 = 50. *)
+let tiny_trace () =
+  let rt = Rt.create ~program:"test" ~input:"unit" () in
+  let main = Rt.func rt "main" in
+  let helper = Rt.func rt "helper" in
+  Rt.enter rt main;
+  let a = Rt.alloc rt ~size:10 in
+  let b = Rt.in_frame rt helper (fun () -> Rt.alloc rt ~size:20) in
+  Rt.free rt a;
+  let c = Rt.alloc rt ~size:30 in
+  Rt.free rt c;
+  Rt.touch rt b 5;
+  Rt.leave rt;
+  Rt.finish rt
+
+let lifetimes () =
+  let trace = tiny_trace () in
+  let lt = L.compute trace in
+  Alcotest.(check int) "objects" 3 (T.total_objects trace);
+  Alcotest.(check int) "total bytes" 60 (T.total_bytes trace);
+  Alcotest.(check int) "end clock" 60 lt.end_clock;
+  Alcotest.(check int) "a lifetime" 30 lt.lifetime.(0);
+  Alcotest.(check int) "c lifetime" 30 lt.lifetime.(2);
+  Alcotest.(check int) "b (survivor) lifetime" 50 lt.lifetime.(1);
+  Alcotest.(check bool) "b survived" true lt.survived.(1);
+  Alcotest.(check bool) "a did not survive" false lt.survived.(0)
+
+let short_lived () =
+  let trace = tiny_trace () in
+  let lt = L.compute trace in
+  Alcotest.(check bool) "a short at 31" true (L.is_short_lived lt ~threshold:31 0);
+  Alcotest.(check bool) "a long at 30" false (L.is_short_lived lt ~threshold:30 0);
+  Alcotest.(check bool) "survivor never short" false
+    (L.is_short_lived lt ~threshold:1000 1)
+
+let max_live () =
+  let trace = tiny_trace () in
+  let bytes, objs = L.max_live trace in
+  (* live: a(10) -> a+b(30) -> b(20) -> b+c(50) -> b(20) *)
+  Alcotest.(check int) "max bytes" 50 bytes;
+  Alcotest.(check int) "max objects" 2 objs
+
+let stats () =
+  let trace = tiny_trace () in
+  let s = Lp_trace.Stats.compute trace in
+  Alcotest.(check string) "program" "test" s.program;
+  Alcotest.(check int) "total objects" 3 s.total_objects;
+  Alcotest.(check int) "calls" 2 s.calls;
+  Alcotest.(check bool) "has heap refs" true (trace.heap_refs > 0)
+
+let chains_recorded () =
+  let trace = tiny_trace () in
+  (* two distinct raw chains: [main] and [helper; main] *)
+  Alcotest.(check int) "distinct chains" 2 (Array.length trace.chains);
+  let found = ref false in
+  T.iter_allocs trace (fun ~obj ~size:_ ~chain ~key:_ ~tag:_ ->
+      if obj = 1 then begin
+        let c = T.chain_of_alloc trace chain in
+        let names = Lp_callchain.Chain.names trace.funcs c in
+        Alcotest.(check (list string)) "b's chain" [ "helper"; "main" ] names;
+        found := true
+      end);
+  Alcotest.(check bool) "saw b" true !found
+
+let textio_roundtrip () =
+  let trace = tiny_trace () in
+  let s = Lp_trace.Textio.to_string trace in
+  let trace' = Lp_trace.Textio.of_string s in
+  Alcotest.(check string) "program" trace.program trace'.program;
+  Alcotest.(check int) "objects" trace.n_objects trace'.n_objects;
+  Alcotest.(check int) "events" (Array.length trace.events) (Array.length trace'.events);
+  Alcotest.(check int) "heap refs" trace.heap_refs trace'.heap_refs;
+  Alcotest.(check int) "total refs" trace.total_refs trace'.total_refs;
+  Alcotest.(check int) "chains" (Array.length trace.chains) (Array.length trace'.chains);
+  Alcotest.(check (array int)) "obj refs" trace.obj_refs trace'.obj_refs;
+  (* a second round-trip is identical text *)
+  Alcotest.(check string) "fixed point" s (Lp_trace.Textio.to_string trace')
+
+let textio_rejects_garbage () =
+  (match Lp_trace.Textio.of_string "nonsense line\nend\n" with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected Failure");
+  match Lp_trace.Textio.of_string "trace x y\n" with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected missing-end Failure"
+
+(* -- runtime safety ------------------------------------------------------------ *)
+
+let double_free () =
+  let rt = Rt.create ~program:"t" ~input:"t" () in
+  let h = Rt.alloc rt ~size:8 in
+  Rt.free rt h;
+  Alcotest.check_raises "double free" (Invalid_argument "Runtime.free: object already freed")
+    (fun () -> Rt.free rt h)
+
+let touch_after_free () =
+  let rt = Rt.create ~program:"t" ~input:"t" () in
+  let h = Rt.alloc rt ~size:8 in
+  Rt.free rt h;
+  Alcotest.check_raises "touch after free"
+    (Invalid_argument "Runtime.touch: object already freed") (fun () -> Rt.touch rt h 1)
+
+let zero_size_alloc () =
+  let rt = Rt.create ~program:"t" ~input:"t" () in
+  Alcotest.check_raises "size 0" (Invalid_argument "Runtime.alloc: size must be positive")
+    (fun () -> ignore (Rt.alloc rt ~size:0))
+
+let in_frame_unwinds () =
+  let rt = Rt.create ~program:"t" ~input:"t" () in
+  let f = Rt.func rt "f" in
+  (try Rt.in_frame rt f (fun () -> failwith "boom") with Failure _ -> ());
+  Alcotest.(check int) "stack unwound" 0 (Rt.depth rt)
+
+let live_object_count () =
+  let rt = Rt.create ~program:"t" ~input:"t" () in
+  let a = Rt.alloc rt ~size:8 in
+  let _b = Rt.alloc rt ~size:8 in
+  Alcotest.(check int) "two live" 2 (Rt.live_objects rt);
+  Rt.free rt a;
+  Alcotest.(check int) "one live" 1 (Rt.live_objects rt)
+
+let ref_ratio_counted () =
+  let rt = Rt.create ~ref_ratio:1.0 ~program:"t" ~input:"t" () in
+  let h = Rt.alloc rt ~size:8 in
+  Rt.touch rt h 10;
+  Rt.instructions rt 100;
+  let trace = Rt.finish rt in
+  (* non-heap refs include ratio * instructions (plus instr from alloc) *)
+  Alcotest.(check bool) "ratio applied" true (trace.total_refs - trace.heap_refs >= 100)
+
+let suites =
+  [
+    ( "trace",
+      [
+        Alcotest.test_case "lifetimes" `Quick lifetimes;
+        Alcotest.test_case "short-lived threshold" `Quick short_lived;
+        Alcotest.test_case "max live" `Quick max_live;
+        Alcotest.test_case "stats" `Quick stats;
+        Alcotest.test_case "chains recorded" `Quick chains_recorded;
+        Alcotest.test_case "textio round-trip" `Quick textio_roundtrip;
+        Alcotest.test_case "textio rejects garbage" `Quick textio_rejects_garbage;
+      ] );
+    ( "ialloc",
+      [
+        Alcotest.test_case "double free" `Quick double_free;
+        Alcotest.test_case "touch after free" `Quick touch_after_free;
+        Alcotest.test_case "zero-size alloc" `Quick zero_size_alloc;
+        Alcotest.test_case "in_frame unwinds" `Quick in_frame_unwinds;
+        Alcotest.test_case "live object count" `Quick live_object_count;
+        Alcotest.test_case "ref ratio" `Quick ref_ratio_counted;
+      ] );
+  ]

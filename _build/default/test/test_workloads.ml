@@ -1,0 +1,140 @@
+(* Workload-level tests: deterministic PRNG and corpora, CFRAC end-to-end
+   factorization, registry determinism, and the key allocation-profile
+   properties of each workload's trace. *)
+
+module Rt = Lp_ialloc.Runtime
+
+let prng_deterministic () =
+  let a = Lp_workloads.Prng.of_string "seed" in
+  let b = Lp_workloads.Prng.of_string "seed" in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Lp_workloads.Prng.int64 a)
+      (Lp_workloads.Prng.int64 b)
+  done
+
+let prng_bounds () =
+  let rng = Lp_workloads.Prng.create ~seed:1L in
+  for _ = 1 to 1000 do
+    let x = Lp_workloads.Prng.int rng 17 in
+    if x < 0 || x >= 17 then Alcotest.failf "int out of bounds: %d" x;
+    let y = Lp_workloads.Prng.in_range rng 5 9 in
+    if y < 5 || y > 9 then Alcotest.failf "in_range out of bounds: %d" y;
+    let f = Lp_workloads.Prng.float rng in
+    if f < 0. || f >= 1. then Alcotest.failf "float out of bounds: %f" f
+  done
+
+let prng_rejects () =
+  let rng = Lp_workloads.Prng.create ~seed:1L in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Lp_workloads.Prng.int rng 0))
+
+let corpus_dictionary () =
+  let rng = Lp_workloads.Prng.of_string "dict" in
+  let words = Lp_workloads.Corpus.dictionary rng 200 in
+  Alcotest.(check int) "200 words" 200 (Array.length words);
+  let sorted = Array.copy words in
+  Array.sort compare sorted;
+  Alcotest.(check bool) "sorted" true (words = sorted);
+  Alcotest.(check int) "distinct" 200
+    (List.length (List.sort_uniq compare (Array.to_list words)))
+
+let cfrac_factors_correctly () =
+  let rt = Rt.create ~program:"cfrac" ~input:"t" () in
+  let r = Lp_workloads.Cfrac.factor_string rt ~n:"8051" ~max_iters:400 in
+  match r.factor with
+  | Some f -> Alcotest.(check bool) "factor of 8051" true (f = "83" || f = "97")
+  | None -> Alcotest.fail "8051 should factor"
+
+let cfrac_factors_semiprime () =
+  (* 1299709 * 104729 = 136117230461 *)
+  let rt = Rt.create ~program:"cfrac" ~input:"t" () in
+  let r =
+    Lp_workloads.Cfrac.factor_string rt
+      ~n:(string_of_int (1299709 * 104729))
+      ~max_iters:6000
+  in
+  match r.factor with
+  | Some f ->
+      Alcotest.(check bool)
+        (Printf.sprintf "factor is 1299709 or 104729, got %s" f)
+        true
+        (f = "1299709" || f = "104729")
+  | None -> Alcotest.fail "semiprime should factor"
+
+let registry_deterministic () =
+  (* two fresh (uncached) generations of the same input agree exactly *)
+  let p = Lp_workloads.Registry.find "gawk" in
+  let t1 = p.run ~scale:0.02 ~input:"tiny" () in
+  let t2 = p.run ~scale:0.02 ~input:"tiny" () in
+  Alcotest.(check int) "objects equal" t1.n_objects t2.n_objects;
+  Alcotest.(check int) "events equal" (Array.length t1.events) (Array.length t2.events);
+  Alcotest.(check int) "instr equal" t1.instructions t2.instructions;
+  Alcotest.(check string) "textio equal" (Lp_trace.Textio.to_string t1)
+    (Lp_trace.Textio.to_string t2)
+
+let registry_lists_five () =
+  Alcotest.(check (list string)) "paper's five programs"
+    [ "cfrac"; "espresso"; "gawk"; "ghost"; "perl" ]
+    Lp_workloads.Registry.names
+
+let registry_cache () =
+  let t1 = Lp_workloads.Registry.trace ~scale:0.02 ~program:"perl" ~input:"tiny" () in
+  let t2 = Lp_workloads.Registry.trace ~scale:0.02 ~program:"perl" ~input:"tiny" () in
+  Alcotest.(check bool) "same physical trace" true (t1 == t2)
+
+(* Every workload trace must be well-formed: every free matches a prior
+   alloc, no double frees, and mostly-short-lived byte volume (the paper's
+   generational hypothesis, >90% short-lived for every program). *)
+let trace_well_formed program () =
+  let trace = Lp_workloads.Registry.trace ~scale:0.05 ~program ~input:"tiny" () in
+  let born = Array.make trace.n_objects false in
+  let freed = Array.make trace.n_objects false in
+  Array.iter
+    (function
+      | Lp_trace.Event.Alloc { obj; size; _ } ->
+          if born.(obj) then Alcotest.failf "object %d born twice" obj;
+          if size <= 0 then Alcotest.failf "object %d non-positive size" obj;
+          born.(obj) <- true
+      | Lp_trace.Event.Free { obj } ->
+          if not born.(obj) then Alcotest.failf "object %d freed before birth" obj;
+          if freed.(obj) then Alcotest.failf "object %d freed twice" obj;
+          freed.(obj) <- true
+      | Lp_trace.Event.Touch { obj; count } ->
+          if not born.(obj) then Alcotest.failf "object %d touched before birth" obj;
+          if freed.(obj) then Alcotest.failf "object %d touched after free" obj;
+          if count <= 0 then Alcotest.failf "object %d non-positive touch" obj)
+    trace.events;
+  Alcotest.(check bool) "has allocations" true (trace.n_objects > 50);
+  let lt = Lp_trace.Lifetimes.compute trace in
+  let short_bytes = ref 0 and total = ref 0 in
+  Lp_trace.Trace.iter_allocs trace (fun ~obj ~size ~chain:_ ~key:_ ~tag:_ ->
+      total := !total + size;
+      if Lp_trace.Lifetimes.is_short_lived lt ~threshold:32768 obj then
+        short_bytes := !short_bytes + size);
+  let pct = 100. *. float_of_int !short_bytes /. float_of_int (max 1 !total) in
+  (* ghost's tiny input is dominated by its fixed long-lived VM structures
+     (page raster, caches); the band traffic that makes it mostly
+     short-lived at full scale is barely present at scale 0.05 *)
+  let floor = if program = "ghost" then 20. else 55. in
+  if pct < floor then
+    Alcotest.failf "%s: only %.1f%% of bytes short-lived on tiny input" program pct
+
+let suites =
+  [
+    ( "workloads",
+      [
+        Alcotest.test_case "prng deterministic" `Quick prng_deterministic;
+        Alcotest.test_case "prng bounds" `Quick prng_bounds;
+        Alcotest.test_case "prng rejects" `Quick prng_rejects;
+        Alcotest.test_case "corpus dictionary" `Quick corpus_dictionary;
+        Alcotest.test_case "cfrac factors 8051" `Quick cfrac_factors_correctly;
+        Alcotest.test_case "cfrac factors semiprime" `Slow cfrac_factors_semiprime;
+        Alcotest.test_case "registry deterministic" `Quick registry_deterministic;
+        Alcotest.test_case "registry lists five" `Quick registry_lists_five;
+        Alcotest.test_case "registry caches" `Quick registry_cache;
+      ]
+      @ List.map
+          (fun p ->
+            Alcotest.test_case ("trace well-formed: " ^ p) `Slow (trace_well_formed p))
+          Lp_workloads.Registry.names );
+  ]
