@@ -113,11 +113,18 @@ let () =
   let which_ablation = ref None in
   let run_ablations = ref true in
   let run_micro = ref true in
+  let timings = ref false in
   let args = Array.to_list Sys.argv in
   let rec parse = function
     | [] -> ()
     | "--scale" :: v :: rest ->
         scale := float_of_string v;
+        parse rest
+    | "--timings" :: rest ->
+        timings := true;
+        parse rest
+    | "--domains" :: v :: rest ->
+        Lifetime.Parallel.set_domains (int_of_string v);
         parse rest
     | "--table" :: v :: rest ->
         which_table := Some (int_of_string v);
@@ -139,13 +146,14 @@ let () =
         print_endline
           "usage: bench/main.exe [--scale S] [--table N] [--tables-only] \
            [--ablation threshold|geometry|rounding|policy|locality|\
-           generational|types] [--micro]";
+           generational|types] [--micro] [--timings] [--domains N]";
         exit 0
     | other :: _ ->
         Printf.eprintf "unknown argument %s (try --help)\n" other;
         exit 1
   in
   parse (List.tl args);
+  if !timings then Lp_obs.Timings.set_enabled true;
   let scale = !scale in
   Printf.printf
     "Reproduction of Barrett & Zorn, \"Using Lifetime Predictors to Improve\n\
@@ -185,4 +193,5 @@ let () =
             print_string (f ?scale:(Some scale) ());
             print_newline ())
           ablations);
-  if !run_micro then micro_benchmarks ()
+  if !run_micro then micro_benchmarks ();
+  if !timings then Format.eprintf "%a@?" Lp_obs.Timings.pp_report ()

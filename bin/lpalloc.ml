@@ -11,9 +11,26 @@
 
 open Cmdliner
 
-let read_trace path =
-  let ic = open_in path in
-  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> Lp_trace.Textio.input ic)
+(* Auto-detects binary (.lpt) vs text traces by their magic bytes. *)
+let read_trace path = Lp_trace.Io.read_file path
+
+let timings_arg =
+  let doc =
+    "Record per-stage wall-clock timings (trace load/store, replay per \
+     allocator) and event counters; print the aggregate table to stderr on \
+     exit.  Also enables debug logging on the lpalloc.obs source."
+  in
+  Arg.(value & flag & info [ "timings" ] ~doc)
+
+let with_timings enabled f =
+  if enabled then begin
+    Logs.set_reporter (Logs.format_reporter ());
+    Logs.set_level (Some Logs.Debug);
+    Lp_obs.Timings.set_enabled true
+  end;
+  let r = f () in
+  if enabled then Format.eprintf "%a@?" Lp_obs.Timings.pp_report ();
+  r
 
 let scale_arg =
   let doc = "Scale factor for workload input sizes (0 < S <= 1)." in
@@ -55,20 +72,33 @@ let trace_cmd =
       value & opt (some string) None
       & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the trace here (default stdout).")
   in
-  let run program input output scale =
-    let trace = Lp_workloads.Registry.trace ~scale ~program ~input () in
-    match output with
-    | Some path ->
-        let oc = open_out path in
-        Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
-            Lp_trace.Textio.output oc trace);
-        Printf.printf "wrote %d events (%d objects) to %s\n"
-          (Array.length trace.events) trace.n_objects path
-    | None -> Lp_trace.Textio.output stdout trace
+  let format =
+    let fmt_conv =
+      Arg.enum [ ("auto", None); ("text", Some Lp_trace.Io.Text); ("binary", Some Lp_trace.Io.Binary) ]
+    in
+    Arg.(
+      value & opt fmt_conv None
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:
+            "Trace format: $(b,text), $(b,binary), or $(b,auto) (the default: \
+             binary for .lpt files, text otherwise and on stdout).")
+  in
+  let run program input output format scale timings =
+    with_timings timings (fun () ->
+        let trace = Lp_workloads.Registry.trace ~scale ~program ~input () in
+        match output with
+        | Some path ->
+            Lp_trace.Io.write_file ?format path trace;
+            Printf.printf "wrote %d events (%d objects) to %s\n"
+              (Array.length trace.events) trace.n_objects path
+        | None ->
+            let format = Option.value format ~default:Lp_trace.Io.Text in
+            if format = Lp_trace.Io.Binary then set_binary_mode_out stdout true;
+            Lp_trace.Io.output ~format stdout trace)
   in
   Cmd.v
     (Cmd.info "trace" ~doc:"Run a workload and emit its allocation trace")
-    Term.(const run $ program $ input $ output $ scale_arg)
+    Term.(const run $ program $ input $ output $ format $ scale_arg $ timings_arg)
 
 (* -- stats --------------------------------------------------------------------- *)
 
@@ -76,15 +106,17 @@ let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE" ~doc:"Trace file.")
 
 let stats_cmd =
-  let run path =
-    let trace = read_trace path in
-    Format.printf "%a@." Lp_trace.Stats.pp (Lp_trace.Stats.compute trace)
+  let run path timings =
+    with_timings timings (fun () ->
+        let trace = read_trace path in
+        Format.printf "%a@." Lp_trace.Stats.pp (Lp_trace.Stats.compute trace))
   in
   Cmd.v (Cmd.info "stats" ~doc:"Execution statistics of a trace (cf. Table 2)")
-    Term.(const run $ file_arg)
+    Term.(const run $ file_arg $ timings_arg)
 
 let lifetimes_cmd =
-  let run path threshold =
+  let run path threshold timings =
+    with_timings timings @@ fun () ->
     let trace = read_trace path in
     let lifetimes = Lp_trace.Lifetimes.compute trace in
     let hist = Lp_quantile.Histogram.create () in
@@ -103,7 +135,7 @@ let lifetimes_cmd =
   in
   Cmd.v
     (Cmd.info "lifetimes" ~doc:"Lifetime distribution of a trace (cf. Table 3)")
-    Term.(const run $ file_arg $ threshold_arg)
+    Term.(const run $ file_arg $ threshold_arg $ timings_arg)
 
 (* -- train ---------------------------------------------------------------------- *)
 
@@ -111,7 +143,8 @@ let train_cmd =
   let verbose =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every predictor site.")
   in
-  let run path threshold verbose =
+  let run path threshold verbose timings =
+    with_timings timings @@ fun () ->
     let trace = read_trace path in
     let config = { Lifetime.Config.default with short_lived_threshold = threshold } in
     let table = Lifetime.Train.collect ~config trace in
@@ -125,7 +158,7 @@ let train_cmd =
   in
   Cmd.v
     (Cmd.info "train" ~doc:"Train a short-lived-site predictor from a trace")
-    Term.(const run $ file_arg $ threshold_arg $ verbose)
+    Term.(const run $ file_arg $ threshold_arg $ verbose $ timings_arg)
 
 (* -- evaluate ------------------------------------------------------------------- *)
 
@@ -140,7 +173,8 @@ let test_file =
     required & opt (some file) None & info [ "test" ] ~docv:"FILE" ~doc:"Test trace.")
 
 let evaluate_cmd =
-  let run train_path test_path threshold =
+  let run train_path test_path threshold timings =
+    with_timings timings @@ fun () ->
     let train = read_trace train_path in
     let test = read_trace test_path in
     let config = { Lifetime.Config.default with short_lived_threshold = threshold } in
@@ -158,12 +192,24 @@ let evaluate_cmd =
   Cmd.v
     (Cmd.info "evaluate"
        ~doc:"Evaluate prediction quality of a trained predictor (cf. Table 4)")
-    Term.(const run $ train_file $ test_file $ threshold_arg)
+    Term.(const run $ train_file $ test_file $ threshold_arg $ timings_arg)
 
 (* -- simulate ------------------------------------------------------------------- *)
 
 let simulate_cmd =
-  let run train_path test_path threshold =
+  let domains =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "Domains for the parallel allocator replays (default: up to 8, per \
+             the machine; 1 forces the sequential order; the LPALLOC_DOMAINS \
+             environment variable sets the same knob globally).")
+  in
+  let run train_path test_path threshold domains timings =
+    with_timings timings @@ fun () ->
+    (match domains with Some n -> Lifetime.Parallel.set_domains n | None -> ());
     let train = read_trace train_path in
     let test = read_trace test_path in
     let config = { Lifetime.Config.default with short_lived_threshold = threshold } in
@@ -178,8 +224,8 @@ let simulate_cmd =
     (Cmd.info "simulate"
        ~doc:
          "Replay a test trace through first-fit, BSD and the lifetime-predicting \
-          arena allocator (cf. Tables 7-9)")
-    Term.(const run $ train_file $ test_file $ threshold_arg)
+          arena allocator, in parallel across OCaml domains (cf. Tables 7-9)")
+    Term.(const run $ train_file $ test_file $ threshold_arg $ domains $ timings_arg)
 
 let () =
   let doc =

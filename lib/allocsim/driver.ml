@@ -14,7 +14,14 @@ let algorithm_name = function
   | Bsd -> "bsd"
   | Arena _ -> "arena"
 
-let run ?cache (trace : Lp_trace.Trace.t) algorithm : Metrics.t =
+(* A malformed trace (free of a never-allocated object, double free, or an
+   out-of-range object id) used to push addr_of.(obj) = -1 straight into the
+   allocator and crash with an unrelated error deep inside it; validate here
+   and name the object and the event index instead. *)
+let event_error ~event what obj =
+  failwith (Printf.sprintf "Driver.run: %s object %d at event %d" what obj event)
+
+let run_impl ?cache (trace : Lp_trace.Trace.t) algorithm : Metrics.t =
   let addr_of = Array.make trace.n_objects (-1) in
   let size_of = Array.make trace.n_objects 0 in
   let ref_cursor = Array.make trace.n_objects 0 in
@@ -26,6 +33,18 @@ let run ?cache (trace : Lp_trace.Trace.t) algorithm : Metrics.t =
     | Some c -> Cache.access_range c ~addr ~bytes
     | None -> ()
   in
+  let check_alloc ~event obj =
+    if obj < 0 || obj >= trace.n_objects then
+      event_error ~event "alloc of out-of-range" obj;
+    if addr_of.(obj) >= 0 then event_error ~event "second alloc of live" obj
+  in
+  let addr_for_free ~event obj =
+    if obj < 0 || obj >= trace.n_objects then
+      event_error ~event "free of out-of-range" obj;
+    let addr = addr_of.(obj) in
+    if addr < 0 then event_error ~event "free of never-allocated or already-freed" obj;
+    addr
+  in
   let track_alloc obj size addr =
     addr_of.(obj) <- addr;
     size_of.(obj) <- size;
@@ -34,13 +53,15 @@ let run ?cache (trace : Lp_trace.Trace.t) algorithm : Metrics.t =
     if !live > !max_live then max_live := !live;
     cache_access addr 8
   in
-  let track_free obj =
+  let track_free obj addr =
     live := !live - size_of.(obj);
-    cache_access addr_of.(obj) 8;
+    cache_access addr 8;
     addr_of.(obj) <- -1
   in
   (* a Touch of n references walks the object at a 16-byte stride *)
-  let track_touch obj count =
+  let track_touch ~event obj count =
+    if obj < 0 || obj >= trace.n_objects then
+      event_error ~event "touch of out-of-range" obj;
     match cache with
     | None -> ()
     | Some c ->
@@ -58,14 +79,16 @@ let run ?cache (trace : Lp_trace.Trace.t) algorithm : Metrics.t =
         match algorithm with Best_fit -> First_fit.Best | _ -> First_fit.First
       in
       let ff = First_fit.create ~policy () in
-      Array.iter
-        (function
+      Array.iteri
+        (fun event -> function
           | Lp_trace.Event.Alloc { obj; size; _ } ->
+              check_alloc ~event obj;
               track_alloc obj size (First_fit.alloc ff size)
           | Lp_trace.Event.Free { obj } ->
-              First_fit.free ff addr_of.(obj);
-              track_free obj
-          | Lp_trace.Event.Touch { obj; count } -> track_touch obj count)
+              let addr = addr_for_free ~event obj in
+              First_fit.free ff addr;
+              track_free obj addr
+          | Lp_trace.Event.Touch { obj; count } -> track_touch ~event obj count)
         trace.events;
       {
         Metrics.algorithm = algorithm_name algorithm;
@@ -85,14 +108,16 @@ let run ?cache (trace : Lp_trace.Trace.t) algorithm : Metrics.t =
       }
   | Bsd ->
       let b = Bsd.create () in
-      Array.iter
-        (function
+      Array.iteri
+        (fun event -> function
           | Lp_trace.Event.Alloc { obj; size; _ } ->
+              check_alloc ~event obj;
               track_alloc obj size (Bsd.alloc b size)
           | Lp_trace.Event.Free { obj } ->
-              Bsd.free b addr_of.(obj);
-              track_free obj
-          | Lp_trace.Event.Touch { obj; count } -> track_touch obj count)
+              let addr = addr_for_free ~event obj in
+              Bsd.free b addr;
+              track_free obj addr
+          | Lp_trace.Event.Touch { obj; count } -> track_touch ~event obj count)
         trace.events;
       {
         Metrics.algorithm = "bsd";
@@ -112,17 +137,19 @@ let run ?cache (trace : Lp_trace.Trace.t) algorithm : Metrics.t =
       }
   | Arena { config; predicted; predict_cost } ->
       let a = Arena.create ~config () in
-      Array.iter
-        (function
+      Array.iteri
+        (fun event -> function
           | Lp_trace.Event.Alloc { obj; size; chain; key; _ } ->
+              check_alloc ~event obj;
               (* every allocation pays for the attempt to predict (§5.1) *)
               Arena.charge_prediction a predict_cost;
               let p = predicted ~obj ~size ~chain ~key in
               track_alloc obj size (Arena.alloc a ~size ~predicted:p)
           | Lp_trace.Event.Free { obj } ->
-              Arena.free a addr_of.(obj);
-              track_free obj
-          | Lp_trace.Event.Touch { obj; count } -> track_touch obj count)
+              let addr = addr_for_free ~event obj in
+              Arena.free a addr;
+              track_free obj addr
+          | Lp_trace.Event.Touch { obj; count } -> track_touch ~event obj count)
         trace.events;
       {
         Metrics.algorithm = "arena";
@@ -140,3 +167,9 @@ let run ?cache (trace : Lp_trace.Trace.t) algorithm : Metrics.t =
         instr_per_free =
           float_of_int (Arena.free_instr a) /. float_of_int (max 1 (Arena.frees a));
       }
+
+let run ?cache trace algorithm =
+  Lp_obs.Timings.time
+    ~stage:("replay/" ^ algorithm_name algorithm)
+    ~items:(Array.length trace.Lp_trace.Trace.events)
+    (fun () -> run_impl ?cache trace algorithm)

@@ -24,6 +24,18 @@ val run : ?cache:Cache.t -> Lp_trace.Trace.t -> algorithm -> Metrics.t
 (** Replays every event in order.  Objects still alive at the end of the
     trace are not freed (they hold their space, as in the real program).
 
+    Events are validated as they are replayed: an alloc of an out-of-range
+    or already-live object id, or a free/touch of a never-allocated,
+    already-freed or out-of-range object, raises [Failure] naming the
+    object id and the event index, instead of crashing with an unrelated
+    error deep inside the allocator.
+
+    Each replay records its wall-clock span and event count under the
+    ["replay/<algorithm>"] stage of {!Lp_obs.Timings} when timings are
+    enabled.  [run] is safe to call concurrently from several domains:
+    all allocator state is private to the call, and the trace is only
+    read.
+
     When [cache] is given, the replay also feeds it the trace's memory
     references at the addresses this allocator assigned: the allocator's
     header accesses at alloc/free, and each recorded {!Lp_trace.Event.t}

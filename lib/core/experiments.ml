@@ -182,26 +182,53 @@ type simulation_row = {
 
 let simulation_cache : (string, simulation_row) Hashtbl.t = Hashtbl.create 8
 
+let cache_key ?scale program =
+  Printf.sprintf "%s/%s" program
+    (match scale with None -> "1" | Some s -> string_of_float s)
+
+let compute_simulation ?scale ~config program =
+  let test = test_trace ?scale program in
+  let train = train_trace ?scale program in
+  let table_self = Train.collect ~config test in
+  let self_pred = Predictor.build ~config ~funcs:test.Lp_trace.Trace.funcs table_self in
+  let table_true = Train.collect ~config train in
+  let true_pred = Predictor.build ~config ~funcs:train.Lp_trace.Trace.funcs table_true in
+  {
+    program;
+    self_sim = Simulate.run ~config ~predictor:self_pred ~test;
+    true_sim = Simulate.run ~config ~predictor:true_pred ~test;
+  }
+
 let simulate_program ?scale ?(config = Config.default) program =
-  let key = Printf.sprintf "%s/%s" program (match scale with None -> "1" | Some s -> string_of_float s) in
+  let key = cache_key ?scale program in
   match Hashtbl.find_opt simulation_cache key with
   | Some r -> r
   | None ->
-      let test = test_trace ?scale program in
-      let train = train_trace ?scale program in
-      let table_self = Train.collect ~config test in
-      let self_pred = Predictor.build ~config ~funcs:test.Lp_trace.Trace.funcs table_self in
-      let table_true = Train.collect ~config train in
-      let true_pred = Predictor.build ~config ~funcs:train.Lp_trace.Trace.funcs table_true in
-      let row =
-        {
-          program;
-          self_sim = Simulate.run ~config ~predictor:self_pred ~test;
-          true_sim = Simulate.run ~config ~predictor:true_pred ~test;
-        }
-      in
+      let row = compute_simulation ?scale ~config program in
       Hashtbl.replace simulation_cache key row;
       row
+
+(* Fill the simulation cache for every program, fanning the per-program
+   jobs out over the domain pool.  Traces are materialised sequentially
+   first (the workload registry's memo table is not domain-safe); after
+   that each job only reads shared data, so the simulations — eight
+   [Driver.run]s per program — are embarrassingly parallel.  Tables 7-9
+   call this, so a full bench run parallelises across programs while a
+   single [Simulate.run] still parallelises across allocators. *)
+let simulate_all ?scale ?(config = Config.default) () =
+  let missing =
+    List.filter
+      (fun program -> not (Hashtbl.mem simulation_cache (cache_key ?scale program)))
+      programs
+  in
+  List.iter
+    (fun program ->
+      ignore (test_trace ?scale program);
+      ignore (train_trace ?scale program))
+    missing;
+  Parallel.map (fun program -> compute_simulation ?scale ~config program) missing
+  |> List.iter (fun row ->
+         Hashtbl.replace simulation_cache (cache_key ?scale row.program) row)
 
 type table7_row = {
   program : string;
@@ -213,6 +240,7 @@ type table7_row = {
 }
 
 let table7 ?scale ?config () =
+  simulate_all ?scale ?config ();
   List.map
     (fun program ->
       let sim = (simulate_program ?scale ?config program).true_sim in
@@ -236,6 +264,7 @@ type table8_row = {
 }
 
 let table8 ?scale ?config () =
+  simulate_all ?scale ?config ();
   List.map
     (fun program ->
       let row = simulate_program ?scale ?config program in
@@ -258,6 +287,7 @@ type table9_row = {
 }
 
 let table9 ?scale ?config () =
+  simulate_all ?scale ?config ();
   List.map
     (fun program ->
       let row = (simulate_program ?scale ?config program).true_sim in

@@ -1,0 +1,76 @@
+(** A small fixed pool of OCaml 5 domains for the simulation fan-out.
+
+    Each [Driver.run] owns its private allocator state and only reads the
+    (immutable after construction) trace and predictor tables, so the four
+    allocator simulations of a [Simulate.run] — and independent per-program
+    jobs in the bench harness — can execute concurrently.
+
+    The pool size defaults to [min 8 (Domain.recommended_domain_count ())]
+    and can be forced with {!set_domains} or the [LPALLOC_DOMAINS]
+    environment variable ([LPALLOC_DOMAINS=1] runs everything
+    sequentially, which is how the parallel speedup is measured).  Calls
+    from inside a pool worker run sequentially rather than spawning
+    nested domains, so parallelism composes without oversubscription. *)
+
+let forced : int option ref = ref None
+
+let set_domains n =
+  if n < 1 then invalid_arg "Parallel.set_domains: need at least one domain";
+  forced := Some n
+
+(* force a pool size for the duration of [f] (tests, the CLI's --domains) *)
+let with_domains n f =
+  if n < 1 then invalid_arg "Parallel.with_domains: need at least one domain";
+  let saved = !forced in
+  forced := Some n;
+  Fun.protect ~finally:(fun () -> forced := saved) f
+
+let default_domains () =
+  match !forced with
+  | Some n -> n
+  | None -> (
+      match Sys.getenv_opt "LPALLOC_DOMAINS" with
+      | Some s -> ( match int_of_string_opt (String.trim s) with
+        | Some n when n >= 1 -> n
+        | _ -> invalid_arg "LPALLOC_DOMAINS must be a positive integer")
+      | None -> max 1 (min 8 (Domain.recommended_domain_count ())))
+
+(* true inside a pool worker: nested maps degrade to sequential execution *)
+let inside_pool = Domain.DLS.new_key (fun () -> false)
+
+let map ?domains f xs =
+  let jobs = Array.of_list xs in
+  let n = Array.length jobs in
+  let wanted = min n (match domains with Some d -> max 1 d | None -> default_domains ()) in
+  if n = 0 then []
+  else if wanted <= 1 || Domain.DLS.get inside_pool then List.map f xs
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      Domain.DLS.set inside_pool true;
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (results.(i) <-
+             Some
+               (match f jobs.(i) with
+               | v -> Ok v
+               | exception e -> Error (e, Printexc.get_raw_backtrace ())));
+          loop ()
+        end
+      in
+      loop ();
+      Domain.DLS.set inside_pool false
+    in
+    let helpers = Array.init (wanted - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join helpers;
+    Array.to_list results
+    |> List.map (function
+         | Some (Ok v) -> v
+         | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+         | None -> assert false)
+  end
+
+let all ?domains thunks = map ?domains (fun f -> f ()) thunks

@@ -1,5 +1,13 @@
 (** Simulation glue: run a test trace through the allocators with a trained
-    predictor, producing the measurements behind Tables 7, 8 and 9. *)
+    predictor, producing the measurements behind Tables 7, 8 and 9.
+
+    The four replays (first-fit, BSD, and the two arena pricings) are
+    independent — each {!Lp_allocsim.Driver.run} owns its allocator state
+    and only reads the trace and the predictor — so they execute
+    concurrently on the {!Parallel} domain pool.  [Parallel.with_domains 1]
+    (or [LPALLOC_DOMAINS=1]) forces the sequential order, which produces
+    bit-identical metrics: parallelism only changes scheduling, never
+    results. *)
 
 type arena_results = {
   len4 : Lp_allocsim.Metrics.t;  (** prediction priced at 18 instr/alloc *)
@@ -13,25 +21,30 @@ type t = {
 }
 
 let arena_with_cost ~config ~predictor ~(test : Lp_trace.Trace.t) ~predict_cost =
+  (* the memoizing predicted-site closure is created here, inside the
+     calling job, so each parallel replay owns a private memo table *)
   let predicted = Predictor.for_trace predictor test in
   Lp_allocsim.Driver.run test
     (Lp_allocsim.Driver.Arena
        { config = Config.arena_config config; predicted; predict_cost })
 
-let run ~(config : Config.t) ~(predictor : Predictor.t) ~(test : Lp_trace.Trace.t) : t =
+let run ~(config : Config.t) ~(predictor : Predictor.t)
+    ~(test : Lp_trace.Trace.t) : t =
   let cce_cost =
     Lp_allocsim.Cost_model.site_lookup
     + Lp_allocsim.Cost_model.cce_per_alloc ~calls:test.calls
         ~allocs:(Lp_trace.Trace.total_objects test)
   in
-  {
-    first_fit = Lp_allocsim.Driver.run test Lp_allocsim.Driver.First_fit;
-    bsd = Lp_allocsim.Driver.run test Lp_allocsim.Driver.Bsd;
-    arena =
-      {
-        len4 =
+  match
+    Parallel.all
+      [
+        (fun () -> Lp_allocsim.Driver.run test Lp_allocsim.Driver.First_fit);
+        (fun () -> Lp_allocsim.Driver.run test Lp_allocsim.Driver.Bsd);
+        (fun () ->
           arena_with_cost ~config ~predictor ~test
-            ~predict_cost:Lp_allocsim.Cost_model.predict_len4;
-        cce = arena_with_cost ~config ~predictor ~test ~predict_cost:cce_cost;
-      };
-  }
+            ~predict_cost:Lp_allocsim.Cost_model.predict_len4);
+        (fun () -> arena_with_cost ~config ~predictor ~test ~predict_cost:cce_cost);
+      ]
+  with
+  | [ first_fit; bsd; len4; cce ] -> { first_fit; bsd; arena = { len4; cce } }
+  | _ -> assert false

@@ -1,0 +1,43 @@
+(** Lightweight observability for the trace pipeline.
+
+    Stages (trace load/store, per-allocator replay, simulation fan-out)
+    record wall-clock spans and an item count (events, allocations), and
+    named counters accumulate totals (bytes read, events replayed).  All
+    entry points are safe to call from multiple domains; recording is a
+    no-op until {!set_enabled}, so the replay hot path pays only a single
+    atomic load when timings are off.
+
+    Every recorded span is also emitted at debug level on the
+    ["lpalloc.obs"] {!Logs} source, so long-running benches can stream
+    stage timings; {!pp_report} prints the aggregate table (the [--timings]
+    output of [lpalloc] and [bench/main.exe]). *)
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+val now : unit -> float
+(** Wall-clock seconds (monotonic enough for span measurement). *)
+
+val record : stage:string -> ?items:int -> float -> unit
+(** [record ~stage ~items seconds] adds one span to [stage]'s aggregate.
+    [items] is the work processed (events, allocs); it feeds the
+    items-per-second column of the report. *)
+
+val time : stage:string -> ?items:int -> (unit -> 'a) -> 'a
+(** Run the thunk, recording its wall-clock span when enabled. *)
+
+val count : string -> int -> unit
+(** Add to a named counter (e.g. ["trace.bytes_read"]). *)
+
+type stage = { name : string; calls : int; seconds : float; items : int }
+
+val stages : unit -> stage list
+(** Aggregated stages, sorted by name. *)
+
+val counters : unit -> (string * int) list
+
+val reset : unit -> unit
+
+val pp_report : Format.formatter -> unit -> unit
+(** Human-readable table of stages (calls, seconds, items, items/s) and
+    counters.  Prints a placeholder line when nothing was recorded. *)

@@ -1,0 +1,272 @@
+let magic = "LPTB"
+let version = 1
+let end_marker = '\xE5'
+
+(* Compact opcode space (see binio.mli for the layout):
+   0x00/0x01 long allocs, 0x02 long free, 0x03 long touch,
+   0x04..0x3F alloc at small site id, 0x40..0x7F free with small delta,
+   0x80..0xFF touch with 3-bit zigzag delta and 4-bit count. *)
+let max_packed_site = 0x40 - 0x04
+
+let zigzag n = (n lsl 1) lxor (n asr 62)
+let unzigzag v = (v lsr 1) lxor (-(v land 1))
+
+(* -- encoding ------------------------------------------------------------------ *)
+
+let add_varint b n =
+  if n < 0 then invalid_arg "Binio.output: negative value in unsigned field";
+  let rec go n =
+    if n < 0x80 then Buffer.add_char b (Char.unsafe_chr n)
+    else begin
+      Buffer.add_char b (Char.unsafe_chr (0x80 lor (n land 0x7f)));
+      go (n lsr 7)
+    end
+  in
+  go n
+
+let add_zigzag b n = add_varint b (zigzag n)
+
+let add_string b s =
+  add_varint b (String.length s);
+  Buffer.add_string b s
+
+(* Events go to a side buffer first: encoding discovers the allocation-site
+   table, which must precede them in the stream. *)
+let encode_events (t : Trace.t) =
+  let b = Buffer.create 65536 in
+  let sites = Hashtbl.create 64 in
+  let site_defs = ref [] and n_sites = ref 0 in
+  let intern_site chain key tag =
+    let triple = (chain, key, tag) in
+    match Hashtbl.find_opt sites triple with
+    | Some id -> id
+    | None ->
+        let id = !n_sites in
+        incr n_sites;
+        Hashtbl.add sites triple id;
+        site_defs := triple :: !site_defs;
+        id
+  in
+  let prev_alloc = ref (-1) and prev_free = ref 0 and prev_touch = ref 0 in
+  Array.iter
+    (function
+      | Event.Alloc { obj; size; chain; key; tag } ->
+          let site = intern_site chain key tag in
+          if obj = !prev_alloc + 1 then
+            if site < max_packed_site then
+              Buffer.add_char b (Char.unsafe_chr (0x04 + site))
+            else begin
+              Buffer.add_char b '\x00';
+              add_varint b site
+            end
+          else begin
+            Buffer.add_char b '\x01';
+            add_varint b obj;
+            add_varint b site
+          end;
+          prev_alloc := obj;
+          add_varint b size
+      | Event.Free { obj } ->
+          let z = zigzag (obj - !prev_free) in
+          if z < 0x40 then Buffer.add_char b (Char.unsafe_chr (0x40 lor z))
+          else begin
+            Buffer.add_char b '\x02';
+            add_varint b z
+          end;
+          prev_free := obj
+      | Event.Touch { obj; count } ->
+          let z = zigzag (obj - !prev_touch) in
+          if z < 8 && count >= 1 && count <= 16 then
+            Buffer.add_char b
+              (Char.unsafe_chr (0x80 lor (z lsl 4) lor (count - 1)))
+          else begin
+            Buffer.add_char b '\x03';
+            add_varint b z;
+            add_varint b count
+          end;
+          prev_touch := obj)
+    t.events;
+  (Array.of_list (List.rev !site_defs), b)
+
+let to_buffer b (t : Trace.t) =
+  let site_defs, events = encode_events t in
+  Buffer.add_string b magic;
+  Buffer.add_char b (Char.chr version);
+  add_string b t.program;
+  add_string b t.input;
+  let names = Lp_callchain.Func.names t.funcs in
+  add_varint b (Array.length names);
+  Array.iter (add_string b) names;
+  add_varint b (Array.length t.chains);
+  Array.iter
+    (fun chain ->
+      add_varint b (Array.length chain);
+      Array.iter (add_varint b) chain)
+    t.chains;
+  add_varint b (Array.length t.tags);
+  Array.iter (add_string b) t.tags;
+  add_varint b (Array.length site_defs);
+  Array.iter
+    (fun (chain, key, tag) ->
+      add_varint b chain;
+      add_zigzag b key;
+      add_zigzag b tag)
+    site_defs;
+  add_varint b t.instructions;
+  add_varint b t.calls;
+  add_varint b t.heap_refs;
+  add_varint b t.total_refs;
+  add_varint b t.n_objects;
+  Array.iter (add_varint b) t.obj_refs;
+  add_varint b (Array.length t.events);
+  Buffer.add_buffer b events;
+  Buffer.add_char b end_marker
+
+let to_string t =
+  let b = Buffer.create 65536 in
+  to_buffer b t;
+  Buffer.contents b
+
+let output oc t =
+  let b = Buffer.create 65536 in
+  to_buffer b t;
+  Buffer.output_buffer oc b
+
+(* -- decoding ------------------------------------------------------------------ *)
+
+type cursor = { buf : string; name : string; mutable pos : int }
+
+let fail c msg =
+  failwith (Printf.sprintf "Binio.input: %s: byte %d: %s" c.name c.pos msg)
+
+let read_byte c =
+  if c.pos >= String.length c.buf then fail c "unexpected end of input";
+  let v = Char.code (String.unsafe_get c.buf c.pos) in
+  c.pos <- c.pos + 1;
+  v
+
+let read_varint c =
+  let rec go shift acc =
+    if shift > 62 then fail c "varint too long";
+    let byte = read_byte c in
+    let acc = acc lor ((byte land 0x7f) lsl shift) in
+    if byte land 0x80 = 0 then acc else go (shift + 7) acc
+  in
+  go 0 0
+
+let read_zigzag c = unzigzag (read_varint c)
+
+let read_string c =
+  let len = read_varint c in
+  if c.pos + len > String.length c.buf then fail c "truncated string";
+  let s = String.sub c.buf c.pos len in
+  c.pos <- c.pos + len;
+  s
+
+let read_array c read =
+  let n = read_varint c in
+  (* cap the initial allocation: each element consumes at least one byte *)
+  if n > String.length c.buf - c.pos then fail c "impossible element count";
+  Array.init n (fun _ -> read c)
+
+let of_string ?(name = "<trace>") s : Trace.t =
+  let c = { buf = s; name; pos = 0 } in
+  if String.length s < 5 || not (String.equal (String.sub s 0 4) magic) then
+    fail c "bad magic (not a binary trace)";
+  c.pos <- 4;
+  let v = read_byte c in
+  if v <> version then fail c (Printf.sprintf "unsupported version %d" v);
+  let program = read_string c in
+  let input = read_string c in
+  let funcs = Lp_callchain.Func.create_table () in
+  let n_funcs = read_varint c in
+  for expect = 0 to n_funcs - 1 do
+    let fname = read_string c in
+    if Lp_callchain.Func.intern funcs fname <> expect then
+      fail c (Printf.sprintf "duplicate function name %S" fname)
+  done;
+  let chains = read_array c (fun c -> read_array c read_varint) in
+  Array.iter
+    (Array.iter (fun f ->
+         if f >= n_funcs then fail c (Printf.sprintf "chain references unknown function %d" f)))
+    chains;
+  let tags = read_array c read_string in
+  let site_defs =
+    read_array c (fun c ->
+        let chain = read_varint c in
+        if chain >= Array.length chains then
+          fail c (Printf.sprintf "site references unknown chain %d" chain);
+        let key = read_zigzag c in
+        let tag = read_zigzag c in
+        if tag >= Array.length tags then
+          fail c (Printf.sprintf "site references unknown tag %d" tag);
+        (chain, key, tag))
+  in
+  let site what id =
+    if id < 0 || id >= Array.length site_defs then
+      fail c (Printf.sprintf "%s references unknown site %d" what id);
+    site_defs.(id)
+  in
+  let instructions = read_varint c in
+  let calls = read_varint c in
+  let heap_refs = read_varint c in
+  let total_refs = read_varint c in
+  let n_objects = read_varint c in
+  (* obj_refs is not length-prefixed: it has exactly n_objects entries *)
+  if n_objects > String.length c.buf - c.pos then fail c "impossible object count";
+  let obj_refs = Array.init n_objects (fun _ -> read_varint c) in
+  let check_obj what obj =
+    if obj < 0 || obj >= n_objects then
+      fail c (Printf.sprintf "%s of out-of-range object %d" what obj);
+    obj
+  in
+  let prev_alloc = ref (-1) and prev_free = ref 0 and prev_touch = ref 0 in
+  let alloc obj (chain, key, tag) =
+    let obj = check_obj "alloc" obj in
+    prev_alloc := obj;
+    let size = read_varint c in
+    Event.Alloc { obj; size; chain; key; tag }
+  in
+  let free delta =
+    let obj = check_obj "free" (!prev_free + delta) in
+    prev_free := obj;
+    Event.Free { obj }
+  in
+  let touch delta count =
+    let obj = check_obj "touch" (!prev_touch + delta) in
+    prev_touch := obj;
+    Event.Touch { obj; count }
+  in
+  let read_event c =
+    match read_byte c with
+    | 0x00 -> alloc (!prev_alloc + 1) (site "alloc" (read_varint c))
+    | 0x01 ->
+        let obj = read_varint c in
+        alloc obj (site "alloc" (read_varint c))
+    | 0x02 -> free (unzigzag (read_varint c))
+    | 0x03 ->
+        let delta = read_zigzag c in
+        touch delta (read_varint c)
+    | op when op < 0x40 -> alloc (!prev_alloc + 1) (site "alloc" (op - 0x04))
+    | op when op < 0x80 -> free (unzigzag (op land 0x3f))
+    | op -> touch (unzigzag ((op lsr 4) land 0x7)) ((op land 0xf) + 1)
+  in
+  let events = read_array c read_event in
+  if read_byte c <> Char.code end_marker then fail c "missing end marker";
+  if c.pos <> String.length s then fail c "trailing bytes after end marker";
+  {
+    Trace.program;
+    input;
+    events;
+    chains;
+    funcs;
+    n_objects;
+    instructions;
+    calls;
+    heap_refs;
+    total_refs;
+    obj_refs;
+    tags;
+  }
+
+let input ?name ic = of_string ?name (In_channel.input_all ic)

@@ -1,0 +1,51 @@
+(** Compact binary serialization of traces (the [.lpt] format).
+
+    Layout (all integers LEB128 varints; [zigzag] marks signed fields):
+
+    {v
+    "LPTB" <version=1>
+    program input                    -- length-prefixed strings
+    n-funcs  name ...                -- interned function table, id order
+    n-chains {len func-id ...} ...   -- interned call-chain table, id order
+    n-tags   name ...                -- interned type-tag table, id order
+    n-sites  {chain zigzag-key zigzag-tag} ...
+                                     -- interned allocation-site table
+    instructions calls heap-refs total-refs
+    n-objects obj-ref ...            -- final heap-reference count per object
+    n-events event ...
+    0xE5                             -- end marker
+    v}
+
+    An allocation's [(chain, key, tag)] triple almost always repeats (a
+    program has few allocation sites), so the triple is interned once in
+    the site table and each alloc event names a small site id.  Events
+    are opcode-tagged and delta-coded against the previous event of the
+    same kind; the frequent cases pack into the single opcode byte:
+
+    - [0x04+s] (s < 60): alloc at site [s], implicit
+      [obj = previous alloc's obj + 1]; then [size]
+    - [0x40+z] (z < 64): free where [z] is the zigzag of
+      [obj - previous freed obj]
+    - [0x80+(z << 4)+(count-1)] (z < 8, count <= 16): touch, [z] the
+      zigzag of [obj - previous touched obj]
+    - [0x00] alloc, implicit obj; then [site size]
+    - [0x01] alloc; then [obj site size]
+    - [0x02] free: [zigzag (obj - previous freed obj)]
+    - [0x03] touch: [zigzag (obj - previous touched obj)] [count]
+
+    Compared with {!Textio} this is typically >5x smaller and an order of
+    magnitude faster to load.  {!Io} auto-detects the two formats by the
+    magic bytes. *)
+
+val magic : string
+(** ["LPTB"], the first four bytes of every binary trace. *)
+
+val output : out_channel -> Trace.t -> unit
+val to_string : Trace.t -> string
+
+val input : ?name:string -> in_channel -> Trace.t
+(** @raise Failure on malformed input, with [name] (default ["<trace>"])
+    and the byte offset in the message. *)
+
+val of_string : ?name:string -> string -> Trace.t
+(** @raise Failure on malformed input. *)

@@ -1,0 +1,44 @@
+type format = Text | Binary
+
+let format_for_path path = if Filename.check_suffix path ".lpt" then Binary else Text
+
+let detect s =
+  if String.length s >= 4 && String.equal (String.sub s 0 4) Binio.magic then
+    Binary
+  else Text
+
+let of_string ?name s =
+  match detect s with
+  | Binary -> Binio.of_string ?name s
+  | Text -> Textio.of_string ?name s
+
+let input ?name ic = of_string ?name (In_channel.input_all ic)
+
+let read_file path =
+  let t0 = Lp_obs.Timings.now () in
+  let s = In_channel.with_open_bin path In_channel.input_all in
+  let t = of_string ~name:path s in
+  Lp_obs.Timings.record
+    ~stage:("load/" ^ Filename.basename path)
+    ~items:(Array.length t.Trace.events)
+    (Lp_obs.Timings.now () -. t0);
+  Lp_obs.Timings.count "trace.bytes_read" (String.length s);
+  Lp_obs.Timings.count "trace.events_read" (Array.length t.Trace.events);
+  t
+
+let to_string_for ~format t =
+  match format with Binary -> Binio.to_string t | Text -> Textio.to_string t
+
+let write_file ?format path t =
+  let format = match format with Some f -> f | None -> format_for_path path in
+  let t0 = Lp_obs.Timings.now () in
+  let s = to_string_for ~format t in
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc s);
+  Lp_obs.Timings.record
+    ~stage:("store/" ^ Filename.basename path)
+    ~items:(Array.length t.Trace.events)
+    (Lp_obs.Timings.now () -. t0);
+  Lp_obs.Timings.count "trace.bytes_written" (String.length s)
+
+let output ?(format = Text) oc t =
+  match format with Binary -> Binio.output oc t | Text -> Textio.output oc t

@@ -1,0 +1,32 @@
+(** Format-agnostic trace I/O.
+
+    Reading auto-detects the format from the first bytes ({!Binio.magic}
+    for [.lpt] binary traces, anything else is parsed as the legacy
+    {!Textio} line format), so binary and text traces interoperate
+    everywhere a trace file is accepted.  Writing picks the format from
+    the file extension ([.lpt] means binary) unless forced.
+
+    Loads and stores record their wall-clock span and event count with
+    {!Lp_obs.Timings} (stages ["load/<file>"] / ["store/<file>"], counters
+    ["trace.bytes_read"] / ["trace.bytes_written"]). *)
+
+type format = Text | Binary
+
+val format_for_path : string -> format
+(** [Binary] iff the path ends in [.lpt]. *)
+
+val of_string : ?name:string -> string -> Trace.t
+(** Auto-detecting parse.  @raise Failure on malformed input. *)
+
+val input : ?name:string -> in_channel -> Trace.t
+(** Reads the whole channel, then parses with auto-detection. *)
+
+val read_file : string -> Trace.t
+(** @raise Failure on malformed input, [Sys_error] if unreadable. *)
+
+val write_file : ?format:format -> string -> Trace.t -> unit
+(** Writes atomically enough for our purposes (single [open]/[write]);
+    format defaults to {!format_for_path}. *)
+
+val output : ?format:format -> out_channel -> Trace.t -> unit
+(** [format] defaults to [Text] (the historical behaviour on stdout). *)

@@ -1,7 +1,32 @@
+(* Names (program, function and tag names) are escaped so they can never
+   contain the separators of the line format: a raw space would split into
+   extra fields that the parser rejects — the writer used to emit exactly
+   that for names like "main loop".  The escaping is injective and ASCII:
+   '\\'->"\\\\", ' '->"\\s", '\n'->"\\n", '\t'->"\\t", '\r'->"\\r". *)
+let escape_name name =
+  let needs_escape = function ' ' | '\\' | '\n' | '\t' | '\r' -> true | _ -> false in
+  if not (String.exists needs_escape name) then name
+  else begin
+    let b = Buffer.create (String.length name + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '\\' -> Buffer.add_string b "\\\\"
+        | ' ' -> Buffer.add_string b "\\s"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\t' -> Buffer.add_string b "\\t"
+        | '\r' -> Buffer.add_string b "\\r"
+        | c -> Buffer.add_char b c)
+      name;
+    Buffer.contents b
+  end
+
 let write ~(line : string -> unit) (t : Trace.t) =
-  line (Printf.sprintf "trace %s %s" t.program t.input);
+  line (Printf.sprintf "trace %s %s" (escape_name t.program) t.input);
   let names = Lp_callchain.Func.names t.funcs in
-  Array.iteri (fun id name -> line (Printf.sprintf "func %d %s" id name)) names;
+  Array.iteri
+    (fun id name -> line (Printf.sprintf "func %d %s" id (escape_name name)))
+    names;
   Array.iteri
     (fun id chain ->
       let b = Buffer.create 64 in
@@ -9,7 +34,9 @@ let write ~(line : string -> unit) (t : Trace.t) =
       Array.iter (fun f -> Buffer.add_string b (Printf.sprintf " %d" f)) chain;
       line (Buffer.contents b))
     t.chains;
-  Array.iteri (fun id name -> line (Printf.sprintf "tag %d %s" id name)) t.tags;
+  Array.iteri
+    (fun id name -> line (Printf.sprintf "tag %d %s" id (escape_name name)))
+    t.tags;
   line
     (Printf.sprintf "counters %d %d %d %d" t.instructions t.calls t.heap_refs
        t.total_refs);
@@ -46,57 +73,105 @@ type parse_state = {
   mutable finished : bool;
 }
 
-let fail lineno msg = failwith (Printf.sprintf "Textio.input: line %d: %s" lineno msg)
+(* Parse errors carry the source (file name when known), the line, and for
+   numeric fields the field name, so a malformed trace points at itself
+   instead of dying with a bare [Failure "int_of_string"]. *)
+let fail ~name lineno msg =
+  failwith (Printf.sprintf "Textio.input: %s:%d: %s" name lineno msg)
 
-let parse_line st lineno line =
+let int_field ~name lineno ~field s =
+  match int_of_string_opt s with
+  | Some v -> v
+  | None ->
+      fail ~name lineno (Printf.sprintf "field %s: %S is not an integer" field s)
+
+let unescape_name ~name lineno s =
+  if not (String.contains s '\\') then s
+  else begin
+    let b = Buffer.create (String.length s) in
+    let n = String.length s in
+    let i = ref 0 in
+    while !i < n do
+      (match s.[!i] with
+      | '\\' ->
+          if !i + 1 >= n then
+            fail ~name lineno "dangling escape at end of name";
+          (match s.[!i + 1] with
+          | '\\' -> Buffer.add_char b '\\'
+          | 's' -> Buffer.add_char b ' '
+          | 'n' -> Buffer.add_char b '\n'
+          | 't' -> Buffer.add_char b '\t'
+          | 'r' -> Buffer.add_char b '\r'
+          | c -> fail ~name lineno (Printf.sprintf "unknown escape '\\%c' in name" c));
+          incr i
+      | c -> Buffer.add_char b c);
+      incr i
+    done;
+    Buffer.contents b
+  end
+
+(* Names written by the escaping writer are a single token; names with raw
+   spaces (written by the pre-escaping writer) arrive as several tokens and
+   are re-joined, so old files still load. *)
+let name_of_tokens ~name lineno tokens =
+  unescape_name ~name lineno (String.concat " " tokens)
+
+let parse_line ~name st lineno line =
+  let int = int_field ~name lineno in
   match String.split_on_char ' ' (String.trim line) with
   | [ "" ] -> ()
   | "trace" :: program :: rest ->
-      st.program <- program;
+      st.program <- unescape_name ~name lineno program;
       st.input_name <- String.concat " " rest
-  | [ "func"; id; name ] ->
-      st.func_names <- (int_of_string id, name) :: st.func_names
+  | "func" :: id :: rest ->
+      st.func_names <-
+        (int ~field:"func-id" id, name_of_tokens ~name lineno rest)
+        :: st.func_names
   | "chain" :: id :: funcs ->
-      let chain = Array.of_list (List.map int_of_string funcs) in
-      st.chains <- (int_of_string id, chain) :: st.chains
-  | [ "tag"; id; name ] -> st.tag_names <- (int_of_string id, name) :: st.tag_names
+      let chain = Array.of_list (List.map (int ~field:"chain-func") funcs) in
+      st.chains <- (int ~field:"chain-id" id, chain) :: st.chains
+  | "tag" :: id :: rest ->
+      st.tag_names <-
+        (int ~field:"tag-id" id, name_of_tokens ~name lineno rest) :: st.tag_names
   | [ "counters"; i; c; h; t ] ->
-      st.instructions <- int_of_string i;
-      st.calls <- int_of_string c;
-      st.heap_refs <- int_of_string h;
-      st.total_refs <- int_of_string t
+      st.instructions <- int ~field:"instructions" i;
+      st.calls <- int ~field:"calls" c;
+      st.heap_refs <- int ~field:"heap-refs" h;
+      st.total_refs <- int ~field:"total-refs" t
   | [ "a"; obj; size; chain; key; tag; refs ] ->
-      let obj = int_of_string obj in
+      let obj = int ~field:"obj" obj in
       st.events <-
         Event.Alloc
-          { obj; size = int_of_string size; chain = int_of_string chain;
-            key = int_of_string key; tag = int_of_string tag }
+          { obj; size = int ~field:"size" size; chain = int ~field:"chain" chain;
+            key = int ~field:"key" key; tag = int ~field:"tag" tag }
         :: st.events;
-      st.obj_refs <- (obj, int_of_string refs) :: st.obj_refs;
+      st.obj_refs <- (obj, int ~field:"refs" refs) :: st.obj_refs;
       if obj >= st.n_objects then st.n_objects <- obj + 1
-  | [ "f"; obj ] -> st.events <- Event.Free { obj = int_of_string obj } :: st.events
+  | [ "f"; obj ] ->
+      st.events <- Event.Free { obj = int ~field:"obj" obj } :: st.events
   | [ "r"; obj; count ] ->
       st.events <-
-        Event.Touch { obj = int_of_string obj; count = int_of_string count }
+        Event.Touch { obj = int ~field:"obj" obj; count = int ~field:"count" count }
         :: st.events
   | [ "end" ] -> st.finished <- true
-  | _ -> fail lineno (Printf.sprintf "unrecognised line %S" line)
+  | _ -> fail ~name lineno (Printf.sprintf "unrecognised line %S" line)
 
-let finish st : Trace.t =
-  if not st.finished then failwith "Textio.input: missing 'end' line";
+let finish ~name st : Trace.t =
+  let fail msg = failwith (Printf.sprintf "Textio.input: %s: %s" name msg) in
+  if not st.finished then fail "missing 'end' line";
   (* Re-intern functions in id order so interned ids match the file's. *)
   let func_names = List.sort compare (List.rev st.func_names) in
   List.iteri
-    (fun expect (id, name) ->
-      if id <> expect then failwith "Textio.input: non-dense function ids";
-      let interned = Lp_callchain.Func.intern st.funcs name in
-      if interned <> id then failwith "Textio.input: duplicate function name")
+    (fun expect (id, fname) ->
+      if id <> expect then fail "non-dense function ids";
+      let interned = Lp_callchain.Func.intern st.funcs fname in
+      if interned <> id then fail "duplicate function name")
     func_names;
   let chains = List.sort compare (List.rev st.chains) in
   let chain_arr = Array.make (List.length chains) [||] in
   List.iteri
     (fun expect (id, chain) ->
-      if id <> expect then failwith "Textio.input: non-dense chain ids";
+      if id <> expect then fail "non-dense chain ids";
       chain_arr.(expect) <- chain)
     chains;
   let obj_refs = Array.make st.n_objects 0 in
@@ -104,14 +179,36 @@ let finish st : Trace.t =
   let tag_list = List.sort compare (List.rev st.tag_names) in
   let tags = Array.make (List.length tag_list) "" in
   List.iteri
-    (fun expect (id, name) ->
-      if id <> expect then failwith "Textio.input: non-dense tag ids";
-      tags.(expect) <- name)
+    (fun expect (id, tname) ->
+      if id <> expect then fail "non-dense tag ids";
+      tags.(expect) <- tname)
     tag_list;
+  let events = Array.of_list (List.rev st.events) in
+  Array.iteri
+    (fun i ev ->
+      let check_obj what obj =
+        if obj < 0 || obj >= st.n_objects then
+          fail
+            (Printf.sprintf "event %d: %s of out-of-range object %d" i what obj)
+      in
+      match (ev : Event.t) with
+      | Alloc { obj; chain; tag; _ } ->
+          check_obj "alloc" obj;
+          if chain < 0 || chain >= Array.length chain_arr then
+            fail
+              (Printf.sprintf "event %d: alloc references unknown chain %d" i
+                 chain);
+          (* negative tag means untagged; non-negative must be in the table *)
+          if tag >= Array.length tags then
+            fail
+              (Printf.sprintf "event %d: alloc references unknown tag %d" i tag)
+      | Free { obj } -> check_obj "free" obj
+      | Touch { obj; _ } -> check_obj "touch" obj)
+    events;
   {
     program = st.program;
     input = st.input_name;
-    events = Array.of_list (List.rev st.events);
+    events;
     chains = chain_arr;
     funcs = st.funcs;
     n_objects = st.n_objects;
@@ -141,16 +238,16 @@ let fresh_state () =
     finished = false;
   }
 
-let input ic =
+let input ?(name = "<trace>") ic =
   let st = fresh_state () in
   let lineno = ref 0 in
   (try
      while not st.finished do
        incr lineno;
-       parse_line st !lineno (input_line ic)
+       parse_line ~name st !lineno (input_line ic)
      done
    with End_of_file -> ());
-  finish st
+  finish ~name st
 
 let to_string t =
   let buf = Buffer.create 65536 in
@@ -159,8 +256,10 @@ let to_string t =
       Buffer.add_char buf '\n');
   Buffer.contents buf
 
-let of_string s =
+let of_string ?(name = "<trace>") s =
   let st = fresh_state () in
   let lines = String.split_on_char '\n' s in
-  List.iteri (fun i line -> if not st.finished then parse_line st (i + 1) line) lines;
-  finish st
+  List.iteri
+    (fun i line -> if not st.finished then parse_line ~name st (i + 1) line)
+    lines;
+  finish ~name st

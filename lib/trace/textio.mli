@@ -7,21 +7,34 @@
     trace <program> <input>
     func <id> <name>
     chain <id> <func-id> <func-id> ...
+    tag <id> <name>
     counters <instructions> <calls> <heap-refs> <total-refs>
-    a <obj> <size> <chain-id> <key> [<refs>]
+    a <obj> <size> <chain-id> <key> <tag> <refs>
     f <obj>
+    r <obj> <count>
     end
     v}
 
     Allocation lines carry the object's final heap-reference count so a
-    round-tripped trace preserves the locality statistics. *)
+    round-tripped trace preserves the locality statistics.
+
+    Program, function and tag names are escaped on output so that spaces,
+    tabs, newlines and backslashes survive the space-separated format:
+    ['\\']->["\\\\"], [' ']->["\\s"], ['\n']->["\\n"], ['\t']->["\\t"],
+    ['\r']->["\\r"].  The parser also accepts multi-token (unescaped)
+    names written by older versions, re-joined with single spaces.
+
+    For bulk storage prefer the binary format ({!Binio}); {!Io} reads
+    either transparently. *)
 
 val output : out_channel -> Trace.t -> unit
 
-val input : in_channel -> Trace.t
-(** @raise Failure on malformed input, with a line number in the message. *)
+val input : ?name:string -> in_channel -> Trace.t
+(** @raise Failure on malformed input.  The message carries [name]
+    (default ["<trace>"], pass the file path when known), the line
+    number, and for numeric fields the field name. *)
 
 val to_string : Trace.t -> string
 
-val of_string : string -> Trace.t
-(** @raise Failure on malformed input. *)
+val of_string : ?name:string -> string -> Trace.t
+(** @raise Failure on malformed input, as for {!input}. *)

@@ -257,6 +257,66 @@ let driver_arena_predict_none_equals_first_fit () =
   Alcotest.(check int) "heap = first-fit + arena area"
     (ff.Lp_allocsim.Metrics.max_heap + 65536) ar.Lp_allocsim.Metrics.max_heap
 
+(* Malformed traces (a free of a never-allocated object, a double free)
+   must fail naming the object and the event index, not crash with an
+   unrelated error deep inside the allocator. *)
+let hand_trace events n_objects : Lp_trace.Trace.t =
+  {
+    program = "bad";
+    input = "bad";
+    events = Array.of_list events;
+    chains = [| [||] |];
+    funcs = Lp_callchain.Func.create_table ();
+    n_objects;
+    instructions = 0;
+    calls = 0;
+    heap_refs = 0;
+    total_refs = 0;
+    obj_refs = Array.make n_objects 0;
+    tags = [||];
+  }
+
+let check_driver_rejects name trace algo ~substrings =
+  match Lp_allocsim.Driver.run trace algo with
+  | _ -> Alcotest.failf "%s: expected Failure" name
+  | exception Failure msg ->
+      List.iter
+        (fun sub ->
+          let contains =
+            let n = String.length msg and m = String.length sub in
+            let rec go i = i + m <= n && (String.sub msg i m = sub || go (i + 1)) in
+            go 0
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: %S in %S" name sub msg)
+            true contains)
+        substrings
+
+let driver_rejects_bad_frees () =
+  let alloc obj = Lp_trace.Event.Alloc { obj; size = 16; chain = 0; key = 0; tag = -1 } in
+  let free obj = Lp_trace.Event.Free { obj } in
+  let never_allocated = hand_trace [ free 0 ] 1 in
+  let double_free = hand_trace [ alloc 0; free 0; free 0 ] 1 in
+  let out_of_range = hand_trace [ free 7 ] 1 in
+  List.iter
+    (fun algo ->
+      check_driver_rejects "free of never-allocated" never_allocated algo
+        ~substrings:[ "object 0"; "event 0" ];
+      check_driver_rejects "double free" double_free algo
+        ~substrings:[ "object 0"; "event 2" ];
+      check_driver_rejects "free out of range" out_of_range algo
+        ~substrings:[ "object 7"; "event 0" ])
+    [
+      Lp_allocsim.Driver.First_fit;
+      Lp_allocsim.Driver.Bsd;
+      Lp_allocsim.Driver.Arena
+        {
+          config = Arena.default_config;
+          predicted = (fun ~obj:_ ~size:_ ~chain:_ ~key:_ -> true);
+          predict_cost = 18;
+        };
+    ]
+
 let suites =
   [
     ( "first-fit",
@@ -293,5 +353,7 @@ let suites =
         Alcotest.test_case "arena predict-all" `Quick driver_arena_predict_all;
         Alcotest.test_case "predict-none degenerates to first-fit" `Quick
           driver_arena_predict_none_equals_first_fit;
+        Alcotest.test_case "rejects bad frees with context" `Quick
+          driver_rejects_bad_frees;
       ] );
   ]

@@ -201,8 +201,89 @@ let fraction_selection_trades_error () =
   Alcotest.(check bool) "lax: more coverage" true (el.correct_bytes > es.correct_bytes);
   Alcotest.(check bool) "lax: pays with error" true (el.error_bytes > 0)
 
+(* -- domain pool and observability ---------------------------------------------- *)
+
+let parallel_map_matches_sequential () =
+  let xs = List.init 37 Fun.id in
+  Alcotest.(check (list int)) "squares" (List.map (fun x -> x * x) xs)
+    (Lifetime.Parallel.map ~domains:4 (fun x -> x * x) xs);
+  Alcotest.(check (list int)) "empty" [] (Lifetime.Parallel.map ~domains:4 Fun.id []);
+  (* nested maps degrade to sequential instead of spawning domains *)
+  Alcotest.(check (list (list int))) "nested"
+    [ [ 0; 1 ]; [ 0; 1 ] ]
+    (Lifetime.Parallel.map ~domains:2
+       (fun _ -> Lifetime.Parallel.map ~domains:2 Fun.id [ 0; 1 ])
+       [ 0; 1 ])
+
+let parallel_map_propagates_exceptions () =
+  match
+    Lifetime.Parallel.map ~domains:3
+      (fun x -> if x = 5 then failwith "job 5 blew up" else x)
+      (List.init 8 Fun.id)
+  with
+  | _ -> Alcotest.fail "expected Failure"
+  | exception Failure msg -> Alcotest.(check string) "message" "job 5 blew up" msg
+
+let metrics_equal (a : Lp_allocsim.Metrics.t) (b : Lp_allocsim.Metrics.t) = a = b
+
+let parallel_simulation_matches_sequential () =
+  let trace = synthetic ~input:"a" () in
+  let table = Lifetime.Train.collect ~config trace in
+  let p = Lifetime.Predictor.build ~config ~funcs:trace.funcs table in
+  let sim_seq =
+    Lifetime.Parallel.with_domains 1 (fun () ->
+        Lifetime.Simulate.run ~config ~predictor:p ~test:trace)
+  in
+  let sim_par =
+    Lifetime.Parallel.with_domains 4 (fun () ->
+        Lifetime.Simulate.run ~config ~predictor:p ~test:trace)
+  in
+  Alcotest.(check bool) "first-fit identical" true
+    (metrics_equal sim_seq.first_fit sim_par.first_fit);
+  Alcotest.(check bool) "bsd identical" true (metrics_equal sim_seq.bsd sim_par.bsd);
+  Alcotest.(check bool) "arena len4 identical" true
+    (metrics_equal sim_seq.arena.len4 sim_par.arena.len4);
+  Alcotest.(check bool) "arena cce identical" true
+    (metrics_equal sim_seq.arena.cce sim_par.arena.cce)
+
+let timings_record_replay_stages () =
+  Lp_obs.Timings.reset ();
+  Lp_obs.Timings.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Lp_obs.Timings.set_enabled false;
+      Lp_obs.Timings.reset ())
+    (fun () ->
+      let trace = synthetic ~input:"a" () in
+      let table = Lifetime.Train.collect ~config trace in
+      let p = Lifetime.Predictor.build ~config ~funcs:trace.funcs table in
+      let _ = Lifetime.Simulate.run ~config ~predictor:p ~test:trace in
+      let stages = Lp_obs.Timings.stages () in
+      let find name =
+        match List.find_opt (fun s -> s.Lp_obs.Timings.name = name) stages with
+        | Some s -> s
+        | None -> Alcotest.failf "missing stage %s" name
+      in
+      let events = Array.length trace.Lp_trace.Trace.events in
+      Alcotest.(check int) "first-fit replay counted once" 1
+        (find "replay/first-fit").calls;
+      Alcotest.(check int) "bsd items = events" events (find "replay/bsd").items;
+      (* the two arena pricings aggregate under one stage *)
+      Alcotest.(check int) "two arena replays" 2 (find "replay/arena").calls)
+
 let suites =
   [
+    ( "parallel",
+      [
+        Alcotest.test_case "map matches sequential" `Quick
+          parallel_map_matches_sequential;
+        Alcotest.test_case "map propagates exceptions" `Quick
+          parallel_map_propagates_exceptions;
+        Alcotest.test_case "parallel simulation = sequential" `Quick
+          parallel_simulation_matches_sequential;
+        Alcotest.test_case "timings record replay stages" `Quick
+          timings_record_replay_stages;
+      ] );
     ( "lifetime",
       [
         Alcotest.test_case "training finds sites" `Quick train_finds_sites;

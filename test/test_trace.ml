@@ -99,6 +99,216 @@ let textio_rejects_garbage () =
   | exception Failure _ -> ()
   | _ -> Alcotest.fail "expected missing-end Failure"
 
+(* -- codecs: text escaping, binary round-trips, error context ------------------ *)
+
+let check_trace_equal ?(msg = "") (a : T.t) (b : T.t) =
+  let c what = msg ^ what in
+  Alcotest.(check string) (c "program") a.program b.program;
+  Alcotest.(check string) (c "input") a.input b.input;
+  Alcotest.(check int) (c "events") (Array.length a.events) (Array.length b.events);
+  Array.iteri
+    (fun i ea ->
+      if ea <> b.events.(i) then
+        Alcotest.failf "%sevent %d differs: %a vs %a" msg i Lp_trace.Event.pp ea
+          Lp_trace.Event.pp b.events.(i))
+    a.events;
+  Alcotest.(check (array (array int))) (c "chains") a.chains b.chains;
+  Alcotest.(check (array string)) (c "funcs")
+    (Lp_callchain.Func.names a.funcs)
+    (Lp_callchain.Func.names b.funcs);
+  Alcotest.(check (array string)) (c "tags") a.tags b.tags;
+  Alcotest.(check int) (c "n_objects") a.n_objects b.n_objects;
+  Alcotest.(check (array int)) (c "obj_refs") a.obj_refs b.obj_refs;
+  Alcotest.(check int) (c "instructions") a.instructions b.instructions;
+  Alcotest.(check int) (c "calls") a.calls b.calls;
+  Alcotest.(check int) (c "heap refs") a.heap_refs b.heap_refs;
+  Alcotest.(check int) (c "total refs") a.total_refs b.total_refs
+
+(* names a space-separated line format chokes on unless escaped *)
+let adversarial_trace () =
+  let funcs = Lp_callchain.Func.create_table () in
+  let f1 = Lp_callchain.Func.intern funcs "main entry point" in
+  let f2 = Lp_callchain.Func.intern funcs "weird\\name\twith  spaces" in
+  let f3 = Lp_callchain.Func.intern funcs " leading and trailing " in
+  let b = T.Builder.create ~program:"prog with space" ~input:"input one" ~funcs in
+  let chain = T.Builder.intern_chain b [| f2; f1 |] in
+  let chain' = T.Builder.intern_chain b [| f3 |] in
+  let tag = T.Builder.intern_tag b "tag with space" in
+  let o1 = T.Builder.alloc b ~tag ~size:16 ~chain ~key:123 () in
+  let o2 = T.Builder.alloc b ~size:40 ~chain:chain' ~key:(-7) () in
+  T.Builder.touch b ~obj:o1 3;
+  T.Builder.free b ~obj:o1;
+  T.Builder.free b ~obj:o2;
+  T.Builder.finish b
+
+let empty_trace () =
+  let funcs = Lp_callchain.Func.create_table () in
+  T.Builder.finish (T.Builder.create ~program:"empty" ~input:"none" ~funcs)
+
+let textio_escapes_names () =
+  let trace = adversarial_trace () in
+  let s = Lp_trace.Textio.to_string trace in
+  let trace' = Lp_trace.Textio.of_string s in
+  check_trace_equal ~msg:"text " trace trace';
+  (* escaped output must re-parse to the same text *)
+  Alcotest.(check string) "fixed point" s (Lp_trace.Textio.to_string trace')
+
+let binio_roundtrip () =
+  List.iter
+    (fun make ->
+      let trace = make () in
+      let s = Lp_trace.Binio.to_string trace in
+      let trace' = Lp_trace.Binio.of_string s in
+      check_trace_equal ~msg:"binary " trace trace';
+      Alcotest.(check string) "binary fixed point" s
+        (Lp_trace.Binio.to_string trace'))
+    [ tiny_trace; adversarial_trace; empty_trace ]
+
+let binio_smaller_than_text () =
+  let trace = tiny_trace () in
+  Alcotest.(check bool) "binary smaller" true
+    (String.length (Lp_trace.Binio.to_string trace)
+    < String.length (Lp_trace.Textio.to_string trace))
+
+let io_autodetects () =
+  let trace = adversarial_trace () in
+  let from_text = Lp_trace.Io.of_string (Lp_trace.Textio.to_string trace) in
+  let from_bin = Lp_trace.Io.of_string (Lp_trace.Binio.to_string trace) in
+  check_trace_equal ~msg:"io/text " trace from_text;
+  check_trace_equal ~msg:"io/binary " trace from_bin
+
+let expect_failure name ~substrings f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected Failure" name
+  | exception Failure msg ->
+      List.iter
+        (fun sub ->
+          let contains =
+            let n = String.length msg and m = String.length sub in
+            let rec go i = i + m <= n && (String.sub msg i m = sub || go (i + 1)) in
+            go 0
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: %S in %S" name sub msg)
+            true contains)
+        substrings
+
+let textio_reports_bad_ints () =
+  (* a bare Failure "int_of_string" told you nothing; the error must name
+     the source, the line and the field *)
+  expect_failure "bad counters field"
+    ~substrings:[ "t.trace"; ":2:"; "heap-refs"; "\"x\"" ] (fun () ->
+      Lp_trace.Textio.of_string ~name:"t.trace" "trace p i\ncounters 1 2 x 4\nend\n");
+  expect_failure "bad alloc size" ~substrings:[ ":2:"; "size" ] (fun () ->
+      Lp_trace.Textio.of_string "trace p i\na 0 huge 0 0 -1 0\nend\n");
+  expect_failure "bad free obj" ~substrings:[ ":1:"; "obj" ] (fun () ->
+      Lp_trace.Textio.of_string "f nope\nend\n")
+
+let textio_rejects_dangling_refs () =
+  (* events must reference objects/chains/tags that exist, like Binio *)
+  let base = "trace t i\nfunc 0 main\nchain 0 0\n" in
+  expect_failure "free of never-allocated object"
+    ~substrings:[ "event 1"; "free"; "object 1" ] (fun () ->
+      Lp_trace.Textio.of_string (base ^ "a 0 16 0 5 -1 1\nf 1\nend\n"));
+  expect_failure "touch of never-allocated object"
+    ~substrings:[ "event 1"; "touch"; "object 3" ] (fun () ->
+      Lp_trace.Textio.of_string (base ^ "a 0 16 0 5 -1 1\nr 3 2\nend\n"));
+  expect_failure "unknown chain" ~substrings:[ "event 0"; "chain 9" ] (fun () ->
+      Lp_trace.Textio.of_string (base ^ "a 0 16 9 5 -1 1\nend\n"));
+  expect_failure "unknown tag" ~substrings:[ "event 0"; "tag 0" ] (fun () ->
+      Lp_trace.Textio.of_string (base ^ "a 0 16 0 5 0 1\nend\n"));
+  (* untagged allocations use tag -1 and are fine *)
+  let t = Lp_trace.Textio.of_string (base ^ "a 0 16 0 5 -1 1\nf 0\nend\n") in
+  Alcotest.(check int) "n_objects" 1 t.n_objects
+
+let binio_rejects_corruption () =
+  let s = Lp_trace.Binio.to_string (adversarial_trace ()) in
+  expect_failure "truncated" ~substrings:[ "Binio.input" ] (fun () ->
+      Lp_trace.Binio.of_string (String.sub s 0 (String.length s - 2)));
+  expect_failure "trailing garbage" ~substrings:[ "trailing" ] (fun () ->
+      Lp_trace.Binio.of_string (s ^ "x"));
+  let bad_version = Bytes.of_string s in
+  Bytes.set bad_version 4 '\xFF';
+  expect_failure "bad version" ~substrings:[ "version" ] (fun () ->
+      Lp_trace.Binio.of_string (Bytes.to_string bad_version))
+
+(* -- qcheck: random traces round-trip through both codecs ----------------------- *)
+
+let gen_name =
+  QCheck.Gen.(
+    string_size ~gen:(oneofl [ 'a'; 'b'; 'z'; ' '; '\\'; '\t'; 's'; 'n' ])
+      (int_range 1 10))
+
+let gen_trace =
+  QCheck.Gen.(
+    let* n_funcs = int_range 1 4 in
+    let* raw_names = list_repeat n_funcs gen_name in
+    let* program = gen_name in
+    let* tag_name = gen_name in
+    let* ops = list_size (int_range 0 80) (pair (int_range 0 9) (int_range 1 200)) in
+    return
+      (let funcs = Lp_callchain.Func.create_table () in
+       (* suffix to keep names distinct even when the generator repeats *)
+       let ids =
+         List.mapi
+           (fun i n -> Lp_callchain.Func.intern funcs (Printf.sprintf "%s#%d" n i))
+           raw_names
+       in
+       let b = T.Builder.create ~program ~input:"qcheck input" ~funcs in
+       let tag = T.Builder.intern_tag b tag_name in
+       let chain =
+         T.Builder.intern_chain b (Array.of_list ids)
+       in
+       let live = ref [] in
+       List.iter
+         (fun (op, size) ->
+           match op with
+           | 0 | 1 | 2 | 3 ->
+               let tag = if op = 0 then tag else -1 in
+               let obj = T.Builder.alloc b ~tag ~size ~chain ~key:(size * 7) () in
+               live := obj :: !live
+           | 4 | 5 | 6 -> (
+               match !live with
+               | obj :: rest ->
+                   T.Builder.free b ~obj;
+                   live := rest
+               | [] -> ())
+           | _ -> (
+               match !live with
+               | obj :: _ -> T.Builder.touch b ~obj (1 + (size mod 5))
+               | [] -> ()))
+         ops;
+       T.Builder.finish b))
+
+let arb_trace =
+  QCheck.make gen_trace ~print:(fun t ->
+      Printf.sprintf "trace %s: %d events, %d objects" t.T.program
+        (Array.length t.events) t.n_objects)
+
+let events_equal (a : T.t) (b : T.t) =
+  a.program = b.program && a.input = b.input && a.events = b.events
+  && a.chains = b.chains
+  && Lp_callchain.Func.names a.funcs = Lp_callchain.Func.names b.funcs
+  && a.tags = b.tags && a.n_objects = b.n_objects && a.obj_refs = b.obj_refs
+  && a.instructions = b.instructions && a.calls = b.calls
+  && a.heap_refs = b.heap_refs && a.total_refs = b.total_refs
+
+let text_roundtrip_prop =
+  QCheck.Test.make ~name:"textio round-trips adversarial random traces" ~count:80
+    arb_trace (fun t ->
+      events_equal t (Lp_trace.Textio.of_string (Lp_trace.Textio.to_string t)))
+
+let binio_roundtrip_prop =
+  QCheck.Test.make ~name:"binio round-trips adversarial random traces" ~count:80
+    arb_trace (fun t ->
+      events_equal t (Lp_trace.Binio.of_string (Lp_trace.Binio.to_string t)))
+
+let io_detect_prop =
+  QCheck.Test.make ~name:"io auto-detection picks the right codec" ~count:40
+    arb_trace (fun t ->
+      events_equal t (Lp_trace.Io.of_string (Lp_trace.Textio.to_string t))
+      && events_equal t (Lp_trace.Io.of_string (Lp_trace.Binio.to_string t)))
+
 (* -- runtime safety ------------------------------------------------------------ *)
 
 let double_free () =
@@ -154,6 +364,21 @@ let suites =
         Alcotest.test_case "chains recorded" `Quick chains_recorded;
         Alcotest.test_case "textio round-trip" `Quick textio_roundtrip;
         Alcotest.test_case "textio rejects garbage" `Quick textio_rejects_garbage;
+      ] );
+    ( "trace-codecs",
+      [
+        Alcotest.test_case "textio escapes names" `Quick textio_escapes_names;
+        Alcotest.test_case "binio round-trip" `Quick binio_roundtrip;
+        Alcotest.test_case "binio smaller than text" `Quick binio_smaller_than_text;
+        Alcotest.test_case "io auto-detects format" `Quick io_autodetects;
+        Alcotest.test_case "textio reports file/line/field" `Quick
+          textio_reports_bad_ints;
+        Alcotest.test_case "textio rejects dangling references" `Quick
+          textio_rejects_dangling_refs;
+        Alcotest.test_case "binio rejects corruption" `Quick binio_rejects_corruption;
+        QCheck_alcotest.to_alcotest text_roundtrip_prop;
+        QCheck_alcotest.to_alcotest binio_roundtrip_prop;
+        QCheck_alcotest.to_alcotest io_detect_prop;
       ] );
     ( "ialloc",
       [
