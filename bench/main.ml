@@ -26,7 +26,7 @@ let ablations : (string * (?scale:float -> unit -> string)) list =
     ("locality", Tables.locality_experiment);
     ("generational", Tables.generational_experiment);
     ("types", Tables.type_experiment);
-    ("allocators", Tables.allocator_ablation);
+    ("allocators", fun ?scale () -> Tables.allocator_ablation ?scale ());
   ]
 
 (* -- Bechamel micro-benchmarks: the allocator fast paths whose costs the
@@ -51,6 +51,13 @@ let micro_tests () =
              Array.init 64 (fun i -> Lp_allocsim.Bsd.alloc b (16 + (i mod 7 * 8)))
            in
            Array.iter (Lp_allocsim.Bsd.free b) addrs));
+    Test.make ~name:"ablation.segfit_alloc_free"
+      (Staged.stage (fun () ->
+           let s = Lp_allocsim.Segfit.create () in
+           let addrs =
+             Array.init 64 (fun i -> Lp_allocsim.Segfit.alloc s (16 + (i mod 7 * 8)))
+           in
+           Array.iter (Lp_allocsim.Segfit.free s) addrs));
     Test.make ~name:"table7.arena_bump_alloc"
       (Staged.stage
          (let a = Lp_allocsim.Arena.create () in

@@ -621,31 +621,38 @@ let type_experiment ?scale () =
       ]
     ()
 
-let allocator_ablation ?scale () =
-  let rows = E.allocator_policies ?scale () in
+let allocator_ablation ?scale ?allocators () =
+  let rows = E.allocator_policies ?scale ?allocators () in
+  (* one heap + one cost column per registry backend the ablation ran;
+     every row carries the same cells in the same order *)
+  let names =
+    match rows with [] -> [] | r :: _ -> List.map fst r.E.cells
+  in
   T.render
     ~title:
-      "Ablation: first fit vs best fit (the paper chose first fit as baseline \
-       for its 'relatively good memory utilization')"
+      "Ablation: allocation policies side by side (the paper chose first fit \
+       as baseline for its 'relatively good memory utilization'); every \
+       non-predicting registry backend gets a column"
     ~columns:
-      [
-        ("Program", T.Left);
-        ("FF heap KB", T.Right);
-        ("BF heap KB", T.Right);
-        ("FF a+f", T.Right);
-        ("BF a+f", T.Right);
-      ]
+      (("Program", T.Left)
+      :: List.concat_map
+           (fun n -> [ (n ^ " KB", T.Right); (n ^ " a+f", T.Right) ])
+           names)
     ~rows:
       (List.map
          (fun (r : E.allocator_row) ->
-           [
-             r.program;
-             string_of_int (r.ff_heap / 1024);
-             string_of_int (r.bf_heap / 1024);
-             Printf.sprintf "%.0f" r.ff_cost;
-             Printf.sprintf "%.0f" r.bf_cost;
-           ])
+           r.program
+           :: List.concat_map
+                (fun (_, (c : E.allocator_cell)) ->
+                  [
+                    string_of_int (c.heap / 1024); Printf.sprintf "%.0f" c.cost;
+                  ])
+                r.E.cells)
          rows)
     ~notes:
-      [ "Best fit packs no tighter here but pays a whole-list scan per alloc." ]
+      [
+        "Best fit packs no tighter here but pays a whole-list scan per alloc;";
+        "BSD buckets and segregated fit trade internal fragmentation for";
+        "near-constant-time operations.";
+      ]
     ()

@@ -105,14 +105,28 @@ let trace_cmd =
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE" ~doc:"Trace file.")
 
+let json_arg =
+  let doc = "Emit machine-readable JSON instead of the human-readable report." in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
 let stats_cmd =
-  let run path timings =
+  let run path json timings =
     with_timings timings (fun () ->
         let trace = read_trace path in
-        Format.printf "%a@." Lp_trace.Stats.pp (Lp_trace.Stats.compute trace))
+        let s = Lp_trace.Stats.compute trace in
+        if json then
+          Printf.printf
+            "{\"program\":%S,\"input\":%S,\"instructions\":%d,\"calls\":%d,\
+             \"total_bytes\":%d,\"total_objects\":%d,\"max_bytes\":%d,\
+             \"max_objects\":%d,\"heap_ref_pct\":%.6g,\"distinct_chains\":%d,\
+             \"mean_object_size\":%.6g}\n"
+            s.program s.input s.instructions s.calls s.total_bytes
+            s.total_objects s.max_bytes s.max_objects s.heap_ref_pct
+            s.distinct_chains s.mean_object_size
+        else Format.printf "%a@." Lp_trace.Stats.pp s)
   in
   Cmd.v (Cmd.info "stats" ~doc:"Execution statistics of a trace (cf. Table 2)")
-    Term.(const run $ file_arg $ timings_arg)
+    Term.(const run $ file_arg $ json_arg $ timings_arg)
 
 let lifetimes_cmd =
   let run path threshold timings =
@@ -207,25 +221,64 @@ let simulate_cmd =
              the machine; 1 forces the sequential order; the LPALLOC_DOMAINS \
              environment variable sets the same knob globally).")
   in
-  let run train_path test_path threshold domains timings =
+  let allocators =
+    let doc =
+      "Comma-separated allocator backends to replay, by registry name or \
+       alias: $(b,first-fit)/$(b,ff), $(b,best-fit)/$(b,bf), $(b,bsd), \
+       $(b,segfit)/$(b,seg), $(b,arena).  A predicting backend (arena) \
+       reports both prediction pricings, as $(i,name) and $(i,name)-cce."
+    in
+    Arg.(
+      value
+      & opt (some (list string)) None
+      & info [ "allocators" ] ~docv:"NAMES" ~doc)
+  in
+  let run train_path test_path threshold allocators json domains timings =
     with_timings timings @@ fun () ->
     (match domains with Some n -> Lifetime.Parallel.set_domains n | None -> ());
+    (match allocators with
+    | None -> ()
+    | Some names ->
+        List.iter
+          (fun n ->
+            if not (Lp_allocsim.Registry.mem n) then begin
+              Printf.eprintf "unknown allocator %S (known: %s)\n" n
+                (String.concat ", " (Lp_allocsim.Registry.names ()));
+              exit 2
+            end)
+          names);
     let train = read_trace train_path in
     let test = read_trace test_path in
     let config = { Lifetime.Config.default with short_lived_threshold = threshold } in
     let table = Lifetime.Train.collect ~config train in
     let predictor = Lifetime.Predictor.build ~config ~funcs:train.funcs table in
-    let sim = Lifetime.Simulate.run ~config ~predictor ~test in
-    Format.printf "%a@.@.%a@.@.%a@.@.%a@." Lp_allocsim.Metrics.pp sim.first_fit
-      Lp_allocsim.Metrics.pp sim.bsd Lp_allocsim.Metrics.pp sim.arena.len4
-      Lp_allocsim.Metrics.pp sim.arena.cce
+    let sim = Lifetime.Simulate.run ?allocators ~config ~predictor ~test () in
+    if json then
+      print_string
+        ("{"
+        ^ String.concat ","
+            (List.map
+               (fun name ->
+                 Printf.sprintf "%S:%s" name
+                   (Lp_allocsim.Metrics.to_json (Lifetime.Simulate.metrics sim name)))
+               (Lifetime.Simulate.names sim))
+        ^ "}\n")
+    else
+      Lifetime.Simulate.names sim
+      |> List.iteri (fun i name ->
+             if i > 0 then print_newline ();
+             Format.printf "%a@." Lp_allocsim.Metrics.pp
+               (Lifetime.Simulate.metrics sim name))
   in
   Cmd.v
     (Cmd.info "simulate"
        ~doc:
-         "Replay a test trace through first-fit, BSD and the lifetime-predicting \
-          arena allocator, in parallel across OCaml domains (cf. Tables 7-9)")
-    Term.(const run $ train_file $ test_file $ threshold_arg $ domains $ timings_arg)
+         "Replay a test trace through a set of registry allocator backends — \
+          by default first-fit, BSD and the lifetime-predicting arena — in \
+          parallel across OCaml domains (cf. Tables 7-9)")
+    Term.(
+      const run $ train_file $ test_file $ threshold_arg $ allocators $ json_arg
+      $ domains $ timings_arg)
 
 let () =
   let doc =

@@ -15,17 +15,17 @@ let () =
         let test = Lp_workloads.Registry.trace ~scale ~program ~input:"test" () in
         let table = Lifetime.Train.collect ~config train in
         let predictor = Lifetime.Predictor.build ~config ~funcs:train.funcs table in
-        let sim = Lifetime.Simulate.run ~config ~predictor ~test in
+        let sim = Lifetime.Simulate.run ~config ~predictor ~test () in
         let af (m : Lp_allocsim.Metrics.t) = m.instr_per_alloc +. m.instr_per_free in
         [
           program;
-          Printf.sprintf "%.1f" (Lp_allocsim.Metrics.arena_alloc_pct sim.arena.len4);
-          Printf.sprintf "%.1f" (Lp_allocsim.Metrics.arena_bytes_pct sim.arena.len4);
-          Printf.sprintf "%.0f" (af sim.bsd);
-          Printf.sprintf "%.0f" (af sim.first_fit);
-          Printf.sprintf "%.0f" (af sim.arena.len4);
-          string_of_int (sim.first_fit.max_heap / 1024);
-          string_of_int (sim.arena.len4.max_heap / 1024);
+          Printf.sprintf "%.1f" (Lp_allocsim.Metrics.arena_alloc_pct (Lifetime.Simulate.arena_len4 sim));
+          Printf.sprintf "%.1f" (Lp_allocsim.Metrics.arena_bytes_pct (Lifetime.Simulate.arena_len4 sim));
+          Printf.sprintf "%.0f" (af (Lifetime.Simulate.bsd sim));
+          Printf.sprintf "%.0f" (af (Lifetime.Simulate.first_fit sim));
+          Printf.sprintf "%.0f" (af (Lifetime.Simulate.arena_len4 sim));
+          string_of_int ((Lifetime.Simulate.first_fit sim).max_heap / 1024);
+          string_of_int ((Lifetime.Simulate.arena_len4 sim).max_heap / 1024);
         ])
       Lp_workloads.Registry.names
   in

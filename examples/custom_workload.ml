@@ -76,9 +76,9 @@ let () =
 
   let table = Lifetime.Train.collect ~config train in
   let predictor = Lifetime.Predictor.build ~config ~funcs:train.funcs table in
-  let sim = Lifetime.Simulate.run ~config ~predictor ~test in
+  let sim = Lifetime.Simulate.run ~config ~predictor ~test () in
   Printf.printf "arena simulation: %.1f%% of allocations bump-allocated;\n"
-    (Lp_allocsim.Metrics.arena_alloc_pct sim.arena.len4);
+    (Lp_allocsim.Metrics.arena_alloc_pct (Lifetime.Simulate.arena_len4 sim));
   Printf.printf "alloc+free cost %.0f instr vs %.0f for first-fit.\n"
-    (sim.arena.len4.instr_per_alloc +. sim.arena.len4.instr_per_free)
-    (sim.first_fit.instr_per_alloc +. sim.first_fit.instr_per_free)
+    ((Lifetime.Simulate.arena_len4 sim).instr_per_alloc +. (Lifetime.Simulate.arena_len4 sim).instr_per_free)
+    ((Lifetime.Simulate.first_fit sim).instr_per_alloc +. (Lifetime.Simulate.first_fit sim).instr_per_free)

@@ -27,7 +27,7 @@ let () =
     (Lifetime.Evaluate.predicted_pct e)
     (Lifetime.Evaluate.error_pct e);
 
-  let sim = Lifetime.Simulate.run ~config ~predictor ~test in
+  let sim = Lifetime.Simulate.run ~config ~predictor ~test () in
   let row name (m : Lp_allocsim.Metrics.t) =
     [
       name;
@@ -49,13 +49,13 @@ let () =
          ]
        ~rows:
          [
-           row "first-fit" sim.first_fit;
-           row "bsd" sim.bsd;
-           row "arena (len-4)" sim.arena.len4;
-           row "arena (cce)" sim.arena.cce;
+           row "first-fit" (Lifetime.Simulate.first_fit sim);
+           row "bsd" (Lifetime.Simulate.bsd sim);
+           row "arena (len-4)" (Lifetime.Simulate.arena_len4 sim);
+           row "arena (cce)" (Lifetime.Simulate.arena_cce sim);
          ]
        ());
   Printf.printf
     "\nthe arena allocator turns ~%.0f%% of a tree-walking interpreter's\n\
      allocation traffic into pointer bumps — the paper's Table 9 GAWK row.\n"
-    (Lp_allocsim.Metrics.arena_alloc_pct sim.arena.len4)
+    (Lp_allocsim.Metrics.arena_alloc_pct (Lifetime.Simulate.arena_len4 sim))

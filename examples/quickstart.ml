@@ -83,15 +83,15 @@ let () =
     (Lifetime.Evaluate.error_pct e);
 
   print_endline "== 4. simulate the allocators on the test trace ==";
-  let sim = Lifetime.Simulate.run ~config ~predictor ~test in
+  let sim = Lifetime.Simulate.run ~config ~predictor ~test () in
   let report name (m : Lp_allocsim.Metrics.t) =
     Printf.printf "%-22s heap %6d bytes, %5.1f instr/alloc, %5.1f instr/free\n" name
       m.max_heap m.instr_per_alloc m.instr_per_free
   in
-  report "first-fit:" sim.first_fit;
-  report "bsd buckets:" sim.bsd;
-  report "arena (predicting):" sim.arena.len4;
+  report "first-fit:" (Lifetime.Simulate.first_fit sim);
+  report "bsd buckets:" (Lifetime.Simulate.bsd sim);
+  report "arena (predicting):" (Lifetime.Simulate.arena_len4 sim);
   Printf.printf
     "\narena placed %.1f%% of allocations (%.1f%% of bytes) in its 64 KB arena area.\n"
-    (Lp_allocsim.Metrics.arena_alloc_pct sim.arena.len4)
-    (Lp_allocsim.Metrics.arena_bytes_pct sim.arena.len4)
+    (Lp_allocsim.Metrics.arena_alloc_pct (Lifetime.Simulate.arena_len4 sim))
+    (Lp_allocsim.Metrics.arena_bytes_pct (Lifetime.Simulate.arena_len4 sim))

@@ -7,11 +7,16 @@ type arena_state = {
   mutable count : int;  (* live objects *)
 }
 
+(* The general-purpose fallback, existentially packed: the arena layer is a
+   lifetime-predicting front-end over ANY registry backend, not a special
+   case wired to first-fit. *)
+type general = G : (module Backend.BACKEND with type t = 'a) * 'a -> general
+
 type t = {
   config : config;
   arenas : arena_state array;
   mutable current : int;
-  general : First_fit.t;
+  general : general;
   area_bytes : int;
   (* arena objects carry no headers, so a free needs only the address to
      find the owning arena; the simulation keeps sizes for accounting *)
@@ -26,14 +31,16 @@ type t = {
   mutable free_instr : int;
 }
 
-let create ?(config = default_config) () =
+let create ?(config = default_config)
+    ?(fallback : Backend.t = (module First_fit.Backend)) () =
   let area_bytes = config.n_arenas * config.arena_size in
+  let (module F) = fallback in
   {
     config;
     arenas = Array.init config.n_arenas (fun _ -> { alloc_ptr = 0; count = 0 });
     current = 0;
     (* the general heap begins above the arena area *)
-    general = First_fit.create ~base:area_bytes ();
+    general = G ((module F), F.create ~base:area_bytes ());
     area_bytes;
     obj_arena = Hashtbl.create 1024;
     arena_allocs = 0;
@@ -86,6 +93,10 @@ let bump t idx size =
   Hashtbl.replace t.obj_arena addr idx;
   addr
 
+let general_alloc t size =
+  let (G ((module F), g)) = t.general in
+  F.alloc g ~size ~predicted:false
+
 let alloc t ~size ~predicted =
   if size <= 0 then invalid_arg "Arena.alloc: size must be positive";
   t.allocs <- t.allocs + 1;
@@ -102,10 +113,10 @@ let alloc t ~size ~predicted =
           (* arena pollution: no empty arena — degenerate to the general
              allocator (§5.2's CFRAC discussion) *)
           t.overflow_allocs <- t.overflow_allocs + 1;
-          First_fit.alloc t.general size
+          general_alloc t size
     end
   end
-  else First_fit.alloc t.general size
+  else general_alloc t size
 
 let free t addr =
   t.frees <- t.frees + 1;
@@ -120,7 +131,9 @@ let free t addr =
         a.count <- a.count - 1;
         t.free_instr <- t.free_instr + Cost_model.arena_free - 2
   end
-  else First_fit.free t.general addr
+  else
+    let (G ((module F), g)) = t.general in
+    F.free g addr
 
 let arena_allocs t = t.arena_allocs
 let arena_bytes t = t.arena_bytes
@@ -128,8 +141,88 @@ let arena_resets t = t.arena_resets
 let overflow_allocs t = t.overflow_allocs
 let allocs t = t.allocs
 let frees t = t.frees
-let max_heap_size t = t.area_bytes + First_fit.max_heap_size t.general
 
-let alloc_instr t = t.alloc_instr + First_fit.alloc_instr t.general
-let free_instr t = t.free_instr + First_fit.free_instr t.general
-let general t = t.general
+let max_heap_size t =
+  let (G ((module F), g)) = t.general in
+  t.area_bytes + F.max_heap_size g
+
+let alloc_instr t =
+  let (G ((module F), g)) = t.general in
+  t.alloc_instr + F.alloc_instr g
+
+let free_instr t =
+  let (G ((module F), g)) = t.general in
+  t.free_instr + F.free_instr g
+
+let general_name t =
+  let (G ((module F), _)) = t.general in
+  F.name
+
+let stats t : Metrics.arena_stats =
+  {
+    arena_allocs = t.arena_allocs;
+    arena_bytes = t.arena_bytes;
+    arena_resets = t.arena_resets;
+    overflow_allocs = t.overflow_allocs;
+  }
+
+let check_invariants t =
+  Array.iteri
+    (fun i a ->
+      if a.count < 0 then failwith (Printf.sprintf "arena %d: negative live count" i);
+      if a.alloc_ptr < 0 || a.alloc_ptr > t.config.arena_size then
+        failwith (Printf.sprintf "arena %d: alloc_ptr out of range" i))
+    t.arenas;
+  let live_per_arena = Array.make t.config.n_arenas 0 in
+  Hashtbl.iter (fun _ idx -> live_per_arena.(idx) <- live_per_arena.(idx) + 1)
+    t.obj_arena;
+  Array.iteri
+    (fun i a ->
+      if a.count <> live_per_arena.(i) then
+        failwith
+          (Printf.sprintf "arena %d: count=%d but %d live objects" i a.count
+             live_per_arena.(i)))
+    t.arenas;
+  let (G ((module F), g)) = t.general in
+  F.check_invariants g
+
+(* The default module backend; [backend] below closes over a custom
+   geometry and fallback. *)
+let make_backend ?config ?fallback () : Backend.t =
+  (module struct
+    type nonrec t = t
+
+    let name = "arena"
+    let uses_prediction = true
+    let create ?base:_ () = create ?config ?fallback ()
+    let alloc = alloc
+    let free = free
+    let charge_alloc = charge_prediction
+    let allocs = allocs
+    let frees = frees
+    let alloc_instr = alloc_instr
+    let free_instr = free_instr
+    let max_heap_size = max_heap_size
+    let extra t = Metrics.Arena_stats (stats t)
+    let check_invariants = check_invariants
+  end)
+
+let backend = make_backend
+
+module Backend_default : Backend.BACKEND with type t = t = struct
+  type nonrec t = t
+
+  let name = "arena"
+  let uses_prediction = true
+  let create ?base:_ () = create ()
+  let alloc = alloc
+  let free = free
+  let charge_alloc = charge_prediction
+  let allocs = allocs
+  let frees = frees
+  let alloc_instr = alloc_instr
+  let free_instr = free_instr
+  let max_heap_size = max_heap_size
+  let extra t = Metrics.Arena_stats (stats t)
+  let check_invariants = check_invariants
+end

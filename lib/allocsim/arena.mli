@@ -1,4 +1,7 @@
-(** The lifetime-predicting arena allocator (§5.1 of the paper).
+(** The lifetime-predicting arena allocator (§5.1 of the paper), structured
+    as a composable front-end: a fixed arena area for predicted-short
+    objects over {e any} general-purpose fallback backend (first-fit by
+    default, matching the paper).
 
     A fixed arena area (by default 64 KB split into 16 arenas of 4 KB)
     sits below the general heap.  An allocation predicted short-lived whose
@@ -6,10 +9,10 @@
     space, increment its live count and allocation pointer.  When the
     current arena fills, the allocator scans for an arena with a zero live
     count (all its objects dead) and resets it; if none exists, the object
-    is allocated in the general first-fit heap as if it were long-lived.
-    Objects larger than an arena, and objects not predicted short-lived,
-    also go to the general heap.  Freeing an address inside the arena area
-    decrements the owning arena's count; other addresses go to first-fit.
+    is allocated in the general heap as if it were long-lived.  Objects
+    larger than an arena, and objects not predicted short-lived, also go to
+    the general heap.  Freeing an address inside the arena area decrements
+    the owning arena's count; other addresses go to the fallback.
 
     Per the paper's simulation: the arena area is 64 KB — twice the 32 KB
     short-lived threshold — "with the intuition that by the time the last
@@ -29,7 +32,10 @@ val default_config : config
 
 type t
 
-val create : ?config:config -> unit -> t
+val create : ?config:config -> ?fallback:Backend.t -> unit -> t
+(** [fallback] is the general-purpose backend for unpredicted, oversized
+    and overflowing objects; it is instantiated with its base just above
+    the arena area.  Defaults to first-fit, the paper's choice. *)
 
 val alloc : t -> size:int -> predicted:bool -> int
 (** Returns the object's address.  Charges the per-allocation lifetime
@@ -62,11 +68,26 @@ val allocs : t -> int
 val frees : t -> int
 
 val max_heap_size : t -> int
-(** General heap high-water plus the whole arena area, as Table 8 counts
+(** Fallback heap high-water plus the whole arena area, as Table 8 counts
     it ("The arena heap sizes include the 64-kilobyte arena area"). *)
 
 val alloc_instr : t -> int
 val free_instr : t -> int
 
-val general : t -> First_fit.t
-(** The embedded general-purpose allocator. *)
+val general_name : t -> string
+(** Name of the fallback backend in use. *)
+
+val stats : t -> Metrics.arena_stats
+
+val check_invariants : t -> unit
+(** Arena live counts match the live-object table, bump pointers stay in
+    range, and the fallback's own invariants hold.
+    @raise Failure when an invariant is broken. *)
+
+val backend : ?config:config -> ?fallback:Backend.t -> unit -> Backend.t
+(** An arena backend with the given geometry and fallback, for the
+    registry.  [Backend.create]'s [base] is ignored: the arena area
+    anchors the address space at 0 and places the fallback above itself. *)
+
+module Backend_default : Backend.BACKEND with type t = t
+(** [backend ()] with the paper's geometry over first-fit. *)

@@ -1,0 +1,62 @@
+(** The pluggable allocator-backend interface.
+
+    Every simulated allocator implements [BACKEND]; the replay engine
+    ({!Driver.run}) and the generic property tests are written once against
+    this signature, and the name-keyed {!Registry} hands out backends to
+    the simulation pipeline, the CLI and the bench harness.  Adding an
+    allocator is therefore a one-file change: implement the signature,
+    register it.
+
+    Contract:
+    - [create ?base ()] returns a fresh allocator whose simulated address
+      space starts at [base] (default 0).  All state is private to the
+      returned value, so independent instances may replay concurrently on
+      separate domains.
+    - [alloc t ~size ~predicted] returns the payload address of a new
+      block.  [predicted] is the lifetime predictor's verdict for this
+      object; backends that do not segregate by lifetime ignore it (and
+      declare [uses_prediction = false] so the driver never pays the
+      prediction cost on their behalf).  Raises [Invalid_argument] if
+      [size <= 0].
+    - [free t addr] releases a previously returned payload address and
+      raises [Invalid_argument] on any other address.
+    - [charge_alloc t n] adds [n] simulated instructions to the allocation
+      cost counter — the driver uses it to bill the per-allocation lifetime
+      prediction (18 instructions for length-4 chains, the amortised
+      call-chain-encryption cost otherwise).
+    - [extra t] reports backend-specific statistics as a
+      {!Metrics.extra}; backends with nothing to add return {!Metrics.Core}.
+    - [check_invariants t] verifies internal structural invariants
+      (free-list consistency, block tiling, slab accounting) and raises
+      [Failure] when one is broken; backends with no checkable structure
+      may make it a no-op. *)
+
+module type BACKEND = sig
+  type t
+
+  val name : string
+  (** Registry key and {!Metrics.t.algorithm} value. *)
+
+  val uses_prediction : bool
+  (** True only for backends that act on the [predicted] flag; the driver
+      skips the predictor (and its instruction cost) for the rest. *)
+
+  val create : ?base:int -> unit -> t
+  val alloc : t -> size:int -> predicted:bool -> int
+  val free : t -> int -> unit
+  val charge_alloc : t -> int -> unit
+  val allocs : t -> int
+  val frees : t -> int
+  val alloc_instr : t -> int
+  val free_instr : t -> int
+  val max_heap_size : t -> int
+  val extra : t -> Metrics.extra
+  val check_invariants : t -> unit
+end
+
+type t = (module BACKEND)
+(** A backend, first-class.  {!Driver.run} instantiates it fresh per
+    replay. *)
+
+val name : t -> string
+val uses_prediction : t -> bool

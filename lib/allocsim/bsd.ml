@@ -70,3 +70,23 @@ let alloc_instr t = t.alloc_instr
 let free_instr t = t.free_instr
 let allocs t = t.allocs
 let frees t = t.frees
+
+let charge_alloc t n = t.alloc_instr <- t.alloc_instr + n
+
+module Backend : Backend.BACKEND with type t = t = struct
+  type nonrec t = t
+
+  let name = "bsd"
+  let uses_prediction = false
+  let create ?base () = create ?base ()
+  let alloc t ~size ~predicted:_ = alloc t size
+  let free = free
+  let charge_alloc = charge_alloc
+  let allocs = allocs
+  let frees = frees
+  let alloc_instr = alloc_instr
+  let free_instr = free_instr
+  let max_heap_size = max_heap_size
+  let extra _ = Metrics.Core
+  let check_invariants _ = ()
+end

@@ -22,3 +22,6 @@ val alloc_instr : t -> int
 val free_instr : t -> int
 val allocs : t -> int
 val frees : t -> int
+
+module Backend : Backend.BACKEND with type t = t
+(** BSD buckets as a registry backend. *)

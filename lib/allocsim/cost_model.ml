@@ -44,6 +44,19 @@ let bsd_alloc_base = 48
 let bsd_carve_page = 44
 let bsd_free = 17
 
+(* Segregated fit (the BSD-descendant design modern allocators use:
+   per-size-class slabs whose emptied pages return to a shared page pool).
+   The fast path — pop a cell off the class free list — is shorter than
+   BSD's because the class index is a bit-scan, not a loop; slab set-up,
+   page recycling and the whole-page large-object path are charged
+   separately. *)
+let seg_alloc_base = 22
+let seg_slab_init = 40
+let seg_free_base = 14
+let seg_recycle = 10
+let seg_large_alloc = 48
+let seg_large_free = 20
+
 (* Amortised call-chain-encryption cost per allocation for a program with
    the given dynamic counts (§5.1: total calls x 3 / total allocations). *)
 let cce_per_alloc ~calls ~allocs =

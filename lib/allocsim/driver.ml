@@ -1,18 +1,7 @@
-type algorithm =
-  | First_fit
-  | Best_fit
-  | Bsd
-  | Arena of {
-      config : Arena.config;
-      predicted : obj:int -> size:int -> chain:int -> key:int -> bool;
-      predict_cost : int;
-    }
-
-let algorithm_name = function
-  | First_fit -> "first-fit"
-  | Best_fit -> "best-fit"
-  | Bsd -> "bsd"
-  | Arena _ -> "arena"
+type predictor = {
+  predicted : obj:int -> size:int -> chain:int -> key:int -> bool;
+  predict_cost : int;
+}
 
 (* A malformed trace (free of a never-allocated object, double free, or an
    out-of-range object id) used to push addr_of.(obj) = -1 straight into the
@@ -21,13 +10,23 @@ let algorithm_name = function
 let event_error ~event what obj =
   failwith (Printf.sprintf "Driver.run: %s object %d at event %d" what obj event)
 
-let run_impl ?cache (trace : Lp_trace.Trace.t) algorithm : Metrics.t =
+(* The one replay engine: every backend — first-fit, best-fit, BSD, segfit,
+   arena, and whatever the registry grows next — runs through this loop, so
+   per-event validation, cache replay and Touch handling exist in exactly
+   one place. *)
+let run_impl ?cache ?predictor (trace : Lp_trace.Trace.t)
+    (module B : Backend.BACKEND) : Metrics.t =
+  let b = B.create () in
   let addr_of = Array.make trace.n_objects (-1) in
   let size_of = Array.make trace.n_objects 0 in
   let ref_cursor = Array.make trace.n_objects 0 in
   let live = ref 0 in
   let max_live = ref 0 in
   let total_bytes = ref 0 in
+  (* the prediction front-end: only consulted (and billed) for backends
+     that act on it, so e.g. a first-fit replay under a predictor stays
+     byte-identical to one without *)
+  let predictor = if B.uses_prediction then predictor else None in
   let cache_access addr bytes =
     match cache with
     | Some c -> Cache.access_range c ~addr ~bytes
@@ -73,103 +72,44 @@ let run_impl ?cache (trace : Lp_trace.Trace.t) algorithm : Metrics.t =
           done
         end
   in
-  match algorithm with
-  | First_fit | Best_fit ->
-      let policy =
-        match algorithm with Best_fit -> First_fit.Best | _ -> First_fit.First
-      in
-      let ff = First_fit.create ~policy () in
-      Array.iteri
-        (fun event -> function
-          | Lp_trace.Event.Alloc { obj; size; _ } ->
-              check_alloc ~event obj;
-              track_alloc obj size (First_fit.alloc ff size)
-          | Lp_trace.Event.Free { obj } ->
-              let addr = addr_for_free ~event obj in
-              First_fit.free ff addr;
-              track_free obj addr
-          | Lp_trace.Event.Touch { obj; count } -> track_touch ~event obj count)
-        trace.events;
-      {
-        Metrics.algorithm = algorithm_name algorithm;
-        allocs = First_fit.allocs ff;
-        frees = First_fit.frees ff;
-        total_bytes = !total_bytes;
-        arena_allocs = 0;
-        arena_bytes = 0;
-        arena_resets = 0;
-        overflow_allocs = 0;
-        max_heap = First_fit.max_heap_size ff;
-        max_live = !max_live;
-        instr_per_alloc =
-          float_of_int (First_fit.alloc_instr ff) /. float_of_int (max 1 (First_fit.allocs ff));
-        instr_per_free =
-          float_of_int (First_fit.free_instr ff) /. float_of_int (max 1 (First_fit.frees ff));
-      }
-  | Bsd ->
-      let b = Bsd.create () in
-      Array.iteri
-        (fun event -> function
-          | Lp_trace.Event.Alloc { obj; size; _ } ->
-              check_alloc ~event obj;
-              track_alloc obj size (Bsd.alloc b size)
-          | Lp_trace.Event.Free { obj } ->
-              let addr = addr_for_free ~event obj in
-              Bsd.free b addr;
-              track_free obj addr
-          | Lp_trace.Event.Touch { obj; count } -> track_touch ~event obj count)
-        trace.events;
-      {
-        Metrics.algorithm = "bsd";
-        allocs = Bsd.allocs b;
-        frees = Bsd.frees b;
-        total_bytes = !total_bytes;
-        arena_allocs = 0;
-        arena_bytes = 0;
-        arena_resets = 0;
-        overflow_allocs = 0;
-        max_heap = Bsd.max_heap_size b;
-        max_live = !max_live;
-        instr_per_alloc =
-          float_of_int (Bsd.alloc_instr b) /. float_of_int (max 1 (Bsd.allocs b));
-        instr_per_free =
-          float_of_int (Bsd.free_instr b) /. float_of_int (max 1 (Bsd.frees b));
-      }
-  | Arena { config; predicted; predict_cost } ->
-      let a = Arena.create ~config () in
-      Array.iteri
-        (fun event -> function
-          | Lp_trace.Event.Alloc { obj; size; chain; key; _ } ->
-              check_alloc ~event obj;
-              (* every allocation pays for the attempt to predict (§5.1) *)
-              Arena.charge_prediction a predict_cost;
-              let p = predicted ~obj ~size ~chain ~key in
-              track_alloc obj size (Arena.alloc a ~size ~predicted:p)
-          | Lp_trace.Event.Free { obj } ->
-              let addr = addr_for_free ~event obj in
-              Arena.free a addr;
-              track_free obj addr
-          | Lp_trace.Event.Touch { obj; count } -> track_touch ~event obj count)
-        trace.events;
-      {
-        Metrics.algorithm = "arena";
-        allocs = Arena.allocs a;
-        frees = Arena.frees a;
-        total_bytes = !total_bytes;
-        arena_allocs = Arena.arena_allocs a;
-        arena_bytes = Arena.arena_bytes a;
-        arena_resets = Arena.arena_resets a;
-        overflow_allocs = Arena.overflow_allocs a;
-        max_heap = Arena.max_heap_size a;
-        max_live = !max_live;
-        instr_per_alloc =
-          float_of_int (Arena.alloc_instr a) /. float_of_int (max 1 (Arena.allocs a));
-        instr_per_free =
-          float_of_int (Arena.free_instr a) /. float_of_int (max 1 (Arena.frees a));
-      }
+  Array.iteri
+    (fun event -> function
+      | Lp_trace.Event.Alloc { obj; size; chain; key; _ } ->
+          check_alloc ~event obj;
+          let predicted =
+            match predictor with
+            | None -> false
+            | Some p ->
+                (* every allocation pays for the attempt to predict (§5.1) *)
+                B.charge_alloc b p.predict_cost;
+                p.predicted ~obj ~size ~chain ~key
+          in
+          track_alloc obj size (B.alloc b ~size ~predicted)
+      | Lp_trace.Event.Free { obj } ->
+          let addr = addr_for_free ~event obj in
+          B.free b addr;
+          track_free obj addr
+      | Lp_trace.Event.Touch { obj; count } -> track_touch ~event obj count)
+    trace.events;
+  {
+    Metrics.algorithm = B.name;
+    allocs = B.allocs b;
+    frees = B.frees b;
+    total_bytes = !total_bytes;
+    max_heap = B.max_heap_size b;
+    max_live = !max_live;
+    instr_per_alloc =
+      float_of_int (B.alloc_instr b) /. float_of_int (max 1 (B.allocs b));
+    instr_per_free =
+      float_of_int (B.free_instr b) /. float_of_int (max 1 (B.frees b));
+    extra = B.extra b;
+  }
 
-let run ?cache trace algorithm =
+let run ?cache ?predictor trace ((module B : Backend.BACKEND) as backend) =
   Lp_obs.Timings.time
-    ~stage:("replay/" ^ algorithm_name algorithm)
+    ~stage:("replay/" ^ B.name)
     ~items:(Array.length trace.Lp_trace.Trace.events)
-    (fun () -> run_impl ?cache trace algorithm)
+    (fun () -> run_impl ?cache ?predictor trace backend)
+
+let run_named ?cache ?predictor ?arena_config trace name =
+  run ?cache ?predictor trace (Registry.backend ?arena_config name)

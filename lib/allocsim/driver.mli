@@ -1,28 +1,33 @@
 (** Trace-driven simulation: replay a trace's allocation events through an
-    allocator and collect {!Metrics.t} (§5.2: "we fed a trace of the
-    program's allocation events and a list of short-lived sites into a
-    simulator of the prediction algorithm"). *)
+    allocator backend and collect {!Metrics.t} (§5.2: "we fed a trace of
+    the program's allocation events and a list of short-lived sites into a
+    simulator of the prediction algorithm").
 
-type algorithm =
-  | First_fit
-  | Best_fit  (** whole-list best fit, for the allocator-policy ablation *)
-  | Bsd
-  | Arena of {
-      config : Arena.config;
-      predicted : obj:int -> size:int -> chain:int -> key:int -> bool;
-          (** the short-lived-site database lookup, supplied by the
-              prediction layer *)
-      predict_cost : int;
-          (** instructions charged per allocation for the lookup: 18 for
-              length-4 chains, the amortised value for call-chain
-              encryption *)
-    }
+    There is exactly one replay loop; which allocator runs is a
+    {!Backend.t}, usually obtained from the {!Registry} by name. *)
 
-val algorithm_name : algorithm -> string
+type predictor = {
+  predicted : obj:int -> size:int -> chain:int -> key:int -> bool;
+      (** the short-lived-site database lookup, supplied by the
+          prediction layer *)
+  predict_cost : int;
+      (** instructions charged per allocation for the lookup: 18 for
+          length-4 chains, the amortised value for call-chain
+          encryption *)
+}
 
-val run : ?cache:Cache.t -> Lp_trace.Trace.t -> algorithm -> Metrics.t
-(** Replays every event in order.  Objects still alive at the end of the
-    trace are not freed (they hold their space, as in the real program).
+val run :
+  ?cache:Cache.t -> ?predictor:predictor -> Lp_trace.Trace.t -> Backend.t -> Metrics.t
+(** Replays every event in order through a fresh instance of the backend.
+    Objects still alive at the end of the trace are not freed (they hold
+    their space, as in the real program).
+
+    When [predictor] is given and the backend declares
+    [uses_prediction = true], every allocation is billed
+    [predictor.predict_cost] instructions and the backend receives the
+    predictor's verdict as [~predicted]; backends that ignore prediction
+    never pay for it, so their metrics do not depend on the predictor at
+    all.
 
     Events are validated as they are replayed: an alloc of an out-of-range
     or already-live object id, or a free/touch of a never-allocated,
@@ -31,7 +36,7 @@ val run : ?cache:Cache.t -> Lp_trace.Trace.t -> algorithm -> Metrics.t
     error deep inside the allocator.
 
     Each replay records its wall-clock span and event count under the
-    ["replay/<algorithm>"] stage of {!Lp_obs.Timings} when timings are
+    ["replay/<backend>"] stage of {!Lp_obs.Timings} when timings are
     enabled.  [run] is safe to call concurrently from several domains:
     all allocator state is private to the call, and the trace is only
     read.
@@ -42,3 +47,13 @@ val run : ?cache:Cache.t -> Lp_trace.Trace.t -> algorithm -> Metrics.t
     [Touch] as successive 16-byte-strided references within the object.
     Comparing the resulting miss rates across allocators quantifies the
     locality claim of the paper's introduction. *)
+
+val run_named :
+  ?cache:Cache.t ->
+  ?predictor:predictor ->
+  ?arena_config:Arena.config ->
+  Lp_trace.Trace.t ->
+  string ->
+  Metrics.t
+(** [run] composed with a {!Registry} lookup (aliases accepted).
+    @raise Failure on an unknown backend name. *)

@@ -263,6 +263,8 @@ let free_instr t = t.free_instr
 let allocs t = t.allocs
 let frees t = t.frees
 
+let charge_alloc t n = t.alloc_instr <- t.alloc_instr + n
+
 let check_invariants t =
   (* blocks tile [base, brk) exactly; no two adjacent free blocks *)
   let pos = ref t.base in
@@ -300,3 +302,43 @@ let check_invariants t =
         walk2 b.next
   in
   walk2 t.first
+
+(* -- backend adapters ------------------------------------------------------------ *)
+
+module Best_backend : Backend.BACKEND with type t = t = struct
+  type nonrec t = t
+
+  let name = "best-fit"
+  let uses_prediction = false
+  let create ?base () = create ?base ~policy:Best ()
+  let alloc t ~size ~predicted:_ = alloc t size
+  let free = free
+  let charge_alloc = charge_alloc
+  let allocs = allocs
+  let frees = frees
+  let alloc_instr = alloc_instr
+  let free_instr = free_instr
+  let max_heap_size = max_heap_size
+  let extra _ = Metrics.Core
+  let check_invariants = check_invariants
+end
+
+(* NB: declared last — [module Backend] shadows the library's [Backend]
+   for anything below it. *)
+module Backend : Backend.BACKEND with type t = t = struct
+  type nonrec t = t
+
+  let name = "first-fit"
+  let uses_prediction = false
+  let create ?base () = create ?base ()
+  let alloc t ~size ~predicted:_ = alloc t size
+  let free = free
+  let charge_alloc = charge_alloc
+  let allocs = allocs
+  let frees = frees
+  let alloc_instr = alloc_instr
+  let free_instr = free_instr
+  let max_heap_size = max_heap_size
+  let extra _ = Metrics.Core
+  let check_invariants = check_invariants
+end

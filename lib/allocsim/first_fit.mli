@@ -53,3 +53,10 @@ val check_invariants : t -> unit
 (** Verify the block list: blocks tile the heap exactly, no two adjacent
     free blocks, free list consistent.  For tests.
     @raise Failure when an invariant is broken. *)
+
+module Best_backend : Backend.BACKEND with type t = t
+(** The same structure under the best-fit policy — the allocator-policy
+    ablation's alternative, promoted to a first-class registry entry. *)
+
+module Backend : Backend.BACKEND with type t = t
+(** First fit (roving pointer) as a registry backend. *)

@@ -1,31 +1,103 @@
+type arena_stats = {
+  arena_allocs : int;
+  arena_bytes : int;
+  arena_resets : int;
+  overflow_allocs : int;
+}
+
+type segfit_stats = {
+  slabs_created : int;
+  pages_recycled : int;
+  large_spans : int;
+}
+
+type extra =
+  | Core
+  | Arena_stats of arena_stats
+  | Segfit_stats of segfit_stats
+
 type t = {
   algorithm : string;
   allocs : int;
   frees : int;
   total_bytes : int;
-  arena_allocs : int;
-  arena_bytes : int;
-  arena_resets : int;
-  overflow_allocs : int;
   max_heap : int;
   max_live : int;
   instr_per_alloc : float;
   instr_per_free : float;
+  extra : extra;
 }
 
 let pct part whole = if whole = 0 then 0. else 100. *. float_of_int part /. float_of_int whole
 
-let arena_alloc_pct t = pct t.arena_allocs t.allocs
-let arena_bytes_pct t = pct t.arena_bytes t.total_bytes
+let arena_stats t = match t.extra with Arena_stats a -> Some a | _ -> None
+
+let arena_alloc_pct t =
+  match t.extra with Arena_stats a -> pct a.arena_allocs t.allocs | _ -> 0.
+
+let arena_bytes_pct t =
+  match t.extra with Arena_stats a -> pct a.arena_bytes t.total_bytes | _ -> 0.
 
 let fragmentation_pct t =
   if t.max_heap = 0 then 0. else 100. *. (1. -. (float_of_int t.max_live /. float_of_int t.max_heap))
 
+let pp_extra ppf = function
+  | Core -> ()
+  | Arena_stats a ->
+      Format.fprintf ppf "@ arena allocs %d, arena bytes %d, arena resets %d, overflows %d"
+        a.arena_allocs a.arena_bytes a.arena_resets a.overflow_allocs
+  | Segfit_stats s ->
+      Format.fprintf ppf "@ slabs %d, pages recycled %d, large spans %d"
+        s.slabs_created s.pages_recycled s.large_spans
+
 let pp ppf t =
+  (* only a predicting backend has an arena share worth printing *)
+  let pp_arena_share ppf t =
+    match t.extra with
+    | Arena_stats _ ->
+        Format.fprintf ppf " (arena %.1f%% of allocs, %.1f%% of bytes)"
+          (arena_alloc_pct t) (arena_bytes_pct t)
+    | _ -> ()
+  in
   Format.fprintf ppf
-    "@[<v>%s:@ allocs %d (arena %.1f%%), bytes %d (arena %.1f%%)@ max heap %d, max \
-     live %d (frag %.1f%%)@ instr/alloc %.1f, instr/free %.1f@ arena resets %d, \
-     overflows %d@]"
-    t.algorithm t.allocs (arena_alloc_pct t) t.total_bytes (arena_bytes_pct t)
-    t.max_heap t.max_live (fragmentation_pct t) t.instr_per_alloc t.instr_per_free
-    t.arena_resets t.overflow_allocs
+    "@[<v>%s:@ allocs %d, bytes %d%a@ max heap %d, max live %d (frag %.1f%%)@ \
+     instr/alloc %.1f, instr/free %.1f%a@]"
+    t.algorithm t.allocs t.total_bytes pp_arena_share t t.max_heap t.max_live
+    (fragmentation_pct t) t.instr_per_alloc t.instr_per_free pp_extra t.extra
+
+(* -- JSON ---------------------------------------------------------------------- *)
+
+let json_extra = function
+  | Core -> []
+  | Arena_stats a ->
+      [
+        ("arena_allocs", string_of_int a.arena_allocs);
+        ("arena_bytes", string_of_int a.arena_bytes);
+        ("arena_resets", string_of_int a.arena_resets);
+        ("overflow_allocs", string_of_int a.overflow_allocs);
+      ]
+  | Segfit_stats s ->
+      [
+        ("slabs_created", string_of_int s.slabs_created);
+        ("pages_recycled", string_of_int s.pages_recycled);
+        ("large_spans", string_of_int s.large_spans);
+      ]
+
+let to_json t =
+  let fields =
+    [
+      ("algorithm", Printf.sprintf "%S" t.algorithm);
+      ("allocs", string_of_int t.allocs);
+      ("frees", string_of_int t.frees);
+      ("total_bytes", string_of_int t.total_bytes);
+      ("max_heap", string_of_int t.max_heap);
+      ("max_live", string_of_int t.max_live);
+      ("instr_per_alloc", Printf.sprintf "%.6g" t.instr_per_alloc);
+      ("instr_per_free", Printf.sprintf "%.6g" t.instr_per_free);
+      ("fragmentation_pct", Printf.sprintf "%.6g" (fragmentation_pct t));
+    ]
+    @ json_extra t.extra
+  in
+  "{"
+  ^ String.concat ", " (List.map (fun (k, v) -> Printf.sprintf "%S: %s" k v) fields)
+  ^ "}"

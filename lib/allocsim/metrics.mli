@@ -1,22 +1,42 @@
-(** Results of a trace-driven allocator simulation. *)
+(** Results of a trace-driven allocator simulation: a common core every
+    backend fills, plus a backend-specific extension ([extra]) so e.g.
+    first-fit results no longer carry dead arena fields. *)
+
+type arena_stats = {
+  arena_allocs : int;  (** objects placed in arenas *)
+  arena_bytes : int;
+  arena_resets : int;
+  overflow_allocs : int;  (** predicted-short allocs that missed the arenas *)
+}
+
+type segfit_stats = {
+  slabs_created : int;  (** size-class pages carved from the page pool or sbrk *)
+  pages_recycled : int;  (** emptied slab pages returned to the page pool *)
+  large_spans : int;  (** allocations served by whole-page spans *)
+}
+
+type extra =
+  | Core  (** no backend-specific statistics *)
+  | Arena_stats of arena_stats
+  | Segfit_stats of segfit_stats
 
 type t = {
   algorithm : string;
   allocs : int;
   frees : int;
   total_bytes : int;
-  arena_allocs : int;  (** 0 for non-arena allocators *)
-  arena_bytes : int;
-  arena_resets : int;
-  overflow_allocs : int;  (** predicted-short allocs that missed the arenas *)
   max_heap : int;  (** bytes, arena area included where applicable *)
   max_live : int;  (** peak simultaneously-live payload bytes *)
   instr_per_alloc : float;
   instr_per_free : float;
+  extra : extra;
 }
 
+val arena_stats : t -> arena_stats option
+
 val arena_alloc_pct : t -> float
-(** Percentage of allocations placed in arenas (Table 7). *)
+(** Percentage of allocations placed in arenas (Table 7); 0 for backends
+    without arena statistics. *)
 
 val arena_bytes_pct : t -> float
 (** Percentage of bytes placed in arenas (Table 7). *)
@@ -26,3 +46,7 @@ val fragmentation_pct : t -> float
     payload peak. *)
 
 val pp : Format.formatter -> t -> unit
+
+val to_json : t -> string
+(** One JSON object per metrics record: the core fields plus whatever the
+    backend's [extra] carries, flattened.  For [lpalloc ... --json]. *)

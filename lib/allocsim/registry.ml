@@ -1,0 +1,51 @@
+type entry = {
+  name : string;
+  aliases : string list;
+  doc : string;
+  make : ?arena_config:Arena.config -> unit -> Backend.t;
+}
+
+let entries : entry list ref = ref []
+
+let register ~name ?(aliases = []) ~doc make =
+  if List.exists (fun e -> e.name = name) !entries then
+    invalid_arg (Printf.sprintf "Registry.register: duplicate backend %S" name);
+  entries := !entries @ [ { name; aliases; doc; make } ]
+
+let all () = !entries
+let names () = List.map (fun e -> e.name) !entries
+
+let find_opt name =
+  List.find_opt (fun e -> e.name = name || List.mem name e.aliases) !entries
+
+let mem name = find_opt name <> None
+
+let find name =
+  match find_opt name with
+  | Some e -> e
+  | None ->
+      failwith
+        (Printf.sprintf "unknown allocator backend %S (known: %s)" name
+           (String.concat ", " (names ())))
+
+let backend ?arena_config name = (find name).make ?arena_config ()
+
+let canonical_name name = (find name).name
+
+(* -- the built-in backends --------------------------------------------------------- *)
+
+let () =
+  register ~name:"first-fit" ~aliases:[ "ff" ]
+    ~doc:"first fit with a roving pointer and boundary-tag coalescing (the paper's baseline)"
+    (fun ?arena_config:_ () -> (module First_fit.Backend));
+  register ~name:"best-fit" ~aliases:[ "bf" ]
+    ~doc:"whole-free-list best fit: tighter packing, longer searches"
+    (fun ?arena_config:_ () -> (module First_fit.Best_backend));
+  register ~name:"bsd" ~doc:"4.2BSD (Kingsley) power-of-two buckets, never coalesced"
+    (fun ?arena_config:_ () -> (module Bsd.Backend));
+  register ~name:"segfit" ~aliases:[ "seg" ]
+    ~doc:"segregated fit: power-of-two size-class slabs with page recycling (modern design)"
+    (fun ?arena_config:_ () -> (module Segfit.Backend));
+  register ~name:"arena"
+    ~doc:"lifetime-predicting arenas over a first-fit fallback (the paper's allocator)"
+    (fun ?arena_config () -> Arena.backend ?config:arena_config ())

@@ -1,0 +1,48 @@
+(** The name-keyed allocator registry.
+
+    Callers — {!Driver}, the simulation pipeline, the CLI's
+    [--allocators] flag, the bench harness, the generic property tests —
+    select backends by string instead of hard-coding allocator variants.
+    Five backends are built in: ["first-fit"] (alias [ff]), ["best-fit"]
+    (alias [bf]), ["bsd"], ["segfit"] (alias [seg]) and ["arena"].
+
+    To add an allocator: implement {!Backend.BACKEND} and {!register} it
+    (the built-ins register themselves at module load). *)
+
+type entry = {
+  name : string;  (** canonical name; also the {!Metrics.t.algorithm} value *)
+  aliases : string list;
+  doc : string;  (** one-line description for [--help] and docs *)
+  make : ?arena_config:Arena.config -> unit -> Backend.t;
+      (** backends without arena geometry ignore [arena_config] *)
+}
+
+val register :
+  name:string ->
+  ?aliases:string list ->
+  doc:string ->
+  (?arena_config:Arena.config -> unit -> Backend.t) ->
+  unit
+(** @raise Invalid_argument on a duplicate name. *)
+
+val all : unit -> entry list
+(** In registration order. *)
+
+val names : unit -> string list
+
+val mem : string -> bool
+(** True if the name or an alias is registered. *)
+
+val find : string -> entry
+(** Accepts aliases.  @raise Failure on an unknown name, listing the known
+    ones. *)
+
+val find_opt : string -> entry option
+
+val backend : ?arena_config:Arena.config -> string -> Backend.t
+(** [backend name] instantiates the named backend's module (the allocator
+    state itself is created per replay by {!Driver.run}).
+    @raise Failure on an unknown name. *)
+
+val canonical_name : string -> string
+(** Resolve an alias to the canonical name.  @raise Failure if unknown. *)

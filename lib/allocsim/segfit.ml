@@ -1,0 +1,250 @@
+let header = 8
+let page = 4096
+let min_class = 4 (* 2^4 = 16-byte cells *)
+let max_small_class = 11 (* 2^11 = 2048: half a page; bigger objects get spans *)
+
+(* A slab is one page carved into 2^cls-byte cells.  [next_cell] bumps
+   through virgin cells; [freed] stacks recycled ones.  When [live] drops to
+   zero the whole page returns to the allocator's page pool, where any size
+   class (or a one-page large allocation) can claim it — the structural
+   difference from the Kingsley BSD allocator, whose buckets keep their
+   pages forever. *)
+type slab = {
+  base : int;
+  cls : int;
+  mutable live : int;
+  mutable next_cell : int;  (* offset of the first never-used byte *)
+  mutable freed : int list;  (* payload addresses *)
+}
+
+type size_class = { mutable nonfull : slab list }
+
+type origin =
+  | Small of slab
+  | Large of int  (* span pages *)
+
+type t = {
+  heap_base : int;
+  classes : size_class array;
+  origin_of : (int, origin) Hashtbl.t;  (* payload addr -> where it lives *)
+  slab_of_page : (int, slab) Hashtbl.t;
+  mutable free_pages : int list;  (* single recycled pages *)
+  free_spans : (int, int list) Hashtbl.t;  (* n pages -> span base addrs *)
+  mutable brk : int;
+  mutable slabs_created : int;
+  mutable pages_recycled : int;
+  mutable large_spans : int;
+  mutable alloc_instr : int;
+  mutable free_instr : int;
+  mutable allocs : int;
+  mutable frees : int;
+}
+
+let create ?(base = 0) () =
+  {
+    heap_base = base;
+    classes = Array.init (max_small_class + 1) (fun _ -> { nonfull = [] });
+    origin_of = Hashtbl.create 1024;
+    slab_of_page = Hashtbl.create 64;
+    free_pages = [];
+    free_spans = Hashtbl.create 8;
+    brk = base;
+    slabs_created = 0;
+    pages_recycled = 0;
+    large_spans = 0;
+    alloc_instr = 0;
+    free_instr = 0;
+    allocs = 0;
+    frees = 0;
+  }
+
+let class_for size =
+  let need = size + header in
+  let rec go c = if 1 lsl c >= need then c else go (c + 1) in
+  go min_class
+
+let sbrk_pages t n =
+  let addr = t.brk in
+  t.brk <- t.brk + (n * page);
+  addr
+
+let take_page t =
+  match t.free_pages with
+  | p :: rest ->
+      t.alloc_instr <- t.alloc_instr + Cost_model.seg_recycle;
+      t.free_pages <- rest;
+      p
+  | [] -> sbrk_pages t 1
+
+(* -- the small-object path ------------------------------------------------------- *)
+
+let fresh_slab t cls =
+  t.alloc_instr <- t.alloc_instr + Cost_model.seg_slab_init;
+  let base = take_page t in
+  let slab = { base; cls; live = 0; next_cell = 0; freed = [] } in
+  Hashtbl.replace t.slab_of_page (base / page) slab;
+  t.slabs_created <- t.slabs_created + 1;
+  slab
+
+let slab_exhausted slab = slab.freed = [] && slab.next_cell + (1 lsl slab.cls) > page
+
+let alloc_small t cls =
+  let sc = t.classes.(cls) in
+  let slab =
+    match sc.nonfull with
+    | s :: _ -> s
+    | [] ->
+        let s = fresh_slab t cls in
+        sc.nonfull <- [ s ];
+        s
+  in
+  let payload =
+    match slab.freed with
+    | addr :: rest ->
+        slab.freed <- rest;
+        addr
+    | [] ->
+        let cell = slab.base + slab.next_cell in
+        slab.next_cell <- slab.next_cell + (1 lsl cls);
+        cell + header
+  in
+  slab.live <- slab.live + 1;
+  if slab_exhausted slab then
+    sc.nonfull <- List.filter (fun s -> s != slab) sc.nonfull;
+  Hashtbl.replace t.origin_of payload (Small slab);
+  payload
+
+let free_small t payload slab =
+  let sc = t.classes.(slab.cls) in
+  let was_exhausted = slab_exhausted slab in
+  slab.live <- slab.live - 1;
+  slab.freed <- payload :: slab.freed;
+  if slab.live = 0 then begin
+    (* the page is empty: return it to the pool for any class to reuse *)
+    t.free_instr <- t.free_instr + Cost_model.seg_recycle;
+    sc.nonfull <- List.filter (fun s -> s != slab) sc.nonfull;
+    Hashtbl.remove t.slab_of_page (slab.base / page);
+    t.free_pages <- slab.base :: t.free_pages;
+    t.pages_recycled <- t.pages_recycled + 1
+  end
+  else if was_exhausted then sc.nonfull <- slab :: sc.nonfull
+
+(* -- the large-object path (whole-page spans) ------------------------------------ *)
+
+let span_pages size = ((size + header) + page - 1) / page
+
+let alloc_large t size =
+  t.alloc_instr <- t.alloc_instr + Cost_model.seg_large_alloc;
+  let n = span_pages size in
+  let base =
+    if n = 1 then take_page t
+    else
+      match Hashtbl.find_opt t.free_spans n with
+      | Some (base :: rest) ->
+          t.alloc_instr <- t.alloc_instr + Cost_model.seg_recycle;
+          Hashtbl.replace t.free_spans n rest;
+          base
+      | _ -> sbrk_pages t n
+  in
+  t.large_spans <- t.large_spans + 1;
+  let payload = base + header in
+  Hashtbl.replace t.origin_of payload (Large n);
+  payload
+
+let free_large t payload n =
+  t.free_instr <- t.free_instr + Cost_model.seg_large_free;
+  let base = payload - header in
+  if n = 1 then t.free_pages <- base :: t.free_pages
+  else
+    Hashtbl.replace t.free_spans n
+      (base :: Option.value (Hashtbl.find_opt t.free_spans n) ~default:[])
+
+(* -- the public operations --------------------------------------------------------- *)
+
+let alloc t size =
+  if size <= 0 then invalid_arg "Segfit.alloc: size must be positive";
+  t.allocs <- t.allocs + 1;
+  t.alloc_instr <- t.alloc_instr + Cost_model.seg_alloc_base;
+  let cls = class_for size in
+  if cls <= max_small_class then alloc_small t cls else alloc_large t size
+
+let free t payload =
+  match Hashtbl.find_opt t.origin_of payload with
+  | None -> invalid_arg "Segfit.free: not an allocated address"
+  | Some origin -> (
+      Hashtbl.remove t.origin_of payload;
+      t.frees <- t.frees + 1;
+      t.free_instr <- t.free_instr + Cost_model.seg_free_base;
+      match origin with
+      | Small slab -> free_small t payload slab
+      | Large n -> free_large t payload n)
+
+let max_heap_size t = t.brk - t.heap_base
+let alloc_instr t = t.alloc_instr
+let free_instr t = t.free_instr
+let allocs t = t.allocs
+let frees t = t.frees
+let charge_alloc t n = t.alloc_instr <- t.alloc_instr + n
+let slabs_created t = t.slabs_created
+let pages_recycled t = t.pages_recycled
+let large_spans t = t.large_spans
+
+let check_invariants t =
+  (* every live payload's slab agrees; slab live counts sum to the live table *)
+  let per_slab = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun payload origin ->
+      match origin with
+      | Large n ->
+          if n < 1 then failwith "non-positive span length"
+      | Small slab ->
+          if payload < slab.base || payload >= slab.base + page then
+            failwith
+              (Printf.sprintf "payload %d outside its slab [%d, %d)" payload
+                 slab.base (slab.base + page));
+          Hashtbl.replace per_slab slab.base
+            (1 + Option.value (Hashtbl.find_opt per_slab slab.base) ~default:0))
+    t.origin_of;
+  Hashtbl.iter
+    (fun _ slab ->
+      let counted = Option.value (Hashtbl.find_opt per_slab slab.base) ~default:0 in
+      if slab.live <> counted then
+        failwith
+          (Printf.sprintf "slab at %d: live=%d but %d live payloads" slab.base
+             slab.live counted);
+      if slab.next_cell > page then failwith "slab bump ran past its page")
+    t.slab_of_page;
+  (* nonfull lists only hold slabs with room *)
+  Array.iter
+    (fun sc ->
+      List.iter
+        (fun slab -> if slab_exhausted slab then failwith "exhausted slab on nonfull list")
+        sc.nonfull)
+    t.classes;
+  if (t.brk - t.heap_base) mod page <> 0 then failwith "brk not page-aligned"
+
+module Backend : Backend.BACKEND with type t = t = struct
+  type nonrec t = t
+
+  let name = "segfit"
+  let uses_prediction = false
+  let create ?base () = create ?base ()
+  let alloc t ~size ~predicted:_ = alloc t size
+  let free = free
+  let charge_alloc = charge_alloc
+  let allocs = allocs
+  let frees = frees
+  let alloc_instr = alloc_instr
+  let free_instr = free_instr
+  let max_heap_size = max_heap_size
+
+  let extra t =
+    Metrics.Segfit_stats
+      {
+        slabs_created = t.slabs_created;
+        pages_recycled = t.pages_recycled;
+        large_spans = t.large_spans;
+      }
+
+  let check_invariants = check_invariants
+end

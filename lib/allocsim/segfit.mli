@@ -1,0 +1,41 @@
+(** Segregated fit with power-of-two size classes — the BSD-descendant
+    design modern general-purpose allocators (PHKmalloc, tcmalloc's small
+    path, jemalloc bins) use, added as the registry's "modern baseline"
+    alongside the paper's 1993 allocators.
+
+    Small objects (rounded, with an 8-byte header, to a power of two up to
+    half a page) are carved from per-class one-page slabs; each slab tracks
+    its live count and a stack of freed cells.  Unlike the Kingsley BSD
+    allocator, a slab whose live count reaches zero returns its page to a
+    shared pool that any size class can reclaim, so memory moves between
+    size classes and fragmentation stays bounded under phase changes.
+    Objects larger than half a page get dedicated whole-page spans, reused
+    exactly by page count.  Allocation and free are constant-time. *)
+
+type t
+
+val create : ?base:int -> unit -> t
+
+val alloc : t -> int -> int
+(** @raise Invalid_argument if size is not positive. *)
+
+val free : t -> int -> unit
+(** @raise Invalid_argument on an address not currently allocated. *)
+
+val max_heap_size : t -> int
+val alloc_instr : t -> int
+val free_instr : t -> int
+val allocs : t -> int
+val frees : t -> int
+val charge_alloc : t -> int -> unit
+
+val slabs_created : t -> int
+val pages_recycled : t -> int
+val large_spans : t -> int
+
+val check_invariants : t -> unit
+(** Slab accounting: live counts match the live-object table, bump pointers
+    stay inside their page, nonfull lists hold only slabs with room.
+    @raise Failure when an invariant is broken. *)
+
+module Backend : Backend.BACKEND with type t = t

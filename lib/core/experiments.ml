@@ -56,6 +56,20 @@ type table3_row = {
   paper : float * float * float * float * float;
 }
 
+(* Exact weighted quantile over [(value, weight)] sorted by value: the
+   smallest value whose cumulative weight reaches the ceiling rank
+   ceil(p * total).  [int_of_float] floors, which picked a rank one too
+   small whenever p * total was not an integer (e.g. with 6 weighted
+   bytes, q25 must cover 2 bytes, not the 1 that floor(1.5) gives).
+   Exposed for tests. *)
+let weighted_quantile sorted ~total p =
+  let target = int_of_float (Float.ceil (p *. float_of_int total)) in
+  let rec go acc = function
+    | [] -> 0.
+    | (v, w) :: rest -> if acc + w >= target then v else go (acc + w) rest
+  in
+  go 0 sorted
+
 let byte_weighted_quartiles trace =
   let lifetimes = Lp_trace.Lifetimes.compute trace in
   let hist = Lp_quantile.Histogram.create () in
@@ -68,14 +82,7 @@ let byte_weighted_quartiles trace =
   (* exact byte-weighted quantiles: expand by weight on the sorted list *)
   let sorted = List.sort (fun (a, _) (b, _) -> Float.compare a b) !sizes in
   let total = List.fold_left (fun acc (_, w) -> acc + w) 0 sorted in
-  let quantile p =
-    let target = int_of_float (p *. float_of_int total) in
-    let rec go acc = function
-      | [] -> 0.
-      | (lt, w) :: rest -> if acc + w >= target then lt else go (acc + w) rest
-    in
-    go 0 sorted
-  in
+  let quantile p = weighted_quantile sorted ~total p in
   List.iter (fun (lt, _) -> Lp_quantile.Exact.observe exact lt) sorted;
   let q = Lp_quantile.Histogram.quartiles hist in
   let exact_q =
@@ -182,11 +189,25 @@ type simulation_row = {
 
 let simulation_cache : (string, simulation_row) Hashtbl.t = Hashtbl.create 8
 
-let cache_key ?scale program =
-  Printf.sprintf "%s/%s" program
-    (match scale with None -> "1" | Some s -> string_of_float s)
+let policy_tag = function
+  | Lp_callchain.Site.Complete_chain -> "chain"
+  | Lp_callchain.Site.Last_callers n -> Printf.sprintf "last%d" n
+  | Lp_callchain.Site.Size_only -> "size"
+  | Lp_callchain.Site.Encrypted_key -> "cce"
 
-let compute_simulation ?scale ~config program =
+(* The key must cover everything the cached row depends on: the program and
+   scale, but also every Config field that reaches training or simulation —
+   a sweep that varies the threshold or arena geometry must never be served
+   a row computed under different settings — and the allocator set. *)
+let cache_key ?scale ?allocators ~(config : Config.t) program =
+  Printf.sprintf "%s/%s/t%d/a%dx%d/r%d/%s/%s" program
+    (match scale with None -> "1" | Some s -> string_of_float s)
+    config.short_lived_threshold config.n_arenas config.arena_size
+    config.size_rounding (policy_tag config.policy)
+    (String.concat ","
+       (match allocators with None -> Simulate.default_allocators | Some l -> l))
+
+let compute_simulation ?scale ?allocators ~config program =
   let test = test_trace ?scale program in
   let train = train_trace ?scale program in
   let table_self = Train.collect ~config test in
@@ -195,16 +216,16 @@ let compute_simulation ?scale ~config program =
   let true_pred = Predictor.build ~config ~funcs:train.Lp_trace.Trace.funcs table_true in
   {
     program;
-    self_sim = Simulate.run ~config ~predictor:self_pred ~test;
-    true_sim = Simulate.run ~config ~predictor:true_pred ~test;
+    self_sim = Simulate.run ?allocators ~config ~predictor:self_pred ~test ();
+    true_sim = Simulate.run ?allocators ~config ~predictor:true_pred ~test ();
   }
 
-let simulate_program ?scale ?(config = Config.default) program =
-  let key = cache_key ?scale program in
+let simulate_program ?scale ?allocators ?(config = Config.default) program =
+  let key = cache_key ?scale ?allocators ~config program in
   match Hashtbl.find_opt simulation_cache key with
   | Some r -> r
   | None ->
-      let row = compute_simulation ?scale ~config program in
+      let row = compute_simulation ?scale ?allocators ~config program in
       Hashtbl.replace simulation_cache key row;
       row
 
@@ -215,10 +236,11 @@ let simulate_program ?scale ?(config = Config.default) program =
    [Driver.run]s per program — are embarrassingly parallel.  Tables 7-9
    call this, so a full bench run parallelises across programs while a
    single [Simulate.run] still parallelises across allocators. *)
-let simulate_all ?scale ?(config = Config.default) () =
+let simulate_all ?scale ?allocators ?(config = Config.default) () =
   let missing =
     List.filter
-      (fun program -> not (Hashtbl.mem simulation_cache (cache_key ?scale program)))
+      (fun program ->
+        not (Hashtbl.mem simulation_cache (cache_key ?scale ?allocators ~config program)))
       programs
   in
   List.iter
@@ -226,9 +248,13 @@ let simulate_all ?scale ?(config = Config.default) () =
       ignore (test_trace ?scale program);
       ignore (train_trace ?scale program))
     missing;
-  Parallel.map (fun program -> compute_simulation ?scale ~config program) missing
+  Parallel.map
+    (fun program -> compute_simulation ?scale ?allocators ~config program)
+    missing
   |> List.iter (fun row ->
-         Hashtbl.replace simulation_cache (cache_key ?scale row.program) row)
+         Hashtbl.replace simulation_cache
+           (cache_key ?scale ?allocators ~config row.program)
+           row)
 
 type table7_row = {
   program : string;
@@ -244,7 +270,7 @@ let table7 ?scale ?config () =
   List.map
     (fun program ->
       let sim = (simulate_program ?scale ?config program).true_sim in
-      let m = sim.Simulate.arena.len4 in
+      let m = Simulate.arena_len4 sim in
       {
         program;
         total_allocs = m.Lp_allocsim.Metrics.allocs;
@@ -270,9 +296,9 @@ let table8 ?scale ?config () =
       let row = simulate_program ?scale ?config program in
       {
         program;
-        first_fit_heap = row.true_sim.Simulate.first_fit.Lp_allocsim.Metrics.max_heap;
-        self_arena_heap = row.self_sim.Simulate.arena.len4.Lp_allocsim.Metrics.max_heap;
-        true_arena_heap = row.true_sim.Simulate.arena.len4.Lp_allocsim.Metrics.max_heap;
+        first_fit_heap = (Simulate.first_fit row.true_sim).Lp_allocsim.Metrics.max_heap;
+        self_arena_heap = (Simulate.arena_len4 row.self_sim).Lp_allocsim.Metrics.max_heap;
+        true_arena_heap = (Simulate.arena_len4 row.true_sim).Lp_allocsim.Metrics.max_heap;
         paper = Paper.table8 program;
       })
     programs
@@ -294,10 +320,10 @@ let table9 ?scale ?config () =
       let per (m : Lp_allocsim.Metrics.t) = (m.instr_per_alloc, m.instr_per_free) in
       {
         program;
-        bsd = per row.Simulate.bsd;
-        first_fit = per row.Simulate.first_fit;
-        arena_len4 = per row.Simulate.arena.len4;
-        arena_cce = per row.Simulate.arena.cce;
+        bsd = per (Simulate.bsd row);
+        first_fit = per (Simulate.first_fit row);
+        arena_len4 = per (Simulate.arena_len4 row);
+        arena_cce = per (Simulate.arena_cce row);
         paper = Paper.table9 program;
       })
     programs
@@ -339,7 +365,7 @@ type geometry_point = {
 let geometry_sweep ?scale ~program ~geometries () =
   let test = test_trace ?scale program in
   let train = train_trace ?scale program in
-  let ff = Lp_allocsim.Driver.run test Lp_allocsim.Driver.First_fit in
+  let ff = Lp_allocsim.Driver.run_named test "first-fit" in
   List.map
     (fun (n_arenas, arena_size) ->
       let config = { Config.default with n_arenas; arena_size } in
@@ -431,24 +457,27 @@ let locality ?scale ?(config = Config.default) ?(cache_kb = 16) () =
       let table = Train.collect ~config train in
       let predictor = Predictor.build ~config ~funcs:train.Lp_trace.Trace.funcs table in
       let fresh () = Lp_allocsim.Cache.create ~size_bytes:(cache_kb * 1024) () in
-      let run_with algo =
+      let run_with ?predictor name =
         let cache = fresh () in
-        let (_ : Lp_allocsim.Metrics.t) = Lp_allocsim.Driver.run ~cache test algo in
+        let (_ : Lp_allocsim.Metrics.t) =
+          Lp_allocsim.Driver.run_named ~cache ?predictor
+            ~arena_config:(Config.arena_config config) test name
+        in
         ( Lp_allocsim.Cache.accesses cache,
           100. *. Lp_allocsim.Cache.miss_rate cache,
           Lp_allocsim.Cache.footprint_pages cache )
       in
-      let refs, ff, ff_pages = run_with Lp_allocsim.Driver.First_fit in
-      let _, bsd, bsd_pages = run_with Lp_allocsim.Driver.Bsd in
+      let refs, ff, ff_pages = run_with "first-fit" in
+      let _, bsd, bsd_pages = run_with "bsd" in
       let predicted = Predictor.for_trace predictor test in
       let _, arena, arena_pages =
         run_with
-          (Lp_allocsim.Driver.Arena
-             {
-               config = Config.arena_config config;
-               predicted;
-               predict_cost = Lp_allocsim.Cost_model.predict_len4;
-             })
+          ~predictor:
+            {
+              Lp_allocsim.Driver.predicted;
+              predict_cost = Lp_allocsim.Cost_model.predict_len4;
+            }
+          "arena"
       in
       {
         program;
@@ -589,29 +618,38 @@ let by_type ?scale ?(config = Config.default) () =
 
 (* -- Allocator-policy ablation: first fit vs best fit --------------------------- *)
 
-type allocator_row = {
-  program : string;
-  ff_heap : int;
-  bf_heap : int;
-  ff_cost : float;  (** instr per alloc+free *)
-  bf_cost : float;
-}
+type allocator_cell = { heap : int; cost : float  (** instr per alloc+free *) }
+type allocator_row = { program : string; cells : (string * allocator_cell) list }
 
 (** The paper picks first fit as its baseline for its "relatively good
-    memory utilization" (§5.2, after Knuth); best fit is the classic
-    alternative trading search time for tighter packing. *)
-let allocator_policies ?scale () =
+    memory utilization" (§5.2, after Knuth).  This ablation runs every
+    non-predicting registry backend — best fit (search time for tighter
+    packing), BSD buckets, segregated fit — over the same traces, so a new
+    registry entry gets a column for free. *)
+let allocator_policies ?scale ?allocators () =
+  let allocators =
+    match allocators with
+    | Some l -> l
+    | None ->
+        List.filter
+          (fun n ->
+            not
+              (Lp_allocsim.Backend.uses_prediction (Lp_allocsim.Registry.backend n)))
+          (Lp_allocsim.Registry.names ())
+  in
   List.map
     (fun program ->
       let test = test_trace ?scale program in
-      let ff = Lp_allocsim.Driver.run test Lp_allocsim.Driver.First_fit in
-      let bf = Lp_allocsim.Driver.run test Lp_allocsim.Driver.Best_fit in
-      let cost (m : Lp_allocsim.Metrics.t) = m.instr_per_alloc +. m.instr_per_free in
-      {
-        program;
-        ff_heap = ff.Lp_allocsim.Metrics.max_heap;
-        bf_heap = bf.Lp_allocsim.Metrics.max_heap;
-        ff_cost = cost ff;
-        bf_cost = cost bf;
-      })
+      let cells =
+        List.map
+          (fun name ->
+            let m = Lp_allocsim.Driver.run_named test name in
+            ( Lp_allocsim.Registry.canonical_name name,
+              {
+                heap = m.Lp_allocsim.Metrics.max_heap;
+                cost = m.instr_per_alloc +. m.instr_per_free;
+              } ))
+          allocators
+      in
+      { program; cells })
     programs

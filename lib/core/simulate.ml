@@ -1,50 +1,77 @@
-(** Simulation glue: run a test trace through the allocators with a trained
-    predictor, producing the measurements behind Tables 7, 8 and 9.
+(** Simulation glue: run a test trace through a set of registry allocators
+    with a trained predictor, producing the measurements behind Tables 7,
+    8 and 9.
 
-    The four replays (first-fit, BSD, and the two arena pricings) are
-    independent — each {!Lp_allocsim.Driver.run} owns its allocator state
-    and only reads the trace and the predictor — so they execute
-    concurrently on the {!Parallel} domain pool.  [Parallel.with_domains 1]
-    (or [LPALLOC_DOMAINS=1]) forces the sequential order, which produces
-    bit-identical metrics: parallelism only changes scheduling, never
-    results. *)
+    The replays are independent — each {!Lp_allocsim.Driver.run} owns its
+    allocator state and only reads the trace and the predictor — so they
+    execute concurrently on the {!Parallel} domain pool.
+    [Parallel.with_domains 1] (or [LPALLOC_DOMAINS=1]) forces the
+    sequential order, which produces bit-identical metrics: parallelism
+    only changes scheduling, never results.
 
-type arena_results = {
-  len4 : Lp_allocsim.Metrics.t;  (** prediction priced at 18 instr/alloc *)
-  cce : Lp_allocsim.Metrics.t;  (** prediction priced by call-chain encryption *)
-}
+    Allocators are named {!Lp_allocsim.Registry} entries.  A backend that
+    uses prediction (the arena allocator) expands into two jobs, one per
+    prediction pricing: its own name with the fixed length-4 chain cost,
+    and ["<name>-cce"] with the amortised call-chain-encryption cost
+    (§5.1's two implementation strategies). *)
 
-type t = {
-  first_fit : Lp_allocsim.Metrics.t;
-  bsd : Lp_allocsim.Metrics.t;
-  arena : arena_results;
-}
+type t = { results : (string * Lp_allocsim.Metrics.t) list }
+
+let default_allocators = [ "first-fit"; "bsd"; "arena" ]
+
+let metrics t name =
+  match List.assoc_opt name t.results with
+  | Some m -> m
+  | None ->
+      failwith
+        (Printf.sprintf "Simulate.metrics: no result named %S (have: %s)" name
+           (String.concat ", " (List.map fst t.results)))
+
+let names t = List.map fst t.results
+let first_fit t = metrics t "first-fit"
+let bsd t = metrics t "bsd"
+let arena_len4 t = metrics t "arena"
+let arena_cce t = metrics t "arena-cce"
+
+let cce_cost (test : Lp_trace.Trace.t) =
+  Lp_allocsim.Cost_model.site_lookup
+  + Lp_allocsim.Cost_model.cce_per_alloc ~calls:test.calls
+      ~allocs:(Lp_trace.Trace.total_objects test)
 
 let arena_with_cost ~config ~predictor ~(test : Lp_trace.Trace.t) ~predict_cost =
   (* the memoizing predicted-site closure is created here, inside the
      calling job, so each parallel replay owns a private memo table *)
   let predicted = Predictor.for_trace predictor test in
-  Lp_allocsim.Driver.run test
-    (Lp_allocsim.Driver.Arena
-       { config = Config.arena_config config; predicted; predict_cost })
+  Lp_allocsim.Driver.run
+    ~predictor:{ Lp_allocsim.Driver.predicted; predict_cost }
+    test
+    (Lp_allocsim.Registry.backend
+       ~arena_config:(Config.arena_config config)
+       "arena")
 
-let run ~(config : Config.t) ~(predictor : Predictor.t)
-    ~(test : Lp_trace.Trace.t) : t =
-  let cce_cost =
-    Lp_allocsim.Cost_model.site_lookup
-    + Lp_allocsim.Cost_model.cce_per_alloc ~calls:test.calls
-        ~allocs:(Lp_trace.Trace.total_objects test)
+let run ?(allocators = default_allocators) ~(config : Config.t)
+    ~(predictor : Predictor.t) ~(test : Lp_trace.Trace.t) () : t =
+  let arena_config = Config.arena_config config in
+  let jobs =
+    List.concat_map
+      (fun name ->
+        let backend = Lp_allocsim.Registry.backend ~arena_config name in
+        let canonical = Lp_allocsim.Backend.name backend in
+        if Lp_allocsim.Backend.uses_prediction backend then
+          (* two pricings of the same predicting allocator; the predictor
+             closure is built inside each job for a private memo table *)
+          let with_cost predict_cost () =
+            let predicted = Predictor.for_trace predictor test in
+            Lp_allocsim.Driver.run
+              ~predictor:{ Lp_allocsim.Driver.predicted; predict_cost }
+              test backend
+          in
+          [
+            (canonical, with_cost Lp_allocsim.Cost_model.predict_len4);
+            (canonical ^ "-cce", with_cost (cce_cost test));
+          ]
+        else [ (canonical, fun () -> Lp_allocsim.Driver.run test backend) ])
+      allocators
   in
-  match
-    Parallel.all
-      [
-        (fun () -> Lp_allocsim.Driver.run test Lp_allocsim.Driver.First_fit);
-        (fun () -> Lp_allocsim.Driver.run test Lp_allocsim.Driver.Bsd);
-        (fun () ->
-          arena_with_cost ~config ~predictor ~test
-            ~predict_cost:Lp_allocsim.Cost_model.predict_len4);
-        (fun () -> arena_with_cost ~config ~predictor ~test ~predict_cost:cce_cost);
-      ]
-  with
-  | [ first_fit; bsd; len4; cce ] -> { first_fit; bsd; arena = { len4; cce } }
-  | _ -> assert false
+  let metrics = Parallel.all (List.map snd jobs) in
+  { results = List.map2 (fun (name, _) m -> (name, m)) jobs metrics }

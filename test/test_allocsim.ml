@@ -151,6 +151,64 @@ let bsd_never_coalesces () =
   ignore ys;
   Alcotest.(check int) "refill reuses every page" peak (Bsd.max_heap_size b)
 
+(* -- segfit ----------------------------------------------------------------------- *)
+
+module Seg = Lp_allocsim.Segfit
+
+let seg_roundtrip () =
+  let s = Seg.create () in
+  let a = Seg.alloc s 24 in
+  let b = Seg.alloc s 24 in
+  Alcotest.(check bool) "distinct addresses" true (a <> b);
+  Seg.check_invariants s;
+  Seg.free s a;
+  Seg.free s b;
+  Seg.check_invariants s;
+  Alcotest.(check int) "alloc/free counters" 2 (Seg.frees s)
+
+let seg_cells_share_a_slab () =
+  let s = Seg.create () in
+  (* 24 + 8 header rounds to a 32-byte class: both cells fit in one page *)
+  let a = Seg.alloc s 24 in
+  let b = Seg.alloc s 24 in
+  Alcotest.(check int) "one slab created" 1 (Seg.slabs_created s);
+  Alcotest.(check int) "adjacent cells" 32 (abs (b - a));
+  Alcotest.(check int) "one page of heap" 4096 (Seg.max_heap_size s)
+
+let seg_page_recycled_across_classes () =
+  let s = Seg.create () in
+  let xs = List.init 4 (fun _ -> Seg.alloc s 8) in
+  List.iter (Seg.free s) xs;
+  Alcotest.(check int) "empty page returned to the pool" 1 (Seg.pages_recycled s);
+  let peak = Seg.max_heap_size s in
+  (* a different size class claims the recycled page: no heap growth *)
+  ignore (Seg.alloc s 100);
+  Alcotest.(check int) "other class reuses the page" peak (Seg.max_heap_size s);
+  Seg.check_invariants s
+
+let seg_large_spans_reused () =
+  let s = Seg.create () in
+  let a = Seg.alloc s 5000 in
+  Alcotest.(check int) "two-page span" (2 * 4096) (Seg.max_heap_size s);
+  Seg.free s a;
+  let b = Seg.alloc s 5000 in
+  Alcotest.(check int) "span reused exactly" a b;
+  Alcotest.(check int) "no growth on reuse" (2 * 4096) (Seg.max_heap_size s);
+  Alcotest.(check int) "two spans allocated" 2 (Seg.large_spans s);
+  Seg.check_invariants s
+
+let seg_free_unknown () =
+  let s = Seg.create () in
+  Alcotest.check_raises "unknown address"
+    (Invalid_argument "Segfit.free: not an allocated address") (fun () ->
+      Seg.free s 12345)
+
+let seg_invalid_size () =
+  let s = Seg.create () in
+  Alcotest.check_raises "zero size"
+    (Invalid_argument "Segfit.alloc: size must be positive") (fun () ->
+      ignore (Seg.alloc s 0))
+
 (* -- arena ----------------------------------------------------------------------- *)
 
 let small_config = { Arena.n_arenas = 4; arena_size = 128 }
@@ -201,7 +259,8 @@ let arena_free_dispatch () =
   Arena.free a in_arena;
   Arena.free a in_general;
   Alcotest.(check int) "both freed" 2 (Arena.frees a);
-  FF.check_invariants (Arena.general a)
+  Alcotest.(check string) "fallback is first-fit" "first-fit" (Arena.general_name a);
+  Arena.check_invariants a
 
 let arena_heap_includes_area () =
   let a = Arena.create ~config:small_config () in
@@ -219,9 +278,15 @@ let make_trace () =
   Lp_ialloc.Runtime.leave rt;
   Lp_ialloc.Runtime.finish rt
 
+let predictor_const verdict =
+  {
+    Lp_allocsim.Driver.predicted = (fun ~obj:_ ~size:_ ~chain:_ ~key:_ -> verdict);
+    predict_cost = 18;
+  }
+
 let driver_first_fit () =
   let trace = make_trace () in
-  let m = Lp_allocsim.Driver.run trace Lp_allocsim.Driver.First_fit in
+  let m = Lp_allocsim.Driver.run_named trace "first-fit" in
   Alcotest.(check int) "allocs" 50 m.Lp_allocsim.Metrics.allocs;
   Alcotest.(check int) "frees" 25 m.Lp_allocsim.Metrics.frees;
   Alcotest.(check bool) "instr/alloc positive" true (m.instr_per_alloc > 0.)
@@ -229,28 +294,17 @@ let driver_first_fit () =
 let driver_arena_predict_all () =
   let trace = make_trace () in
   let m =
-    Lp_allocsim.Driver.run trace
-      (Lp_allocsim.Driver.Arena
-         {
-           config = Arena.default_config;
-           predicted = (fun ~obj:_ ~size:_ ~chain:_ ~key:_ -> true);
-           predict_cost = 18;
-         })
+    Lp_allocsim.Driver.run_named ~predictor:(predictor_const true) trace "arena"
   in
-  Alcotest.(check int) "everything in arenas" 50 m.Lp_allocsim.Metrics.arena_allocs;
+  let stats = Option.get (Lp_allocsim.Metrics.arena_stats m) in
+  Alcotest.(check int) "everything in arenas" 50 stats.arena_allocs;
   Alcotest.(check bool) "heap includes 64KB area" true (m.max_heap >= 65536)
 
 let driver_arena_predict_none_equals_first_fit () =
   let trace = make_trace () in
-  let ff = Lp_allocsim.Driver.run trace Lp_allocsim.Driver.First_fit in
+  let ff = Lp_allocsim.Driver.run_named trace "first-fit" in
   let ar =
-    Lp_allocsim.Driver.run trace
-      (Lp_allocsim.Driver.Arena
-         {
-           config = Arena.default_config;
-           predicted = (fun ~obj:_ ~size:_ ~chain:_ ~key:_ -> false);
-           predict_cost = 18;
-         })
+    Lp_allocsim.Driver.run_named ~predictor:(predictor_const false) trace "arena"
   in
   (* the degenerate case of the paper: an arena allocator that puts nothing
      in arenas is first-fit plus the arena area *)
@@ -276,8 +330,10 @@ let hand_trace events n_objects : Lp_trace.Trace.t =
     tags = [||];
   }
 
-let check_driver_rejects name trace algo ~substrings =
-  match Lp_allocsim.Driver.run trace algo with
+let check_driver_rejects name trace backend ~substrings =
+  match
+    Lp_allocsim.Driver.run_named ~predictor:(predictor_const true) trace backend
+  with
   | _ -> Alcotest.failf "%s: expected Failure" name
   | exception Failure msg ->
       List.iter
@@ -298,24 +354,17 @@ let driver_rejects_bad_frees () =
   let never_allocated = hand_trace [ free 0 ] 1 in
   let double_free = hand_trace [ alloc 0; free 0; free 0 ] 1 in
   let out_of_range = hand_trace [ free 7 ] 1 in
+  (* every registry backend must reject the same malformed traces: the
+     validation lives in the one replay loop, not in any allocator *)
   List.iter
-    (fun algo ->
-      check_driver_rejects "free of never-allocated" never_allocated algo
+    (fun backend ->
+      check_driver_rejects "free of never-allocated" never_allocated backend
         ~substrings:[ "object 0"; "event 0" ];
-      check_driver_rejects "double free" double_free algo
+      check_driver_rejects "double free" double_free backend
         ~substrings:[ "object 0"; "event 2" ];
-      check_driver_rejects "free out of range" out_of_range algo
+      check_driver_rejects "free out of range" out_of_range backend
         ~substrings:[ "object 7"; "event 0" ])
-    [
-      Lp_allocsim.Driver.First_fit;
-      Lp_allocsim.Driver.Bsd;
-      Lp_allocsim.Driver.Arena
-        {
-          config = Arena.default_config;
-          predicted = (fun ~obj:_ ~size:_ ~chain:_ ~key:_ -> true);
-          predict_cost = 18;
-        };
-    ]
+    (Lp_allocsim.Registry.names ())
 
 let suites =
   [
@@ -336,6 +385,16 @@ let suites =
         Alcotest.test_case "basics" `Quick bsd_basics;
         Alcotest.test_case "size classes" `Quick bsd_size_classes;
         Alcotest.test_case "never coalesces" `Quick bsd_never_coalesces;
+      ] );
+    ( "segfit",
+      [
+        Alcotest.test_case "alloc/free round-trip" `Quick seg_roundtrip;
+        Alcotest.test_case "cells share a slab" `Quick seg_cells_share_a_slab;
+        Alcotest.test_case "page recycled across classes" `Quick
+          seg_page_recycled_across_classes;
+        Alcotest.test_case "large spans reused" `Quick seg_large_spans_reused;
+        Alcotest.test_case "free unknown address" `Quick seg_free_unknown;
+        Alcotest.test_case "invalid size" `Quick seg_invalid_size;
       ] );
     ( "arena",
       [

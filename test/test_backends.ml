@@ -1,0 +1,110 @@
+(* Generic property suite over every allocator backend in the registry.
+   The properties hold for ANY correct allocator, so each registry entry —
+   including ones future sessions add — is exercised without writing new
+   tests: live payload ranges never overlap, freed space is reusable (the
+   heap stops growing under repeated alloc-all/free-all cycles), the heap
+   high-water mark covers the peak of live payload bytes, operation
+   counters match the op sequence, and the backend's own invariant checker
+   stays happy.
+
+   The arena backend runs through the same harness: the [predicted] flag
+   alternates, so both the bump path and the general-heap fallback are
+   driven; generated sizes stay below the 4 KB arena size. *)
+
+let backend_names = Lp_allocsim.Registry.names ()
+
+(* Interpret a list of ints as an op sequence: n >= 0 allocates
+   1 + n mod 600 bytes; n < 0 frees the (-n mod live)-th live object. *)
+let ops_property name =
+  QCheck.Test.make ~count:60 ~long_factor:3
+    ~name:(Printf.sprintf "%s: no overlap, counters, invariants" name)
+    QCheck.(list (int_range (-1000) 1000))
+    (fun ops ->
+      let (module B : Lp_allocsim.Backend.BACKEND) =
+        Lp_allocsim.Registry.backend name
+      in
+      let t = B.create () in
+      let live = ref [] in
+      let n_allocs = ref 0 and n_frees = ref 0 in
+      let cur = ref 0 and peak = ref 0 in
+      List.iteri
+        (fun i op ->
+          if op >= 0 then begin
+            let size = 1 + (op mod 600) in
+            let addr = B.alloc t ~size ~predicted:(i mod 2 = 0) in
+            incr n_allocs;
+            List.iter
+              (fun (a, s) ->
+                if addr < a + s && a < addr + size then
+                  QCheck.Test.fail_reportf
+                    "%s: [%d,%d) overlaps live [%d,%d)" name addr (addr + size)
+                    a (a + s))
+              !live;
+            live := (addr, size) :: !live;
+            cur := !cur + size;
+            if !cur > !peak then peak := !cur
+          end
+          else
+            match !live with
+            | [] -> ()
+            | l ->
+                let idx = -op mod List.length l in
+                let a, s = List.nth l idx in
+                B.free t a;
+                incr n_frees;
+                live := List.filteri (fun j _ -> j <> idx) l;
+                cur := !cur - s)
+        ops;
+      B.check_invariants t;
+      if B.allocs t <> !n_allocs then
+        QCheck.Test.fail_reportf "%s: %d allocs counted, %d performed" name
+          (B.allocs t) !n_allocs;
+      if B.frees t <> !n_frees then
+        QCheck.Test.fail_reportf "%s: %d frees counted, %d performed" name
+          (B.frees t) !n_frees;
+      if B.max_heap_size t < !peak then
+        QCheck.Test.fail_reportf "%s: max heap %d below peak live payload %d"
+          name (B.max_heap_size t) !peak;
+      true)
+
+(* Freed bytes must be reusable: replaying the same alloc-all/free-all
+   cycle cannot grow the heap once the allocator has reached steady state
+   (after two cycles every backend has seen the full working set). *)
+let reuse_property name =
+  QCheck.Test.make ~count:30
+    ~name:(Printf.sprintf "%s: repeated cycles stop growing the heap" name)
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 40) (int_range 1 512))
+    (fun sizes ->
+      let (module B : Lp_allocsim.Backend.BACKEND) =
+        Lp_allocsim.Registry.backend name
+      in
+      let t = B.create () in
+      let cycle () =
+        let addrs =
+          List.mapi (fun i size -> B.alloc t ~size ~predicted:(i mod 2 = 0)) sizes
+        in
+        List.iter (B.free t) addrs
+      in
+      cycle ();
+      cycle ();
+      let steady = B.max_heap_size t in
+      cycle ();
+      cycle ();
+      cycle ();
+      B.check_invariants t;
+      if B.max_heap_size t <> steady then
+        QCheck.Test.fail_reportf "%s: heap grew from %d to %d on replayed cycles"
+          name steady (B.max_heap_size t);
+      true)
+
+let suites =
+  [
+    ( "backend-properties",
+      List.concat_map
+        (fun name ->
+          [
+            QCheck_alcotest.to_alcotest (ops_property name);
+            QCheck_alcotest.to_alcotest (reuse_property name);
+          ])
+        backend_names );
+  ]

@@ -130,7 +130,7 @@ let locality_replay_counts_refs () =
   let trace = Rt.finish rt in
   let cache = Cache.create ~size_bytes:4096 () in
   let (_ : Lp_allocsim.Metrics.t) =
-    Lp_allocsim.Driver.run ~cache trace Lp_allocsim.Driver.First_fit
+    Lp_allocsim.Driver.run_named ~cache trace "first-fit"
   in
   (* 10 touch refs + header accesses at alloc and free *)
   Alcotest.(check int) "12 accesses" 12 (Cache.accesses cache)
@@ -147,7 +147,7 @@ let locality_hot_reuse_beats_spread () =
   let trace = Rt.finish rt in
   let cache = Cache.create ~size_bytes:4096 () in
   let (_ : Lp_allocsim.Metrics.t) =
-    Lp_allocsim.Driver.run ~cache trace Lp_allocsim.Driver.First_fit
+    Lp_allocsim.Driver.run_named ~cache trace "first-fit"
   in
   Alcotest.(check bool) "miss rate under 1%" true (Cache.miss_rate cache < 0.01)
 

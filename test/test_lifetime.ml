@@ -119,24 +119,24 @@ let simulation_places_short_in_arenas () =
   let trace = synthetic ~input:"a" () in
   let table = Lifetime.Train.collect ~config trace in
   let p = Lifetime.Predictor.build ~config ~funcs:trace.funcs table in
-  let sim = Lifetime.Simulate.run ~config ~predictor:p ~test:trace in
-  let m = sim.arena.len4 in
+  let sim = Lifetime.Simulate.run ~config ~predictor:p ~test:trace () in
+  let m = (Lifetime.Simulate.arena_len4 sim) in
   Alcotest.(check bool) "most allocs in arenas" true
     (Lp_allocsim.Metrics.arena_alloc_pct m > 90.);
   (* prediction cost of 18 instructions is charged per alloc *)
   Alcotest.(check bool) "len4 cheaper than cce or close" true
-    (m.instr_per_alloc <= sim.arena.cce.instr_per_alloc +. 1e-9
-     || sim.arena.cce.instr_per_alloc > 0.)
+    (m.instr_per_alloc <= (Lifetime.Simulate.arena_cce sim).instr_per_alloc +. 1e-9
+     || (Lifetime.Simulate.arena_cce sim).instr_per_alloc > 0.)
 
 let first_fit_vs_arena_heaps () =
   let trace = synthetic ~input:"a" () in
   let table = Lifetime.Train.collect ~config trace in
   let p = Lifetime.Predictor.build ~config ~funcs:trace.funcs table in
-  let sim = Lifetime.Simulate.run ~config ~predictor:p ~test:trace in
+  let sim = Lifetime.Simulate.run ~config ~predictor:p ~test:trace () in
   (* small-heap program: arena adds its 64 KB area (paper Table 8's small
      programs all grow) *)
   Alcotest.(check bool) "arena heap >= first-fit heap for tiny program" true
-    (sim.arena.len4.max_heap >= sim.first_fit.max_heap)
+    ((Lifetime.Simulate.arena_len4 sim).max_heap >= (Lifetime.Simulate.first_fit sim).max_heap)
 
 let experiments_table1 () =
   let rows = Lifetime.Experiments.table1 () in
@@ -232,19 +232,19 @@ let parallel_simulation_matches_sequential () =
   let p = Lifetime.Predictor.build ~config ~funcs:trace.funcs table in
   let sim_seq =
     Lifetime.Parallel.with_domains 1 (fun () ->
-        Lifetime.Simulate.run ~config ~predictor:p ~test:trace)
+        Lifetime.Simulate.run ~config ~predictor:p ~test:trace ())
   in
   let sim_par =
     Lifetime.Parallel.with_domains 4 (fun () ->
-        Lifetime.Simulate.run ~config ~predictor:p ~test:trace)
+        Lifetime.Simulate.run ~config ~predictor:p ~test:trace ())
   in
   Alcotest.(check bool) "first-fit identical" true
-    (metrics_equal sim_seq.first_fit sim_par.first_fit);
-  Alcotest.(check bool) "bsd identical" true (metrics_equal sim_seq.bsd sim_par.bsd);
+    (metrics_equal (Lifetime.Simulate.first_fit sim_seq) (Lifetime.Simulate.first_fit sim_par));
+  Alcotest.(check bool) "bsd identical" true (metrics_equal (Lifetime.Simulate.bsd sim_seq) (Lifetime.Simulate.bsd sim_par));
   Alcotest.(check bool) "arena len4 identical" true
-    (metrics_equal sim_seq.arena.len4 sim_par.arena.len4);
+    (metrics_equal (Lifetime.Simulate.arena_len4 sim_seq) (Lifetime.Simulate.arena_len4 sim_par));
   Alcotest.(check bool) "arena cce identical" true
-    (metrics_equal sim_seq.arena.cce sim_par.arena.cce)
+    (metrics_equal (Lifetime.Simulate.arena_cce sim_seq) (Lifetime.Simulate.arena_cce sim_par))
 
 let timings_record_replay_stages () =
   Lp_obs.Timings.reset ();
@@ -257,7 +257,7 @@ let timings_record_replay_stages () =
       let trace = synthetic ~input:"a" () in
       let table = Lifetime.Train.collect ~config trace in
       let p = Lifetime.Predictor.build ~config ~funcs:trace.funcs table in
-      let _ = Lifetime.Simulate.run ~config ~predictor:p ~test:trace in
+      let _ = Lifetime.Simulate.run ~config ~predictor:p ~test:trace () in
       let stages = Lp_obs.Timings.stages () in
       let find name =
         match List.find_opt (fun s -> s.Lp_obs.Timings.name = name) stages with
@@ -270,6 +270,38 @@ let timings_record_replay_stages () =
       Alcotest.(check int) "bsd items = events" events (find "replay/bsd").items;
       (* the two arena pricings aggregate under one stage *)
       Alcotest.(check int) "two arena replays" 2 (find "replay/arena").calls)
+
+(* Regression: the simulation cache key must cover every Config field the
+   cached row depends on — it used to ignore the config entirely, so a
+   sweep varying e.g. the threshold read back stale rows computed under
+   the default. *)
+let cache_key_covers_config () =
+  let base = Lifetime.Config.default in
+  let key ?scale ?allocators c =
+    Lifetime.Experiments.cache_key ?scale ?allocators ~config:c "prog"
+  in
+  Alcotest.(check string) "same inputs, same key" (key base) (key base);
+  let distinct what k = Alcotest.(check bool) what true (k <> key base) in
+  distinct "threshold in key" (key { base with short_lived_threshold = 1024 });
+  distinct "n_arenas in key" (key { base with n_arenas = 4 });
+  distinct "arena_size in key" (key { base with arena_size = 8192 });
+  distinct "size_rounding in key" (key { base with size_rounding = 16 });
+  distinct "policy in key"
+    (key { base with policy = Lp_callchain.Site.Last_callers 2 });
+  distinct "scale in key" (key ~scale:0.5 base);
+  distinct "allocators in key" (key ~allocators:[ "first-fit" ] base)
+
+(* The exact weighted quantile uses a ceiling rank: with weights
+   (1,w=1) (2,w=2) (3,w=3), total 6, the 25% quantile must cover
+   ceil(1.5) = 2 bytes -> value 2; the floored rank used to return 1. *)
+let weighted_quantile_ceiling_rank () =
+  let sorted = [ (1., 1); (2., 2); (3., 3) ] in
+  let q p = Lifetime.Experiments.weighted_quantile sorted ~total:6 p in
+  Alcotest.(check (float 0.)) "q25 covers 2 of 6 bytes" 2. (q 0.25);
+  Alcotest.(check (float 0.)) "median covers 3 of 6 bytes" 2. (q 0.50);
+  Alcotest.(check (float 0.)) "q75 covers 5 of 6 bytes" 3. (q 0.75);
+  Alcotest.(check (float 0.)) "q100 is the max" 3. (q 1.0);
+  Alcotest.(check (float 0.)) "q0 is the min" 1. (q 0.)
 
 let suites =
   [
@@ -302,5 +334,8 @@ let suites =
         Alcotest.test_case "table1 rows" `Quick experiments_table1;
         Alcotest.test_case "portable keys" `Quick portable_key_roundtrip;
         Alcotest.test_case "fraction selection" `Quick fraction_selection_trades_error;
+        Alcotest.test_case "cache key covers config" `Quick cache_key_covers_config;
+        Alcotest.test_case "weighted quantile ceiling rank" `Quick
+          weighted_quantile_ceiling_rank;
       ] );
   ]

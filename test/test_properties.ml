@@ -189,7 +189,7 @@ let gen_alloc_counts_match_driver =
   QCheck.Test.make ~name:"generational and driver agree on alloc counts" ~count:50
     (QCheck.make random_trace_gen)
     (fun trace ->
-      let m = Lp_allocsim.Driver.run trace Lp_allocsim.Driver.First_fit in
+      let m = Lp_allocsim.Driver.run_named trace "first-fit" in
       let g =
         Lp_allocsim.Generational.run
           ~pretenure:(fun ~obj:_ ~size:_ ~chain:_ ~key:_ -> false)
