@@ -7,7 +7,8 @@
      lifetimes FILE                 lifetime quartiles of a trace (Table 3 row)
      train    FILE                  train a predictor, show its sites
      evaluate --train A --test B    self/true prediction quality (Table 4 row)
-     simulate --train A --test B    first-fit vs BSD vs arena (Tables 7-9)  *)
+     simulate --train A --test B    first-fit vs BSD vs arena (Tables 7-9)
+     lint     FILE                  statically check a trace or model file  *)
 
 open Cmdliner
 
@@ -157,7 +158,17 @@ let train_cmd =
   let verbose =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every predictor site.")
   in
-  let run path threshold verbose timings =
+  let save =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save" ] ~docv:"FILE"
+          ~doc:
+            "Write the trained predictor as a portable model file: the \
+             accepted keys plus per-key training statistics, checkable with \
+             $(b,lpalloc lint).")
+  in
+  let run path threshold verbose save timings =
     with_timings timings @@ fun () ->
     let trace = read_trace path in
     let config = { Lifetime.Config.default with short_lived_threshold = threshold } in
@@ -168,11 +179,21 @@ let train_cmd =
       (Lifetime.Predictor.size predictor);
     if verbose then
       Lifetime.Predictor.iter_keys predictor (fun key ->
-          print_endline ("  " ^ Lifetime.Portable.to_string key))
+          print_endline ("  " ^ Lifetime.Portable.to_string key));
+    match save with
+    | None -> ()
+    | Some out ->
+        let model = Lifetime.Model.of_training ~config ~trace table predictor in
+        Lifetime.Model.save out model;
+        Printf.printf "wrote model (%d keys, %d predicted) to %s\n"
+          (List.length model.entries)
+          (List.length
+             (List.filter (fun e -> e.Lifetime.Model.predicted) model.entries))
+          out
   in
   Cmd.v
     (Cmd.info "train" ~doc:"Train a short-lived-site predictor from a trace")
-    Term.(const run $ file_arg $ threshold_arg $ verbose $ timings_arg)
+    Term.(const run $ file_arg $ threshold_arg $ verbose $ save $ timings_arg)
 
 (* -- evaluate ------------------------------------------------------------------- *)
 
@@ -233,7 +254,19 @@ let simulate_cmd =
       & opt (some (list string)) None
       & info [ "allocators" ] ~docv:"NAMES" ~doc)
   in
-  let run train_path test_path threshold allocators json domains timings =
+  let sanitize =
+    Arg.(
+      value & flag
+      & info [ "sanitize" ]
+          ~doc:
+            "Replay every backend under the shadow-heap sanitizer, which \
+             mirrors placements into a shadow interval map and aborts on \
+             overlapping live blocks, frees at unmapped addresses, or \
+             arena-boundary violations (exit 1, with the diagnostic on \
+             stderr).  A clean sanitized replay produces byte-identical \
+             metrics.")
+  in
+  let run train_path test_path threshold allocators json domains sanitize timings =
     with_timings timings @@ fun () ->
     (match domains with Some n -> Lifetime.Parallel.set_domains n | None -> ());
     (match allocators with
@@ -252,7 +285,18 @@ let simulate_cmd =
     let config = { Lifetime.Config.default with short_lived_threshold = threshold } in
     let table = Lifetime.Train.collect ~config train in
     let predictor = Lifetime.Predictor.build ~config ~funcs:train.funcs table in
-    let sim = Lifetime.Simulate.run ?allocators ~config ~predictor ~test () in
+    let wrap =
+      if sanitize then
+        let arena_config = Lifetime.Config.arena_config config in
+        Some (fun b -> Lp_analysis.Sanitize.for_backend ~arena_config b)
+      else None
+    in
+    let sim =
+      try Lifetime.Simulate.run ?allocators ?wrap ~config ~predictor ~test ()
+      with Lp_analysis.Sanitize.Violation d ->
+        Format.eprintf "%a@." (Lp_analysis.Diagnostic.pp ~source:test_path) d;
+        exit 1
+    in
     if json then
       print_string
         ("{"
@@ -278,7 +322,125 @@ let simulate_cmd =
           parallel across OCaml domains (cf. Tables 7-9)")
     Term.(
       const run $ train_file $ test_file $ threshold_arg $ allocators $ json_arg
-      $ domains $ timings_arg)
+      $ domains $ sanitize $ timings_arg)
+
+(* -- lint ------------------------------------------------------------------------ *)
+
+let lint_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE"
+          ~doc:
+            "File to check: a trace (text or binary) or a portable model \
+             written by $(b,lpalloc train --save); told apart by their magic \
+             bytes.")
+  in
+  let only =
+    Arg.(
+      value
+      & opt (some (list string)) None
+      & info [ "only" ] ~docv:"RULES"
+          ~doc:"Run only these comma-separated rule ids (see $(b,LINT RULES)).")
+  in
+  let disable =
+    Arg.(
+      value
+      & opt (some (list string)) None
+      & info [ "disable" ] ~docv:"RULES"
+          ~doc:"Skip these comma-separated rule ids.")
+  in
+  let max_chain_depth =
+    Arg.(
+      value
+      & opt int Lp_analysis.Lint.default_max_chain_depth
+      & info [ "max-chain-depth" ] ~docv:"N"
+          ~doc:"Call chains deeper than $(docv) frames are chain anomalies.")
+  in
+  let max_per_rule =
+    Arg.(
+      value
+      & opt int 20
+      & info [ "max-per-rule" ] ~docv:"N"
+          ~doc:
+            "Print at most $(docv) diagnostics per rule in the text report \
+             (the summary counts, the exit code and $(b,--json) always cover \
+             all of them).")
+  in
+  let run path json only disable max_chain_depth max_per_rule timings =
+    with_timings timings @@ fun () ->
+    let diags, rules =
+      try
+        let contents = In_channel.with_open_bin path In_channel.input_all in
+        if Lifetime.Model.looks_like_model contents then
+          ( Lp_analysis.Validate.run ?only ?disable
+              (Lifetime.Model.of_string ~name:path contents),
+            Lp_analysis.Validate.rules )
+        else
+          ( Lp_analysis.Lint.run ?only ?disable ~max_chain_depth
+              (read_trace path),
+            Lp_analysis.Lint.rules )
+      with Invalid_argument msg | Failure msg ->
+        Printf.eprintf "lpalloc lint: %s\n" msg;
+        exit 2
+    in
+    if json then print_endline (Lp_analysis.Diagnostic.list_to_json diags)
+    else begin
+      (* cap the per-rule flood in the text report; the summary and --json
+         still account for every diagnostic *)
+      let printed = Hashtbl.create 8 in
+      List.iter
+        (fun (d : Lp_analysis.Diagnostic.t) ->
+          let n = Option.value (Hashtbl.find_opt printed d.rule) ~default:0 in
+          Hashtbl.replace printed d.rule (n + 1);
+          if n < max_per_rule then
+            Format.printf "%a@." (Lp_analysis.Diagnostic.pp ~source:path) d
+          else if n = max_per_rule then
+            Format.printf "%s: [%s] further diagnostics suppressed (--json has all)@."
+              path d.rule)
+        diags;
+      Format.printf "%a" (Lp_analysis.Diagnostic.pp_summary ~rules) diags
+    end;
+    if Lp_analysis.Diagnostic.has_errors diags then exit 1
+  in
+  let rule_section title rules =
+    `S title
+    :: List.map
+         (fun (r : Lp_analysis.Diagnostic.rule) ->
+           `P
+             (Printf.sprintf "$(b,%s) (%s): %s." r.id
+                (match r.default_severity with
+                | Lp_analysis.Diagnostic.Error -> "error"
+                | Warning -> "warning"
+                | Info -> "info")
+                r.doc))
+         rules
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Statically check a trace or a portable predictor model and report \
+         structured diagnostics.  The exit code is the contract: $(b,0) when \
+         no error-severity diagnostic was found (warnings allowed), $(b,1) \
+         when at least one error was, $(b,2) on usage or I/O errors.";
+    ]
+    @ rule_section "LINT RULES (traces)" Lp_analysis.Lint.rules
+    @ rule_section "LINT RULES (models)" Lp_analysis.Validate.rules
+  in
+  let exits =
+    Cmd.Exit.info 1
+      ~doc:"at least one error-severity diagnostic (warnings alone exit 0)."
+    :: Cmd.Exit.info 2 ~doc:"usage or I/O error (unknown rule id, unreadable file)."
+    :: Cmd.Exit.defaults
+  in
+  Cmd.v
+    (Cmd.info "lint" ~man ~exits
+       ~doc:"Statically check a trace or predictor-model file")
+    Term.(
+      const run $ file $ json_arg $ only $ disable $ max_chain_depth
+      $ max_per_rule $ timings_arg)
 
 let () =
   let doc =
@@ -291,5 +453,5 @@ let () =
        (Cmd.group info
           [
             list_cmd; trace_cmd; stats_cmd; lifetimes_cmd; train_cmd; evaluate_cmd;
-            simulate_cmd;
+            simulate_cmd; lint_cmd;
           ]))

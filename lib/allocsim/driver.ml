@@ -85,7 +85,9 @@ let run_impl ?cache ?predictor (trace : Lp_trace.Trace.t)
                 p.predicted ~obj ~size ~chain ~key
           in
           track_alloc obj size (B.alloc b ~size ~predicted)
-      | Lp_trace.Event.Free { obj } ->
+      | Lp_trace.Event.Free { obj; _ } ->
+          (* a declared sized-deallocation size is the linter's business,
+             not the replay's: the allocator is handed only the address *)
           let addr = addr_for_free ~event obj in
           B.free b addr;
           track_free obj addr

@@ -67,7 +67,7 @@ let run ?(config = default_config) ~pretenure (trace : Lp_trace.Trace.t) : stats
             nursery := obj :: !nursery;
             nursery_used := !nursery_used + size
           end
-      | Lp_trace.Event.Free { obj } -> (
+      | Lp_trace.Event.Free { obj; _ } -> (
           dead.(obj) <- true;
           match space_of.(obj) with
           | Tenured ->

@@ -1,0 +1,105 @@
+type severity = Error | Warning | Info
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+type t = {
+  rule : string;
+  severity : severity;
+  event : int option;
+  obj : int option;
+  site : string option;
+  message : string;
+}
+
+let make ~rule ~severity ?event ?obj ?site message =
+  { rule; severity; event; obj; site; message }
+
+let is_error d = d.severity = Error
+let has_errors ds = List.exists is_error ds
+
+let pp ?(source = "<input>") ppf d =
+  let anchor =
+    match d.event with Some e -> Printf.sprintf "event %d" e | None -> "-"
+  in
+  Format.fprintf ppf "%s:%s: %s [%s] %s" source anchor
+    (severity_to_string d.severity)
+    d.rule d.message;
+  match d.site with
+  | Some s -> Format.fprintf ppf " (%s)" s
+  | None -> ()
+
+(* minimal JSON string escaping; rule ids and messages are ASCII but sites
+   can carry workload-chosen function names *)
+let json_string s =
+  let b = Buffer.create (String.length s + 8) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let to_json d =
+  let fields =
+    [
+      Some (Printf.sprintf "\"rule\":%s" (json_string d.rule));
+      Some
+        (Printf.sprintf "\"severity\":%s"
+           (json_string (severity_to_string d.severity)));
+      Option.map (Printf.sprintf "\"event\":%d") d.event;
+      Option.map (Printf.sprintf "\"obj\":%d") d.obj;
+      Option.map (fun s -> Printf.sprintf "\"site\":%s" (json_string s)) d.site;
+      Some (Printf.sprintf "\"message\":%s" (json_string d.message));
+    ]
+  in
+  "{" ^ String.concat "," (List.filter_map Fun.id fields) ^ "}"
+
+let list_to_json ds = "[" ^ String.concat "," (List.map to_json ds) ^ "]"
+
+type rule = { id : string; default_severity : severity; doc : string }
+
+let select ~rules ?only ?disable () =
+  let known id = List.exists (fun r -> r.id = id) rules in
+  let check what ids =
+    List.iter
+      (fun id ->
+        if not (known id) then
+          invalid_arg
+            (Printf.sprintf "Diagnostic.select: unknown rule %S in %s (known: %s)"
+               id what
+               (String.concat ", " (List.map (fun r -> r.id) rules))))
+      ids
+  in
+  Option.iter (check "--only") only;
+  Option.iter (check "--disable") disable;
+  fun id ->
+    (match only with Some o -> List.mem id o | None -> true)
+    && match disable with Some d -> not (List.mem id d) | None -> true
+
+let pp_summary ~rules ppf ds =
+  let count id = List.length (List.filter (fun d -> d.rule = id) ds) in
+  let width =
+    List.fold_left (fun w r -> max w (String.length r.id)) 4 rules
+  in
+  Format.fprintf ppf "%-*s  %-8s %s@." width "rule" "severity" "count";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-*s  %-8s %d@." width r.id
+        (severity_to_string r.default_severity)
+        (count r.id))
+    rules;
+  let sev s = List.length (List.filter (fun d -> d.severity = s) ds) in
+  Format.fprintf ppf "%d error(s), %d warning(s), %d info@." (sev Error)
+    (sev Warning) (sev Info)

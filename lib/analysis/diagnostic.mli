@@ -1,0 +1,73 @@
+(** Structured diagnostics — the shared core of the static-analysis layer.
+
+    Every pass of [lp_analysis] (the trace linter, the shadow-heap
+    sanitizer, the predictor-model validator) reports its findings as
+    values of {!t}: a stable rule identifier, a severity, the event (or
+    replay-operation) index the finding anchors to, the object and
+    allocation site involved when known, and a human message.  One
+    diagnostic type means one text renderer, one JSON renderer and one
+    summary table serve all three passes, and [lpalloc lint]'s exit-code
+    contract ("nonzero iff any error-severity diagnostic") is a single
+    {!has_errors} call. *)
+
+type severity = Error | Warning | Info
+
+val severity_to_string : severity -> string
+(** ["error"], ["warning"], ["info"]. *)
+
+type t = {
+  rule : string;  (** stable rule identifier, e.g. ["double-free"] *)
+  severity : severity;
+  event : int option;
+      (** event index in the trace for linter rules; replay-operation
+          index (allocs + frees, in order) for sanitizer checks; [None]
+          for whole-artifact findings such as model checks *)
+  obj : int option;  (** object id, when the finding concerns one *)
+  site : string option;
+      (** allocation site, address range, or model key, rendered *)
+  message : string;
+}
+
+val make :
+  rule:string ->
+  severity:severity ->
+  ?event:int ->
+  ?obj:int ->
+  ?site:string ->
+  string ->
+  t
+
+val is_error : t -> bool
+
+val has_errors : t list -> bool
+(** True iff any diagnostic is error-severity — the exit-code predicate. *)
+
+val pp : ?source:string -> Format.formatter -> t -> unit
+(** One line: [<source>:<anchor>: <severity> [<rule>] <message> (<site>)].
+    [source] is the analysed file when known. *)
+
+val to_json : t -> string
+(** One JSON object; absent optional fields are omitted. *)
+
+val list_to_json : t list -> string
+(** A JSON array of {!to_json} objects. *)
+
+(** {2 Rules and rule selection} *)
+
+type rule = {
+  id : string;
+  default_severity : severity;
+      (** the severity the rule usually fires at (individual diagnostics
+          may differ, e.g. a degenerate-but-legal configuration downgraded
+          to a warning) *)
+  doc : string;  (** one line, for [--help] and the summary table *)
+}
+
+val select : rules:rule list -> ?only:string list -> ?disable:string list -> unit -> string -> bool
+(** [select ~rules ?only ?disable ()] is the enabled-predicate over rule
+    ids: every rule by default, only [only] when given, minus [disable].
+    @raise Invalid_argument if [only] or [disable] name an unknown rule. *)
+
+val pp_summary : rules:rule list -> Format.formatter -> t list -> unit
+(** The per-rule summary table (rule, severity, count), zero rows
+    included, followed by an error/warning total line. *)

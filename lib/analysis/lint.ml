@@ -1,0 +1,161 @@
+open Diagnostic
+
+let rules =
+  [
+    { id = "double-free"; default_severity = Error; doc = "an object is freed twice" };
+    {
+      id = "free-without-alloc";
+      default_severity = Error;
+      doc = "a free with no preceding allocation of the object";
+    };
+    {
+      id = "touch-after-free";
+      default_severity = Error;
+      doc = "a heap reference to an object outside its lifetime";
+    };
+    {
+      id = "size-mismatch-at-free";
+      default_severity = Error;
+      doc = "a declared sized-deallocation size differs from the allocation";
+    };
+    {
+      id = "nonpositive-size";
+      default_severity = Error;
+      doc = "an allocation of zero or negative size";
+    };
+    {
+      id = "non-monotonic-birth";
+      default_severity = Error;
+      doc = "an allocation out of dense birth-timestamp order";
+    };
+    {
+      id = "leaked-at-exit";
+      default_severity = Warning;
+      doc = "an object still live at the end of the trace";
+    };
+    {
+      id = "chain-anomaly";
+      default_severity = Warning;
+      doc = "an allocation call-chain that is empty or absurdly deep";
+    };
+  ]
+
+let default_max_chain_depth = 256
+
+(* per-object replay state for the streaming pass *)
+let unborn = -2
+let live = -1
+(* values >= 0 record the event index of the object's free *)
+
+let render_chain (trace : Lp_trace.Trace.t) chain_id =
+  if chain_id < 0 || chain_id >= Array.length trace.chains then
+    Printf.sprintf "chain %d" chain_id
+  else
+    let names = Lp_callchain.Chain.names trace.funcs trace.chains.(chain_id) in
+    match names with
+    | [] -> "<empty chain>"
+    | _ ->
+        let shown = List.filteri (fun i _ -> i < 3) names in
+        String.concat "<-" shown
+        ^ if List.length names > 3 then "<-…" else ""
+
+let run ?only ?disable ?(max_chain_depth = default_max_chain_depth)
+    (trace : Lp_trace.Trace.t) =
+  let enabled = select ~rules ?only ?disable () in
+  let out = ref [] in
+  let emit ~rule ~severity ?event ?obj ?site message =
+    if enabled rule then
+      out := make ~rule ~severity ?event ?obj ?site message :: !out
+  in
+  let n = trace.n_objects in
+  let state = Array.make n unborn in
+  let alloc_size = Array.make n 0 in
+  let alloc_event = Array.make n (-1) in
+  let alloc_chain = Array.make n (-1) in
+  (* chain anomalies are per chain, reported once at the chain's first use *)
+  let chain_reported = Array.make (max 1 (Array.length trace.chains)) false in
+  let next_obj = ref 0 in
+  let in_range obj = obj >= 0 && obj < n in
+  Array.iteri
+    (fun event ev ->
+      match (ev : Lp_trace.Event.t) with
+      | Alloc { obj; size; chain; _ } ->
+          if size <= 0 then
+            emit ~rule:"nonpositive-size" ~severity:Error ~event ~obj
+              ~site:(render_chain trace chain)
+              (Printf.sprintf "allocation of object %d with size %d" obj size);
+          if obj <> !next_obj then
+            emit ~rule:"non-monotonic-birth" ~severity:Error ~event ~obj
+              (Printf.sprintf
+                 "allocation of object %d out of birth order (expected object \
+                  %d)"
+                 obj !next_obj);
+          if in_range obj then begin
+            if obj >= !next_obj then next_obj := obj + 1;
+            state.(obj) <- live;
+            alloc_size.(obj) <- size;
+            alloc_event.(obj) <- event;
+            alloc_chain.(obj) <- chain
+          end
+          else incr next_obj;
+          if
+            chain >= 0
+            && chain < Array.length trace.chains
+            && not chain_reported.(chain)
+          then begin
+            let depth = Array.length trace.chains.(chain) in
+            if depth = 0 then begin
+              chain_reported.(chain) <- true;
+              emit ~rule:"chain-anomaly" ~severity:Warning ~event ~obj
+                ~site:"<empty chain>"
+                (Printf.sprintf "allocation call-chain %d is empty" chain)
+            end
+            else if depth > max_chain_depth then begin
+              chain_reported.(chain) <- true;
+              emit ~rule:"chain-anomaly" ~severity:Warning ~event ~obj
+                ~site:(render_chain trace chain)
+                (Printf.sprintf "allocation call-chain %d has depth %d (limit %d)"
+                   chain depth max_chain_depth)
+            end
+          end
+      | Free { obj; size } ->
+          if (not (in_range obj)) || state.(obj) = unborn then
+            emit ~rule:"free-without-alloc" ~severity:Error ~event ~obj
+              (Printf.sprintf "free of object %d which has not been allocated"
+                 obj)
+          else begin
+            (if state.(obj) >= 0 then
+               emit ~rule:"double-free" ~severity:Error ~event ~obj
+                 ~site:(render_chain trace alloc_chain.(obj))
+                 (Printf.sprintf "object %d freed again (first freed at event %d)"
+                    obj state.(obj)));
+            if size >= 0 && size <> alloc_size.(obj) then
+              emit ~rule:"size-mismatch-at-free" ~severity:Error ~event ~obj
+                ~site:(render_chain trace alloc_chain.(obj))
+                (Printf.sprintf
+                   "free declares size %d but object %d was allocated with \
+                    size %d at event %d"
+                   size obj alloc_size.(obj) alloc_event.(obj));
+            if state.(obj) = live then state.(obj) <- event
+          end
+      | Touch { obj; _ } ->
+          if (not (in_range obj)) || state.(obj) = unborn then
+            emit ~rule:"touch-after-free" ~severity:Error ~event ~obj
+              (Printf.sprintf "touch of object %d before its allocation" obj)
+          else if state.(obj) >= 0 then
+            emit ~rule:"touch-after-free" ~severity:Error ~event ~obj
+              ~site:(render_chain trace alloc_chain.(obj))
+              (Printf.sprintf "touch of object %d after its free at event %d"
+                 obj state.(obj)))
+    trace.events;
+  for obj = 0 to n - 1 do
+    if state.(obj) = live then
+      emit ~rule:"leaked-at-exit" ~severity:Warning ~event:alloc_event.(obj)
+        ~obj
+        ~site:(render_chain trace alloc_chain.(obj))
+        (Printf.sprintf "object %d (size %d) still live at end of trace" obj
+           alloc_size.(obj))
+  done;
+  List.rev !out
+
+let clean ds = not (has_errors ds)

@@ -1,0 +1,51 @@
+(** The shadow-heap sanitizer: an ASan-style wrapper over any allocator
+    backend.
+
+    {!wrap} composes over an arbitrary {!Lp_allocsim.Backend.BACKEND} and
+    mirrors every placement the backend makes into a shadow interval map
+    of the simulated address space.  A backend bug that the replay engine
+    cannot see — two live blocks overlapping, a free at an address the
+    backend never returned, a misaligned or boundary-straddling block —
+    raises {!Violation} at the exact operation, instead of silently
+    corrupting the heap-size and fragmentation tables downstream.
+
+    Four checks:
+
+    - [shadow-overlap] (error): a new block overlaps a live one.
+    - [shadow-unmapped-free] (error): a free at an address with no live
+      block starting there.
+    - [shadow-misaligned] (error): a block whose address is not a
+      multiple of [alignment] (only checked when [alignment > 1]; the
+      backends make no common alignment promise, so the default is 1).
+    - [shadow-boundary] (error): a block straddling the [boundary]
+      address — for the arena backend, the line between the fixed arena
+      area and the fallback heap, which no single block may cross.
+
+    The wrapper delegates [name], every counter and [extra] to the inner
+    backend, so metrics produced under the sanitizer are byte-identical
+    to an unsanitized replay; [check_invariants] additionally verifies
+    that the shadow block count matches the backend's live count. *)
+
+exception Violation of Diagnostic.t
+(** Raised at the offending operation.  The diagnostic's [event] is the
+    replay-operation index (allocs and frees, in call order, from 0) —
+    not the trace event index, since touches never reach the backend. *)
+
+val rules : Diagnostic.rule list
+
+val wrap :
+  ?alignment:int -> ?boundary:int -> Lp_allocsim.Backend.t -> Lp_allocsim.Backend.t
+(** [wrap backend] is a backend with the same name and metrics whose
+    allocs and frees are checked against the shadow heap.
+    @raise Invalid_argument if [alignment < 1]. *)
+
+val for_backend :
+  ?alignment:int ->
+  ?arena_config:Lp_allocsim.Arena.config ->
+  Lp_allocsim.Backend.t ->
+  Lp_allocsim.Backend.t
+(** {!wrap} with the backend-appropriate geometry: the arena backend gets
+    [boundary] set to the end of its arena area ([n_arenas * arena_size],
+    the paper's 64 KB by default); other backends get no boundary.  This
+    is what [lpalloc simulate --sanitize] passes to
+    {!Lifetime.Simulate.run}'s [wrap] hook. *)

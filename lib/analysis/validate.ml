@@ -1,0 +1,95 @@
+open Diagnostic
+module Model = Lifetime.Model
+
+let rules =
+  [
+    {
+      id = "model-orphaned-site";
+      default_severity = Error;
+      doc = "a predicted key with empty or self-contradictory statistics";
+    };
+    {
+      id = "model-contradictory-prefix";
+      default_severity = Warning;
+      doc = "a short-lived label contradicted by the recorded lifetimes";
+    };
+    {
+      id = "model-threshold-range";
+      default_severity = Error;
+      doc = "a threshold outside the observed lifetime range";
+    };
+  ]
+
+(* innermost-first: [p] is a proper prefix of [q] when every caller [p]
+   retains is the same in [q] and [q] keeps at least one more *)
+let rec proper_prefix p q =
+  match (p, q) with
+  | [], [] -> false
+  | [], _ :: _ -> true
+  | _ :: _, [] -> false
+  | a :: p', b :: q' -> String.equal a b && proper_prefix p' q'
+
+let run ?only ?disable (m : Model.t) =
+  let enabled = select ~rules ?only ?disable () in
+  let diags = ref [] in
+  let emit ~rule ~severity ?event ?site fmt =
+    Printf.ksprintf
+      (fun msg ->
+        if enabled rule then
+          diags := make ~rule ~severity ?event ?site msg :: !diags)
+      fmt
+  in
+  let key_name (e : Model.entry) = Lifetime.Portable.to_string e.key in
+  (* -- model-level threshold checks -- *)
+  if m.threshold <= 0 then
+    emit ~rule:"model-threshold-range" ~severity:Error
+      "short-lived threshold %d is not positive" m.threshold
+  else if m.clock > 0 && m.threshold > m.clock then
+    emit ~rule:"model-threshold-range" ~severity:Warning
+      "threshold %d exceeds the training run's clock %d, so every object \
+       was trivially short-lived"
+      m.threshold m.clock;
+  let entries = Array.of_list m.entries in
+  Array.iteri
+    (fun i (e : Model.entry) ->
+      let emit ~rule ~severity fmt =
+        emit ~rule ~severity ~event:i ~site:(key_name e) fmt
+      in
+      if e.short_count > e.count || e.count < 0 || e.max_lifetime < 0 then
+        emit ~rule:"model-orphaned-site" ~severity:Error
+          "inconsistent statistics: %d short-lived of %d observed, max \
+           lifetime %d"
+          e.short_count e.count e.max_lifetime
+      else if e.predicted then begin
+        if e.count = 0 then
+          emit ~rule:"model-orphaned-site" ~severity:Error
+            "predicted key was never observed during training"
+        else begin
+          if e.short_count < e.count then
+            emit ~rule:"model-contradictory-prefix" ~severity:Error
+              "predicted short-lived, but training observed %d long-lived \
+               object(s) of %d"
+              (e.count - e.short_count) e.count;
+          if e.max_lifetime >= m.threshold then
+            emit ~rule:"model-threshold-range" ~severity:Error
+              "predicted key's max observed lifetime %d is not below the \
+               threshold %d"
+              e.max_lifetime m.threshold;
+          (* a predicted key that over-generalises a deeper all-long context *)
+          Array.iteri
+            (fun j (q : Model.entry) ->
+              if
+                j <> i && q.count > 0 && q.short_count = 0
+                && q.key.Lifetime.Portable.size = e.key.Lifetime.Portable.size
+                && proper_prefix e.key.Lifetime.Portable.chain
+                     q.key.Lifetime.Portable.chain
+              then
+                emit ~rule:"model-contradictory-prefix" ~severity:Warning
+                  "predicted chain is a prefix of %s, which observed only \
+                   long-lived objects"
+                  (key_name q))
+            entries
+        end
+      end)
+    entries;
+  List.rev !diags

@@ -1,0 +1,31 @@
+(** Static validation of portable predictor models.
+
+    A trained model ({!Lifetime.Model}) travels between the profiling and
+    production runs as a text file, so it can be stale, hand-edited or
+    corrupted.  This pass checks a loaded model against itself — no trace
+    required — using the per-key training statistics the format carries:
+
+    - {b model-orphaned-site}: a key the predictor accepted but whose
+      recorded training statistics are empty or self-contradictory
+      (no observations, or more short-lived observations than
+      observations).  Such an entry cannot have come from a training run.
+    - {b model-contradictory-prefix}: a short-lived label the statistics
+      contradict — either directly (a predicted key that observed
+      long-lived objects) or along a call-chain prefix (a predicted key
+      whose chain is a proper prefix of another same-size key that
+      observed {e only} long-lived objects, so the shorter context
+      over-generalises).
+    - {b model-threshold-range}: a threshold outside the observed
+      lifetime range — non-positive, larger than the training run's
+      whole clock (every object trivially short), or not above the
+      maximum lifetime recorded for some predicted key. *)
+
+val rules : Diagnostic.rule list
+
+val run :
+  ?only:string list -> ?disable:string list -> Lifetime.Model.t ->
+  Diagnostic.t list
+(** Diagnostics in entry order (model-level checks first).  [event] is
+    the 0-based entry index within the model, [site] the portable key.
+    [only]/[disable] as in {!Diagnostic.select}.
+    @raise Invalid_argument on unknown rule ids. *)

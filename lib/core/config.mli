@@ -1,0 +1,22 @@
+(** Tunable parameters of lifetime prediction, with the paper's choices as
+    defaults (§4.1 and §5.2). *)
+
+type t = {
+  short_lived_threshold : int;
+      (** an object is short-lived if it dies before this many bytes are
+          allocated; the paper uses 32 KB *)
+  n_arenas : int;  (** arena blocking; the paper uses 16 *)
+  arena_size : int;  (** bytes per arena; the paper uses 4 KB *)
+  size_rounding : int;
+      (** object sizes are rounded up to this multiple when mapping sites
+          across runs; the paper found 4 best *)
+  policy : Lp_callchain.Site.policy;
+      (** which abstraction of the birth context keys a site *)
+}
+
+val default : t
+(** The paper's configuration: 32 KB threshold, 16 × 4 KB arenas,
+    rounding 4, complete cycle-eliminated chains. *)
+
+val arena_config : t -> Lp_allocsim.Arena.config
+(** The arena-backend slice of the configuration. *)

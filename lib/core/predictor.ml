@@ -68,6 +68,23 @@ let build ?(selection = All_short) ~(config : Config.t) ~funcs
     table;
   t
 
+(* Rebuild a predictor from an explicit key set — the path a portable
+   model file takes back into a live predictor. *)
+let of_keys ?(selection = All_short) ~(config : Config.t) keys =
+  let t =
+    {
+      keys = Portable.Table.create (max 16 (List.length keys));
+      policy = config.policy;
+      rounding = config.size_rounding;
+      threshold = config.short_lived_threshold;
+      selection;
+    }
+  in
+  List.iter
+    (fun k -> if not (Portable.Table.mem t.keys k) then Portable.Table.add t.keys k ())
+    keys;
+  t
+
 let size t = Portable.Table.length t.keys
 
 let predicts_site t funcs site = Portable.Table.mem t.keys (portable_of_site t funcs site)

@@ -49,13 +49,16 @@ let arena_with_cost ~config ~predictor ~(test : Lp_trace.Trace.t) ~predict_cost 
        ~arena_config:(Config.arena_config config)
        "arena")
 
-let run ?(allocators = default_allocators) ~(config : Config.t)
-    ~(predictor : Predictor.t) ~(test : Lp_trace.Trace.t) () : t =
+let run ?(allocators = default_allocators) ?(wrap = fun b -> b)
+    ~(config : Config.t) ~(predictor : Predictor.t)
+    ~(test : Lp_trace.Trace.t) () : t =
   let arena_config = Config.arena_config config in
   let jobs =
     List.concat_map
       (fun name ->
-        let backend = Lp_allocsim.Registry.backend ~arena_config name in
+        (* [wrap] interposes on every backend — the sanitizer's hook; a
+           well-behaved wrapper keeps the name and delegates the metrics *)
+        let backend = wrap (Lp_allocsim.Registry.backend ~arena_config name) in
         let canonical = Lp_allocsim.Backend.name backend in
         if Lp_allocsim.Backend.uses_prediction backend then
           (* two pricings of the same predicting allocator; the predictor

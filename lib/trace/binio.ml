@@ -1,12 +1,19 @@
 let magic = "LPTB"
 let version = 1
+let version_sized = 2
 let end_marker = '\xE5'
 
 (* Compact opcode space (see binio.mli for the layout):
    0x00/0x01 long allocs, 0x02 long free, 0x03 long touch,
-   0x04..0x3F alloc at small site id, 0x40..0x7F free with small delta,
-   0x80..0xFF touch with 3-bit zigzag delta and 4-bit count. *)
-let max_packed_site = 0x40 - 0x04
+   alloc_base..0x3F alloc at small site id, 0x40..0x7F free with small
+   delta, 0x80..0xFF touch with 3-bit zigzag delta and 4-bit count.
+   Version 1 packs allocs from 0x04.  Version 2 — emitted only when the
+   trace contains declared (sized-deallocation) free sizes — shifts the
+   packed-alloc base to 0x06 to make room for opcode 0x05, sized free
+   (0x04 stays reserved); version-1 files keep their original byte
+   layout. *)
+let alloc_base_of_version v = if v >= version_sized then 0x06 else 0x04
+let sized_free_op = 0x05
 
 let zigzag n = (n lsl 1) lxor (n asr 62)
 let unzigzag v = (v lsr 1) lxor (-(v land 1))
@@ -32,7 +39,9 @@ let add_string b s =
 
 (* Events go to a side buffer first: encoding discovers the allocation-site
    table, which must precede them in the stream. *)
-let encode_events (t : Trace.t) =
+let encode_events ~file_version (t : Trace.t) =
+  let alloc_base = alloc_base_of_version file_version in
+  let max_packed_site = 0x40 - alloc_base in
   let b = Buffer.create 65536 in
   let sites = Hashtbl.create 64 in
   let site_defs = ref [] and n_sites = ref 0 in
@@ -54,7 +63,7 @@ let encode_events (t : Trace.t) =
           let site = intern_site chain key tag in
           if obj = !prev_alloc + 1 then
             if site < max_packed_site then
-              Buffer.add_char b (Char.unsafe_chr (0x04 + site))
+              Buffer.add_char b (Char.unsafe_chr (alloc_base + site))
             else begin
               Buffer.add_char b '\x00';
               add_varint b site
@@ -66,13 +75,21 @@ let encode_events (t : Trace.t) =
           end;
           prev_alloc := obj;
           add_varint b size
-      | Event.Free { obj } ->
-          let z = zigzag (obj - !prev_free) in
-          if z < 0x40 then Buffer.add_char b (Char.unsafe_chr (0x40 lor z))
-          else begin
-            Buffer.add_char b '\x02';
-            add_varint b z
-          end;
+      | Event.Free { obj; size } ->
+          (if size >= 0 then begin
+             (* sized free: rare (external traces only), so it gets the one
+                long opcode rather than space in the packed ranges *)
+             Buffer.add_char b (Char.unsafe_chr sized_free_op);
+             add_zigzag b (obj - !prev_free);
+             add_varint b size
+           end
+           else
+             let z = zigzag (obj - !prev_free) in
+             if z < 0x40 then Buffer.add_char b (Char.unsafe_chr (0x40 lor z))
+             else begin
+               Buffer.add_char b '\x02';
+               add_varint b z
+             end);
           prev_free := obj
       | Event.Touch { obj; count } ->
           let z = zigzag (obj - !prev_touch) in
@@ -89,9 +106,19 @@ let encode_events (t : Trace.t) =
   (Array.of_list (List.rev !site_defs), b)
 
 let to_buffer b (t : Trace.t) =
-  let site_defs, events = encode_events t in
+  (* version 2 only when needed, so unsized traces stay byte-identical to
+     version-1 writers *)
+  let file_version =
+    if
+      Array.exists
+        (function Event.Free { size; _ } -> size >= 0 | _ -> false)
+        t.events
+    then version_sized
+    else version
+  in
+  let site_defs, events = encode_events ~file_version t in
   Buffer.add_string b magic;
-  Buffer.add_char b (Char.chr version);
+  Buffer.add_char b (Char.chr file_version);
   add_string b t.program;
   add_string b t.input;
   let names = Lp_callchain.Func.names t.funcs in
@@ -175,7 +202,9 @@ let of_string ?(name = "<trace>") s : Trace.t =
     fail c "bad magic (not a binary trace)";
   c.pos <- 4;
   let v = read_byte c in
-  if v <> version then fail c (Printf.sprintf "unsupported version %d" v);
+  if v <> version && v <> version_sized then
+    fail c (Printf.sprintf "unsupported version %d" v);
+  let alloc_base = alloc_base_of_version v in
   let program = read_string c in
   let input = read_string c in
   let funcs = Lp_callchain.Func.create_table () in
@@ -227,10 +256,10 @@ let of_string ?(name = "<trace>") s : Trace.t =
     let size = read_varint c in
     Event.Alloc { obj; size; chain; key; tag }
   in
-  let free delta =
+  let free ?(size = -1) delta =
     let obj = check_obj "free" (!prev_free + delta) in
     prev_free := obj;
-    Event.Free { obj }
+    Event.Free { obj; size }
   in
   let touch delta count =
     let obj = check_obj "touch" (!prev_touch + delta) in
@@ -247,7 +276,12 @@ let of_string ?(name = "<trace>") s : Trace.t =
     | 0x03 ->
         let delta = read_zigzag c in
         touch delta (read_varint c)
-    | op when op < 0x40 -> alloc (!prev_alloc + 1) (site "alloc" (op - 0x04))
+    | op when v >= version_sized && op = sized_free_op ->
+        let delta = read_zigzag c in
+        free ~size:(read_varint c) delta
+    | op when v >= version_sized && op < alloc_base ->
+        fail c (Printf.sprintf "reserved opcode %#x" op)
+    | op when op < 0x40 -> alloc (!prev_alloc + 1) (site "alloc" (op - alloc_base))
     | op when op < 0x80 -> free (unzigzag (op land 0x3f))
     | op -> touch (unzigzag ((op lsr 4) land 0x7)) ((op land 0xf) + 1)
   in

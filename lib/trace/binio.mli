@@ -3,7 +3,7 @@
     Layout (all integers LEB128 varints; [zigzag] marks signed fields):
 
     {v
-    "LPTB" <version=1>
+    "LPTB" <version>
     program input                    -- length-prefixed strings
     n-funcs  name ...                -- interned function table, id order
     n-chains {len func-id ...} ...   -- interned call-chain table, id order
@@ -22,7 +22,7 @@
     are opcode-tagged and delta-coded against the previous event of the
     same kind; the frequent cases pack into the single opcode byte:
 
-    - [0x04+s] (s < 60): alloc at site [s], implicit
+    - [base+s] (s < 0x40-base): alloc at site [s], implicit
       [obj = previous alloc's obj + 1]; then [size]
     - [0x40+z] (z < 64): free where [z] is the zigzag of
       [obj - previous freed obj]
@@ -32,6 +32,14 @@
     - [0x01] alloc; then [obj site size]
     - [0x02] free: [zigzag (obj - previous freed obj)]
     - [0x03] touch: [zigzag (obj - previous touched obj)] [count]
+
+    The packed-alloc [base] is 0x04 in version 1.  A trace containing
+    declared (sized-deallocation) free sizes is written as version 2,
+    whose base is 0x06: opcode [0x05] is a sized free
+    ([zigzag (obj - previous freed obj)] [declared-size]) and [0x04] is
+    reserved.  Traces without sized frees — everything our runtime
+    produces — are still written as version 1, byte-identical to older
+    writers; readers accept both versions.
 
     Compared with {!Textio} this is typically >5x smaller and an order of
     magnitude faster to load.  {!Io} auto-detects the two formats by the

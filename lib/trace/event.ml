@@ -1,11 +1,13 @@
 type t =
   | Alloc of { obj : int; size : int; chain : int; key : int; tag : int }
-  | Free of { obj : int }
+  | Free of { obj : int; size : int }
   | Touch of { obj : int; mutable count : int }
 
 let pp ppf = function
   | Alloc { obj; size; chain; key; tag } ->
       Format.fprintf ppf "alloc obj=%d size=%d chain=%d key=%#x tag=%d" obj size
         chain key tag
-  | Free { obj } -> Format.fprintf ppf "free obj=%d" obj
+  | Free { obj; size } ->
+      if size < 0 then Format.fprintf ppf "free obj=%d" obj
+      else Format.fprintf ppf "free obj=%d size=%d" obj size
   | Touch { obj; count } -> Format.fprintf ppf "touch obj=%d count=%d" obj count

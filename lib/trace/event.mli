@@ -16,7 +16,13 @@ type t =
           interned type tag ([-1] when the program supplied none).  Tags
           support the paper's future-work experiment: predicting lifetimes
           from the object's type, as class-aware languages could. *)
-  | Free of { obj : int }  (** Death of object [obj]. *)
+  | Free of { obj : int; size : int }
+      (** Death of object [obj].  [size] is the size the trace {e declares}
+          at the free — the sized-deallocation hint of [free_sized]/sized
+          [delete] — or [-1] when the trace does not declare one (our own
+          tracing runtime never does; external traces may).  The replay
+          engine ignores it; the trace linter cross-checks it against the
+          size recorded at the object's allocation. *)
   | Touch of { obj : int; mutable count : int }
       (** [count] heap references to [obj] at this point of the program.
           Consecutive touches of one object are merged.  The count is

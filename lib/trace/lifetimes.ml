@@ -16,7 +16,7 @@ let compute (trace : Trace.t) =
       | Event.Alloc { obj; size; _ } ->
           birth_clock.(obj) <- !clock;
           clock := !clock + size
-      | Event.Free { obj } ->
+      | Event.Free { obj; _ } ->
           lifetime.(obj) <- !clock - birth_clock.(obj);
           survived.(obj) <- false
       | Event.Touch _ -> ())
@@ -42,7 +42,7 @@ let max_live (trace : Trace.t) =
           incr live_objs;
           if !live_bytes > !max_bytes then max_bytes := !live_bytes;
           if !live_objs > !max_objs then max_objs := !live_objs
-      | Event.Free { obj } ->
+      | Event.Free { obj; _ } ->
           live_bytes := !live_bytes - sizes.(obj);
           decr live_objs
       | Event.Touch _ -> ())

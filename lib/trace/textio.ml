@@ -46,7 +46,9 @@ let write ~(line : string -> unit) (t : Trace.t) =
           line
             (Printf.sprintf "a %d %d %d %d %d %d" obj size chain key tag
                t.obj_refs.(obj))
-      | Event.Free { obj } -> line (Printf.sprintf "f %d" obj)
+      | Event.Free { obj; size } ->
+          if size < 0 then line (Printf.sprintf "f %d" obj)
+          else line (Printf.sprintf "f %d %d" obj size)
       | Event.Touch { obj; count } -> line (Printf.sprintf "r %d %d" obj count))
     t.events;
   line "end"
@@ -110,6 +112,8 @@ let unescape_name ~name lineno s =
     Buffer.contents b
   end
 
+let unescape s = unescape_name ~name:"<string>" 0 s
+
 (* Names written by the escaping writer are a single token; names with raw
    spaces (written by the pre-escaping writer) arrive as several tokens and
    are re-joined, so old files still load. *)
@@ -148,7 +152,13 @@ let parse_line ~name st lineno line =
       st.obj_refs <- (obj, int ~field:"refs" refs) :: st.obj_refs;
       if obj >= st.n_objects then st.n_objects <- obj + 1
   | [ "f"; obj ] ->
-      st.events <- Event.Free { obj = int ~field:"obj" obj } :: st.events
+      st.events <- Event.Free { obj = int ~field:"obj" obj; size = -1 } :: st.events
+  | [ "f"; obj; size ] ->
+      (* a declared (sized-deallocation) size; the linter checks it against
+         the allocation *)
+      st.events <-
+        Event.Free { obj = int ~field:"obj" obj; size = int ~field:"size" size }
+        :: st.events
   | [ "r"; obj; count ] ->
       st.events <-
         Event.Touch { obj = int ~field:"obj" obj; count = int ~field:"count" count }
@@ -202,7 +212,7 @@ let finish ~name st : Trace.t =
           if tag >= Array.length tags then
             fail
               (Printf.sprintf "event %d: alloc references unknown tag %d" i tag)
-      | Free { obj } -> check_obj "free" obj
+      | Free { obj; _ } -> check_obj "free" obj
       | Touch { obj; _ } -> check_obj "touch" obj)
     events;
   {

@@ -10,10 +10,15 @@
     tag <id> <name>
     counters <instructions> <calls> <heap-refs> <total-refs>
     a <obj> <size> <chain-id> <key> <tag> <refs>
-    f <obj>
+    f <obj> [<declared-size>]
     r <obj> <count>
     end
     v}
+
+    The optional declared size on [f] lines records a sized-deallocation
+    hint (cf. C++ sized [delete]); it is absent from traces our runtime
+    produces and, when present, is checked against the allocation by the
+    trace linter rather than by the parser.
 
     Allocation lines carry the object's final heap-reference count so a
     round-tripped trace preserves the locality statistics.
@@ -26,6 +31,15 @@
 
     For bulk storage prefer the binary format ({!Binio}); {!Io} reads
     either transparently. *)
+
+val escape_name : string -> string
+(** The injective ASCII escaping described above.  Exposed for other
+    line-oriented formats (the predictor-model codec) so one escaping
+    convention serves the whole project. *)
+
+val unescape : string -> string
+(** Inverse of {!escape_name}.
+    @raise Failure on a dangling or unknown escape. *)
 
 val output : out_channel -> Trace.t -> unit
 

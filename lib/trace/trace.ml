@@ -68,7 +68,7 @@ module Builder = struct
       program;
       input;
       funcs;
-      events = Array.make 4096 (Event.Free { obj = -1 });
+      events = Array.make 4096 (Event.Free { obj = -1; size = -1 });
       n_events = 0;
       chain_ids = Chain_tbl.create 256;
       chains = [];
@@ -87,7 +87,7 @@ module Builder = struct
 
   let push_event t e =
     if t.n_events = Array.length t.events then begin
-      let grown = Array.make (2 * t.n_events) (Event.Free { obj = -1 }) in
+      let grown = Array.make (2 * t.n_events) (Event.Free { obj = -1; size = -1 }) in
       Array.blit t.events 0 grown 0 t.n_events;
       t.events <- grown
     end;
@@ -122,11 +122,11 @@ module Builder = struct
     push_event t (Event.Alloc { obj; size; chain; key; tag });
     obj
 
-  let free t ~obj =
+  let free ?(size = -1) t ~obj =
     if obj < 0 || obj >= t.n_objects then invalid_arg "Trace.Builder.free: unknown object";
     if not (Hashtbl.mem t.alive obj) then invalid_arg "Trace.Builder.free: double free";
     Hashtbl.remove t.alive obj;
-    push_event t (Event.Free { obj })
+    push_event t (Event.Free { obj; size })
 
   let touch t ~obj n =
     Int_array.set t.obj_refs obj (Int_array.get t.obj_refs obj + n);

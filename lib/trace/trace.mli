@@ -39,8 +39,9 @@ module Builder : sig
   (** Record a birth; returns the new object id.  [tag] defaults to [-1]
       (untagged). *)
 
-  val free : t -> obj:int -> unit
-  (** Record a death.
+  val free : ?size:int -> t -> obj:int -> unit
+  (** Record a death.  [size] is the declared (sized-deallocation) size,
+      defaulting to [-1] (undeclared) — see {!Event.t}.
       @raise Invalid_argument on double free or an unknown object. *)
 
   val touch : t -> obj:int -> int -> unit

@@ -6,4 +6,5 @@ let () =
    @ Test_allocsim.suites @ Test_bignum.suites @ Test_cube.suites
    @ Test_regex.suites @ Test_interp.suites @ Test_workloads.suites
    @ Test_backends.suites @ Test_lifetime.suites @ Test_report.suites
-   @ Test_extensions.suites @ Test_integration.suites @ Test_properties.suites)
+   @ Test_extensions.suites @ Test_integration.suites @ Test_properties.suites
+   @ Test_analysis.suites)

@@ -350,7 +350,7 @@ let check_driver_rejects name trace backend ~substrings =
 
 let driver_rejects_bad_frees () =
   let alloc obj = Lp_trace.Event.Alloc { obj; size = 16; chain = 0; key = 0; tag = -1 } in
-  let free obj = Lp_trace.Event.Free { obj } in
+  let free obj = Lp_trace.Event.Free { obj; size = -1 } in
   let never_allocated = hand_trace [ free 0 ] 1 in
   let double_free = hand_trace [ alloc 0; free 0; free 0 ] 1 in
   let out_of_range = hand_trace [ free 7 ] 1 in

@@ -95,7 +95,7 @@ let trace_well_formed program () =
           if born.(obj) then Alcotest.failf "object %d born twice" obj;
           if size <= 0 then Alcotest.failf "object %d non-positive size" obj;
           born.(obj) <- true
-      | Lp_trace.Event.Free { obj } ->
+      | Lp_trace.Event.Free { obj; _ } ->
           if not born.(obj) then Alcotest.failf "object %d freed before birth" obj;
           if freed.(obj) then Alcotest.failf "object %d freed twice" obj;
           freed.(obj) <- true
