@@ -1,0 +1,407 @@
+(* lpbench: the performance harness behind the repo's BENCH_*.json files.
+
+   Where bench/main.exe regenerates the paper's *simulated* evaluation
+   tables, lpbench measures the *simulator itself* on this machine: trace
+   generation, binary (.lpt) decode, sequential replay through every
+   registry allocator backend, and the parallel fan-out across domains —
+   per workload, reporting wall-clock seconds, events/sec and heap
+   high-water marks, as machine-readable JSON.
+
+   The committed BENCH_seed.json (pre-optimization) and BENCH_<rev>.json
+   files make simulator-throughput regressions diffable; CI runs
+   `lpbench --scale tiny --validate` as a non-gating smoke job.
+
+   The lp_obs timing spans recorded during the run (the same numbers
+   `--timings` prints elsewhere) are embedded in the JSON under "timings",
+   so one file carries both phase timings and throughput. *)
+
+open Cmdliner
+module Json = Lp_report.Json
+
+let schema_version = 1
+
+(* -- measurement helpers -------------------------------------------------------- *)
+
+let time f =
+  let t0 = Lp_obs.Timings.now () in
+  let r = f () in
+  (Lp_obs.Timings.now () -. t0, r)
+
+(* best-of-N wall clock: min is the standard estimator for a noisy timer *)
+let best_of repeat f =
+  let rec go best n =
+    if n = 0 then best
+    else
+      let dt, _ = time f in
+      go (Float.min best dt) (n - 1)
+  in
+  let dt, r = time f in
+  (go dt (repeat - 1), r)
+
+let rate items seconds = if seconds > 0. then float_of_int items /. seconds else 0.
+
+let num f = Json.Number f
+let int_ n = Json.Number (float_of_int n)
+let str s = Json.String s
+
+(* difference of two Timings snapshots, keyed by stage name *)
+let stage_delta before after =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun (s : Lp_obs.Timings.stage) -> Hashtbl.replace tbl s.name s) before;
+  List.filter_map
+    (fun (s : Lp_obs.Timings.stage) ->
+      let prev =
+        match Hashtbl.find_opt tbl s.name with
+        | Some p -> p
+        | None -> { s with calls = 0; seconds = 0.; items = 0 }
+      in
+      if s.calls = prev.calls then None
+      else
+        Some
+          {
+            Lp_obs.Timings.name = s.name;
+            calls = s.calls - prev.calls;
+            seconds = s.seconds -. prev.seconds;
+            items = s.items - prev.items;
+          })
+    after
+
+(* -- one workload --------------------------------------------------------------- *)
+
+type replay_setup = {
+  config : Lifetime.Config.t;
+  predictor : Lifetime.Predictor.t;
+  allocators : string list;
+}
+
+let replay setup trace () =
+  Lifetime.Simulate.run ~allocators:setup.allocators ~config:setup.config
+    ~predictor:setup.predictor ~test:trace ()
+
+let bench_workload ~program ~input ~scale ~repeat ~domains ~allocators =
+  Printf.eprintf "lpbench: %s-%s (scale %g)\n%!" program input scale;
+  let gen_seconds, trace =
+    time (fun () -> Lp_workloads.Registry.trace ~scale ~program ~input ())
+  in
+  let events = Array.length trace.events in
+  let encode_seconds, encoded = time (fun () -> Lp_trace.Binio.to_string trace) in
+  let load_seconds, loaded =
+    best_of repeat (fun () -> Lp_trace.Binio.of_string ~name:(program ^ ".lpt") encoded)
+  in
+  (* replay the decoded trace: the measured path is the real pipeline *)
+  let trace = loaded in
+  let config = Lifetime.Config.default in
+  let train_seconds, predictor =
+    time (fun () ->
+        let table = Lifetime.Train.collect ~config trace in
+        Lifetime.Predictor.build ~config ~funcs:trace.funcs table)
+  in
+  let setup = { config; predictor; allocators } in
+  (* sequential: same job set as the parallel fan-out, pinned to 1 domain;
+     per-backend seconds come from the lp_obs replay spans *)
+  let before = Lp_obs.Timings.stages () in
+  let seq_seconds, _ =
+    best_of repeat (fun () ->
+        Lifetime.Parallel.with_domains 1 (replay setup trace))
+  in
+  let seq_stages =
+    stage_delta before (Lp_obs.Timings.stages ())
+    |> List.filter (fun (s : Lp_obs.Timings.stage) ->
+           String.length s.name > 7 && String.sub s.name 0 7 = "replay/")
+  in
+  let backend_rows =
+    List.map
+      (fun (s : Lp_obs.Timings.stage) ->
+        (* [best_of] may have replayed each backend [repeat] times; the
+           span table aggregates, so report the per-call mean *)
+        let seconds = s.seconds /. float_of_int (max 1 s.calls) in
+        let items = s.items / max 1 s.calls in
+        Json.Obj
+          [
+            ("backend", str (String.sub s.name 7 (String.length s.name - 7)));
+            ("seconds", num seconds);
+            ("events_per_sec", num (rate items seconds));
+          ])
+      seq_stages
+  in
+  let jobs =
+    List.fold_left
+      (fun n (s : Lp_obs.Timings.stage) -> n + (s.calls / max 1 repeat))
+      0 seq_stages
+  in
+  let par_seconds, _ =
+    best_of repeat (fun () ->
+        Lifetime.Parallel.with_domains domains (replay setup trace))
+  in
+  let gc = Gc.quick_stat () in
+  ( events,
+    Json.Obj
+      [
+        ("name", str program);
+        ("input", str input);
+        ("events", int_ events);
+        ("objects", int_ trace.n_objects);
+        ("encoded_bytes", int_ (String.length encoded));
+        ("generate", Json.Obj [ ("seconds", num gen_seconds) ]);
+        ("encode", Json.Obj [ ("seconds", num encode_seconds) ]);
+        ( "load",
+          Json.Obj
+            [
+              ("seconds", num load_seconds);
+              ("events_per_sec", num (rate events load_seconds));
+            ] );
+        ("train", Json.Obj [ ("seconds", num train_seconds) ]);
+        ( "sequential",
+          Json.Obj
+            [
+              ("jobs", int_ jobs);
+              ("wall_seconds", num seq_seconds);
+              ("events_per_sec", num (rate (events * jobs) seq_seconds));
+              ("backends", Json.List backend_rows);
+            ] );
+        ( "parallel",
+          Json.Obj
+            [
+              ("domains", int_ domains);
+              ("jobs", int_ jobs);
+              ("wall_seconds", num par_seconds);
+              ("events_per_sec", num (rate (events * jobs) par_seconds));
+              ( "speedup_vs_sequential",
+                num (if par_seconds > 0. then seq_seconds /. par_seconds else 0.) );
+            ] );
+        ("top_heap_words", int_ gc.Gc.top_heap_words);
+      ] )
+
+(* -- the whole run --------------------------------------------------------------- *)
+
+let timings_json () =
+  let stages =
+    List.map
+      (fun (s : Lp_obs.Timings.stage) ->
+        Json.Obj
+          [
+            ("stage", str s.name);
+            ("calls", int_ s.calls);
+            ("seconds", num s.seconds);
+            ("items", int_ s.items);
+            ("items_per_sec", num (rate s.items s.seconds));
+          ])
+      (Lp_obs.Timings.stages ())
+  in
+  let counters =
+    List.map (fun (k, v) -> (k, int_ v)) (Lp_obs.Timings.counters ())
+  in
+  (Json.List stages, Json.Obj counters)
+
+let run_bench rev out workloads input scale repeat domains allocators =
+  Lp_obs.Timings.set_enabled true;
+  List.iter
+    (fun n ->
+      if not (Lp_allocsim.Registry.mem n) then begin
+        Printf.eprintf "lpbench: unknown allocator %S (known: %s)\n" n
+          (String.concat ", " (Lp_allocsim.Registry.names ()));
+        exit 2
+      end)
+    allocators;
+  List.iter
+    (fun p ->
+      if not (List.mem p Lp_workloads.Registry.names) then begin
+        Printf.eprintf "lpbench: unknown workload %S (known: %s)\n" p
+          (String.concat ", " Lp_workloads.Registry.names);
+        exit 2
+      end)
+    workloads;
+  let total_seconds, rows =
+    time (fun () ->
+        List.map
+          (fun program ->
+            bench_workload ~program ~input ~scale ~repeat ~domains ~allocators)
+          workloads)
+  in
+  let total_events = List.fold_left (fun n (e, _) -> n + e) 0 rows in
+  let stages, counters = timings_json () in
+  let gc = Gc.quick_stat () in
+  let doc =
+    Json.Obj
+      [
+        ("schema_version", int_ schema_version);
+        ("rev", str rev);
+        ("ocaml", str Sys.ocaml_version);
+        ("word_size", int_ Sys.word_size);
+        ("input", str input);
+        ("scale", num scale);
+        ("repeat", int_ repeat);
+        ("domains", int_ domains);
+        ("allocators", Json.List (List.map str allocators));
+        ("total_events", int_ total_events);
+        ("total_seconds", num total_seconds);
+        ("workloads", Json.List (List.map snd rows));
+        ("timings", stages);
+        ("counters", counters);
+        ( "gc",
+          Json.Obj
+            [
+              ("top_heap_words", int_ gc.Gc.top_heap_words);
+              ("minor_words", num gc.Gc.minor_words);
+              ("major_words", num gc.Gc.major_words);
+            ] );
+      ]
+  in
+  let path = match out with Some p -> p | None -> "BENCH_" ^ rev ^ ".json" in
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc (Json.to_pretty_string doc));
+  Printf.printf "wrote %s (%d workloads, %d events)\n" path (List.length rows)
+    total_events
+
+(* -- schema validation (the CI smoke gate) --------------------------------------- *)
+
+let validate_error = ref 0
+
+let check what cond =
+  if not cond then begin
+    Printf.eprintf "lpbench --validate: missing or malformed %s\n" what;
+    incr validate_error
+  end
+
+let require_num what j key =
+  check (what ^ "." ^ key)
+    (match Json.member key j with Some (Json.Number _) -> true | _ -> false)
+
+let require_str what j key =
+  check (what ^ "." ^ key)
+    (match Json.member key j with Some (Json.String _) -> true | _ -> false)
+
+let validate_file path =
+  let contents = In_channel.with_open_bin path In_channel.input_all in
+  let j =
+    try Json.of_string contents
+    with Json.Parse_error msg ->
+      Printf.eprintf "lpbench --validate: %s: not JSON: %s\n" path msg;
+      exit 1
+  in
+  check "schema_version = 1"
+    (match Json.member "schema_version" j with
+    | Some (Json.Number v) -> v = float_of_int schema_version
+    | _ -> false);
+  List.iter (require_str "top" j) [ "rev"; "ocaml"; "input" ];
+  List.iter (require_num "top" j)
+    [ "scale"; "domains"; "total_events"; "total_seconds" ];
+  (match Json.member "workloads" j with
+  | Some (Json.List (_ :: _ as ws)) ->
+      List.iter
+        (fun w ->
+          List.iter (require_str "workload" w) [ "name"; "input" ];
+          List.iter (require_num "workload" w)
+            [ "events"; "objects"; "encoded_bytes"; "top_heap_words" ];
+          (match Json.member "load" w with
+          | Some l -> List.iter (require_num "load" l) [ "seconds"; "events_per_sec" ]
+          | None -> check "workload.load" false);
+          (match Json.member "sequential" w with
+          | Some s -> (
+              List.iter (require_num "sequential" s)
+                [ "jobs"; "wall_seconds"; "events_per_sec" ];
+              match Json.member "backends" s with
+              | Some (Json.List (_ :: _ as bs)) ->
+                  List.iter
+                    (fun b ->
+                      require_str "backend" b "backend";
+                      List.iter (require_num "backend" b)
+                        [ "seconds"; "events_per_sec" ])
+                    bs
+              | _ -> check "sequential.backends (non-empty)" false)
+          | None -> check "workload.sequential" false);
+          match Json.member "parallel" w with
+          | Some p ->
+              List.iter (require_num "parallel" p)
+                [ "domains"; "wall_seconds"; "speedup_vs_sequential" ]
+          | None -> check "workload.parallel" false)
+        ws
+  | _ -> check "workloads (non-empty list)" false);
+  (match Json.member "timings" j with
+  | Some (Json.List _) -> ()
+  | _ -> check "timings (list)" false);
+  (match Json.member "gc" j with
+  | Some g -> require_num "gc" g "top_heap_words"
+  | None -> check "gc" false);
+  if !validate_error > 0 then exit 1
+  else Printf.printf "%s: valid lpbench schema v%d\n" path schema_version
+
+(* -- CLI ------------------------------------------------------------------------- *)
+
+let () =
+  let workloads_arg =
+    Arg.(
+      value
+      & opt (list string) Lp_workloads.Registry.names
+      & info [ "workloads" ] ~docv:"NAMES"
+          ~doc:"Comma-separated workload programs to benchmark (default: all five).")
+  in
+  let input_arg =
+    Arg.(
+      value & opt string "test"
+      & info [ "input" ] ~docv:"INPUT" ~doc:"Input set: tiny, train or test.")
+  in
+  let scale_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "scale" ] ~docv:"S" ~doc:"Scale factor for workload input sizes.")
+  in
+  let repeat_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "repeat" ] ~docv:"N"
+          ~doc:"Repetitions per timed phase; the best (minimum) wall time is kept.")
+  in
+  let rev_arg =
+    Arg.(
+      value & opt string "dev"
+      & info [ "rev" ] ~docv:"REV"
+          ~doc:"Revision label: the output file is BENCH_$(docv).json.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the report here instead of BENCH_<rev>.json.")
+  in
+  let domains_arg =
+    Arg.(
+      value
+      & opt int (Lifetime.Parallel.default_domains ())
+      & info [ "domains" ] ~docv:"N"
+          ~doc:"Domains for the parallel-replay phase (default: the Parallel pool size).")
+  in
+  let allocators_arg =
+    Arg.(
+      value
+      & opt (list string) (Lp_allocsim.Registry.names ())
+      & info [ "allocators" ] ~docv:"NAMES"
+          ~doc:"Registry backends to replay (default: every registered backend).")
+  in
+  let validate_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "validate" ] ~docv:"FILE"
+          ~doc:
+            "Validate $(docv) against the BENCH JSON schema and exit (0 valid, \
+             1 invalid); no benchmarks run.")
+  in
+  let main validate rev out workloads input scale repeat domains allocators =
+    match validate with
+    | Some path -> validate_file path
+    | None -> run_bench rev out workloads input scale repeat domains allocators
+  in
+  let term =
+    Term.(
+      const main $ validate_arg $ rev_arg $ out_arg $ workloads_arg $ input_arg
+      $ scale_arg $ repeat_arg $ domains_arg $ allocators_arg)
+  in
+  let info =
+    Cmd.info "lpbench" ~version:"1.0.0"
+      ~doc:
+        "Benchmark the trace pipeline and allocator simulators; write \
+         machine-readable BENCH_<rev>.json"
+  in
+  exit (Cmd.eval (Cmd.v info term))

@@ -19,8 +19,10 @@ type t = {
   general : general;
   area_bytes : int;
   (* arena objects carry no headers, so a free needs only the address to
-     find the owning arena; the simulation keeps sizes for accounting *)
-  obj_arena : (int, int) Hashtbl.t;  (* address -> arena index *)
+     find the owning arena; bump pointers hand out byte-granular addresses,
+     so the map is a direct array over the whole arena area (bounded by
+     n_arenas * arena_size), holding arena index + 1 with 0 = no object *)
+  obj_arena : int array;
   mutable arena_allocs : int;
   mutable arena_bytes : int;
   mutable arena_resets : int;
@@ -32,7 +34,7 @@ type t = {
 }
 
 let create ?(config = default_config)
-    ?(fallback : Backend.t = (module First_fit.Backend)) () =
+    ?(fallback : Backend.t = (module First_fit.Backend)) ?hint () =
   let area_bytes = config.n_arenas * config.arena_size in
   let (module F) = fallback in
   {
@@ -40,9 +42,9 @@ let create ?(config = default_config)
     arenas = Array.init config.n_arenas (fun _ -> { alloc_ptr = 0; count = 0 });
     current = 0;
     (* the general heap begins above the arena area *)
-    general = G ((module F), F.create ~base:area_bytes ());
+    general = G ((module F), F.create ~base:area_bytes ?hint ());
     area_bytes;
-    obj_arena = Hashtbl.create 1024;
+    obj_arena = Array.make area_bytes 0;
     arena_allocs = 0;
     arena_bytes = 0;
     arena_resets = 0;
@@ -65,22 +67,22 @@ let arena_addr t idx offset = (idx * t.config.arena_size) + offset
    cache-resident. *)
 let find_empty_arena t =
   let n = t.config.n_arenas in
-  let found = ref None in
+  let found = ref (-1) in
   let i = ref 0 in
-  while !found = None && !i < n do
+  while !found < 0 && !i < n do
     t.alloc_instr <- t.alloc_instr + Cost_model.arena_scan_per_arena;
     let candidate = !i in
     if candidate <> t.current && t.arenas.(candidate).count = 0 then
-      found := Some candidate;
+      found := candidate;
     incr i
   done;
-  match !found with
-  | Some idx ->
-      t.alloc_instr <- t.alloc_instr + Cost_model.arena_reset;
-      t.arenas.(idx).alloc_ptr <- 0;
-      t.arena_resets <- t.arena_resets + 1;
-      Some idx
-  | None -> None
+  let idx = !found in
+  if idx >= 0 then begin
+    t.alloc_instr <- t.alloc_instr + Cost_model.arena_reset;
+    t.arenas.(idx).alloc_ptr <- 0;
+    t.arena_resets <- t.arena_resets + 1
+  end;
+  idx
 
 let bump t idx size =
   let a = t.arenas.(idx) in
@@ -90,7 +92,7 @@ let bump t idx size =
   t.arena_allocs <- t.arena_allocs + 1;
   t.arena_bytes <- t.arena_bytes + size;
   t.alloc_instr <- t.alloc_instr + Cost_model.arena_bump;
-  Hashtbl.replace t.obj_arena addr idx;
+  Array.unsafe_set t.obj_arena addr (idx + 1);
   addr
 
 let general_alloc t size =
@@ -105,15 +107,17 @@ let alloc t ~size ~predicted =
     let a = t.arenas.(t.current) in
     if a.alloc_ptr + size <= t.config.arena_size then bump t t.current size
     else begin
-      match find_empty_arena t with
-      | Some idx ->
-          t.current <- idx;
-          bump t idx size
-      | None ->
-          (* arena pollution: no empty arena — degenerate to the general
-             allocator (§5.2's CFRAC discussion) *)
-          t.overflow_allocs <- t.overflow_allocs + 1;
-          general_alloc t size
+      let idx = find_empty_arena t in
+      if idx >= 0 then begin
+        t.current <- idx;
+        bump t idx size
+      end
+      else begin
+        (* arena pollution: no empty arena — degenerate to the general
+           allocator (§5.2's CFRAC discussion) *)
+        t.overflow_allocs <- t.overflow_allocs + 1;
+        general_alloc t size
+      end
     end
   end
   else general_alloc t size
@@ -123,13 +127,14 @@ let free t addr =
   (* the address decides: arena area or general heap (§5.1) *)
   t.free_instr <- t.free_instr + 2;
   if addr < t.area_bytes then begin
-    match Hashtbl.find_opt t.obj_arena addr with
-    | None -> invalid_arg "Arena.free: not an allocated arena address"
-    | Some idx ->
-        Hashtbl.remove t.obj_arena addr;
-        let a = t.arenas.(idx) in
-        a.count <- a.count - 1;
-        t.free_instr <- t.free_instr + Cost_model.arena_free - 2
+    let v = if addr < 0 then 0 else Array.unsafe_get t.obj_arena addr in
+    if v = 0 then invalid_arg "Arena.free: not an allocated arena address"
+    else begin
+      Array.unsafe_set t.obj_arena addr 0;
+      let a = t.arenas.(v - 1) in
+      a.count <- a.count - 1;
+      t.free_instr <- t.free_instr + Cost_model.arena_free - 2
+    end
   end
   else
     let (G ((module F), g)) = t.general in
@@ -174,7 +179,8 @@ let check_invariants t =
         failwith (Printf.sprintf "arena %d: alloc_ptr out of range" i))
     t.arenas;
   let live_per_arena = Array.make t.config.n_arenas 0 in
-  Hashtbl.iter (fun _ idx -> live_per_arena.(idx) <- live_per_arena.(idx) + 1)
+  Array.iter
+    (fun v -> if v > 0 then live_per_arena.(v - 1) <- live_per_arena.(v - 1) + 1)
     t.obj_arena;
   Array.iteri
     (fun i a ->
@@ -194,7 +200,7 @@ let make_backend ?config ?fallback () : Backend.t =
 
     let name = "arena"
     let uses_prediction = true
-    let create ?base:_ () = create ?config ?fallback ()
+    let create ?base:_ ?hint () = create ?config ?fallback ?hint ()
     let alloc = alloc
     let free = free
     let charge_alloc = charge_prediction
@@ -214,7 +220,7 @@ module Backend_default : Backend.BACKEND with type t = t = struct
 
   let name = "arena"
   let uses_prediction = true
-  let create ?base:_ () = create ()
+  let create ?base:_ ?hint () = create ?hint ()
   let alloc = alloc
   let free = free
   let charge_alloc = charge_prediction

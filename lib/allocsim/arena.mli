@@ -32,10 +32,12 @@ val default_config : config
 
 type t
 
-val create : ?config:config -> ?fallback:Backend.t -> unit -> t
+val create : ?config:config -> ?fallback:Backend.t -> ?hint:int -> unit -> t
 (** [fallback] is the general-purpose backend for unpredicted, oversized
     and overflowing objects; it is instantiated with its base just above
-    the arena area.  Defaults to first-fit, the paper's choice. *)
+    the arena area.  Defaults to first-fit, the paper's choice.  [hint]
+    (expected object count) is forwarded to the fallback to pre-size its
+    tables; it never affects simulated metrics. *)
 
 val alloc : t -> size:int -> predicted:bool -> int
 (** Returns the object's address.  Charges the per-allocation lifetime

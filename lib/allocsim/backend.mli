@@ -8,10 +8,13 @@
     register it.
 
     Contract:
-    - [create ?base ()] returns a fresh allocator whose simulated address
-      space starts at [base] (default 0).  All state is private to the
-      returned value, so independent instances may replay concurrently on
-      separate domains.
+    - [create ?base ?hint ()] returns a fresh allocator whose simulated
+      address space starts at [base] (default 0).  [hint] is the expected
+      object count of the workload (the driver passes the trace's object
+      count); backends use it to pre-size hot tables and may ignore it —
+      it never affects simulated metrics, only wall-clock speed.  All
+      state is private to the returned value, so independent instances may
+      replay concurrently on separate domains.
     - [alloc t ~size ~predicted] returns the payload address of a new
       block.  [predicted] is the lifetime predictor's verdict for this
       object; backends that do not segregate by lifetime ignore it (and
@@ -41,7 +44,7 @@ module type BACKEND = sig
   (** True only for backends that act on the [predicted] flag; the driver
       skips the predictor (and its instruction cost) for the rest. *)
 
-  val create : ?base:int -> unit -> t
+  val create : ?base:int -> ?hint:int -> unit -> t
   val alloc : t -> size:int -> predicted:bool -> int
   val free : t -> int -> unit
   val charge_alloc : t -> int -> unit

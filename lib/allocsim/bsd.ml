@@ -1,3 +1,15 @@
+(* 4.2BSD (Kingsley) power-of-two buckets, hot-path representation.
+
+   Each size class keeps its free payload addresses in a growable int-array
+   stack instead of an [int list] (no cons cell per free, no pointer chase
+   per alloc), and the payload->class index is a direct-address byte map
+   keyed by [(payload - base - header) / 16] — every payload sits at a
+   16-byte-aligned block start plus the 8-byte header, so the key is
+   injective — in place of the seed's hashtable.  Pop/push order is LIFO
+   exactly like the list representation and pages are carved in the same
+   address order, so placements and Cost_model charges are byte-identical
+   to the seed (golden-metrics test). *)
+
 let header = 8
 let page = 4096
 let min_class = 4 (* 2^4 = 16 bytes *)
@@ -5,8 +17,8 @@ let max_class = 30
 
 type t = {
   base : int;
-  buckets : int list array;  (* size class -> free payload addresses *)
-  class_of : (int, int) Hashtbl.t;  (* payload addr -> class, while allocated *)
+  buckets : Int_stack.t array;  (* size class -> free payload addresses, LIFO *)
+  mutable class_of : Bytes.t;  (* (payload-base-header)/16 -> class + 1; 0 = free *)
   mutable brk : int;
   mutable alloc_instr : int;
   mutable free_instr : int;
@@ -14,11 +26,11 @@ type t = {
   mutable frees : int;
 }
 
-let create ?(base = 0) () =
+let create ?(base = 0) ?(hint = 1024) () =
   {
     base;
-    buckets = Array.make (max_class + 1) [];
-    class_of = Hashtbl.create 1024;
+    buckets = Array.init (max_class + 1) (fun _ -> Int_stack.create ());
+    class_of = Bytes.make (max 256 (min hint 262144)) '\000';
     brk = base;
     alloc_instr = 0;
     free_instr = 0;
@@ -31,39 +43,56 @@ let class_for size =
   let rec go c = if 1 lsl c >= need then c else go (c + 1) in
   go min_class
 
+(* grow the class map to cover the current break *)
+let ensure_map t =
+  let need = (t.brk - t.base) lsr 4 in
+  let cap = Bytes.length t.class_of in
+  if need > cap then begin
+    let cap' = ref (cap * 2) in
+    while !cap' < need do cap' := !cap' * 2 done;
+    let bigger = Bytes.make !cap' '\000' in
+    Bytes.blit t.class_of 0 bigger 0 cap;
+    t.class_of <- bigger
+  end
+
 let alloc t size =
   if size <= 0 then invalid_arg "Bsd.alloc: size must be positive";
   t.allocs <- t.allocs + 1;
   t.alloc_instr <- t.alloc_instr + Cost_model.bsd_alloc_base;
   let c = class_for size in
   if c > max_class then invalid_arg "Bsd.alloc: size too large";
-  (match t.buckets.(c) with
-  | [] ->
-      (* carve a page (or one block if larger than a page) *)
-      t.alloc_instr <- t.alloc_instr + Cost_model.bsd_carve_page;
-      let block = 1 lsl c in
-      let span = max page block in
-      let start = t.brk in
-      t.brk <- t.brk + span;
-      let n = span / block in
-      let fresh = List.init n (fun i -> start + (i * block) + header) in
-      t.buckets.(c) <- fresh
-  | _ -> ());
-  match t.buckets.(c) with
-  | [] -> assert false
-  | payload :: rest ->
-      t.buckets.(c) <- rest;
-      Hashtbl.replace t.class_of payload c;
-      payload
+  let bucket = t.buckets.(c) in
+  if Int_stack.is_empty bucket then begin
+    (* carve a page (or one block if larger than a page) *)
+    t.alloc_instr <- t.alloc_instr + Cost_model.bsd_carve_page;
+    let block = 1 lsl c in
+    let span = max page block in
+    let start = t.brk in
+    t.brk <- t.brk + span;
+    ensure_map t;
+    let n = span / block in
+    (* highest cell first: pops then hand out ascending addresses, the
+       order the list representation carved them *)
+    for i = n - 1 downto 0 do
+      Int_stack.push bucket (start + (i * block) + header)
+    done
+  end;
+  let payload = Int_stack.pop bucket in
+  Bytes.unsafe_set t.class_of ((payload - t.base - header) lsr 4)
+    (Char.unsafe_chr (c + 1));
+  payload
 
 let free t payload =
-  match Hashtbl.find_opt t.class_of payload with
-  | None -> invalid_arg "Bsd.free: not an allocated address"
-  | Some c ->
-      Hashtbl.remove t.class_of payload;
-      t.frees <- t.frees + 1;
-      t.free_instr <- t.free_instr + Cost_model.bsd_free;
-      t.buckets.(c) <- payload :: t.buckets.(c)
+  let off = payload - t.base - header in
+  let idx = off lsr 4 in
+  if off < 0 || off land 15 <> 0 || idx >= Bytes.length t.class_of then
+    invalid_arg "Bsd.free: not an allocated address";
+  let c = Char.code (Bytes.unsafe_get t.class_of idx) - 1 in
+  if c < 0 then invalid_arg "Bsd.free: not an allocated address";
+  Bytes.unsafe_set t.class_of idx '\000';
+  t.frees <- t.frees + 1;
+  t.free_instr <- t.free_instr + Cost_model.bsd_free;
+  Int_stack.push t.buckets.(c) payload
 
 let max_heap_size t = t.brk - t.base
 let alloc_instr t = t.alloc_instr
@@ -78,7 +107,7 @@ module Backend : Backend.BACKEND with type t = t = struct
 
   let name = "bsd"
   let uses_prediction = false
-  let create ?base () = create ?base ()
+  let create ?base ?hint () = create ?base ?hint ()
   let alloc t ~size ~predicted:_ = alloc t size
   let free = free
   let charge_alloc = charge_alloc

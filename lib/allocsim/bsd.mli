@@ -9,7 +9,9 @@
 
 type t
 
-val create : ?base:int -> unit -> t
+val create : ?base:int -> ?hint:int -> unit -> t
+(** [hint] is the expected object count; it pre-sizes the payload-class
+    map (a speed knob only — simulated metrics are unaffected). *)
 
 val alloc : t -> int -> int
 (** @raise Invalid_argument if size is not positive. *)

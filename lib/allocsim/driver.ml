@@ -13,13 +13,17 @@ let event_error ~event what obj =
 (* The one replay engine: every backend — first-fit, best-fit, BSD, segfit,
    arena, and whatever the registry grows next — runs through this loop, so
    per-event validation, cache replay and Touch handling exist in exactly
-   one place. *)
+   one place.  The no-cache loop is written flat (no per-event closures,
+   unsafe array accesses only after the object id is validated): replay
+   throughput is the bench harness's headline number and every indirection
+   here is paid tens of millions of times per run. *)
 let run_impl ?cache ?predictor (trace : Lp_trace.Trace.t)
     (module B : Backend.BACKEND) : Metrics.t =
-  let b = B.create () in
-  let addr_of = Array.make trace.n_objects (-1) in
-  let size_of = Array.make trace.n_objects 0 in
-  let ref_cursor = Array.make trace.n_objects 0 in
+  (* the object count pre-sizes backend tables; a pure speed knob *)
+  let b = B.create ~hint:trace.n_objects () in
+  let n_objects = trace.n_objects in
+  let addr_of = Array.make n_objects (-1) in
+  let size_of = Array.make n_objects 0 in
   let live = ref 0 in
   let max_live = ref 0 in
   let total_bytes = ref 0 in
@@ -27,72 +31,93 @@ let run_impl ?cache ?predictor (trace : Lp_trace.Trace.t)
      that act on it, so e.g. a first-fit replay under a predictor stays
      byte-identical to one without *)
   let predictor = if B.uses_prediction then predictor else None in
-  let cache_access addr bytes =
-    match cache with
-    | Some c -> Cache.access_range c ~addr ~bytes
-    | None -> ()
-  in
-  let check_alloc ~event obj =
-    if obj < 0 || obj >= trace.n_objects then
-      event_error ~event "alloc of out-of-range" obj;
-    if addr_of.(obj) >= 0 then event_error ~event "second alloc of live" obj
-  in
-  let addr_for_free ~event obj =
-    if obj < 0 || obj >= trace.n_objects then
-      event_error ~event "free of out-of-range" obj;
-    let addr = addr_of.(obj) in
-    if addr < 0 then event_error ~event "free of never-allocated or already-freed" obj;
-    addr
-  in
-  let track_alloc obj size addr =
-    addr_of.(obj) <- addr;
-    size_of.(obj) <- size;
-    total_bytes := !total_bytes + size;
-    live := !live + size;
-    if !live > !max_live then max_live := !live;
-    cache_access addr 8
-  in
-  let track_free obj addr =
-    live := !live - size_of.(obj);
-    cache_access addr 8;
-    addr_of.(obj) <- -1
-  in
-  (* a Touch of n references walks the object at a 16-byte stride *)
-  let track_touch ~event obj count =
-    if obj < 0 || obj >= trace.n_objects then
-      event_error ~event "touch of out-of-range" obj;
-    match cache with
-    | None -> ()
-    | Some c ->
-        let addr = addr_of.(obj) and size = size_of.(obj) in
-        if addr >= 0 then begin
-          for _ = 1 to count do
-            Cache.access c (addr + (ref_cursor.(obj) mod max 1 size));
-            ref_cursor.(obj) <- ref_cursor.(obj) + 16
-          done
-        end
-  in
-  Array.iteri
-    (fun event -> function
-      | Lp_trace.Event.Alloc { obj; size; chain; key; _ } ->
-          check_alloc ~event obj;
-          let predicted =
-            match predictor with
-            | None -> false
-            | Some p ->
-                (* every allocation pays for the attempt to predict (§5.1) *)
-                B.charge_alloc b p.predict_cost;
-                p.predicted ~obj ~size ~chain ~key
-          in
-          track_alloc obj size (B.alloc b ~size ~predicted)
-      | Lp_trace.Event.Free { obj; _ } ->
-          (* a declared sized-deallocation size is the linter's business,
-             not the replay's: the allocator is handed only the address *)
-          let addr = addr_for_free ~event obj in
-          B.free b addr;
-          track_free obj addr
-      | Lp_trace.Event.Touch { obj; count } -> track_touch ~event obj count)
-    trace.events;
+  let events = trace.events in
+  let n_events = Array.length events in
+  (match cache with
+  | None ->
+      for event = 0 to n_events - 1 do
+        match Array.unsafe_get events event with
+        | Lp_trace.Event.Alloc { obj; size; chain; key; _ } ->
+            if obj < 0 || obj >= n_objects then
+              event_error ~event "alloc of out-of-range" obj;
+            if Array.unsafe_get addr_of obj >= 0 then
+              event_error ~event "second alloc of live" obj;
+            let predicted =
+              match predictor with
+              | None -> false
+              | Some p ->
+                  (* every allocation pays for the attempt to predict (§5.1) *)
+                  B.charge_alloc b p.predict_cost;
+                  p.predicted ~obj ~size ~chain ~key
+            in
+            let addr = B.alloc b ~size ~predicted in
+            Array.unsafe_set addr_of obj addr;
+            Array.unsafe_set size_of obj size;
+            total_bytes := !total_bytes + size;
+            let l = !live + size in
+            live := l;
+            if l > !max_live then max_live := l
+        | Lp_trace.Event.Free { obj; _ } ->
+            (* a declared sized-deallocation size is the linter's business,
+               not the replay's: the allocator is handed only the address *)
+            if obj < 0 || obj >= n_objects then
+              event_error ~event "free of out-of-range" obj;
+            let addr = Array.unsafe_get addr_of obj in
+            if addr < 0 then
+              event_error ~event "free of never-allocated or already-freed" obj;
+            B.free b addr;
+            live := !live - Array.unsafe_get size_of obj;
+            Array.unsafe_set addr_of obj (-1)
+        | Lp_trace.Event.Touch { obj; _ } ->
+            if obj < 0 || obj >= n_objects then
+              event_error ~event "touch of out-of-range" obj
+      done
+  | Some c ->
+      let ref_cursor = Array.make n_objects 0 in
+      for event = 0 to n_events - 1 do
+        match Array.unsafe_get events event with
+        | Lp_trace.Event.Alloc { obj; size; chain; key; _ } ->
+            if obj < 0 || obj >= n_objects then
+              event_error ~event "alloc of out-of-range" obj;
+            if Array.unsafe_get addr_of obj >= 0 then
+              event_error ~event "second alloc of live" obj;
+            let predicted =
+              match predictor with
+              | None -> false
+              | Some p ->
+                  B.charge_alloc b p.predict_cost;
+                  p.predicted ~obj ~size ~chain ~key
+            in
+            let addr = B.alloc b ~size ~predicted in
+            Array.unsafe_set addr_of obj addr;
+            Array.unsafe_set size_of obj size;
+            total_bytes := !total_bytes + size;
+            let l = !live + size in
+            live := l;
+            if l > !max_live then max_live := l;
+            Cache.access_range c ~addr ~bytes:8
+        | Lp_trace.Event.Free { obj; _ } ->
+            if obj < 0 || obj >= n_objects then
+              event_error ~event "free of out-of-range" obj;
+            let addr = Array.unsafe_get addr_of obj in
+            if addr < 0 then
+              event_error ~event "free of never-allocated or already-freed" obj;
+            B.free b addr;
+            live := !live - Array.unsafe_get size_of obj;
+            Cache.access_range c ~addr ~bytes:8;
+            Array.unsafe_set addr_of obj (-1)
+        | Lp_trace.Event.Touch { obj; count } ->
+            (* a Touch of n references walks the object at a 16-byte stride *)
+            if obj < 0 || obj >= n_objects then
+              event_error ~event "touch of out-of-range" obj;
+            let addr = Array.unsafe_get addr_of obj in
+            let size = Array.unsafe_get size_of obj in
+            if addr >= 0 then
+              for _ = 1 to count do
+                Cache.access c (addr + (Array.unsafe_get ref_cursor obj mod max 1 size));
+                Array.unsafe_set ref_cursor obj (Array.unsafe_get ref_cursor obj + 16)
+              done
+      done);
   {
     Metrics.algorithm = B.name;
     allocs = B.allocs b;

@@ -1,17 +1,37 @@
+(* First-fit / best-fit core, hot-path representation.
+
+   Block metadata lives in one flat int array, stride 8 per block: a
+   "block" is the int offset of its record, and the address list and free
+   list are intrusive index links inside the array.  The sentinel nil is
+   record 0.  Compared to linked records of options this removes every
+   source of per-operation overhead at once: no option boxing, no
+   polymorphic equality on cyclic structures (a latent [Stack_overflow]
+   hazard), no OCaml heap allocation (split/coalesce recycle records
+   through an in-array pool chained on the fnext field), and — the big one
+   — no [caml_modify] write barrier, since every link update is a plain
+   int store.  The allocated-payload index is likewise a direct-address
+   int array ([(payload - base) / 8 -> block offset], 0 = none) in place
+   of the seed's hashtable.
+
+   The representation is the ONLY thing that changed: placement order,
+   rover semantics and every Cost_model charge are byte-identical to the
+   seed implementation, enforced by test/golden_metrics.expected and the
+   qcheck equivalence suite against test/ff_reference.ml. *)
+
 let header = 8
 let min_block = 16
 
-type block = {
-  mutable addr : int;  (* start of the block, header included *)
-  mutable size : int;  (* total bytes, header included *)
-  mutable is_free : bool;
-  (* address-ordered doubly-linked list of all blocks *)
-  mutable prev : block option;
-  mutable next : block option;
-  (* doubly-linked free list *)
-  mutable fprev : block option;
-  mutable fnext : block option;
-}
+(* field offsets within a block record; stride 8 keeps offset arithmetic a
+   shift and rounds the record to a cache line on 64-bit *)
+let f_addr = 0 (* start of the block, header included *)
+let f_size = 1 (* total bytes, header included *)
+let f_free = 2 (* 1 = free *)
+let f_prev = 3 (* address-ordered list links, 0-terminated *)
+let f_next = 4
+let f_fprev = 5 (* free-list links, 0-terminated; fnext doubles as the pool chain *)
+let f_fnext = 6
+let stride = 8
+let nil = 0
 
 type policy = First | Best
 
@@ -19,13 +39,16 @@ type t = {
   base : int;
   sbrk_chunk : int;
   policy : policy;
-  mutable first : block option;  (* lowest-address block *)
-  mutable last : block option;  (* highest-address block *)
-  mutable free_head : block option;
-  mutable rover : block option;
+  mutable store : int array;  (* block records; record 0 is the sentinel *)
+  mutable store_len : int;  (* offset of the first never-used record *)
+  mutable pool : int;  (* recycled records chained on f_fnext, 0 = empty *)
+  mutable first : int;  (* lowest-address block, or nil *)
+  mutable last : int;  (* highest-address block, or nil *)
+  mutable free_head : int;
+  mutable rover : int;
   mutable brk : int;
   mutable max_brk : int;
-  by_payload : (int, block) Hashtbl.t;  (* allocated blocks only *)
+  mutable by_payload : int array;  (* (payload - base) / 8 -> block, 0 = none *)
   mutable live : int;
   mutable alloc_instr : int;
   mutable free_instr : int;
@@ -33,18 +56,26 @@ type t = {
   mutable frees : int;
 }
 
-let create ?(base = 0) ?(sbrk_chunk = 8192) ?(policy = First) () =
+let create ?(base = 0) ?(hint = 1024) ?(sbrk_chunk = 8192) ?(policy = First) () =
+  (* the hint trims early doublings; both tables grow on demand, so cap
+     the upfront allocation *)
+  let blocks = max 64 (min hint 65536) in
+  let store = Array.make (blocks * stride) 0 in
+  store.(f_addr) <- -1 (* the sentinel never matches a real address *);
   {
     base;
     sbrk_chunk;
     policy;
-    first = None;
-    last = None;
-    free_head = None;
-    rover = None;
+    store;
+    store_len = stride;
+    pool = nil;
+    first = nil;
+    last = nil;
+    free_head = nil;
+    rover = nil;
     brk = base;
     max_brk = base;
-    by_payload = Hashtbl.create 1024;
+    by_payload = Array.make (max 64 (min hint 65536)) 0;
     live = 0;
     alloc_instr = 0;
     free_instr = 0;
@@ -54,72 +85,116 @@ let create ?(base = 0) ?(sbrk_chunk = 8192) ?(policy = First) () =
 
 let round8 n = (n + 7) land lnot 7
 
+(* field accessors: small enough for the non-flambda inliner *)
+let get t b f = Array.unsafe_get t.store (b + f)
+let set t b f v = Array.unsafe_set t.store (b + f) v
+
+(* -- the pooled block store ------------------------------------------------- *)
+
+let new_block t ~addr ~size =
+  let b =
+    if t.pool <> nil then begin
+      let b = t.pool in
+      t.pool <- get t b f_fnext;
+      b
+    end
+    else begin
+      if t.store_len = Array.length t.store then begin
+        let bigger = Array.make (2 * t.store_len) 0 in
+        Array.blit t.store 0 bigger 0 t.store_len;
+        t.store <- bigger
+      end;
+      let b = t.store_len in
+      t.store_len <- t.store_len + stride;
+      b
+    end
+  in
+  set t b f_addr addr;
+  set t b f_size size;
+  set t b f_free 1;
+  set t b f_prev nil;
+  set t b f_next nil;
+  set t b f_fprev nil;
+  set t b f_fnext nil;
+  b
+
+let release t b =
+  set t b f_fnext t.pool;
+  t.pool <- b
+
+(* -- the payload index ------------------------------------------------------ *)
+
+(* grow the direct-address map to cover the current break *)
+let ensure_map t =
+  let need = (t.brk - t.base) lsr 3 in
+  let cap = Array.length t.by_payload in
+  if need > cap then begin
+    let cap' = ref (cap * 2) in
+    while !cap' < need do cap' := !cap' * 2 done;
+    let bigger = Array.make !cap' 0 in
+    Array.blit t.by_payload 0 bigger 0 cap;
+    t.by_payload <- bigger
+  end
+
 (* -- free-list maintenance ------------------------------------------------- *)
 
 let free_list_insert t b =
-  b.fprev <- None;
-  b.fnext <- t.free_head;
-  (match t.free_head with Some h -> h.fprev <- Some b | None -> ());
-  t.free_head <- Some b;
-  if t.rover = None then t.rover <- Some b
+  set t b f_fprev nil;
+  set t b f_fnext t.free_head;
+  if t.free_head <> nil then set t t.free_head f_fprev b;
+  t.free_head <- b;
+  if t.rover = nil then t.rover <- b
 
 let free_list_remove t b =
-  (match b.fprev with
-  | Some p -> p.fnext <- b.fnext
-  | None -> t.free_head <- b.fnext);
-  (match b.fnext with Some n -> n.fprev <- b.fprev | None -> ());
+  let fp = get t b f_fprev and fn = get t b f_fnext in
+  if fp <> nil then set t fp f_fnext fn else t.free_head <- fn;
+  if fn <> nil then set t fn f_fprev fp;
   (* the rover must not point at a removed block *)
-  (match t.rover with
-  | Some r when r == b -> t.rover <- (match b.fnext with Some n -> Some n | None -> t.free_head)
-  | _ -> ());
-  b.fprev <- None;
-  b.fnext <- None
+  if t.rover = b then t.rover <- (if fn <> nil then fn else t.free_head);
+  set t b f_fprev nil;
+  set t b f_fnext nil
 
 (* -- address-list maintenance ----------------------------------------------- *)
 
+(* insert [b] after [anchor]; [anchor = nil] means at the front *)
 let insert_after t anchor b =
-  match anchor with
-  | None ->
-      (* insert at front *)
-      b.prev <- None;
-      b.next <- t.first;
-      (match t.first with Some f -> f.prev <- Some b | None -> ());
-      t.first <- Some b;
-      if t.last = None then t.last <- Some b
-  | Some a ->
-      b.prev <- Some a;
-      b.next <- a.next;
-      (match a.next with Some n -> n.prev <- Some b | None -> t.last <- Some b);
-      a.next <- Some b
+  if anchor = nil then begin
+    set t b f_prev nil;
+    set t b f_next t.first;
+    if t.first <> nil then set t t.first f_prev b;
+    t.first <- b;
+    if t.last = nil then t.last <- b
+  end
+  else begin
+    let an = get t anchor f_next in
+    set t b f_prev anchor;
+    set t b f_next an;
+    if an <> nil then set t an f_prev b else t.last <- b;
+    set t anchor f_next b
+  end
 
 let remove_block t b =
-  (match b.prev with Some p -> p.next <- b.next | None -> t.first <- b.next);
-  (match b.next with Some n -> n.prev <- b.prev | None -> t.last <- b.prev)
+  let p = get t b f_prev and n = get t b f_next in
+  if p <> nil then set t p f_next n else t.first <- n;
+  if n <> nil then set t n f_prev p else t.last <- p
 
 (* -- allocation -------------------------------------------------------------- *)
 
 let split t b request =
   (* carve the front [request] bytes out of free block [b]; b must satisfy
-     b.size >= request.  Returns the allocated block. *)
-  if b.size >= request + min_block then begin
+     size >= request.  Returns the allocated block. *)
+  let bsize = get t b f_size in
+  if bsize >= request + min_block then begin
     t.alloc_instr <- t.alloc_instr + Cost_model.ff_split;
     let remainder =
-      {
-        addr = b.addr + request;
-        size = b.size - request;
-        is_free = true;
-        prev = None;
-        next = None;
-        fprev = None;
-        fnext = None;
-      }
+      new_block t ~addr:(get t b f_addr + request) ~size:(bsize - request)
     in
-    b.size <- request;
-    insert_after t (Some b) remainder;
+    set t b f_size request;
+    insert_after t b remainder;
     free_list_insert t remainder
   end;
   free_list_remove t b;
-  b.is_free <- false;
+  set t b f_free 0;
   b
 
 let sbrk t need =
@@ -129,129 +204,116 @@ let sbrk t need =
   let start = t.brk in
   t.brk <- t.brk + grow;
   if t.brk > t.max_brk then t.max_brk <- t.brk;
-  (* merge with a trailing free block if any *)
-  match t.last with
-  | Some l when l.is_free ->
-      l.size <- l.size + grow;
-      l
-  | _ ->
-      let b =
-        {
-          addr = start;
-          size = grow;
-          is_free = true;
-          prev = None;
-          next = None;
-          fprev = None;
-          fnext = None;
-        }
-      in
-      insert_after t t.last b;
-      free_list_insert t b;
-      b
+  ensure_map t;
+  (* merge with a trailing free block if any; the sentinel's free flag is
+     0, so an empty list takes the fresh-block path *)
+  let l = t.last in
+  if get t l f_free = 1 then begin
+    set t l f_size (get t l f_size + grow);
+    l
+  end
+  else begin
+    let b = new_block t ~addr:start ~size:grow in
+    insert_after t t.last b;
+    free_list_insert t b;
+    b
+  end
 
 let alloc t size =
   if size <= 0 then invalid_arg "First_fit.alloc: size must be positive";
   let request = max min_block (round8 (size + header)) in
   t.allocs <- t.allocs + 1;
-  t.alloc_instr <- t.alloc_instr + Cost_model.ff_alloc_base;
-  let found = ref None in
+  let found = ref nil in
+  let inspected = ref 0 in
   (match t.policy with
   | Best ->
       (* best fit: scan the whole free list for the tightest block *)
-      let rec scan cur =
-        match cur with
-        | None -> ()
-        | Some b ->
-            t.alloc_instr <- t.alloc_instr + Cost_model.ff_per_inspect;
-            (if b.size >= request then
-               match !found with
-               | Some best when best.size <= b.size -> ()
-               | _ -> found := Some b);
-            scan b.fnext
-      in
-      scan t.free_head
-  | First -> (
+      let cur = ref t.free_head in
+      while !cur <> nil do
+        let b = !cur in
+        incr inspected;
+        let bsize = get t b f_size in
+        if bsize >= request && (!found = nil || get t !found f_size > bsize)
+        then found := b;
+        cur := get t b f_fnext
+      done
+  | First ->
       (* roving first-fit over the free list, wrapping once *)
-      let start = match t.rover with Some r -> Some r | None -> t.free_head in
-      match start with
-  | None -> ()
-  | Some start_block ->
-      let cur = ref (Some start_block) in
-      let wrapped = ref false in
-      let continue = ref true in
-      while !continue do
-        match !cur with
-        | None ->
+      let start = if t.rover <> nil then t.rover else t.free_head in
+      if start <> nil then begin
+        let cur = ref start in
+        let wrapped = ref false in
+        let continue = ref true in
+        while !continue do
+          let b = !cur in
+          if b = nil then begin
             if !wrapped then continue := false
             else begin
               wrapped := true;
               cur := t.free_head;
               (* if the free list is empty now, stop *)
-              if t.free_head = None then continue := false
+              if t.free_head = nil then continue := false
             end
-        | Some b ->
-            t.alloc_instr <- t.alloc_instr + Cost_model.ff_per_inspect;
-            if b.size >= request then begin
-              found := Some b;
+          end
+          else begin
+            incr inspected;
+            if get t b f_size >= request then begin
+              found := b;
               continue := false
             end
             else begin
-              cur := b.fnext;
-              (match b.fnext with
-              | Some n when !wrapped && n == start_block -> continue := false
-              | _ -> ());
-              if !wrapped && b.fnext = None then continue := false
+              let fn = get t b f_fnext in
+              cur := fn;
+              if !wrapped && (fn = start || fn = nil) then continue := false
             end
-      done));
-  let b =
-    match !found with
-    | Some b -> b
-    | None ->
-        let b = sbrk t request in
-        b
-  in
+          end
+        done
+      end);
+  t.alloc_instr <-
+    t.alloc_instr + Cost_model.ff_alloc_base
+    + (!inspected * Cost_model.ff_per_inspect);
+  let b = if !found <> nil then !found else sbrk t request in
   (* advance the rover past the chosen block *)
-  t.rover <- (match b.fnext with Some n -> Some n | None -> t.free_head);
+  let fn = get t b f_fnext in
+  t.rover <- (if fn <> nil then fn else t.free_head);
   let b = split t b request in
-  Hashtbl.replace t.by_payload (b.addr + header) b;
-  t.live <- t.live + b.size;
-  b.addr + header
+  let payload = get t b f_addr + header in
+  Array.unsafe_set t.by_payload ((payload - t.base) lsr 3) b;
+  t.live <- t.live + get t b f_size;
+  payload
 
 (* -- free ---------------------------------------------------------------------- *)
 
 let free t payload =
-  let b =
-    match Hashtbl.find_opt t.by_payload payload with
-    | Some b -> b
-    | None -> invalid_arg "First_fit.free: not an allocated address"
-  in
-  Hashtbl.remove t.by_payload payload;
+  let off = payload - t.base in
+  let idx = off lsr 3 in
+  if off < header || off land 7 <> 0 || idx >= Array.length t.by_payload then
+    invalid_arg "First_fit.free: not an allocated address";
+  let b = Array.unsafe_get t.by_payload idx in
+  if b = nil then invalid_arg "First_fit.free: not an allocated address";
+  Array.unsafe_set t.by_payload idx 0;
   t.frees <- t.frees + 1;
   t.free_instr <- t.free_instr + Cost_model.ff_free_base;
-  t.live <- t.live - b.size;
-  b.is_free <- true;
+  t.live <- t.live - get t b f_size;
+  set t b f_free 1;
   (* coalesce with next *)
-  (match b.next with
-  | Some n when n.is_free ->
-      t.free_instr <- t.free_instr + Cost_model.ff_coalesce;
-      free_list_remove t n;
-      remove_block t n;
-      b.size <- b.size + n.size
-  | _ -> ());
+  let n = get t b f_next in
+  if get t n f_free = 1 then begin
+    t.free_instr <- t.free_instr + Cost_model.ff_coalesce;
+    free_list_remove t n;
+    remove_block t n;
+    set t b f_size (get t b f_size + get t n f_size);
+    release t n
+  end;
   (* coalesce with prev *)
-  let merged =
-    match b.prev with
-    | Some p when p.is_free ->
-        t.free_instr <- t.free_instr + Cost_model.ff_coalesce;
-        remove_block t b;
-        p.size <- p.size + b.size;
-        p
-    | _ ->
-        free_list_insert t b;
-        b
-  in
-  ignore merged
+  let p = get t b f_prev in
+  if get t p f_free = 1 then begin
+    t.free_instr <- t.free_instr + Cost_model.ff_coalesce;
+    remove_block t b;
+    set t p f_size (get t p f_size + get t b f_size);
+    release t b
+  end
+  else free_list_insert t b
 
 (* -- accessors ------------------------------------------------------------------ *)
 
@@ -265,43 +327,63 @@ let frees t = t.frees
 
 let charge_alloc t n = t.alloc_instr <- t.alloc_instr + n
 
+let free_blocks t =
+  let n = ref 0 in
+  let cur = ref t.free_head in
+  while !cur <> nil do
+    incr n;
+    cur := get t !cur f_fnext
+  done;
+  !n
+
 let check_invariants t =
+  (* the sentinel record stays inert *)
+  if
+    get t nil f_free <> 0 || get t nil f_prev <> nil || get t nil f_next <> nil
+  then failwith "sentinel record mutated";
   (* blocks tile [base, brk) exactly; no two adjacent free blocks *)
   let pos = ref t.base in
   let prev_free = ref false in
-  let rec walk = function
-    | None -> ()
-    | Some b ->
-        if b.addr <> !pos then
-          failwith
-            (Printf.sprintf "block gap/overlap at %d (expected %d)" b.addr !pos);
-        if b.size <= 0 then failwith "non-positive block size";
-        if b.is_free && !prev_free then failwith "adjacent free blocks not coalesced";
-        prev_free := b.is_free;
-        pos := b.addr + b.size;
-        walk b.next
-  in
-  walk t.first;
+  let cur = ref t.first in
+  while !cur <> nil do
+    let b = !cur in
+    if get t b f_addr <> !pos then
+      failwith
+        (Printf.sprintf "block gap/overlap at %d (expected %d)" (get t b f_addr)
+           !pos);
+    if get t b f_size <= 0 then failwith "non-positive block size";
+    let is_free = get t b f_free = 1 in
+    if is_free && !prev_free then failwith "adjacent free blocks not coalesced";
+    prev_free := is_free;
+    pos := get t b f_addr + get t b f_size;
+    cur := get t b f_next
+  done;
   if !pos <> t.brk then
     failwith (Printf.sprintf "blocks end at %d but brk is %d" !pos t.brk);
   (* every free-list entry is free; every free block is on the free list *)
   let on_free_list = Hashtbl.create 64 in
-  let rec fwalk = function
-    | None -> ()
-    | Some b ->
-        if not b.is_free then failwith "allocated block on free list";
-        Hashtbl.replace on_free_list b.addr ();
-        fwalk b.fnext
-  in
-  fwalk t.free_head;
-  let rec walk2 = function
-    | None -> ()
-    | Some b ->
-        if b.is_free && not (Hashtbl.mem on_free_list b.addr) then
-          failwith "free block missing from free list";
-        walk2 b.next
-  in
-  walk2 t.first
+  let cur = ref t.free_head in
+  while !cur <> nil do
+    let b = !cur in
+    if get t b f_free <> 1 then failwith "allocated block on free list";
+    Hashtbl.replace on_free_list (get t b f_addr) ();
+    cur := get t b f_fnext
+  done;
+  let cur = ref t.first in
+  while !cur <> nil do
+    let b = !cur in
+    if get t b f_free = 1 && not (Hashtbl.mem on_free_list (get t b f_addr))
+    then failwith "free block missing from free list";
+    cur := get t b f_next
+  done;
+  (* the payload map points exactly at the allocated blocks *)
+  Array.iteri
+    (fun idx b ->
+      if
+        b <> nil
+        && (get t b f_free = 1 || get t b f_addr + header - t.base <> idx lsl 3)
+      then failwith "payload map entry out of sync")
+    t.by_payload
 
 (* -- backend adapters ------------------------------------------------------------ *)
 
@@ -310,7 +392,7 @@ module Best_backend : Backend.BACKEND with type t = t = struct
 
   let name = "best-fit"
   let uses_prediction = false
-  let create ?base () = create ?base ~policy:Best ()
+  let create ?base ?hint () = create ?base ?hint ~policy:Best ()
   let alloc t ~size ~predicted:_ = alloc t size
   let free = free
   let charge_alloc = charge_alloc
@@ -330,7 +412,7 @@ module Backend : Backend.BACKEND with type t = t = struct
 
   let name = "first-fit"
   let uses_prediction = false
-  let create ?base () = create ?base ()
+  let create ?base ?hint () = create ?base ?hint ()
   let alloc t ~size ~predicted:_ = alloc t size
   let free = free
   let charge_alloc = charge_alloc

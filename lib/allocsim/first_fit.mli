@@ -16,11 +16,13 @@ type policy =
   | First  (** Knuth's first fit with a roving pointer (the paper's baseline) *)
   | Best  (** best fit: whole-list scan for the tightest block (for ablations) *)
 
-val create : ?base:int -> ?sbrk_chunk:int -> ?policy:policy -> unit -> t
+val create : ?base:int -> ?hint:int -> ?sbrk_chunk:int -> ?policy:policy -> unit -> t
 (** [base] is the address the heap starts at (default 0; the arena
-    allocator puts its arena area below).  [sbrk_chunk] is the granularity
-    of simulated [sbrk] growth (default 8192, matching the 8 KB multiples
-    of the paper's Table 8 heap sizes).  [policy] defaults to {!First}. *)
+    allocator puts its arena area below).  [hint] pre-sizes the
+    payload-address map (expected object count; purely a speed knob).
+    [sbrk_chunk] is the granularity of simulated [sbrk] growth (default
+    8192, matching the 8 KB multiples of the paper's Table 8 heap sizes).
+    [policy] defaults to {!First}. *)
 
 val alloc : t -> int -> int
 (** [alloc t size] returns the payload address of a new block.  The block
@@ -48,6 +50,10 @@ val free_instr : t -> int
 
 val allocs : t -> int
 val frees : t -> int
+
+val free_blocks : t -> int
+(** Current length of the free list (walks it; for tests such as the
+    roving-search inspection bound). *)
 
 val check_invariants : t -> unit
 (** Verify the block list: blocks tile the heap exactly, no two adjacent

@@ -1,3 +1,14 @@
+(* Segregated-fit slab allocator, hot-path representation.
+
+   The seed kept [slab.freed] and [free_pages] as [int list] and mapped
+   payload->origin through a hashtable.  Both lists are LIFO, so they
+   become {!Int_stack}s (same pop order, no cons cell per free), and the
+   origin map becomes a direct-address variant array keyed by
+   [(payload - heap_base - header) / 16] — slab cells are 16-byte-aligned
+   page offsets and span bases are page-aligned, so the key is injective.
+   Placement decisions and Cost_model charges are byte-identical to the
+   seed (golden-metrics test). *)
+
 let header = 8
 let page = 4096
 let min_class = 4 (* 2^4 = 16-byte cells *)
@@ -14,21 +25,22 @@ type slab = {
   cls : int;
   mutable live : int;
   mutable next_cell : int;  (* offset of the first never-used byte *)
-  mutable freed : int list;  (* payload addresses *)
+  freed : Int_stack.t;  (* payload addresses, LIFO *)
 }
 
 type size_class = { mutable nonfull : slab list }
 
 type origin =
+  | No  (* not a live payload *)
   | Small of slab
   | Large of int  (* span pages *)
 
 type t = {
   heap_base : int;
   classes : size_class array;
-  origin_of : (int, origin) Hashtbl.t;  (* payload addr -> where it lives *)
+  mutable origin_of : origin array;  (* (payload-heap_base-header)/16 -> origin *)
   slab_of_page : (int, slab) Hashtbl.t;
-  mutable free_pages : int list;  (* single recycled pages *)
+  free_pages : Int_stack.t;  (* single recycled pages *)
   free_spans : (int, int list) Hashtbl.t;  (* n pages -> span base addrs *)
   mutable brk : int;
   mutable slabs_created : int;
@@ -40,13 +52,13 @@ type t = {
   mutable frees : int;
 }
 
-let create ?(base = 0) () =
+let create ?(base = 0) ?(hint = 1024) () =
   {
     heap_base = base;
     classes = Array.init (max_small_class + 1) (fun _ -> { nonfull = [] });
-    origin_of = Hashtbl.create 1024;
-    slab_of_page = Hashtbl.create 64;
-    free_pages = [];
+    origin_of = Array.make (max 256 (min hint 262144)) No;
+    slab_of_page = Hashtbl.create (max 64 (min hint 65536 / 8));
+    free_pages = Int_stack.create ();
     free_spans = Hashtbl.create 8;
     brk = base;
     slabs_created = 0;
@@ -63,30 +75,45 @@ let class_for size =
   let rec go c = if 1 lsl c >= need then c else go (c + 1) in
   go min_class
 
+(* grow the origin map to cover the current break *)
+let ensure_map t =
+  let need = (t.brk - t.heap_base) lsr 4 in
+  let cap = Array.length t.origin_of in
+  if need > cap then begin
+    let cap' = ref (cap * 2) in
+    while !cap' < need do cap' := !cap' * 2 done;
+    let bigger = Array.make !cap' No in
+    Array.blit t.origin_of 0 bigger 0 cap;
+    t.origin_of <- bigger
+  end
+
+let origin_index t payload = (payload - t.heap_base - header) lsr 4
+
 let sbrk_pages t n =
   let addr = t.brk in
   t.brk <- t.brk + (n * page);
+  ensure_map t;
   addr
 
 let take_page t =
-  match t.free_pages with
-  | p :: rest ->
-      t.alloc_instr <- t.alloc_instr + Cost_model.seg_recycle;
-      t.free_pages <- rest;
-      p
-  | [] -> sbrk_pages t 1
+  if Int_stack.is_empty t.free_pages then sbrk_pages t 1
+  else begin
+    t.alloc_instr <- t.alloc_instr + Cost_model.seg_recycle;
+    Int_stack.pop t.free_pages
+  end
 
 (* -- the small-object path ------------------------------------------------------- *)
 
 let fresh_slab t cls =
   t.alloc_instr <- t.alloc_instr + Cost_model.seg_slab_init;
   let base = take_page t in
-  let slab = { base; cls; live = 0; next_cell = 0; freed = [] } in
+  let slab = { base; cls; live = 0; next_cell = 0; freed = Int_stack.create () } in
   Hashtbl.replace t.slab_of_page (base / page) slab;
   t.slabs_created <- t.slabs_created + 1;
   slab
 
-let slab_exhausted slab = slab.freed = [] && slab.next_cell + (1 lsl slab.cls) > page
+let slab_exhausted slab =
+  Int_stack.is_empty slab.freed && slab.next_cell + (1 lsl slab.cls) > page
 
 let alloc_small t cls =
   let sc = t.classes.(cls) in
@@ -99,32 +126,30 @@ let alloc_small t cls =
         s
   in
   let payload =
-    match slab.freed with
-    | addr :: rest ->
-        slab.freed <- rest;
-        addr
-    | [] ->
-        let cell = slab.base + slab.next_cell in
-        slab.next_cell <- slab.next_cell + (1 lsl cls);
-        cell + header
+    if Int_stack.is_empty slab.freed then begin
+      let cell = slab.base + slab.next_cell in
+      slab.next_cell <- slab.next_cell + (1 lsl cls);
+      cell + header
+    end
+    else Int_stack.pop slab.freed
   in
   slab.live <- slab.live + 1;
   if slab_exhausted slab then
     sc.nonfull <- List.filter (fun s -> s != slab) sc.nonfull;
-  Hashtbl.replace t.origin_of payload (Small slab);
+  Array.unsafe_set t.origin_of (origin_index t payload) (Small slab);
   payload
 
 let free_small t payload slab =
   let sc = t.classes.(slab.cls) in
   let was_exhausted = slab_exhausted slab in
   slab.live <- slab.live - 1;
-  slab.freed <- payload :: slab.freed;
+  Int_stack.push slab.freed payload;
   if slab.live = 0 then begin
     (* the page is empty: return it to the pool for any class to reuse *)
     t.free_instr <- t.free_instr + Cost_model.seg_recycle;
     sc.nonfull <- List.filter (fun s -> s != slab) sc.nonfull;
     Hashtbl.remove t.slab_of_page (slab.base / page);
-    t.free_pages <- slab.base :: t.free_pages;
+    Int_stack.push t.free_pages slab.base;
     t.pages_recycled <- t.pages_recycled + 1
   end
   else if was_exhausted then sc.nonfull <- slab :: sc.nonfull
@@ -148,13 +173,13 @@ let alloc_large t size =
   in
   t.large_spans <- t.large_spans + 1;
   let payload = base + header in
-  Hashtbl.replace t.origin_of payload (Large n);
+  Array.unsafe_set t.origin_of (origin_index t payload) (Large n);
   payload
 
 let free_large t payload n =
   t.free_instr <- t.free_instr + Cost_model.seg_large_free;
   let base = payload - header in
-  if n = 1 then t.free_pages <- base :: t.free_pages
+  if n = 1 then Int_stack.push t.free_pages base
   else
     Hashtbl.replace t.free_spans n
       (base :: Option.value (Hashtbl.find_opt t.free_spans n) ~default:[])
@@ -169,13 +194,18 @@ let alloc t size =
   if cls <= max_small_class then alloc_small t cls else alloc_large t size
 
 let free t payload =
-  match Hashtbl.find_opt t.origin_of payload with
-  | None -> invalid_arg "Segfit.free: not an allocated address"
-  | Some origin -> (
-      Hashtbl.remove t.origin_of payload;
+  let off = payload - t.heap_base - header in
+  let idx = off lsr 4 in
+  if off < 0 || off land 15 <> 0 || idx >= Array.length t.origin_of then
+    invalid_arg "Segfit.free: not an allocated address";
+  match Array.unsafe_get t.origin_of idx with
+  | No -> invalid_arg "Segfit.free: not an allocated address"
+  | origin -> (
+      Array.unsafe_set t.origin_of idx No;
       t.frees <- t.frees + 1;
       t.free_instr <- t.free_instr + Cost_model.seg_free_base;
       match origin with
+      | No -> assert false
       | Small slab -> free_small t payload slab
       | Large n -> free_large t payload n)
 
@@ -192,9 +222,11 @@ let large_spans t = t.large_spans
 let check_invariants t =
   (* every live payload's slab agrees; slab live counts sum to the live table *)
   let per_slab = Hashtbl.create 64 in
-  Hashtbl.iter
-    (fun payload origin ->
+  Array.iteri
+    (fun idx origin ->
+      let payload = t.heap_base + (idx lsl 4) + header in
       match origin with
+      | No -> ()
       | Large n ->
           if n < 1 then failwith "non-positive span length"
       | Small slab ->
@@ -228,7 +260,7 @@ module Backend : Backend.BACKEND with type t = t = struct
 
   let name = "segfit"
   let uses_prediction = false
-  let create ?base () = create ?base ()
+  let create ?base ?hint () = create ?base ?hint ()
   let alloc t ~size ~predicted:_ = alloc t size
   let free = free
   let charge_alloc = charge_alloc

@@ -95,18 +95,68 @@ let iter_keys t f = Portable.Table.iter (fun k () -> f k) t.keys
 
 (* A fast per-trace lookup: resolves each interned (chain, size) pair once
    and memoizes, so the simulation driver's per-allocation test is a
-   hash-table probe — mirroring the small site hash table of §5.1. *)
+   hash-table probe — mirroring the small site hash table of §5.1.
+
+   The memo is a hand-rolled open-addressing table over parallel int
+   arrays rather than a [Hashtbl] keyed by an [(int * int)] tuple: the
+   replay driver calls this once per allocation, and the tuple key plus
+   the [find_opt] option box cost two minor allocations and a polymorphic
+   hash on every probe.  This probe allocates nothing. *)
 let for_trace t (trace : Lp_trace.Trace.t) =
-  let memo : (int * int, bool) Hashtbl.t = Hashtbl.create 1024 in
+  let empty = min_int in
+  let cap = ref 4096 (* power of two *) in
+  let chains = ref (Array.make !cap empty) in
+  let sizes = ref (Array.make !cap 0) in
+  let verdicts = ref (Bytes.make !cap '\000') in
+  let count = ref 0 in
+  let slot_for chains sizes mask chain size =
+    let h = ((chain * 0x9E3779B1) lxor (size * 0x85EBCA77)) land mask in
+    let i = ref h in
+    while
+      let c = Array.unsafe_get chains !i in
+      c <> empty && not (c = chain && Array.unsafe_get sizes !i = size)
+    do
+      i := (!i + 1) land mask
+    done;
+    !i
+  in
+  let grow () =
+    let cap' = !cap * 2 in
+    let chains' = Array.make cap' empty in
+    let sizes' = Array.make cap' 0 in
+    let verdicts' = Bytes.make cap' '\000' in
+    let mask' = cap' - 1 in
+    for i = 0 to !cap - 1 do
+      let c = Array.unsafe_get !chains i in
+      if c <> empty then begin
+        let j = slot_for chains' sizes' mask' c (Array.unsafe_get !sizes i) in
+        chains'.(j) <- c;
+        sizes'.(j) <- Array.unsafe_get !sizes i;
+        Bytes.unsafe_set verdicts' j (Bytes.unsafe_get !verdicts i)
+      end
+    done;
+    cap := cap';
+    chains := chains';
+    sizes := sizes';
+    verdicts := verdicts'
+  in
   fun ~obj:_ ~size ~chain ~key ->
-    match Hashtbl.find_opt memo (chain, size) with
-    | Some hit -> hit
-    | None ->
-        let site =
-          Lp_callchain.Site.make t.policy
-            ~raw_chain:(Lp_trace.Trace.chain_of_alloc trace chain)
-            ~key ~size
-        in
-        let hit = predicts_site t trace.funcs site in
-        Hashtbl.replace memo (chain, size) hit;
-        hit
+    let i = slot_for !chains !sizes (!cap - 1) chain size in
+    if Array.unsafe_get !chains i <> empty then
+      Bytes.unsafe_get !verdicts i = '\001'
+    else begin
+      let site =
+        Lp_callchain.Site.make t.policy
+          ~raw_chain:(Lp_trace.Trace.chain_of_alloc trace chain)
+          ~key ~size
+      in
+      let hit = predicts_site t trace.funcs site in
+      (* keep the load factor below 1/2 so probe chains stay short *)
+      if 2 * (!count + 1) > !cap then grow ();
+      let i = slot_for !chains !sizes (!cap - 1) chain size in
+      !chains.(i) <- chain;
+      !sizes.(i) <- size;
+      Bytes.unsafe_set !verdicts i (if hit then '\001' else '\000');
+      incr count;
+      hit
+    end

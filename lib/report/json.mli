@@ -1,0 +1,36 @@
+(** A minimal dependency-free JSON reader/writer.
+
+    Just enough for the machine-readable files this repo emits — metrics
+    JSON, [BENCH_*.json] benchmark reports — and for validating them
+    structurally in tests and in [lpbench --validate].  Numbers are floats,
+    strings are assumed UTF-8, and object member order is preserved. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Number of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val of_string : string -> t
+(** @raise Parse_error on malformed input or trailing bytes. *)
+
+val to_string : t -> string
+(** Compact one-line rendering. *)
+
+val to_pretty_string : t -> string
+(** Two-space-indented rendering, ending in a newline — the format of the
+    committed [BENCH_*.json] files (diff-friendly). *)
+
+val member : string -> t -> t option
+(** [member k (Obj kvs)] is the value bound to [k], if any. *)
+
+val member_exn : string -> t -> t
+(** @raise Parse_error when the member is absent. *)
+
+val to_list : t -> t list option
+val to_float : t -> float option
+val to_str : t -> string option

@@ -161,14 +161,32 @@ let output oc t =
 
 (* -- decoding ------------------------------------------------------------------ *)
 
-type cursor = { buf : string; name : string; mutable pos : int }
+(* The decode cursor reads from a [Bigarray] of bytes rather than a
+   string: [Unix.map_file] hands loaders a zero-copy view of an on-disk
+   trace (see {!Io.read_file}), [Bigarray.Array1.unsafe_get] compiles to
+   an inline load in native code, and a GC never moves the buffer while
+   tens of millions of byte reads stream through.  [of_string] copies its
+   input into a bigarray once, which is noise next to the decode itself. *)
+
+type bytes_view =
+  (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type cursor = { buf : bytes_view; len : int; name : string; mutable pos : int }
+
+let big_of_string s =
+  let n = String.length s in
+  let a = Bigarray.(Array1.create char c_layout n) in
+  for i = 0 to n - 1 do
+    Bigarray.Array1.unsafe_set a i (String.unsafe_get s i)
+  done;
+  a
 
 let fail c msg =
   failwith (Printf.sprintf "Binio.input: %s: byte %d: %s" c.name c.pos msg)
 
 let read_byte c =
-  if c.pos >= String.length c.buf then fail c "unexpected end of input";
-  let v = Char.code (String.unsafe_get c.buf c.pos) in
+  if c.pos >= c.len then fail c "unexpected end of input";
+  let v = Char.code (Bigarray.Array1.unsafe_get c.buf c.pos) in
   c.pos <- c.pos + 1;
   v
 
@@ -185,21 +203,27 @@ let read_zigzag c = unzigzag (read_varint c)
 
 let read_string c =
   let len = read_varint c in
-  if c.pos + len > String.length c.buf then fail c "truncated string";
-  let s = String.sub c.buf c.pos len in
+  if c.pos + len > c.len then fail c "truncated string";
+  let b = Bytes.create len in
+  for i = 0 to len - 1 do
+    Bytes.unsafe_set b i (Bigarray.Array1.unsafe_get c.buf (c.pos + i))
+  done;
   c.pos <- c.pos + len;
-  s
+  Bytes.unsafe_to_string b
 
 let read_array c read =
   let n = read_varint c in
   (* cap the initial allocation: each element consumes at least one byte *)
-  if n > String.length c.buf - c.pos then fail c "impossible element count";
+  if n > c.len - c.pos then fail c "impossible element count";
   Array.init n (fun _ -> read c)
 
-let of_string ?(name = "<trace>") s : Trace.t =
-  let c = { buf = s; name; pos = 0 } in
-  if String.length s < 5 || not (String.equal (String.sub s 0 4) magic) then
-    fail c "bad magic (not a binary trace)";
+let of_bigarray ?(name = "<trace>") (buf : bytes_view) : Trace.t =
+  let len = Bigarray.Array1.dim buf in
+  let c = { buf; len; name; pos = 0 } in
+  if
+    len < 5
+    || not (String.equal (String.init 4 (Bigarray.Array1.get buf)) magic)
+  then fail c "bad magic (not a binary trace)";
   c.pos <- 4;
   let v = read_byte c in
   if v <> version && v <> version_sized then
@@ -242,7 +266,7 @@ let of_string ?(name = "<trace>") s : Trace.t =
   let total_refs = read_varint c in
   let n_objects = read_varint c in
   (* obj_refs is not length-prefixed: it has exactly n_objects entries *)
-  if n_objects > String.length c.buf - c.pos then fail c "impossible object count";
+  if n_objects > c.len - c.pos then fail c "impossible object count";
   let obj_refs = Array.init n_objects (fun _ -> read_varint c) in
   let check_obj what obj =
     if obj < 0 || obj >= n_objects then
@@ -287,7 +311,7 @@ let of_string ?(name = "<trace>") s : Trace.t =
   in
   let events = read_array c read_event in
   if read_byte c <> Char.code end_marker then fail c "missing end marker";
-  if c.pos <> String.length s then fail c "trailing bytes after end marker";
+  if c.pos <> c.len then fail c "trailing bytes after end marker";
   {
     Trace.program;
     input;
@@ -303,4 +327,5 @@ let of_string ?(name = "<trace>") s : Trace.t =
     tags;
   }
 
+let of_string ?name s = of_bigarray ?name (big_of_string s)
 let input ?name ic = of_string ?name (In_channel.input_all ic)

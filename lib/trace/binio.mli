@@ -57,3 +57,12 @@ val input : ?name:string -> in_channel -> Trace.t
 
 val of_string : ?name:string -> string -> Trace.t
 (** @raise Failure on malformed input. *)
+
+type bytes_view =
+  (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+val of_bigarray : ?name:string -> bytes_view -> Trace.t
+(** Decode directly from a byte [Bigarray] — the zero-copy path for
+    memory-mapped trace files ({!Io.read_file} maps [.lpt] files and
+    calls this).  [of_string] is this plus one copy.
+    @raise Failure on malformed input. *)

@@ -14,15 +14,43 @@ let of_string ?name s =
 
 let input ?name ic = of_string ?name (In_channel.input_all ic)
 
+(* memory-map the file for the zero-copy binary decode path; any failure
+   (empty file, exotic filesystem, no mmap) falls back to reading it in *)
+let map_file path =
+  match Unix.openfile path [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> None
+  | fd -> (
+      match
+        Fun.protect
+          ~finally:(fun () -> Unix.close fd)
+          (fun () ->
+            Bigarray.array1_of_genarray
+              (Unix.map_file fd Bigarray.char Bigarray.c_layout false [| -1 |]))
+      with
+      | buf -> Some buf
+      | exception _ -> None)
+
 let read_file path =
   let t0 = Lp_obs.Timings.now () in
-  let s = In_channel.with_open_bin path In_channel.input_all in
-  let t = of_string ~name:path s in
+  let bytes_read = ref 0 in
+  let t =
+    match map_file path with
+    | Some buf
+      when Bigarray.Array1.dim buf >= 4
+           && String.equal (String.init 4 (Bigarray.Array1.get buf)) Binio.magic
+      ->
+        bytes_read := Bigarray.Array1.dim buf;
+        Binio.of_bigarray ~name:path buf
+    | _ ->
+        let s = In_channel.with_open_bin path In_channel.input_all in
+        bytes_read := String.length s;
+        of_string ~name:path s
+  in
   Lp_obs.Timings.record
     ~stage:("load/" ^ Filename.basename path)
     ~items:(Array.length t.Trace.events)
     (Lp_obs.Timings.now () -. t0);
-  Lp_obs.Timings.count "trace.bytes_read" (String.length s);
+  Lp_obs.Timings.count "trace.bytes_read" !bytes_read;
   Lp_obs.Timings.count "trace.events_read" (Array.length t.Trace.events);
   t
 

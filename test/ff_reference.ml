@@ -1,0 +1,259 @@
+(* The PRE-OPTIMIZATION first-fit/best-fit core, retained verbatim as the
+   reference implementation for the equivalence property in test_perf.ml.
+
+   This is the seed representation: [block option] doubly-linked address
+   and free lists, a fresh record per split/sbrk, and a [by_payload]
+   hashtable — the exact code lib/allocsim/first_fit.ml shipped before the
+   sentinel/pooled-store overhaul.  The optimized allocator must produce
+   the identical placement sequence and identical instruction counters for
+   any op sequence; qcheck drives both against random programs.
+
+   Do not "clean up" or optimize this module: its value is that it stays
+   frozen while the production core evolves. *)
+
+let header = 8
+let min_block = 16
+
+type block = {
+  mutable addr : int;
+  mutable size : int;
+  mutable is_free : bool;
+  mutable prev : block option;
+  mutable next : block option;
+  mutable fprev : block option;
+  mutable fnext : block option;
+}
+
+type policy = First | Best
+
+type t = {
+  base : int;
+  sbrk_chunk : int;
+  policy : policy;
+  mutable first : block option;
+  mutable last : block option;
+  mutable free_head : block option;
+  mutable rover : block option;
+  mutable brk : int;
+  mutable max_brk : int;
+  by_payload : (int, block) Hashtbl.t;
+  mutable live : int;
+  mutable alloc_instr : int;
+  mutable free_instr : int;
+  mutable allocs : int;
+  mutable frees : int;
+}
+
+module Cost_model = Lp_allocsim.Cost_model
+
+let create ?(base = 0) ?(sbrk_chunk = 8192) ?(policy = First) () =
+  {
+    base;
+    sbrk_chunk;
+    policy;
+    first = None;
+    last = None;
+    free_head = None;
+    rover = None;
+    brk = base;
+    max_brk = base;
+    by_payload = Hashtbl.create 1024;
+    live = 0;
+    alloc_instr = 0;
+    free_instr = 0;
+    allocs = 0;
+    frees = 0;
+  }
+
+let round8 n = (n + 7) land lnot 7
+
+let free_list_insert t b =
+  b.fprev <- None;
+  b.fnext <- t.free_head;
+  (match t.free_head with Some h -> h.fprev <- Some b | None -> ());
+  t.free_head <- Some b;
+  if t.rover = None then t.rover <- Some b
+
+let free_list_remove t b =
+  (match b.fprev with
+  | Some p -> p.fnext <- b.fnext
+  | None -> t.free_head <- b.fnext);
+  (match b.fnext with Some n -> n.fprev <- b.fprev | None -> ());
+  (match t.rover with
+  | Some r when r == b -> t.rover <- (match b.fnext with Some n -> Some n | None -> t.free_head)
+  | _ -> ());
+  b.fprev <- None;
+  b.fnext <- None
+
+let insert_after t anchor b =
+  match anchor with
+  | None ->
+      b.prev <- None;
+      b.next <- t.first;
+      (match t.first with Some f -> f.prev <- Some b | None -> ());
+      t.first <- Some b;
+      if t.last = None then t.last <- Some b
+  | Some a ->
+      b.prev <- Some a;
+      b.next <- a.next;
+      (match a.next with Some n -> n.prev <- Some b | None -> t.last <- Some b);
+      a.next <- Some b
+
+let remove_block t b =
+  (match b.prev with Some p -> p.next <- b.next | None -> t.first <- b.next);
+  (match b.next with Some n -> n.prev <- b.prev | None -> t.last <- b.prev)
+
+let split t b request =
+  if b.size >= request + min_block then begin
+    t.alloc_instr <- t.alloc_instr + Cost_model.ff_split;
+    let remainder =
+      {
+        addr = b.addr + request;
+        size = b.size - request;
+        is_free = true;
+        prev = None;
+        next = None;
+        fprev = None;
+        fnext = None;
+      }
+    in
+    b.size <- request;
+    insert_after t (Some b) remainder;
+    free_list_insert t remainder
+  end;
+  free_list_remove t b;
+  b.is_free <- false;
+  b
+
+let sbrk t need =
+  let grow = (need + t.sbrk_chunk - 1) / t.sbrk_chunk * t.sbrk_chunk in
+  t.alloc_instr <- t.alloc_instr + Cost_model.ff_sbrk;
+  let start = t.brk in
+  t.brk <- t.brk + grow;
+  if t.brk > t.max_brk then t.max_brk <- t.brk;
+  match t.last with
+  | Some l when l.is_free ->
+      l.size <- l.size + grow;
+      l
+  | _ ->
+      let b =
+        {
+          addr = start;
+          size = grow;
+          is_free = true;
+          prev = None;
+          next = None;
+          fprev = None;
+          fnext = None;
+        }
+      in
+      insert_after t t.last b;
+      free_list_insert t b;
+      b
+
+let alloc t size =
+  if size <= 0 then invalid_arg "Ff_reference.alloc: size must be positive";
+  let request = max min_block (round8 (size + header)) in
+  t.allocs <- t.allocs + 1;
+  t.alloc_instr <- t.alloc_instr + Cost_model.ff_alloc_base;
+  let found = ref None in
+  (match t.policy with
+  | Best ->
+      let rec scan cur =
+        match cur with
+        | None -> ()
+        | Some b ->
+            t.alloc_instr <- t.alloc_instr + Cost_model.ff_per_inspect;
+            (if b.size >= request then
+               match !found with
+               | Some best when best.size <= b.size -> ()
+               | _ -> found := Some b);
+            scan b.fnext
+      in
+      scan t.free_head
+  | First -> (
+      let start = match t.rover with Some r -> Some r | None -> t.free_head in
+      match start with
+  | None -> ()
+  | Some start_block ->
+      let cur = ref (Some start_block) in
+      let wrapped = ref false in
+      let continue = ref true in
+      while !continue do
+        match !cur with
+        | None ->
+            if !wrapped then continue := false
+            else begin
+              wrapped := true;
+              cur := t.free_head;
+              if t.free_head = None then continue := false
+            end
+        | Some b ->
+            t.alloc_instr <- t.alloc_instr + Cost_model.ff_per_inspect;
+            if b.size >= request then begin
+              found := Some b;
+              continue := false
+            end
+            else begin
+              cur := b.fnext;
+              (match b.fnext with
+              | Some n when !wrapped && n == start_block -> continue := false
+              | _ -> ());
+              if !wrapped && b.fnext = None then continue := false
+            end
+      done));
+  let b =
+    match !found with
+    | Some b -> b
+    | None ->
+        let b = sbrk t request in
+        b
+  in
+  t.rover <- (match b.fnext with Some n -> Some n | None -> t.free_head);
+  let b = split t b request in
+  Hashtbl.replace t.by_payload (b.addr + header) b;
+  t.live <- t.live + b.size;
+  b.addr + header
+
+let free t payload =
+  let b =
+    match Hashtbl.find_opt t.by_payload payload with
+    | Some b -> b
+    | None -> invalid_arg "Ff_reference.free: not an allocated address"
+  in
+  Hashtbl.remove t.by_payload payload;
+  t.frees <- t.frees + 1;
+  t.free_instr <- t.free_instr + Cost_model.ff_free_base;
+  t.live <- t.live - b.size;
+  b.is_free <- true;
+  (match b.next with
+  | Some n when n.is_free ->
+      t.free_instr <- t.free_instr + Cost_model.ff_coalesce;
+      free_list_remove t n;
+      remove_block t n;
+      b.size <- b.size + n.size
+  | _ -> ());
+  let merged =
+    match b.prev with
+    | Some p when p.is_free ->
+        t.free_instr <- t.free_instr + Cost_model.ff_coalesce;
+        remove_block t b;
+        p.size <- p.size + b.size;
+        p
+    | _ ->
+        free_list_insert t b;
+        b
+  in
+  ignore merged
+
+let heap_size t = t.brk - t.base
+let max_heap_size t = t.max_brk - t.base
+let live_bytes t = t.live
+let alloc_instr t = t.alloc_instr
+let free_instr t = t.free_instr
+let allocs t = t.allocs
+let frees t = t.frees
+
+let free_blocks t =
+  let rec len acc = function None -> acc | Some b -> len (acc + 1) b.fnext in
+  len 0 t.free_head

@@ -1,0 +1,109 @@
+(* The optimized first-fit (flat int-array block store, direct-address
+   payload map) must be observationally identical to the seed
+   implementation retained verbatim in [Ff_reference]: same placement
+   decisions, same simulated instruction charges, same heap growth, for
+   both the roving-first-fit and best-fit policies.  QCheck drives both
+   through random alloc/free schedules and compares every address the
+   allocators hand out.
+
+   The second suite is a regression bound on the roving search: one
+   [alloc] call inspects each free block at most once (the wrap-around
+   stop), so its instruction charge is bounded by the free-list length. *)
+
+module FF = Lp_allocsim.First_fit
+module CM = Lp_allocsim.Cost_model
+
+(* A schedule step: [true, n] allocates [n mod 256 + 1] bytes, [false, n]
+   frees the [n mod live]-th oldest live block (ignored when nothing is
+   live).  Resolving indices against the live set keeps every generated
+   schedule valid, so shrinking stays inside the allocators' contracts. *)
+let schedule_gen =
+  QCheck.(list_of_size Gen.(int_range 0 200) (pair bool small_nat))
+
+let run_schedule ~policy ~ref_policy steps =
+  let t = FF.create ~policy () in
+  let r = Ff_reference.create ~policy:ref_policy () in
+  let live = ref [] in
+  (* live is kept oldest-first; addresses must match pairwise at every step *)
+  List.iter
+    (fun (is_alloc, n) ->
+      if is_alloc || !live = [] then begin
+        let size = (n mod 256) + 1 in
+        let a = FF.alloc t size in
+        let b = Ff_reference.alloc r size in
+        if a <> b then
+          QCheck.Test.fail_reportf "alloc %d placed at %d, reference at %d"
+            size a b;
+        live := !live @ [ a ]
+      end
+      else begin
+        let i = n mod List.length !live in
+        let addr = List.nth !live i in
+        FF.free t addr;
+        Ff_reference.free r addr;
+        live := List.filteri (fun j _ -> j <> i) !live
+      end)
+    steps;
+  FF.check_invariants t;
+  let check what a b =
+    if a <> b then QCheck.Test.fail_reportf "%s: %d, reference %d" what a b
+  in
+  check "alloc_instr" (FF.alloc_instr t) (Ff_reference.alloc_instr r);
+  check "free_instr" (FF.free_instr t) (Ff_reference.free_instr r);
+  check "allocs" (FF.allocs t) (Ff_reference.allocs r);
+  check "frees" (FF.frees t) (Ff_reference.frees r);
+  check "heap_size" (FF.heap_size t) (Ff_reference.heap_size r);
+  check "max_heap_size" (FF.max_heap_size t) (Ff_reference.max_heap_size r);
+  check "live_bytes" (FF.live_bytes t) (Ff_reference.live_bytes r);
+  check "free_blocks" (FF.free_blocks t) (Ff_reference.free_blocks r);
+  true
+
+let equivalence_test ~name ~policy ~ref_policy =
+  QCheck.Test.make ~count:200 ~name schedule_gen
+    (run_schedule ~policy ~ref_policy)
+
+(* Roving-pointer bound: a single alloc terminates after at most two
+   passes over the free list (the wrap stops at the rover's start block,
+   or at the tail when the rover started at the head), so its charge is
+   at most ff_alloc_base plus ff_per_inspect times twice the free-list
+   length, plus the fixed sbrk-carve and split charges when nothing
+   fits.  Exercise it on a deliberately fragmented heap; an unterminated
+   or superlinear rover blows the bound immediately. *)
+let rover_inspection_bound () =
+  let t = FF.create () in
+  let addrs = Array.init 64 (fun _ -> FF.alloc t 48) in
+  (* free every other block: 32 non-coalescable free-list entries *)
+  Array.iteri (fun i a -> if i mod 2 = 0 then FF.free t a) addrs;
+  for _ = 1 to 100 do
+    let free_blocks = FF.free_blocks t in
+    let before = FF.alloc_instr t in
+    (* 64 bytes does not fit any 48-byte hole: worst case, a full rover
+       sweep over every free block and then an sbrk carve *)
+    ignore (FF.alloc t 64);
+    let charge = FF.alloc_instr t - before in
+    let bound =
+      CM.ff_alloc_base + CM.ff_sbrk + CM.ff_split
+      + (CM.ff_per_inspect * 2 * free_blocks)
+    in
+    if charge > bound then
+      Alcotest.failf "alloc charged %d instructions, bound %d (%d free blocks)"
+        charge bound free_blocks
+  done;
+  FF.check_invariants t
+
+let suites =
+  [
+    ( "perf-equivalence",
+      List.map QCheck_alcotest.to_alcotest
+        [
+          equivalence_test ~name:"first-fit matches seed implementation"
+            ~policy:FF.First ~ref_policy:Ff_reference.First;
+          equivalence_test ~name:"best-fit matches seed implementation"
+            ~policy:FF.Best ~ref_policy:Ff_reference.Best;
+        ] );
+    ( "perf-rover",
+      [
+        Alcotest.test_case "roving search inspects each free block once"
+          `Quick rover_inspection_bound;
+      ] );
+  ]
