@@ -37,6 +37,17 @@ let scale_arg =
   let doc = "Scale factor for workload input sizes (0 < S <= 1)." in
   Arg.(value & opt float 1.0 & info [ "scale" ] ~docv:"S" ~doc)
 
+let stream_arg =
+  let doc =
+    "Stream the trace file in a single bounded-memory pass instead of \
+     materializing the event array: binary $(b,.lpt) files decode \
+     incrementally over a read-only memory map, text traces parse \
+     line-at-a-time.  Results are byte-identical to the materialized path; \
+     peak memory is bounded by the live-object population instead of the \
+     trace length."
+  in
+  Arg.(value & flag & info [ "stream" ] ~doc)
+
 let threshold_arg =
   let doc = "Short-lived threshold in bytes (the paper uses 32768)." in
   Arg.(value & opt int 32768 & info [ "threshold" ] ~docv:"BYTES" ~doc)
@@ -111,10 +122,12 @@ let json_arg =
   Arg.(value & flag & info [ "json" ] ~doc)
 
 let stats_cmd =
-  let run path json timings =
+  let run path json stream timings =
     with_timings timings (fun () ->
-        let trace = read_trace path in
-        let s = Lp_trace.Stats.compute trace in
+        let s =
+          if stream then Lp_trace.Stats.compute_source (Lp_trace.Source.of_file path)
+          else Lp_trace.Stats.compute (read_trace path)
+        in
         if json then
           Printf.printf
             "{\"program\":%S,\"input\":%S,\"instructions\":%d,\"calls\":%d,\
@@ -127,30 +140,41 @@ let stats_cmd =
         else Format.printf "%a@." Lp_trace.Stats.pp s)
   in
   Cmd.v (Cmd.info "stats" ~doc:"Execution statistics of a trace (cf. Table 2)")
-    Term.(const run $ file_arg $ json_arg $ timings_arg)
+    Term.(const run $ file_arg $ json_arg $ stream_arg $ timings_arg)
 
 let lifetimes_cmd =
-  let run path threshold timings =
+  let run path threshold stream timings =
     with_timings timings @@ fun () ->
-    let trace = read_trace path in
-    let lifetimes = Lp_trace.Lifetimes.compute trace in
-    let hist = Lp_quantile.Histogram.create () in
-    let short = ref 0 and total = ref 0 in
-    Lp_trace.Trace.iter_allocs trace (fun ~obj ~size ~chain:_ ~key:_ ~tag:_ ->
-        Lp_quantile.Histogram.observe_weighted hist ~weight:size
-          (float_of_int lifetimes.lifetime.(obj));
-        total := !total + size;
-        if Lp_trace.Lifetimes.is_short_lived lifetimes ~threshold obj then
-          short := !short + size);
+    let hist, short, total =
+      if stream then
+        let s =
+          Lp_trace.Lifetimes.summary_source ~threshold
+            (Lp_trace.Source.of_file path)
+        in
+        (s.hist, s.short_bytes, s.total_alloc_bytes)
+      else begin
+        let trace = read_trace path in
+        let lifetimes = Lp_trace.Lifetimes.compute trace in
+        let hist = Lp_quantile.Histogram.create () in
+        let short = ref 0 and total = ref 0 in
+        Lp_trace.Trace.iter_allocs trace (fun ~obj ~size ~chain:_ ~key:_ ~tag:_ ->
+            Lp_quantile.Histogram.observe_weighted hist ~weight:size
+              (float_of_int lifetimes.lifetime.(obj));
+            total := !total + size;
+            if Lp_trace.Lifetimes.is_short_lived lifetimes ~threshold obj then
+              short := !short + size);
+        (hist, !short, !total)
+      end
+    in
     let q = Lp_quantile.Histogram.quartiles hist in
     Format.printf "byte-weighted lifetime quartiles: %a@."
       Lp_quantile.Histogram.pp_quartiles q;
     Printf.printf "short-lived (< %d bytes): %.1f%% of bytes\n" threshold
-      (100. *. float_of_int !short /. float_of_int (max 1 !total))
+      (100. *. float_of_int short /. float_of_int (max 1 total))
   in
   Cmd.v
     (Cmd.info "lifetimes" ~doc:"Lifetime distribution of a trace (cf. Table 3)")
-    Term.(const run $ file_arg $ threshold_arg $ timings_arg)
+    Term.(const run $ file_arg $ threshold_arg $ stream_arg $ timings_arg)
 
 (* -- train ---------------------------------------------------------------------- *)
 
@@ -168,12 +192,26 @@ let train_cmd =
              accepted keys plus per-key training statistics, checkable with \
              $(b,lpalloc lint).")
   in
-  let run path threshold verbose save timings =
+  let run path threshold verbose save stream timings =
     with_timings timings @@ fun () ->
-    let trace = read_trace path in
     let config = { Lifetime.Config.default with short_lived_threshold = threshold } in
-    let table = Lifetime.Train.collect ~config trace in
-    let predictor = Lifetime.Predictor.build ~config ~funcs:trace.funcs table in
+    let program, funcs, clock, table =
+      if stream then begin
+        let src = Lp_trace.Source.of_file path in
+        let st = Lifetime.Train.collect_source ~config src in
+        ( src.Lp_trace.Source.program,
+          src.Lp_trace.Source.funcs (),
+          st.Lifetime.Train.end_clock,
+          st.Lifetime.Train.table )
+      end
+      else
+        let trace = read_trace path in
+        ( trace.program,
+          trace.funcs,
+          Lp_trace.Trace.total_bytes trace,
+          Lifetime.Train.collect ~config trace )
+    in
+    let predictor = Lifetime.Predictor.build ~config ~funcs table in
     Printf.printf "%d allocation sites, %d predictor (all-short) sites\n"
       (Lifetime.Train.total_sites table)
       (Lifetime.Predictor.size predictor);
@@ -183,7 +221,10 @@ let train_cmd =
     match save with
     | None -> ()
     | Some out ->
-        let model = Lifetime.Model.of_training ~config ~trace table predictor in
+        let model =
+          Lifetime.Model.of_training_parts ~config ~program ~funcs ~clock table
+            predictor
+        in
         Lifetime.Model.save out model;
         Printf.printf "wrote model (%d keys, %d predicted) to %s\n"
           (List.length model.entries)
@@ -193,7 +234,9 @@ let train_cmd =
   in
   Cmd.v
     (Cmd.info "train" ~doc:"Train a short-lived-site predictor from a trace")
-    Term.(const run $ file_arg $ threshold_arg $ verbose $ save $ timings_arg)
+    Term.(
+      const run $ file_arg $ threshold_arg $ verbose $ save $ stream_arg
+      $ timings_arg)
 
 (* -- evaluate ------------------------------------------------------------------- *)
 
@@ -266,7 +309,8 @@ let simulate_cmd =
              stderr).  A clean sanitized replay produces byte-identical \
              metrics.")
   in
-  let run train_path test_path threshold allocators json domains sanitize timings =
+  let run train_path test_path threshold allocators json domains sanitize stream
+      timings =
     with_timings timings @@ fun () ->
     (match domains with Some n -> Lifetime.Parallel.set_domains n | None -> ());
     (match allocators with
@@ -280,11 +324,20 @@ let simulate_cmd =
               exit 2
             end)
           names);
-    let train = read_trace train_path in
-    let test = read_trace test_path in
     let config = { Lifetime.Config.default with short_lived_threshold = threshold } in
-    let table = Lifetime.Train.collect ~config train in
-    let predictor = Lifetime.Predictor.build ~config ~funcs:train.funcs table in
+    let predictor =
+      if stream then begin
+        let src = Lp_trace.Source.of_file train_path in
+        let st = Lifetime.Train.collect_source ~config src in
+        Lifetime.Predictor.build ~config
+          ~funcs:(src.Lp_trace.Source.funcs ())
+          st.Lifetime.Train.table
+      end
+      else
+        let train = read_trace train_path in
+        let table = Lifetime.Train.collect ~config train in
+        Lifetime.Predictor.build ~config ~funcs:train.funcs table
+    in
     let wrap =
       if sanitize then
         let arena_config = Lifetime.Config.arena_config config in
@@ -292,7 +345,14 @@ let simulate_cmd =
       else None
     in
     let sim =
-      try Lifetime.Simulate.run ?allocators ?wrap ~config ~predictor ~test ()
+      try
+        if stream then
+          Lifetime.Simulate.run_streamed ?allocators ?wrap ~config ~predictor
+            ~source:(fun () -> Lp_trace.Source.of_file test_path)
+            ()
+        else
+          let test = read_trace test_path in
+          Lifetime.Simulate.run ?allocators ?wrap ~config ~predictor ~test ()
       with Lp_analysis.Sanitize.Violation d ->
         Format.eprintf "%a@." (Lp_analysis.Diagnostic.pp ~source:test_path) d;
         exit 1
@@ -322,7 +382,7 @@ let simulate_cmd =
           parallel across OCaml domains (cf. Tables 7-9)")
     Term.(
       const run $ train_file $ test_file $ threshold_arg $ allocators $ json_arg
-      $ domains $ sanitize $ timings_arg)
+      $ domains $ sanitize $ stream_arg $ timings_arg)
 
 (* -- lint ------------------------------------------------------------------------ *)
 
@@ -368,19 +428,33 @@ let lint_cmd =
              (the summary counts, the exit code and $(b,--json) always cover \
              all of them).")
   in
-  let run path json only disable max_chain_depth max_per_rule timings =
+  let run path json only disable max_chain_depth max_per_rule stream timings =
     with_timings timings @@ fun () ->
+    (* model files are a few kilobytes; only trace linting streams *)
+    let is_model_file () =
+      In_channel.with_open_bin path (fun ic ->
+          match
+            In_channel.really_input_string ic (String.length Lifetime.Model.magic)
+          with
+          | Some m -> String.equal m Lifetime.Model.magic
+          | None -> false)
+    in
     let diags, rules =
       try
-        let contents = In_channel.with_open_bin path In_channel.input_all in
-        if Lifetime.Model.looks_like_model contents then
-          ( Lp_analysis.Validate.run ?only ?disable
-              (Lifetime.Model.of_string ~name:path contents),
-            Lp_analysis.Validate.rules )
-        else
-          ( Lp_analysis.Lint.run ?only ?disable ~max_chain_depth
-              (read_trace path),
+        if stream && not (is_model_file ()) then
+          ( Lp_analysis.Lint.run_source ?only ?disable ~max_chain_depth
+              (Lp_trace.Source.of_file path),
             Lp_analysis.Lint.rules )
+        else
+          let contents = In_channel.with_open_bin path In_channel.input_all in
+          if Lifetime.Model.looks_like_model contents then
+            ( Lp_analysis.Validate.run ?only ?disable
+                (Lifetime.Model.of_string ~name:path contents),
+              Lp_analysis.Validate.rules )
+          else
+            ( Lp_analysis.Lint.run ?only ?disable ~max_chain_depth
+                (read_trace path),
+              Lp_analysis.Lint.rules )
       with Invalid_argument msg | Failure msg ->
         Printf.eprintf "lpalloc lint: %s\n" msg;
         exit 2
@@ -440,9 +514,17 @@ let lint_cmd =
        ~doc:"Statically check a trace or predictor-model file")
     Term.(
       const run $ file $ json_arg $ only $ disable $ max_chain_depth
-      $ max_per_rule $ timings_arg)
+      $ max_per_rule $ stream_arg $ timings_arg)
 
 let () =
+  (* fail fast, before any subcommand runs, on a malformed LPALLOC_DOMAINS
+     — a typo'd value silently falling back to a default would make
+     parallel results unreproducible *)
+  (match Lifetime.Parallel.check_env () with
+  | Ok () -> ()
+  | Error msg ->
+      Printf.eprintf "lpalloc: %s\n" msg;
+      exit 2);
   let doc =
     "lifetime-predicting memory allocation (reproduction of Barrett & Zorn, PLDI \
      1993)"

@@ -13,12 +13,18 @@
 
    The lp_obs timing spans recorded during the run (the same numbers
    `--timings` prints elsewhere) are embedded in the JSON under "timings",
-   so one file carries both phase timings and throughput. *)
+   so one file carries both phase timings and throughput.
+
+   Schema v2 adds a per-workload "streamed" phase (the sequential job set
+   replayed through pull-based decoders over the encoded bytes, with the
+   heap-growth delta it caused) and the trace.events_streamed /
+   trace.peak_resident_words counters; --validate accepts v1 files and
+   only demands the additions from v2 files. *)
 
 open Cmdliner
 module Json = Lp_report.Json
 
-let schema_version = 1
+let schema_version = 2
 
 (* -- measurement helpers -------------------------------------------------------- *)
 
@@ -133,6 +139,24 @@ let bench_workload ~program ~input ~scale ~repeat ~domains ~allocators =
     best_of repeat (fun () ->
         Lifetime.Parallel.with_domains domains (replay setup trace))
   in
+  (* streamed: the same job set pinned to 1 domain, but each replay pulls
+     events from a fresh incremental decoder over the encoded bytes — no
+     event array exists; the top-heap delta it causes is the streaming
+     memory claim, measurable here because everything above has already
+     pushed the high-water mark to its materialized level *)
+  let gc_before = Gc.quick_stat () in
+  let streamed_seconds, _ =
+    best_of repeat (fun () ->
+        Lifetime.Parallel.with_domains 1 (fun () ->
+            Lifetime.Simulate.run_streamed ~allocators:setup.allocators
+              ~config:setup.config ~predictor:setup.predictor
+              ~source:(fun () ->
+                Lp_trace.Source.of_string ~name:(program ^ ".lpt") encoded)
+              ()))
+  in
+  let streamed_peak_delta =
+    (Gc.quick_stat ()).Gc.top_heap_words - gc_before.Gc.top_heap_words
+  in
   let gc = Gc.quick_stat () in
   ( events,
     Json.Obj
@@ -168,6 +192,14 @@ let bench_workload ~program ~input ~scale ~repeat ~domains ~allocators =
               ("events_per_sec", num (rate (events * jobs) par_seconds));
               ( "speedup_vs_sequential",
                 num (if par_seconds > 0. then seq_seconds /. par_seconds else 0.) );
+            ] );
+        ( "streamed",
+          Json.Obj
+            [
+              ("jobs", int_ jobs);
+              ("wall_seconds", num streamed_seconds);
+              ("events_per_sec", num (rate (events * jobs) streamed_seconds));
+              ("peak_words_delta", int_ streamed_peak_delta);
             ] );
         ("top_heap_words", int_ gc.Gc.top_heap_words);
       ] )
@@ -279,10 +311,14 @@ let validate_file path =
       Printf.eprintf "lpbench --validate: %s: not JSON: %s\n" path msg;
       exit 1
   in
-  check "schema_version = 1"
-    (match Json.member "schema_version" j with
-    | Some (Json.Number v) -> v = float_of_int schema_version
-    | _ -> false);
+  let version =
+    match Json.member "schema_version" j with
+    | Some (Json.Number v) -> int_of_float v
+    | _ -> 0
+  in
+  (* v1 files (the committed pre-streaming baselines) stay valid; the
+     streaming additions are only demanded from v2 files *)
+  check "schema_version in {1, 2}" (version = 1 || version = 2);
   List.iter (require_str "top" j) [ "rev"; "ocaml"; "input" ];
   List.iter (require_num "top" j)
     [ "scale"; "domains"; "total_events"; "total_seconds" ];
@@ -310,13 +346,25 @@ let validate_file path =
                     bs
               | _ -> check "sequential.backends (non-empty)" false)
           | None -> check "workload.sequential" false);
-          match Json.member "parallel" w with
+          (match Json.member "parallel" w with
           | Some p ->
               List.iter (require_num "parallel" p)
                 [ "domains"; "wall_seconds"; "speedup_vs_sequential" ]
-          | None -> check "workload.parallel" false)
+          | None -> check "workload.parallel" false);
+          if version >= 2 then
+            match Json.member "streamed" w with
+            | Some s ->
+                List.iter (require_num "streamed" s)
+                  [ "jobs"; "wall_seconds"; "events_per_sec"; "peak_words_delta" ]
+            | None -> check "workload.streamed" false)
         ws
   | _ -> check "workloads (non-empty list)" false);
+  (if version >= 2 then
+     match Json.member "counters" j with
+     | Some c ->
+         List.iter (require_num "counters" c)
+           [ "trace.events_streamed"; "trace.peak_resident_words" ]
+     | None -> check "counters" false);
   (match Json.member "timings" j with
   | Some (Json.List _) -> ()
   | _ -> check "timings (list)" false);
@@ -324,11 +372,18 @@ let validate_file path =
   | Some g -> require_num "gc" g "top_heap_words"
   | None -> check "gc" false);
   if !validate_error > 0 then exit 1
-  else Printf.printf "%s: valid lpbench schema v%d\n" path schema_version
+  else Printf.printf "%s: valid lpbench schema v%d\n" path version
 
 (* -- CLI ------------------------------------------------------------------------- *)
 
 let () =
+  (* before anything touches the domain pool: a malformed LPALLOC_DOMAINS
+     is a usage error, not an excuse for a default *)
+  (match Lifetime.Parallel.check_env () with
+  | Ok () -> ()
+  | Error msg ->
+      Printf.eprintf "lpbench: %s\n" msg;
+      exit 2);
   let workloads_arg =
     Arg.(
       value

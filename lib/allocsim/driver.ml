@@ -133,10 +133,118 @@ let run_impl ?cache ?predictor (trace : Lp_trace.Trace.t)
   }
 
 let run ?cache ?predictor trace ((module B : Backend.BACKEND) as backend) =
-  Lp_obs.Timings.time
-    ~stage:("replay/" ^ B.name)
-    ~items:(Array.length trace.Lp_trace.Trace.events)
-    (fun () -> run_impl ?cache ?predictor trace backend)
+  let m =
+    Lp_obs.Timings.time
+      ~stage:("replay/" ^ B.name)
+      ~items:(Array.length trace.Lp_trace.Trace.events)
+      (fun () -> run_impl ?cache ?predictor trace backend)
+  in
+  Lp_obs.Timings.note_peak_heap ();
+  m
 
 let run_named ?cache ?predictor ?arena_config trace name =
   run ?cache ?predictor trace (Registry.backend ?arena_config name)
+
+(* The streaming twin of [run_impl]: one pull per event, per-object tables
+   grow as ids appear (the final object count is unknown until the source
+   is exhausted), so resident memory scales with the live-object
+   population instead of the trace length.  Validation and metrics are the
+   same — the qcheck equivalence suite holds the two loops byte-identical
+   — but the flat array loop above stays the hot path for in-memory
+   replay. *)
+let run_source_impl ?cache ?predictor (src : Lp_trace.Source.t)
+    (module B : Backend.BACKEND) : Metrics.t =
+  let hint =
+    match src.Lp_trace.Source.n_objects_hint with Some n -> n | None -> 1024
+  in
+  let b = B.create ~hint () in
+  let addr_of = Lp_trace.Grow.create ~default:(-1) hint in
+  let size_of = Lp_trace.Grow.create hint in
+  (* only touch simulation reads the per-object stride cursor; without a
+     cache don't spend an object-sized array on it *)
+  let ref_cursor =
+    Lp_trace.Grow.create (match cache with Some _ -> hint | None -> 0)
+  in
+  let live = ref 0 in
+  let max_live = ref 0 in
+  let total_bytes = ref 0 in
+  let predictor = if B.uses_prediction then predictor else None in
+  let event = ref (-1) in
+  let rec loop () =
+    match Lp_trace.Source.next src with
+    | None -> ()
+    | Some ev ->
+        incr event;
+        let event = !event in
+        (match ev with
+        | Lp_trace.Event.Alloc { obj; size; chain; key; _ } ->
+            if obj < 0 then event_error ~event "alloc of out-of-range" obj;
+            if Lp_trace.Grow.get addr_of obj >= 0 then
+              event_error ~event "second alloc of live" obj;
+            let predicted =
+              match predictor with
+              | None -> false
+              | Some p ->
+                  B.charge_alloc b p.predict_cost;
+                  p.predicted ~obj ~size ~chain ~key
+            in
+            let addr = B.alloc b ~size ~predicted in
+            Lp_trace.Grow.set addr_of obj addr;
+            Lp_trace.Grow.set size_of obj size;
+            total_bytes := !total_bytes + size;
+            let l = !live + size in
+            live := l;
+            if l > !max_live then max_live := l;
+            (match cache with
+            | Some c -> Cache.access_range c ~addr ~bytes:8
+            | None -> ())
+        | Lp_trace.Event.Free { obj; _ } ->
+            if obj < 0 then event_error ~event "free of out-of-range" obj;
+            let addr = Lp_trace.Grow.get addr_of obj in
+            if addr < 0 then
+              event_error ~event "free of never-allocated or already-freed" obj;
+            B.free b addr;
+            live := !live - Lp_trace.Grow.get size_of obj;
+            (match cache with
+            | Some c -> Cache.access_range c ~addr ~bytes:8
+            | None -> ());
+            Lp_trace.Grow.set addr_of obj (-1)
+        | Lp_trace.Event.Touch { obj; count } -> (
+            if obj < 0 then event_error ~event "touch of out-of-range" obj;
+            match cache with
+            | None -> ()
+            | Some c ->
+                let addr = Lp_trace.Grow.get addr_of obj in
+                let size = Lp_trace.Grow.get size_of obj in
+                if addr >= 0 then
+                  for _ = 1 to count do
+                    Cache.access c
+                      (addr + (Lp_trace.Grow.get ref_cursor obj mod max 1 size));
+                    Lp_trace.Grow.set ref_cursor obj
+                      (Lp_trace.Grow.get ref_cursor obj + 16)
+                  done));
+        loop ()
+  in
+  loop ();
+  {
+    Metrics.algorithm = B.name;
+    allocs = B.allocs b;
+    frees = B.frees b;
+    total_bytes = !total_bytes;
+    max_heap = B.max_heap_size b;
+    max_live = !max_live;
+    instr_per_alloc =
+      float_of_int (B.alloc_instr b) /. float_of_int (max 1 (B.allocs b));
+    instr_per_free =
+      float_of_int (B.free_instr b) /. float_of_int (max 1 (B.frees b));
+    extra = B.extra b;
+  }
+
+let run_source ?cache ?predictor src ((module B : Backend.BACKEND) as backend) =
+  let t0 = Lp_obs.Timings.now () in
+  let m = run_source_impl ?cache ?predictor src backend in
+  Lp_obs.Timings.record
+    ~stage:("replay/" ^ B.name)
+    ~items:(Lp_trace.Source.events_streamed src)
+    (Lp_obs.Timings.now () -. t0);
+  m

@@ -57,3 +57,19 @@ val run_named :
   Metrics.t
 (** [run] composed with a {!Registry} lookup (aliases accepted).
     @raise Failure on an unknown backend name. *)
+
+val run_source :
+  ?cache:Cache.t ->
+  ?predictor:predictor ->
+  Lp_trace.Source.t ->
+  Backend.t ->
+  Metrics.t
+(** Single-pass streaming replay: pulls each event from the source once
+    and never materializes the trace, so peak memory is bounded by the
+    live-object population.  Metrics are byte-identical to [run] on the
+    equivalent materialized trace (enforced by the equivalence test
+    suite).  Validation is the same except that out-of-range object ids
+    above the final object count cannot be detected mid-stream (the
+    count is only known at exhaustion); such events surface as
+    never-allocated frees or pass through as touches.  The source is
+    consumed; a fresh source is needed per replay. *)

@@ -47,115 +47,141 @@ let unborn = -2
 let live = -1
 (* values >= 0 record the event index of the object's free *)
 
-let render_chain (trace : Lp_trace.Trace.t) chain_id =
-  if chain_id < 0 || chain_id >= Array.length trace.chains then
-    Printf.sprintf "chain %d" chain_id
-  else
-    let names = Lp_callchain.Chain.names trace.funcs trace.chains.(chain_id) in
-    match names with
-    | [] -> "<empty chain>"
-    | _ ->
-        let shown = List.filteri (fun i _ -> i < 3) names in
-        String.concat "<-" shown
-        ^ if List.length names > 3 then "<-…" else ""
-
-let run ?only ?disable ?(max_chain_depth = default_max_chain_depth)
-    (trace : Lp_trace.Trace.t) =
+let run_source ?only ?disable ?(max_chain_depth = default_max_chain_depth)
+    (src : Lp_trace.Source.t) =
   let enabled = select ~rules ?only ?disable () in
   let out = ref [] in
   let emit ~rule ~severity ?event ?obj ?site message =
     if enabled rule then
       out := make ~rule ~severity ?event ?obj ?site message :: !out
   in
-  let n = trace.n_objects in
-  let state = Array.make n unborn in
-  let alloc_size = Array.make n 0 in
-  let alloc_event = Array.make n (-1) in
-  let alloc_chain = Array.make n (-1) in
+  let render_chain chain_id =
+    if chain_id < 0 || chain_id >= src.Lp_trace.Source.n_chains () then
+      Printf.sprintf "chain %d" chain_id
+    else
+      let names =
+        Lp_callchain.Chain.names
+          (src.Lp_trace.Source.funcs ())
+          (src.Lp_trace.Source.chain chain_id)
+      in
+      match names with
+      | [] -> "<empty chain>"
+      | _ ->
+          let shown = List.filteri (fun i _ -> i < 3) names in
+          String.concat "<-" shown
+          ^ if List.length names > 3 then "<-…" else ""
+  in
+  let hint =
+    match src.Lp_trace.Source.n_objects_hint with
+    | Some n -> max 1 n
+    | None -> 1024
+  in
+  let state = Lp_trace.Grow.create ~default:unborn hint in
+  let alloc_size = Lp_trace.Grow.create hint in
+  let alloc_event = Lp_trace.Grow.create ~default:(-1) hint in
+  let alloc_chain = Lp_trace.Grow.create ~default:(-1) hint in
   (* chain anomalies are per chain, reported once at the chain's first use *)
-  let chain_reported = Array.make (max 1 (Array.length trace.chains)) false in
+  let chain_reported = Lp_trace.Grow.create 64 in
   let next_obj = ref 0 in
-  let in_range obj = obj >= 0 && obj < n in
-  Array.iteri
-    (fun event ev ->
-      match (ev : Lp_trace.Event.t) with
-      | Alloc { obj; size; chain; _ } ->
-          if size <= 0 then
-            emit ~rule:"nonpositive-size" ~severity:Error ~event ~obj
-              ~site:(render_chain trace chain)
-              (Printf.sprintf "allocation of object %d with size %d" obj size);
-          if obj <> !next_obj then
-            emit ~rule:"non-monotonic-birth" ~severity:Error ~event ~obj
-              (Printf.sprintf
-                 "allocation of object %d out of birth order (expected object \
-                  %d)"
-                 obj !next_obj);
-          if in_range obj then begin
-            if obj >= !next_obj then next_obj := obj + 1;
-            state.(obj) <- live;
-            alloc_size.(obj) <- size;
-            alloc_event.(obj) <- event;
-            alloc_chain.(obj) <- chain
-          end
-          else incr next_obj;
-          if
-            chain >= 0
-            && chain < Array.length trace.chains
-            && not chain_reported.(chain)
-          then begin
-            let depth = Array.length trace.chains.(chain) in
-            if depth = 0 then begin
-              chain_reported.(chain) <- true;
-              emit ~rule:"chain-anomaly" ~severity:Warning ~event ~obj
-                ~site:"<empty chain>"
-                (Printf.sprintf "allocation call-chain %d is empty" chain)
-            end
-            else if depth > max_chain_depth then begin
-              chain_reported.(chain) <- true;
-              emit ~rule:"chain-anomaly" ~severity:Warning ~event ~obj
-                ~site:(render_chain trace chain)
-                (Printf.sprintf "allocation call-chain %d has depth %d (limit %d)"
-                   chain depth max_chain_depth)
-            end
-          end
-      | Free { obj; size } ->
-          if (not (in_range obj)) || state.(obj) = unborn then
-            emit ~rule:"free-without-alloc" ~severity:Error ~event ~obj
-              (Printf.sprintf "free of object %d which has not been allocated"
-                 obj)
-          else begin
-            (if state.(obj) >= 0 then
-               emit ~rule:"double-free" ~severity:Error ~event ~obj
-                 ~site:(render_chain trace alloc_chain.(obj))
-                 (Printf.sprintf "object %d freed again (first freed at event %d)"
-                    obj state.(obj)));
-            if size >= 0 && size <> alloc_size.(obj) then
-              emit ~rule:"size-mismatch-at-free" ~severity:Error ~event ~obj
-                ~site:(render_chain trace alloc_chain.(obj))
+  let event = ref (-1) in
+  let rec loop () =
+    match Lp_trace.Source.next src with
+    | None -> ()
+    | Some ev ->
+        incr event;
+        let event = !event in
+        (match (ev : Lp_trace.Event.t) with
+        | Alloc { obj; size; chain; _ } ->
+            if size <= 0 then
+              emit ~rule:"nonpositive-size" ~severity:Error ~event ~obj
+                ~site:(render_chain chain)
+                (Printf.sprintf "allocation of object %d with size %d" obj size);
+            if obj <> !next_obj then
+              emit ~rule:"non-monotonic-birth" ~severity:Error ~event ~obj
                 (Printf.sprintf
-                   "free declares size %d but object %d was allocated with \
-                    size %d at event %d"
-                   size obj alloc_size.(obj) alloc_event.(obj));
-            if state.(obj) = live then state.(obj) <- event
-          end
-      | Touch { obj; _ } ->
-          if (not (in_range obj)) || state.(obj) = unborn then
-            emit ~rule:"touch-after-free" ~severity:Error ~event ~obj
-              (Printf.sprintf "touch of object %d before its allocation" obj)
-          else if state.(obj) >= 0 then
-            emit ~rule:"touch-after-free" ~severity:Error ~event ~obj
-              ~site:(render_chain trace alloc_chain.(obj))
-              (Printf.sprintf "touch of object %d after its free at event %d"
-                 obj state.(obj)))
-    trace.events;
-  for obj = 0 to n - 1 do
-    if state.(obj) = live then
-      emit ~rule:"leaked-at-exit" ~severity:Warning ~event:alloc_event.(obj)
+                   "allocation of object %d out of birth order (expected \
+                    object %d)"
+                   obj !next_obj);
+            if obj >= 0 then begin
+              if obj >= !next_obj then next_obj := obj + 1;
+              Lp_trace.Grow.set state obj live;
+              Lp_trace.Grow.set alloc_size obj size;
+              Lp_trace.Grow.set alloc_event obj event;
+              Lp_trace.Grow.set alloc_chain obj chain
+            end
+            else incr next_obj;
+            if
+              chain >= 0
+              && chain < src.Lp_trace.Source.n_chains ()
+              && Lp_trace.Grow.get chain_reported chain = 0
+            then begin
+              let depth =
+                Array.length (src.Lp_trace.Source.chain chain)
+              in
+              if depth = 0 then begin
+                Lp_trace.Grow.set chain_reported chain 1;
+                emit ~rule:"chain-anomaly" ~severity:Warning ~event ~obj
+                  ~site:"<empty chain>"
+                  (Printf.sprintf "allocation call-chain %d is empty" chain)
+              end
+              else if depth > max_chain_depth then begin
+                Lp_trace.Grow.set chain_reported chain 1;
+                emit ~rule:"chain-anomaly" ~severity:Warning ~event ~obj
+                  ~site:(render_chain chain)
+                  (Printf.sprintf
+                     "allocation call-chain %d has depth %d (limit %d)" chain
+                     depth max_chain_depth)
+              end
+            end
+        | Free { obj; size } ->
+            if obj < 0 || Lp_trace.Grow.get state obj = unborn then
+              emit ~rule:"free-without-alloc" ~severity:Error ~event ~obj
+                (Printf.sprintf "free of object %d which has not been allocated"
+                   obj)
+            else begin
+              let st = Lp_trace.Grow.get state obj in
+              (if st >= 0 then
+                 emit ~rule:"double-free" ~severity:Error ~event ~obj
+                   ~site:(render_chain (Lp_trace.Grow.get alloc_chain obj))
+                   (Printf.sprintf
+                      "object %d freed again (first freed at event %d)" obj st));
+              if size >= 0 && size <> Lp_trace.Grow.get alloc_size obj then
+                emit ~rule:"size-mismatch-at-free" ~severity:Error ~event ~obj
+                  ~site:(render_chain (Lp_trace.Grow.get alloc_chain obj))
+                  (Printf.sprintf
+                     "free declares size %d but object %d was allocated with \
+                      size %d at event %d"
+                     size obj
+                     (Lp_trace.Grow.get alloc_size obj)
+                     (Lp_trace.Grow.get alloc_event obj));
+              if st = live then Lp_trace.Grow.set state obj event
+            end
+        | Touch { obj; _ } ->
+            if obj < 0 || Lp_trace.Grow.get state obj = unborn then
+              emit ~rule:"touch-after-free" ~severity:Error ~event ~obj
+                (Printf.sprintf "touch of object %d before its allocation" obj)
+            else
+              let st = Lp_trace.Grow.get state obj in
+              if st >= 0 then
+                emit ~rule:"touch-after-free" ~severity:Error ~event ~obj
+                  ~site:(render_chain (Lp_trace.Grow.get alloc_chain obj))
+                  (Printf.sprintf "touch of object %d after its free at event %d"
+                     obj st));
+        loop ()
+  in
+  loop ();
+  for obj = 0 to src.Lp_trace.Source.n_objects_now () - 1 do
+    if Lp_trace.Grow.get state obj = live then
+      emit ~rule:"leaked-at-exit" ~severity:Warning
+        ~event:(Lp_trace.Grow.get alloc_event obj)
         ~obj
-        ~site:(render_chain trace alloc_chain.(obj))
+        ~site:(render_chain (Lp_trace.Grow.get alloc_chain obj))
         (Printf.sprintf "object %d (size %d) still live at end of trace" obj
-           alloc_size.(obj))
+           (Lp_trace.Grow.get alloc_size obj))
   done;
   List.rev !out
+
+let run ?only ?disable ?max_chain_depth (trace : Lp_trace.Trace.t) =
+  run_source ?only ?disable ?max_chain_depth (Lp_trace.Source.of_trace trace)
 
 let clean ds = not (has_errors ds)

@@ -42,8 +42,20 @@ val run :
   Lp_trace.Trace.t ->
   Diagnostic.t list
 (** Lint the trace, in event order.  [only]/[disable] select rules by id
-    (see {!Diagnostic.select}).
+    (see {!Diagnostic.select}).  Equivalent to {!run_source} over
+    {!Lp_trace.Source.of_trace}.
     @raise Invalid_argument on an unknown rule id. *)
+
+val run_source :
+  ?only:string list ->
+  ?disable:string list ->
+  ?max_chain_depth:int ->
+  Lp_trace.Source.t ->
+  Diagnostic.t list
+(** Lint a streaming event source in one bounded-memory pass — per-object
+    replay state lives in growable arrays sized by the allocation high
+    water mark, never the event count.  Diagnostics are identical to
+    {!run} on the materialized equivalent.  The source is consumed. *)
 
 val clean : Diagnostic.t list -> bool
 (** No error-severity diagnostics ([lpalloc lint]'s exit-0 predicate). *)

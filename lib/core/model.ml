@@ -30,12 +30,12 @@ type acc = {
   mutable a_max : int;
 }
 
-let of_training ~(config : Config.t) ~(trace : Lp_trace.Trace.t) table
+let of_training_parts ~(config : Config.t) ~program ~funcs ~clock table
     (predictor : Predictor.t) =
   let by_key : acc Portable.Table.t = Portable.Table.create 256 in
   let order = ref [] in
   Train.fold table () (fun site (stats : Site_stats.t) () ->
-      let key = Predictor.portable_of_site predictor trace.funcs site in
+      let key = Predictor.portable_of_site predictor funcs site in
       let acc =
         match Portable.Table.find_opt by_key key with
         | Some a -> a
@@ -62,13 +62,18 @@ let of_training ~(config : Config.t) ~(trace : Lp_trace.Trace.t) table
       !order
   in
   {
-    program = trace.program;
+    program;
     threshold = config.short_lived_threshold;
     rounding = config.size_rounding;
     policy = Lp_callchain.Site.policy_to_string config.policy;
-    clock = Lp_trace.Trace.total_bytes trace;
+    clock;
     entries;
   }
+
+let of_training ~config ~(trace : Lp_trace.Trace.t) table predictor =
+  of_training_parts ~config ~program:trace.program ~funcs:trace.funcs
+    ~clock:(Lp_trace.Trace.total_bytes trace)
+    table predictor
 
 (* -- serialization --------------------------------------------------------------- *)
 

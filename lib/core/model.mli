@@ -55,6 +55,18 @@ val of_training :
     the predictor's verdict.  [trace] supplies the program name, the
     function-name table and the final clock. *)
 
+val of_training_parts :
+  config:Config.t ->
+  program:string ->
+  funcs:Lp_callchain.Func.table ->
+  clock:int ->
+  Train.site_table ->
+  Predictor.t ->
+  t
+(** As {!of_training}, but with the trace-derived inputs passed
+    explicitly — the form streaming training uses ([clock] is
+    {!Train.streamed}'s [end_clock], [funcs] the source's table). *)
+
 val to_string : t -> string
 val of_string : ?name:string -> string -> t
 (** @raise Failure on malformed input, with [name] and the line number. *)

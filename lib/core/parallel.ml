@@ -25,14 +25,32 @@ let with_domains n f =
   forced := Some n;
   Fun.protect ~finally:(fun () -> forced := saved) f
 
+(* [LPALLOC_DOMAINS] parsing is shared between the lazy lookup below and
+   the CLIs' up-front validation: a bad value should be a clean usage
+   error at startup naming what was set, not an [Invalid_argument] from
+   deep inside the first parallel replay. *)
+let parse_env_value s =
+  match int_of_string_opt (String.trim s) with
+  | Some n when n >= 1 -> Ok n
+  | Some _ | None ->
+      Error
+        (Printf.sprintf "LPALLOC_DOMAINS must be a positive integer, got %S" s)
+
+let check_env () =
+  match Sys.getenv_opt "LPALLOC_DOMAINS" with
+  | None -> Ok ()
+  | Some s -> (
+      match parse_env_value s with Ok _ -> Ok () | Error msg -> Error msg)
+
 let default_domains () =
   match !forced with
   | Some n -> n
   | None -> (
       match Sys.getenv_opt "LPALLOC_DOMAINS" with
-      | Some s -> ( match int_of_string_opt (String.trim s) with
-        | Some n when n >= 1 -> n
-        | _ -> invalid_arg "LPALLOC_DOMAINS must be a positive integer")
+      | Some s -> (
+          match parse_env_value s with
+          | Ok n -> n
+          | Error msg -> invalid_arg msg)
       | None -> max 1 (min 8 (Domain.recommended_domain_count ())))
 
 (* true inside a pool worker: nested maps degrade to sequential execution *)
@@ -74,3 +92,22 @@ let map ?domains f xs =
   end
 
 let all ?domains thunks = map ?domains (fun f -> f ()) thunks
+
+(* Streaming fan-out: each job opens its own cursor via [make] at the
+   moment it is scheduled onto a domain, so concurrent jobs never share
+   mutable stream state and per-domain memory is bounded by one stream —
+   a bounded re-read per domain instead of one shared materialized trace.
+   Jobs are deterministic given a fresh cursor, so results are identical
+   to running them sequentially in list order.
+
+   The [Gc.full_major] before each cursor open keeps the sequential
+   (one-domain) fan-out's high-water mark one-job-sized: OCaml's
+   [top_heap_words] is monotonic, so without it each job's replay arrays
+   would stack on the previous job's uncollected garbage and the
+   bounded-memory guarantee of streaming would erode with job count. *)
+let map_sources ?domains make fs =
+  map ?domains
+    (fun f ->
+      Gc.full_major ();
+      f (make ()))
+    fs

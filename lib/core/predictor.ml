@@ -102,7 +102,7 @@ let iter_keys t f = Portable.Table.iter (fun k () -> f k) t.keys
    replay driver calls this once per allocation, and the tuple key plus
    the [find_opt] option box cost two minor allocations and a polymorphic
    hash on every probe.  This probe allocates nothing. *)
-let for_trace t (trace : Lp_trace.Trace.t) =
+let for_lookup t ~chain_of ~funcs =
   let empty = min_int in
   let cap = ref 4096 (* power of two *) in
   let chains = ref (Array.make !cap empty) in
@@ -146,11 +146,9 @@ let for_trace t (trace : Lp_trace.Trace.t) =
       Bytes.unsafe_get !verdicts i = '\001'
     else begin
       let site =
-        Lp_callchain.Site.make t.policy
-          ~raw_chain:(Lp_trace.Trace.chain_of_alloc trace chain)
-          ~key ~size
+        Lp_callchain.Site.make t.policy ~raw_chain:(chain_of chain) ~key ~size
       in
-      let hit = predicts_site t trace.funcs site in
+      let hit = predicts_site t (funcs ()) site in
       (* keep the load factor below 1/2 so probe chains stay short *)
       if 2 * (!count + 1) > !cap then grow ();
       let i = slot_for !chains !sizes (!cap - 1) chain size in
@@ -160,3 +158,11 @@ let for_trace t (trace : Lp_trace.Trace.t) =
       incr count;
       hit
     end
+
+let for_trace t (trace : Lp_trace.Trace.t) =
+  for_lookup t
+    ~chain_of:(Lp_trace.Trace.chain_of_alloc trace)
+    ~funcs:(fun () -> trace.funcs)
+
+let for_source t (src : Lp_trace.Source.t) =
+  for_lookup t ~chain_of:src.Lp_trace.Source.chain ~funcs:src.Lp_trace.Source.funcs

@@ -33,10 +33,12 @@ let bsd t = metrics t "bsd"
 let arena_len4 t = metrics t "arena"
 let arena_cce t = metrics t "arena-cce"
 
-let cce_cost (test : Lp_trace.Trace.t) =
+let cce_cost_of ~calls ~allocs =
   Lp_allocsim.Cost_model.site_lookup
-  + Lp_allocsim.Cost_model.cce_per_alloc ~calls:test.calls
-      ~allocs:(Lp_trace.Trace.total_objects test)
+  + Lp_allocsim.Cost_model.cce_per_alloc ~calls ~allocs
+
+let cce_cost (test : Lp_trace.Trace.t) =
+  cce_cost_of ~calls:test.calls ~allocs:(Lp_trace.Trace.total_objects test)
 
 let arena_with_cost ~config ~predictor ~(test : Lp_trace.Trace.t) ~predict_cost =
   (* the memoizing predicted-site closure is created here, inside the
@@ -77,4 +79,57 @@ let run ?(allocators = default_allocators) ?(wrap = fun b -> b)
       allocators
   in
   let metrics = Parallel.all (List.map snd jobs) in
+  { results = List.map2 (fun (name, _) m -> (name, m)) jobs metrics }
+
+(* The streaming twin of [run]: [source] opens a fresh single-shot stream,
+   and each replay job opens its own on the domain that runs it
+   ({!Parallel.map_sources}), so concurrent replays never share a cursor
+   and per-domain memory is bounded by one stream.  Each job replays the
+   identical event sequence through {!Lp_allocsim.Driver.run_source}, so
+   the fan-out is byte-identical to sequential and to the materialized
+   [run]. *)
+let run_streamed ?(allocators = default_allocators) ?(wrap = fun b -> b)
+    ~(config : Config.t) ~(predictor : Predictor.t)
+    ~(source : unit -> Lp_trace.Source.t) () : t =
+  let arena_config = Config.arena_config config in
+  (* The CCE pricing needs the stream's call and object totals before any
+     replay: file-backed sources declare both up front, text and
+     generator sources pay one probe drain. *)
+  let calls, allocs =
+    let probe = source () in
+    match
+      ( probe.Lp_trace.Source.counters_now (),
+        probe.Lp_trace.Source.n_objects_hint )
+    with
+    | Some c, Some n -> (c.Lp_trace.Source.calls, n)
+    | _ ->
+        Lp_trace.Source.iter (fun _ -> ()) probe;
+        let c = Lp_trace.Source.counters probe in
+        (c.Lp_trace.Source.calls, Lp_trace.Source.n_objects probe)
+  in
+  let jobs =
+    List.concat_map
+      (fun name ->
+        let backend = wrap (Lp_allocsim.Registry.backend ~arena_config name) in
+        let canonical = Lp_allocsim.Backend.name backend in
+        if Lp_allocsim.Backend.uses_prediction backend then
+          (* the memoizing predictor closure is built per job, over the
+             job's own source, for a private memo table *)
+          let with_cost predict_cost (src : Lp_trace.Source.t) =
+            let predicted = Predictor.for_source predictor src in
+            Lp_allocsim.Driver.run_source
+              ~predictor:{ Lp_allocsim.Driver.predicted; predict_cost }
+              src backend
+          in
+          [
+            (canonical, with_cost Lp_allocsim.Cost_model.predict_len4);
+            (canonical ^ "-cce", with_cost (cce_cost_of ~calls ~allocs));
+          ]
+        else
+          [
+            (canonical, fun src -> Lp_allocsim.Driver.run_source src backend);
+          ])
+      allocators
+  in
+  let metrics = Parallel.map_sources source (List.map snd jobs) in
   { results = List.map2 (fun (name, _) m -> (name, m)) jobs metrics }

@@ -44,9 +44,28 @@ val bsd : t -> Lp_allocsim.Metrics.t
 val arena_len4 : t -> Lp_allocsim.Metrics.t
 val arena_cce : t -> Lp_allocsim.Metrics.t
 
+val run_streamed :
+  ?allocators:string list ->
+  ?wrap:(Lp_allocsim.Backend.t -> Lp_allocsim.Backend.t) ->
+  config:Config.t ->
+  predictor:Predictor.t ->
+  source:(unit -> Lp_trace.Source.t) ->
+  unit ->
+  t
+(** The streaming twin of {!run}: [source] must open a fresh single-shot
+    event stream on every call; each replay job opens its own, on the
+    domain that runs it, so per-domain memory is bounded by one stream
+    and concurrent replays never share a cursor.  Metrics are
+    byte-identical to {!run} on the materialized equivalent.  Sources
+    that do not declare their call/object totals up front (text,
+    generators) cost one extra probe drain for the CCE pricing. *)
+
 val cce_cost : Lp_trace.Trace.t -> int
 (** Per-allocation prediction cost under call-chain encryption, amortised
     over the test trace's call counts. *)
+
+val cce_cost_of : calls:int -> allocs:int -> int
+(** {!cce_cost} from explicit totals — the streaming path's form. *)
 
 val arena_with_cost :
   config:Config.t ->

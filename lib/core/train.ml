@@ -36,6 +36,94 @@ let collect ?(config = Config.default) (trace : Lp_trace.Trace.t) : site_table =
         ~refs:trace.obj_refs.(obj));
   table
 
+type streamed = {
+  table : site_table;
+  end_clock : int;  (** total bytes allocated — [Trace.total_bytes] of the stream *)
+  n_objects : int;
+}
+
+(* Streaming training: one pass over a source, never materializing the
+   event array.  Per-object lifetime state and one record per allocation
+   (site-stats pointer, object, size) are retained — memory scales with
+   the allocation count, not the event count — and the deferred
+   observation replays in allocation-event order, so the resulting table
+   (entries, insertion order, per-site statistics) is identical to
+   [collect] on the materialized trace. *)
+let collect_source ?(config = Config.default) (src : Lp_trace.Source.t) :
+    streamed =
+  let table : site_table = Site.Table.create 256 in
+  let dummy = Site_stats.create () in
+  let a_stats = ref (Array.make 1024 dummy) in
+  let n_allocs = ref 0 in
+  let push_stats s =
+    if !n_allocs = Array.length !a_stats then begin
+      let grown = Array.make (2 * !n_allocs) dummy in
+      Array.blit !a_stats 0 grown 0 !n_allocs;
+      a_stats := grown
+    end;
+    !a_stats.(!n_allocs) <- s;
+    incr n_allocs
+  in
+  let hint =
+    match src.Lp_trace.Source.n_objects_hint with Some n -> n | None -> 1024
+  in
+  let a_obj = Lp_trace.Grow.create 1024 in
+  let a_size = Lp_trace.Grow.create 1024 in
+  let birth = Lp_trace.Grow.create hint in
+  let lifetime = Lp_trace.Grow.create hint in
+  let survived = Lp_trace.Grow.create ~default:1 hint in
+  let clock = ref 0 in
+  let rec loop () =
+    match Lp_trace.Source.next src with
+    | None -> ()
+    | Some ev ->
+        (match ev with
+        | Lp_trace.Event.Alloc { obj; size; chain; key; _ } ->
+            let site =
+              Site.make config.policy
+                ~raw_chain:(src.Lp_trace.Source.chain chain)
+                ~key ~size
+            in
+            let stats =
+              match Site.Table.find_opt table site with
+              | Some s -> s
+              | None ->
+                  let s = Site_stats.create () in
+                  Site.Table.add table site s;
+                  s
+            in
+            push_stats stats;
+            Lp_trace.Grow.push a_obj obj;
+            Lp_trace.Grow.push a_size size;
+            Lp_trace.Grow.set birth obj !clock;
+            clock := !clock + size
+        | Lp_trace.Event.Free { obj; _ } ->
+            Lp_trace.Grow.set lifetime obj
+              (!clock - Lp_trace.Grow.get birth obj);
+            Lp_trace.Grow.set survived obj 0
+        | Lp_trace.Event.Touch _ -> ());
+        loop ()
+  in
+  loop ();
+  let end_clock = !clock in
+  for i = 0 to !n_allocs - 1 do
+    let obj = Lp_trace.Grow.get a_obj i in
+    let size = Lp_trace.Grow.get a_size i in
+    let surv = Lp_trace.Grow.get survived obj = 1 in
+    let lt =
+      if surv then end_clock - Lp_trace.Grow.get birth obj
+      else Lp_trace.Grow.get lifetime obj
+    in
+    let short = (not surv) && lt < config.short_lived_threshold in
+    Site_stats.observe !a_stats.(i) ~size ~lifetime:lt ~survived:surv ~short
+      ~refs:(src.Lp_trace.Source.refs_of obj)
+  done;
+  {
+    table;
+    end_clock;
+    n_objects = src.Lp_trace.Source.n_objects_now ();
+  }
+
 let total_sites (table : site_table) = Site.Table.length table
 
 let fold table init f = Site.Table.fold f table init

@@ -50,6 +50,16 @@ let count name n =
         Hashtbl.replace counter_tbl name
           (n + Option.value ~default:0 (Hashtbl.find_opt counter_tbl name)))
 
+let count_max name n =
+  if enabled () then
+    Mutex.protect lock (fun () ->
+        Hashtbl.replace counter_tbl name
+          (max n (Option.value ~default:min_int (Hashtbl.find_opt counter_tbl name))))
+
+let note_peak_heap () =
+  if enabled () then
+    count_max "trace.peak_resident_words" (Gc.quick_stat ()).Gc.top_heap_words
+
 let stages () =
   Mutex.protect lock (fun () -> Hashtbl.fold (fun _ s acc -> s :: acc) stage_tbl [])
   |> List.sort (fun a b -> String.compare a.name b.name)

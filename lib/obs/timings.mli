@@ -29,6 +29,17 @@ val time : stage:string -> ?items:int -> (unit -> 'a) -> 'a
 val count : string -> int -> unit
 (** Add to a named counter (e.g. ["trace.bytes_read"]). *)
 
+val count_max : string -> int -> unit
+(** Max-merge into a named counter: the counter becomes the largest value
+    ever reported (e.g. ["trace.peak_resident_words"]). *)
+
+val note_peak_heap : unit -> unit
+(** Max-merge the GC's current [top_heap_words] into the
+    ["trace.peak_resident_words"] counter.  Consumers call it after
+    memory-intensive phases (trace load, replay, training), so the counter
+    reports the peak OCaml-heap footprint the pipeline reached — the
+    number the streaming paths exist to keep flat. *)
+
 type stage = { name : string; calls : int; seconds : float; items : int }
 
 val stages : unit -> stage list

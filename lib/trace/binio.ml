@@ -217,7 +217,38 @@ let read_array c read =
   if n > c.len - c.pos then fail c "impossible element count";
   Array.init n (fun _ -> read c)
 
-let of_bigarray ?(name = "<trace>") (buf : bytes_view) : Trace.t =
+type header = {
+  program : string;
+  input : string;
+  funcs : Lp_callchain.Func.table;
+  chains : Lp_callchain.Chain.t array;
+  tags : string array;
+  instructions : int;
+  calls : int;
+  heap_refs : int;
+  total_refs : int;
+  n_objects : int;
+  obj_refs : int array;
+  n_events : int;
+}
+
+type decoder = {
+  c : cursor;
+  version : int;
+  hdr : header;
+  site_defs : (int * int * int) array;
+  mutable remaining : int;
+  mutable prev_alloc : int;
+  mutable prev_free : int;
+  mutable prev_touch : int;
+  mutable closed : bool;
+}
+
+(* The header (interned tables, counters, per-object refs) precedes the
+   event stream, so a decoder knows every id an event can reference before
+   yielding the first event — that is what lets {!Source} stream [.lpt]
+   files without materializing them. *)
+let decoder ?(name = "<trace>") (buf : bytes_view) : decoder =
   let len = Bigarray.Array1.dim buf in
   let c = { buf; len; name; pos = 0 } in
   if
@@ -228,7 +259,6 @@ let of_bigarray ?(name = "<trace>") (buf : bytes_view) : Trace.t =
   let v = read_byte c in
   if v <> version && v <> version_sized then
     fail c (Printf.sprintf "unsupported version %d" v);
-  let alloc_base = alloc_base_of_version v in
   let program = read_string c in
   let input = read_string c in
   let funcs = Lp_callchain.Func.create_table () in
@@ -255,11 +285,6 @@ let of_bigarray ?(name = "<trace>") (buf : bytes_view) : Trace.t =
           fail c (Printf.sprintf "site references unknown tag %d" tag);
         (chain, key, tag))
   in
-  let site what id =
-    if id < 0 || id >= Array.length site_defs then
-      fail c (Printf.sprintf "%s references unknown site %d" what id);
-    site_defs.(id)
-  in
   let instructions = read_varint c in
   let calls = read_varint c in
   let heap_refs = read_varint c in
@@ -267,64 +292,126 @@ let of_bigarray ?(name = "<trace>") (buf : bytes_view) : Trace.t =
   let n_objects = read_varint c in
   (* obj_refs is not length-prefixed: it has exactly n_objects entries *)
   if n_objects > c.len - c.pos then fail c "impossible object count";
-  let obj_refs = Array.init n_objects (fun _ -> read_varint c) in
+  let obj_refs = Array.make n_objects 0 in
+  for i = 0 to n_objects - 1 do
+    obj_refs.(i) <- read_varint c
+  done;
+  let n_events = read_varint c in
+  (* cap the event count: each event consumes at least one byte *)
+  if n_events > c.len - c.pos then fail c "impossible element count";
+  {
+    c;
+    version = v;
+    hdr =
+      {
+        program;
+        input;
+        funcs;
+        chains;
+        tags;
+        instructions;
+        calls;
+        heap_refs;
+        total_refs;
+        n_objects;
+        obj_refs;
+        n_events;
+      };
+    site_defs;
+    remaining = n_events;
+    prev_alloc = -1;
+    prev_free = 0;
+    prev_touch = 0;
+    closed = false;
+  }
+
+let header d = d.hdr
+
+let read_event d =
+  let c = d.c in
+  let alloc_base = alloc_base_of_version d.version in
+  let site what id =
+    if id < 0 || id >= Array.length d.site_defs then
+      fail c (Printf.sprintf "%s references unknown site %d" what id);
+    d.site_defs.(id)
+  in
   let check_obj what obj =
-    if obj < 0 || obj >= n_objects then
+    if obj < 0 || obj >= d.hdr.n_objects then
       fail c (Printf.sprintf "%s of out-of-range object %d" what obj);
     obj
   in
-  let prev_alloc = ref (-1) and prev_free = ref 0 and prev_touch = ref 0 in
   let alloc obj (chain, key, tag) =
     let obj = check_obj "alloc" obj in
-    prev_alloc := obj;
+    d.prev_alloc <- obj;
     let size = read_varint c in
     Event.Alloc { obj; size; chain; key; tag }
   in
   let free ?(size = -1) delta =
-    let obj = check_obj "free" (!prev_free + delta) in
-    prev_free := obj;
+    let obj = check_obj "free" (d.prev_free + delta) in
+    d.prev_free <- obj;
     Event.Free { obj; size }
   in
   let touch delta count =
-    let obj = check_obj "touch" (!prev_touch + delta) in
-    prev_touch := obj;
+    let obj = check_obj "touch" (d.prev_touch + delta) in
+    d.prev_touch <- obj;
     Event.Touch { obj; count }
   in
-  let read_event c =
-    match read_byte c with
-    | 0x00 -> alloc (!prev_alloc + 1) (site "alloc" (read_varint c))
-    | 0x01 ->
-        let obj = read_varint c in
-        alloc obj (site "alloc" (read_varint c))
-    | 0x02 -> free (unzigzag (read_varint c))
-    | 0x03 ->
-        let delta = read_zigzag c in
-        touch delta (read_varint c)
-    | op when v >= version_sized && op = sized_free_op ->
-        let delta = read_zigzag c in
-        free ~size:(read_varint c) delta
-    | op when v >= version_sized && op < alloc_base ->
-        fail c (Printf.sprintf "reserved opcode %#x" op)
-    | op when op < 0x40 -> alloc (!prev_alloc + 1) (site "alloc" (op - alloc_base))
-    | op when op < 0x80 -> free (unzigzag (op land 0x3f))
-    | op -> touch (unzigzag ((op lsr 4) land 0x7)) ((op land 0xf) + 1)
-  in
-  let events = read_array c read_event in
-  if read_byte c <> Char.code end_marker then fail c "missing end marker";
-  if c.pos <> c.len then fail c "trailing bytes after end marker";
+  match read_byte c with
+  | 0x00 -> alloc (d.prev_alloc + 1) (site "alloc" (read_varint c))
+  | 0x01 ->
+      let obj = read_varint c in
+      alloc obj (site "alloc" (read_varint c))
+  | 0x02 -> free (unzigzag (read_varint c))
+  | 0x03 ->
+      let delta = read_zigzag c in
+      touch delta (read_varint c)
+  | op when d.version >= version_sized && op = sized_free_op ->
+      let delta = read_zigzag c in
+      free ~size:(read_varint c) delta
+  | op when d.version >= version_sized && op < alloc_base ->
+      fail c (Printf.sprintf "reserved opcode %#x" op)
+  | op when op < 0x40 -> alloc (d.prev_alloc + 1) (site "alloc" (op - alloc_base))
+  | op when op < 0x80 -> free (unzigzag (op land 0x3f))
+  | op -> touch (unzigzag ((op lsr 4) land 0x7)) ((op land 0xf) + 1)
+
+let decode_next d =
+  if d.remaining > 0 then begin
+    d.remaining <- d.remaining - 1;
+    Some (read_event d)
+  end
+  else begin
+    if not d.closed then begin
+      d.closed <- true;
+      if read_byte d.c <> Char.code end_marker then fail d.c "missing end marker";
+      if d.c.pos <> d.c.len then fail d.c "trailing bytes after end marker"
+    end;
+    None
+  end
+
+let of_bigarray ?name (buf : bytes_view) : Trace.t =
+  let d = decoder ?name buf in
+  let h = d.hdr in
+  let events = Array.make h.n_events (Event.Free { obj = -1; size = -1 }) in
+  for i = 0 to h.n_events - 1 do
+    match decode_next d with
+    | Some e -> events.(i) <- e
+    | None -> assert false
+  done;
+  (* consumes the end marker and rejects trailing bytes *)
+  (match decode_next d with Some _ -> assert false | None -> ());
   {
-    Trace.program;
-    input;
+    Trace.program = h.program;
+    input = h.input;
     events;
-    chains;
-    funcs;
-    n_objects;
-    instructions;
-    calls;
-    heap_refs;
-    total_refs;
-    obj_refs;
-    tags;
+    chains = h.chains;
+    funcs = h.funcs;
+    n_objects = h.n_objects;
+    instructions = h.instructions;
+    calls = h.calls;
+    heap_refs = h.heap_refs;
+    total_refs = h.total_refs;
+    obj_refs = h.obj_refs;
+    tags = h.tags;
   }
 
 let of_string ?name s = of_bigarray ?name (big_of_string s)

@@ -66,3 +66,45 @@ val of_bigarray : ?name:string -> bytes_view -> Trace.t
     memory-mapped trace files ({!Io.read_file} maps [.lpt] files and
     calls this).  [of_string] is this plus one copy.
     @raise Failure on malformed input. *)
+
+val big_of_string : string -> bytes_view
+(** Copy a string into a byte bigarray (the one copy behind
+    [of_string]). *)
+
+(** {1 Incremental decoding}
+
+    The format is streaming-friendly: every interned table and the
+    execution counters precede the event stream, so a {!decoder} exposes
+    the complete {!header} up front and then yields events one at a time
+    without building the [Trace.t] event array.  {!Source.of_file} is
+    built on this. *)
+
+type header = {
+  program : string;
+  input : string;
+  funcs : Lp_callchain.Func.table;
+  chains : Lp_callchain.Chain.t array;
+  tags : string array;
+  instructions : int;
+  calls : int;
+  heap_refs : int;
+  total_refs : int;
+  n_objects : int;
+  obj_refs : int array;
+  n_events : int;
+}
+
+type decoder
+
+val decoder : ?name:string -> bytes_view -> decoder
+(** Decode the header (validating the interned tables exactly as
+    {!of_bigarray} does) and position the cursor at the first event.
+    @raise Failure on malformed input, with [name] and byte offset. *)
+
+val header : decoder -> header
+
+val decode_next : decoder -> Event.t option
+(** The next event, or [None] after the last.  The first [None] also
+    checks the end marker and rejects trailing bytes, so a fully drained
+    decoder has validated the same properties as a batch decode.
+    @raise Failure on malformed input. *)

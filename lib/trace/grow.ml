@@ -1,0 +1,29 @@
+type t = { mutable data : int array; mutable len : int; default : int }
+
+let create ?(default = 0) hint =
+  { data = Array.make (max 16 hint) default; len = 0; default }
+
+let length t = t.len
+
+(* Invariant: data.(i) = default for every i >= len, so extending the
+   logical length never needs a fill pass. *)
+let ensure t n =
+  if n > Array.length t.data then begin
+    let cap = ref (Array.length t.data) in
+    while n > !cap do
+      cap := 2 * !cap
+    done;
+    let grown = Array.make !cap t.default in
+    Array.blit t.data 0 grown 0 t.len;
+    t.data <- grown
+  end;
+  if n > t.len then t.len <- n
+
+let get t i = if i < t.len then Array.unsafe_get t.data i else t.default
+
+let set t i x =
+  ensure t (i + 1);
+  Array.unsafe_set t.data i x
+
+let push t x = set t t.len x
+let to_array t = Array.sub t.data 0 t.len

@@ -30,21 +30,38 @@ let map_file path =
       | buf -> Some buf
       | exception _ -> None)
 
+let contains_substring ~sub s =
+  let ls = String.length s and lsub = String.length sub in
+  let rec scan i =
+    i + lsub <= ls && (String.equal (String.sub s i lsub) sub || scan (i + 1))
+  in
+  scan 0
+
+(* The codecs already stamp failures with the source name and byte/line
+   offset; this backstop guarantees no loader error escapes without at
+   least the file name (e.g. a [Failure] from a layer below the codecs). *)
+let with_error_context path f =
+  try f () with
+  | Failure msg when not (contains_substring ~sub:path msg) ->
+      failwith (Printf.sprintf "%s: %s" path msg)
+
 let read_file path =
   let t0 = Lp_obs.Timings.now () in
   let bytes_read = ref 0 in
   let t =
-    match map_file path with
-    | Some buf
-      when Bigarray.Array1.dim buf >= 4
-           && String.equal (String.init 4 (Bigarray.Array1.get buf)) Binio.magic
-      ->
-        bytes_read := Bigarray.Array1.dim buf;
-        Binio.of_bigarray ~name:path buf
-    | _ ->
-        let s = In_channel.with_open_bin path In_channel.input_all in
-        bytes_read := String.length s;
-        of_string ~name:path s
+    with_error_context path (fun () ->
+        match map_file path with
+        | Some buf
+          when Bigarray.Array1.dim buf >= 4
+               && String.equal
+                    (String.init 4 (Bigarray.Array1.get buf))
+                    Binio.magic ->
+            bytes_read := Bigarray.Array1.dim buf;
+            Binio.of_bigarray ~name:path buf
+        | _ ->
+            let s = In_channel.with_open_bin path In_channel.input_all in
+            bytes_read := String.length s;
+            of_string ~name:path s)
   in
   Lp_obs.Timings.record
     ~stage:("load/" ^ Filename.basename path)
@@ -52,6 +69,7 @@ let read_file path =
     (Lp_obs.Timings.now () -. t0);
   Lp_obs.Timings.count "trace.bytes_read" !bytes_read;
   Lp_obs.Timings.count "trace.events_read" (Array.length t.Trace.events);
+  Lp_obs.Timings.note_peak_heap ();
   t
 
 let to_string_for ~format t =

@@ -15,14 +15,25 @@ type format = Text | Binary
 val format_for_path : string -> format
 (** [Binary] iff the path ends in [.lpt]. *)
 
+val detect : string -> format
+(** Format of serialized bytes: {!Binary} iff they start with
+    {!Binio.magic}. *)
+
 val of_string : ?name:string -> string -> Trace.t
 (** Auto-detecting parse.  @raise Failure on malformed input. *)
+
+val map_file : string -> Binio.bytes_view option
+(** Memory-map a file read-only as a byte bigarray; [None] if the file
+    cannot be opened or mapped (empty file, exotic filesystem), in which
+    case callers fall back to reading it into a string. *)
 
 val input : ?name:string -> in_channel -> Trace.t
 (** Reads the whole channel, then parses with auto-detection. *)
 
 val read_file : string -> Trace.t
-(** @raise Failure on malformed input, [Sys_error] if unreadable. *)
+(** @raise Failure on malformed input — the message always names the
+    file, plus the byte offset (binary) or line number (text) when a
+    codec produced it — and [Sys_error] if unreadable. *)
 
 val write_file : ?format:format -> string -> Trace.t -> unit
 (** Writes atomically enough for our purposes (single [open]/[write]);

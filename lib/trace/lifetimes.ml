@@ -30,6 +30,59 @@ let compute (trace : Trace.t) =
 let is_short_lived t ~threshold obj =
   (not t.survived.(obj)) && t.lifetime.(obj) < threshold
 
+type summary = {
+  hist : Lp_quantile.Histogram.t;
+  short_bytes : int;
+  total_alloc_bytes : int;
+}
+
+(* Streaming twin of [compute] + the byte-weighted fold the lifetimes CLI
+   does on top of it: one pass over the source keeping per-object birth
+   state and one (object, size) record per allocation, then a deferred
+   fold in allocation order into the P² quantile histogram — the same
+   observation sequence as the materialized path, so the histogram state
+   (and its quartiles) is identical.  Memory scales with the allocation
+   count, never the event count. *)
+let summary_source ~threshold (src : Source.t) =
+  let hint =
+    match src.Source.n_objects_hint with Some n -> max 1 n | None -> 1024
+  in
+  let a_obj = Grow.create 1024 in
+  let a_size = Grow.create 1024 in
+  let n_allocs = ref 0 in
+  let birth = Grow.create hint in
+  let lifetime = Grow.create hint in
+  let survived = Grow.create ~default:1 hint in
+  let clock = ref 0 in
+  Source.iter
+    (function
+      | Event.Alloc { obj; size; _ } ->
+          Grow.push a_obj obj;
+          Grow.push a_size size;
+          incr n_allocs;
+          Grow.set birth obj !clock;
+          clock := !clock + size
+      | Event.Free { obj; _ } ->
+          Grow.set lifetime obj (!clock - Grow.get birth obj);
+          Grow.set survived obj 0
+      | Event.Touch _ -> ())
+    src;
+  let end_clock = !clock in
+  let hist = Lp_quantile.Histogram.create () in
+  let short = ref 0 and total = ref 0 in
+  for i = 0 to !n_allocs - 1 do
+    let obj = Grow.get a_obj i in
+    let size = Grow.get a_size i in
+    let surv = Grow.get survived obj = 1 in
+    let lt =
+      if surv then end_clock - Grow.get birth obj else Grow.get lifetime obj
+    in
+    Lp_quantile.Histogram.observe_weighted hist ~weight:size (float_of_int lt);
+    total := !total + size;
+    if (not surv) && lt < threshold then short := !short + size
+  done;
+  { hist; short_bytes = !short; total_alloc_bytes = !total }
+
 let max_live (trace : Trace.t) =
   let sizes = Array.make trace.n_objects 0 in
   let live_bytes = ref 0 and live_objs = ref 0 in

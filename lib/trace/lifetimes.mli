@@ -27,6 +27,20 @@ val is_short_lived : t -> threshold:int -> int -> bool
 (** [is_short_lived lt ~threshold obj] — did [obj] die before [threshold]
     bytes were allocated?  Survivors are never short-lived. *)
 
+type summary = {
+  hist : Lp_quantile.Histogram.t;
+      (** byte-weighted lifetime distribution (P² quartile histogram) *)
+  short_bytes : int;  (** bytes in objects short-lived under the threshold *)
+  total_alloc_bytes : int;  (** all bytes allocated *)
+}
+
+val summary_source : threshold:int -> Source.t -> summary
+(** Streaming twin of {!compute} plus the byte-weighted histogram fold
+    the [lpalloc lifetimes] command performs: one bounded-memory pass
+    (per-allocation records, never the event array), with the histogram
+    fed in allocation order so its quartiles are identical to the
+    materialized path's.  The source is consumed. *)
+
 val max_live : Trace.t -> int * int
 (** [(max_bytes, max_objects)] — the largest numbers of bytes and of objects
     simultaneously alive at any point (Table 2's "Maximum Bytes/Objects").

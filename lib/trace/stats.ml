@@ -35,6 +35,55 @@ let compute (trace : Trace.t) =
       (if total_objects = 0 then 0. else float_of_int total_bytes /. float_of_int total_objects);
   }
 
+(* The streaming twin of [compute]: one bounded-memory pass over a source
+   — per-object sizes in a growable array (for the live-bytes high water
+   mark), everything else a handful of scalars.  Identical fields to
+   [compute] on the materialized equivalent; the source is consumed. *)
+let compute_source (src : Source.t) =
+  let hint =
+    match src.Source.n_objects_hint with Some n -> max 1 n | None -> 1024
+  in
+  let sizes = Grow.create hint in
+  let total_bytes = ref 0 in
+  let live_bytes = ref 0 and live_objs = ref 0 in
+  let max_bytes = ref 0 and max_objs = ref 0 in
+  Source.iter
+    (function
+      | Event.Alloc { obj; size; _ } ->
+          Grow.set sizes obj size;
+          total_bytes := !total_bytes + size;
+          live_bytes := !live_bytes + size;
+          incr live_objs;
+          if !live_bytes > !max_bytes then max_bytes := !live_bytes;
+          if !live_objs > !max_objs then max_objs := !live_objs
+      | Event.Free { obj; _ } ->
+          live_bytes := !live_bytes - Grow.get sizes obj;
+          decr live_objs
+      | Event.Touch _ -> ())
+    src;
+  let c = Source.counters src in
+  let total_objects = Source.n_objects src in
+  let heap_ref_pct =
+    if c.Source.total_refs = 0 then 0.
+    else
+      100. *. float_of_int c.Source.heap_refs /. float_of_int c.Source.total_refs
+  in
+  {
+    program = src.Source.program;
+    input = src.Source.input;
+    instructions = c.Source.instructions;
+    calls = c.Source.calls;
+    total_bytes = !total_bytes;
+    total_objects;
+    max_bytes = !max_bytes;
+    max_objects = !max_objs;
+    heap_ref_pct;
+    distinct_chains = src.Source.n_chains ();
+    mean_object_size =
+      (if total_objects = 0 then 0.
+       else float_of_int !total_bytes /. float_of_int total_objects);
+  }
+
 let pp ppf t =
   Format.fprintf ppf
     "@[<v>%s (%s):@ instructions %d@ calls %d@ bytes %d in %d objects (mean %.1f)@ max \

@@ -16,4 +16,10 @@ type t = {
 
 val compute : Trace.t -> t
 
+val compute_source : Source.t -> t
+(** Streaming twin of {!compute}: one bounded-memory pass over the
+    source (per-object sizes only — memory scales with the object count,
+    not the event count).  Fields are identical to {!compute} on the
+    materialized equivalent.  The source is consumed. *)
+
 val pp : Format.formatter -> t -> unit

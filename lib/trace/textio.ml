@@ -166,8 +166,11 @@ let parse_line ~name st lineno line =
   | [ "end" ] -> st.finished <- true
   | _ -> fail ~name lineno (Printf.sprintf "unrecognised line %S" line)
 
-let finish ~name st : Trace.t =
-  let fail msg = failwith (Printf.sprintf "Textio.input: %s: %s" name msg) in
+(* [lineno] is the last line consumed; whole-trace validation failures
+   (missing declarations, dangling references) point there so every
+   Textio error carries file:line context. *)
+let finish ~name ~lineno st : Trace.t =
+  let fail msg = fail ~name lineno msg in
   if not st.finished then fail "missing 'end' line";
   (* Re-intern functions in id order so interned ids match the file's. *)
   let func_names = List.sort compare (List.rev st.func_names) in
@@ -257,7 +260,7 @@ let input ?(name = "<trace>") ic =
        parse_line ~name st !lineno (input_line ic)
      done
    with End_of_file -> ());
-  finish ~name st
+  finish ~name ~lineno:!lineno st
 
 let to_string t =
   let buf = Buffer.create 65536 in
@@ -269,7 +272,174 @@ let to_string t =
 let of_string ?(name = "<trace>") s =
   let st = fresh_state () in
   let lines = String.split_on_char '\n' s in
+  let last = ref 0 in
   List.iteri
-    (fun i line -> if not st.finished then parse_line ~name st (i + 1) line)
+    (fun i line ->
+      if not st.finished then begin
+        last := i + 1;
+        parse_line ~name st (i + 1) line
+      end)
     lines;
-  finish ~name st
+  finish ~name ~lineno:!last st
+
+(* -- streaming ----------------------------------------------------------------- *)
+
+type stream = {
+  s_program : string;
+  s_input : string;
+  s_funcs : Lp_callchain.Func.table;
+  s_chain : int -> Lp_callchain.Chain.t;
+  s_n_chains : unit -> int;
+  s_tag : int -> string;
+  s_n_tags : unit -> int;
+  s_counters : unit -> int * int * int * int;
+  s_refs : int -> int;
+  s_n_objects : unit -> int;
+  s_next : unit -> Event.t option;
+}
+
+(* The streaming parser makes one pass and never holds the event list, so
+   it requires the declaration order the writer produces: dense in-order
+   func/chain/tag ids, declarations before the events that reference them.
+   Free/touch object ids can only be range-checked from below (the final
+   object count is unknown until exhaustion); a forward reference that the
+   batch parser would reject at [finish] streams through here and is the
+   linter's to flag. *)
+let stream ?(name = "<trace>") next_line =
+  let funcs = Lp_callchain.Func.create_table () in
+  let program = ref "?" and input_name = ref "?" in
+  let chains = ref (Array.make 64 [||]) in
+  let n_chains = ref 0 in
+  let tags = ref (Array.make 16 "") in
+  let n_tags = ref 0 in
+  let instructions = ref 0
+  and calls = ref 0
+  and heap_refs = ref 0
+  and total_refs = ref 0 in
+  let obj_refs = Grow.create 1024 in
+  let n_objects = ref 0 in
+  let lineno = ref 0 in
+  let ended = ref false in
+  let declare what n arr id v =
+    if id <> !n then
+      fail ~name !lineno
+        (Printf.sprintf
+           "%s id %d out of order (streaming requires dense declaration order)"
+           what id);
+    if !n = Array.length !arr then begin
+      let grown = Array.make (2 * !n) !arr.(0) in
+      Array.blit !arr 0 grown 0 !n;
+      arr := grown
+    end;
+    !arr.(id) <- v;
+    incr n
+  in
+  let handle_line line : Event.t option =
+    let int = int_field ~name !lineno in
+    match String.split_on_char ' ' (String.trim line) with
+    | [ "" ] -> None
+    | "trace" :: p :: rest ->
+        program := unescape_name ~name !lineno p;
+        input_name := String.concat " " rest;
+        None
+    | "func" :: id :: rest ->
+        let id = int ~field:"func-id" id in
+        let fname = name_of_tokens ~name !lineno rest in
+        if Lp_callchain.Func.intern funcs fname <> id then
+          fail ~name !lineno
+            (Printf.sprintf
+               "func id %d out of order (streaming requires dense declaration \
+                order)"
+               id);
+        None
+    | "chain" :: id :: fs ->
+        let chain = Array.of_list (List.map (int ~field:"chain-func") fs) in
+        declare "chain" n_chains chains (int ~field:"chain-id" id) chain;
+        None
+    | "tag" :: id :: rest ->
+        declare "tag" n_tags tags
+          (int ~field:"tag-id" id)
+          (name_of_tokens ~name !lineno rest);
+        None
+    | [ "counters"; i; c; h; t ] ->
+        instructions := int ~field:"instructions" i;
+        calls := int ~field:"calls" c;
+        heap_refs := int ~field:"heap-refs" h;
+        total_refs := int ~field:"total-refs" t;
+        None
+    | [ "a"; obj; size; chain; key; tag; refs ] ->
+        let obj = int ~field:"obj" obj in
+        if obj < 0 then
+          fail ~name !lineno (Printf.sprintf "alloc of out-of-range object %d" obj);
+        let chain = int ~field:"chain" chain in
+        if chain < 0 || chain >= !n_chains then
+          fail ~name !lineno
+            (Printf.sprintf "alloc references unknown chain %d" chain);
+        let tag = int ~field:"tag" tag in
+        if tag >= !n_tags then
+          fail ~name !lineno (Printf.sprintf "alloc references unknown tag %d" tag);
+        Grow.set obj_refs obj (int ~field:"refs" refs);
+        if obj >= !n_objects then n_objects := obj + 1;
+        Some
+          (Event.Alloc
+             { obj; size = int ~field:"size" size; chain; key = int ~field:"key" key; tag })
+    | "f" :: obj :: rest ->
+        let obj = int ~field:"obj" obj in
+        if obj < 0 then
+          fail ~name !lineno (Printf.sprintf "free of out-of-range object %d" obj);
+        (match rest with
+        | [] -> Some (Event.Free { obj; size = -1 })
+        | [ size ] -> Some (Event.Free { obj; size = int ~field:"size" size })
+        | _ -> fail ~name !lineno (Printf.sprintf "unrecognised line %S" line))
+    | [ "r"; obj; count ] ->
+        let obj = int ~field:"obj" obj in
+        if obj < 0 then
+          fail ~name !lineno (Printf.sprintf "touch of out-of-range object %d" obj);
+        Some (Event.Touch { obj; count = int ~field:"count" count })
+    | [ "end" ] ->
+        ended := true;
+        None
+    | _ -> fail ~name !lineno (Printf.sprintf "unrecognised line %S" line)
+  in
+  let rec read_next () =
+    if !ended then None
+    else
+      match next_line () with
+      | None -> fail ~name !lineno "missing 'end' line"
+      | Some line -> (
+          incr lineno;
+          match handle_line line with
+          | Some _ as ev -> ev
+          | None -> if !ended then None else read_next ())
+  in
+  (* Drain the header eagerly so the interned tables and counters are
+     available before the first event; the event that terminated the
+     header drain is held until the first [s_next]. *)
+  let pending = ref (read_next ()) in
+  {
+    s_program = !program;
+    s_input = !input_name;
+    s_funcs = funcs;
+    s_chain =
+      (fun id ->
+        if id < 0 || id >= !n_chains then
+          fail ~name !lineno (Printf.sprintf "unknown chain %d" id)
+        else !chains.(id));
+    s_n_chains = (fun () -> !n_chains);
+    s_tag =
+      (fun id ->
+        if id < 0 || id >= !n_tags then
+          fail ~name !lineno (Printf.sprintf "unknown tag %d" id)
+        else !tags.(id));
+    s_n_tags = (fun () -> !n_tags);
+    s_counters = (fun () -> (!instructions, !calls, !heap_refs, !total_refs));
+    s_refs = Grow.get obj_refs;
+    s_n_objects = (fun () -> !n_objects);
+    s_next =
+      (fun () ->
+        match !pending with
+        | Some _ as ev ->
+            pending := None;
+            ev
+        | None -> read_next ());
+  }

@@ -52,3 +52,41 @@ val to_string : Trace.t -> string
 
 val of_string : ?name:string -> string -> Trace.t
 (** @raise Failure on malformed input, as for {!input}. *)
+
+(** {1 Incremental parsing}
+
+    One-pass line-at-a-time parsing for {!Source}: the header
+    declarations are consumed eagerly, then events are yielded one at a
+    time without retaining the list.  Because the final object count is
+    unknown until the stream ends, free/touch object ids are only checked
+    to be non-negative — a forward reference the batch parser rejects at
+    [finish] streams through and is left to the trace linter.  In
+    exchange the parser requires the declaration order the writer
+    produces: dense in-order [func]/[chain]/[tag] ids, and declarations
+    before the events that reference them. *)
+
+type stream = {
+  s_program : string;
+  s_input : string;
+  s_funcs : Lp_callchain.Func.table;
+  s_chain : int -> Lp_callchain.Chain.t;
+  s_n_chains : unit -> int;
+  s_tag : int -> string;
+  s_n_tags : unit -> int;
+  s_counters : unit -> int * int * int * int;
+      (** [(instructions, calls, heap_refs, total_refs)] as parsed so far;
+          final once the writer's header (which includes the counters
+          line) has been consumed, i.e. from creation onward. *)
+  s_refs : int -> int;
+      (** declared per-object heap refs; final for an object once its
+          alloc line has streamed past. *)
+  s_n_objects : unit -> int;
+  s_next : unit -> Event.t option;
+}
+
+val stream : ?name:string -> (unit -> string option) -> stream
+(** [stream ~name next_line] parses the header (everything up to the
+    first event line) eagerly and returns a cursor over the events.
+    [next_line] yields lines without their trailing newline, [None] at
+    end of file.
+    @raise Failure on malformed input, with [name] and line number. *)

@@ -42,17 +42,36 @@ module Builder = struct
     let hash = Lp_callchain.Chain.hash
   end)
 
+  type view = {
+    view_funcs : Lp_callchain.Func.table;
+    chain_of : int -> Lp_callchain.Chain.t;
+    n_chains : unit -> int;
+    tag_of : int -> string;
+    n_tags : unit -> int;
+    refs_of : int -> int;
+    n_objects_so_far : unit -> int;
+  }
+
+  type sink = { emit : Event.t -> unit; mutable view : view option }
+
+  let sink emit = { emit; view = None }
+
   type t = {
     program : string;
     input : string;
     funcs : Lp_callchain.Func.table;
+    sink_to : sink option;
+    (* the last pushed event is held back one step so an immediately
+       following touch of the same object can merge into it — identically
+       in the materialized and streaming modes *)
+    mutable pending : Event.t option;
     mutable events : Event.t array;
     mutable n_events : int;
     chain_ids : int Chain_tbl.t;
-    mutable chains : Lp_callchain.Chain.t list;  (* reversed *)
+    mutable chains : Lp_callchain.Chain.t array;
     mutable n_chains : int;
     tag_ids : (string, int) Hashtbl.t;
-    mutable tag_names : string list;  (* reversed *)
+    mutable tag_names : string array;
     mutable n_tags : int;
     mutable n_objects : int;
     alive : (int, unit) Hashtbl.t;
@@ -63,44 +82,93 @@ module Builder = struct
     mutable non_heap : int;
   }
 
-  let create ~program ~input ~funcs =
+  let view t =
     {
-      program;
-      input;
-      funcs;
-      events = Array.make 4096 (Event.Free { obj = -1; size = -1 });
-      n_events = 0;
-      chain_ids = Chain_tbl.create 256;
-      chains = [];
-      n_chains = 0;
-      tag_ids = Hashtbl.create 32;
-      tag_names = [];
-      n_tags = 0;
-      n_objects = 0;
-      alive = Hashtbl.create 1024;
-      obj_refs = Int_array.create ();
-      instructions = 0;
-      calls = 0;
-      heap_refs = 0;
-      non_heap = 0;
+      view_funcs = t.funcs;
+      chain_of =
+        (fun id ->
+          if id < 0 || id >= t.n_chains then
+            invalid_arg (Printf.sprintf "Trace.Builder: unknown chain %d" id)
+          else t.chains.(id));
+      n_chains = (fun () -> t.n_chains);
+      tag_of =
+        (fun id ->
+          if id < 0 || id >= t.n_tags then
+            invalid_arg (Printf.sprintf "Trace.Builder: unknown tag %d" id)
+          else t.tag_names.(id));
+      n_tags = (fun () -> t.n_tags);
+      refs_of =
+        (fun obj -> if obj < t.obj_refs.Int_array.len then Int_array.get t.obj_refs obj else 0);
+      n_objects_so_far = (fun () -> t.n_objects);
     }
 
-  let push_event t e =
+  let create ?sink:sink_to ~program ~input ~funcs () =
+    let t =
+      {
+        program;
+        input;
+        funcs;
+        sink_to;
+        pending = None;
+        (* the events array is only the materialized-mode store; a streaming
+           builder forwards every event to its sink instead *)
+        events =
+          (match sink_to with
+          | None -> Array.make 4096 (Event.Free { obj = -1; size = -1 })
+          | Some _ -> [||]);
+        n_events = 0;
+        chain_ids = Chain_tbl.create 256;
+        chains = Array.make 64 [||];
+        n_chains = 0;
+        tag_ids = Hashtbl.create 32;
+        tag_names = Array.make 16 "";
+        n_tags = 0;
+        n_objects = 0;
+        alive = Hashtbl.create 1024;
+        obj_refs = Int_array.create ();
+        instructions = 0;
+        calls = 0;
+        heap_refs = 0;
+        non_heap = 0;
+      }
+    in
+    (match sink_to with Some s -> s.view <- Some (view t) | None -> ());
+    t
+
+  let store_event t e =
     if t.n_events = Array.length t.events then begin
-      let grown = Array.make (2 * t.n_events) (Event.Free { obj = -1; size = -1 }) in
+      let grown =
+        Array.make (max 4096 (2 * t.n_events)) (Event.Free { obj = -1; size = -1 })
+      in
       Array.blit t.events 0 grown 0 t.n_events;
       t.events <- grown
     end;
     t.events.(t.n_events) <- e;
     t.n_events <- t.n_events + 1
 
+  let flush_pending t =
+    match t.pending with
+    | None -> ()
+    | Some e ->
+        t.pending <- None;
+        (match t.sink_to with Some s -> s.emit e | None -> store_event t e)
+
+  let push_event t e =
+    flush_pending t;
+    t.pending <- Some e
+
   let intern_chain t chain =
     match Chain_tbl.find_opt t.chain_ids chain with
     | Some id -> id
     | None ->
         let id = t.n_chains in
+        if id = Array.length t.chains then begin
+          let grown = Array.make (2 * id) [||] in
+          Array.blit t.chains 0 grown 0 id;
+          t.chains <- grown
+        end;
+        t.chains.(id) <- chain;
         t.n_chains <- id + 1;
-        t.chains <- chain :: t.chains;
         Chain_tbl.add t.chain_ids chain id;
         id
 
@@ -109,8 +177,13 @@ module Builder = struct
     | Some id -> id
     | None ->
         let id = t.n_tags in
+        if id = Array.length t.tag_names then begin
+          let grown = Array.make (2 * id) "" in
+          Array.blit t.tag_names 0 grown 0 id;
+          t.tag_names <- grown
+        end;
+        t.tag_names.(id) <- name;
         t.n_tags <- id + 1;
-        t.tag_names <- name :: t.tag_names;
         Hashtbl.replace t.tag_ids name id;
         id
 
@@ -131,14 +204,11 @@ module Builder = struct
   let touch t ~obj n =
     Int_array.set t.obj_refs obj (Int_array.get t.obj_refs obj + n);
     t.heap_refs <- t.heap_refs + n;
-    (* record the reference in the event stream (merging with an immediately
-       preceding touch of the same object keeps the stream compact) *)
-    if t.n_events > 0 then begin
-      match t.events.(t.n_events - 1) with
-      | Event.Touch r when r.obj = obj -> r.count <- r.count + n
-      | _ -> push_event t (Event.Touch { obj; count = n })
-    end
-    else push_event t (Event.Touch { obj; count = n })
+    (* merging with an immediately preceding touch of the same object keeps
+       the stream compact; the merge target is the held-back pending event *)
+    match t.pending with
+    | Some (Event.Touch r) when r.obj = obj -> r.count <- r.count + n
+    | _ -> push_event t (Event.Touch { obj; count = n })
 
   let non_heap_refs t n = t.non_heap <- t.non_heap + n
   let instructions t n = t.instructions <- t.instructions + n
@@ -146,11 +216,12 @@ module Builder = struct
   let live_objects t = Hashtbl.length t.alive
 
   let finish t : trace =
+    flush_pending t;
     {
       program = t.program;
       input = t.input;
       events = Array.sub t.events 0 t.n_events;
-      chains = Array.of_list (List.rev t.chains);
+      chains = Array.sub t.chains 0 t.n_chains;
       funcs = t.funcs;
       n_objects = t.n_objects;
       instructions = t.instructions;
@@ -158,7 +229,7 @@ module Builder = struct
       heap_refs = t.heap_refs;
       total_refs = t.heap_refs + t.non_heap;
       obj_refs = Int_array.to_array t.obj_refs;
-      tags = Array.of_list (List.rev t.tag_names);
+      tags = Array.sub t.tag_names 0 t.n_tags;
     }
 end
 

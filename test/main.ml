@@ -7,4 +7,5 @@ let () =
    @ Test_regex.suites @ Test_interp.suites @ Test_workloads.suites
    @ Test_backends.suites @ Test_lifetime.suites @ Test_report.suites
    @ Test_extensions.suites @ Test_integration.suites @ Test_properties.suites
-   @ Test_analysis.suites @ Test_golden.suites @ Test_perf.suites)
+   @ Test_analysis.suites @ Test_golden.suites @ Test_perf.suites
+   @ Test_stream.suites)

@@ -130,7 +130,7 @@ let adversarial_trace () =
   let f1 = Lp_callchain.Func.intern funcs "main entry point" in
   let f2 = Lp_callchain.Func.intern funcs "weird\\name\twith  spaces" in
   let f3 = Lp_callchain.Func.intern funcs " leading and trailing " in
-  let b = T.Builder.create ~program:"prog with space" ~input:"input one" ~funcs in
+  let b = T.Builder.create ~program:"prog with space" ~input:"input one" ~funcs () in
   let chain = T.Builder.intern_chain b [| f2; f1 |] in
   let chain' = T.Builder.intern_chain b [| f3 |] in
   let tag = T.Builder.intern_tag b "tag with space" in
@@ -143,7 +143,7 @@ let adversarial_trace () =
 
 let empty_trace () =
   let funcs = Lp_callchain.Func.create_table () in
-  T.Builder.finish (T.Builder.create ~program:"empty" ~input:"none" ~funcs)
+  T.Builder.finish (T.Builder.create ~program:"empty" ~input:"none" ~funcs ())
 
 let textio_escapes_names () =
   let trace = adversarial_trace () in
@@ -254,7 +254,7 @@ let gen_trace =
            (fun i n -> Lp_callchain.Func.intern funcs (Printf.sprintf "%s#%d" n i))
            raw_names
        in
-       let b = T.Builder.create ~program ~input:"qcheck input" ~funcs in
+       let b = T.Builder.create ~program ~input:"qcheck input" ~funcs () in
        let tag = T.Builder.intern_tag b tag_name in
        let chain =
          T.Builder.intern_chain b (Array.of_list ids)
