@@ -3,6 +3,7 @@
    Subcommands:
      list                           the built-in workload programs
      trace    -p PROG -i INPUT      run a workload, write its trace (text)
+     convert  FILE -o OUT           convert/tile a trace; --v3 writes sharded
      stats    FILE                  statistics of a trace file (Table 2 row)
      lifetimes FILE                 lifetime quartiles of a trace (Table 3 row)
      train    FILE                  train a predictor, show its sites
@@ -51,6 +52,36 @@ let stream_arg =
 let threshold_arg =
   let doc = "Short-lived threshold in bytes (the paper uses 32768)." in
   Arg.(value & opt int 32768 & info [ "threshold" ] ~docv:"BYTES" ~doc)
+
+let sharded_arg =
+  let doc =
+    "Replay the trace range-parallel across OCaml domains.  The file must \
+     be a sharded binary trace ($(b,.lpt) version 3, written by $(b,lpalloc \
+     convert --v3)); its chunk index fans out over the domain pool \
+     (LPALLOC_DOMAINS, default up to 8) and the deterministic merge makes \
+     the output byte-identical to $(b,--stream).  Implies bounded-memory \
+     streaming."
+  in
+  Arg.(value & flag & info [ "sharded" ] ~doc)
+
+let load_sharded path =
+  try Lp_trace.Sharded.load path
+  with Failure msg ->
+    Printf.eprintf "lpalloc: %s\n" msg;
+    exit 2
+
+let domains_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Domains for the parallel replays (default: up to 8, per the \
+           machine; 1 forces the sequential order; the LPALLOC_DOMAINS \
+           environment variable sets the same knob globally).")
+
+let set_domains domains =
+  match domains with Some n -> Lifetime.Parallel.set_domains n | None -> ()
 
 (* -- list ---------------------------------------------------------------------- *)
 
@@ -122,10 +153,13 @@ let json_arg =
   Arg.(value & flag & info [ "json" ] ~doc)
 
 let stats_cmd =
-  let run path json stream timings =
+  let run path json stream sharded domains timings =
     with_timings timings (fun () ->
+        set_domains domains;
         let s =
-          if stream then Lp_trace.Stats.compute_source (Lp_trace.Source.of_file path)
+          if sharded then Lifetime.Shard.stats (load_sharded path)
+          else if stream then
+            Lp_trace.Stats.compute_source (Lp_trace.Source.of_file path)
           else Lp_trace.Stats.compute (read_trace path)
         in
         if json then
@@ -140,13 +174,19 @@ let stats_cmd =
         else Format.printf "%a@." Lp_trace.Stats.pp s)
   in
   Cmd.v (Cmd.info "stats" ~doc:"Execution statistics of a trace (cf. Table 2)")
-    Term.(const run $ file_arg $ json_arg $ stream_arg $ timings_arg)
+    Term.(
+      const run $ file_arg $ json_arg $ stream_arg $ sharded_arg $ domains_arg
+      $ timings_arg)
 
 let lifetimes_cmd =
-  let run path threshold stream timings =
+  let run path threshold stream sharded domains timings =
     with_timings timings @@ fun () ->
+    set_domains domains;
     let hist, short, total =
-      if stream then
+      if sharded then
+        let s = Lifetime.Shard.lifetimes ~threshold (load_sharded path) in
+        (s.Lp_trace.Lifetimes.hist, s.short_bytes, s.total_alloc_bytes)
+      else if stream then
         let s =
           Lp_trace.Lifetimes.summary_source ~threshold
             (Lp_trace.Source.of_file path)
@@ -174,7 +214,9 @@ let lifetimes_cmd =
   in
   Cmd.v
     (Cmd.info "lifetimes" ~doc:"Lifetime distribution of a trace (cf. Table 3)")
-    Term.(const run $ file_arg $ threshold_arg $ stream_arg $ timings_arg)
+    Term.(
+      const run $ file_arg $ threshold_arg $ stream_arg $ sharded_arg
+      $ domains_arg $ timings_arg)
 
 (* -- train ---------------------------------------------------------------------- *)
 
@@ -192,11 +234,20 @@ let train_cmd =
              accepted keys plus per-key training statistics, checkable with \
              $(b,lpalloc lint).")
   in
-  let run path threshold verbose save stream timings =
+  let run path threshold verbose save stream sharded domains timings =
     with_timings timings @@ fun () ->
+    set_domains domains;
     let config = { Lifetime.Config.default with short_lived_threshold = threshold } in
     let program, funcs, clock, table =
-      if stream then begin
+      if sharded then begin
+        let sh = load_sharded path in
+        let st = Lifetime.Shard.train ~config sh in
+        ( (Lp_trace.Sharded.header sh).Lp_trace.Binio.program,
+          Lp_trace.Binio.indexed_funcs (Lp_trace.Sharded.index sh),
+          st.Lifetime.Train.end_clock,
+          st.Lifetime.Train.table )
+      end
+      else if stream then begin
         let src = Lp_trace.Source.of_file path in
         let st = Lifetime.Train.collect_source ~config src in
         ( src.Lp_trace.Source.program,
@@ -236,7 +287,7 @@ let train_cmd =
     (Cmd.info "train" ~doc:"Train a short-lived-site predictor from a trace")
     Term.(
       const run $ file_arg $ threshold_arg $ verbose $ save $ stream_arg
-      $ timings_arg)
+      $ sharded_arg $ domains_arg $ timings_arg)
 
 (* -- evaluate ------------------------------------------------------------------- *)
 
@@ -275,15 +326,15 @@ let evaluate_cmd =
 (* -- simulate ------------------------------------------------------------------- *)
 
 let simulate_cmd =
-  let domains =
+  let decode_ahead =
     Arg.(
-      value
-      & opt (some int) None
-      & info [ "domains" ] ~docv:"N"
+      value & flag
+      & info [ "decode-ahead" ]
           ~doc:
-            "Domains for the parallel allocator replays (default: up to 8, per \
-             the machine; 1 forces the sequential order; the LPALLOC_DOMAINS \
-             environment variable sets the same knob globally).")
+            "With $(b,--stream): decode each replay's trace on a second \
+             domain running ahead of the simulation (a two-stage pipeline \
+             per job).  Metrics are identical; it pays off when replay jobs \
+             are few relative to cores.")
   in
   let allocators =
     let doc =
@@ -310,9 +361,9 @@ let simulate_cmd =
              metrics.")
   in
   let run train_path test_path threshold allocators json domains sanitize stream
-      timings =
+      decode_ahead timings =
     with_timings timings @@ fun () ->
-    (match domains with Some n -> Lifetime.Parallel.set_domains n | None -> ());
+    set_domains domains;
     (match allocators with
     | None -> ()
     | Some names ->
@@ -347,7 +398,8 @@ let simulate_cmd =
     let sim =
       try
         if stream then
-          Lifetime.Simulate.run_streamed ?allocators ?wrap ~config ~predictor
+          Lifetime.Simulate.run_streamed ?allocators ?wrap ~decode_ahead
+            ~config ~predictor
             ~source:(fun () -> Lp_trace.Source.of_file test_path)
             ()
         else
@@ -382,7 +434,97 @@ let simulate_cmd =
           parallel across OCaml domains (cf. Tables 7-9)")
     Term.(
       const run $ train_file $ test_file $ threshold_arg $ allocators $ json_arg
-      $ domains $ sanitize $ stream_arg $ timings_arg)
+      $ domains_arg $ sanitize $ stream_arg $ decode_ahead $ timings_arg)
+
+(* -- convert ---------------------------------------------------------------------- *)
+
+let convert_cmd =
+  let output =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the converted trace here.")
+  in
+  let v3 =
+    Arg.(
+      value & flag
+      & info [ "v3" ]
+          ~doc:
+            "Write the sharded binary layout ($(b,.lpt) version 3): the event \
+             stream split into fixed-size chunks with per-chunk interning \
+             deltas and carry-in sets plus a footer index, so the file seeks \
+             in O(1) and replays range-parallel ($(b,--sharded) elsewhere).  \
+             Converting v2 to v3 and back is byte-identical.")
+  in
+  let chunk_events =
+    Arg.(
+      value
+      & opt int Lp_trace.Binio.default_chunk_events
+      & info [ "chunk-events" ] ~docv:"N"
+          ~doc:
+            "Events per chunk of the sharded layout (with $(b,--v3); default \
+             $(b,262144)).  Smaller chunks seek finer and give short traces \
+             enough chunks to spread over the domain pool; larger chunks \
+             delta-compress better.  A trace replays well sharded when it \
+             has at least a few chunks per domain.")
+  in
+  let tile =
+    Arg.(
+      value & opt int 1
+      & info [ "tile" ] ~docv:"N"
+          ~doc:
+            "Concatenate $(docv) copies of the trace before writing, \
+             renumbering objects so dense birth order is preserved — a way \
+             to synthesize long traces for scale tests and benchmarks.")
+  in
+  let format =
+    let fmt_conv =
+      Arg.enum
+        [ ("auto", None); ("text", Some Lp_trace.Io.Text); ("binary", Some Lp_trace.Io.Binary) ]
+    in
+    Arg.(
+      value & opt fmt_conv None
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:
+            "Output format when not $(b,--v3): $(b,text), $(b,binary), or \
+             $(b,auto) (binary for .lpt files).")
+  in
+  let run path output v3 chunk_events tile format timings =
+    with_timings timings @@ fun () ->
+    if chunk_events < 1 then begin
+      Printf.eprintf "lpalloc convert: --chunk-events must be positive\n";
+      exit 2
+    end;
+    if tile < 1 then begin
+      Printf.eprintf "lpalloc convert: --tile must be positive\n";
+      exit 2
+    end;
+    let trace = read_trace path in
+    let trace = Lp_trace.Trace.tile trace tile in
+    if v3 then begin
+      Out_channel.with_open_bin output (fun oc ->
+          Lp_trace.Binio.output_v3 ~chunk_events oc trace);
+      let sh = load_sharded output in
+      Printf.printf "wrote %d events (%d objects) as %d chunks of %d to %s\n"
+        (Array.length trace.events) trace.n_objects
+        (Lp_trace.Sharded.n_chunks sh)
+        chunk_events output
+    end
+    else begin
+      Lp_trace.Io.write_file ?format output trace;
+      Printf.printf "wrote %d events (%d objects) to %s\n"
+        (Array.length trace.events) trace.n_objects output
+    end
+  in
+  Cmd.v
+    (Cmd.info "convert"
+       ~doc:
+         "Convert a trace between formats — text, binary, and the sharded \
+          (seekable, range-parallel) binary layout — optionally tiling it \
+          into a longer synthetic trace")
+    Term.(
+      const run $ file_arg $ output $ v3 $ chunk_events $ tile $ format
+      $ timings_arg)
 
 (* -- lint ------------------------------------------------------------------------ *)
 
@@ -428,8 +570,10 @@ let lint_cmd =
              (the summary counts, the exit code and $(b,--json) always cover \
              all of them).")
   in
-  let run path json only disable max_chain_depth max_per_rule stream timings =
+  let run path json only disable max_chain_depth max_per_rule stream sharded
+      domains timings =
     with_timings timings @@ fun () ->
+    set_domains domains;
     (* model files are a few kilobytes; only trace linting streams *)
     let is_model_file () =
       In_channel.with_open_bin path (fun ic ->
@@ -441,7 +585,11 @@ let lint_cmd =
     in
     let diags, rules =
       try
-        if stream && not (is_model_file ()) then
+        if sharded && not (is_model_file ()) then
+          ( Lp_analysis.Lint.run_sharded ?only ?disable ~max_chain_depth
+              (Lp_trace.Sharded.load path),
+            Lp_analysis.Lint.rules )
+        else if stream && not (is_model_file ()) then
           ( Lp_analysis.Lint.run_source ?only ?disable ~max_chain_depth
               (Lp_trace.Source.of_file path),
             Lp_analysis.Lint.rules )
@@ -514,7 +662,7 @@ let lint_cmd =
        ~doc:"Statically check a trace or predictor-model file")
     Term.(
       const run $ file $ json_arg $ only $ disable $ max_chain_depth
-      $ max_per_rule $ stream_arg $ timings_arg)
+      $ max_per_rule $ stream_arg $ sharded_arg $ domains_arg $ timings_arg)
 
 let () =
   (* fail fast, before any subcommand runs, on a malformed LPALLOC_DOMAINS
@@ -534,6 +682,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            list_cmd; trace_cmd; stats_cmd; lifetimes_cmd; train_cmd; evaluate_cmd;
-            simulate_cmd; lint_cmd;
+            list_cmd; trace_cmd; convert_cmd; stats_cmd; lifetimes_cmd; train_cmd;
+            evaluate_cmd; simulate_cmd; lint_cmd;
           ]))

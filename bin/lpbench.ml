@@ -19,12 +19,21 @@
    replayed through pull-based decoders over the encoded bytes, with the
    heap-growth delta it caused) and the trace.events_streamed /
    trace.peak_resident_words counters; --validate accepts v1 files and
-   only demands the additions from v2 files. *)
+   only demands the additions from v2 files.
+
+   Schema v3 adds a per-workload "sharded" phase: the trace re-encoded in
+   the seekable v3 layout (~8 chunks) and the training fold replayed over
+   the chunk index sequentially and across domains.  Byte-identity of the
+   merged fold is a test/CI property; here only the wall clock is
+   measured.  The speedup is recorded, never asserted — on boxes without
+   >= 4 real cores (Domain.recommended_domain_count) a warning is all a
+   shortfall produces, since domains > cores just oversubscribes the
+   stop-the-world minor GC. *)
 
 open Cmdliner
 module Json = Lp_report.Json
 
-let schema_version = 2
+let schema_version = 3
 
 (* -- measurement helpers -------------------------------------------------------- *)
 
@@ -157,6 +166,40 @@ let bench_workload ~program ~input ~scale ~repeat ~domains ~allocators =
   let streamed_peak_delta =
     (Gc.quick_stat ()).Gc.top_heap_words - gc_before.Gc.top_heap_words
   in
+  (* sharded: the same trace in the seekable v3 layout, the training fold
+     replayed over the chunk index — the one-trace data-parallel path *)
+  let chunk_events = max 1 ((events + 7) / 8) in
+  let encode_v3_seconds, encoded_v3 =
+    time (fun () -> Lp_trace.Binio.to_string_v3 ~chunk_events trace)
+  in
+  let sh = Lp_trace.Sharded.of_string ~name:(program ^ "_v3.lpt") encoded_v3 in
+  (* level the GC field before each measurement: the fold allocates
+     per-allocation arrays, so whichever phase runs second would
+     otherwise pay the first's accumulated garbage *)
+  Gc.full_major ();
+  let shard_seq_seconds, _ =
+    best_of repeat (fun () -> Lifetime.Shard.train ~domains:1 ~config sh)
+  in
+  (* at one domain the "parallel" phase is literally the same call, and
+     re-timing it only measures heap-state drift — reuse the number *)
+  let shard_par_seconds =
+    if domains <= 1 then shard_seq_seconds
+    else begin
+      Gc.full_major ();
+      fst (best_of repeat (fun () -> Lifetime.Shard.train ~domains ~config sh))
+    end
+  in
+  let shard_speedup =
+    if shard_par_seconds > 0. then shard_seq_seconds /. shard_par_seconds else 0.
+  in
+  if
+    domains >= 4
+    && Domain.recommended_domain_count () >= 4
+    && shard_speedup < 1.8
+  then
+    Printf.eprintf
+      "lpbench: WARNING: sharded replay speedup %.2fx at %d domains (< 1.8x)\n%!"
+      shard_speedup domains;
   let gc = Gc.quick_stat () in
   ( events,
     Json.Obj
@@ -200,6 +243,19 @@ let bench_workload ~program ~input ~scale ~repeat ~domains ~allocators =
               ("wall_seconds", num streamed_seconds);
               ("events_per_sec", num (rate (events * jobs) streamed_seconds));
               ("peak_words_delta", int_ streamed_peak_delta);
+            ] );
+        ( "sharded",
+          Json.Obj
+            [
+              ("chunk_events", int_ chunk_events);
+              ("chunks", int_ (Lp_trace.Sharded.n_chunks sh));
+              ("encoded_v3_bytes", int_ (String.length encoded_v3));
+              ("encode_v3_seconds", num encode_v3_seconds);
+              ("domains", int_ domains);
+              ("sequential_seconds", num shard_seq_seconds);
+              ("parallel_seconds", num shard_par_seconds);
+              ("events_per_sec", num (rate events shard_par_seconds));
+              ("speedup_vs_sequential", num shard_speedup);
             ] );
         ("top_heap_words", int_ gc.Gc.top_heap_words);
       ] )
@@ -317,8 +373,10 @@ let validate_file path =
     | _ -> 0
   in
   (* v1 files (the committed pre-streaming baselines) stay valid; the
-     streaming additions are only demanded from v2 files *)
-  check "schema_version in {1, 2}" (version = 1 || version = 2);
+     streaming additions are only demanded from v2 files and the sharded
+     phase only from v3 files *)
+  check "schema_version in {1, 2, 3}"
+    (version = 1 || version = 2 || version = 3);
   List.iter (require_str "top" j) [ "rev"; "ocaml"; "input" ];
   List.iter (require_num "top" j)
     [ "scale"; "domains"; "total_events"; "total_seconds" ];
@@ -351,12 +409,24 @@ let validate_file path =
               List.iter (require_num "parallel" p)
                 [ "domains"; "wall_seconds"; "speedup_vs_sequential" ]
           | None -> check "workload.parallel" false);
-          if version >= 2 then
-            match Json.member "streamed" w with
+          (if version >= 2 then
+             match Json.member "streamed" w with
+             | Some s ->
+                 List.iter (require_num "streamed" s)
+                   [ "jobs"; "wall_seconds"; "events_per_sec"; "peak_words_delta" ]
+             | None -> check "workload.streamed" false);
+          if version >= 3 then
+            match Json.member "sharded" w with
             | Some s ->
-                List.iter (require_num "streamed" s)
-                  [ "jobs"; "wall_seconds"; "events_per_sec"; "peak_words_delta" ]
-            | None -> check "workload.streamed" false)
+                List.iter (require_num "sharded" s)
+                  [
+                    "chunk_events";
+                    "chunks";
+                    "sequential_seconds";
+                    "parallel_seconds";
+                    "speedup_vs_sequential";
+                  ]
+            | None -> check "workload.sharded" false)
         ws
   | _ -> check "workloads (non-empty list)" false);
   (if version >= 2 then

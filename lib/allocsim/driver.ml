@@ -240,11 +240,29 @@ let run_source_impl ?cache ?predictor (src : Lp_trace.Source.t)
     extra = B.extra b;
   }
 
-let run_source ?cache ?predictor src ((module B : Backend.BACKEND) as backend) =
+let run_source ?cache ?predictor ?(decode_ahead = false) src
+    ((module B : Backend.BACKEND) as backend) =
   let t0 = Lp_obs.Timings.now () in
-  let m = run_source_impl ?cache ?predictor src backend in
+  (* the replay loop below drains to [None] (or dies with the decode
+     error), satisfying [decode_ahead]'s must-drain contract *)
+  let piped = if decode_ahead then Lp_trace.Source.decode_ahead src else src in
+  let m =
+    match run_source_impl ?cache ?predictor piped backend with
+    | m -> m
+    | exception e ->
+        (* a replay validation error abandons the stream mid-way; drain
+           the wrapper so the producer domain retires before we re-raise *)
+        let bt = Printexc.get_raw_backtrace () in
+        if decode_ahead then
+          (try
+             while Lp_trace.Source.next piped <> None do
+               ()
+             done
+           with _ -> ());
+        Printexc.raise_with_backtrace e bt
+  in
   Lp_obs.Timings.record
     ~stage:("replay/" ^ B.name)
-    ~items:(Lp_trace.Source.events_streamed src)
+    ~items:(Lp_trace.Source.events_streamed piped)
     (Lp_obs.Timings.now () -. t0);
   m

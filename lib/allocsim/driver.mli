@@ -61,6 +61,7 @@ val run_named :
 val run_source :
   ?cache:Cache.t ->
   ?predictor:predictor ->
+  ?decode_ahead:bool ->
   Lp_trace.Source.t ->
   Backend.t ->
   Metrics.t
@@ -72,4 +73,10 @@ val run_source :
     above the final object count cannot be detected mid-stream (the
     count is only known at exhaustion); such events surface as
     never-allocated frees or pass through as touches.  The source is
-    consumed; a fresh source is needed per replay. *)
+    consumed; a fresh source is needed per replay.
+
+    [decode_ahead] (default false) pipelines the replay: decoding moves
+    to a second domain running ahead of the simulation through
+    {!Lp_trace.Source.decode_ahead}, overlapping the two stages.  The
+    replay per heap stays sequential — metrics are identical either
+    way. *)

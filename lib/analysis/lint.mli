@@ -57,5 +57,43 @@ val run_source :
     water mark, never the event count.  Diagnostics are identical to
     {!run} on the materialized equivalent.  The source is consumed. *)
 
+(** {1 Sharded linting}
+
+    The linter's state machine restarts mid-trace from a sharded range's
+    carry-in set, so one trace lints range-parallel: every in-range
+    diagnostic is emitted with the exact absolute indices and messages
+    of the sequential pass, and the two cross-range rules stitch at the
+    merge — [chain-anomaly] dedups to the globally first use,
+    [leaked-at-exit] fires from the overlaid end-of-trace state. *)
+
+type range_report
+
+val run_range :
+  ?only:string list ->
+  ?disable:string list ->
+  ?max_chain_depth:int ->
+  Lp_trace.Sharded.range ->
+  range_report
+(** Lint one chunk range; safe to call on any domain. *)
+
+val merge_ranges :
+  ?only:string list ->
+  ?disable:string list ->
+  Lp_trace.Sharded.t ->
+  range_report list ->
+  Diagnostic.t list
+(** Merge a covering partition's reports (in range order).  Identical to
+    {!run_source} over the whole trace. *)
+
+val run_sharded :
+  ?domains:int ->
+  ?only:string list ->
+  ?disable:string list ->
+  ?max_chain_depth:int ->
+  Lp_trace.Sharded.t ->
+  Diagnostic.t list
+(** {!run_range} over the domain pool ({!Lifetime.Parallel.map_chunks})
+    plus {!merge_ranges}. *)
+
 val clean : Diagnostic.t list -> bool
 (** No error-severity diagnostics ([lpalloc lint]'s exit-0 predicate). *)

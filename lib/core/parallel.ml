@@ -93,6 +93,26 @@ let map ?domains f xs =
 
 let all ?domains thunks = map ?domains (fun f -> f ()) thunks
 
+(* Split [n_chunks] contiguous chunks into at most [domains] balanced
+   ranges and run [f ~first ~count] over them concurrently.  Results come
+   back in range order, so a deterministic merge over them reproduces the
+   sequential left-to-right fold exactly — this is the fan-out under the
+   sharded (.lpt v3) single-trace replay. *)
+let map_chunks ?domains ~n_chunks f =
+  if n_chunks < 0 then invalid_arg "Parallel.map_chunks: negative chunk count";
+  let wanted =
+    max 1 (match domains with Some d -> max 1 d | None -> default_domains ())
+  in
+  let k = max 1 (min wanted n_chunks) in
+  let base = n_chunks / k and extra = n_chunks mod k in
+  let ranges =
+    List.init (min k n_chunks) (fun i ->
+        let first = (i * base) + min i extra in
+        let count = base + if i < extra then 1 else 0 in
+        (first, count))
+  in
+  map ?domains (fun (first, count) -> f ~first ~count) ranges
+
 (* Streaming fan-out: each job opens its own cursor via [make] at the
    moment it is scheduled onto a domain, so concurrent jobs never share
    mutable stream state and per-domain memory is bounded by one stream —
@@ -100,14 +120,24 @@ let all ?domains thunks = map ?domains (fun f -> f ()) thunks
    Jobs are deterministic given a fresh cursor, so results are identical
    to running them sequentially in list order.
 
-   The [Gc.full_major] before each cursor open keeps the sequential
+   The [Gc.full_major] before each cursor open keeps the *sequential*
    (one-domain) fan-out's high-water mark one-job-sized: OCaml's
    [top_heap_words] is monotonic, so without it each job's replay arrays
    would stack on the previous job's uncollected garbage and the
-   bounded-memory guarantee of streaming would erode with job count. *)
+   bounded-memory guarantee of streaming would erode with job count.
+   It must stay conditional on actually running sequentially: in the
+   multi-domain path a full major per job is a stop-the-world barrier
+   that serializes the whole pool. *)
 let map_sources ?domains make fs =
+  let wanted =
+    match domains with Some d -> max 1 d | None -> default_domains ()
+  in
+  let sequential =
+    wanted <= 1 || List.compare_length_with fs 1 <= 0
+    || Domain.DLS.get inside_pool
+  in
   map ?domains
     (fun f ->
-      Gc.full_major ();
+      if sequential then Gc.full_major ();
       f (make ()))
     fs

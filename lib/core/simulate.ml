@@ -89,7 +89,7 @@ let run ?(allocators = default_allocators) ?(wrap = fun b -> b)
    the fan-out is byte-identical to sequential and to the materialized
    [run]. *)
 let run_streamed ?(allocators = default_allocators) ?(wrap = fun b -> b)
-    ~(config : Config.t) ~(predictor : Predictor.t)
+    ?(decode_ahead = false) ~(config : Config.t) ~(predictor : Predictor.t)
     ~(source : unit -> Lp_trace.Source.t) () : t =
   let arena_config = Config.arena_config config in
   (* The CCE pricing needs the stream's call and object totals before any
@@ -117,7 +117,7 @@ let run_streamed ?(allocators = default_allocators) ?(wrap = fun b -> b)
              job's own source, for a private memo table *)
           let with_cost predict_cost (src : Lp_trace.Source.t) =
             let predicted = Predictor.for_source predictor src in
-            Lp_allocsim.Driver.run_source
+            Lp_allocsim.Driver.run_source ~decode_ahead
               ~predictor:{ Lp_allocsim.Driver.predicted; predict_cost }
               src backend
           in
@@ -127,7 +127,9 @@ let run_streamed ?(allocators = default_allocators) ?(wrap = fun b -> b)
           ]
         else
           [
-            (canonical, fun src -> Lp_allocsim.Driver.run_source src backend);
+            ( canonical,
+              fun src -> Lp_allocsim.Driver.run_source ~decode_ahead src backend
+            );
           ])
       allocators
   in

@@ -124,6 +124,65 @@ let collect_source ?(config = Config.default) (src : Lp_trace.Source.t) :
     n_objects = src.Lp_trace.Source.n_objects_now ();
   }
 
+(* Sharded training: each range derives the site of its allocations —
+   the expensive per-event work, [Site.make] hashes a call chain — inside
+   the parallel section, riding on [Lifetimes.fold_range] for the
+   lifetime state.  The merge builds the table in global allocation
+   order, so entries, insertion order and per-site statistics are
+   identical to [collect_source] over the whole stream. *)
+type range_collected = {
+  rc_sites : Site.t array;  (** one per allocation, range event order *)
+  rc_fold : Lp_trace.Lifetimes.range_fold;
+}
+
+let collect_range ?(config = Config.default) (rg : Lp_trace.Sharded.range) =
+  let sites = ref [] in
+  let fold =
+    Lp_trace.Lifetimes.fold_range
+      ~on_alloc:(fun src ~size ~chain ~key ->
+        sites :=
+          Site.make config.policy
+            ~raw_chain:(src.Lp_trace.Source.chain chain)
+            ~key ~size
+          :: !sites)
+      rg
+  in
+  { rc_sites = Array.of_list (List.rev !sites); rc_fold = fold }
+
+let merge_ranges ?(config = Config.default) (sh : Lp_trace.Sharded.t) parts :
+    streamed =
+  let hdr = Lp_trace.Sharded.header sh in
+  let resolved =
+    Lp_trace.Lifetimes.resolve (List.map (fun p -> p.rc_fold) parts)
+  in
+  let table : site_table = Site.Table.create 256 in
+  List.iter
+    (fun p ->
+      Array.iteri
+        (fun i site ->
+          let obj = p.rc_fold.Lp_trace.Lifetimes.rf_a_obj.(i) in
+          let size = p.rc_fold.Lp_trace.Lifetimes.rf_a_size.(i) in
+          let stats =
+            match Site.Table.find_opt table site with
+            | Some s -> s
+            | None ->
+                let s = Site_stats.create () in
+                Site.Table.add table site s;
+                s
+          in
+          let surv = Lp_trace.Lifetimes.resolved_survived resolved obj in
+          let lt = Lp_trace.Lifetimes.resolved_lifetime resolved obj in
+          let short = (not surv) && lt < config.short_lived_threshold in
+          Site_stats.observe stats ~size ~lifetime:lt ~survived:surv ~short
+            ~refs:hdr.Lp_trace.Binio.obj_refs.(obj))
+        p.rc_sites)
+    parts;
+  {
+    table;
+    end_clock = Lp_trace.Lifetimes.resolved_end_clock resolved;
+    n_objects = hdr.Lp_trace.Binio.n_objects;
+  }
+
 let total_sites (table : site_table) = Site.Table.length table
 
 let fold table init f = Site.Table.fold f table init

@@ -41,15 +41,73 @@
     produces — are still written as version 1, byte-identical to older
     writers; readers accept both versions.
 
+    {b Version 3 — the sharded layout.}  [.lpt] v3 (written only on
+    request, by {!to_string_v3}/{!output_v3}) splits the event stream
+    into fixed-size chunks for seeking and data-parallel replay:
+
+    {v
+    "LPTB" 0x03
+    program input
+    instructions calls heap-refs total-refs
+    n-objects obj-ref ...
+    n-events chunk-events n-chunks
+    chunk ...                        -- n-chunks times
+    n-chunks {offset first-event n-events next-obj start-clock
+              zigzag-live-bytes zigzag-live-objs} ...
+                                     -- the footer index
+    footer-offset                    -- 8-byte fixed little-endian
+    0xE5
+    v}
+
+    where each chunk is
+
+    {v
+    n-new-funcs  name ...            -- interned-table prefix extensions
+    n-new-chains {len func-id ...} ...
+    n-new-tags   name ...
+    n-new-sites  {chain zigzag-key zigzag-tag} ...
+    n-carry {obj-delta size alloc-event alloc-chain birth-clock
+             freed-at+1} ...         -- carry-in set, ascending objects
+    n-chunk-events event ...         -- delta state reset per chunk
+    v}
+
+    Tables are extended per chunk in the same global id order as v1/v2
+    (each chunk carries only what first becomes needed there; the last
+    chunk tops every table up to full length), so converting v2 -> v3 ->
+    v2 is byte-identical.  The carry-in set snapshots the pre-chunk
+    replay state (last-alloc size/event/chain, birth clock, first-free
+    event; [freed-at+1 = 0] means live) of every already-born object the
+    chunk references, which is what lets a mid-trace fold continue the
+    sequential state machines.  The footer records each chunk's byte
+    offset, event range and entry-time replay counters; its own offset
+    sits in a fixed-width slot before the end marker so a seeking reader
+    finds it from the file tail in O(1).  Sequential readers never need
+    the footer, so v3 still streams from a pipe.  v1/v2 files remain
+    readable unchanged.
+
     Compared with {!Textio} this is typically >5x smaller and an order of
-    magnitude faster to load.  {!Io} auto-detects the two formats by the
+    magnitude faster to load.  {!Io} auto-detects text vs binary by the
     magic bytes. *)
 
 val magic : string
 (** ["LPTB"], the first four bytes of every binary trace. *)
 
+val version_sharded : int
+(** [3], the version byte of the sharded layout. *)
+
+val default_chunk_events : int
+(** Default events per chunk of {!to_string_v3} (2{^18}). *)
+
 val output : out_channel -> Trace.t -> unit
 val to_string : Trace.t -> string
+
+val output_v3 : ?chunk_events:int -> out_channel -> Trace.t -> unit
+(** Write the sharded (version 3) layout.  [chunk_events] is the events
+    per chunk ({!default_chunk_events}); smaller chunks seek finer and
+    parallelize shorter traces, larger chunks compress deltas better.
+    @raise Invalid_argument if [chunk_events < 1]. *)
+
+val to_string_v3 : ?chunk_events:int -> Trace.t -> string
 
 val input : ?name:string -> in_channel -> Trace.t
 (** @raise Failure on malformed input, with [name] (default ["<trace>"])
@@ -73,18 +131,18 @@ val big_of_string : string -> bytes_view
 
 (** {1 Incremental decoding}
 
-    The format is streaming-friendly: every interned table and the
-    execution counters precede the event stream, so a {!decoder} exposes
-    the complete {!header} up front and then yields events one at a time
-    without building the [Trace.t] event array.  {!Source.of_file} is
-    built on this. *)
+    The format is streaming-friendly: the execution counters (and, for
+    v1/v2, the complete interned tables) precede the event stream, so a
+    {!decoder} exposes the {!header} up front and then yields events one
+    at a time without building the [Trace.t] event array.  The interned
+    tables live on the decoder and — in a v3 stream — grow at chunk
+    boundaries, honouring the {!Source} interning contract: any id
+    carried by an already-yielded event resolves, and the counts are
+    monotone.  {!Source.of_file} is built on this. *)
 
 type header = {
   program : string;
   input : string;
-  funcs : Lp_callchain.Func.table;
-  chains : Lp_callchain.Chain.t array;
-  tags : string array;
   instructions : int;
   calls : int;
   heap_refs : int;
@@ -97,14 +155,102 @@ type header = {
 type decoder
 
 val decoder : ?name:string -> bytes_view -> decoder
-(** Decode the header (validating the interned tables exactly as
-    {!of_bigarray} does) and position the cursor at the first event.
+(** Decode the header (for v1/v2, validating the interned tables exactly
+    as {!of_bigarray} does) and position the cursor at the first event.
     @raise Failure on malformed input, with [name] and byte offset. *)
 
 val header : decoder -> header
 
 val decode_next : decoder -> Event.t option
 (** The next event, or [None] after the last.  The first [None] also
-    checks the end marker and rejects trailing bytes, so a fully drained
-    decoder has validated the same properties as a batch decode.
+    checks the end marker (and, for v3, that the footer index agrees
+    with the chunks walked) and rejects trailing bytes, so a fully
+    drained decoder has validated the same properties as a batch decode.
     @raise Failure on malformed input. *)
+
+val decoder_version : decoder -> int
+
+val decoder_funcs : decoder -> Lp_callchain.Func.table
+(** The interned tables as currently known; for a v1/v2 decoder they are
+    complete from the start, for a sequential v3 decoder they grow as
+    chunk boundaries pass. *)
+
+val decoder_chain : decoder -> int -> Lp_callchain.Chain.t
+val decoder_n_chains : decoder -> int
+val decoder_tag : decoder -> int -> string
+val decoder_n_tags : decoder -> int
+
+(** {1 The seekable index over a v3 buffer}
+
+    {!index} locates the footer through its fixed-width tail pointer and
+    loads every chunk's table deltas and carry-in set {i without
+    decoding any events}.  The resulting value is immutable, so
+    {!range_decoder}s opened over it can run on separate domains sharing
+    the one buffer and table set — the substrate of sharded replay. *)
+
+type carry = {
+  cr_obj : int;
+  cr_size : int;  (** size of the object's last pre-chunk allocation *)
+  cr_alloc_event : int;  (** event index of that allocation *)
+  cr_alloc_chain : int;  (** chain id of that allocation *)
+  cr_birth_clock : int;  (** allocation clock just before it *)
+  cr_freed_at : int;  (** event index of the object's first free, -1 live *)
+}
+
+type chunk_info = {
+  ch_offset : int;  (** absolute byte offset of the chunk *)
+  ch_first_event : int;
+  ch_n_events : int;
+  ch_next_obj : int;  (** next expected (dense-birth) object id at entry *)
+  ch_start_clock : int;  (** bytes allocated before the chunk *)
+  ch_live_bytes : int;  (** live bytes at chunk entry *)
+  ch_live_objs : int;  (** live objects at chunk entry *)
+}
+
+type indexed
+
+val index : ?name:string -> bytes_view -> indexed
+(** @raise Failure on malformed input, or if the buffer is a v1/v2 trace
+    (which have no index; convert with {!to_string_v3} first). *)
+
+val indexed_header : indexed -> header
+val indexed_name : indexed -> string
+val indexed_chunk_events : indexed -> int
+val indexed_chunks : indexed -> chunk_info array
+
+val indexed_carry : indexed -> int -> carry array
+(** The carry-in set of one chunk, ascending object ids. *)
+
+val indexed_funcs : indexed -> Lp_callchain.Func.table
+val indexed_chain : indexed -> int -> Lp_callchain.Chain.t
+val indexed_n_chains : indexed -> int
+val indexed_tag : indexed -> int -> string
+val indexed_n_tags : indexed -> int
+
+(** {1 Wire primitives}
+
+    The varint/zigzag codec at string granularity, exposed for the
+    property suite: [zigzag]/[unzigzag] are a bijection on the full
+    native int range (including [min_int]/[max_int]), [varint] is the
+    unsigned encoding (negative values rejected on both sides), and
+    [varint_bits] carries raw bit patterns — negative ints included —
+    as an unsigned [Sys.int_size]-bit quantity.  Decoders raise
+    [Failure] on overlong or overflowing encodings and on trailing
+    bytes. *)
+module Wire : sig
+  val zigzag : int -> int
+  val unzigzag : int -> int
+  val varint_to_string : int -> string
+  val varint_of_string : string -> int
+  val varint_bits_to_string : int -> string
+  val varint_bits_of_string : string -> int
+  val zigzag_to_string : int -> string
+  val zigzag_of_string : string -> int
+end
+
+val range_decoder : indexed -> first:int -> count:int -> decoder
+(** A fresh decoder over the chunk range [\[first, first+count)]: yields
+    exactly those chunks' events, with the complete tables visible from
+    the start.  Cheap (no per-range parsing); any number may be open at
+    once, including on different domains.
+    @raise Invalid_argument on a bad range. *)

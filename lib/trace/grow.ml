@@ -9,9 +9,19 @@ let length t = t.len
    logical length never needs a fill pass. *)
 let ensure t n =
   if n > Array.length t.data then begin
+    (* The doubling must clamp at [Sys.max_array_length]: a plain
+       [cap := 2 * !cap] wraps negative for huge [n], escapes the loop
+       and dies inside [Array.make] with a context-free error. *)
+    if n > Sys.max_array_length then
+      failwith
+        (Printf.sprintf
+           "Grow.ensure: requested length %d exceeds Sys.max_array_length (%d)"
+           n Sys.max_array_length);
     let cap = ref (Array.length t.data) in
     while n > !cap do
-      cap := 2 * !cap
+      cap :=
+        if !cap >= Sys.max_array_length / 2 then Sys.max_array_length
+        else 2 * !cap
     done;
     let grown = Array.make !cap t.default in
     Array.blit t.data 0 grown 0 t.len;

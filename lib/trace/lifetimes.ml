@@ -83,6 +83,137 @@ let summary_source ~threshold (src : Source.t) =
   done;
   { hist; short_bytes = !short; total_alloc_bytes = !total }
 
+(* The range quarter of [summary_source]: replay one sharded chunk range
+   seeded with its carry-in birth clocks and the absolute allocation
+   clock, recording the range's allocations (in order) and, per object
+   the range wrote, the range-final birth/lifetime/survival values.
+   Applying the folds of a covering partition in range order ([resolve])
+   reconstructs exactly the arrays the sequential pass ends with, because
+   each fold's end values equal the sequential machine's state at that
+   point of the stream: births are absolute clocks (seeded from
+   [rg_start_clock]), a free's lifetime subtracts either an in-range
+   birth or the carried pre-range birth clock, and later ranges overwrite
+   earlier ones just as later events overwrite earlier ones. *)
+type range_fold = {
+  rf_a_obj : int array;
+  rf_a_size : int array;
+  rf_touched : int array;
+  rf_born : int array;
+  rf_birth : int array;
+  rf_freed : int array;
+  rf_life : int array;
+  rf_end_clock : int;
+}
+
+let fold_range ?on_alloc (rg : Sharded.range) =
+  let src = Sharded.range_source rg in
+  let hint = max 64 (Array.length rg.Sharded.rg_carry) in
+  let a_obj = Grow.create 1024 in
+  let a_size = Grow.create 1024 in
+  let birth = Grow.create hint in
+  let born = Grow.create hint in
+  let freed = Grow.create hint in
+  let life = Grow.create hint in
+  let touched = Grow.create 256 in
+  let stamp = Grow.create hint in
+  let touch obj =
+    if Grow.get stamp obj = 0 then begin
+      Grow.set stamp obj 1;
+      Grow.push touched obj
+    end
+  in
+  Array.iter
+    (fun (cr : Binio.carry) ->
+      Grow.set birth cr.Binio.cr_obj cr.Binio.cr_birth_clock)
+    rg.Sharded.rg_carry;
+  let clock = ref rg.Sharded.rg_start_clock in
+  Source.iter
+    (function
+      | Event.Alloc { obj; size; chain; key; _ } ->
+          (match on_alloc with
+          | Some f -> f src ~size ~chain ~key
+          | None -> ());
+          Grow.push a_obj obj;
+          Grow.push a_size size;
+          touch obj;
+          Grow.set born obj 1;
+          Grow.set birth obj !clock;
+          clock := !clock + size
+      | Event.Free { obj; _ } ->
+          touch obj;
+          Grow.set freed obj 1;
+          Grow.set life obj (!clock - Grow.get birth obj)
+      | Event.Touch _ -> ())
+    src;
+  let touched = Grow.to_array touched in
+  {
+    rf_a_obj = Grow.to_array a_obj;
+    rf_a_size = Grow.to_array a_size;
+    rf_touched = touched;
+    rf_born = Array.map (Grow.get born) touched;
+    rf_birth = Array.map (Grow.get birth) touched;
+    rf_freed = Array.map (Grow.get freed) touched;
+    rf_life = Array.map (Grow.get life) touched;
+    rf_end_clock = !clock;
+  }
+
+(* final per-object state after applying a covering partition's folds in
+   range order; growable so corrupt traces with out-of-range object ids
+   degrade exactly like the sequential pass instead of crashing *)
+type resolved = {
+  rv_birth : Grow.t;
+  rv_life : Grow.t;
+  rv_surv : Grow.t;
+  rv_end_clock : int;
+}
+
+let resolve folds =
+  let birth = Grow.create 1024 in
+  let life = Grow.create 1024 in
+  let surv = Grow.create ~default:1 1024 in
+  let end_clock =
+    List.fold_left (fun _ f -> f.rf_end_clock) 0 folds
+  in
+  List.iter
+    (fun f ->
+      Array.iteri
+        (fun i obj ->
+          if f.rf_born.(i) = 1 then Grow.set birth obj f.rf_birth.(i);
+          if f.rf_freed.(i) = 1 then begin
+            Grow.set life obj f.rf_life.(i);
+            Grow.set surv obj 0
+          end)
+        f.rf_touched)
+    folds;
+  { rv_birth = birth; rv_life = life; rv_surv = surv; rv_end_clock = end_clock }
+
+let resolved_survived r obj = Grow.get r.rv_surv obj = 1
+
+let resolved_lifetime r obj =
+  if resolved_survived r obj then r.rv_end_clock - Grow.get r.rv_birth obj
+  else Grow.get r.rv_life obj
+
+let resolved_end_clock r = r.rv_end_clock
+
+let merge_summaries ~threshold folds =
+  let r = resolve folds in
+  let hist = Lp_quantile.Histogram.create () in
+  let short = ref 0 and total = ref 0 in
+  List.iter
+    (fun f ->
+      Array.iteri
+        (fun i obj ->
+          let size = f.rf_a_size.(i) in
+          let surv = resolved_survived r obj in
+          let lt = resolved_lifetime r obj in
+          Lp_quantile.Histogram.observe_weighted hist ~weight:size
+            (float_of_int lt);
+          total := !total + size;
+          if (not surv) && lt < threshold then short := !short + size)
+        f.rf_a_obj)
+    folds;
+  { hist; short_bytes = !short; total_alloc_bytes = !total }
+
 let max_live (trace : Trace.t) =
   let sizes = Array.make trace.n_objects 0 in
   let live_bytes = ref 0 and live_objs = ref 0 in

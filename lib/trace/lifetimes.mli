@@ -41,6 +41,53 @@ val summary_source : threshold:int -> Source.t -> summary
     fed in allocation order so its quartiles are identical to the
     materialized path's.  The source is consumed. *)
 
+(** {1 Sharded replay}
+
+    A {!range_fold} is the per-range quarter of {!summary_source}: one
+    range of a sharded trace replayed with absolute clocks (seeded from
+    the range's entry counters and carry-in birth clocks), keeping the
+    range's allocation records plus the range-final lifetime state of
+    every object the range wrote.  For a covering partition of the
+    trace, {!resolve} applies the folds in range order and ends with
+    exactly the sequential pass's final per-object state, so
+    {!merge_summaries} reproduces {!summary_source} — including the
+    histogram's internal state, because the deferred observations happen
+    in the same global allocation order. *)
+
+type range_fold = {
+  rf_a_obj : int array;  (** objects of the range's allocs, event order *)
+  rf_a_size : int array;
+  rf_touched : int array;  (** objects whose state the range wrote *)
+  rf_born : int array;  (** 1 iff allocated in the range (per touched) *)
+  rf_birth : int array;  (** last in-range birth clock (absolute) *)
+  rf_freed : int array;  (** 1 iff freed in the range (per touched) *)
+  rf_life : int array;  (** last in-range free's lifetime *)
+  rf_end_clock : int;  (** absolute clock after the range's last event *)
+}
+
+val fold_range :
+  ?on_alloc:(Source.t -> size:int -> chain:int -> key:int -> unit) ->
+  Sharded.range ->
+  range_fold
+(** Replay one range.  [on_alloc] is called at each allocation event
+    before state updates (the trainer derives sites there, keeping the
+    expensive work inside the parallel section). *)
+
+type resolved
+(** Final per-object lifetime state of a covering partition. *)
+
+val resolve : range_fold list -> resolved
+(** Apply folds in range order (the caller passes them in range order —
+    {!Sharded.range} order, as a covering partition of the trace). *)
+
+val resolved_survived : resolved -> int -> bool
+val resolved_lifetime : resolved -> int -> int
+val resolved_end_clock : resolved -> int
+
+val merge_summaries : threshold:int -> range_fold list -> summary
+(** Identical to {!summary_source} over the whole trace when the folds
+    cover it in order. *)
+
 val max_live : Trace.t -> int * int
 (** [(max_bytes, max_objects)] — the largest numbers of bytes and of objects
     simultaneously alive at any point (Table 2's "Maximum Bytes/Objects").

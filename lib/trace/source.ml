@@ -19,6 +19,9 @@ type t = {
   refs_of : int -> int;
   n_objects_now : unit -> int;
   next_ev : unit -> Event.t option;
+  seek_to : (int -> unit) option;
+      (** reposition so the next event yielded is the given index *)
+  sub_range : (first:int -> count:int -> t) option;
   mutable streamed : int;
   mutable finished : bool;
 }
@@ -66,16 +69,29 @@ let n_objects t =
     invalid_arg "Source.n_objects: source not yet drained";
   t.n_objects_now ()
 
+let not_seekable what =
+  invalid_arg
+    (Printf.sprintf
+       "Source.%s: source is not seekable (in-memory traces and sharded .lpt \
+        v3 files only)"
+       what)
+
+let seek t i = match t.seek_to with Some f -> f i | None -> not_seekable "seek"
+
+let sub t ~first ~count =
+  match t.sub_range with
+  | Some f -> f ~first ~count
+  | None -> not_seekable "sub"
+
 (* -- in-memory trace ----------------------------------------------------------- *)
 
-let of_trace (tr : Trace.t) =
+let rec of_trace_range (tr : Trace.t) ~base ~len =
   let pos = ref 0 in
-  let n = Array.length tr.Trace.events in
   {
     program = tr.Trace.program;
     input = tr.Trace.input;
     n_objects_hint = Some tr.Trace.n_objects;
-    n_events_hint = Some n;
+    n_events_hint = Some len;
     funcs = (fun () -> tr.Trace.funcs);
     chain = (fun id -> tr.Trace.chains.(id));
     n_chains = (fun () -> Array.length tr.Trace.chains);
@@ -94,15 +110,31 @@ let of_trace (tr : Trace.t) =
     n_objects_now = (fun () -> tr.Trace.n_objects);
     next_ev =
       (fun () ->
-        if !pos >= n then None
+        if !pos >= len then None
         else begin
-          let e = tr.Trace.events.(!pos) in
+          let e = tr.Trace.events.(base + !pos) in
           incr pos;
           Some e
         end);
+    seek_to =
+      Some
+        (fun i ->
+          if i < 0 || i > len then
+            invalid_arg (Printf.sprintf "Source.seek: index %d out of range" i);
+          pos := i);
+    sub_range =
+      Some
+        (fun ~first ~count ->
+          if first < 0 || count < 0 || first + count > len then
+            invalid_arg
+              (Printf.sprintf "Source.sub: range %d+%d out of range" first count);
+          of_trace_range tr ~base:(base + first) ~len:count);
     streamed = 0;
     finished = false;
   }
+
+let of_trace (tr : Trace.t) =
+  of_trace_range tr ~base:0 ~len:(Array.length tr.Trace.events)
 
 (* -- binary decoder ------------------------------------------------------------ *)
 
@@ -113,11 +145,11 @@ let of_decoder d =
     input = h.Binio.input;
     n_objects_hint = Some h.Binio.n_objects;
     n_events_hint = Some h.Binio.n_events;
-    funcs = (fun () -> h.Binio.funcs);
-    chain = (fun id -> h.Binio.chains.(id));
-    n_chains = (fun () -> Array.length h.Binio.chains);
-    tag = (fun id -> h.Binio.tags.(id));
-    n_tags = (fun () -> Array.length h.Binio.tags);
+    funcs = (fun () -> Binio.decoder_funcs d);
+    chain = (fun id -> Binio.decoder_chain d id);
+    n_chains = (fun () -> Binio.decoder_n_chains d);
+    tag = (fun id -> Binio.decoder_tag d id);
+    n_tags = (fun () -> Binio.decoder_n_tags d);
     counters_now =
       (fun () ->
         Some
@@ -130,9 +162,91 @@ let of_decoder d =
     refs_of = (fun obj -> h.Binio.obj_refs.(obj));
     n_objects_now = (fun () -> h.Binio.n_objects);
     next_ev = (fun () -> Binio.decode_next d);
+    seek_to = None;
+    sub_range = None;
     streamed = 0;
     finished = false;
   }
+
+(* -- seekable index over a sharded (v3) buffer --------------------------------- *)
+
+(* The window [base, base+len) of an indexed trace.  Seeking opens a
+   fresh range decoder at the chunk containing the target event and
+   discards into it — at most one chunk's worth of decode per seek. *)
+let rec of_indexed_window (ix : Binio.indexed) ~base ~len =
+  let h = Binio.indexed_header ix in
+  let chunks = Binio.indexed_chunks ix in
+  let n_chunks = Array.length chunks in
+  let chunk_of_event i =
+    (* greatest chunk whose first event is <= i *)
+    let lo = ref 0 and hi = ref (n_chunks - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi + 1) / 2 in
+      if chunks.(mid).Binio.ch_first_event <= i then lo := mid else hi := mid - 1
+    done;
+    !lo
+  in
+  let open_at i =
+    let c = chunk_of_event i in
+    let d = Binio.range_decoder ix ~first:c ~count:(n_chunks - c) in
+    for _ = 1 to i - chunks.(c).Binio.ch_first_event do
+      ignore (Binio.decode_next d)
+    done;
+    d
+  in
+  let d = ref (open_at base) in
+  let remaining = ref len in
+  {
+    program = h.Binio.program;
+    input = h.Binio.input;
+    n_objects_hint = Some h.Binio.n_objects;
+    n_events_hint = Some len;
+    funcs = (fun () -> Binio.indexed_funcs ix);
+    chain = (fun id -> Binio.indexed_chain ix id);
+    n_chains = (fun () -> Binio.indexed_n_chains ix);
+    tag = (fun id -> Binio.indexed_tag ix id);
+    n_tags = (fun () -> Binio.indexed_n_tags ix);
+    counters_now =
+      (fun () ->
+        Some
+          {
+            instructions = h.Binio.instructions;
+            calls = h.Binio.calls;
+            heap_refs = h.Binio.heap_refs;
+            total_refs = h.Binio.total_refs;
+          });
+    refs_of = (fun obj -> h.Binio.obj_refs.(obj));
+    n_objects_now = (fun () -> h.Binio.n_objects);
+    next_ev =
+      (fun () ->
+        if !remaining <= 0 then None
+        else
+          match Binio.decode_next !d with
+          | Some _ as ev ->
+              decr remaining;
+              ev
+          | None -> None);
+    seek_to =
+      Some
+        (fun i ->
+          if i < 0 || i > len then
+            invalid_arg (Printf.sprintf "Source.seek: index %d out of range" i);
+          d := open_at (base + i);
+          remaining := len - i);
+    sub_range =
+      Some
+        (fun ~first ~count ->
+          if first < 0 || count < 0 || first + count > len then
+            invalid_arg
+              (Printf.sprintf "Source.sub: range %d+%d out of range" first count);
+          of_indexed_window ix ~base:(base + first) ~len:count);
+    streamed = 0;
+    finished = false;
+  }
+
+let of_indexed ix =
+  of_indexed_window ix ~base:0
+    ~len:(Binio.indexed_header ix).Binio.n_events
 
 (* -- text stream --------------------------------------------------------------- *)
 
@@ -156,6 +270,8 @@ let of_text_stream (s : Textio.stream) =
     refs_of = s.Textio.s_refs;
     n_objects_now = s.Textio.s_n_objects;
     next_ev = s.Textio.s_next;
+    seek_to = None;
+    sub_range = None;
     streamed = 0;
     finished = false;
   }
@@ -190,7 +306,12 @@ let of_file path =
          && String.equal (String.init 4 (Bigarray.Array1.get buf)) Binio.magic
     ->
       Lp_obs.Timings.count "trace.bytes_read" (Bigarray.Array1.dim buf);
-      of_decoder (Binio.decoder ~name:path buf)
+      (* a sharded (v3) map gets the seekable face; v1/v2 stream linearly *)
+      if
+        Bigarray.Array1.dim buf >= 5
+        && Char.code (Bigarray.Array1.get buf 4) = Binio.version_sharded
+      then of_indexed (Binio.index ~name:path buf)
+      else of_decoder (Binio.decoder ~name:path buf)
   | _ -> (
       match Io.format_for_path path with
       | Io.Binary ->
@@ -325,6 +446,119 @@ let of_generator ~program ~input produce =
     refs_of = (fun obj -> (view ()).Trace.Builder.refs_of obj);
     n_objects_now = (fun () -> (view ()).Trace.Builder.n_objects_so_far ());
     next_ev;
+    seek_to = None;
+    sub_range = None;
     streamed = 0;
     finished = false;
   }
+
+(* -- decode-ahead pipeline ----------------------------------------------------- *)
+
+type ahead_item =
+  | Batch of Event.t array
+  | Ahead_done
+  | Ahead_failed of exn * Printexc.raw_backtrace
+
+(* A second domain drains [inner] into bounded batches; the returned
+   source yields the identical event sequence.  Table lookups delegate
+   to [inner], which is safe for ids carried by already-yielded events:
+   the producer appends table entries before enqueuing the batch, and
+   the queue's mutex gives the consumer a happens-before on them.
+   Intended for file-backed sources (generator sources run their
+   producer effect on the pipeline domain, so their view must not be
+   consulted concurrently — wrap those only if lookups happen after
+   exhaustion).  The returned source must be drained (or the error it
+   raises reached): abandoning it mid-stream leaves the pipeline domain
+   blocked on the full queue. *)
+let decode_ahead ?(batch = 4096) ?(slots = 8) (inner : t) : t =
+  if batch < 1 || slots < 1 then
+    invalid_arg "Source.decode_ahead: batch and slots must be positive";
+  let m = Mutex.create () in
+  let nonempty = Condition.create () in
+  let nonfull = Condition.create () in
+  let q : ahead_item Queue.t = Queue.create () in
+  let push item =
+    Mutex.lock m;
+    while Queue.length q >= slots do
+      Condition.wait nonfull m
+    done;
+    Queue.push item q;
+    Condition.signal nonempty;
+    Mutex.unlock m
+  in
+  let pop () =
+    Mutex.lock m;
+    while Queue.is_empty q do
+      Condition.wait nonempty m
+    done;
+    let item = Queue.pop q in
+    Condition.signal nonfull;
+    Mutex.unlock m;
+    item
+  in
+  let producer () =
+    let dummy = Event.Free { obj = -1; size = -1 } in
+    let buf = Array.make batch dummy in
+    let n = ref 0 in
+    let flush () =
+      if !n > 0 then begin
+        let arr = Array.sub buf 0 !n in
+        n := 0;
+        push (Batch arr)
+      end
+    in
+    let rec go () =
+      match inner.next_ev () with
+      | Some e ->
+          buf.(!n) <- e;
+          incr n;
+          if !n = batch then flush ();
+          go ()
+      | None ->
+          flush ();
+          push Ahead_done
+    in
+    match go () with
+    | () -> ()
+    | exception e ->
+        let bt = Printexc.get_raw_backtrace () in
+        (* events decoded before the failure still precede it in order *)
+        flush ();
+        push (Ahead_failed (e, bt))
+  in
+  let dom = Domain.spawn producer in
+  let joined = ref false in
+  let join () =
+    if not !joined then begin
+      joined := true;
+      Domain.join dom
+    end
+  in
+  let cur = ref [||] in
+  let pos = ref 0 in
+  let ended = ref false in
+  let rec next_ev () =
+    if !ended then None
+    else if !pos < Array.length !cur then begin
+      let e = (!cur).(!pos) in
+      incr pos;
+      Some e
+    end
+    else
+      match pop () with
+      | Batch arr ->
+          cur := arr;
+          pos := 0;
+          next_ev ()
+      | Ahead_done ->
+          ended := true;
+          join ();
+          None
+      | Ahead_failed (e, bt) ->
+          ended := true;
+          join ();
+          Printexc.raise_with_backtrace e bt
+  in
+  (* seeking would desynchronize the pipeline, so the wrapper is linear *)
+  { inner with next_ev; seek_to = None; sub_range = None;
+    streamed = 0; finished = false }

@@ -48,6 +48,10 @@ type t = {
   next_ev : unit -> Event.t option;
       (** raw cursor; consumers should call {!next} instead so streaming
           accounting happens *)
+  seek_to : (int -> unit) option;
+      (** when seekable: reposition so the next event yielded is the
+          given index *)
+  sub_range : (first:int -> count:int -> t) option;
   mutable streamed : int;
   mutable finished : bool;
 }
@@ -68,8 +72,24 @@ val counters : t -> counters
 val n_objects : t -> int
 (** Final object count.  @raise Invalid_argument before exhaustion. *)
 
+val seek : t -> int -> unit
+(** [seek t i] repositions so the next event yielded is event [i] of the
+    underlying range.  Only in-memory traces and sharded ([.lpt] v3)
+    files are seekable.
+    @raise Failure when the source is not seekable. *)
+
+val sub : t -> first:int -> count:int -> t
+(** [sub t ~first ~count] is a fresh source over the [count] events
+    starting at event [first] of [t]'s range, with the same tables.
+    [t] itself is left untouched.
+    @raise Failure when the source is not seekable. *)
+
 val of_trace : Trace.t -> t
 (** Stream an in-memory trace.  Cheap; a fresh cursor per call. *)
+
+val of_indexed : Binio.indexed -> t
+(** Stream a seekable v3 index ({!of_file} does this automatically for
+    v3 files); the result supports {!seek} and {!sub}. *)
 
 val of_string : ?name:string -> string -> t
 (** Stream serialized bytes, auto-detecting text vs binary like
@@ -97,3 +117,19 @@ val of_generator :
     array is empty in sink mode); the summary supplies the final
     execution counters.  The producer runs at most once; the source is
     single-shot like every other constructor. *)
+
+val decode_ahead : ?batch:int -> ?slots:int -> t -> t
+(** [decode_ahead inner] moves the decode work of [inner] onto a fresh
+    domain that runs ahead of the consumer, handing batches of [batch]
+    events (default 4096) through a bounded queue of [slots] batches
+    (default 8) — a two-stage pipeline that overlaps decoding with
+    consumption.  Event order, errors and exhaustion semantics are
+    preserved; errors raised by the producer re-raise at the consumer
+    after all earlier events have been delivered.
+
+    The wrapper is not seekable and must be drained to [None] (or to the
+    re-raised error): abandoning it mid-stream leaves the producer
+    domain blocked on the queue.  Table lookups ([chain], [tag], ...)
+    remain safe because the queue's mutex orders the producer's
+    interning writes before the consumer's reads of any delivered
+    event's ids. *)

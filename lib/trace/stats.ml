@@ -84,6 +84,83 @@ let compute_source (src : Source.t) =
        else float_of_int !total_bytes /. float_of_int total_objects);
   }
 
+(* The range quarter of [compute_source].  Live counters are absolute
+   (seeded from the range's footer entry), the per-object size table is
+   preloaded from the carry-in set so a free of an earlier-born object
+   subtracts the same size the sequential pass would, and the maxima are
+   only candidates from this range's allocations — the sequential code
+   updates its maxima at allocations only, so the global maxima are the
+   max over the ranges' candidates (0, the sequential initial value, is
+   the identity for a range without allocations). *)
+type partial = {
+  pt_total_bytes : int;
+  pt_max_bytes : int;
+  pt_max_objects : int;
+}
+
+let compute_range (rg : Sharded.range) =
+  let sizes = Grow.create (max 64 (Array.length rg.Sharded.rg_carry)) in
+  Array.iter
+    (fun (cr : Binio.carry) -> Grow.set sizes cr.Binio.cr_obj cr.Binio.cr_size)
+    rg.Sharded.rg_carry;
+  let total_bytes = ref 0 in
+  let live_bytes = ref rg.Sharded.rg_live_bytes in
+  let live_objs = ref rg.Sharded.rg_live_objs in
+  let max_bytes = ref 0 and max_objs = ref 0 in
+  Source.iter
+    (function
+      | Event.Alloc { obj; size; _ } ->
+          Grow.set sizes obj size;
+          total_bytes := !total_bytes + size;
+          live_bytes := !live_bytes + size;
+          incr live_objs;
+          if !live_bytes > !max_bytes then max_bytes := !live_bytes;
+          if !live_objs > !max_objs then max_objs := !live_objs
+      | Event.Free { obj; _ } ->
+          live_bytes := !live_bytes - Grow.get sizes obj;
+          decr live_objs
+      | Event.Touch _ -> ())
+    (Sharded.range_source rg);
+  {
+    pt_total_bytes = !total_bytes;
+    pt_max_bytes = !max_bytes;
+    pt_max_objects = !max_objs;
+  }
+
+let merge_ranges (sh : Sharded.t) partials =
+  let hdr = Sharded.header sh in
+  let total_bytes =
+    List.fold_left (fun acc p -> acc + p.pt_total_bytes) 0 partials
+  in
+  let max_bytes =
+    List.fold_left (fun acc p -> max acc p.pt_max_bytes) 0 partials
+  in
+  let max_objects =
+    List.fold_left (fun acc p -> max acc p.pt_max_objects) 0 partials
+  in
+  let total_objects = hdr.Binio.n_objects in
+  let heap_ref_pct =
+    if hdr.Binio.total_refs = 0 then 0.
+    else
+      100. *. float_of_int hdr.Binio.heap_refs
+      /. float_of_int hdr.Binio.total_refs
+  in
+  {
+    program = hdr.Binio.program;
+    input = hdr.Binio.input;
+    instructions = hdr.Binio.instructions;
+    calls = hdr.Binio.calls;
+    total_bytes;
+    total_objects;
+    max_bytes;
+    max_objects;
+    heap_ref_pct;
+    distinct_chains = Binio.indexed_n_chains (Sharded.index sh);
+    mean_object_size =
+      (if total_objects = 0 then 0.
+       else float_of_int total_bytes /. float_of_int total_objects);
+  }
+
 let pp ppf t =
   Format.fprintf ppf
     "@[<v>%s (%s):@ instructions %d@ calls %d@ bytes %d in %d objects (mean %.1f)@ max \

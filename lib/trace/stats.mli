@@ -22,4 +22,19 @@ val compute_source : Source.t -> t
     not the event count).  Fields are identical to {!compute} on the
     materialized equivalent.  The source is consumed. *)
 
+type partial = {
+  pt_total_bytes : int;
+  pt_max_bytes : int;  (** max live bytes seen at this range's allocs *)
+  pt_max_objects : int;
+}
+(** The range quarter of {!compute_source} over a sharded trace. *)
+
+val compute_range : Sharded.range -> partial
+(** Replay one chunk range with absolute live counters (seeded from the
+    range's entry counters and carried object sizes). *)
+
+val merge_ranges : Sharded.t -> partial list -> t
+(** Identical to {!compute_source} over the whole trace when the
+    partials cover it (any order — the merge is a sum and a max). *)
+
 val pp : Format.formatter -> t -> unit

@@ -247,3 +247,39 @@ let total_bytes t =
 
 let total_objects t = t.n_objects
 let chain_of_alloc t id = t.chains.(id)
+
+(* Concatenate [n] copies of the trace, renumbering each copy's objects
+   past the previous copy's — a dense-birth-preserving way to synthesize
+   long traces (scale benchmarks, exercise many v3 chunks) from a real
+   workload without inventing allocation behaviour.  Tables are shared;
+   the execution counters scale with the copies. *)
+let tile (t : t) n =
+  if n < 1 then invalid_arg "Trace.tile: need at least one copy";
+  if n = 1 then t
+  else begin
+    let ne = Array.length t.events in
+    let shift off = function
+      | Event.Alloc a ->
+          Event.Alloc { a with obj = (if a.obj >= 0 then a.obj + off else a.obj) }
+      | Event.Free f ->
+          Event.Free { f with obj = (if f.obj >= 0 then f.obj + off else f.obj) }
+      | Event.Touch { obj; count } ->
+          Event.Touch { obj = (if obj >= 0 then obj + off else obj); count }
+    in
+    let events =
+      Array.init (ne * n) (fun i -> shift (i / ne * t.n_objects) t.events.(i mod ne))
+    in
+    let obj_refs =
+      Array.init (t.n_objects * n) (fun i -> t.obj_refs.(i mod t.n_objects))
+    in
+    {
+      t with
+      events;
+      n_objects = t.n_objects * n;
+      obj_refs;
+      instructions = t.instructions * n;
+      calls = t.calls * n;
+      heap_refs = t.heap_refs * n;
+      total_refs = t.total_refs * n;
+    }
+  end

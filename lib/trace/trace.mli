@@ -101,3 +101,11 @@ val total_objects : t -> int
 
 val chain_of_alloc : t -> int -> Lp_callchain.Chain.t
 (** [chain_of_alloc t chain_id] resolves an interned chain id. *)
+
+val tile : t -> int -> t
+(** [tile t n] concatenates [n] copies of [t], renumbering each copy's
+    objects past the previous copy's (dense birth order is preserved)
+    and scaling the execution counters — a way to synthesize long traces
+    from a real workload, e.g. to exercise many chunks of the sharded
+    layout.  [tile t 1] is [t] itself.
+    @raise Invalid_argument when [n < 1]. *)

@@ -1,0 +1,527 @@
+(* The sharded (.lpt v3) trace layout and its satellites: v2 -> v3 -> v2
+   byte-identity, seek/sub window determinism, random covering-partition
+   merges reproducing every sequential fold (stats, lifetimes, training,
+   lint), the Shard orchestrators across domain counts, the corrupt
+   corpus linted range-parallel, the decode-ahead pipeline, and the
+   codec/capacity/GC regression tests for the bugs fixed alongside. *)
+
+module Rt = Lp_ialloc.Runtime
+module B = Lp_trace.Binio
+module Source = Lp_trace.Source
+module Sharded = Lp_trace.Sharded
+module D = Lp_analysis.Diagnostic
+
+let events src = List.rev (Source.fold (fun acc e -> e :: acc) [] src)
+
+let rec drop n l =
+  if n <= 0 then l else match l with [] -> [] | _ :: t -> drop (n - 1) t
+
+let rec take n l =
+  if n <= 0 then [] else match l with [] -> [] | h :: t -> h :: take (n - 1) t
+
+(* -- wire codec satellites: zigzag/varint over the full int range ------------------- *)
+
+let wire_corner_cases =
+  [ min_int; min_int + 1; -129; -128; -2; -1; 0; 1; 2; 63; 64; 127; 128;
+    0x3FFF; 0x4000; max_int - 1; max_int ]
+
+let wire_explicit () =
+  List.iter
+    (fun n ->
+      Alcotest.(check int)
+        (Printf.sprintf "unzigzag (zigzag %d)" n)
+        n
+        (B.Wire.unzigzag (B.Wire.zigzag n));
+      Alcotest.(check int)
+        (Printf.sprintf "zigzag wire %d" n)
+        n
+        (B.Wire.zigzag_of_string (B.Wire.zigzag_to_string n));
+      Alcotest.(check int)
+        (Printf.sprintf "varint_bits wire %d" n)
+        n
+        (B.Wire.varint_bits_of_string (B.Wire.varint_bits_to_string n));
+      if n >= 0 then
+        Alcotest.(check int)
+          (Printf.sprintf "varint wire %d" n)
+          n
+          (B.Wire.varint_of_string (B.Wire.varint_to_string n)))
+    wire_corner_cases;
+  (* small magnitudes get small codes — the property the deltas rely on *)
+  Alcotest.(check int) "zigzag 0" 0 (B.Wire.zigzag 0);
+  Alcotest.(check int) "zigzag -1" 1 (B.Wire.zigzag (-1));
+  Alcotest.(check int) "zigzag 1" 2 (B.Wire.zigzag 1);
+  Alcotest.(check int) "zigzag -2" 3 (B.Wire.zigzag (-2))
+
+(* a generator that actually reaches the top bits, unlike Gen.int *)
+let any_int =
+  QCheck.make ~print:string_of_int
+    QCheck.Gen.(
+      frequency
+        [
+          (1, oneofl [ min_int; min_int + 1; -1; 0; 1; max_int - 1; max_int ]);
+          ( 6,
+            map2
+              (fun hi lo -> (hi lsl 31) lxor lo)
+              (int_range (-(1 lsl 31)) ((1 lsl 31) - 1))
+              (int_range 0 ((1 lsl 31) - 1)) );
+        ])
+
+let wire_roundtrip_prop =
+  QCheck.Test.make ~count:500
+    ~name:"wire codecs round-trip the full native int range" any_int
+    (fun n ->
+      B.Wire.unzigzag (B.Wire.zigzag n) = n
+      && B.Wire.zigzag_of_string (B.Wire.zigzag_to_string n) = n
+      && B.Wire.varint_bits_of_string (B.Wire.varint_bits_to_string n) = n
+      && (n < 0 || B.Wire.varint_of_string (B.Wire.varint_to_string n) = n))
+
+let expect_failure name sub f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected Failure" name
+  | exception Failure m ->
+      if
+        not
+          (String.length m >= String.length sub
+          && (let found = ref false in
+              for i = 0 to String.length m - String.length sub do
+                if String.sub m i (String.length sub) = sub then found := true
+              done;
+              !found))
+      then Alcotest.failf "%s: %S does not mention %S" name m sub
+
+let wire_rejections () =
+  (match B.Wire.varint_to_string (-1) with
+  | _ -> Alcotest.fail "encoding -1 as unsigned varint should be rejected"
+  | exception Invalid_argument _ -> ());
+  expect_failure "negative bit pattern into unsigned decode" "unsigned"
+    (fun () -> B.Wire.varint_of_string (B.Wire.varint_bits_to_string (-1)));
+  expect_failure "overlong varint" "too long" (fun () ->
+      B.Wire.varint_bits_of_string (String.make 10 '\xff'));
+  expect_failure "trailing bytes" "trailing bytes" (fun () ->
+      B.Wire.varint_of_string "\x05\x00");
+  expect_failure "truncated varint" "unexpected end" (fun () ->
+      B.Wire.varint_of_string "\xff")
+
+(* -- satellite: Grow.ensure clamps at Sys.max_array_length -------------------------- *)
+
+let grow_capacity_overflow () =
+  let g = Lp_trace.Grow.create 4 in
+  Lp_trace.Grow.set g 2 7;
+  Alcotest.(check int) "set/get" 7 (Lp_trace.Grow.get g 2);
+  let oob n =
+    Alcotest.check_raises
+      (Printf.sprintf "ensure %d" n)
+      (Failure
+         (Printf.sprintf
+            "Grow.ensure: requested length %d exceeds Sys.max_array_length (%d)"
+            n Sys.max_array_length))
+      (fun () -> Lp_trace.Grow.ensure g n)
+  in
+  oob (Sys.max_array_length + 1);
+  oob max_int;
+  (* the huge requests must not have disturbed the array *)
+  Alcotest.(check int) "contents survive the rejection" 7 (Lp_trace.Grow.get g 2);
+  Lp_trace.Grow.ensure g 64;
+  Alcotest.(check int) "normal growth still works" 7 (Lp_trace.Grow.get g 2)
+
+(* -- satellite: no stop-the-world full major per job in parallel fan-out ------------ *)
+
+let map_sources_gc_behavior () =
+  let trace =
+    QCheck.Gen.generate1 ~rand:(Random.State.make [| 42 |])
+      Test_stream.random_trace_gen
+  in
+  let make () = Source.of_trace trace in
+  let job src = Source.fold (fun n _ -> n + 1) 0 src in
+  let jobs = List.init 8 (fun _ -> job) in
+  let majors () = (Gc.quick_stat ()).Gc.major_collections in
+  (* sequential path: one forced full major per job keeps the high-water
+     mark one-job-sized *)
+  let before = majors () in
+  ignore (Lifetime.Parallel.map_sources ~domains:1 make jobs);
+  let seq_delta = majors () - before in
+  if seq_delta < List.length jobs then
+    Alcotest.failf
+      "sequential map_sources ran %d major cycles for %d jobs (expected one per job)"
+      seq_delta (List.length jobs);
+  (* parallel path: a full major per job is a stop-the-world barrier that
+     serializes the pool, so it must not happen *)
+  let before = majors () in
+  ignore (Lifetime.Parallel.map_sources ~domains:2 make jobs);
+  let par_delta = majors () - before in
+  if par_delta >= List.length jobs then
+    Alcotest.failf "parallel map_sources forced %d major cycles for %d jobs"
+      par_delta (List.length jobs)
+
+(* -- v3: golden round trip and sequential-decode equivalence ------------------------ *)
+
+let chunked_gen =
+  QCheck.Gen.(pair Test_stream.random_trace_gen (int_range 1 40))
+
+let print_chunked (_, chunk_events) =
+  Printf.sprintf "<trace> chunk_events=%d" chunk_events
+
+let v3_roundtrip =
+  QCheck.Test.make ~count:40 ~name:"v2 -> v3 -> v2 is byte-identical"
+    (QCheck.make ~print:print_chunked chunked_gen)
+    (fun (trace, chunk_events) ->
+      let v2 = B.to_string trace in
+      let v3 = B.to_string_v3 ~chunk_events trace in
+      let back = B.to_string (B.of_string ~name:"rt.lpt" v3) in
+      if back <> v2 then
+        QCheck.Test.fail_reportf "v2->v3->v2 differs (chunk_events=%d)"
+          chunk_events;
+      let expect = events (Source.of_trace trace) in
+      (* the streaming decoder walks v3 chunk by chunk *)
+      if events (Source.of_string ~name:"rt.lpt" v3) <> expect then
+        QCheck.Test.fail_reportf "sequential v3 decode differs";
+      (* the seekable index yields the same stream *)
+      let ix = B.index ~name:"rt.lpt" (B.big_of_string v3) in
+      let src = Source.of_indexed ix in
+      if events src <> expect then
+        QCheck.Test.fail_reportf "indexed v3 decode differs";
+      let c = Source.counters src in
+      c.Source.instructions = trace.Lp_trace.Trace.instructions
+      && c.Source.calls = trace.Lp_trace.Trace.calls
+      && c.Source.heap_refs = trace.Lp_trace.Trace.heap_refs
+      && c.Source.total_refs = trace.Lp_trace.Trace.total_refs
+      && Source.n_objects src = trace.Lp_trace.Trace.n_objects)
+
+(* -- v3: seek and sub are deterministic windows ------------------------------------- *)
+
+let seek_gen =
+  QCheck.Gen.(
+    triple Test_stream.random_trace_gen (int_range 1 16) (int_range 0 9999))
+
+let seek_sub_determinism =
+  QCheck.Test.make ~count:40
+    ~name:"Source.seek/sub windows equal slices of the full stream"
+    (QCheck.make seek_gen)
+    (fun (trace, chunk_events, salt) ->
+      let v3 = B.to_string_v3 ~chunk_events trace in
+      let ix = B.index ~name:"rt.lpt" (B.big_of_string v3) in
+      let all = events (Source.of_indexed ix) in
+      let n = List.length all in
+      let pos = if n = 0 then 0 else salt mod (n + 1) in
+      let first = pos in
+      let count = if n = first then 0 else salt * 7 mod (n - first + 1) in
+      List.iter
+        (fun (kind, fresh) ->
+          (* seek forward from the start *)
+          let s = fresh () in
+          Source.seek s pos;
+          if events s <> drop pos all then
+            QCheck.Test.fail_reportf "%s: seek %d differs" kind pos;
+          (* seek back after a partial drain *)
+          let s = fresh () in
+          let half = n / 2 in
+          for _ = 1 to half do
+            ignore (Source.next s)
+          done;
+          Source.seek s pos;
+          if events s <> drop pos all then
+            QCheck.Test.fail_reportf "%s: rewind to %d differs" kind pos;
+          (* sub yields exactly the requested window *)
+          let w = Source.sub (fresh ()) ~first ~count in
+          if events w <> take count (drop first all) then
+            QCheck.Test.fail_reportf "%s: sub %d+%d differs" kind first count;
+          (* and a sub of the sub nests *)
+          let inner = min count 3 in
+          let w2 = Source.sub (fresh ()) ~first ~count in
+          let w2 = Source.sub w2 ~first:0 ~count:inner in
+          if events w2 <> take inner (take count (drop first all)) then
+            QCheck.Test.fail_reportf "%s: nested sub differs" kind)
+        [
+          ("indexed", fun () -> Source.of_indexed ix);
+          ("of_trace", fun () -> Source.of_trace trace);
+        ];
+      true)
+
+(* -- v3: random covering partitions merge to every sequential fold ------------------ *)
+
+let summary_fingerprint (s : Lp_trace.Lifetimes.summary) =
+  let count = Lp_quantile.Histogram.count s.Lp_trace.Lifetimes.hist in
+  let quart =
+    if count = 0 then None
+    else Some (Lp_quantile.Histogram.quartiles s.Lp_trace.Lifetimes.hist)
+  in
+  ( count,
+    quart,
+    s.Lp_trace.Lifetimes.short_bytes,
+    s.Lp_trace.Lifetimes.total_alloc_bytes )
+
+let model_string_of_streamed ~config ~program ~funcs
+    (st : Lifetime.Train.streamed) =
+  let predictor =
+    Lifetime.Predictor.build ~config ~funcs st.Lifetime.Train.table
+  in
+  Lifetime.Model.to_string
+    (Lifetime.Model.of_training_parts ~config ~program ~funcs
+       ~clock:st.Lifetime.Train.end_clock st.Lifetime.Train.table predictor)
+
+(* split [n_chunks] into a covering partition of contiguous ranges,
+   consuming widths from [cuts] (1-4 chunks each, remainder in one tail
+   range once the list runs out) *)
+let partition_of sh cuts =
+  let n = Sharded.n_chunks sh in
+  let rec go first acc cuts =
+    if first >= n then List.rev acc
+    else
+      let count, rest =
+        match cuts with c :: rest -> (min c (n - first), rest) | [] -> (n - first, [])
+      in
+      go (first + count) (Sharded.range sh ~first ~count :: acc) rest
+  in
+  go 0 [] cuts
+
+let partition_gen =
+  QCheck.Gen.(
+    triple Test_stream.random_trace_gen (int_range 1 12)
+      (list_size (int_range 0 8) (int_range 1 4)))
+
+let partition_fold_determinism =
+  QCheck.Test.make ~count:25
+    ~name:"random range partitions merge to the sequential folds"
+    (QCheck.make partition_gen)
+    (fun (trace, chunk_events, cuts) ->
+      let config = Lifetime.Config.default in
+      let threshold = 32 in
+      let v3 = B.to_string_v3 ~chunk_events trace in
+      let sh = Sharded.of_string ~name:"rt.lpt" v3 in
+      let ranges = partition_of sh cuts in
+      (* stats *)
+      let st_expect = Lp_trace.Stats.compute_source (Source.of_trace trace) in
+      let st_got =
+        Lp_trace.Stats.merge_ranges sh
+          (List.map Lp_trace.Stats.compute_range ranges)
+      in
+      if st_got <> st_expect then
+        QCheck.Test.fail_reportf "stats differ over %d ranges"
+          (List.length ranges);
+      (* lifetimes *)
+      let lt_expect =
+        summary_fingerprint
+          (Lp_trace.Lifetimes.summary_source ~threshold
+             (Source.of_trace trace))
+      in
+      let lt_got =
+        summary_fingerprint
+          (Lp_trace.Lifetimes.merge_summaries ~threshold
+             (List.map (fun r -> Lp_trace.Lifetimes.fold_range r) ranges))
+      in
+      if lt_got <> lt_expect then
+        QCheck.Test.fail_reportf "lifetime summaries differ over %d ranges"
+          (List.length ranges);
+      (* training *)
+      let tr_expect =
+        let src = Source.of_trace trace in
+        let st = Lifetime.Train.collect_source ~config src in
+        model_string_of_streamed ~config ~program:src.Source.program
+          ~funcs:(src.Source.funcs ()) st
+      in
+      let tr_got =
+        let st =
+          Lifetime.Train.merge_ranges ~config sh
+            (List.map (fun r -> Lifetime.Train.collect_range ~config r) ranges)
+        in
+        model_string_of_streamed ~config
+          ~program:(Sharded.header sh).B.program
+          ~funcs:(B.indexed_funcs (Sharded.index sh))
+          st
+      in
+      if tr_got <> tr_expect then
+        QCheck.Test.fail_reportf "trained models differ over %d ranges"
+          (List.length ranges);
+      (* lint *)
+      let li_expect =
+        D.list_to_json (Lp_analysis.Lint.run_source (Source.of_trace trace))
+      in
+      let li_got =
+        D.list_to_json
+          (Lp_analysis.Lint.merge_ranges sh
+             (List.map (fun r -> Lp_analysis.Lint.run_range r) ranges))
+      in
+      if li_got <> li_expect then
+        QCheck.Test.fail_reportf "lint diagnostics differ over %d ranges"
+          (List.length ranges);
+      true)
+
+(* -- the Shard orchestrators across domain counts ----------------------------------- *)
+
+let shard_orchestrators () =
+  let config = Lifetime.Config.default in
+  let threshold = 64 in
+  let trace = Lp_workloads.Registry.trace ~program:"perl" ~input:"tiny" () in
+  let sh =
+    Sharded.of_string ~name:"perl.lpt" (B.to_string_v3 ~chunk_events:64 trace)
+  in
+  if Sharded.n_chunks sh < 3 then
+    Alcotest.failf "expected several chunks, got %d" (Sharded.n_chunks sh);
+  let st_expect = Lp_trace.Stats.compute_source (Source.of_trace trace) in
+  let lt_expect =
+    summary_fingerprint
+      (Lp_trace.Lifetimes.summary_source ~threshold (Source.of_trace trace))
+  in
+  let tr_expect =
+    let src = Source.of_trace trace in
+    let st = Lifetime.Train.collect_source ~config src in
+    model_string_of_streamed ~config ~program:src.Source.program
+      ~funcs:(src.Source.funcs ()) st
+  in
+  let li_expect =
+    D.list_to_json (Lp_analysis.Lint.run_source (Source.of_trace trace))
+  in
+  List.iter
+    (fun domains ->
+      let tag fmt = Printf.sprintf fmt domains in
+      if Lifetime.Shard.stats ~domains sh <> st_expect then
+        Alcotest.failf "stats differ at %d domains" domains;
+      Alcotest.(check bool)
+        (tag "lifetimes @%d domains")
+        true
+        (summary_fingerprint (Lifetime.Shard.lifetimes ~domains ~threshold sh)
+        = lt_expect);
+      let st = Lifetime.Shard.train ~domains ~config sh in
+      Alcotest.(check string)
+        (tag "model @%d domains")
+        tr_expect
+        (model_string_of_streamed ~config
+           ~program:(Sharded.header sh).B.program
+           ~funcs:(B.indexed_funcs (Sharded.index sh))
+           st);
+      Alcotest.(check string)
+        (tag "lint @%d domains")
+        li_expect
+        (D.list_to_json (Lp_analysis.Lint.run_sharded ~domains sh)))
+    [ 1; 2; 3 ]
+
+(* -- the empty trace: one empty chunk ----------------------------------------------- *)
+
+let empty_trace_edge () =
+  let trace = Rt.finish (Rt.create ~program:"empty" ~input:"none" ()) in
+  Alcotest.(check int) "no events" 0 (Array.length trace.Lp_trace.Trace.events);
+  let v3 = B.to_string_v3 ~chunk_events:8 trace in
+  Alcotest.(check string) "v2 round trip"
+    (B.to_string trace)
+    (B.to_string (B.of_string ~name:"empty.lpt" v3));
+  let sh = Sharded.of_string ~name:"empty.lpt" v3 in
+  Alcotest.(check int) "one chunk" 1 (Sharded.n_chunks sh);
+  Alcotest.(check int) "zero events" 0 (Sharded.n_events sh);
+  Alcotest.(check (list pass)) "no events streamed" []
+    (events (Sharded.source sh));
+  let w = Source.sub (Sharded.source sh) ~first:0 ~count:0 in
+  Alcotest.(check (list pass)) "empty sub" [] (events w);
+  let st = Lifetime.Shard.stats ~domains:2 sh in
+  Alcotest.(check int) "no objects" 0 st.Lp_trace.Stats.total_objects;
+  Alcotest.(check (list pass)) "no diagnostics" []
+    (Lp_analysis.Lint.run_sharded ~domains:2 sh)
+
+(* -- the corrupt corpus, linted range-parallel -------------------------------------- *)
+
+let lint_sharded_corpus_equivalence () =
+  List.iter
+    (fun file ->
+      let path = "corrupt_traces/" ^ file in
+      let trace = Lp_trace.Io.read_file path in
+      let expect = D.list_to_json (Lp_analysis.Lint.run trace) in
+      (* tiny chunks force the anomalies (double frees, touch-after-free,
+         leaks) to straddle chunk boundaries *)
+      let sh =
+        Sharded.of_string ~name:path (B.to_string_v3 ~chunk_events:3 trace)
+      in
+      List.iter
+        (fun domains ->
+          let got =
+            D.list_to_json (Lp_analysis.Lint.run_sharded ~domains sh)
+          in
+          Alcotest.(check string)
+            (Printf.sprintf "%s @%d domains" file domains)
+            expect got)
+        [ 1; 2 ])
+    Test_stream.corpus_files
+
+(* -- decode-ahead: identical stream, counters and failures -------------------------- *)
+
+let decode_ahead_equivalence =
+  QCheck.Test.make ~count:20
+    ~name:"decode_ahead yields the identical stream from another domain"
+    (QCheck.make Test_stream.random_trace_gen)
+    (fun trace ->
+      List.for_all
+        (fun (kind, make) ->
+          let plain = make () in
+          let expect = events plain in
+          (* a small batch/slot budget forces real producer/consumer
+             hand-offs even on short traces *)
+          let piped = Source.decode_ahead ~batch:16 ~slots:2 (make ()) in
+          if events piped <> expect then
+            QCheck.Test.fail_reportf "decode_ahead via %s differs" kind;
+          Source.counters piped = Source.counters plain
+          && Source.n_objects piped = Source.n_objects plain)
+        (Test_stream.sources_of trace))
+
+let decode_ahead_failure_propagation () =
+  let trace =
+    QCheck.Gen.generate1 ~rand:(Random.State.make [| 7 |])
+      Test_stream.random_trace_gen
+  in
+  let bin = B.to_string trace in
+  let cut = String.sub bin 0 (String.length bin - 1) in
+  let msg_of src =
+    match events src with
+    | _ -> Alcotest.fail "truncated trace drained without error"
+    | exception Failure m -> m
+  in
+  let expect = msg_of (Source.of_string ~name:"cut.lpt" cut) in
+  let got =
+    msg_of (Source.decode_ahead (Source.of_string ~name:"cut.lpt" cut))
+  in
+  Alcotest.(check string) "same failure through the pipeline" expect got
+
+let decode_ahead_driver_equivalence () =
+  let trace = Lp_workloads.Registry.trace ~program:"gawk" ~input:"tiny" () in
+  let arena_config = Lifetime.Config.arena_config Lifetime.Config.default in
+  List.iter
+    (fun name ->
+      let backend () = Lp_allocsim.Registry.backend ~arena_config name in
+      let expect =
+        Lp_allocsim.Metrics.to_json (Lp_allocsim.Driver.run trace (backend ()))
+      in
+      let got =
+        Lp_allocsim.Metrics.to_json
+          (Lp_allocsim.Driver.run_source ~decode_ahead:true
+             (Source.of_trace trace) (backend ()))
+      in
+      Alcotest.(check string) (name ^ " via decode_ahead") expect got)
+    [ "first-fit"; "bsd" ]
+
+let suites =
+  [
+    ( "sharded",
+      [
+        QCheck_alcotest.to_alcotest v3_roundtrip;
+        QCheck_alcotest.to_alcotest seek_sub_determinism;
+        QCheck_alcotest.to_alcotest partition_fold_determinism;
+        Alcotest.test_case "Shard orchestrators across domain counts" `Quick
+          shard_orchestrators;
+        Alcotest.test_case "empty trace is one empty chunk" `Quick
+          empty_trace_edge;
+        Alcotest.test_case "corrupt corpus lints range-parallel identically"
+          `Quick lint_sharded_corpus_equivalence;
+        QCheck_alcotest.to_alcotest decode_ahead_equivalence;
+        Alcotest.test_case "decode_ahead propagates decode failures" `Quick
+          decode_ahead_failure_propagation;
+        Alcotest.test_case "decode_ahead replay metrics are identical" `Quick
+          decode_ahead_driver_equivalence;
+      ] );
+    ( "sharded-satellites",
+      [
+        Alcotest.test_case "wire codec corner cases" `Quick wire_explicit;
+        QCheck_alcotest.to_alcotest wire_roundtrip_prop;
+        Alcotest.test_case "wire codec rejections" `Quick wire_rejections;
+        Alcotest.test_case "Grow.ensure clamps at max_array_length" `Quick
+          grow_capacity_overflow;
+        Alcotest.test_case "map_sources full-major policy" `Quick
+          map_sources_gc_behavior;
+      ] );
+  ]
