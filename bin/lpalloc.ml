@@ -13,8 +13,19 @@
 
 open Cmdliner
 
+(* Every subcommand follows lint's exit-code contract: 0 on success (for
+   lint: no error-severity diagnostic), 1 for errors found in otherwise
+   well-formed input (lint errors, sanitizer violations), 2 for usage and
+   I/O errors (bad flags, missing arguments, unreadable or malformed
+   files).  [io_guard] maps the loader exceptions onto the last class. *)
+let io_guard f =
+  try f ()
+  with Failure msg | Sys_error msg ->
+    Printf.eprintf "lpalloc: %s\n" msg;
+    exit 2
+
 (* Auto-detects binary (.lpt) vs text traces by their magic bytes. *)
-let read_trace path = Lp_trace.Io.read_file path
+let read_trace path = io_guard (fun () -> Lp_trace.Io.read_file path)
 
 let timings_arg =
   let doc =
@@ -159,7 +170,8 @@ let stats_cmd =
         let s =
           if sharded then Lifetime.Shard.stats (load_sharded path)
           else if stream then
-            Lp_trace.Stats.compute_source (Lp_trace.Source.of_file path)
+            io_guard (fun () ->
+                Lp_trace.Stats.compute_source (Lp_trace.Source.of_file path))
           else Lp_trace.Stats.compute (read_trace path)
         in
         if json then
@@ -188,8 +200,9 @@ let lifetimes_cmd =
         (s.Lp_trace.Lifetimes.hist, s.short_bytes, s.total_alloc_bytes)
       else if stream then
         let s =
-          Lp_trace.Lifetimes.summary_source ~threshold
-            (Lp_trace.Source.of_file path)
+          io_guard (fun () ->
+              Lp_trace.Lifetimes.summary_source ~threshold
+                (Lp_trace.Source.of_file path))
         in
         (s.hist, s.short_bytes, s.total_alloc_bytes)
       else begin
@@ -248,8 +261,8 @@ let train_cmd =
           st.Lifetime.Train.table )
       end
       else if stream then begin
-        let src = Lp_trace.Source.of_file path in
-        let st = Lifetime.Train.collect_source ~config src in
+        let src = io_guard (fun () -> Lp_trace.Source.of_file path) in
+        let st = io_guard (fun () -> Lifetime.Train.collect_source ~config src) in
         ( src.Lp_trace.Source.program,
           src.Lp_trace.Source.funcs (),
           st.Lifetime.Train.end_clock,
@@ -378,8 +391,8 @@ let simulate_cmd =
     let config = { Lifetime.Config.default with short_lived_threshold = threshold } in
     let predictor =
       if stream then begin
-        let src = Lp_trace.Source.of_file train_path in
-        let st = Lifetime.Train.collect_source ~config src in
+        let src = io_guard (fun () -> Lp_trace.Source.of_file train_path) in
+        let st = io_guard (fun () -> Lifetime.Train.collect_source ~config src) in
         Lifetime.Predictor.build ~config
           ~funcs:(src.Lp_trace.Source.funcs ())
           st.Lifetime.Train.table
@@ -396,6 +409,7 @@ let simulate_cmd =
       else None
     in
     let sim =
+      io_guard @@ fun () ->
       try
         if stream then
           Lifetime.Simulate.run_streamed ?allocators ?wrap ~decode_ahead
@@ -502,8 +516,9 @@ let convert_cmd =
     let trace = read_trace path in
     let trace = Lp_trace.Trace.tile trace tile in
     if v3 then begin
-      Out_channel.with_open_bin output (fun oc ->
-          Lp_trace.Binio.output_v3 ~chunk_events oc trace);
+      io_guard (fun () ->
+          Out_channel.with_open_bin output (fun oc ->
+              Lp_trace.Binio.output_v3 ~chunk_events oc trace));
       let sh = load_sharded output in
       Printf.printf "wrote %d events (%d objects) as %d chunks of %d to %s\n"
         (Array.length trace.events) trace.n_objects
@@ -511,7 +526,7 @@ let convert_cmd =
         chunk_events output
     end
     else begin
-      Lp_trace.Io.write_file ?format output trace;
+      io_guard (fun () -> Lp_trace.Io.write_file ?format output trace);
       Printf.printf "wrote %d events (%d objects) to %s\n"
         (Array.length trace.events) trace.n_objects output
     end
@@ -678,10 +693,18 @@ let () =
      1993)"
   in
   let info = Cmd.info "lpalloc" ~version:"1.0.0" ~doc in
+  let group =
+    Cmd.group info
+      [
+        list_cmd; trace_cmd; convert_cmd; stats_cmd; lifetimes_cmd; train_cmd;
+        evaluate_cmd; simulate_cmd; lint_cmd;
+      ]
+  in
+  (* cmdliner's stock cli_error exit is 124; fold parse errors (missing
+     arguments, unknown flags — cmdliner has already printed the usage to
+     stderr) into the 2 = usage-error class of the contract above *)
   exit
-    (Cmd.eval
-       (Cmd.group info
-          [
-            list_cmd; trace_cmd; convert_cmd; stats_cmd; lifetimes_cmd; train_cmd;
-            evaluate_cmd; simulate_cmd; lint_cmd;
-          ]))
+    (match Cmd.eval_value group with
+    | Ok (`Ok ()) | Ok `Help | Ok `Version -> 0
+    | Error (`Parse | `Term) -> 2
+    | Error `Exn -> 125)

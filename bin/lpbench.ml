@@ -28,12 +28,19 @@
    measured.  The speedup is recorded, never asserted — on boxes without
    >= 4 real cores (Domain.recommended_domain_count) a warning is all a
    shortfall produces, since domains > cores just oversubscribes the
-   stop-the-world minor GC. *)
+   stop-the-world minor GC.
+
+   Schema v4 adds a per-workload "realloc" phase for realloc-bearing
+   traces (today: the pint interpreter workload, which also joins the
+   default workload set): the realloc event count plus, per backend, how
+   the sequential replay split resizes into in-place extensions and
+   moves.  Realloc-free workloads omit the phase; --validate demands it
+   from v4 files on at least one workload. *)
 
 open Cmdliner
 module Json = Lp_report.Json
 
-let schema_version = 3
+let schema_version = 4
 
 (* -- measurement helpers -------------------------------------------------------- *)
 
@@ -99,7 +106,13 @@ let bench_workload ~program ~input ~scale ~repeat ~domains ~allocators =
     time (fun () -> Lp_workloads.Registry.trace ~scale ~program ~input ())
   in
   let events = Array.length trace.events in
-  let encode_seconds, encoded = time (fun () -> Lp_trace.Binio.to_string trace) in
+  (* realloc-bearing traces only exist in the v3 layout; everything else
+     stays on the v2 writer the committed baselines were measured with *)
+  let encode_seconds, encoded =
+    time (fun () ->
+        if Lp_trace.Trace.has_realloc trace then Lp_trace.Binio.to_string_v3 trace
+        else Lp_trace.Binio.to_string trace)
+  in
   let load_seconds, loaded =
     best_of repeat (fun () -> Lp_trace.Binio.of_string ~name:(program ^ ".lpt") encoded)
   in
@@ -115,7 +128,7 @@ let bench_workload ~program ~input ~scale ~repeat ~domains ~allocators =
   (* sequential: same job set as the parallel fan-out, pinned to 1 domain;
      per-backend seconds come from the lp_obs replay spans *)
   let before = Lp_obs.Timings.stages () in
-  let seq_seconds, _ =
+  let seq_seconds, seq_sim =
     best_of repeat (fun () ->
         Lifetime.Parallel.with_domains 1 (replay setup trace))
   in
@@ -200,10 +213,40 @@ let bench_workload ~program ~input ~scale ~repeat ~domains ~allocators =
     Printf.eprintf
       "lpbench: WARNING: sharded replay speedup %.2fx at %d domains (< 1.8x)\n%!"
       shard_speedup domains;
+  (* realloc phase (schema v4): how each backend split the trace's
+     resizes, read off the sequential replay already measured above *)
+  let realloc_phase =
+    if not (Lp_trace.Trace.has_realloc trace) then []
+    else
+      let n_reallocs =
+        Array.fold_left
+          (fun n e ->
+            match e with Lp_trace.Event.Realloc _ -> n + 1 | _ -> n)
+          0 trace.events
+      in
+      let rows =
+        List.map
+          (fun name ->
+            let m = Lifetime.Simulate.metrics seq_sim name in
+            Json.Obj
+              [
+                ("backend", str name);
+                ("reallocs", int_ m.Lp_allocsim.Metrics.reallocs);
+                ("in_place", int_ m.Lp_allocsim.Metrics.realloc_in_place);
+                ("moves", int_ m.Lp_allocsim.Metrics.realloc_moves);
+              ])
+          (Lifetime.Simulate.names seq_sim)
+      in
+      [
+        ( "realloc",
+          Json.Obj [ ("events", int_ n_reallocs); ("backends", Json.List rows) ]
+        );
+      ]
+  in
   let gc = Gc.quick_stat () in
   ( events,
     Json.Obj
-      [
+      ([
         ("name", str program);
         ("input", str input);
         ("events", int_ events);
@@ -258,7 +301,8 @@ let bench_workload ~program ~input ~scale ~repeat ~domains ~allocators =
               ("speedup_vs_sequential", num shard_speedup);
             ] );
         ("top_heap_words", int_ gc.Gc.top_heap_words);
-      ] )
+      ]
+      @ realloc_phase) )
 
 (* -- the whole run --------------------------------------------------------------- *)
 
@@ -375,8 +419,9 @@ let validate_file path =
   (* v1 files (the committed pre-streaming baselines) stay valid; the
      streaming additions are only demanded from v2 files and the sharded
      phase only from v3 files *)
-  check "schema_version in {1, 2, 3}"
-    (version = 1 || version = 2 || version = 3);
+  check "schema_version in {1, 2, 3, 4}"
+    (version >= 1 && version <= 4);
+  let saw_realloc_phase = ref false in
   List.iter (require_str "top" j) [ "rev"; "ocaml"; "input" ];
   List.iter (require_num "top" j)
     [ "scale"; "domains"; "total_events"; "total_seconds" ];
@@ -415,20 +460,38 @@ let validate_file path =
                  List.iter (require_num "streamed" s)
                    [ "jobs"; "wall_seconds"; "events_per_sec"; "peak_words_delta" ]
              | None -> check "workload.streamed" false);
-          if version >= 3 then
-            match Json.member "sharded" w with
-            | Some s ->
-                List.iter (require_num "sharded" s)
-                  [
-                    "chunk_events";
-                    "chunks";
-                    "sequential_seconds";
-                    "parallel_seconds";
-                    "speedup_vs_sequential";
-                  ]
-            | None -> check "workload.sharded" false)
+          (if version >= 3 then
+             match Json.member "sharded" w with
+             | Some s ->
+                 List.iter (require_num "sharded" s)
+                   [
+                     "chunk_events";
+                     "chunks";
+                     "sequential_seconds";
+                     "parallel_seconds";
+                     "speedup_vs_sequential";
+                   ]
+             | None -> check "workload.sharded" false);
+          (* the realloc phase is per-trace optional (realloc-free
+             workloads omit it) but a v4 file must exhibit it somewhere *)
+          match Json.member "realloc" w with
+          | Some r -> (
+              saw_realloc_phase := true;
+              require_num "realloc" r "events";
+              match Json.member "backends" r with
+              | Some (Json.List (_ :: _ as bs)) ->
+                  List.iter
+                    (fun b ->
+                      require_str "realloc backend" b "backend";
+                      List.iter (require_num "realloc backend" b)
+                        [ "reallocs"; "in_place"; "moves" ])
+                    bs
+              | _ -> check "realloc.backends (non-empty)" false)
+          | None -> ())
         ws
   | _ -> check "workloads (non-empty list)" false);
+  if version >= 4 && not !saw_realloc_phase then
+    check "a realloc phase on at least one workload (v4)" false;
   (if version >= 2 then
      match Json.member "counters" j with
      | Some c ->
@@ -459,7 +522,7 @@ let () =
       value
       & opt (list string) Lp_workloads.Registry.names
       & info [ "workloads" ] ~docv:"NAMES"
-          ~doc:"Comma-separated workload programs to benchmark (default: all five).")
+          ~doc:"Comma-separated workload programs to benchmark (default: all six).")
   in
   let input_arg =
     Arg.(

@@ -203,6 +203,10 @@ let make_backend ?config ?fallback () : Backend.t =
     let create ?base:_ ?hint () = create ?config ?fallback ?hint ()
     let alloc = alloc
     let free = free
+
+    (* an arena bump pointer cannot resize its last-but-one block; the
+       driver's free + alloc + copy fallback is the honest cost *)
+    let realloc = None
     let charge_alloc = charge_prediction
     let allocs = allocs
     let frees = frees
@@ -223,6 +227,7 @@ module Backend_default : Backend.BACKEND with type t = t = struct
   let create ?base:_ ?hint () = create ?hint ()
   let alloc = alloc
   let free = free
+  let realloc = None
   let charge_alloc = charge_prediction
   let allocs = allocs
   let frees = frees

@@ -6,6 +6,11 @@ module type BACKEND = sig
   val create : ?base:int -> ?hint:int -> unit -> t
   val alloc : t -> size:int -> predicted:bool -> int
   val free : t -> int -> unit
+
+  val realloc :
+    (t -> addr:int -> old_size:int -> new_size:int -> predicted:bool -> int)
+    option
+
   val charge_alloc : t -> int -> unit
   val allocs : t -> int
   val frees : t -> int

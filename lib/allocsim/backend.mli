@@ -23,6 +23,16 @@
       [size <= 0].
     - [free t addr] releases a previously returned payload address and
       raises [Invalid_argument] on any other address.
+    - [realloc] is an {i optional} hook: [None] means the backend has no
+      native resize path and the driver synthesizes one as free + alloc +
+      copy (billing {!Cost_model} copy charges itself).  [Some f] hands
+      the decision to the backend: [f t ~addr ~old_size ~new_size
+      ~predicted] returns the block's (possibly unchanged) payload
+      address; returning [addr] itself declares an in-place grow/shrink,
+      any other address declares a move whose copy the driver then
+      charges.  The hook must leave the backend's alloc/free counters
+      consistent with the addresses it returns (a move is one free and
+      one alloc; in place is neither).
     - [charge_alloc t n] adds [n] simulated instructions to the allocation
       cost counter — the driver uses it to bill the per-allocation lifetime
       prediction (18 instructions for length-4 chains, the amortised
@@ -47,6 +57,13 @@ module type BACKEND = sig
   val create : ?base:int -> ?hint:int -> unit -> t
   val alloc : t -> size:int -> predicted:bool -> int
   val free : t -> int -> unit
+
+  val realloc :
+    (t -> addr:int -> old_size:int -> new_size:int -> predicted:bool -> int)
+    option
+  (** Native resize path, or [None] for the driver's free+alloc+copy
+      fallback.  See the contract above. *)
+
   val charge_alloc : t -> int -> unit
   val allocs : t -> int
   val frees : t -> int

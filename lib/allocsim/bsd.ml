@@ -94,6 +94,26 @@ let free t payload =
   t.free_instr <- t.free_instr + Cost_model.bsd_free;
   Int_stack.push t.buckets.(c) payload
 
+(* A power-of-two block already spans its whole class, so any resize that
+   stays in the class is absorbed in place (the header rewrite is the
+   driver's Cost_model.realloc_in_place charge); a class change is a free
+   plus an alloc, whose copy the driver bills. *)
+let realloc t payload ~new_size =
+  if new_size <= 0 then invalid_arg "Bsd.realloc: size must be positive";
+  let off = payload - t.base - header in
+  let idx = off lsr 4 in
+  if off < 0 || off land 15 <> 0 || idx >= Bytes.length t.class_of then
+    invalid_arg "Bsd.realloc: not an allocated address";
+  let c = Char.code (Bytes.unsafe_get t.class_of idx) - 1 in
+  if c < 0 then invalid_arg "Bsd.realloc: not an allocated address";
+  let c' = class_for new_size in
+  if c' > max_class then invalid_arg "Bsd.realloc: size too large";
+  if c' = c then payload
+  else begin
+    free t payload;
+    alloc t new_size
+  end
+
 let max_heap_size t = t.brk - t.base
 let alloc_instr t = t.alloc_instr
 let free_instr t = t.free_instr
@@ -110,6 +130,12 @@ module Backend : Backend.BACKEND with type t = t = struct
   let create ?base ?hint () = create ?base ?hint ()
   let alloc t ~size ~predicted:_ = alloc t size
   let free = free
+
+  let realloc =
+    Some
+      (fun t ~addr ~old_size:_ ~new_size ~predicted:_ ->
+        realloc t addr ~new_size)
+
   let charge_alloc = charge_alloc
   let allocs = allocs
   let frees = frees

@@ -57,6 +57,18 @@ let seg_recycle = 10
 let seg_large_alloc = 48
 let seg_large_free = 20
 
+(* Resizing.  An in-place grow or shrink is a size-class/boundary-tag
+   check plus a header rewrite; a move additionally pays the backend's
+   own free and alloc costs plus a word-at-a-time copy of the surviving
+   payload (the libc memcpy inner loop, one instruction per word after
+   setup). *)
+let realloc_in_place = 16
+let realloc_move_base = 8
+let word_bytes = 8
+
+let realloc_copy bytes =
+  if bytes <= 0 then 0 else (bytes + word_bytes - 1) / word_bytes
+
 (* Amortised call-chain-encryption cost per allocation for a program with
    the given dynamic counts (§5.1: total calls x 3 / total allocations). *)
 let cce_per_alloc ~calls ~allocs =

@@ -31,6 +31,58 @@ let run_impl ?cache ?predictor (trace : Lp_trace.Trace.t)
      that act on it, so e.g. a first-fit replay under a predictor stays
      byte-identical to one without *)
   let predictor = if B.uses_prediction then predictor else None in
+  let reallocs = ref 0 in
+  let realloc_in_place = ref 0 in
+  let realloc_moves = ref 0 in
+  (* Resize an object, preferring the backend's native hook and falling
+     back to free + alloc + copy.  The backend is handed the *tracked*
+     current size (what its block actually holds); the clock/total-bytes
+     charge uses the event's declared [old_size], mirroring
+     [Trace.total_bytes] and the stats folds.  Returns the block's new
+     payload address for the cache layer. *)
+  let do_realloc ~event ~obj ~old_size ~new_size ~chain ~key =
+    if obj < 0 || obj >= n_objects then
+      event_error ~event "realloc of out-of-range" obj;
+    let addr = Array.unsafe_get addr_of obj in
+    if addr < 0 then
+      event_error ~event "realloc of never-allocated or already-freed" obj;
+    let tracked = Array.unsafe_get size_of obj in
+    let predicted =
+      match predictor with
+      | None -> false
+      | Some p ->
+          (* the resize site predicts like an allocation site (§5.1) *)
+          B.charge_alloc b p.predict_cost;
+          p.predicted ~obj ~size:new_size ~chain ~key
+    in
+    let new_addr, moved =
+      match B.realloc with
+      | Some f ->
+          let a = f b ~addr ~old_size:tracked ~new_size ~predicted in
+          (a, a <> addr)
+      | None ->
+          B.free b addr;
+          (B.alloc b ~size:new_size ~predicted, true)
+    in
+    incr reallocs;
+    if moved then begin
+      incr realloc_moves;
+      B.charge_alloc b
+        (Cost_model.realloc_move_base
+        + Cost_model.realloc_copy (min tracked new_size))
+    end
+    else begin
+      incr realloc_in_place;
+      B.charge_alloc b Cost_model.realloc_in_place
+    end;
+    Array.unsafe_set addr_of obj new_addr;
+    Array.unsafe_set size_of obj new_size;
+    total_bytes := !total_bytes + max 0 (new_size - old_size);
+    let l = !live - tracked + new_size in
+    live := l;
+    if l > !max_live then max_live := l;
+    new_addr
+  in
   let events = trace.events in
   let n_events = Array.length events in
   (match cache with
@@ -68,6 +120,8 @@ let run_impl ?cache ?predictor (trace : Lp_trace.Trace.t)
             B.free b addr;
             live := !live - Array.unsafe_get size_of obj;
             Array.unsafe_set addr_of obj (-1)
+        | Lp_trace.Event.Realloc { obj; old_size; new_size; chain; key; _ } ->
+            ignore (do_realloc ~event ~obj ~old_size ~new_size ~chain ~key)
         | Lp_trace.Event.Touch { obj; _ } ->
             if obj < 0 || obj >= n_objects then
               event_error ~event "touch of out-of-range" obj
@@ -106,6 +160,11 @@ let run_impl ?cache ?predictor (trace : Lp_trace.Trace.t)
             live := !live - Array.unsafe_get size_of obj;
             Cache.access_range c ~addr ~bytes:8;
             Array.unsafe_set addr_of obj (-1)
+        | Lp_trace.Event.Realloc { obj; old_size; new_size; chain; key; _ } ->
+            let new_addr =
+              do_realloc ~event ~obj ~old_size ~new_size ~chain ~key
+            in
+            Cache.access_range c ~addr:new_addr ~bytes:8
         | Lp_trace.Event.Touch { obj; count } ->
             (* a Touch of n references walks the object at a 16-byte stride *)
             if obj < 0 || obj >= n_objects then
@@ -122,6 +181,9 @@ let run_impl ?cache ?predictor (trace : Lp_trace.Trace.t)
     Metrics.algorithm = B.name;
     allocs = B.allocs b;
     frees = B.frees b;
+    reallocs = !reallocs;
+    realloc_in_place = !realloc_in_place;
+    realloc_moves = !realloc_moves;
     total_bytes = !total_bytes;
     max_heap = B.max_heap_size b;
     max_live = !max_live;
@@ -169,6 +231,52 @@ let run_source_impl ?cache ?predictor (src : Lp_trace.Source.t)
   let max_live = ref 0 in
   let total_bytes = ref 0 in
   let predictor = if B.uses_prediction then predictor else None in
+  let reallocs = ref 0 in
+  let realloc_in_place = ref 0 in
+  let realloc_moves = ref 0 in
+  (* streaming twin of [run_impl]'s [do_realloc]; Grow tables instead of
+     flat arrays, identical semantics *)
+  let do_realloc ~event ~obj ~old_size ~new_size ~chain ~key =
+    if obj < 0 then event_error ~event "realloc of out-of-range" obj;
+    let addr = Lp_trace.Grow.get addr_of obj in
+    if addr < 0 then
+      event_error ~event "realloc of never-allocated or already-freed" obj;
+    let tracked = Lp_trace.Grow.get size_of obj in
+    let predicted =
+      match predictor with
+      | None -> false
+      | Some p ->
+          B.charge_alloc b p.predict_cost;
+          p.predicted ~obj ~size:new_size ~chain ~key
+    in
+    let new_addr, moved =
+      match B.realloc with
+      | Some f ->
+          let a = f b ~addr ~old_size:tracked ~new_size ~predicted in
+          (a, a <> addr)
+      | None ->
+          B.free b addr;
+          (B.alloc b ~size:new_size ~predicted, true)
+    in
+    incr reallocs;
+    if moved then begin
+      incr realloc_moves;
+      B.charge_alloc b
+        (Cost_model.realloc_move_base
+        + Cost_model.realloc_copy (min tracked new_size))
+    end
+    else begin
+      incr realloc_in_place;
+      B.charge_alloc b Cost_model.realloc_in_place
+    end;
+    Lp_trace.Grow.set addr_of obj new_addr;
+    Lp_trace.Grow.set size_of obj new_size;
+    total_bytes := !total_bytes + max 0 (new_size - old_size);
+    let l = !live - tracked + new_size in
+    live := l;
+    if l > !max_live then max_live := l;
+    new_addr
+  in
   let event = ref (-1) in
   let rec loop () =
     match Lp_trace.Source.next src with
@@ -209,6 +317,13 @@ let run_source_impl ?cache ?predictor (src : Lp_trace.Source.t)
             | Some c -> Cache.access_range c ~addr ~bytes:8
             | None -> ());
             Lp_trace.Grow.set addr_of obj (-1)
+        | Lp_trace.Event.Realloc { obj; old_size; new_size; chain; key; _ } -> (
+            let new_addr =
+              do_realloc ~event ~obj ~old_size ~new_size ~chain ~key
+            in
+            match cache with
+            | Some c -> Cache.access_range c ~addr:new_addr ~bytes:8
+            | None -> ())
         | Lp_trace.Event.Touch { obj; count } -> (
             if obj < 0 then event_error ~event "touch of out-of-range" obj;
             match cache with
@@ -230,6 +345,9 @@ let run_source_impl ?cache ?predictor (src : Lp_trace.Source.t)
     Metrics.algorithm = B.name;
     allocs = B.allocs b;
     frees = B.frees b;
+    reallocs = !reallocs;
+    realloc_in_place = !realloc_in_place;
+    realloc_moves = !realloc_moves;
     total_bytes = !total_bytes;
     max_heap = B.max_heap_size b;
     max_live = !max_live;

@@ -395,6 +395,10 @@ module Best_backend : Backend.BACKEND with type t = t = struct
   let create ?base ?hint () = create ?base ?hint ~policy:Best ()
   let alloc t ~size ~predicted:_ = alloc t size
   let free = free
+
+  (* boundary-tag blocks are exact-fit; no native resize path, so the
+     driver synthesizes free + alloc + copy *)
+  let realloc = None
   let charge_alloc = charge_alloc
   let allocs = allocs
   let frees = frees
@@ -415,6 +419,7 @@ module Backend : Backend.BACKEND with type t = t = struct
   let create ?base ?hint () = create ?base ?hint ()
   let alloc t ~size ~predicted:_ = alloc t size
   let free = free
+  let realloc = None
   let charge_alloc = charge_alloc
   let allocs = allocs
   let frees = frees

@@ -74,6 +74,24 @@ let run ?(config = default_config) ~pretenure (trace : Lp_trace.Trace.t) : stats
               tenured_garbage := !tenured_garbage + size_of.(obj);
               tenured_live := !tenured_live - size_of.(obj)
           | Nursery -> () (* reclaimed for free at the next minor gc *))
+      | Lp_trace.Event.Realloc { obj; new_size; _ } -> (
+          (* a resize keeps the object in its space; only the occupancy
+             accounting moves by the size delta *)
+          let delta = new_size - size_of.(obj) in
+          size_of.(obj) <- new_size;
+          match space_of.(obj) with
+          | Tenured ->
+              tenured_live := !tenured_live + delta;
+              if !tenured_live > !max_tenured_live then
+                max_tenured_live := !tenured_live
+          | Nursery ->
+              if not dead.(obj) then begin
+                if !nursery_used + delta > config.nursery_bytes then minor_gc ();
+                (* that collection may have just promoted it (at the new
+                   size); only a still-nursery object occupies nursery space *)
+                if space_of.(obj) = Nursery then
+                  nursery_used := !nursery_used + delta
+              end)
       | Lp_trace.Event.Touch _ -> ())
     trace.events;
   {

@@ -20,6 +20,9 @@ type t = {
   algorithm : string;
   allocs : int;
   frees : int;
+  reallocs : int;
+  realloc_in_place : int;
+  realloc_moves : int;
   total_bytes : int;
   max_heap : int;
   max_live : int;
@@ -59,11 +62,18 @@ let pp ppf t =
           (arena_alloc_pct t) (arena_bytes_pct t)
     | _ -> ()
   in
+  (* realloc-free replays print exactly as they always have *)
+  let pp_reallocs ppf t =
+    if t.reallocs > 0 then
+      Format.fprintf ppf "@ reallocs %d (%d in place, %d moved)" t.reallocs
+        t.realloc_in_place t.realloc_moves
+  in
   Format.fprintf ppf
-    "@[<v>%s:@ allocs %d, bytes %d%a@ max heap %d, max live %d (frag %.1f%%)@ \
+    "@[<v>%s:@ allocs %d, bytes %d%a%a@ max heap %d, max live %d (frag %.1f%%)@ \
      instr/alloc %.1f, instr/free %.1f%a@]"
-    t.algorithm t.allocs t.total_bytes pp_arena_share t t.max_heap t.max_live
-    (fragmentation_pct t) t.instr_per_alloc t.instr_per_free pp_extra t.extra
+    t.algorithm t.allocs t.total_bytes pp_arena_share t pp_reallocs t t.max_heap
+    t.max_live (fragmentation_pct t) t.instr_per_alloc t.instr_per_free pp_extra
+    t.extra
 
 (* -- JSON ---------------------------------------------------------------------- *)
 
@@ -84,11 +94,25 @@ let json_extra = function
       ]
 
 let to_json t =
+  (* emitted only when the trace had any: keeps realloc-free output
+     byte-identical to what older consumers (and the golden files) expect *)
+  let realloc_fields =
+    if t.reallocs = 0 then []
+    else
+      [
+        ("reallocs", string_of_int t.reallocs);
+        ("realloc_in_place", string_of_int t.realloc_in_place);
+        ("realloc_moves", string_of_int t.realloc_moves);
+      ]
+  in
   let fields =
     [
       ("algorithm", Printf.sprintf "%S" t.algorithm);
       ("allocs", string_of_int t.allocs);
       ("frees", string_of_int t.frees);
+    ]
+    @ realloc_fields
+    @ [
       ("total_bytes", string_of_int t.total_bytes);
       ("max_heap", string_of_int t.max_heap);
       ("max_live", string_of_int t.max_live);

@@ -24,6 +24,9 @@ type t = {
   algorithm : string;
   allocs : int;
   frees : int;
+  reallocs : int;  (** realloc events replayed *)
+  realloc_in_place : int;  (** resizes the backend absorbed without moving *)
+  realloc_moves : int;  (** resizes that paid a fresh block plus a copy *)
   total_bytes : int;
   max_heap : int;  (** bytes, arena area included where applicable *)
   max_live : int;  (** peak simultaneously-live payload bytes *)
@@ -49,4 +52,7 @@ val pp : Format.formatter -> t -> unit
 
 val to_json : t -> string
 (** One JSON object per metrics record: the core fields plus whatever the
-    backend's [extra] carries, flattened.  For [lpalloc ... --json]. *)
+    backend's [extra] carries, flattened.  For [lpalloc ... --json].
+    The realloc counters appear (in both [pp] and [to_json]) only when
+    [reallocs > 0], so realloc-free replays render byte-identically to
+    releases that predate the counters. *)

@@ -209,6 +209,28 @@ let free t payload =
       | Small slab -> free_small t payload slab
       | Large n -> free_large t payload n)
 
+(* A small cell absorbs any resize within its size class; a span absorbs
+   any resize with the same page count.  Everything else is a free plus
+   an alloc, whose copy the driver bills. *)
+let realloc t payload ~new_size =
+  if new_size <= 0 then invalid_arg "Segfit.realloc: size must be positive";
+  let off = payload - t.heap_base - header in
+  let idx = off lsr 4 in
+  if off < 0 || off land 15 <> 0 || idx >= Array.length t.origin_of then
+    invalid_arg "Segfit.realloc: not an allocated address";
+  let cls = class_for new_size in
+  let in_place =
+    match Array.unsafe_get t.origin_of idx with
+    | No -> invalid_arg "Segfit.realloc: not an allocated address"
+    | Small slab -> cls <= max_small_class && cls = slab.cls
+    | Large n -> cls > max_small_class && span_pages new_size = n
+  in
+  if in_place then payload
+  else begin
+    free t payload;
+    alloc t new_size
+  end
+
 let max_heap_size t = t.brk - t.heap_base
 let alloc_instr t = t.alloc_instr
 let free_instr t = t.free_instr
@@ -263,6 +285,12 @@ module Backend : Backend.BACKEND with type t = t = struct
   let create ?base ?hint () = create ?base ?hint ()
   let alloc t ~size ~predicted:_ = alloc t size
   let free = free
+
+  let realloc =
+    Some
+      (fun t ~addr ~old_size:_ ~new_size ~predicted:_ ->
+        realloc t addr ~new_size)
+
   let charge_alloc = charge_alloc
   let allocs = allocs
   let frees = frees

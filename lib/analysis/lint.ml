@@ -19,6 +19,21 @@ let rules =
       doc = "a declared sized-deallocation size differs from the allocation";
     };
     {
+      id = "realloc-of-unallocated";
+      default_severity = Error;
+      doc = "a realloc of an object with no preceding allocation";
+    };
+    {
+      id = "realloc-after-free";
+      default_severity = Error;
+      doc = "a realloc of an object after its free";
+    };
+    {
+      id = "realloc-size-regression";
+      default_severity = Error;
+      doc = "a realloc whose declared old size is not the object's current size";
+    };
+    {
       id = "nonpositive-size";
       default_severity = Error;
       doc = "an allocation of zero or negative size";
@@ -155,6 +170,38 @@ let run_source ?only ?disable ?(max_chain_depth = default_max_chain_depth)
                      (Lp_trace.Grow.get alloc_size obj)
                      (Lp_trace.Grow.get alloc_event obj));
               if st = live then Lp_trace.Grow.set state obj event
+            end
+        | Realloc { obj; old_size; new_size; chain; _ } ->
+            if new_size <= 0 then
+              emit ~rule:"nonpositive-size" ~severity:Error ~event ~obj
+                ~site:(render_chain chain)
+                (Printf.sprintf "realloc of object %d to size %d" obj new_size);
+            if obj < 0 || Lp_trace.Grow.get state obj = unborn then
+              emit ~rule:"realloc-of-unallocated" ~severity:Error ~event ~obj
+                ~site:(render_chain chain)
+                (Printf.sprintf
+                   "realloc of object %d which has not been allocated" obj)
+            else begin
+              let st = Lp_trace.Grow.get state obj in
+              if st >= 0 then
+                emit ~rule:"realloc-after-free" ~severity:Error ~event ~obj
+                  ~site:(render_chain (Lp_trace.Grow.get alloc_chain obj))
+                  (Printf.sprintf
+                     "realloc of object %d after its free at event %d" obj st)
+              else begin
+                (if old_size <> Lp_trace.Grow.get alloc_size obj then
+                   emit ~rule:"realloc-size-regression" ~severity:Error ~event
+                     ~obj
+                     ~site:(render_chain (Lp_trace.Grow.get alloc_chain obj))
+                     (Printf.sprintf
+                        "realloc declares old size %d but object %d currently \
+                         has size %d (allocated at event %d)"
+                        old_size obj
+                        (Lp_trace.Grow.get alloc_size obj)
+                        (Lp_trace.Grow.get alloc_event obj)));
+                (* later size checks are against the resized object *)
+                Lp_trace.Grow.set alloc_size obj new_size
+              end
             end
         | Touch { obj; _ } ->
             if obj < 0 || Lp_trace.Grow.get state obj = unborn then
@@ -341,6 +388,41 @@ let run_range ?only ?disable ?(max_chain_depth = default_max_chain_depth)
               if st = live then begin
                 touch obj;
                 Lp_trace.Grow.set state obj event
+              end
+            end
+        | Realloc { obj; old_size; new_size; chain; _ } ->
+            if new_size <= 0 then
+              emit ~rule:"nonpositive-size" ~severity:Error ~event ~obj
+                ~site:(render_chain chain)
+                (Printf.sprintf "realloc of object %d to size %d" obj new_size);
+            if obj < 0 || Lp_trace.Grow.get state obj = unborn then
+              emit ~rule:"realloc-of-unallocated" ~severity:Error ~event ~obj
+                ~site:(render_chain chain)
+                (Printf.sprintf
+                   "realloc of object %d which has not been allocated" obj)
+            else begin
+              let st = Lp_trace.Grow.get state obj in
+              if st >= 0 then
+                emit ~rule:"realloc-after-free" ~severity:Error ~event ~obj
+                  ~site:(render_chain (Lp_trace.Grow.get alloc_chain obj))
+                  (Printf.sprintf
+                     "realloc of object %d after its free at event %d" obj st)
+              else begin
+                (if old_size <> Lp_trace.Grow.get alloc_size obj then
+                   emit ~rule:"realloc-size-regression" ~severity:Error ~event
+                     ~obj
+                     ~site:(render_chain (Lp_trace.Grow.get alloc_chain obj))
+                     (Printf.sprintf
+                        "realloc declares old size %d but object %d currently \
+                         has size %d (allocated at event %d)"
+                        old_size obj
+                        (Lp_trace.Grow.get alloc_size obj)
+                        (Lp_trace.Grow.get alloc_event obj)));
+                (* the range's end-state size must be the resized one so the
+                   merge overlay and later ranges agree with the sequential
+                   machine (the carry-in sets snapshot post-realloc sizes) *)
+                touch obj;
+                Lp_trace.Grow.set alloc_size obj new_size
               end
             end
         | Touch { obj; _ } ->

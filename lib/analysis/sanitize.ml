@@ -53,8 +53,9 @@ let wrap ?(alignment = 1) ?boundary (module B : Lp_allocsim.Backend.BACKEND) :
 
     let range addr size = Printf.sprintf "[%d, %d)" addr (addr + size)
 
-    let alloc t ~size ~predicted =
-      let addr = B.alloc t.inner ~size ~predicted in
+    (* the placement rules a block must satisfy on entry to the shadow
+       heap, shared by alloc and the realloc remap *)
+    let check_placement t ~addr ~size =
       (if alignment > 1 && addr mod alignment <> 0 then
          violation t ~rule:"shadow-misaligned" ~site:(range addr size)
            (Printf.sprintf "block at %d is not %d-byte aligned" addr alignment));
@@ -65,11 +66,15 @@ let wrap ?(alignment = 1) ?boundary (module B : Lp_allocsim.Backend.BACKEND) :
       | _ -> ());
       (* live blocks are pairwise disjoint, so the only candidate overlap
          is the highest-addressed block starting below our end *)
-      (match Shadow.find_last_opt (fun a -> a < addr + size) t.shadow with
+      match Shadow.find_last_opt (fun a -> a < addr + size) t.shadow with
       | Some (a, s) when a + s > addr ->
           violation t ~rule:"shadow-overlap" ~site:(range addr size)
             (Printf.sprintf "new block overlaps live block %s" (range a s))
-      | _ -> ());
+      | _ -> ()
+
+    let alloc t ~size ~predicted =
+      let addr = B.alloc t.inner ~size ~predicted in
+      check_placement t ~addr ~size;
       t.shadow <- Shadow.add addr size t.shadow;
       t.ops <- t.ops + 1;
       addr
@@ -82,6 +87,30 @@ let wrap ?(alignment = 1) ?boundary (module B : Lp_allocsim.Backend.BACKEND) :
       | Some _ -> t.shadow <- Shadow.remove addr t.shadow);
       t.ops <- t.ops + 1;
       B.free t.inner addr
+
+    (* a native resize remaps the shadow block: unmap the old address
+       (flagging a realloc of an unmapped block exactly like a free), let
+       the inner backend place it, then re-check and re-map at the
+       possibly-moved address.  A [None] inner hook stays [None] so the
+       driver's free+alloc fallback flows through the checked [free] and
+       [alloc] above. *)
+    let realloc =
+      match B.realloc with
+      | None -> None
+      | Some f ->
+          Some
+            (fun t ~addr ~old_size ~new_size ~predicted ->
+              (match Shadow.find_opt addr t.shadow with
+              | None ->
+                  violation t ~rule:"shadow-unmapped-free"
+                    ~site:(string_of_int addr)
+                    (Printf.sprintf "realloc at unmapped address %d" addr)
+              | Some _ -> t.shadow <- Shadow.remove addr t.shadow);
+              let new_addr = f t.inner ~addr ~old_size ~new_size ~predicted in
+              check_placement t ~addr:new_addr ~size:new_size;
+              t.shadow <- Shadow.add new_addr new_size t.shadow;
+              t.ops <- t.ops + 1;
+              new_addr)
 
     let charge_alloc t n = B.charge_alloc t.inner n
     let allocs t = B.allocs t.inner

@@ -101,6 +101,10 @@ let collect_source ?(config = Config.default) (src : Lp_trace.Source.t) :
             Lp_trace.Grow.set lifetime obj
               (!clock - Lp_trace.Grow.get birth obj);
             Lp_trace.Grow.set survived obj 0
+        | Lp_trace.Event.Realloc { old_size; new_size; _ } ->
+            (* training observes sites at allocation only; a resize just
+               advances the clock, like the lifetime folds *)
+            clock := !clock + max 0 (new_size - old_size)
         | Lp_trace.Event.Touch _ -> ());
         loop ()
   in

@@ -75,6 +75,20 @@ let check_live t h op =
   | Live size -> size
   | Freed -> invalid_arg (op ^ ": object already freed")
 
+let realloc ?tag t h ~new_size =
+  let old_size = check_live t h "Runtime.realloc" in
+  if new_size <= 0 then invalid_arg "Runtime.realloc: size must be positive";
+  (* the resize site gets its own chain/key snapshot, like an allocation *)
+  let chain =
+    Lp_trace.Trace.Builder.intern_chain t.builder
+      (Lp_callchain.Stack.snapshot t.stack)
+  in
+  let key = Lp_callchain.Stack.encryption_key t.stack in
+  let tag = Option.map (Lp_trace.Trace.Builder.intern_tag t.builder) tag in
+  Lp_trace.Trace.Builder.realloc ?tag t.builder ~new_size ~chain ~key ~obj:h ();
+  t.objects.(h) <- Live new_size;
+  old_size
+
 let free t h =
   ignore (check_live t h "Runtime.free" : int);
   t.objects.(h) <- Freed;

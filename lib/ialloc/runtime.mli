@@ -64,6 +64,13 @@ val alloc : ?tag:string -> t -> size:int -> handle
 
     @raise Invalid_argument if [size <= 0]. *)
 
+val realloc : ?tag:string -> t -> handle -> new_size:int -> int
+(** Resize a live object to [new_size] bytes, keeping its handle: the
+    emitted {!Lp_trace.Event.Realloc} carries the current call-chain and
+    encryption key of the {i resize} site, and the object's lifetime
+    spans the resize.  Returns the size the object had before.
+    @raise Invalid_argument if the object is freed or [new_size <= 0]. *)
+
 val free : t -> handle -> unit
 (** Release an object.
     @raise Invalid_argument on double free. *)

@@ -13,9 +13,13 @@ let default_chunk_events = 1 lsl 18
    trace contains declared (sized-deallocation) free sizes — shifts the
    packed-alloc base to 0x06 to make room for opcode 0x05, sized free
    (0x04 stays reserved); version-1 files keep their original byte
-   layout. *)
+   layout.  Version 3 claims the reserved 0x04 for realloc — v2 decoders
+   keep failing on it, and the v1/v2 writer refuses realloc-bearing
+   traces outright, so realloc never leaks into a version that cannot
+   express it. *)
 let alloc_base_of_version v = if v >= version_sized then 0x06 else 0x04
 let sized_free_op = 0x05
+let realloc_op = 0x04
 
 (* Zigzag is a bijection on the full native int range: both shifts are
    width-relative ([lsl 1] deliberately wraps through the sign bit, which
@@ -75,7 +79,8 @@ let intern_site si chain key tag =
 (* Per-event encoding, shared by the whole-stream (v1/v2) and per-chunk
    (v3) writers: the delta state lives in the caller's refs, which v3
    resets at every chunk boundary so chunks decode standalone. *)
-let encode_event ~alloc_base b si ~prev_alloc ~prev_free ~prev_touch = function
+let encode_event ~alloc_base b si ~prev_alloc ~prev_free ~prev_touch
+    ~prev_realloc = function
   | Event.Alloc { obj; size; chain; key; tag } ->
       let site = intern_site si chain key tag in
       let max_packed_site = 0x40 - alloc_base in
@@ -112,6 +117,16 @@ let encode_event ~alloc_base b si ~prev_alloc ~prev_free ~prev_touch = function
            add_varint_bits b z
          end);
       prev_free := obj
+  | Event.Realloc { obj; old_size; new_size; chain; key; tag } ->
+      (* only the v3 writer reaches this arm: [to_buffer] rejects
+         realloc-bearing traces before encoding *)
+      let site = intern_site si chain key tag in
+      Buffer.add_char b (Char.unsafe_chr realloc_op);
+      add_zigzag b (obj - !prev_realloc);
+      prev_realloc := obj;
+      add_varint b site;
+      add_varint b old_size;
+      add_varint b new_size
   | Event.Touch { obj; count } ->
       let z = zigzag (obj - !prev_touch) in
       if z >= 0 && z < 8 && count >= 1 && count <= 16 then
@@ -129,13 +144,20 @@ let encode_events ~file_version (t : Trace.t) =
   let alloc_base = alloc_base_of_version file_version in
   let b = Buffer.create 65536 in
   let si = site_interner () in
-  let prev_alloc = ref (-1) and prev_free = ref 0 and prev_touch = ref 0 in
+  let prev_alloc = ref (-1)
+  and prev_free = ref 0
+  and prev_touch = ref 0
+  and prev_realloc = ref 0 in
   Array.iter
-    (encode_event ~alloc_base b si ~prev_alloc ~prev_free ~prev_touch)
+    (encode_event ~alloc_base b si ~prev_alloc ~prev_free ~prev_touch
+       ~prev_realloc)
     t.events;
   (Array.of_list (List.rev si.si_defs), b)
 
 let to_buffer b (t : Trace.t) =
+  if Array.exists (function Event.Realloc _ -> true | _ -> false) t.events then
+    invalid_arg
+      "Binio.output: realloc events require the version-3 writer (to_buffer_v3)";
   (* version 2 only when needed, so unsized traces stay byte-identical to
      version-1 writers *)
   let file_version =
@@ -286,8 +308,10 @@ let to_buffer_v3 ?(chunk_events = default_chunk_events) b (t : Trace.t) =
     for i = lo to hi - 1 do
       let obj =
         match t.events.(i) with
-        | Event.Alloc { obj; _ } | Event.Free { obj; _ } | Event.Touch { obj; _ }
-          ->
+        | Event.Alloc { obj; _ }
+        | Event.Free { obj; _ }
+        | Event.Realloc { obj; _ }
+        | Event.Touch { obj; _ } ->
             obj
       in
       if
@@ -314,10 +338,13 @@ let to_buffer_v3 ?(chunk_events = default_chunk_events) b (t : Trace.t) =
     (* pass 2: encode events (reset delta state, global site interning)
        while updating the replay state *)
     let events_buf = Buffer.create 65536 in
-    let prev_alloc = ref (-1) and prev_free = ref 0 and prev_touch = ref 0 in
+    let prev_alloc = ref (-1)
+    and prev_free = ref 0
+    and prev_touch = ref 0
+    and prev_realloc = ref 0 in
     for i = lo to hi - 1 do
       encode_event ~alloc_base events_buf si ~prev_alloc ~prev_free ~prev_touch
-        t.events.(i);
+        ~prev_realloc t.events.(i);
       match t.events.(i) with
       | Event.Alloc { obj; size; chain; _ } ->
           if obj >= 0 then begin
@@ -340,6 +367,16 @@ let to_buffer_v3 ?(chunk_events = default_chunk_events) b (t : Trace.t) =
               Grow.set ofreed obj i
           end;
           decr live_objs
+      | Event.Realloc { obj; old_size; new_size; _ } ->
+          (* the carry-in size of a later chunk must be the current
+             (post-resize) size, so [osize] tracks it; the clock grows by
+             the grown delta only, live bytes by the tracked delta —
+             mirroring the stats folds these counters seed *)
+          if obj >= 0 then begin
+            live_bytes := !live_bytes - Grow.get osize obj + new_size;
+            Grow.set osize obj new_size
+          end;
+          clock := !clock + max 0 (new_size - old_size)
       | Event.Touch _ -> ()
     done;
     (* table prefix extensions: everything the chunk's new sites pull in,
@@ -578,6 +615,7 @@ type decoder = {
   mutable prev_alloc : int;
   mutable prev_free : int;
   mutable prev_touch : int;
+  mutable prev_realloc : int;
   mutable closed : bool;
 }
 
@@ -818,6 +856,7 @@ let decoder ?name (buf : bytes_view) : decoder =
     prev_alloc = -1;
     prev_free = 0;
     prev_touch = 0;
+    prev_realloc = 0;
     closed = false;
   }
 
@@ -868,6 +907,13 @@ let read_event d =
     d.prev_touch <- obj;
     Event.Touch { obj; count }
   in
+  let realloc delta (chain, key, tag) =
+    let obj = check_obj "realloc" (d.prev_realloc + delta) in
+    d.prev_realloc <- obj;
+    let old_size = read_varint c in
+    let new_size = read_varint c in
+    Event.Realloc { obj; old_size; new_size; chain; key; tag }
+  in
   match read_byte c with
   | 0x00 -> alloc (d.prev_alloc + 1) (site "alloc" (read_varint c))
   | 0x01 ->
@@ -880,6 +926,9 @@ let read_event d =
   | op when d.version >= version_sized && op = sized_free_op ->
       let delta = read_zigzag c in
       free ~size:(read_varint c) delta
+  | op when d.version >= version_sharded && op = realloc_op ->
+      let delta = read_zigzag c in
+      realloc delta (site "realloc" (read_varint c))
   | op when d.version >= version_sized && op < alloc_base ->
       fail c (Printf.sprintf "reserved opcode %#x" op)
   | op when op < 0x40 -> alloc (d.prev_alloc + 1) (site "alloc" (op - alloc_base))
@@ -889,7 +938,8 @@ let read_event d =
 let reset_deltas d =
   d.prev_alloc <- -1;
   d.prev_free <- 0;
-  d.prev_touch <- 0
+  d.prev_touch <- 0;
+  d.prev_realloc <- 0
 
 (* sequential v3: parse the next chunk's header sections in place *)
 let enter_chunk d =
@@ -1102,6 +1152,7 @@ let range_decoder ix ~first ~count : decoder =
     prev_alloc = -1;
     prev_free = 0;
     prev_touch = 0;
+    prev_realloc = 0;
     closed = false;
   }
 

@@ -41,6 +41,15 @@
     produces — are still written as version 1, byte-identical to older
     writers; readers accept both versions.
 
+    Version 3 claims the reserved [0x04] for realloc:
+    [zigzag (obj - previous realloc'd obj)] [site old-size new-size],
+    the site naming the resize call-chain exactly as an alloc's does.
+    The v1/v2 writer raises [Invalid_argument] on a realloc-bearing
+    trace (only {!to_string_v3} can express one), and v2 decoders keep
+    rejecting [0x04] as reserved, so a realloc event can never be
+    smuggled into a version that cannot express it.  Realloc-free
+    traces are unaffected byte-for-byte in every version.
+
     {b Version 3 — the sharded layout.}  [.lpt] v3 (written only on
     request, by {!to_string_v3}/{!output_v3}) splits the event stream
     into fixed-size chunks for seeking and data-parallel replay:
@@ -99,7 +108,11 @@ val default_chunk_events : int
 (** Default events per chunk of {!to_string_v3} (2{^18}). *)
 
 val output : out_channel -> Trace.t -> unit
+(** @raise Invalid_argument if the trace contains realloc events, which
+    only the version-3 writer can express. *)
+
 val to_string : Trace.t -> string
+(** @raise Invalid_argument if the trace contains realloc events. *)
 
 val output_v3 : ?chunk_events:int -> out_channel -> Trace.t -> unit
 (** Write the sharded (version 3) layout.  [chunk_events] is the events
@@ -190,7 +203,9 @@ val decoder_n_tags : decoder -> int
 
 type carry = {
   cr_obj : int;
-  cr_size : int;  (** size of the object's last pre-chunk allocation *)
+  cr_size : int;
+      (** the object's current size at chunk entry: its last pre-chunk
+          allocation's size as updated by any pre-chunk reallocs *)
   cr_alloc_event : int;  (** event index of that allocation *)
   cr_alloc_chain : int;  (** chain id of that allocation *)
   cr_birth_clock : int;  (** allocation clock just before it *)

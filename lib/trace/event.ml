@@ -1,7 +1,15 @@
 type t =
   | Alloc of { obj : int; size : int; chain : int; key : int; tag : int }
   | Free of { obj : int; size : int }
-  | Touch of { obj : int; mutable count : int }
+  | Realloc of {
+      obj : int;
+      old_size : int;
+      new_size : int;
+      chain : int;
+      key : int;
+      tag : int;
+    }
+  | Touch of { obj : int; count : int }
 
 let pp ppf = function
   | Alloc { obj; size; chain; key; tag } ->
@@ -10,4 +18,7 @@ let pp ppf = function
   | Free { obj; size } ->
       if size < 0 then Format.fprintf ppf "free obj=%d" obj
       else Format.fprintf ppf "free obj=%d size=%d" obj size
+  | Realloc { obj; old_size; new_size; chain; key; tag } ->
+      Format.fprintf ppf "realloc obj=%d old=%d new=%d chain=%d key=%#x tag=%d"
+        obj old_size new_size chain key tag
   | Touch { obj; count } -> Format.fprintf ppf "touch obj=%d count=%d" obj count

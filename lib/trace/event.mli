@@ -23,9 +23,27 @@ type t =
           tracing runtime never does; external traces may).  The replay
           engine ignores it; the trace linter cross-checks it against the
           size recorded at the object's allocation. *)
-  | Touch of { obj : int; mutable count : int }
+  | Realloc of {
+      obj : int;
+      old_size : int;
+      new_size : int;
+      chain : int;
+      key : int;
+      tag : int;
+    }
+      (** Resize of live object [obj] from [old_size] to [new_size] bytes.
+          The object keeps its identity — its lifetime spans resizes and
+          ends at its single [Free] — so growable buffers are no longer
+          mislabeled as unrelated free+alloc pairs.  [chain]/[key]/[tag]
+          snapshot the stack at the resize site, exactly as [Alloc] does
+          at birth.  [old_size] is the size the trace {e declares} the
+          object had before the resize; the linter cross-checks it against
+          the tracked current size ([realloc-size-regression]). *)
+  | Touch of { obj : int; count : int }
       (** [count] heap references to [obj] at this point of the program.
-          Consecutive touches of one object are merged.  The count is
-          mutable only so the trace builder can merge in place. *)
+          Consecutive touches of one object are merged by the builder,
+          which replaces the pending event with a fresh record — events
+          are immutable once emitted, so cursors handed to
+          [Parallel.map_sources] never alias a mutated record. *)
 
 val pp : Format.formatter -> t -> unit

@@ -72,8 +72,14 @@ let read_file path =
   Lp_obs.Timings.note_peak_heap ();
   t
 
+(* The binary writers pick the lowest version that can express the
+   trace: realloc-bearing traces need the sharded v3 layout (v1/v2 have
+   no realloc opcode and their writers refuse), realloc-free traces stay
+   byte-identical to older writers. *)
 let to_string_for ~format t =
-  match format with Binary -> Binio.to_string t | Text -> Textio.to_string t
+  match format with
+  | Binary -> if Trace.has_realloc t then Binio.to_string_v3 t else Binio.to_string t
+  | Text -> Textio.to_string t
 
 let write_file ?format path t =
   let format = match format with Some f -> f | None -> format_for_path path in
@@ -87,4 +93,6 @@ let write_file ?format path t =
   Lp_obs.Timings.count "trace.bytes_written" (String.length s)
 
 let output ?(format = Text) oc t =
-  match format with Binary -> Binio.output oc t | Text -> Textio.output oc t
+  match format with
+  | Binary -> if Trace.has_realloc t then Binio.output_v3 oc t else Binio.output oc t
+  | Text -> Textio.output oc t

@@ -37,7 +37,11 @@ val read_file : string -> Trace.t
 
 val write_file : ?format:format -> string -> Trace.t -> unit
 (** Writes atomically enough for our purposes (single [open]/[write]);
-    format defaults to {!format_for_path}. *)
+    format defaults to {!format_for_path}.  [Binary] auto-selects the
+    lowest version that can express the trace: realloc-bearing traces
+    are written in the sharded v3 layout, realloc-free traces exactly
+    as older writers produced them. *)
 
 val output : ?format:format -> out_channel -> Trace.t -> unit
-(** [format] defaults to [Text] (the historical behaviour on stdout). *)
+(** [format] defaults to [Text] (the historical behaviour on stdout);
+    [Binary] version-selects like {!write_file}. *)

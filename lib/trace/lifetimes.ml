@@ -19,6 +19,10 @@ let compute (trace : Trace.t) =
       | Event.Free { obj; _ } ->
           lifetime.(obj) <- !clock - birth_clock.(obj);
           survived.(obj) <- false
+      | Event.Realloc { old_size; new_size; _ } ->
+          (* a resize advances the allocation clock by the grown delta but
+             keeps the object's birth: its lifetime spans its resizes *)
+          clock := !clock + max 0 (new_size - old_size)
       | Event.Touch _ -> ())
     trace.events;
   let end_clock = !clock in
@@ -65,6 +69,8 @@ let summary_source ~threshold (src : Source.t) =
       | Event.Free { obj; _ } ->
           Grow.set lifetime obj (!clock - Grow.get birth obj);
           Grow.set survived obj 0
+      | Event.Realloc { old_size; new_size; _ } ->
+          clock := !clock + max 0 (new_size - old_size)
       | Event.Touch _ -> ())
     src;
   let end_clock = !clock in
@@ -143,6 +149,8 @@ let fold_range ?on_alloc (rg : Sharded.range) =
           touch obj;
           Grow.set freed obj 1;
           Grow.set life obj (!clock - Grow.get birth obj)
+      | Event.Realloc { old_size; new_size; _ } ->
+          clock := !clock + max 0 (new_size - old_size)
       | Event.Touch _ -> ())
     src;
   let touched = Grow.to_array touched in
@@ -229,6 +237,10 @@ let max_live (trace : Trace.t) =
       | Event.Free { obj; _ } ->
           live_bytes := !live_bytes - sizes.(obj);
           decr live_objs
+      | Event.Realloc { obj; new_size; _ } ->
+          live_bytes := !live_bytes - sizes.(obj) + new_size;
+          sizes.(obj) <- new_size;
+          if !live_bytes > !max_bytes then max_bytes := !live_bytes
       | Event.Touch _ -> ())
     trace.events;
   (!max_bytes, !max_objs)

@@ -59,6 +59,14 @@ let compute_source (src : Source.t) =
       | Event.Free { obj; _ } ->
           live_bytes := !live_bytes - Grow.get sizes obj;
           decr live_objs
+      | Event.Realloc { obj; old_size; new_size; _ } ->
+          (* the clock charges the declared grown delta (as
+             [Trace.total_bytes] does); live bytes swap the tracked
+             current size for the new one (as the free path subtracts) *)
+          total_bytes := !total_bytes + max 0 (new_size - old_size);
+          live_bytes := !live_bytes - Grow.get sizes obj + new_size;
+          Grow.set sizes obj new_size;
+          if !live_bytes > !max_bytes then max_bytes := !live_bytes
       | Event.Touch _ -> ())
     src;
   let c = Source.counters src in
@@ -119,6 +127,14 @@ let compute_range (rg : Sharded.range) =
       | Event.Free { obj; _ } ->
           live_bytes := !live_bytes - Grow.get sizes obj;
           decr live_objs
+      | Event.Realloc { obj; old_size; new_size; _ } ->
+          (* the clock charges the declared grown delta (as
+             [Trace.total_bytes] does); live bytes swap the tracked
+             current size for the new one (as the free path subtracts) *)
+          total_bytes := !total_bytes + max 0 (new_size - old_size);
+          live_bytes := !live_bytes - Grow.get sizes obj + new_size;
+          Grow.set sizes obj new_size;
+          if !live_bytes > !max_bytes then max_bytes := !live_bytes
       | Event.Touch _ -> ())
     (Sharded.range_source rg);
   {

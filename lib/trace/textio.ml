@@ -49,6 +49,12 @@ let write ~(line : string -> unit) (t : Trace.t) =
       | Event.Free { obj; size } ->
           if size < 0 then line (Printf.sprintf "f %d" obj)
           else line (Printf.sprintf "f %d %d" obj size)
+      | Event.Realloc { obj; old_size; new_size; chain; key; tag } ->
+          (* format v3's only addition; a realloc-free trace emits no [g]
+             line and stays byte-identical to v2 *)
+          line
+            (Printf.sprintf "g %d %d %d %d %d %d" obj old_size new_size chain
+               key tag)
       | Event.Touch { obj; count } -> line (Printf.sprintf "r %d %d" obj count))
     t.events;
   line "end"
@@ -159,6 +165,14 @@ let parse_line ~name st lineno line =
       st.events <-
         Event.Free { obj = int ~field:"obj" obj; size = int ~field:"size" size }
         :: st.events
+  | [ "g"; obj; old_size; new_size; chain; key; tag ] ->
+      st.events <-
+        Event.Realloc
+          { obj = int ~field:"obj" obj; old_size = int ~field:"old-size" old_size;
+            new_size = int ~field:"new-size" new_size;
+            chain = int ~field:"chain" chain; key = int ~field:"key" key;
+            tag = int ~field:"tag" tag }
+        :: st.events
   | [ "r"; obj; count ] ->
       st.events <-
         Event.Touch { obj = int ~field:"obj" obj; count = int ~field:"count" count }
@@ -216,6 +230,15 @@ let finish ~name ~lineno st : Trace.t =
             fail
               (Printf.sprintf "event %d: alloc references unknown tag %d" i tag)
       | Free { obj; _ } -> check_obj "free" obj
+      | Realloc { obj; chain; tag; _ } ->
+          check_obj "realloc" obj;
+          if chain < 0 || chain >= Array.length chain_arr then
+            fail
+              (Printf.sprintf "event %d: realloc references unknown chain %d" i
+                 chain);
+          if tag >= Array.length tags then
+            fail
+              (Printf.sprintf "event %d: realloc references unknown tag %d" i tag)
       | Touch { obj; _ } -> check_obj "touch" obj)
     events;
   {
@@ -391,6 +414,24 @@ let stream ?(name = "<trace>") next_line =
         | [] -> Some (Event.Free { obj; size = -1 })
         | [ size ] -> Some (Event.Free { obj; size = int ~field:"size" size })
         | _ -> fail ~name !lineno (Printf.sprintf "unrecognised line %S" line))
+    | [ "g"; obj; old_size; new_size; chain; key; tag ] ->
+        let obj = int ~field:"obj" obj in
+        if obj < 0 then
+          fail ~name !lineno
+            (Printf.sprintf "realloc of out-of-range object %d" obj);
+        let chain = int ~field:"chain" chain in
+        if chain < 0 || chain >= !n_chains then
+          fail ~name !lineno
+            (Printf.sprintf "realloc references unknown chain %d" chain);
+        let tag = int ~field:"tag" tag in
+        if tag >= !n_tags then
+          fail ~name !lineno
+            (Printf.sprintf "realloc references unknown tag %d" tag);
+        Some
+          (Event.Realloc
+             { obj; old_size = int ~field:"old-size" old_size;
+               new_size = int ~field:"new-size" new_size; chain;
+               key = int ~field:"key" key; tag })
     | [ "r"; obj; count ] ->
         let obj = int ~field:"obj" obj in
         if obj < 0 then

@@ -74,7 +74,8 @@ module Builder = struct
     mutable tag_names : string array;
     mutable n_tags : int;
     mutable n_objects : int;
-    alive : (int, unit) Hashtbl.t;
+    (* object id -> current size; updated by realloc, removed by free *)
+    alive : (int, int) Hashtbl.t;
     obj_refs : Int_array.t;
     mutable instructions : int;
     mutable calls : int;
@@ -190,10 +191,21 @@ module Builder = struct
   let alloc t ?(tag = -1) ~size ~chain ~key () =
     let obj = t.n_objects in
     t.n_objects <- obj + 1;
-    Hashtbl.replace t.alive obj ();
+    Hashtbl.replace t.alive obj size;
     Int_array.push t.obj_refs 0;
     push_event t (Event.Alloc { obj; size; chain; key; tag });
     obj
+
+  let realloc t ?(tag = -1) ~new_size ~chain ~key ~obj () =
+    if obj < 0 || obj >= t.n_objects then
+      invalid_arg "Trace.Builder.realloc: unknown object";
+    match Hashtbl.find_opt t.alive obj with
+    | None -> invalid_arg "Trace.Builder.realloc: object already freed"
+    | Some old_size ->
+        if new_size <= 0 then
+          invalid_arg "Trace.Builder.realloc: size must be positive";
+        Hashtbl.replace t.alive obj new_size;
+        push_event t (Event.Realloc { obj; old_size; new_size; chain; key; tag })
 
   let free ?(size = -1) t ~obj =
     if obj < 0 || obj >= t.n_objects then invalid_arg "Trace.Builder.free: unknown object";
@@ -205,9 +217,11 @@ module Builder = struct
     Int_array.set t.obj_refs obj (Int_array.get t.obj_refs obj + n);
     t.heap_refs <- t.heap_refs + n;
     (* merging with an immediately preceding touch of the same object keeps
-       the stream compact; the merge target is the held-back pending event *)
+       the stream compact; the merge target is the held-back pending event,
+       replaced by a fresh record so already-emitted events stay immutable *)
     match t.pending with
-    | Some (Event.Touch r) when r.obj = obj -> r.count <- r.count + n
+    | Some (Event.Touch r) when r.obj = obj ->
+        t.pending <- Some (Event.Touch { obj; count = r.count + n })
     | _ -> push_event t (Event.Touch { obj; count = n })
 
   let non_heap_refs t n = t.non_heap <- t.non_heap + n
@@ -237,15 +251,28 @@ let iter_allocs t f =
   Array.iter
     (function
       | Event.Alloc { obj; size; chain; key; tag } -> f ~obj ~size ~chain ~key ~tag
-      | Event.Free _ | Event.Touch _ -> ())
+      | Event.Free _ | Event.Realloc _ | Event.Touch _ -> ())
     t.events
 
 let total_bytes t =
+  (* the allocation clock: every birth advances it by the object's size,
+     every growing resize by the grown delta (shrinks advance nothing, so
+     the clock stays monotonic) *)
   let sum = ref 0 in
-  iter_allocs t (fun ~obj:_ ~size ~chain:_ ~key:_ ~tag:_ -> sum := !sum + size);
+  Array.iter
+    (function
+      | Event.Alloc { size; _ } -> sum := !sum + size
+      | Event.Realloc { old_size; new_size; _ } ->
+          sum := !sum + max 0 (new_size - old_size)
+      | Event.Free _ | Event.Touch _ -> ())
+    t.events;
   !sum
 
 let total_objects t = t.n_objects
+
+let has_realloc t =
+  Array.exists (function Event.Realloc _ -> true | _ -> false) t.events
+
 let chain_of_alloc t id = t.chains.(id)
 
 (* Concatenate [n] copies of the trace, renumbering each copy's objects
@@ -263,6 +290,8 @@ let tile (t : t) n =
           Event.Alloc { a with obj = (if a.obj >= 0 then a.obj + off else a.obj) }
       | Event.Free f ->
           Event.Free { f with obj = (if f.obj >= 0 then f.obj + off else f.obj) }
+      | Event.Realloc r ->
+          Event.Realloc { r with obj = (if r.obj >= 0 then r.obj + off else r.obj) }
       | Event.Touch { obj; count } ->
           Event.Touch { obj = (if obj >= 0 then obj + off else obj); count }
     in

@@ -67,6 +67,14 @@ module Builder : sig
   (** Record a birth; returns the new object id.  [tag] defaults to [-1]
       (untagged). *)
 
+  val realloc :
+    t -> ?tag:int -> new_size:int -> chain:int -> key:int -> obj:int -> unit -> unit
+  (** Record a resize of live object [obj] to [new_size] bytes; the
+      declared old size is the builder's tracked current size.  [chain]
+      and [key] snapshot the stack at the resize site, as {!alloc} does.
+      @raise Invalid_argument on an unknown or already-freed object, or a
+      non-positive size. *)
+
   val free : ?size:int -> t -> obj:int -> unit
   (** Record a death.  [size] is the declared (sized-deallocation) size,
       defaulting to [-1] (undeclared) — see {!Event.t}.
@@ -95,9 +103,15 @@ val iter_allocs :
 (** Visit every allocation event in program order. *)
 
 val total_bytes : t -> int
-(** Total bytes allocated over the run — also the trace's final clock value. *)
+(** Total bytes allocated over the run (births plus growing-resize
+    deltas; shrinks count nothing) — also the trace's final clock
+    value. *)
 
 val total_objects : t -> int
+
+val has_realloc : t -> bool
+(** Whether the trace carries any {!Event.Realloc} — the discriminator
+    between binary versions that can and cannot express it. *)
 
 val chain_of_alloc : t -> int -> Lp_callchain.Chain.t
 (** [chain_of_alloc t chain_id] resolves an interned chain id. *)

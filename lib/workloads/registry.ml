@@ -66,6 +66,18 @@ let programs =
          should degrade sharply.";
       run = Perl.run;
     };
+    {
+      name = "pint";
+      description =
+        "Dispatch-table AST interpreter whose scope frames, auto-vivified \
+         reference chains, and growable vectors and string buffers emit \
+         deep-chain allocations and first-class realloc sequences.";
+      input_notes =
+        "Train runs a vector-heavy program, test a string- and \
+         vivification-heavy one: same interpreter, different programs. \
+         The only workload whose traces carry Realloc events.";
+      run = Pint.run;
+    };
   ]
 
 let find name = List.find (fun p -> p.name = name) programs

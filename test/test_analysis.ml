@@ -26,6 +26,9 @@ let corpus =
     ("touch_after_free.txt", [ ("touch-after-free", 2) ]);
     ("size_mismatch_at_free.txt", [ ("size-mismatch-at-free", 1) ]);
     ("nonpositive_size.txt", [ ("nonpositive-size", 0) ]);
+    ("realloc_of_unallocated.txt", [ ("realloc-of-unallocated", 1) ]);
+    ("realloc_after_free.txt", [ ("realloc-after-free", 2) ]);
+    ("realloc_size_regression.txt", [ ("realloc-size-regression", 1) ]);
     ( "non_monotonic_birth.txt",
       [ ("non-monotonic-birth", 1); ("non-monotonic-birth", 2) ] );
     ("leaked_at_exit.txt", [ ("leaked-at-exit", 1) ]);
@@ -49,7 +52,8 @@ let rule_selection () =
     (Invalid_argument
        "Diagnostic.select: unknown rule \"no-such-rule\" in --only (known: \
         double-free, free-without-alloc, touch-after-free, \
-        size-mismatch-at-free, nonpositive-size, non-monotonic-birth, \
+        size-mismatch-at-free, realloc-of-unallocated, realloc-after-free, \
+        realloc-size-regression, nonpositive-size, non-monotonic-birth, \
         leaked-at-exit, chain-anomaly)")
     (fun () -> ignore (Lint.run ~only:[ "no-such-rule" ] trace))
 
@@ -148,6 +152,7 @@ end) : Lp_allocsim.Backend.BACKEND = struct
     addr
 
   let free t _ = t.frees <- t.frees + 1
+  let realloc = None
   let charge_alloc _ _ = ()
   let allocs t = t.allocs
   let frees t = t.frees
@@ -258,6 +263,75 @@ let registry_backends_replay_clean () =
         (name ^ ": sanitized metrics identical")
         true (plain = sanitized))
     (Lp_allocsim.Registry.names ())
+
+(* a realloc-heavy synthetic trace: sizes picked so size-class backends
+   (bsd, segfit) absorb some resizes in place and must move for others,
+   while list/arena backends fall back to free+alloc for every one *)
+let realloc_trace =
+  lazy
+    (let rt = Lp_ialloc.Runtime.create ~program:"resizer" ~input:"x" () in
+     let f = Lp_ialloc.Runtime.func rt "grow" in
+     Lp_ialloc.Runtime.enter rt f;
+     let hs =
+       Array.init 6 (fun i -> Lp_ialloc.Runtime.alloc rt ~size:(40 + (4 * i)))
+     in
+     Array.iter
+       (fun h ->
+         (* 40..60 -> 56: stays in the 64-byte class *)
+         ignore (Lp_ialloc.Runtime.realloc rt h ~new_size:56);
+         (* 56 -> 96: crosses into the 128-byte class *)
+         ignore (Lp_ialloc.Runtime.realloc rt h ~new_size:96);
+         (* 96 -> 72: shrink within the 128-byte class *)
+         ignore (Lp_ialloc.Runtime.realloc rt h ~new_size:72))
+       hs;
+     Array.iter (Lp_ialloc.Runtime.free rt) hs;
+     Lp_ialloc.Runtime.leave rt;
+     Lp_ialloc.Runtime.finish rt)
+
+(* the shadow heap must follow every resize — through the native realloc
+   hooks and through the free+alloc fallback alike — without violations,
+   and stay metrically invisible *)
+let realloc_sanitized_replay_clean () =
+  let trace = Lazy.force realloc_trace in
+  List.iter
+    (fun name ->
+      let plain =
+        Lp_allocsim.Driver.run trace (Lp_allocsim.Registry.backend name)
+      in
+      let sanitized =
+        Lp_allocsim.Driver.run trace
+          (San.for_backend (Lp_allocsim.Registry.backend name))
+      in
+      Alcotest.(check bool)
+        (name ^ ": sanitized realloc metrics identical")
+        true (plain = sanitized))
+    (Lp_allocsim.Registry.names ())
+
+(* the driver attributes each resize to exactly one bucket, and the
+   in-place/move split genuinely differs between a size-class backend
+   and one running on the free+alloc fallback *)
+let driver_realloc_attribution () =
+  let trace = Lazy.force realloc_trace in
+  let events = 3 * 6 in
+  let bsd = Lp_allocsim.Driver.run_named trace "bsd" in
+  Alcotest.(check int) "bsd reallocs" events bsd.Lp_allocsim.Metrics.reallocs;
+  Alcotest.(check int) "bsd split sums"
+    events
+    (bsd.Lp_allocsim.Metrics.realloc_in_place
+    + bsd.Lp_allocsim.Metrics.realloc_moves);
+  (* with the 8-byte header, 40..56 start in the 64-byte class and 60 in
+     the 128-byte class: ->56 is in place except for the size-60 object,
+     ->96 always moves, and the 96->72 shrink stays in the 128 class *)
+  Alcotest.(check int) "bsd in place" 11
+    bsd.Lp_allocsim.Metrics.realloc_in_place;
+  Alcotest.(check int) "bsd moves" 7 bsd.Lp_allocsim.Metrics.realloc_moves;
+  let ff = Lp_allocsim.Driver.run_named trace "first-fit" in
+  Alcotest.(check int) "fallback reallocs" events
+    ff.Lp_allocsim.Metrics.reallocs;
+  Alcotest.(check int) "fallback never in place" 0
+    ff.Lp_allocsim.Metrics.realloc_in_place;
+  Alcotest.(check int) "fallback all moves" events
+    ff.Lp_allocsim.Metrics.realloc_moves
 
 let simulate_sanitized_parallel_identical () =
   let test = Lazy.force perl_trace in
@@ -398,6 +472,10 @@ let suites =
           catches_boundary_straddle;
         Alcotest.test_case "registry backends replay clean" `Quick
           registry_backends_replay_clean;
+        Alcotest.test_case "sanitized realloc replay clean" `Quick
+          realloc_sanitized_replay_clean;
+        Alcotest.test_case "driver realloc attribution" `Quick
+          driver_realloc_attribution;
         Alcotest.test_case "parallel sanitized simulate identical" `Quick
           simulate_sanitized_parallel_identical;
       ] );

@@ -140,6 +140,68 @@ let textio_roundtrip_fuzz =
       && trace.heap_refs = trace'.heap_refs
       && Array.length trace.events = Array.length trace'.events)
 
+(* -- realloc round-trips across the codecs --------------------------------------- *)
+
+let textio_realloc_roundtrip =
+  QCheck.Test.make ~name:"textio round-trips realloc traces" ~count:100
+    (QCheck.make Test_stream.random_realloc_trace_gen)
+    (fun trace ->
+      let s = Lp_trace.Textio.to_string trace in
+      let trace' = Lp_trace.Textio.of_string s in
+      if Lp_trace.Textio.to_string trace' <> s then
+        QCheck.Test.fail_reportf "round-trip not a fixed point";
+      trace'.events = trace.events && trace'.n_objects = trace.n_objects)
+
+let binio_realloc_v3_roundtrip =
+  QCheck.Test.make ~count:60
+    ~name:"v3 round-trips realloc traces; v1/v2 writer refuses them"
+    (QCheck.make
+       QCheck.Gen.(pair Test_stream.random_realloc_trace_gen (int_range 1 32)))
+    (fun (trace, chunk_events) ->
+      (* the legacy writer must refuse, not silently smuggle 0x04 into a
+         version whose decoders treat it as reserved/packed-alloc *)
+      (match Lp_trace.Binio.to_string trace with
+      | _ ->
+          QCheck.Test.fail_reportf "v1/v2 writer accepted a realloc-bearing trace"
+      | exception Invalid_argument _ -> ());
+      let v3 = Lp_trace.Binio.to_string_v3 ~chunk_events trace in
+      let back = Lp_trace.Binio.of_string ~name:"rt.lpt" v3 in
+      back.events = trace.events
+      && Lp_trace.Textio.to_string back = Lp_trace.Textio.to_string trace)
+
+let v2_decoder_rejects_realloc_opcode () =
+  (* a version-2 file (it has a sized free) whose free event encodes as
+     the bytes [0x05 (sized_free_op); 0x00 (zigzag delta 0); 0x37 (size
+     55)]; patching the opcode byte to 0x04 must hit the reserved-opcode
+     rejection — only version-3 decoders may read 0x04 as realloc *)
+  let text =
+    "trace fuzz v2\nfunc 0 main\nchain 0 0\ncounters 0 0 0 0\n\
+     a 0 9 0 0 -1 0\nf 0 55\nend\n"
+  in
+  let trace = Lp_trace.Textio.of_string text in
+  let v2 = Lp_trace.Binio.to_string trace in
+  Alcotest.(check int) "written as version 2" 2 (Char.code v2.[4]);
+  let needle = "\x05\x00\x37" in
+  let pos = ref (-1) in
+  for i = 0 to String.length v2 - String.length needle do
+    if String.sub v2 i (String.length needle) = needle then pos := i
+  done;
+  if !pos < 0 then Alcotest.fail "sized-free byte pattern not found";
+  let patched = Bytes.of_string v2 in
+  Bytes.set patched !pos '\x04';
+  match Lp_trace.Binio.of_string ~name:"patched.lpt" (Bytes.to_string patched) with
+  | _ -> Alcotest.fail "v2 decoder accepted opcode 0x04"
+  | exception Failure m ->
+      if
+        not
+          (let sub = "reserved opcode" in
+           let found = ref false in
+           for i = 0 to String.length m - String.length sub do
+             if String.sub m i (String.length sub) = sub then found := true
+           done;
+           !found)
+      then Alcotest.failf "unexpected failure message: %s" m
+
 let lifetimes_conserve_bytes =
   QCheck.Test.make ~name:"lifetime clock equals total bytes" ~count:100
     (QCheck.make random_trace_gen)
@@ -204,6 +266,10 @@ let suites =
         QCheck_alcotest.to_alcotest regex_differential;
         QCheck_alcotest.to_alcotest regex_match_is_substring_sound;
         QCheck_alcotest.to_alcotest textio_roundtrip_fuzz;
+        QCheck_alcotest.to_alcotest textio_realloc_roundtrip;
+        QCheck_alcotest.to_alcotest binio_realloc_v3_roundtrip;
+        Alcotest.test_case "v2 decoder rejects realloc opcode" `Quick
+          v2_decoder_rejects_realloc_opcode;
         QCheck_alcotest.to_alcotest lifetimes_conserve_bytes;
         Alcotest.test_case "p2 on skewed data" `Quick p2_skewed_accuracy;
         Alcotest.test_case "p2 on exponential data" `Quick p2_exponential_accuracy;

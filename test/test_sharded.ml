@@ -279,11 +279,12 @@ let partition_gen =
     triple Test_stream.random_trace_gen (int_range 1 12)
       (list_size (int_range 0 8) (int_range 1 4)))
 
-let partition_fold_determinism =
-  QCheck.Test.make ~count:25
-    ~name:"random range partitions merge to the sequential folds"
-    (QCheck.make partition_gen)
-    (fun (trace, chunk_events, cuts) ->
+let realloc_partition_gen =
+  QCheck.Gen.(
+    triple Test_stream.random_realloc_trace_gen (int_range 1 12)
+      (list_size (int_range 0 8) (int_range 1 4)))
+
+let check_partition (trace, chunk_events, cuts) =
       let config = Lifetime.Config.default in
       let threshold = 32 in
       let v3 = B.to_string_v3 ~chunk_events trace in
@@ -344,7 +345,75 @@ let partition_fold_determinism =
       if li_got <> li_expect then
         QCheck.Test.fail_reportf "lint diagnostics differ over %d ranges"
           (List.length ranges);
-      true)
+      true
+
+let partition_fold_determinism =
+  QCheck.Test.make ~count:25
+    ~name:"random range partitions merge to the sequential folds"
+    (QCheck.make partition_gen)
+    check_partition
+
+(* the same merge machinery over realloc-bearing traces: chunk
+   boundaries can now fall between a resize and the object's free, so
+   the carry-in size snapshots must report the post-resize size *)
+let realloc_partition_fold_determinism =
+  QCheck.Test.make ~count:25
+    ~name:"realloc-bearing range partitions merge to the sequential folds"
+    (QCheck.make realloc_partition_gen)
+    check_partition
+
+(* deterministic boundary case: with 2-event chunks, object 0's growing
+   resize, shrinking resize, and size-declaring free each land in a
+   different chunk, so every later range sees the object only through
+   its carry-in snapshot.  A carry that recorded the birth size instead
+   of the current size would mis-merge live bytes and make lint flag the
+   (correct) declared sizes. *)
+let realloc_carry_across_chunk_boundary () =
+  let text =
+    String.concat "\n"
+      [
+        "trace carry boundary";
+        "func 0 main";
+        "chain 0 0";
+        "counters 0 0 0 0";
+        "a 0 40 0 0 -1 0";
+        "a 1 16 0 0 -1 0";
+        "r 1 1";
+        "g 0 40 104 0 0 -1";
+        "r 1 1";
+        "g 0 104 72 0 0 -1";
+        "r 1 1";
+        "f 0 72";
+        "f 1";
+        "end";
+        "";
+      ]
+  in
+  let trace = Lp_trace.Textio.of_string text in
+  let v3 = B.to_string_v3 ~chunk_events:2 trace in
+  let sh = Sharded.of_string ~name:"carry.lpt" v3 in
+  Alcotest.(check bool) "enough chunks to split the lifetime" true
+    (Sharded.n_chunks sh >= 4);
+  (* decode round-trip preserves the realloc payloads exactly *)
+  let back = B.of_string ~name:"carry.lpt" v3 in
+  Alcotest.(check bool) "events round-trip" true (back.events = trace.events);
+  (* per-chunk range folds, merged, equal the sequential results *)
+  let ranges = partition_of sh (List.init (Sharded.n_chunks sh) (fun _ -> 1)) in
+  let st_expect = Lp_trace.Stats.compute_source (Source.of_trace trace) in
+  let st_got =
+    Lp_trace.Stats.merge_ranges sh
+      (List.map Lp_trace.Stats.compute_range ranges)
+  in
+  if st_got <> st_expect then Alcotest.fail "stats differ across the boundary";
+  let diags =
+    Lp_analysis.Lint.merge_ranges sh
+      (List.map (fun r -> Lp_analysis.Lint.run_range r) ranges)
+  in
+  Alcotest.(check bool) "range lint sees the declared sizes as correct" false
+    (Lp_analysis.Diagnostic.has_errors diags);
+  Alcotest.(check string) "range lint equals sequential lint"
+    (D.list_to_json (Lp_analysis.Lint.run_source (Source.of_trace trace)))
+    (D.list_to_json diags)
 
 (* -- the Shard orchestrators across domain counts ----------------------------------- *)
 
@@ -502,6 +571,9 @@ let suites =
         QCheck_alcotest.to_alcotest v3_roundtrip;
         QCheck_alcotest.to_alcotest seek_sub_determinism;
         QCheck_alcotest.to_alcotest partition_fold_determinism;
+        QCheck_alcotest.to_alcotest realloc_partition_fold_determinism;
+        Alcotest.test_case "realloc carry across chunk boundary" `Quick
+          realloc_carry_across_chunk_boundary;
         Alcotest.test_case "Shard orchestrators across domain counts" `Quick
           shard_orchestrators;
         Alcotest.test_case "empty trace is one empty chunk" `Quick

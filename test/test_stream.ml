@@ -43,6 +43,55 @@ let random_trace_gen =
       ops;
     Rt.finish rt)
 
+(* the realloc-bearing twin of [random_trace_gen], for the v3-only paths
+   (the v1/v2 writers refuse these traces); every generated trace carries
+   at least one resize, and both grow and shrink directions occur *)
+let random_realloc_trace_gen =
+  QCheck.Gen.(
+    list_size (int_range 5 60) (pair (int_range 1 200) (int_range 0 8))
+    >|= fun ops ->
+    let rt = Rt.create ~program:"fuzz" ~input:"realloc" () in
+    let funcs = Array.init 4 (fun i -> Rt.func rt (Printf.sprintf "f%d" i)) in
+    let live = ref [] in
+    let reallocs = ref 0 in
+    List.iter
+      (fun (size, action) ->
+        match action with
+        | 0 | 1 | 2 ->
+            let depth = 1 + (size mod 3) in
+            for d = 0 to depth - 1 do
+              Rt.enter rt funcs.(d)
+            done;
+            let h = Rt.alloc rt ~size in
+            Rt.touch rt h (1 + (size mod 4));
+            for _ = 1 to depth do
+              Rt.leave rt
+            done;
+            live := h :: !live
+        | 3 | 4 -> (
+            match !live with
+            | h :: rest ->
+                Rt.free rt h;
+                live := rest
+            | [] -> ())
+        | 5 | 6 -> (
+            (* resize the most recent survivor inside a frame, so the
+               resize site has its own call-chain *)
+            match !live with
+            | h :: _ ->
+                Rt.enter rt funcs.(size mod 4);
+                ignore (Rt.realloc rt h ~new_size:(1 + (size * 7 mod 311)) : int);
+                Rt.leave rt;
+                incr reallocs
+            | [] -> ())
+        | _ -> Rt.non_heap_refs rt size)
+      ops;
+    if !reallocs = 0 then begin
+      let h = Rt.alloc rt ~size:48 in
+      ignore (Rt.realloc rt h ~new_size:96 : int)
+    end;
+    Rt.finish rt)
+
 let arena_config = Lifetime.Config.arena_config Lifetime.Config.default
 
 (* the three serialized/in-memory source kinds of one trace *)
@@ -237,6 +286,9 @@ let corpus_files =
     "touch_after_free.txt";
     "size_mismatch_at_free.txt";
     "nonpositive_size.txt";
+    "realloc_of_unallocated.txt";
+    "realloc_after_free.txt";
+    "realloc_size_regression.txt";
     "non_monotonic_birth.txt";
     "leaked_at_exit.txt";
     "chain_anomaly.txt";

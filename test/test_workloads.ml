@@ -72,10 +72,33 @@ let registry_deterministic () =
   Alcotest.(check string) "textio equal" (Lp_trace.Textio.to_string t1)
     (Lp_trace.Textio.to_string t2)
 
-let registry_lists_five () =
-  Alcotest.(check (list string)) "paper's five programs"
-    [ "cfrac"; "espresso"; "gawk"; "ghost"; "perl" ]
+let registry_lists_six () =
+  Alcotest.(check (list string)) "paper's five programs plus pint"
+    [ "cfrac"; "espresso"; "gawk"; "ghost"; "perl"; "pint" ]
     Lp_workloads.Registry.names
+
+(* pint is the one workload whose traces must carry realloc traffic, with
+   both directions of resize present *)
+let pint_emits_reallocs () =
+  let trace = Lp_workloads.Registry.trace ~scale:0.2 ~program:"pint" ~input:"tiny" () in
+  let grows = ref 0 and shrinks = ref 0 in
+  let size = Hashtbl.create 64 in
+  Array.iter
+    (function
+      | Lp_trace.Event.Alloc { obj; size = s; _ } -> Hashtbl.replace size obj s
+      | Lp_trace.Event.Realloc { obj; old_size; new_size; _ } ->
+          (match Hashtbl.find_opt size obj with
+          | Some s when s = old_size -> ()
+          | Some s ->
+              Alcotest.failf "realloc of %d declares old size %d, tracked %d"
+                obj old_size s
+          | None -> Alcotest.failf "realloc of unallocated object %d" obj);
+          if new_size > old_size then incr grows else incr shrinks;
+          Hashtbl.replace size obj new_size
+      | _ -> ())
+    trace.events;
+  Alcotest.(check bool) "has growing reallocs" true (!grows > 0);
+  Alcotest.(check bool) "has shrinking reallocs" true (!shrinks > 0)
 
 let registry_cache () =
   let t1 = Lp_workloads.Registry.trace ~scale:0.02 ~program:"perl" ~input:"tiny" () in
@@ -99,6 +122,12 @@ let trace_well_formed program () =
           if not born.(obj) then Alcotest.failf "object %d freed before birth" obj;
           if freed.(obj) then Alcotest.failf "object %d freed twice" obj;
           freed.(obj) <- true
+      | Lp_trace.Event.Realloc { obj; new_size; _ } ->
+          if not born.(obj) then
+            Alcotest.failf "object %d realloc'd before birth" obj;
+          if freed.(obj) then Alcotest.failf "object %d realloc'd after free" obj;
+          if new_size <= 0 then
+            Alcotest.failf "object %d realloc'd to non-positive size" obj
       | Lp_trace.Event.Touch { obj; count } ->
           if not born.(obj) then Alcotest.failf "object %d touched before birth" obj;
           if freed.(obj) then Alcotest.failf "object %d touched after free" obj;
@@ -130,7 +159,8 @@ let suites =
         Alcotest.test_case "cfrac factors 8051" `Quick cfrac_factors_correctly;
         Alcotest.test_case "cfrac factors semiprime" `Slow cfrac_factors_semiprime;
         Alcotest.test_case "registry deterministic" `Quick registry_deterministic;
-        Alcotest.test_case "registry lists five" `Quick registry_lists_five;
+        Alcotest.test_case "registry lists six" `Quick registry_lists_six;
+        Alcotest.test_case "pint emits reallocs" `Quick pint_emits_reallocs;
         Alcotest.test_case "registry caches" `Quick registry_cache;
       ]
       @ List.map
