@@ -9,7 +9,9 @@
      train    FILE                  train a predictor, show its sites
      evaluate --train A --test B    self/true prediction quality (Table 4 row)
      simulate --train A --test B    first-fit vs BSD vs arena (Tables 7-9)
-     lint     FILE                  statically check a trace or model file  *)
+     lint     FILE                  statically check a trace or model file
+     audit    TRACE [--model M]     chain-collision / coverage / live-interval
+                                    analyses over a trace and its model  *)
 
 open Cmdliner
 
@@ -541,6 +543,110 @@ let convert_cmd =
       const run $ file_arg $ output $ v3 $ chunk_events $ tile $ format
       $ timings_arg)
 
+(* -- diagnostics plumbing shared by lint and audit ----------------------------- *)
+
+(* Unknown rule ids in --only/--disable are usage errors: fail before any
+   work happens, listing the command's registry.  Diagnostic.select
+   still backstops the library API. *)
+let validate_rules ~cmd ~(rules : Lp_analysis.Diagnostic.rule list) only disable
+    =
+  let known id =
+    List.exists (fun (r : Lp_analysis.Diagnostic.rule) -> r.id = id) rules
+  in
+  let unknown =
+    List.filter
+      (fun id -> not (known id))
+      (Option.value only ~default:[] @ Option.value disable ~default:[])
+  in
+  match unknown with
+  | [] -> ()
+  | us ->
+      Printf.eprintf "lpalloc %s: unknown rule%s %s (known: %s)\n" cmd
+        (if List.length us > 1 then "s" else "")
+        (String.concat ", " (List.map (Printf.sprintf "%S") us))
+        (String.concat ", "
+           (List.map (fun (r : Lp_analysis.Diagnostic.rule) -> r.id) rules));
+      exit 2
+
+let format_arg =
+  let doc =
+    "Report format: $(b,text) (the default human-readable report), $(b,json) \
+     (one JSON array, as $(b,--json)), or $(b,sarif) (a SARIF 2.1.0 log for \
+     code-scanning upload)."
+  in
+  Arg.(
+    value
+    & opt (Arg.enum [ ("text", `Text); ("json", `Json); ("sarif", `Sarif) ]) `Text
+    & info [ "format" ] ~docv:"FMT" ~doc)
+
+(* --json predates --format and stays as an alias for --format json *)
+let effective_format json format =
+  match (json, format) with true, `Text -> `Json | _ -> format
+
+let print_text_report ~source ~rules ~max_per_rule diags =
+  (* cap the per-rule flood in the text report; the summary and --json
+     still account for every diagnostic *)
+  let printed = Hashtbl.create 8 in
+  List.iter
+    (fun (d : Lp_analysis.Diagnostic.t) ->
+      let n = Option.value (Hashtbl.find_opt printed d.rule) ~default:0 in
+      Hashtbl.replace printed d.rule (n + 1);
+      if n < max_per_rule then
+        Format.printf "%a@." (Lp_analysis.Diagnostic.pp ~source) d
+      else if n = max_per_rule then
+        Format.printf "%s: [%s] further diagnostics suppressed (--json has all)@."
+          source d.rule)
+    diags;
+  Format.printf "%a" (Lp_analysis.Diagnostic.pp_summary ~rules) diags
+
+let emit_diagnostics ~tool_name ~source ~rules ~format ~max_per_rule diags =
+  match format with
+  | `Json -> print_endline (Lp_analysis.Diagnostic.list_to_json diags)
+  | `Sarif ->
+      print_endline (Lp_analysis.Sarif.to_string ~tool_name ~rules ~source diags)
+  | `Text -> print_text_report ~source ~rules ~max_per_rule diags
+
+let rule_section title rules =
+  `S title
+  :: List.map
+       (fun (r : Lp_analysis.Diagnostic.rule) ->
+         `P
+           (Printf.sprintf "$(b,%s) (%s): %s." r.id
+              (match r.default_severity with
+              | Lp_analysis.Diagnostic.Error -> "error"
+              | Warning -> "warning"
+              | Info -> "info")
+              r.doc))
+       rules
+
+let only_arg =
+  Arg.(
+    value
+    & opt (some (list string)) None
+    & info [ "only" ] ~docv:"RULES"
+        ~doc:"Run only these comma-separated rule ids.")
+
+let disable_arg =
+  Arg.(
+    value
+    & opt (some (list string)) None
+    & info [ "disable" ] ~docv:"RULES" ~doc:"Skip these comma-separated rule ids.")
+
+let max_per_rule_arg =
+  Arg.(
+    value & opt int 20
+    & info [ "max-per-rule" ] ~docv:"N"
+        ~doc:
+          "Print at most $(docv) diagnostics per rule in the text report (the \
+           summary counts, the exit code and the machine formats always cover \
+           all of them).")
+
+let contract_exits =
+  Cmd.Exit.info 1
+    ~doc:"at least one error-severity diagnostic (warnings alone exit 0)."
+  :: Cmd.Exit.info 2 ~doc:"usage or I/O error (unknown rule id, unreadable file)."
+  :: Cmd.Exit.defaults
+
 (* -- lint ------------------------------------------------------------------------ *)
 
 let lint_cmd =
@@ -554,20 +660,6 @@ let lint_cmd =
              written by $(b,lpalloc train --save); told apart by their magic \
              bytes.")
   in
-  let only =
-    Arg.(
-      value
-      & opt (some (list string)) None
-      & info [ "only" ] ~docv:"RULES"
-          ~doc:"Run only these comma-separated rule ids (see $(b,LINT RULES)).")
-  in
-  let disable =
-    Arg.(
-      value
-      & opt (some (list string)) None
-      & info [ "disable" ] ~docv:"RULES"
-          ~doc:"Skip these comma-separated rule ids.")
-  in
   let max_chain_depth =
     Arg.(
       value
@@ -575,22 +667,13 @@ let lint_cmd =
       & info [ "max-chain-depth" ] ~docv:"N"
           ~doc:"Call chains deeper than $(docv) frames are chain anomalies.")
   in
-  let max_per_rule =
-    Arg.(
-      value
-      & opt int 20
-      & info [ "max-per-rule" ] ~docv:"N"
-          ~doc:
-            "Print at most $(docv) diagnostics per rule in the text report \
-             (the summary counts, the exit code and $(b,--json) always cover \
-             all of them).")
-  in
-  let run path json only disable max_chain_depth max_per_rule stream sharded
-      domains timings =
+  let run path json format only disable max_chain_depth max_per_rule stream
+      sharded domains timings =
     with_timings timings @@ fun () ->
     set_domains domains;
+    let format = effective_format json format in
     (* model files are a few kilobytes; only trace linting streams *)
-    let is_model_file () =
+    let model_file =
       In_channel.with_open_bin path (fun ic ->
           match
             In_channel.really_input_string ic (String.length Lifetime.Model.magic)
@@ -598,13 +681,18 @@ let lint_cmd =
           | Some m -> String.equal m Lifetime.Model.magic
           | None -> false)
     in
+    validate_rules ~cmd:"lint"
+      ~rules:
+        (if model_file then Lp_analysis.Validate.rules
+         else Lp_analysis.Lint.rules)
+      only disable;
     let diags, rules =
       try
-        if sharded && not (is_model_file ()) then
+        if sharded && not model_file then
           ( Lp_analysis.Lint.run_sharded ?only ?disable ~max_chain_depth
               (Lp_trace.Sharded.load path),
             Lp_analysis.Lint.rules )
-        else if stream && not (is_model_file ()) then
+        else if stream && not model_file then
           ( Lp_analysis.Lint.run_source ?only ?disable ~max_chain_depth
               (Lp_trace.Source.of_file path),
             Lp_analysis.Lint.rules )
@@ -622,37 +710,9 @@ let lint_cmd =
         Printf.eprintf "lpalloc lint: %s\n" msg;
         exit 2
     in
-    if json then print_endline (Lp_analysis.Diagnostic.list_to_json diags)
-    else begin
-      (* cap the per-rule flood in the text report; the summary and --json
-         still account for every diagnostic *)
-      let printed = Hashtbl.create 8 in
-      List.iter
-        (fun (d : Lp_analysis.Diagnostic.t) ->
-          let n = Option.value (Hashtbl.find_opt printed d.rule) ~default:0 in
-          Hashtbl.replace printed d.rule (n + 1);
-          if n < max_per_rule then
-            Format.printf "%a@." (Lp_analysis.Diagnostic.pp ~source:path) d
-          else if n = max_per_rule then
-            Format.printf "%s: [%s] further diagnostics suppressed (--json has all)@."
-              path d.rule)
-        diags;
-      Format.printf "%a" (Lp_analysis.Diagnostic.pp_summary ~rules) diags
-    end;
+    emit_diagnostics ~tool_name:"lpalloc lint" ~source:path ~rules ~format
+      ~max_per_rule diags;
     if Lp_analysis.Diagnostic.has_errors diags then exit 1
-  in
-  let rule_section title rules =
-    `S title
-    :: List.map
-         (fun (r : Lp_analysis.Diagnostic.rule) ->
-           `P
-             (Printf.sprintf "$(b,%s) (%s): %s." r.id
-                (match r.default_severity with
-                | Lp_analysis.Diagnostic.Error -> "error"
-                | Warning -> "warning"
-                | Info -> "info")
-                r.doc))
-         rules
   in
   let man =
     [
@@ -666,18 +726,195 @@ let lint_cmd =
     @ rule_section "LINT RULES (traces)" Lp_analysis.Lint.rules
     @ rule_section "LINT RULES (models)" Lp_analysis.Validate.rules
   in
-  let exits =
-    Cmd.Exit.info 1
-      ~doc:"at least one error-severity diagnostic (warnings alone exit 0)."
-    :: Cmd.Exit.info 2 ~doc:"usage or I/O error (unknown rule id, unreadable file)."
-    :: Cmd.Exit.defaults
-  in
   Cmd.v
-    (Cmd.info "lint" ~man ~exits
+    (Cmd.info "lint" ~man ~exits:contract_exits
        ~doc:"Statically check a trace or predictor-model file")
     Term.(
-      const run $ file $ json_arg $ only $ disable $ max_chain_depth
-      $ max_per_rule $ stream_arg $ sharded_arg $ domains_arg $ timings_arg)
+      const run $ file $ json_arg $ format_arg $ only_arg $ disable_arg
+      $ max_chain_depth $ max_per_rule_arg $ stream_arg $ sharded_arg
+      $ domains_arg $ timings_arg)
+
+(* -- audit ----------------------------------------------------------------------- *)
+
+let audit_cmd =
+  let file =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"TRACE"
+          ~doc:"Trace file to audit (text or binary; sharded with $(b,--sharded)).")
+  in
+  let model =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "model" ] ~docv:"FILE"
+          ~doc:
+            "Portable model (written by $(b,lpalloc train --save)) to audit \
+             the trace against.  The model's training configuration — \
+             threshold, size rounding and site policy — replaces the \
+             command-line values so the trace is profiled under the same \
+             abstraction the model was trained with; it also arms the \
+             model-dependent rules (cold start, dead sites, mispredict \
+             hardening).")
+  in
+  let margin =
+    Arg.(
+      value
+      & opt float Lp_analysis.Coverage.default_margin
+      & info [ "margin" ] ~docv:"FRAC"
+          ~doc:
+            "Threshold-sensitivity band as a fraction of the short-lived \
+             cutoff: a site whose observed maximum lifetime lands within \
+             cutoff ± $(docv)·cutoff is reported \
+             $(b,coverage-threshold-sensitive).")
+  in
+  let hotspot_share =
+    Arg.(
+      value
+      & opt float Lp_analysis.Liveint.default_hotspot_share
+      & info [ "hotspot-share" ] ~docv:"FRAC"
+          ~doc:
+            "Overlap-hotspot cutoff: a site fires $(b,live-overlap-hotspot) \
+             when its own live-byte peak and the foreign bytes co-live at \
+             that peak each reach $(docv) of the global live-heap peak.")
+  in
+  let depth =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "depth" ] ~docv:"N"
+          ~doc:
+            "Shorthand for $(b,--policy) last-$(docv)-callers: key sites by \
+             the last $(docv) callers of the allocation chain (the paper's \
+             depth sweep, Tables 5-6).")
+  in
+  let policy =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "policy" ] ~docv:"POLICY"
+          ~doc:
+            "Site abstraction keying the profile: $(b,complete-chain) (the \
+             default), $(b,last-N-callers), $(b,size-only) or \
+             $(b,encrypted-key).")
+  in
+  let list_rules =
+    Arg.(
+      value & flag
+      & info [ "list-rules" ]
+          ~doc:
+            "Print the audit rule registry as a markdown table (the exact \
+             table embedded in the README) and exit.")
+  in
+  let run path model_path threshold margin hotspot_share depth policy list_rules
+      json format only disable max_per_rule stream sharded domains timings =
+    with_timings timings @@ fun () ->
+    if list_rules then begin
+      print_string (Lp_analysis.Audit.rules_markdown ());
+      exit 0
+    end;
+    let path =
+      match path with
+      | Some p -> p
+      | None ->
+          Printf.eprintf "lpalloc audit: required argument TRACE is missing\n";
+          exit 2
+    in
+    set_domains domains;
+    let format = effective_format json format in
+    validate_rules ~cmd:"audit" ~rules:Lp_analysis.Audit.rules only disable;
+    let policy =
+      match (depth, policy) with
+      | Some _, Some _ ->
+          Printf.eprintf
+            "lpalloc audit: --depth and --policy are mutually exclusive\n";
+          exit 2
+      | Some n, None ->
+          if n < 1 then begin
+            Printf.eprintf "lpalloc audit: --depth must be positive\n";
+            exit 2
+          end;
+          Some (Lp_callchain.Site.Last_callers n)
+      | None, Some s -> (
+          match Lp_callchain.Site.policy_of_string s with
+          | Some p -> Some p
+          | None ->
+              Printf.eprintf
+                "lpalloc audit: unknown policy %S (known: complete-chain, \
+                 last-N-callers, size-only, encrypted-key)\n"
+                s;
+              exit 2)
+      | None, None -> None
+    in
+    let opts =
+      {
+        Lp_analysis.Audit.default_options with
+        au_threshold = threshold;
+        au_margin = margin;
+        au_hotspot_share = hotspot_share;
+        au_only = only;
+        au_disable = disable;
+      }
+    in
+    let opts =
+      match policy with
+      | Some p -> { opts with Lp_analysis.Audit.au_policy = p }
+      | None -> opts
+    in
+    let opts =
+      match model_path with
+      | None -> opts
+      | Some mp ->
+          Lp_analysis.Audit.with_model opts
+            (io_guard (fun () -> Lifetime.Model.load mp))
+    in
+    let diags =
+      try
+        if sharded then Lp_analysis.Audit.run_sharded opts (load_sharded path)
+        else if stream then
+          io_guard (fun () ->
+              Lp_analysis.Audit.run_source opts (Lp_trace.Source.of_file path))
+        else Lp_analysis.Audit.run opts (read_trace path)
+      with Invalid_argument msg | Failure msg ->
+        Printf.eprintf "lpalloc audit: %s\n" msg;
+        exit 2
+    in
+    emit_diagnostics ~tool_name:"lpalloc audit" ~source:path
+      ~rules:Lp_analysis.Audit.rules ~format ~max_per_rule diags;
+    if Lp_analysis.Diagnostic.has_errors diags then exit 1
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Audit a trace — and optionally the model trained from it — with \
+         three static analyses sharing one streaming pass: chain-key \
+         collision detection (distinct call chains folded onto one predictor \
+         key with disagreeing lifetime classes), predictor-coverage gaps \
+         (cold-start sites the model misses, dead model sites, sites within \
+         a margin of the short-lived cutoff), and live-interval overlap \
+         (peak simultaneous live bytes per site, cross-site overlap \
+         pressure, fragmentation hotspots).";
+      `P
+        "Same exit-code contract as $(b,lpalloc lint): $(b,0) when no \
+         error-severity diagnostic was found, $(b,1) when at least one was \
+         (only $(b,chain-collision-mispredict) is error-severity by \
+         default), $(b,2) on usage or I/O errors.  Output is byte-identical \
+         across the materialized, $(b,--stream) and $(b,--sharded) paths at \
+         any domain count.";
+    ]
+    @ rule_section "AUDIT RULES" Lp_analysis.Audit.rules
+  in
+  Cmd.v
+    (Cmd.info "audit" ~man ~exits:contract_exits
+       ~doc:
+         "Audit a trace (and optionally its trained model) with \
+          chain-collision, predictor-coverage and live-interval analyses")
+    Term.(
+      const run $ file $ model $ threshold_arg $ margin $ hotspot_share $ depth
+      $ policy $ list_rules $ json_arg $ format_arg $ only_arg $ disable_arg
+      $ max_per_rule_arg $ stream_arg $ sharded_arg $ domains_arg $ timings_arg)
 
 let () =
   (* fail fast, before any subcommand runs, on a malformed LPALLOC_DOMAINS
@@ -697,7 +934,7 @@ let () =
     Cmd.group info
       [
         list_cmd; trace_cmd; convert_cmd; stats_cmd; lifetimes_cmd; train_cmd;
-        evaluate_cmd; simulate_cmd; lint_cmd;
+        evaluate_cmd; simulate_cmd; lint_cmd; audit_cmd;
       ]
   in
   (* cmdliner's stock cli_error exit is 124; fold parse errors (missing

@@ -1,0 +1,178 @@
+(** The audit engine: abstract interpretation over trace streams.
+
+    One concrete pass drives any number of {e abstract domains} over the
+    event stream.  The engine owns the concrete semantics — event index,
+    allocation clock, live-heap byte/object counters, per-object current
+    size and birth chain — and exposes them to each domain's step
+    function as a {!ctx}; a domain folds the events of one {e range}
+    into a {!token} summary and merges a covering partition's summaries,
+    walked in range order, into the whole-trace result.
+
+    The [run_range]/[merge_ranges] split follows the
+    stats/lifetimes/train/lint folds: every range is seeded from the
+    sharded footer's entry counters and carry-in set
+    ({!Lp_trace.Sharded.range}), and the sequential paths are the
+    one-range special case ({!run_source} replays the whole stream as a
+    single range and merges the singleton).  Materialized, [--stream]
+    and [--sharded] runs of a well-formed trace therefore produce
+    byte-identical results at any domain count, provided the domain's
+    [merge] reproduces sequential accumulation order — interning in
+    range order is global first-appearance order, and deferred
+    per-allocation observations replay in global allocation order.
+
+    Domains publish their summaries through the extensible {!token}
+    type (each adds a private constructor), which keeps the engine
+    first-order: a heterogeneous list of domains runs in one pass and
+    their summaries cross OCaml domains as plain values. *)
+
+type token = ..
+(** A domain's range or merged summary.  Each domain extends this with
+    its own constructor and exposes a [project] to unpack the merge. *)
+
+type entry = {
+  en_first_event : int;  (** global index of the range's first event *)
+  en_start_clock : int;  (** bytes allocated before the range *)
+  en_live_bytes : int;  (** live bytes at range entry *)
+  en_live_objs : int;
+  en_next_obj : int;  (** next dense-birth object id at range entry *)
+  en_carry : Lp_trace.Binio.carry array;
+}
+(** Where in the trace a range starts: {!Lp_trace.Sharded.range} minus
+    the cursor. *)
+
+val whole : entry
+(** The trace-initial entry (event 0, zero clocks, empty carry) — what
+    sequential runs seed with. *)
+
+val entry_of_range : Lp_trace.Sharded.range -> entry
+
+type ctx = {
+  mutable cx_event : int;  (** index of the current event (absolute) *)
+  mutable cx_clock : int;  (** allocation clock {e before} the event *)
+  mutable cx_live_bytes : int;  (** live bytes {e before} the event *)
+  mutable cx_live_objs : int;
+  cx_src : Lp_trace.Source.t;  (** for table lookups (chains, funcs) *)
+  cx_cur_size : int -> int;
+      (** an object's current (post-resize) size; [0] if never allocated *)
+  cx_born : int -> bool;  (** has the object been allocated (ever)? *)
+  cx_birth_chain : int -> int;
+      (** the chain of the object's {e birth} allocation — reallocs don't
+          change it — or [-1] if unknown *)
+}
+(** The engine's concrete state, as each domain's step observes it:
+    pre-event values, updated by the engine after all domains have seen
+    the event. *)
+
+module type DOMAIN = sig
+  val name : string
+
+  val enter :
+    Lp_trace.Source.t -> entry -> (ctx -> Lp_trace.Event.t -> unit) * (unit -> token)
+  (** Start a range: return the per-event step and the finisher that
+      packs the range summary. *)
+
+  val merge : token list -> token
+  (** Combine a covering partition's summaries, given in range order.
+      Sequential runs call this on a singleton. *)
+end
+
+val run_range : analyses:(module DOMAIN) list -> Lp_trace.Sharded.range -> token list
+(** Replay one range under every domain in a single pass; one (unmerged)
+    summary token per domain, in domain order. *)
+
+val merge_ranges :
+  analyses:(module DOMAIN) list -> token list list -> token list
+(** Merge per-range token lists (outer list in range order) into one
+    merged token per domain. *)
+
+val run_source :
+  analyses:(module DOMAIN) list -> Lp_trace.Source.t -> token list
+(** The sequential path: the whole stream as a single range, merged.
+    The source is consumed. *)
+
+val run_sharded :
+  ?domains:int ->
+  analyses:(module DOMAIN) list ->
+  Lp_trace.Sharded.t ->
+  token list
+(** Fan the chunk index over the domain pool
+    ({!Lifetime.Parallel.map_chunks}) and merge in range order.  Output
+    is identical to {!run_source} over the same trace. *)
+
+(** {1 Report rendering}
+
+    Reports run after the pass, against the complete interned tables. *)
+
+type report_ctx = {
+  rp_funcs : Lp_callchain.Func.table;
+  rp_chain : int -> Lp_callchain.Chain.t;
+  rp_n_chains : int;
+}
+
+val report_ctx_of_source : Lp_trace.Source.t -> report_ctx
+(** From an exhausted source (tables complete). *)
+
+val report_ctx_of_sharded : Lp_trace.Sharded.t -> report_ctx
+
+val chain_depth : report_ctx -> int -> int
+(** Frame count of a chain; [0] when the id is unresolvable. *)
+
+val render_chain : report_ctx -> int -> string
+(** First three frames, innermost first, ["<-…"]-elided — the linter's
+    rendering. *)
+
+(** {1 The shared site domain}
+
+    The per-(chain, size) abstract domain both the collision and the
+    coverage analyses consume: every allocation is attributed to its
+    concrete site (raw chain id × exact size) and to the portable
+    predictor key the configured policy maps that site onto, with
+    per-site and per-key lifetime statistics accumulated through the
+    {!Lp_trace.Lifetimes.Fold} machinery (deferred, so survivors get
+    their end-of-trace lifetimes).  Several concrete sites mapping onto
+    one key is exactly a {e key collision}. *)
+module Site_profile : sig
+  type config = {
+    pc_policy : Lp_callchain.Site.policy;
+    pc_rounding : int;  (** portable-key size rounding *)
+    pc_threshold : int;  (** short-lived cutoff, bytes *)
+  }
+
+  type site = {
+    st_chain : int;  (** raw chain id *)
+    st_size : int;  (** exact allocation size *)
+    st_key : int;  (** index into [pf_keys] *)
+    st_first_event : int;  (** first allocation under this site *)
+    mutable st_count : int;
+    mutable st_short : int;
+    mutable st_survivors : int;
+    mutable st_max_lifetime : int;
+    mutable st_bytes : int;
+    st_hist : Lp_quantile.Histogram.t;
+        (** count-weighted lifetime quartile histogram *)
+  }
+
+  type key = {
+    ky_key : Lifetime.Portable.t;
+    ky_first_event : int;
+    mutable ky_sites : int list;  (** member sites, first-appearance order *)
+    mutable ky_count : int;
+    mutable ky_short : int;
+    mutable ky_survivors : int;
+    mutable ky_max_lifetime : int;
+    mutable ky_bytes : int;
+  }
+
+  type merged = {
+    pf_sites : site array;  (** global first-appearance order *)
+    pf_keys : key array;  (** global first-appearance order *)
+    pf_end_clock : int;
+    pf_threshold : int;
+  }
+
+  val domain : config -> (module DOMAIN)
+
+  val project : token -> merged
+  (** Unpack this domain's merged token.
+      @raise Invalid_argument on a foreign token. *)
+end

@@ -46,6 +46,10 @@ val pp : ?source:string -> Format.formatter -> t -> unit
 (** One line: [<source>:<anchor>: <severity> [<rule>] <message> (<site>)].
     [source] is the analysed file when known. *)
 
+val json_string : string -> string
+(** A JSON string literal (quoted, escaped) — shared by the JSON and
+    SARIF renderers. *)
+
 val to_json : t -> string
 (** One JSON object; absent optional fields are omitted. *)
 

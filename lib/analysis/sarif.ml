@@ -1,0 +1,64 @@
+(* SARIF 2.1.0 rendering of diagnostic lists.
+
+   One run, one driver, the pass's rule registry as reportingDescriptors
+   and each diagnostic as a result.  SARIF has no notion of an event
+   index inside a binary trace, so the anchor (event, object id, raw
+   site string) rides in each result's property bag and the analysed
+   trace file, when known, becomes the single artifact location.  The
+   output is a single line, like the JSON renderer, so CI can diff
+   byte-for-byte. *)
+
+let level_of = function
+  | Diagnostic.Error -> "error"
+  | Diagnostic.Warning -> "warning"
+  | Diagnostic.Info -> "note"
+
+let js = Diagnostic.json_string
+
+let rule_descriptor (r : Diagnostic.rule) =
+  Printf.sprintf
+    "{\"id\":%s,\"shortDescription\":{\"text\":%s},\"defaultConfiguration\":{\"level\":%s}}"
+    (js r.Diagnostic.id) (js r.Diagnostic.doc)
+    (js (level_of r.Diagnostic.default_severity))
+
+let result ?source (d : Diagnostic.t) =
+  let properties =
+    List.filter_map Fun.id
+      [
+        Option.map (Printf.sprintf "\"event\":%d") d.Diagnostic.event;
+        Option.map (Printf.sprintf "\"obj\":%d") d.Diagnostic.obj;
+        Option.map
+          (fun s -> Printf.sprintf "\"site\":%s" (js s))
+          d.Diagnostic.site;
+      ]
+  in
+  let fields =
+    List.filter_map Fun.id
+      [
+        Some (Printf.sprintf "\"ruleId\":%s" (js d.Diagnostic.rule));
+        Some
+          (Printf.sprintf "\"level\":%s"
+             (js (level_of d.Diagnostic.severity)));
+        Some
+          (Printf.sprintf "\"message\":{\"text\":%s}" (js d.Diagnostic.message));
+        Option.map
+          (fun src ->
+            Printf.sprintf
+              "\"locations\":[{\"physicalLocation\":{\"artifactLocation\":{\"uri\":%s}}}]"
+              (js src))
+          source;
+        (match properties with
+        | [] -> None
+        | ps ->
+            Some
+              (Printf.sprintf "\"properties\":{%s}" (String.concat "," ps)));
+      ]
+  in
+  "{" ^ String.concat "," fields ^ "}"
+
+let to_string ~tool_name ~rules ?source diags =
+  Printf.sprintf
+    "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{\"name\":%s,\"rules\":[%s]}},\"results\":[%s]}]}"
+    (js tool_name)
+    (String.concat "," (List.map rule_descriptor rules))
+    (String.concat "," (List.map (result ?source) diags))

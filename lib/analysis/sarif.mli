@@ -1,0 +1,18 @@
+(** SARIF 2.1.0 rendering of diagnostic lists.
+
+    Maps a pass's rule registry to the driver's reportingDescriptors and
+    each {!Diagnostic.t} to a result: severities become SARIF levels
+    (info → [note]), the analysed file (when given) becomes each
+    result's artifact location, and the trace-internal anchors — event
+    index, object id, rendered site — ride in the result's property
+    bag.  Single-line output, diffable byte-for-byte like the JSON
+    renderer. *)
+
+val to_string :
+  tool_name:string ->
+  rules:Diagnostic.rule list ->
+  ?source:string ->
+  Diagnostic.t list ->
+  string
+(** [to_string ~tool_name ~rules ?source diags] is a complete
+    single-line SARIF 2.1.0 log with one run. *)

@@ -50,3 +50,12 @@ let policy_to_string = function
   | Last_callers n -> Printf.sprintf "last-%d-callers" n
   | Size_only -> "size-only"
   | Encrypted_key -> "encrypted-key"
+
+let policy_of_string = function
+  | "complete-chain" -> Some Complete_chain
+  | "size-only" -> Some Size_only
+  | "encrypted-key" -> Some Encrypted_key
+  | s ->
+      Scanf.sscanf_opt s "last-%d-callers%!" (fun n ->
+          if n >= 1 then Some (Last_callers n) else None)
+      |> Option.join

@@ -48,3 +48,8 @@ module Table : Hashtbl.S with type key = t
     database (§5.1). *)
 
 val policy_to_string : policy -> string
+
+val policy_of_string : string -> policy option
+(** Inverse of {!policy_to_string} ([None] on an unrecognised name or a
+    non-positive [last-N-callers] length) — how consumers of a model file
+    recover the site policy the model was trained under. *)

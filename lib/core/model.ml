@@ -173,3 +173,25 @@ let load path =
 let predictor ~config t =
   Predictor.of_keys ~config
     (List.filter_map (fun e -> if e.predicted then Some e.key else None) t.entries)
+
+(* -- introspection ---------------------------------------------------------------- *)
+
+type index = entry Portable.Table.t
+
+let index t =
+  let ix : index = Portable.Table.create (max 16 (List.length t.entries)) in
+  (* duplicate keys cannot arise from [of_training_parts], but a hand-
+     edited model could carry them; keep the first entry, like the
+     first-appearance order the trainer preserves *)
+  List.iter
+    (fun e ->
+      if not (Portable.Table.mem ix e.key) then Portable.Table.add ix e.key e)
+    t.entries;
+  ix
+
+let find_key ix key = Portable.Table.find_opt ix key
+
+let site_policy t = Lp_callchain.Site.policy_of_string t.policy
+
+let n_predicted t =
+  List.length (List.filter (fun e -> e.predicted) t.entries)

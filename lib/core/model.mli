@@ -79,3 +79,26 @@ val predictor : config:Config.t -> t -> Predictor.t
 (** Rebuild a usable predictor from the model's accepted keys.  The
     [config]'s policy and rounding should match the model's; the model's
     recorded threshold/rounding are authoritative for validation. *)
+
+(** {1 Introspection}
+
+    The reverse mapping key → entry, for analyses that look trace sites
+    up in a model (the audit's coverage and collision passes). *)
+
+type index
+(** A hash index over the model's entries by portable key. *)
+
+val index : t -> index
+(** Build the index once; duplicate keys (possible only in hand-edited
+    files) keep their first entry, matching training's
+    first-appearance order. *)
+
+val find_key : index -> Portable.t -> entry option
+
+val site_policy : t -> Lp_callchain.Site.policy option
+(** The model's recorded site policy, decoded
+    ({!Lp_callchain.Site.policy_of_string}); [None] when the file names
+    an unknown policy. *)
+
+val n_predicted : t -> int
+(** Entries accepted into the predictor. *)

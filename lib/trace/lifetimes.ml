@@ -111,59 +111,103 @@ type range_fold = {
   rf_end_clock : int;
 }
 
+(* Incremental form of the range fold: the same state machine exposed one
+   event at a time, so passes that interleave their own per-event work
+   with lifetime accumulation (the audit engine's analyses) drive a
+   [Fold.t] from their own event loop instead of duplicating the clock
+   and birth/free bookkeeping.  [fold_range] below is the one-shot loop
+   over it. *)
+module Fold = struct
+  type t = {
+    f_a_obj : Grow.t;
+    f_a_size : Grow.t;
+    f_birth : Grow.t;
+    f_born : Grow.t;
+    f_freed : Grow.t;
+    f_life : Grow.t;
+    f_touched : Grow.t;
+    f_stamp : Grow.t;
+    mutable f_n_allocs : int;
+    mutable f_clock : int;
+  }
+
+  let create ?(hint = 64) ~start_clock ~carry () =
+    let hint = max hint (Array.length carry) in
+    let t =
+      {
+        f_a_obj = Grow.create 1024;
+        f_a_size = Grow.create 1024;
+        f_birth = Grow.create hint;
+        f_born = Grow.create hint;
+        f_freed = Grow.create hint;
+        f_life = Grow.create hint;
+        f_touched = Grow.create 256;
+        f_stamp = Grow.create hint;
+        f_n_allocs = 0;
+        f_clock = start_clock;
+      }
+    in
+    Array.iter
+      (fun (cr : Binio.carry) ->
+        Grow.set t.f_birth cr.Binio.cr_obj cr.Binio.cr_birth_clock)
+      carry;
+    t
+
+  let clock t = t.f_clock
+  let n_allocs t = t.f_n_allocs
+
+  let touch t obj =
+    if Grow.get t.f_stamp obj = 0 then begin
+      Grow.set t.f_stamp obj 1;
+      Grow.push t.f_touched obj
+    end
+
+  let step t = function
+    | Event.Alloc { obj; size; _ } ->
+        Grow.push t.f_a_obj obj;
+        Grow.push t.f_a_size size;
+        t.f_n_allocs <- t.f_n_allocs + 1;
+        touch t obj;
+        Grow.set t.f_born obj 1;
+        Grow.set t.f_birth obj t.f_clock;
+        t.f_clock <- t.f_clock + size
+    | Event.Free { obj; _ } ->
+        touch t obj;
+        Grow.set t.f_freed obj 1;
+        Grow.set t.f_life obj (t.f_clock - Grow.get t.f_birth obj)
+    | Event.Realloc { old_size; new_size; _ } ->
+        t.f_clock <- t.f_clock + max 0 (new_size - old_size)
+    | Event.Touch _ -> ()
+
+  let finish t =
+    let touched = Grow.to_array t.f_touched in
+    {
+      rf_a_obj = Grow.to_array t.f_a_obj;
+      rf_a_size = Grow.to_array t.f_a_size;
+      rf_touched = touched;
+      rf_born = Array.map (Grow.get t.f_born) touched;
+      rf_birth = Array.map (Grow.get t.f_birth) touched;
+      rf_freed = Array.map (Grow.get t.f_freed) touched;
+      rf_life = Array.map (Grow.get t.f_life) touched;
+      rf_end_clock = t.f_clock;
+    }
+end
+
 let fold_range ?on_alloc (rg : Sharded.range) =
   let src = Sharded.range_source rg in
-  let hint = max 64 (Array.length rg.Sharded.rg_carry) in
-  let a_obj = Grow.create 1024 in
-  let a_size = Grow.create 1024 in
-  let birth = Grow.create hint in
-  let born = Grow.create hint in
-  let freed = Grow.create hint in
-  let life = Grow.create hint in
-  let touched = Grow.create 256 in
-  let stamp = Grow.create hint in
-  let touch obj =
-    if Grow.get stamp obj = 0 then begin
-      Grow.set stamp obj 1;
-      Grow.push touched obj
-    end
+  let fold =
+    Fold.create
+      ~hint:(max 64 (Array.length rg.Sharded.rg_carry))
+      ~start_clock:rg.Sharded.rg_start_clock ~carry:rg.Sharded.rg_carry ()
   in
-  Array.iter
-    (fun (cr : Binio.carry) ->
-      Grow.set birth cr.Binio.cr_obj cr.Binio.cr_birth_clock)
-    rg.Sharded.rg_carry;
-  let clock = ref rg.Sharded.rg_start_clock in
   Source.iter
-    (function
-      | Event.Alloc { obj; size; chain; key; _ } ->
-          (match on_alloc with
-          | Some f -> f src ~size ~chain ~key
-          | None -> ());
-          Grow.push a_obj obj;
-          Grow.push a_size size;
-          touch obj;
-          Grow.set born obj 1;
-          Grow.set birth obj !clock;
-          clock := !clock + size
-      | Event.Free { obj; _ } ->
-          touch obj;
-          Grow.set freed obj 1;
-          Grow.set life obj (!clock - Grow.get birth obj)
-      | Event.Realloc { old_size; new_size; _ } ->
-          clock := !clock + max 0 (new_size - old_size)
-      | Event.Touch _ -> ())
+    (fun ev ->
+      (match (ev, on_alloc) with
+      | Event.Alloc { size; chain; key; _ }, Some f -> f src ~size ~chain ~key
+      | _ -> ());
+      Fold.step fold ev)
     src;
-  let touched = Grow.to_array touched in
-  {
-    rf_a_obj = Grow.to_array a_obj;
-    rf_a_size = Grow.to_array a_size;
-    rf_touched = touched;
-    rf_born = Array.map (Grow.get born) touched;
-    rf_birth = Array.map (Grow.get birth) touched;
-    rf_freed = Array.map (Grow.get freed) touched;
-    rf_life = Array.map (Grow.get life) touched;
-    rf_end_clock = !clock;
-  }
+  Fold.finish fold
 
 (* final per-object state after applying a covering partition's folds in
    range order; growable so corrupt traces with out-of-range object ids

@@ -73,6 +73,30 @@ val fold_range :
     before state updates (the trainer derives sites there, keeping the
     expensive work inside the parallel section). *)
 
+(** The incremental face of {!fold_range}: the same lifetime state
+    machine driven one event at a time, for passes that interleave their
+    own per-event accumulation with the lifetime fold (the audit
+    engine's site analyses).  [create ~start_clock ~carry] seeds the
+    carried birth clocks exactly as {!fold_range} does; {!Fold.step} on
+    every event of the range and then {!Fold.finish} yields the same
+    {!range_fold} the one-shot loop produces. *)
+module Fold : sig
+  type t
+
+  val create :
+    ?hint:int -> start_clock:int -> carry:Binio.carry array -> unit -> t
+  (** [hint] pre-sizes the per-object tables (at least the carry size). *)
+
+  val clock : t -> int
+  (** Absolute allocation clock {e before} the next event. *)
+
+  val n_allocs : t -> int
+  (** Allocation records pushed so far. *)
+
+  val step : t -> Event.t -> unit
+  val finish : t -> range_fold
+end
+
 type resolved
 (** Final per-object lifetime state of a covering partition. *)
 
