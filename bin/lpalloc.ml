@@ -9,6 +9,8 @@
      train    FILE                  train a predictor, show its sites
      evaluate --train A --test B    self/true prediction quality (Table 4 row)
      simulate --train A --test B    first-fit vs BSD vs arena (Tables 7-9)
+     tune     --train A --test B    design-space search over allocator
+                                    parameters; Pareto front + baselines
      lint     FILE                  statically check a trace or model file
      audit    TRACE [--model M]     chain-collision / coverage / live-interval
                                     analyses over a trace and its model  *)
@@ -356,7 +358,11 @@ let simulate_cmd =
       "Comma-separated allocator backends to replay, by registry name or \
        alias: $(b,first-fit)/$(b,ff), $(b,best-fit)/$(b,bf), $(b,bsd), \
        $(b,segfit)/$(b,seg), $(b,arena).  A predicting backend (arena) \
-       reports both prediction pricings, as $(i,name) and $(i,name)-cce."
+       reports both prediction pricings, as $(i,name) and $(i,name)-cce.  \
+       Names may carry parameters as $(i,name:key=value:...) — e.g. \
+       $(b,segfit:slab=16+64+256), $(b,arena:n=8:chunk=8192) — see the \
+       README's tuning section for the grammar; a malformed spec is a \
+       usage error (exit 2)."
     in
     Arg.(
       value
@@ -382,13 +388,15 @@ let simulate_cmd =
     (match allocators with
     | None -> ()
     | Some names ->
+        (* full spec validation up front — a bad parameter is a usage
+           error (exit 2), not a mid-replay failure *)
         List.iter
           (fun n ->
-            if not (Lp_allocsim.Registry.mem n) then begin
-              Printf.eprintf "unknown allocator %S (known: %s)\n" n
-                (String.concat ", " (Lp_allocsim.Registry.names ()));
-              exit 2
-            end)
+            match Lp_allocsim.Registry.backend_of_spec n with
+            | Ok _ -> ()
+            | Error msg ->
+                Printf.eprintf "lpalloc simulate: %s\n" msg;
+                exit 2)
           names);
     let config = { Lifetime.Config.default with short_lived_threshold = threshold } in
     let predictor =
@@ -451,6 +459,152 @@ let simulate_cmd =
     Term.(
       const run $ train_file $ test_file $ threshold_arg $ allocators $ json_arg
       $ domains_arg $ sanitize $ stream_arg $ decode_ahead $ timings_arg)
+
+(* -- tune ------------------------------------------------------------------------- *)
+
+let tune_cmd =
+  let seed =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"N"
+          ~doc:
+            "Search seed.  The whole run is a pure function of the seed and \
+             the traces: grid order, mutations, Pareto front and JSON output \
+             are byte-identical for a fixed seed at any $(b,--domains) \
+             setting.")
+  in
+  let generations =
+    Arg.(
+      value & opt int 4
+      & info [ "generations" ] ~docv:"N"
+          ~doc:"Evolutionary refinement rounds after the seed grid.")
+  in
+  let population =
+    Arg.(
+      value & opt int 16
+      & info [ "population" ] ~docv:"N"
+          ~doc:"Fresh mutated candidates per generation.")
+  in
+  let max_candidates =
+    Arg.(
+      value & opt int 512
+      & info [ "max-candidates" ] ~docv:"N"
+          ~doc:"Hard cap on total candidate evaluations.")
+  in
+  let workload =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "workload" ] ~docv:"NAME"
+          ~doc:
+            "Workload label in the output (default: the test trace's \
+             basename).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:
+            "Also write the outcome JSON here.  The file is byte-identical \
+             for a fixed seed regardless of the domain count — the golden \
+             determinism artifact.")
+  in
+  let format =
+    Arg.(
+      value
+      & opt
+          (Arg.enum [ ("text", `Text); ("json", `Json); ("markdown", `Markdown) ])
+          `Text
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:
+            "Output on stdout: $(b,text) (Pareto table), $(b,json) (the full \
+             outcome), or $(b,markdown) (the EXPERIMENTS best-config rows).")
+  in
+  let run train_path test_path seed generations population max_candidates
+      workload out format domains timings =
+    with_timings timings @@ fun () ->
+    set_domains domains;
+    if generations < 0 then begin
+      Printf.eprintf "lpalloc tune: --generations must be >= 0\n";
+      exit 2
+    end;
+    if population < 1 then begin
+      Printf.eprintf "lpalloc tune: --population must be positive\n";
+      exit 2
+    end;
+    if max_candidates < 1 then begin
+      Printf.eprintf "lpalloc tune: --max-candidates must be positive\n";
+      exit 2
+    end;
+    (* counters run even without --timings: the outcome embeds the decode
+       and validation counts that prove the decode-once/replay-many
+       contract (both are deterministic, unlike the per-domain pool
+       counters, so they are safe in the golden artifact) *)
+    let counters_were_on = Lp_obs.Timings.enabled () in
+    Lp_obs.Timings.set_enabled true;
+    let train = read_trace train_path in
+    let test = read_trace test_path in
+    let workload =
+      match workload with
+      | Some w -> w
+      | None -> Filename.remove_extension (Filename.basename test_path)
+    in
+    let options = { Lifetime.Tune.seed; generations; population; max_candidates } in
+    let outcome =
+      io_guard (fun () -> Lifetime.Tune.search ~options ~workload ~train ~test ())
+    in
+    let engine =
+      List.filter
+        (fun (k, _) -> k = "trace.decodes" || k = "replay.validations")
+        (Lp_obs.Timings.counters ())
+    in
+    if not counters_were_on then Lp_obs.Timings.set_enabled false;
+    let json = Lifetime.Tune.json_of_outcome ~engine outcome in
+    (match out with
+    | None -> ()
+    | Some path ->
+        io_guard (fun () ->
+            Out_channel.with_open_bin path (fun oc ->
+                output_string oc (Lp_report.Json.to_pretty_string json))));
+    match format with
+    | `Json -> print_string (Lp_report.Json.to_pretty_string json)
+    | `Markdown ->
+        print_string (Lifetime.Tune.markdown_header ^ Lifetime.Tune.markdown_rows outcome)
+    | `Text ->
+        Printf.printf "workload %s: %d candidates evaluated, %d on the Pareto front\n"
+          workload
+          (List.length outcome.Lifetime.Tune.results)
+          (List.length outcome.Lifetime.Tune.pareto);
+        List.iter (fun (k, v) -> Printf.printf "  %s = %d\n" k v) engine;
+        print_string (Lifetime.Tune.table_of_outcome outcome)
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Search the allocator design space instead of evaluating the paper's \
+         fixed points: a deterministic seeded grid over backend parameters \
+         (sbrk chunk, segfit slab ladder, arena geometry and fallback, \
+         predictor chain depth 1-8, short-lived threshold) followed by \
+         evolutionary refinement of the Pareto front.  Every candidate \
+         replays the same prepared test trace — decoded and validated \
+         exactly once — in parallel across OCaml domains; the emitted \
+         $(b,trace.decodes) and $(b,replay.validations) counters prove it.";
+      `P
+        "The report is the Pareto front minimizing (simulated instructions, \
+         heap high-water) plus the paper's fixed baselines (first-fit, bsd, \
+         arena at length-4 and CCE pricing) for reference.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "tune" ~man
+       ~doc:
+         "Search allocator parameters with a seeded grid plus evolutionary \
+          refinement, replaying one prepared trace per workload")
+    Term.(
+      const run $ train_file $ test_file $ seed $ generations $ population
+      $ max_candidates $ workload $ out $ format $ domains_arg $ timings_arg)
 
 (* -- convert ---------------------------------------------------------------------- *)
 
@@ -934,7 +1088,7 @@ let () =
     Cmd.group info
       [
         list_cmd; trace_cmd; convert_cmd; stats_cmd; lifetimes_cmd; train_cmd;
-        evaluate_cmd; simulate_cmd; lint_cmd; audit_cmd;
+        evaluate_cmd; simulate_cmd; tune_cmd; lint_cmd; audit_cmd;
       ]
   in
   (* cmdliner's stock cli_error exit is 124; fold parse errors (missing

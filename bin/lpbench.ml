@@ -35,12 +35,20 @@
    default workload set): the realloc event count plus, per backend, how
    the sequential replay split resizes into in-place extensions and
    moves.  Realloc-free workloads omit the phase; --validate demands it
-   from v4 files on at least one workload. *)
+   from v4 files on at least one workload.
+
+   Schema v5 adds a per-workload "tune" phase measuring the
+   decode-once/replay-many candidate engine: a fixed 16-spec parameter
+   sweep replayed through one prepared trace versus the naive
+   decode-per-candidate baseline (fresh Binio decode + validating replay
+   per candidate — the pre-engine cost), plus a small lpalloc-tune
+   search reporting candidates evaluated, candidates/sec and the Pareto
+   front size.  --validate demands the phase from v5 files. *)
 
 open Cmdliner
 module Json = Lp_report.Json
 
-let schema_version = 4
+let schema_version = 5
 
 (* -- measurement helpers -------------------------------------------------------- *)
 
@@ -243,6 +251,83 @@ let bench_workload ~program ~input ~scale ~repeat ~domains ~allocators =
         );
       ]
   in
+  (* tune phase (schema v5): the candidate engine's reason to exist.
+     One fixed parameter sweep, two ways: every candidate replaying the
+     shared prepared trace (decoded and validated once — the seq phase
+     above already memoized the validation) versus the naive baseline
+     that decodes the encoded bytes and re-validates per candidate.  Same
+     specs, same backends, 1 domain, so the ratio isolates the engine. *)
+  let sweep_specs =
+    [
+      "first-fit"; "best-fit"; "bsd"; "segfit"; "arena";
+      "first-fit:sbrk=4096"; "first-fit:sbrk=32768"; "best-fit:sbrk=4096";
+      "segfit:slab=16+64+256+1024";
+      "segfit:slab=16+32+48+64+96+128+192+256+384+512+768+1024+1536+2048";
+      "arena:n=8"; "arena:n=32"; "arena:chunk=2048"; "arena:chunk=8192";
+      "arena:n=8:chunk=8192"; "arena:fallback=segfit";
+    ]
+  in
+  let backend_of_spec s =
+    match Lp_allocsim.Registry.backend_of_spec s with
+    | Ok b -> b
+    | Error msg -> failwith ("lpbench: " ^ msg)
+  in
+  let sweep_backends = List.map backend_of_spec sweep_specs in
+  Gc.full_major ();
+  let prepared_seconds, _ =
+    best_of repeat (fun () ->
+        let prepared = Lp_allocsim.Driver.prepare trace in
+        Lifetime.Parallel.with_domains 1 (fun () ->
+            List.iter
+              (fun b -> ignore (Lp_allocsim.Driver.run_prepared prepared b))
+              sweep_backends))
+  in
+  Gc.full_major ();
+  let decode_per_candidate_seconds, _ =
+    best_of repeat (fun () ->
+        Lifetime.Parallel.with_domains 1 (fun () ->
+            List.iter
+              (fun s ->
+                (* a fresh decode per candidate also defeats the
+                   validation memo: every replay pays the full
+                   pre-engine path *)
+                let t = Lp_trace.Binio.of_string ~name:(program ^ ".lpt") encoded in
+                ignore (Lp_allocsim.Driver.run t (backend_of_spec s)))
+              sweep_specs))
+  in
+  let sweep_speedup =
+    if prepared_seconds > 0. then decode_per_candidate_seconds /. prepared_seconds
+    else 0.
+  in
+  if sweep_speedup < 3.0 then
+    Printf.eprintf
+      "lpbench: WARNING: candidate-sweep speedup %.2fx vs decode-per-candidate \
+       (< 3x)\n\
+       %!"
+      sweep_speedup;
+  let search_seconds, tune_outcome =
+    time (fun () ->
+        Lifetime.Tune.search
+          ~options:
+            { Lifetime.Tune.seed = 42; generations = 1; population = 8; max_candidates = 64 }
+          ~workload:program ~train:trace ~test:trace ())
+  in
+  let tune_candidates = List.length tune_outcome.Lifetime.Tune.results in
+  let tune_phase =
+    Json.Obj
+      [
+        ("sweep_specs", int_ (List.length sweep_specs));
+        ("prepared_seconds", num prepared_seconds);
+        ("decode_per_candidate_seconds", num decode_per_candidate_seconds);
+        ("speedup_vs_decode_per_candidate", num sweep_speedup);
+        ( "events_per_sec",
+          num (rate (events * List.length sweep_specs) prepared_seconds) );
+        ("candidates", int_ tune_candidates);
+        ("search_seconds", num search_seconds);
+        ("candidates_per_sec", num (rate tune_candidates search_seconds));
+        ("pareto_size", int_ (List.length tune_outcome.Lifetime.Tune.pareto));
+      ]
+  in
   let gc = Gc.quick_stat () in
   ( events,
     Json.Obj
@@ -300,6 +385,7 @@ let bench_workload ~program ~input ~scale ~repeat ~domains ~allocators =
               ("events_per_sec", num (rate events shard_par_seconds));
               ("speedup_vs_sequential", num shard_speedup);
             ] );
+        ("tune", tune_phase);
         ("top_heap_words", int_ gc.Gc.top_heap_words);
       ]
       @ realloc_phase) )
@@ -329,11 +415,11 @@ let run_bench rev out workloads input scale repeat domains allocators =
   Lp_obs.Timings.set_enabled true;
   List.iter
     (fun n ->
-      if not (Lp_allocsim.Registry.mem n) then begin
-        Printf.eprintf "lpbench: unknown allocator %S (known: %s)\n" n
-          (String.concat ", " (Lp_allocsim.Registry.names ()));
-        exit 2
-      end)
+      match Lp_allocsim.Registry.backend_of_spec n with
+      | Ok _ -> ()
+      | Error msg ->
+          Printf.eprintf "lpbench: %s\n" msg;
+          exit 2)
     allocators;
   List.iter
     (fun p ->
@@ -417,10 +503,10 @@ let validate_file path =
     | _ -> 0
   in
   (* v1 files (the committed pre-streaming baselines) stay valid; the
-     streaming additions are only demanded from v2 files and the sharded
-     phase only from v3 files *)
-  check "schema_version in {1, 2, 3, 4}"
-    (version >= 1 && version <= 4);
+     streaming additions are only demanded from v2 files, the sharded
+     phase from v3, the realloc phase from v4, the tune phase from v5 *)
+  check "schema_version in {1, 2, 3, 4, 5}"
+    (version >= 1 && version <= 5);
   let saw_realloc_phase = ref false in
   List.iter (require_str "top" j) [ "rev"; "ocaml"; "input" ];
   List.iter (require_num "top" j)
@@ -472,6 +558,20 @@ let validate_file path =
                      "speedup_vs_sequential";
                    ]
              | None -> check "workload.sharded" false);
+          (if version >= 5 then
+             match Json.member "tune" w with
+             | Some t ->
+                 List.iter (require_num "tune" t)
+                   [
+                     "sweep_specs";
+                     "prepared_seconds";
+                     "decode_per_candidate_seconds";
+                     "speedup_vs_decode_per_candidate";
+                     "candidates";
+                     "candidates_per_sec";
+                     "pareto_size";
+                   ]
+             | None -> check "workload.tune" false);
           (* the realloc phase is per-trace optional (realloc-free
              workloads omit it) but a v4 file must exhibit it somewhere *)
           match Json.member "realloc" w with

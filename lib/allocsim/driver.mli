@@ -4,7 +4,14 @@
     simulator of the prediction algorithm").
 
     There is exactly one replay loop; which allocator runs is a
-    {!Backend.t}, usually obtained from the {!Registry} by name. *)
+    {!Backend.t}, usually obtained from the {!Registry} by name.
+
+    Replay is decode-once/replay-many: {!prepare} validates a trace in a
+    single pass and the result can be replayed through any number of
+    backends with zero re-validation and pooled per-replay scratch
+    ({!Scratch}).  {!run} composes the two and memoizes validation on
+    trace identity, so even naive repeated [run] calls on the same trace
+    validate it only once. *)
 
 type predictor = {
   predicted : obj:int -> size:int -> chain:int -> key:int -> bool;
@@ -16,11 +23,32 @@ type predictor = {
           encryption *)
 }
 
-val run :
-  ?cache:Cache.t -> ?predictor:predictor -> Lp_trace.Trace.t -> Backend.t -> Metrics.t
-(** Replays every event in order through a fresh instance of the backend.
-    Objects still alive at the end of the trace are not freed (they hold
-    their space, as in the real program).
+type prepared
+(** A trace that has passed one-time replay validation.  The trace is
+    shared, not copied; it must not be mutated afterwards (the replay
+    loop omits bounds checks that validation proved redundant). *)
+
+val prepare : Lp_trace.Trace.t -> prepared
+(** Validates the trace for replay in one pure pass: an alloc of an
+    out-of-range or already-live object id, or a free/realloc/touch of a
+    never-allocated, already-freed or out-of-range object, raises
+    [Failure] naming the object id and the event index — the same errors
+    {!run} raises.  Validation happens at most once per trace: results
+    are memoized on physical trace identity (a bounded weak table, safe
+    across domains), and each actual validation pass increments the
+    ["replay.validations"] counter of {!Lp_obs.Timings} and records a
+    ["prepare"] stage when timings are enabled. *)
+
+val trace_of_prepared : prepared -> Lp_trace.Trace.t
+(** The underlying trace (shared, not copied). *)
+
+val run_prepared :
+  ?cache:Cache.t -> ?predictor:predictor -> prepared -> Backend.t -> Metrics.t
+(** Replays every event in order through a fresh instance of the backend,
+    with no per-event validation (already done by {!prepare}) and the
+    per-replay object tables drawn from the calling domain's {!Scratch}
+    pool.  Objects still alive at the end of the trace are not freed
+    (they hold their space, as in the real program).
 
     When [predictor] is given and the backend declares
     [uses_prediction = true], every allocation is billed
@@ -29,17 +57,11 @@ val run :
     never pay for it, so their metrics do not depend on the predictor at
     all.
 
-    Events are validated as they are replayed: an alloc of an out-of-range
-    or already-live object id, or a free/touch of a never-allocated,
-    already-freed or out-of-range object, raises [Failure] naming the
-    object id and the event index, instead of crashing with an unrelated
-    error deep inside the allocator.
-
     Each replay records its wall-clock span and event count under the
     ["replay/<backend>"] stage of {!Lp_obs.Timings} when timings are
-    enabled.  [run] is safe to call concurrently from several domains:
-    all allocator state is private to the call, and the trace is only
-    read.
+    enabled.  [run_prepared] is safe to call concurrently from several
+    domains: all allocator state is private to the call, scratch pools
+    are per-domain, and the trace is only read.
 
     When [cache] is given, the replay also feeds it the trace's memory
     references at the addresses this allocator assigned: the allocator's
@@ -47,6 +69,12 @@ val run :
     [Touch] as successive 16-byte-strided references within the object.
     Comparing the resulting miss rates across allocators quantifies the
     locality claim of the paper's introduction. *)
+
+val run :
+  ?cache:Cache.t -> ?predictor:predictor -> Lp_trace.Trace.t -> Backend.t -> Metrics.t
+(** [run_prepared] composed with {!prepare}: identical metrics and the
+    same validation errors, with validation skipped when the same trace
+    was already prepared (or run) before. *)
 
 val run_named :
   ?cache:Cache.t ->
@@ -69,11 +97,12 @@ val run_source :
     and never materializes the trace, so peak memory is bounded by the
     live-object population.  Metrics are byte-identical to [run] on the
     equivalent materialized trace (enforced by the equivalence test
-    suite).  Validation is the same except that out-of-range object ids
-    above the final object count cannot be detected mid-stream (the
-    count is only known at exhaustion); such events surface as
-    never-allocated frees or pass through as touches.  The source is
-    consumed; a fresh source is needed per replay.
+    suite).  Validation stays inline (a stream has no second pass) and is
+    the same except that out-of-range object ids above the final object
+    count cannot be detected mid-stream (the count is only known at
+    exhaustion); such events surface as never-allocated frees or pass
+    through as touches.  The source is consumed; a fresh source is
+    needed per replay.
 
     [decode_ahead] (default false) pipelines the replay: decoding moves
     to a second domain running ahead of the simulation through

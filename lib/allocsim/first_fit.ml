@@ -410,7 +410,9 @@ module Best_backend : Backend.BACKEND with type t = t = struct
 end
 
 (* NB: declared last — [module Backend] shadows the library's [Backend]
-   for anything below it. *)
+   for anything below it; [Backend_api] keeps the signature reachable. *)
+module Backend_api = Backend
+
 module Backend : Backend.BACKEND with type t = t = struct
   type nonrec t = t
 
@@ -429,3 +431,33 @@ module Backend : Backend.BACKEND with type t = t = struct
   let extra _ = Metrics.Core
   let check_invariants = check_invariants
 end
+
+(* Backends over a custom sbrk granularity, for the parameterized
+   [first-fit:sbrk=] / [best-fit:sbrk=] registry specs.  Without
+   [sbrk_chunk] these are exactly [Backend] / [Best_backend]. *)
+let make_backend ?sbrk_chunk ?(policy = First) () : Backend_api.t =
+  match sbrk_chunk with
+  | None -> (
+      match policy with
+      | First -> (module Backend)
+      | Best -> (module Best_backend))
+  | Some sbrk_chunk ->
+      let name = match policy with First -> "first-fit" | Best -> "best-fit" in
+      (module struct
+        type nonrec t = t
+
+        let name = name
+        let uses_prediction = false
+        let create ?base ?hint () = create ?base ?hint ~sbrk_chunk ~policy ()
+        let alloc t ~size ~predicted:_ = alloc t size
+        let free = free
+        let realloc = None
+        let charge_alloc = charge_alloc
+        let allocs = allocs
+        let frees = frees
+        let alloc_instr = alloc_instr
+        let free_instr = free_instr
+        let max_heap_size = max_heap_size
+        let extra _ = Metrics.Core
+        let check_invariants = check_invariants
+      end)

@@ -32,6 +32,268 @@ let backend ?arena_config name = (find name).make ?arena_config ()
 
 let canonical_name name = (find name).name
 
+(* -- parameterized backend specs ---------------------------------------------------
+
+   A spec is [name:key=value:key=value...]; the name may be an alias, ':'
+   separates parameters (',' stays the CLI's list separator) and
+   list-valued parameters use '+' between elements.  Parsing returns
+   [Error] with a one-line reason — the CLIs turn that into a usage error
+   (exit 2) — and never raises.  A spec with every parameter at its
+   default builds the very same backend as the plain name (the qcheck
+   equivalence property holds them byte-identical). *)
+
+type spec_param = {
+  key : string;
+  grammar : string;  (* value shape, e.g. "<bytes>" *)
+  param_doc : string;
+  default : string;
+}
+
+let spec_params_of = function
+  | "first-fit" | "best-fit" ->
+      [
+        {
+          key = "sbrk";
+          grammar = "<bytes>";
+          param_doc = "simulated sbrk granularity: positive multiple of 8";
+          default = "8192";
+        };
+      ]
+  | "segfit" ->
+      [
+        {
+          key = "slab";
+          grammar = "<n>+<n>+...";
+          param_doc =
+            "slab cell-size ladder: strictly ascending multiples of 16 in \
+             [16, 4096], at most 128 entries";
+          default = "16+32+64+128+256+512+1024+2048";
+        };
+      ]
+  | "arena" ->
+      [
+        {
+          key = "n";
+          grammar = "<count>";
+          param_doc = "number of arenas, in [1, 4096]";
+          default = "16";
+        };
+        {
+          key = "chunk";
+          grammar = "<bytes>";
+          param_doc = "per-arena size in bytes, in [64, 1048576]";
+          default = "4096";
+        };
+        {
+          key = "fallback";
+          grammar = "<name>";
+          param_doc =
+            "general-purpose fallback backend: any plain backend name \
+             except arena";
+          default = "first-fit";
+        };
+      ]
+  | _ -> []
+
+let spec_error spec fmt =
+  Printf.ksprintf (fun msg -> Error (Printf.sprintf "%s (in spec %S)" msg spec)) fmt
+
+let ( let* ) = Result.bind
+
+let int_value spec ~key v =
+  match int_of_string_opt v with
+  | Some n -> Ok n
+  | None -> spec_error spec "parameter %s: %S is not an integer" key v
+
+let parse_slab spec v =
+  let* cells =
+    List.fold_left
+      (fun acc part ->
+        let* acc = acc in
+        let* n = int_value spec ~key:"slab" part in
+        Ok (n :: acc))
+      (Ok [])
+      (String.split_on_char '+' v)
+  in
+  let cells = Array.of_list (List.rev cells) in
+  if Array.length cells = 0 then spec_error spec "parameter slab: empty ladder"
+  else if Array.length cells > 128 then
+    spec_error spec "parameter slab: %d classes (at most 128)" (Array.length cells)
+  else
+    let bad = ref None in
+    Array.iteri
+      (fun i c ->
+        if !bad = None then
+          if c mod 16 <> 0 then
+            bad := Some (Printf.sprintf "class %d is not a multiple of 16" c)
+          else if c < 16 || c > 4096 then
+            bad := Some (Printf.sprintf "class %d outside [16, 4096]" c)
+          else if i > 0 && c <= cells.(i - 1) then
+            bad := Some (Printf.sprintf "classes not strictly ascending at %d" c))
+      cells;
+    match !bad with
+    | Some msg -> spec_error spec "parameter slab: %s" msg
+    | None -> Ok cells
+
+(* Split [name:k=v:...]; every parameter key must belong to the backend's
+   grammar, appear at most once, and carry a well-formed value. *)
+let parse_spec spec =
+  match String.split_on_char ':' spec with
+  | [] | [ "" ] -> Error (Printf.sprintf "empty backend spec %S" spec)
+  | name :: segments ->
+      let* entry =
+        match find_opt name with
+        | Some e -> Ok e
+        | None ->
+            Error
+              (Printf.sprintf "unknown allocator backend %S (known: %s)" name
+                 (String.concat ", " (names ())))
+      in
+      let params = spec_params_of entry.name in
+      let* kvs =
+        List.fold_left
+          (fun acc seg ->
+            let* acc = acc in
+            match String.index_opt seg '=' with
+            | None ->
+                spec_error spec "bad parameter %S: expected key=value" seg
+            | Some i ->
+                let key = String.sub seg 0 i in
+                let value = String.sub seg (i + 1) (String.length seg - i - 1) in
+                if not (List.exists (fun p -> p.key = key) params) then
+                  if params = [] then
+                    spec_error spec "backend %s takes no parameters" entry.name
+                  else
+                    spec_error spec "unknown parameter %S for %s (valid: %s)"
+                      key entry.name
+                      (String.concat ", " (List.map (fun p -> p.key) params))
+                else if List.mem_assoc key acc then
+                  spec_error spec "duplicate parameter %S" key
+                else Ok (acc @ [ (key, value) ]))
+          (Ok []) segments
+      in
+      Ok (entry, kvs)
+
+(* Validate the values and build the backend.  Defaults fill in anything
+   the spec leaves out; [arena_config] (the simulation {!Config.t}
+   geometry) seeds arena defaults so a bare ["arena"] spec still follows
+   the configured geometry. *)
+let backend_of_spec ?arena_config spec =
+  let* entry, kvs = parse_spec spec in
+  match entry.name with
+  | "first-fit" | "best-fit" ->
+      let* sbrk_chunk =
+        match List.assoc_opt "sbrk" kvs with
+        | None -> Ok None
+        | Some v ->
+            let* n = int_value spec ~key:"sbrk" v in
+            if n <= 0 || n mod 8 <> 0 then
+              spec_error spec "parameter sbrk: %d is not a positive multiple of 8" n
+            else Ok (Some n)
+      in
+      let policy =
+        if entry.name = "best-fit" then First_fit.Best else First_fit.First
+      in
+      Ok (First_fit.make_backend ?sbrk_chunk ~policy ())
+  | "segfit" ->
+      let* classes =
+        match List.assoc_opt "slab" kvs with
+        | None -> Ok None
+        | Some v ->
+            let* cells = parse_slab spec v in
+            Ok (Some cells)
+      in
+      Ok (Segfit.make_backend ?classes ())
+  | "arena" ->
+      let base_config =
+        match arena_config with Some c -> c | None -> Arena.default_config
+      in
+      let* n_arenas =
+        match List.assoc_opt "n" kvs with
+        | None -> Ok base_config.Arena.n_arenas
+        | Some v ->
+            let* n = int_value spec ~key:"n" v in
+            if n < 1 || n > 4096 then
+              spec_error spec "parameter n: %d outside [1, 4096]" n
+            else Ok n
+      in
+      let* arena_size =
+        match List.assoc_opt "chunk" kvs with
+        | None -> Ok base_config.Arena.arena_size
+        | Some v ->
+            let* n = int_value spec ~key:"chunk" v in
+            if n < 64 || n > 1048576 then
+              spec_error spec "parameter chunk: %d outside [64, 1048576]" n
+            else Ok n
+      in
+      let* fallback =
+        match List.assoc_opt "fallback" kvs with
+        | None -> Ok None
+        | Some v -> (
+            match find_opt v with
+            | None ->
+                spec_error spec "parameter fallback: unknown backend %S (known: %s)"
+                  v
+                  (String.concat ", " (names ()))
+            | Some e when e.name = "arena" ->
+                spec_error spec "parameter fallback: must not be arena"
+            | Some e -> Ok (Some (e.make ())))
+      in
+      Ok (Arena.backend ~config:{ Arena.n_arenas; arena_size } ?fallback ())
+  | _ -> Ok (entry.make ?arena_config ())
+
+(* The canonical form: alias resolved, parameters validated, listed in
+   grammar order, defaults dropped — so ["seg:slab=16+32"] and
+   ["segfit:slab=16+32"] collapse, and a spec that only restates defaults
+   collapses to the plain name.  The tuner keys its dedup set on this. *)
+let canonical_spec spec =
+  let* entry, kvs = parse_spec spec in
+  (* surface value errors exactly as backend_of_spec would *)
+  let* _ = backend_of_spec spec in
+  let params = spec_params_of entry.name in
+  let kept =
+    List.filter_map
+      (fun p ->
+        match List.assoc_opt p.key kvs with
+        | None -> None
+        | Some v ->
+            (* normalize integer values; slab ladders are already canonical *)
+            let v =
+              match int_of_string_opt v with
+              | Some n -> string_of_int n
+              | None -> v
+            in
+            let v =
+              if p.key = "fallback" then canonical_name v else v
+            in
+            if v = p.default then None else Some (Printf.sprintf "%s=%s" p.key v))
+      params
+  in
+  Ok (String.concat ":" (entry.name :: kept))
+
+let is_spec s = String.contains s ':'
+
+let grammar_markdown () =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "| backend | parameter | value | default | meaning |\n\
+     |---|---|---|---|---|\n";
+  List.iter
+    (fun e ->
+      match spec_params_of e.name with
+      | [] ->
+          Buffer.add_string buf
+            (Printf.sprintf "| `%s` | — | — | — | takes no parameters |\n" e.name)
+      | params ->
+          List.iter
+            (fun p ->
+              Buffer.add_string buf
+                (Printf.sprintf "| `%s` | `%s` | `%s` | `%s` | %s |\n" e.name
+                   p.key p.grammar p.default p.param_doc))
+            params)
+    !entries;
+  Buffer.contents buf
+
 (* -- the built-in backends --------------------------------------------------------- *)
 
 let () =

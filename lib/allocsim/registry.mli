@@ -46,3 +46,39 @@ val backend : ?arena_config:Arena.config -> string -> Backend.t
 
 val canonical_name : string -> string
 (** Resolve an alias to the canonical name.  @raise Failure if unknown. *)
+
+(** {2 Parameterized backend specs}
+
+    A spec is [name:key=value:key=value...] — the plain (or aliased)
+    backend name optionally followed by ':'-separated parameters;
+    list-valued parameters separate elements with '+'
+    (e.g. [segfit:slab=16+64+256+1024]).  A spec whose parameters all sit
+    at their defaults builds the very same backend as the plain name, so
+    metrics stay byte-identical (enforced by the qcheck equivalence
+    property).  Parsing never raises: errors come back as [Error reason]
+    and the CLIs map them to usage errors (exit 2). *)
+
+val backend_of_spec :
+  ?arena_config:Arena.config -> string -> (Backend.t, string) result
+(** Parse and instantiate a spec.  Parameters: [first-fit]/[best-fit]
+    take [sbrk=<bytes>]; [segfit] takes [slab=<n>+<n>+...]; [arena] takes
+    [n=<count>], [chunk=<bytes>] and [fallback=<name>]; [bsd] takes none.
+    [arena_config] seeds the arena defaults for parameters the spec
+    leaves out, exactly as {!backend} does for the plain name. *)
+
+val canonical_spec : string -> (string, string) result
+(** The canonical form of a spec: alias resolved, parameters validated
+    and listed in grammar order, parameters equal to their default
+    dropped — [seg:slab=16+32] becomes [segfit:slab=16+32] and
+    [arena:n=16] collapses to [arena].  Distinct canonical specs may
+    still denote distinct backends only; the tuner keys candidate dedup
+    on this. *)
+
+val is_spec : string -> bool
+(** True when the string carries parameters (contains ':'). *)
+
+val grammar_markdown : unit -> string
+(** The backend parameter grammar as a markdown table, one row per
+    parameter (and one row per parameterless backend) in registration
+    order.  README.md embeds this table verbatim; a drift test keeps the
+    two in sync. *)

@@ -11,10 +11,17 @@
 
 let header = 8
 let page = 4096
-let min_class = 4 (* 2^4 = 16-byte cells *)
-let max_small_class = 11 (* 2^11 = 2048: half a page; bigger objects get spans *)
 
-(* A slab is one page carved into 2^cls-byte cells.  [next_cell] bumps
+(* The slab cell sizes, smallest to largest; anything needing more than the
+   last entry takes the large-object span path.  Historically hard-wired to
+   powers of two; now a [create] parameter (the `segfit:slab=` spec and the
+   tuner search over it), constrained to multiples of 16 so the
+   direct-address origin map's /16 key stays injective.  The default is the
+   original power-of-two ladder, byte-identical to the pre-parameterized
+   allocator (golden-metrics test). *)
+let default_classes = [| 16; 32; 64; 128; 256; 512; 1024; 2048 |]
+
+(* A slab is one page carved into [cell]-byte cells.  [next_cell] bumps
    through virgin cells; [freed] stacks recycled ones.  When [live] drops to
    zero the whole page returns to the allocator's page pool, where any size
    class (or a one-page large allocation) can claim it — the structural
@@ -22,7 +29,8 @@ let max_small_class = 11 (* 2^11 = 2048: half a page; bigger objects get spans *
    pages forever. *)
 type slab = {
   base : int;
-  cls : int;
+  cls : int;  (* index into the cell-size ladder *)
+  cell : int;  (* cell size in bytes *)
   mutable live : int;
   mutable next_cell : int;  (* offset of the first never-used byte *)
   freed : Int_stack.t;  (* payload addresses, LIFO *)
@@ -37,6 +45,9 @@ type origin =
 
 type t = {
   heap_base : int;
+  cells : int array;  (* ascending cell sizes, one per size class *)
+  cls_of_need : Bytes.t;  (* header-inclusive byte need -> class index *)
+  max_cell : int;  (* last entry of [cells] *)
   classes : size_class array;
   mutable origin_of : origin array;  (* (payload-heap_base-header)/16 -> origin *)
   slab_of_page : (int, slab) Hashtbl.t;
@@ -52,10 +63,39 @@ type t = {
   mutable frees : int;
 }
 
-let create ?(base = 0) ?(hint = 1024) () =
+let validate_classes cells =
+  let fail fmt = Printf.ksprintf invalid_arg ("Segfit.create: " ^^ fmt) in
+  if Array.length cells = 0 then fail "empty size-class list";
+  if Array.length cells > 128 then
+    fail "%d size classes (at most 128)" (Array.length cells);
+  Array.iteri
+    (fun i c ->
+      if c mod 16 <> 0 then
+        fail "size class %d is not a multiple of 16" c
+      else if c < 16 || c > page then
+        fail "size class %d outside [16, %d]" c page
+      else if i > 0 && c <= cells.(i - 1) then
+        fail "size classes not strictly ascending at %d" c)
+    cells
+
+let create ?(base = 0) ?(hint = 1024) ?(classes = default_classes) () =
+  validate_classes classes;
+  let cells = Array.copy classes in
+  let n_cls = Array.length cells in
+  let max_cell = cells.(n_cls - 1) in
+  (* O(1) class lookup: byte need (size + header) -> smallest fitting class *)
+  let cls_of_need = Bytes.create (max_cell + 1) in
+  let cls = ref 0 in
+  for need = 0 to max_cell do
+    if need > cells.(!cls) then incr cls;
+    Bytes.unsafe_set cls_of_need need (Char.unsafe_chr !cls)
+  done;
   {
     heap_base = base;
-    classes = Array.init (max_small_class + 1) (fun _ -> { nonfull = [] });
+    cells;
+    cls_of_need;
+    max_cell;
+    classes = Array.init n_cls (fun _ -> { nonfull = [] });
     origin_of = Array.make (max 256 (min hint 262144)) No;
     slab_of_page = Hashtbl.create (max 64 (min hint 65536 / 8));
     free_pages = Int_stack.create ();
@@ -70,10 +110,12 @@ let create ?(base = 0) ?(hint = 1024) () =
     frees = 0;
   }
 
-let class_for size =
+(* smallest class whose cell fits [size] plus header, or -1 for the
+   large-object span path *)
+let class_for t size =
   let need = size + header in
-  let rec go c = if 1 lsl c >= need then c else go (c + 1) in
-  go min_class
+  if need > t.max_cell then -1
+  else Char.code (Bytes.unsafe_get t.cls_of_need need)
 
 (* grow the origin map to cover the current break *)
 let ensure_map t =
@@ -107,13 +149,22 @@ let take_page t =
 let fresh_slab t cls =
   t.alloc_instr <- t.alloc_instr + Cost_model.seg_slab_init;
   let base = take_page t in
-  let slab = { base; cls; live = 0; next_cell = 0; freed = Int_stack.create () } in
+  let slab =
+    {
+      base;
+      cls;
+      cell = Array.unsafe_get t.cells cls;
+      live = 0;
+      next_cell = 0;
+      freed = Int_stack.create ();
+    }
+  in
   Hashtbl.replace t.slab_of_page (base / page) slab;
   t.slabs_created <- t.slabs_created + 1;
   slab
 
 let slab_exhausted slab =
-  Int_stack.is_empty slab.freed && slab.next_cell + (1 lsl slab.cls) > page
+  Int_stack.is_empty slab.freed && slab.next_cell + slab.cell > page
 
 let alloc_small t cls =
   let sc = t.classes.(cls) in
@@ -128,7 +179,7 @@ let alloc_small t cls =
   let payload =
     if Int_stack.is_empty slab.freed then begin
       let cell = slab.base + slab.next_cell in
-      slab.next_cell <- slab.next_cell + (1 lsl cls);
+      slab.next_cell <- slab.next_cell + slab.cell;
       cell + header
     end
     else Int_stack.pop slab.freed
@@ -190,8 +241,8 @@ let alloc t size =
   if size <= 0 then invalid_arg "Segfit.alloc: size must be positive";
   t.allocs <- t.allocs + 1;
   t.alloc_instr <- t.alloc_instr + Cost_model.seg_alloc_base;
-  let cls = class_for size in
-  if cls <= max_small_class then alloc_small t cls else alloc_large t size
+  let cls = class_for t size in
+  if cls >= 0 then alloc_small t cls else alloc_large t size
 
 let free t payload =
   let off = payload - t.heap_base - header in
@@ -218,12 +269,12 @@ let realloc t payload ~new_size =
   let idx = off lsr 4 in
   if off < 0 || off land 15 <> 0 || idx >= Array.length t.origin_of then
     invalid_arg "Segfit.realloc: not an allocated address";
-  let cls = class_for new_size in
+  let cls = class_for t new_size in
   let in_place =
     match Array.unsafe_get t.origin_of idx with
     | No -> invalid_arg "Segfit.realloc: not an allocated address"
-    | Small slab -> cls <= max_small_class && cls = slab.cls
-    | Large n -> cls > max_small_class && span_pages new_size = n
+    | Small slab -> cls >= 0 && cls = slab.cls
+    | Large n -> cls < 0 && span_pages new_size = n
   in
   if in_place then payload
   else begin
@@ -277,6 +328,10 @@ let check_invariants t =
     t.classes;
   if (t.brk - t.heap_base) mod page <> 0 then failwith "brk not page-aligned"
 
+(* the sibling [Backend] module is shadowed from here on by this
+   allocator's backend instance; keep the signature reachable *)
+module Backend_api = Backend
+
 module Backend : Backend.BACKEND with type t = t = struct
   type nonrec t = t
 
@@ -308,3 +363,17 @@ module Backend : Backend.BACKEND with type t = t = struct
 
   let check_invariants = check_invariants
 end
+
+(* A segfit backend with a custom cell-size ladder, for parameterized
+   `segfit:slab=` registry specs and the tuner.  The default ladder is the
+   plain [Backend] (same module, same metrics). *)
+let make_backend ?classes () : Backend_api.t =
+  match classes with
+  | None -> (module Backend)
+  | Some _ ->
+      let create' ?base ?hint () = create ?base ?hint ?classes () in
+      (module struct
+        include Backend
+
+        let create = create'
+      end)

@@ -14,9 +14,21 @@
 
 type t
 
-val create : ?base:int -> ?hint:int -> unit -> t
+val default_classes : int array
+(** The power-of-two cell-size ladder [16; 32; ...; 2048] the allocator
+    has always used; [create] without [classes] is byte-identical to the
+    pre-parameterized allocator. *)
+
+val create : ?base:int -> ?hint:int -> ?classes:int array -> unit -> t
 (** [hint] is the expected object count; it pre-sizes the payload-origin
-    map (a speed knob only — simulated metrics are unaffected). *)
+    map (a speed knob only — simulated metrics are unaffected).
+
+    [classes] (default {!default_classes}) is the slab cell-size ladder:
+    strictly ascending, each a multiple of 16 (the payload-origin map's
+    direct-address key is the 16-byte-aligned page offset) within
+    [16, 4096], at most 128 entries.  Objects needing more than the last
+    entry (header included) take the whole-page span path.
+    @raise Invalid_argument on a ladder violating those constraints. *)
 
 val alloc : t -> int -> int
 (** @raise Invalid_argument if size is not positive. *)
@@ -39,5 +51,10 @@ val check_invariants : t -> unit
 (** Slab accounting: live counts match the live-object table, bump pointers
     stay inside their page, nonfull lists hold only slabs with room.
     @raise Failure when an invariant is broken. *)
+
+val make_backend : ?classes:int array -> unit -> Backend.t
+(** A segfit backend over a custom cell-size ladder (the
+    [segfit:slab=<list>] registry spec).  Without [classes] this is
+    exactly the [Backend] module below. *)
 
 module Backend : Backend.BACKEND with type t = t

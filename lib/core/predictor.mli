@@ -80,3 +80,19 @@ val for_source :
 (** {!for_lookup} over a streaming source's incremental tables.  Sound
     mid-stream by the source interning contract: any chain id an event
     carries is already resolvable. *)
+
+val for_trace_pooled :
+  t ->
+  Lp_trace.Trace.t ->
+  obj:int ->
+  size:int ->
+  chain:int ->
+  key:int ->
+  bool
+(** {!for_trace} over the calling domain's pooled memo table, reset
+    instead of reallocated — the candidate-sweep fast path.  Verdicts are
+    identical to {!for_trace}.  The returned lookup is only valid until
+    the next [for_trace_pooled] call on the same domain (each call resets
+    the shared memo); don't hold one across replays.  Each reset bumps
+    the ["predictor.memo_reuses"] counter of {!Lp_obs.Timings} when
+    timings are enabled. *)

@@ -51,31 +51,54 @@ let arena_with_cost ~config ~predictor ~(test : Lp_trace.Trace.t) ~predict_cost 
        ~arena_config:(Config.arena_config config)
        "arena")
 
+(* Allocator names may carry parameters ([segfit:slab=16+64], see
+   {!Lp_allocsim.Registry.backend_of_spec}); a parameterized job is keyed
+   by its canonical spec so several variants of one backend can run in the
+   same sweep without colliding. *)
+let resolve_spec ~arena_config name =
+  match Lp_allocsim.Registry.backend_of_spec ~arena_config name with
+  | Error msg -> failwith msg
+  | Ok backend ->
+      let display =
+        if Lp_allocsim.Registry.is_spec name then
+          match Lp_allocsim.Registry.canonical_spec name with
+          | Ok c -> c
+          | Error msg -> failwith msg
+        else Lp_allocsim.Backend.name backend
+      in
+      (backend, display)
+
 let run ?(allocators = default_allocators) ?(wrap = fun b -> b)
     ~(config : Config.t) ~(predictor : Predictor.t)
     ~(test : Lp_trace.Trace.t) () : t =
   let arena_config = Config.arena_config config in
+  (* decode-once/replay-many: validate and memoize the trace a single
+     time; every job below replays the prepared trace with pooled
+     per-domain scratch *)
+  let prepared = Lp_allocsim.Driver.prepare test in
   let jobs =
     List.concat_map
       (fun name ->
         (* [wrap] interposes on every backend — the sanitizer's hook; a
            well-behaved wrapper keeps the name and delegates the metrics *)
-        let backend = wrap (Lp_allocsim.Registry.backend ~arena_config name) in
-        let canonical = Lp_allocsim.Backend.name backend in
+        let backend, display = resolve_spec ~arena_config name in
+        let backend = wrap backend in
         if Lp_allocsim.Backend.uses_prediction backend then
-          (* two pricings of the same predicting allocator; the predictor
-             closure is built inside each job for a private memo table *)
+          (* two pricings of the same predicting allocator; the pooled
+             predictor closure is built inside each job, so each replay
+             resets its domain's memo instead of allocating one *)
           let with_cost predict_cost () =
-            let predicted = Predictor.for_trace predictor test in
-            Lp_allocsim.Driver.run
+            let predicted = Predictor.for_trace_pooled predictor test in
+            Lp_allocsim.Driver.run_prepared
               ~predictor:{ Lp_allocsim.Driver.predicted; predict_cost }
-              test backend
+              prepared backend
           in
           [
-            (canonical, with_cost Lp_allocsim.Cost_model.predict_len4);
-            (canonical ^ "-cce", with_cost (cce_cost test));
+            (display, with_cost Lp_allocsim.Cost_model.predict_len4);
+            (display ^ "-cce", with_cost (cce_cost test));
           ]
-        else [ (canonical, fun () -> Lp_allocsim.Driver.run test backend) ])
+        else
+          [ (display, fun () -> Lp_allocsim.Driver.run_prepared prepared backend) ])
       allocators
   in
   let metrics = Parallel.all (List.map snd jobs) in
@@ -110,8 +133,8 @@ let run_streamed ?(allocators = default_allocators) ?(wrap = fun b -> b)
   let jobs =
     List.concat_map
       (fun name ->
-        let backend = wrap (Lp_allocsim.Registry.backend ~arena_config name) in
-        let canonical = Lp_allocsim.Backend.name backend in
+        let backend, display = resolve_spec ~arena_config name in
+        let backend = wrap backend in
         if Lp_allocsim.Backend.uses_prediction backend then
           (* the memoizing predictor closure is built per job, over the
              job's own source, for a private memo table *)
@@ -122,12 +145,12 @@ let run_streamed ?(allocators = default_allocators) ?(wrap = fun b -> b)
               src backend
           in
           [
-            (canonical, with_cost Lp_allocsim.Cost_model.predict_len4);
-            (canonical ^ "-cce", with_cost (cce_cost_of ~calls ~allocs));
+            (display, with_cost Lp_allocsim.Cost_model.predict_len4);
+            (display ^ "-cce", with_cost (cce_cost_of ~calls ~allocs));
           ]
         else
           [
-            ( canonical,
+            ( display,
               fun src -> Lp_allocsim.Driver.run_source ~decode_ahead src backend
             );
           ])

@@ -1,0 +1,485 @@
+(* Allocator design-space search (`lpalloc tune`).
+
+   The paper fixes its allocator parameters by hand — length-4 chains, one
+   32 KB short-lived threshold, 16 x 4 KB arenas — and evaluates those few
+   points.  Following the simulation-driven search of Risco-Martín et al.
+   ("Simulation of High-Performance Memory Allocators"), this module
+   searches the parameter space instead: a deterministic seeded grid plus
+   an evolutionary refinement loop, every candidate replayed through the
+   decode-once/replay-many engine ({!Lp_allocsim.Driver.prepare} once,
+   {!Lp_allocsim.Driver.run_prepared} per candidate, in parallel on the
+   {!Parallel} pool with pooled scratch and predictor memos).
+
+   Everything is deterministic for a fixed seed: the PRNG is SplitMix64,
+   {!Parallel.map} preserves order, and no wall-clock or domain count
+   leaks into the results — the Pareto front is byte-identical at 1 and
+   N domains (locked by the golden determinism test). *)
+
+module Driver = Lp_allocsim.Driver
+module Registry = Lp_allocsim.Registry
+module Metrics = Lp_allocsim.Metrics
+module Cost_model = Lp_allocsim.Cost_model
+module Trace = Lp_trace.Trace
+module Json = Lp_report.Json
+module Prng = Lp_workloads.Prng
+
+(* -- candidates --------------------------------------------------------------------- *)
+
+type backend_params =
+  | Freelist of { best : bool; sbrk : int }
+  | Bsd
+  | Segfit of { slab : int array }
+  | Arena of { n : int; chunk : int; fallback : string }
+
+type candidate = {
+  backend : backend_params;
+  depth : int;  (* 0 = complete cycle-eliminated chain; 1-8 = last-N callers *)
+  threshold : int;  (* short-lived threshold, bytes *)
+}
+
+let default_sbrk = 8192
+let default_threshold = Config.default.Config.short_lived_threshold
+let default_arena = Arena { n = 16; chunk = 4096; fallback = "first-fit" }
+
+let uses_prediction c = match c.backend with Arena _ -> true | _ -> false
+
+(* prediction knobs are meaningless for non-predicting backends; pin them
+   so the dedup key collapses `first-fit at threshold 8 KB` onto plain
+   `first-fit` *)
+let normalize c =
+  if uses_prediction c then c
+  else { c with depth = 0; threshold = default_threshold }
+
+let spec_string c =
+  match c.backend with
+  | Freelist { best; sbrk } ->
+      let name = if best then "best-fit" else "first-fit" in
+      if sbrk = default_sbrk then name else Printf.sprintf "%s:sbrk=%d" name sbrk
+  | Bsd -> "bsd"
+  | Segfit { slab } ->
+      if slab = Lp_allocsim.Segfit.default_classes then "segfit"
+      else
+        Printf.sprintf "segfit:slab=%s"
+          (String.concat "+" (List.map string_of_int (Array.to_list slab)))
+  | Arena { n; chunk; fallback } ->
+      let params =
+        (if n = 16 then [] else [ Printf.sprintf "n=%d" n ])
+        @ (if chunk = 4096 then [] else [ Printf.sprintf "chunk=%d" chunk ])
+        @
+        if fallback = "first-fit" then []
+        else [ Printf.sprintf "fallback=%s" fallback ]
+      in
+      String.concat ":" ("arena" :: params)
+
+let key c = Printf.sprintf "%s|d%d|t%d" (spec_string c) c.depth c.threshold
+
+let chain_string c = if c.depth = 0 then "full" else string_of_int c.depth
+
+let label c =
+  if uses_prediction c then
+    Printf.sprintf "%s chain=%s thr=%d" (spec_string c) (chain_string c)
+      c.threshold
+  else spec_string c
+
+let policy_of_depth d =
+  if d = 0 then Lp_callchain.Site.Complete_chain
+  else Lp_callchain.Site.Last_callers d
+
+let config_for ~threshold ~depth =
+  {
+    Config.default with
+    Config.short_lived_threshold = threshold;
+    policy = policy_of_depth depth;
+  }
+
+(* -- evaluation --------------------------------------------------------------------- *)
+
+type result = {
+  candidate : candidate;
+  metrics : Metrics.t;
+  instructions : int;  (* total simulated alloc+free instructions *)
+  max_heap : int;
+}
+
+(* [Metrics.t] stores instructions as per-op floats; the totals they came
+   from are recovered exactly (products stay far below 2^52, where
+   round-to-nearest undoes the division's rounding). *)
+let instructions_of (m : Metrics.t) =
+  int_of_float (Float.round (m.Metrics.instr_per_alloc *. float_of_int m.Metrics.allocs))
+  + int_of_float (Float.round (m.Metrics.instr_per_free *. float_of_int m.Metrics.frees))
+
+type ctx = {
+  train : Trace.t;
+  test : Trace.t;
+  prepared : Driver.prepared;
+  (* (threshold, depth) -> trained predictor; filled before each parallel
+     batch, then only read (concurrently, safely) inside it *)
+  predictors : (int * int, Predictor.t) Hashtbl.t;
+}
+
+let ensure_predictors ctx cands =
+  let wanted =
+    List.filter_map
+      (fun c -> if uses_prediction c then Some (c.threshold, c.depth) else None)
+      cands
+    |> List.sort_uniq compare
+  in
+  let missing =
+    List.filter (fun k -> not (Hashtbl.mem ctx.predictors k)) wanted
+  in
+  (* training passes are independent; build the missing predictors on the
+     domain pool (order-preserving, so insertion order is deterministic) *)
+  let built =
+    Parallel.map
+      (fun (threshold, depth) ->
+        let config = config_for ~threshold ~depth in
+        let table = Train.collect ~config ctx.train in
+        Predictor.build ~config ~funcs:ctx.train.Trace.funcs table)
+      missing
+  in
+  List.iter2 (fun k p -> Hashtbl.replace ctx.predictors k p) missing built
+
+let eval_with_cost ctx c ~predict_cost =
+  let backend =
+    match Registry.backend_of_spec (spec_string c) with
+    | Ok b -> b
+    | Error msg -> failwith ("Tune: " ^ msg)
+  in
+  let metrics =
+    if uses_prediction c then begin
+      let predictor = Hashtbl.find ctx.predictors (c.threshold, c.depth) in
+      let predicted = Predictor.for_trace_pooled predictor ctx.test in
+      Driver.run_prepared
+        ~predictor:{ Driver.predicted; predict_cost }
+        ctx.prepared backend
+    end
+    else Driver.run_prepared ctx.prepared backend
+  in
+  {
+    candidate = c;
+    metrics;
+    instructions = instructions_of metrics;
+    max_heap = metrics.Metrics.max_heap;
+  }
+
+(* the search prices prediction at the paper's length-4 figure; the CCE
+   pricing appears among the fixed baseline points instead *)
+let eval ctx c = eval_with_cost ctx c ~predict_cost:Cost_model.predict_len4
+
+let eval_batch ctx cands =
+  ensure_predictors ctx cands;
+  Parallel.map (eval ctx) cands
+
+(* -- Pareto front ------------------------------------------------------------------- *)
+
+let cmp_result a b =
+  match compare a.instructions b.instructions with
+  | 0 -> (
+      match compare a.max_heap b.max_heap with
+      | 0 -> compare (key a.candidate) (key b.candidate)
+      | c -> c)
+  | c -> c
+
+(* minimize both (instructions, max_heap): sort by instructions and keep
+   the strictly-improving heap frontier; ties broken by candidate key so
+   the front is unique for a given result set *)
+let pareto_front results =
+  let sorted = List.sort cmp_result results in
+  let _, front =
+    List.fold_left
+      (fun (best_heap, acc) r ->
+        if r.max_heap < best_heap then (r.max_heap, r :: acc) else (best_heap, acc))
+      (max_int, []) sorted
+  in
+  List.rev front
+
+(* -- the deterministic seed grid ---------------------------------------------------- *)
+
+let grid_candidates () =
+  let plain backend = normalize { backend; depth = 0; threshold = default_threshold } in
+  let base =
+    [
+      plain (Freelist { best = false; sbrk = default_sbrk });
+      plain (Freelist { best = true; sbrk = default_sbrk });
+      plain Bsd;
+      plain (Segfit { slab = Lp_allocsim.Segfit.default_classes });
+      plain (Segfit { slab = [| 16; 64; 256; 1024 |] });
+      plain
+        (Segfit
+           {
+             slab =
+               [| 16; 32; 48; 64; 96; 128; 192; 256; 384; 512; 768; 1024; 1536; 2048 |];
+           });
+      plain (Freelist { best = false; sbrk = 4096 });
+      plain (Freelist { best = false; sbrk = 32768 });
+      plain (Freelist { best = true; sbrk = 32768 });
+    ]
+  in
+  let geometry =
+    List.concat_map
+      (fun chunk ->
+        List.concat_map
+          (fun n ->
+            List.map
+              (fun fallback ->
+                {
+                  backend = Arena { n; chunk; fallback };
+                  depth = 0;
+                  threshold = default_threshold;
+                })
+              [ "first-fit"; "segfit" ])
+          [ 8; 16; 32 ])
+      [ 2048; 4096; 8192; 16384 ]
+  in
+  let depths =
+    List.map
+      (fun depth -> { backend = default_arena; depth; threshold = default_threshold })
+      [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+  in
+  let thresholds =
+    List.map
+      (fun threshold -> { backend = default_arena; depth = 0; threshold })
+      [ 4096; 8192; 16384; 65536; 131072 ]
+  in
+  base @ geometry @ depths @ thresholds
+
+(* -- mutation ----------------------------------------------------------------------- *)
+
+let clamp lo hi v = max lo (min hi v)
+
+let mutate_slab prng slab =
+  let n = Array.length slab in
+  match Prng.int prng 3 with
+  | 0 when n > 2 ->
+      (* drop a middle class *)
+      let drop = 1 + Prng.int prng (n - 2) in
+      Array.init (n - 1) (fun i -> if i < drop then slab.(i) else slab.(i + 1))
+  | 1 when n > 1 ->
+      (* split a gap at its 16-aligned midpoint *)
+      let i = Prng.int prng (n - 1) in
+      let mid = (slab.(i) + slab.(i + 1)) / 2 / 16 * 16 in
+      if mid > slab.(i) && mid < slab.(i + 1) then
+        Array.init (n + 1) (fun j ->
+            if j <= i then slab.(j) else if j = i + 1 then mid else slab.(j - 1))
+      else slab
+  | _ ->
+      (* extend the ladder upward, or retract it *)
+      let top = slab.(n - 1) in
+      if Prng.bool prng && top * 2 <= 4096 then Array.append slab [| top * 2 |]
+      else if n > 1 then Array.sub slab 0 (n - 1)
+      else slab
+
+let random_arena prng =
+  {
+    backend =
+      Arena
+        {
+          n = Prng.choose prng [| 8; 16; 32 |];
+          chunk = Prng.choose prng [| 2048; 4096; 8192; 16384 |];
+          fallback = Prng.choose prng [| "first-fit"; "segfit" |];
+        };
+    depth = 0;
+    threshold = default_threshold;
+  }
+
+let mutate prng c =
+  match c.backend with
+  | Bsd ->
+      (* no knobs; jump to a random arena geometry to keep the search moving *)
+      random_arena prng
+  | Freelist { best; sbrk } ->
+      let sbrk =
+        clamp 1024 262144 (if Prng.bool prng then sbrk * 2 else sbrk / 2)
+      in
+      { c with backend = Freelist { best; sbrk } }
+  | Segfit { slab } -> { c with backend = Segfit { slab = mutate_slab prng slab } }
+  | Arena { n; chunk; fallback } -> (
+      match Prng.int prng 7 with
+      | 0 ->
+          { c with backend = Arena { n; chunk = clamp 512 65536 (chunk * 2); fallback } }
+      | 1 ->
+          { c with backend = Arena { n; chunk = clamp 512 65536 (chunk / 2); fallback } }
+      | 2 -> { c with backend = Arena { n = clamp 2 128 (n * 2); chunk; fallback } }
+      | 3 -> { c with backend = Arena { n = clamp 2 128 (n / 2); chunk; fallback } }
+      | 4 ->
+          let fallback =
+            Prng.choose prng [| "first-fit"; "best-fit"; "bsd"; "segfit" |]
+          in
+          { c with backend = Arena { n; chunk; fallback } }
+      | 5 -> { c with depth = Prng.int prng 9 }
+      | _ ->
+          {
+            c with
+            threshold =
+              clamp 1024 1048576
+                (if Prng.bool prng then c.threshold * 2 else c.threshold / 2);
+          })
+
+(* -- the search --------------------------------------------------------------------- *)
+
+type options = {
+  seed : int;
+  generations : int;
+  population : int;
+  max_candidates : int;
+}
+
+let default_options = { seed = 42; generations = 4; population = 16; max_candidates = 512 }
+
+type outcome = {
+  workload : string;
+  seed : int;
+  results : result list;  (* every candidate, in evaluation order *)
+  pareto : result list;  (* instructions ascending, heap descending *)
+  baselines : (string * result) list;  (* the paper's fixed points *)
+}
+
+let baselines ctx =
+  let fixed backend = normalize { backend; depth = 0; threshold = default_threshold } in
+  let arena_default = fixed default_arena in
+  ensure_predictors ctx [ arena_default ];
+  let cce_cost =
+    Cost_model.site_lookup
+    + Cost_model.cce_per_alloc ~calls:ctx.test.Trace.calls
+        ~allocs:(Trace.total_objects ctx.test)
+  in
+  [
+    ("first-fit", eval ctx (fixed (Freelist { best = false; sbrk = default_sbrk })));
+    ("bsd", eval ctx (fixed Bsd));
+    ("arena-len4", eval ctx arena_default);
+    ("arena-cce", eval_with_cost ctx arena_default ~predict_cost:cce_cost);
+  ]
+
+let search ?(options = default_options) ?(workload = "trace") ~train ~test () =
+  let ctx =
+    { train; test; prepared = Driver.prepare test; predictors = Hashtbl.create 16 }
+  in
+  let prng = Prng.create ~seed:(Int64.of_int options.seed) in
+  let seen = Hashtbl.create 256 in
+  let take_fresh cands =
+    List.filter
+      (fun c ->
+        let k = key c in
+        if Hashtbl.mem seen k then false
+        else begin
+          Hashtbl.add seen k ();
+          true
+        end)
+      cands
+  in
+  let capped limit cands =
+    if List.length cands <= limit then cands
+    else List.filteri (fun i _ -> i < limit) cands
+  in
+  let results =
+    ref (eval_batch ctx (capped options.max_candidates (take_fresh (grid_candidates ()))))
+  in
+  for _gen = 1 to options.generations do
+    let room = options.max_candidates - List.length !results in
+    if room > 0 then begin
+      let parents = Array.of_list (pareto_front !results) in
+      let children = ref [] in
+      let fresh = ref 0 in
+      let attempts = ref 0 in
+      let want = min room options.population in
+      while !fresh < want && !attempts < 50 * options.population do
+        incr attempts;
+        let parent = (Prng.choose prng parents).candidate in
+        let child = normalize (mutate prng parent) in
+        let k = key child in
+        if not (Hashtbl.mem seen k) then begin
+          Hashtbl.add seen k ();
+          children := child :: !children;
+          incr fresh
+        end
+      done;
+      results := !results @ eval_batch ctx (List.rev !children)
+    end
+  done;
+  {
+    workload;
+    seed = options.seed;
+    results = !results;
+    pareto = pareto_front !results;
+    baselines = baselines ctx;
+  }
+
+(* -- rendering ---------------------------------------------------------------------- *)
+
+let json_of_result r =
+  Json.Obj
+    [
+      ("spec", Json.String (spec_string r.candidate));
+      ("chain_depth", Json.Number (float_of_int r.candidate.depth));
+      ("threshold", Json.Number (float_of_int r.candidate.threshold));
+      ("instructions", Json.Number (float_of_int r.instructions));
+      ("max_heap", Json.Number (float_of_int r.max_heap));
+      ("allocs", Json.Number (float_of_int r.metrics.Metrics.allocs));
+    ]
+
+let json_of_outcome ?(engine = []) o =
+  Json.Obj
+    ([
+       ("workload", Json.String o.workload);
+       ("seed", Json.Number (float_of_int o.seed));
+       ("candidates", Json.Number (float_of_int (List.length o.results)));
+       ("pareto", Json.List (List.map json_of_result o.pareto));
+       ( "baselines",
+         Json.Obj (List.map (fun (n, r) -> (n, json_of_result r)) o.baselines) );
+     ]
+    @
+    match engine with
+    | [] -> []
+    | counters ->
+        [
+          ( "engine",
+            Json.Obj
+              (List.map (fun (k, v) -> (k, Json.Number (float_of_int v))) counters)
+          );
+        ])
+
+let table_of_outcome o =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-4s %-52s %-6s %10s %14s %12s\n" "#" "config" "chain"
+       "threshold" "instructions" "max heap");
+  List.iteri
+    (fun i r ->
+      Buffer.add_string buf
+        (Printf.sprintf "P%-3d %-52s %-6s %10d %14d %12d\n" (i + 1)
+           (spec_string r.candidate)
+           (chain_string r.candidate)
+           r.candidate.threshold r.instructions r.max_heap))
+    o.pareto;
+  List.iter
+    (fun (name, r) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-4s %-52s %-6s %10d %14d %12d\n" "ref"
+           (name ^ " = " ^ spec_string r.candidate)
+           (chain_string r.candidate)
+           r.candidate.threshold r.instructions r.max_heap))
+    o.baselines;
+  Buffer.contents buf
+
+let markdown_header =
+  "| workload | point | config | chain | threshold | instructions | max heap |\n\
+   |---|---|---|---|---|---|---|\n"
+
+let markdown_rows o =
+  let row point r =
+    Printf.sprintf "| %s | %s | `%s` | %s | %d | %d | %d |\n" o.workload point
+      (spec_string r.candidate)
+      (chain_string r.candidate)
+      r.candidate.threshold r.instructions r.max_heap
+  in
+  let buf = Buffer.create 512 in
+  (match o.pareto with
+  | [] -> ()
+  | best_instr :: _ ->
+      let best_heap = List.nth o.pareto (List.length o.pareto - 1) in
+      Buffer.add_string buf (row "tuned min-instructions" best_instr);
+      Buffer.add_string buf (row "tuned min-heap" best_heap));
+  List.iter
+    (fun (name, r) -> Buffer.add_string buf (row name r))
+    o.baselines;
+  Buffer.contents buf

@@ -8,9 +8,15 @@ let detect s =
   else Text
 
 let of_string ?name s =
-  match detect s with
-  | Binary -> Binio.of_string ?name s
-  | Text -> Textio.of_string ?name s
+  let t =
+    match detect s with
+    | Binary -> Binio.of_string ?name s
+    | Text -> Textio.of_string ?name s
+  in
+  (* one full materializing decode; the decode-once/replay-many engine's
+     proof obligation is that a candidate sweep moves this exactly once *)
+  Lp_obs.Timings.count "trace.decodes" 1;
+  t
 
 let input ?name ic = of_string ?name (In_channel.input_all ic)
 
@@ -57,7 +63,9 @@ let read_file path =
                     (String.init 4 (Bigarray.Array1.get buf))
                     Binio.magic ->
             bytes_read := Bigarray.Array1.dim buf;
-            Binio.of_bigarray ~name:path buf
+            let t = Binio.of_bigarray ~name:path buf in
+            Lp_obs.Timings.count "trace.decodes" 1;
+            t
         | _ ->
             let s = In_channel.with_open_bin path In_channel.input_all in
             bytes_read := String.length s;

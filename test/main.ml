@@ -8,4 +8,5 @@ let () =
    @ Test_backends.suites @ Test_lifetime.suites @ Test_report.suites
    @ Test_extensions.suites @ Test_integration.suites @ Test_properties.suites
    @ Test_analysis.suites @ Test_golden.suites @ Test_perf.suites
-   @ Test_stream.suites @ Test_sharded.suites @ Test_audit.suites)
+   @ Test_stream.suites @ Test_sharded.suites @ Test_audit.suites
+   @ Test_tune.suites)

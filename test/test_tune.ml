@@ -1,0 +1,296 @@
+(* The decode-once/replay-many candidate engine and the `lpalloc tune`
+   design-space search: golden seed-42 determinism (byte-identical JSON
+   at 1 and 4 domains), the hoisted-validation regression (repeated
+   replays of one trace validate once, metrics unchanged), the
+   decode-once counters, the parameterized-spec parse/canonicalize
+   contract, the qcheck default-spec equivalence property, and the drift
+   tests pinning README's parameter grammar table and EXPERIMENTS'
+   best-config table to the generators. *)
+
+module Tune = Lifetime.Tune
+module Registry = Lp_allocsim.Registry
+module Driver = Lp_allocsim.Driver
+module Metrics = Lp_allocsim.Metrics
+module Timings = Lp_obs.Timings
+
+let tiny program = Lp_workloads.Registry.trace ~scale:1.0 ~program ~input:"tiny" ()
+
+let contains haystack needle =
+  let lh = String.length haystack and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub haystack i ln = needle || go (i + 1)) in
+  ln = 0 || go 0
+
+(* -- golden determinism ---------------------------------------------------------- *)
+
+(* one full search on the tiny corpus, rendered to the golden JSON
+   artifact (no engine counters: those are the CLI's concern) *)
+let tune_json ~domains ~seed =
+  Lifetime.Parallel.with_domains domains (fun () ->
+      let train = tiny "perl" and test = tiny "perl" in
+      let options = { Tune.default_options with Tune.seed } in
+      Lp_report.Json.to_pretty_string
+        (Tune.json_of_outcome
+           (Tune.search ~options ~workload:"perl-tiny" ~train ~test ())))
+
+let golden_determinism () =
+  let a = tune_json ~domains:1 ~seed:42 in
+  let b = tune_json ~domains:1 ~seed:42 in
+  Alcotest.(check string) "seed 42 twice is byte-identical" a b;
+  let c = tune_json ~domains:4 ~seed:42 in
+  Alcotest.(check string) "1 domain vs 4 domains byte-identical" a c;
+  let d = tune_json ~domains:1 ~seed:43 in
+  Alcotest.(check bool) "seed 43 yields a different search" true (a <> d)
+
+(* the acceptance floor: the default search must evaluate >= 100
+   candidates, and the Pareto front must be non-dominated and sorted *)
+let search_shape () =
+  let train = tiny "perl" and test = tiny "perl" in
+  let o = Tune.search ~workload:"perl-tiny" ~train ~test () in
+  Alcotest.(check bool)
+    "at least 100 candidates" true
+    (List.length o.Tune.results >= 100);
+  Alcotest.(check bool) "non-empty Pareto front" true (o.Tune.pareto <> []);
+  let rec check_front = function
+    | a :: (b :: _ as rest) ->
+        Alcotest.(check bool) "instructions ascending" true
+          (a.Tune.instructions <= b.Tune.instructions);
+        Alcotest.(check bool) "heap strictly descending" true
+          (a.Tune.max_heap > b.Tune.max_heap);
+        check_front rest
+    | _ -> ()
+  in
+  check_front o.Tune.pareto;
+  (* every Pareto point must be undominated by every evaluated result *)
+  List.iter
+    (fun p ->
+      List.iter
+        (fun r ->
+          Alcotest.(check bool) "no evaluated result dominates a Pareto point"
+            false
+            (r.Tune.instructions < p.Tune.instructions
+            && r.Tune.max_heap < p.Tune.max_heap))
+        o.Tune.results)
+    o.Tune.pareto;
+  (* the four fixed reference points are all present *)
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " baseline present") true
+        (List.mem_assoc name o.Tune.baselines))
+    [ "first-fit"; "bsd"; "arena-len4"; "arena-cce" ]
+
+(* -- hoisted validation ----------------------------------------------------------- *)
+
+let with_counters f =
+  Timings.reset ();
+  Timings.set_enabled true;
+  Fun.protect ~finally:(fun () -> Timings.set_enabled false) f
+
+let counter name =
+  match List.assoc_opt name (Timings.counters ()) with Some n -> n | None -> 0
+
+let validation_hoisted () =
+  (* a physically fresh trace record: the workload registry memoizes
+     traces, and the driver's validation memo keys on physical identity —
+     a cached trace may legitimately already be validated *)
+  let t0 = tiny "gawk" in
+  let trace = { t0 with Lp_trace.Trace.events = Array.copy t0.events } in
+  let backend = Registry.backend "first-fit" in
+  with_counters (fun () ->
+      (* three replays of the same trace — via run, run again, and an
+         explicit prepare — must validate exactly once and agree *)
+      let m1 = Driver.run trace backend in
+      let m2 = Driver.run trace backend in
+      let m3 = Driver.run_prepared (Driver.prepare trace) backend in
+      Alcotest.(check string)
+        "repeat replay metrics byte-identical" (Metrics.to_json m1)
+        (Metrics.to_json m2);
+      Alcotest.(check string)
+        "prepared replay metrics byte-identical" (Metrics.to_json m1)
+        (Metrics.to_json m3);
+      Alcotest.(check int) "one validation for three replays" 1
+        (counter "replay.validations"))
+
+(* a corrupt trace must still fail with the same error, now at prepare *)
+let prepare_rejects_corrupt () =
+  let rt = Lp_ialloc.Runtime.create ~program:"bad" ~input:"x" () in
+  let h = Lp_ialloc.Runtime.alloc rt ~size:16 in
+  Lp_ialloc.Runtime.free rt h;
+  let trace = Lp_ialloc.Runtime.finish rt in
+  (* corrupt it: free the only object (id 0) a second time *)
+  let events =
+    Array.append trace.events [| Lp_trace.Event.Free { obj = 0; size = 16 } |]
+  in
+  let trace = { trace with Lp_trace.Trace.events } in
+  match Driver.prepare trace with
+  | _ -> Alcotest.fail "corrupt trace unexpectedly prepared"
+  | exception Failure msg ->
+      Alcotest.(check bool) "names the object" true (contains msg "object 0");
+      Alcotest.(check bool) "names the event" true (contains msg "event")
+
+let decode_once () =
+  let trace = tiny "perl" in
+  let encoded = Lp_trace.Binio.to_string trace in
+  with_counters (fun () ->
+      let t = Lp_trace.Io.of_string ~name:"sweep.lpt" encoded in
+      let prepared = Driver.prepare t in
+      (* a sweep of plain and parameterized candidates over one decode *)
+      List.iter
+        (fun spec ->
+          match Registry.backend_of_spec spec with
+          | Ok b -> ignore (Driver.run_prepared prepared b : Metrics.t)
+          | Error msg -> Alcotest.fail msg)
+        [
+          "first-fit"; "best-fit"; "bsd"; "segfit"; "arena";
+          "first-fit:sbrk=4096"; "segfit:slab=16+64+256+1024"; "arena:n=8";
+          "arena:chunk=8192"; "arena:n=8:chunk=2048:fallback=segfit";
+        ];
+      Alcotest.(check int) "one decode for the whole sweep" 1
+        (counter "trace.decodes");
+      Alcotest.(check int) "one validation for the whole sweep" 1
+        (counter "replay.validations"))
+
+(* -- the spec grammar ------------------------------------------------------------- *)
+
+let spec_error spec =
+  match Registry.backend_of_spec spec with
+  | Error msg -> msg
+  | Ok _ -> Alcotest.fail (Printf.sprintf "spec %S unexpectedly parsed" spec)
+
+let spec_errors () =
+  let expect spec fragment =
+    let msg = spec_error spec in
+    Alcotest.(check bool)
+      (Printf.sprintf "%s -> %s (got %S)" spec fragment msg)
+      true (contains msg fragment)
+  in
+  expect "nosuch:sbrk=1" "unknown allocator backend";
+  expect "bsd:sbrk=1" "takes no parameters";
+  expect "first-fit:sbrk=0" "not a positive multiple of 8";
+  expect "first-fit:sbrk=12" "not a positive multiple of 8";
+  expect "first-fit:sbrk=many" "not an integer";
+  expect "first-fit:sbrk" "expected key=value";
+  expect "first-fit:slab=16" "unknown parameter";
+  expect "segfit:slab=7" "not a multiple of 16";
+  expect "segfit:slab=32+16" "not strictly ascending";
+  expect "segfit:slab=16+8192" "outside [16, 4096]";
+  expect "segfit:slab=" "not an integer";
+  expect "arena:n=0" "outside [1, 4096]";
+  expect "arena:chunk=63" "outside [64, 1048576]";
+  expect "arena:fallback=arena" "must not be arena";
+  expect "arena:fallback=nope" "unknown backend";
+  expect "arena:n=8:n=8" "duplicate parameter";
+  (* every error names the offending spec — the CLI's exit-2 message *)
+  Alcotest.(check bool) "error cites the spec" true
+    (contains (spec_error "segfit:slab=7") {|(in spec "segfit:slab=7")|})
+
+let canonicalization () =
+  let canon spec =
+    match Registry.canonical_spec spec with
+    | Ok c -> c
+    | Error msg -> Alcotest.fail msg
+  in
+  Alcotest.(check string) "alias resolves" "segfit:slab=16+64"
+    (canon "seg:slab=16+64");
+  Alcotest.(check string) "defaults drop" "arena"
+    (canon "arena:n=16:chunk=4096:fallback=first-fit");
+  Alcotest.(check string) "default sbrk drops" "first-fit" (canon "ff:sbrk=8192");
+  Alcotest.(check string) "params in grammar order" "arena:n=8:chunk=2048"
+    (canon "arena:chunk=2048:n=8");
+  Alcotest.(check string) "fallback alias canonicalizes" "arena:fallback=best-fit"
+    (canon "arena:fallback=bf");
+  Alcotest.(check string) "default slab drops" "segfit"
+    (canon "segfit:slab=16+32+64+128+256+512+1024+2048")
+
+(* -- default-parameter specs are byte-identical to the plain names ---------------- *)
+
+let default_spec_pairs =
+  [
+    ("first-fit", "first-fit:sbrk=8192");
+    ("best-fit", "best-fit:sbrk=8192");
+    ("segfit", "segfit:slab=16+32+64+128+256+512+1024+2048");
+    ("arena", "arena:n=16:chunk=4096:fallback=first-fit");
+  ]
+
+let default_spec_equivalence =
+  QCheck.Test.make ~count:30
+    ~name:"default-parameter specs equal their plain backends on every source"
+    (QCheck.make Test_stream.random_trace_gen)
+    (fun trace ->
+      List.for_all
+        (fun (name, spec) ->
+          let backend_of s =
+            match Registry.backend_of_spec s with
+            | Ok b -> b
+            | Error msg -> QCheck.Test.fail_report msg
+          in
+          let expect = Metrics.to_json (Driver.run trace (Registry.backend name)) in
+          Metrics.to_json (Driver.run trace (backend_of spec)) = expect
+          && List.for_all
+               (fun (_, source) ->
+                 Metrics.to_json (Driver.run_source (source ()) (backend_of spec))
+                 = expect)
+               (Test_stream.sources_of trace))
+        default_spec_pairs)
+
+let default_spec_equivalence_realloc =
+  QCheck.Test.make ~count:15
+    ~name:"default-parameter specs equal their plain backends under realloc"
+    (QCheck.make Test_stream.random_realloc_trace_gen)
+    (fun trace ->
+      List.for_all
+        (fun (name, spec) ->
+          let backend =
+            match Registry.backend_of_spec spec with
+            | Ok b -> b
+            | Error msg -> QCheck.Test.fail_report msg
+          in
+          Metrics.to_json (Driver.run trace backend)
+          = Metrics.to_json (Driver.run trace (Registry.backend name)))
+        default_spec_pairs)
+
+(* -- drift tests ------------------------------------------------------------------ *)
+
+(* README's tuning section embeds the generated parameter grammar table;
+   adding or editing a parameter without regenerating it fails here *)
+let readme_grammar_table () =
+  let readme = In_channel.with_open_bin "../README.md" In_channel.input_all in
+  Alcotest.(check bool)
+    "README embeds the generated backend parameter grammar" true
+    (contains readme (Registry.grammar_markdown ()))
+
+(* EXPERIMENTS.md commits the tiny-corpus best-config table; it must
+   regenerate byte-identically from the same seed (42) and corpus *)
+let experiments_best_config_table () =
+  let rows program =
+    let train = tiny program and test = tiny program in
+    Tune.markdown_rows
+      (Tune.search ~workload:(program ^ "-tiny") ~train ~test ())
+  in
+  let table = Tune.markdown_header ^ rows "perl" ^ rows "pint" in
+  let experiments =
+    In_channel.with_open_bin "../EXPERIMENTS.md" In_channel.input_all
+  in
+  Alcotest.(check bool)
+    "EXPERIMENTS embeds the regenerated best-config table" true
+    (contains experiments table)
+
+let suites =
+  [
+    ( "tune",
+      [
+        Alcotest.test_case "golden seed-42 determinism" `Slow golden_determinism;
+        Alcotest.test_case "search shape and baselines" `Quick search_shape;
+        Alcotest.test_case "validation hoisted out of replay" `Quick
+          validation_hoisted;
+        Alcotest.test_case "prepare rejects corrupt traces" `Quick
+          prepare_rejects_corrupt;
+        Alcotest.test_case "decode once, replay many" `Quick decode_once;
+        Alcotest.test_case "spec parse errors" `Quick spec_errors;
+        Alcotest.test_case "spec canonicalization" `Quick canonicalization;
+        Alcotest.test_case "README grammar table" `Quick readme_grammar_table;
+        Alcotest.test_case "EXPERIMENTS best-config table" `Slow
+          experiments_best_config_table;
+        QCheck_alcotest.to_alcotest default_spec_equivalence;
+        QCheck_alcotest.to_alcotest default_spec_equivalence_realloc;
+      ] );
+  ]
