@@ -27,6 +27,7 @@ let ablations : (string * (?scale:float -> unit -> string)) list =
     ("generational", Tables.generational_experiment);
     ("types", Tables.type_experiment);
     ("allocators", fun ?scale () -> Tables.allocator_ablation ?scale ());
+    ("oracle", Tables.oracle_experiment);
   ]
 
 (* -- Bechamel micro-benchmarks: the allocator fast paths whose costs the
@@ -116,6 +117,7 @@ let micro_benchmarks () =
 
 let () =
   let scale = ref 1.0 in
+  let oracle_table = ref false in
   let which_table = ref None in
   let which_ablation = ref None in
   let run_ablations = ref true in
@@ -139,6 +141,11 @@ let () =
     | "--ablation" :: v :: rest ->
         which_ablation := Some v;
         parse rest
+    | "--oracle-table" :: rest ->
+        (* the markdown serialization EXPERIMENTS.md commits; printed bare
+           so the drift-gating CI job can regenerate and compare it *)
+        oracle_table := true;
+        parse rest
     | "--ablations" :: rest ->
         run_ablations := true;
         parse rest
@@ -153,7 +160,8 @@ let () =
         print_endline
           "usage: bench/main.exe [--scale S] [--table N] [--tables-only] \
            [--ablation threshold|geometry|rounding|policy|locality|\
-           generational|types] [--micro] [--timings] [--domains N]";
+           generational|types|allocators|oracle] [--oracle-table] [--micro] \
+           [--timings] [--domains N]";
         exit 0
     | other :: _ ->
         Printf.eprintf "unknown argument %s (try --help)\n" other;
@@ -161,6 +169,10 @@ let () =
   in
   parse (List.tl args);
   if !timings then Lp_obs.Timings.set_enabled true;
+  if !oracle_table then begin
+    print_string (Lifetime.Experiments.oracle_markdown ());
+    exit 0
+  end;
   let scale = !scale in
   Printf.printf
     "Reproduction of Barrett & Zorn, \"Using Lifetime Predictors to Improve\n\

@@ -621,6 +621,44 @@ let type_experiment ?scale () =
       ]
     ()
 
+let oracle_experiment ?scale () =
+  let rows = E.oracle_comparison ?scale () in
+  T.render
+    ~title:
+      "Oracle comparison (offline self / offline cross / online adaptive): \
+       arena replay per oracle at equal charged prediction cost; overhead \
+       relative to the self-trained (oracle-bound) predictor"
+    ~columns:
+      [
+        ("Workload", T.Left);
+        ("Oracle", T.Left);
+        ("Instr/alloc", T.Right);
+        ("vs self%", T.Right);
+        ("Predictions", T.Right);
+        ("MispShort%", T.Right);
+        ("MispLong%", T.Right);
+      ]
+    ~rows:
+      (List.map
+         (fun (r : E.oracle_row) ->
+           [
+             r.program;
+             r.oracle;
+             Printf.sprintf "%.1f" r.instr_per_alloc;
+             Printf.sprintf "%+.1f" r.overhead_pct;
+             string_of_int r.predictions;
+             Printf.sprintf "%.2f" r.mispredict_short_pct;
+             Printf.sprintf "%.2f" r.mispredict_long_pct;
+           ])
+         rows)
+    ~notes:
+      [
+        "self = trained on the test input (the oracle bound); cross = trained on";
+        "the other input (the paper's deployable mode); online = profile-free,";
+        "learning during the replay.  Mispredict rates are per consultation.";
+      ]
+    ()
+
 let allocator_ablation ?scale ?allocators () =
   let rows = E.allocator_policies ?scale ?allocators () in
   (* one heap + one cost column per registry backend the ablation ran;

@@ -342,6 +342,40 @@ let evaluate_cmd =
 
 (* -- simulate ------------------------------------------------------------------- *)
 
+(* Shared by simulate and audit: parse an oracle spec with the same
+   exit-2 contract as allocator specs. *)
+let oracle_spec_of ~cmd spec =
+  match Lifetime.Oracle.spec_of_string spec with
+  | Ok s -> s
+  | Error msg ->
+      Printf.eprintf "lpalloc %s: %s\n" cmd msg;
+      exit 2
+
+let oracle_arg ~cmd =
+  let doc =
+    Printf.sprintf
+      "Lifetime oracle answering \"will this allocation die young?\": \
+       $(b,static) (the default) uses the site database trained offline \
+       from $(b,--train); \
+       $(b,online:window=N:promote=K:demote=K:threshold=B) predicts with \
+       no profile run, promoting a site once its last $(i,window) \
+       outcomes (at least $(i,promote) of them) were all short-lived and \
+       demoting it after $(i,demote) consecutive long-lived outcomes.  \
+       ',' is accepted between parameters too; every parameter is \
+       optional; a malformed spec is a usage error (exit 2).  See the \
+       README's Oracles section for the grammar.%s"
+      (match cmd with
+      | "simulate" ->
+          "  With $(b,online), $(b,--train) is not needed and is ignored."
+      | "audit" ->
+          "  For the audit, $(b,online) arms the \
+           $(b,coverage-online-cold) rule: keys with member sites the \
+           trace exercises fewer than $(i,promote) times would never \
+           leave the online oracle's cold-start window."
+      | _ -> "")
+  in
+  Arg.(value & opt string "static" & info [ "oracle" ] ~docv:"SPEC" ~doc)
+
 let simulate_cmd =
   let decode_ahead =
     Arg.(
@@ -381,10 +415,20 @@ let simulate_cmd =
              stderr).  A clean sanitized replay produces byte-identical \
              metrics.")
   in
-  let run train_path test_path threshold allocators json domains sanitize stream
-      decode_ahead timings =
+  let train_file =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "train" ] ~docv:"FILE"
+          ~doc:
+            "Training trace (required by $(b,--oracle static), ignored by \
+             $(b,--oracle online)).")
+  in
+  let run train_path test_path threshold oracle_spec allocators json domains
+      sanitize stream decode_ahead timings =
     with_timings timings @@ fun () ->
     set_domains domains;
+    let spec = oracle_spec_of ~cmd:"simulate" oracle_spec in
     (match allocators with
     | None -> ()
     | Some names ->
@@ -400,17 +444,42 @@ let simulate_cmd =
           names);
     let config = { Lifetime.Config.default with short_lived_threshold = threshold } in
     let predictor =
-      if stream then begin
-        let src = io_guard (fun () -> Lp_trace.Source.of_file train_path) in
-        let st = io_guard (fun () -> Lifetime.Train.collect_source ~config src) in
-        Lifetime.Predictor.build ~config
-          ~funcs:(src.Lp_trace.Source.funcs ())
-          st.Lifetime.Train.table
-      end
-      else
-        let train = read_trace train_path in
-        let table = Lifetime.Train.collect ~config train in
-        Lifetime.Predictor.build ~config ~funcs:train.funcs table
+      (* the static oracle is the trained database; online trains itself
+         mid-replay and needs no profile run *)
+      match spec with
+      | Lifetime.Oracle.Spec_online _ -> None
+      | Lifetime.Oracle.Spec_static -> (
+          match train_path with
+          | None ->
+              Printf.eprintf
+                "lpalloc simulate: --oracle static needs a training trace \
+                 (--train FILE)\n";
+              exit 2
+          | Some train_path ->
+              Some
+                (if stream then begin
+                   let src =
+                     io_guard (fun () -> Lp_trace.Source.of_file train_path)
+                   in
+                   let st =
+                     io_guard (fun () ->
+                         Lifetime.Train.collect_source ~config src)
+                   in
+                   Lifetime.Predictor.build ~config
+                     ~funcs:(src.Lp_trace.Source.funcs ())
+                     st.Lifetime.Train.table
+                 end
+                 else
+                   let train = read_trace train_path in
+                   let table = Lifetime.Train.collect ~config train in
+                   Lifetime.Predictor.build ~config ~funcs:train.funcs table))
+    in
+    let oracle =
+      match Lifetime.Oracle.of_spec ~config ?predictor spec with
+      | Ok o -> o
+      | Error msg ->
+          Printf.eprintf "lpalloc simulate: %s\n" msg;
+          exit 2
     in
     let wrap =
       if sanitize then
@@ -423,12 +492,12 @@ let simulate_cmd =
       try
         if stream then
           Lifetime.Simulate.run_streamed ?allocators ?wrap ~decode_ahead
-            ~config ~predictor
+            ~config ~oracle
             ~source:(fun () -> Lp_trace.Source.of_file test_path)
             ()
         else
           let test = read_trace test_path in
-          Lifetime.Simulate.run ?allocators ?wrap ~config ~predictor ~test ()
+          Lifetime.Simulate.run ?allocators ?wrap ~config ~oracle ~test ()
       with Lp_analysis.Sanitize.Violation d ->
         Format.eprintf "%a@." (Lp_analysis.Diagnostic.pp ~source:test_path) d;
         exit 1
@@ -457,8 +526,9 @@ let simulate_cmd =
           by default first-fit, BSD and the lifetime-predicting arena — in \
           parallel across OCaml domains (cf. Tables 7-9)")
     Term.(
-      const run $ train_file $ test_file $ threshold_arg $ allocators $ json_arg
-      $ domains_arg $ sanitize $ stream_arg $ decode_ahead $ timings_arg)
+      const run $ train_file $ test_file $ threshold_arg
+      $ oracle_arg ~cmd:"simulate" $ allocators $ json_arg $ domains_arg
+      $ sanitize $ stream_arg $ decode_ahead $ timings_arg)
 
 (* -- tune ------------------------------------------------------------------------- *)
 
@@ -961,13 +1031,19 @@ let audit_cmd =
             "Print the audit rule registry as a markdown table (the exact \
              table embedded in the README) and exit.")
   in
-  let run path model_path threshold margin hotspot_share depth policy list_rules
-      json format only disable max_per_rule stream sharded domains timings =
+  let run path model_path threshold margin hotspot_share depth policy
+      oracle_spec list_rules json format only disable max_per_rule stream
+      sharded domains timings =
     with_timings timings @@ fun () ->
     if list_rules then begin
       print_string (Lp_analysis.Audit.rules_markdown ());
       exit 0
     end;
+    let online_params =
+      match oracle_spec_of ~cmd:"audit" oracle_spec with
+      | Lifetime.Oracle.Spec_static -> None
+      | Lifetime.Oracle.Spec_online p -> Some p
+    in
     let path =
       match path with
       | Some p -> p
@@ -1007,6 +1083,7 @@ let audit_cmd =
         au_threshold = threshold;
         au_margin = margin;
         au_hotspot_share = hotspot_share;
+        au_online = online_params;
         au_only = only;
         au_disable = disable;
       }
@@ -1067,8 +1144,9 @@ let audit_cmd =
           chain-collision, predictor-coverage and live-interval analyses")
     Term.(
       const run $ file $ model $ threshold_arg $ margin $ hotspot_share $ depth
-      $ policy $ list_rules $ json_arg $ format_arg $ only_arg $ disable_arg
-      $ max_per_rule_arg $ stream_arg $ sharded_arg $ domains_arg $ timings_arg)
+      $ policy $ oracle_arg ~cmd:"audit" $ list_rules $ json_arg $ format_arg
+      $ only_arg $ disable_arg $ max_per_rule_arg $ stream_arg $ sharded_arg
+      $ domains_arg $ timings_arg)
 
 let () =
   (* fail fast, before any subcommand runs, on a malformed LPALLOC_DOMAINS

@@ -43,12 +43,18 @@
    decode-per-candidate baseline (fresh Binio decode + validating replay
    per candidate — the pre-engine cost), plus a small lpalloc-tune
    search reporting candidates evaluated, candidates/sec and the Pareto
-   front size.  --validate demands the phase from v5 files. *)
+   front size.  --validate demands the phase from v5 files.
+
+   Schema v6 adds a per-workload "online" phase: one arena replay driven
+   by the profile-free online oracle (default window/hysteresis) at one
+   domain, reporting wall clock plus the oracle consultations and
+   mispredict counters the replay classified.  --validate demands the
+   phase from v6 files. *)
 
 open Cmdliner
 module Json = Lp_report.Json
 
-let schema_version = 5
+let schema_version = 6
 
 (* -- measurement helpers -------------------------------------------------------- *)
 
@@ -100,13 +106,13 @@ let stage_delta before after =
 
 type replay_setup = {
   config : Lifetime.Config.t;
-  predictor : Lifetime.Predictor.t;
+  oracle : Lifetime.Oracle.t;
   allocators : string list;
 }
 
 let replay setup trace () =
   Lifetime.Simulate.run ~allocators:setup.allocators ~config:setup.config
-    ~predictor:setup.predictor ~test:trace ()
+    ~oracle:setup.oracle ~test:trace ()
 
 let bench_workload ~program ~input ~scale ~repeat ~domains ~allocators =
   Printf.eprintf "lpbench: %s-%s (scale %g)\n%!" program input scale;
@@ -132,7 +138,7 @@ let bench_workload ~program ~input ~scale ~repeat ~domains ~allocators =
         let table = Lifetime.Train.collect ~config trace in
         Lifetime.Predictor.build ~config ~funcs:trace.funcs table)
   in
-  let setup = { config; predictor; allocators } in
+  let setup = { config; oracle = Lifetime.Oracle.static predictor; allocators } in
   (* sequential: same job set as the parallel fan-out, pinned to 1 domain;
      per-backend seconds come from the lp_obs replay spans *)
   let before = Lp_obs.Timings.stages () in
@@ -179,13 +185,23 @@ let bench_workload ~program ~input ~scale ~repeat ~domains ~allocators =
     best_of repeat (fun () ->
         Lifetime.Parallel.with_domains 1 (fun () ->
             Lifetime.Simulate.run_streamed ~allocators:setup.allocators
-              ~config:setup.config ~predictor:setup.predictor
+              ~config:setup.config ~oracle:setup.oracle
               ~source:(fun () ->
                 Lp_trace.Source.of_string ~name:(program ^ ".lpt") encoded)
               ()))
   in
   let streamed_peak_delta =
     (Gc.quick_stat ()).Gc.top_heap_words - gc_before.Gc.top_heap_words
+  in
+  (* online phase (schema v6): the profile-free oracle — one arena replay
+     learning site lifetimes as it goes, at one domain; the mispredict
+     counters come from the replay's own outcome classification *)
+  let online_oracle = Lifetime.Oracle.online config in
+  let online_seconds, online_m =
+    best_of repeat (fun () ->
+        Lifetime.Parallel.with_domains 1 (fun () ->
+            Lifetime.Simulate.arena_with_cost ~config ~oracle:online_oracle
+              ~test:trace ~predict_cost:Lp_allocsim.Cost_model.predict_len4))
   in
   (* sharded: the same trace in the seekable v3 layout, the training fold
      replayed over the chunk index — the one-trace data-parallel path *)
@@ -372,6 +388,17 @@ let bench_workload ~program ~input ~scale ~repeat ~domains ~allocators =
               ("events_per_sec", num (rate (events * jobs) streamed_seconds));
               ("peak_words_delta", int_ streamed_peak_delta);
             ] );
+        ( "online",
+          Json.Obj
+            [
+              ("seconds", num online_seconds);
+              ("events_per_sec", num (rate events online_seconds));
+              ("predictions", int_ online_m.Lp_allocsim.Metrics.predictions);
+              ( "mispredicts_short_lived",
+                int_ online_m.Lp_allocsim.Metrics.mispredicts_short_lived );
+              ( "mispredicts_long_lived",
+                int_ online_m.Lp_allocsim.Metrics.mispredicts_long_lived );
+            ] );
         ( "sharded",
           Json.Obj
             [
@@ -504,9 +531,10 @@ let validate_file path =
   in
   (* v1 files (the committed pre-streaming baselines) stay valid; the
      streaming additions are only demanded from v2 files, the sharded
-     phase from v3, the realloc phase from v4, the tune phase from v5 *)
-  check "schema_version in {1, 2, 3, 4, 5}"
-    (version >= 1 && version <= 5);
+     phase from v3, the realloc phase from v4, the tune phase from v5,
+     the online phase from v6 *)
+  check "schema_version in {1, 2, 3, 4, 5, 6}"
+    (version >= 1 && version <= 6);
   let saw_realloc_phase = ref false in
   List.iter (require_str "top" j) [ "rev"; "ocaml"; "input" ];
   List.iter (require_num "top" j)
@@ -572,6 +600,18 @@ let validate_file path =
                      "pareto_size";
                    ]
              | None -> check "workload.tune" false);
+          (if version >= 6 then
+             match Json.member "online" w with
+             | Some o ->
+                 List.iter (require_num "online" o)
+                   [
+                     "seconds";
+                     "events_per_sec";
+                     "predictions";
+                     "mispredicts_short_lived";
+                     "mispredicts_long_lived";
+                   ]
+             | None -> check "workload.online" false);
           (* the realloc phase is per-trace optional (realloc-free
              workloads omit it) but a v4 file must exhibit it somewhere *)
           match Json.member "realloc" w with

@@ -15,7 +15,7 @@ let () =
         let test = Lp_workloads.Registry.trace ~scale ~program ~input:"test" () in
         let table = Lifetime.Train.collect ~config train in
         let predictor = Lifetime.Predictor.build ~config ~funcs:train.funcs table in
-        let sim = Lifetime.Simulate.run ~config ~predictor ~test () in
+        let sim = Lifetime.Simulate.run ~config ~oracle:(Lifetime.Oracle.static predictor) ~test () in
         let af (m : Lp_allocsim.Metrics.t) = m.instr_per_alloc +. m.instr_per_free in
         [
           program;

@@ -76,7 +76,7 @@ let () =
 
   let table = Lifetime.Train.collect ~config train in
   let predictor = Lifetime.Predictor.build ~config ~funcs:train.funcs table in
-  let sim = Lifetime.Simulate.run ~config ~predictor ~test () in
+  let sim = Lifetime.Simulate.run ~config ~oracle:(Lifetime.Oracle.static predictor) ~test () in
   Printf.printf "arena simulation: %.1f%% of allocations bump-allocated;\n"
     (Lp_allocsim.Metrics.arena_alloc_pct (Lifetime.Simulate.arena_len4 sim));
   Printf.printf "alloc+free cost %.0f instr vs %.0f for first-fit.\n"

@@ -27,7 +27,7 @@ let () =
     (Lifetime.Evaluate.predicted_pct e)
     (Lifetime.Evaluate.error_pct e);
 
-  let sim = Lifetime.Simulate.run ~config ~predictor ~test () in
+  let sim = Lifetime.Simulate.run ~config ~oracle:(Lifetime.Oracle.static predictor) ~test () in
   let row name (m : Lp_allocsim.Metrics.t) =
     [
       name;

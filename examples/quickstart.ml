@@ -83,7 +83,7 @@ let () =
     (Lifetime.Evaluate.error_pct e);
 
   print_endline "== 4. simulate the allocators on the test trace ==";
-  let sim = Lifetime.Simulate.run ~config ~predictor ~test () in
+  let sim = Lifetime.Simulate.run ~config ~oracle:(Lifetime.Oracle.static predictor) ~test () in
   let report name (m : Lp_allocsim.Metrics.t) =
     Printf.printf "%-22s heap %6d bytes, %5.1f instr/alloc, %5.1f instr/free\n" name
       m.max_heap m.instr_per_alloc m.instr_per_free

@@ -9,7 +9,16 @@ type arena_state = {
 
 (* The general-purpose fallback, existentially packed: the arena layer is a
    lifetime-predicting front-end over ANY registry backend, not a special
-   case wired to first-fit. *)
+   case wired to first-fit.
+
+   The [predicted] bit on every alloc is computed upstream by the session's
+   lifetime oracle (offline-trained or online-adaptive); the arena is
+   oracle-agnostic and must stay correct when the prediction stream is
+   non-stationary — the online oracle promotes and demotes a site mid-run,
+   so objects from one site land in the arena area AND the general heap
+   within the same replay.  That is safe because [free] routes by address
+   alone (arena area vs general heap), never by re-consulting the
+   prediction that placed the object. *)
 type general = G : (module Backend.BACKEND with type t = 'a) * 'a -> general
 
 type t = {

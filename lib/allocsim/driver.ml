@@ -1,6 +1,8 @@
 type predictor = {
   predicted : obj:int -> size:int -> chain:int -> key:int -> bool;
   predict_cost : int;
+  short_threshold : int;
+  on_outcome : (obj:int -> lifetime:int -> survived:bool -> unit) option;
 }
 
 (* A malformed trace (free of a never-allocated object, double free, or an
@@ -123,6 +125,34 @@ let run_prepared_impl ?cache ?predictor (p : prepared)
   let reallocs = ref 0 in
   let realloc_in_place = ref 0 in
   let realloc_moves = ref 0 in
+  (* oracle outcome tracking: under a predictor every object records its
+     birth clock and last verdict, so the free path (and the end-of-trace
+     survivor scan) can classify the prediction and feed the outcome back
+     to a stateful oracle.  None of this charges simulated instructions,
+     so metric values other than the mispredict counters are unaffected. *)
+  let birth_of, flag_of =
+    match predictor with
+    | None -> ([||], Bytes.empty)
+    | Some _ -> Scratch.predict_tables scratch ~n_objects
+  in
+  let predictions = ref 0 in
+  let mis_short = ref 0 in
+  let mis_long = ref 0 in
+  let observe_outcome (p : predictor) ~obj ~survived =
+    let birth = Array.unsafe_get birth_of obj in
+    if birth >= 0 then begin
+      let lifetime = !total_bytes - birth in
+      let short = (not survived) && lifetime < p.short_threshold in
+      if Bytes.unsafe_get flag_of obj <> '\000' then begin
+        if not short then incr mis_short
+      end
+      else if short then incr mis_long;
+      (match p.on_outcome with
+      | Some f -> f ~obj ~lifetime ~survived
+      | None -> ());
+      Array.unsafe_set birth_of obj (-1)
+    end
+  in
   (* Resize an object, preferring the backend's native hook and falling
      back to free + alloc + copy.  The backend is handed the *tracked*
      current size (what its block actually holds); the clock/total-bytes
@@ -136,9 +166,14 @@ let run_prepared_impl ?cache ?predictor (p : prepared)
       match predictor with
       | None -> false
       | Some p ->
-          (* the resize site predicts like an allocation site (§5.1) *)
+          (* the resize site predicts like an allocation site (§5.1);
+             the verdict flag follows the latest consultation, while the
+             birth clock — like training — stays at the Alloc event *)
           B.charge_alloc b p.predict_cost;
-          p.predicted ~obj ~size:new_size ~chain ~key
+          let v = p.predicted ~obj ~size:new_size ~chain ~key in
+          incr predictions;
+          Bytes.unsafe_set flag_of obj (if v then '\001' else '\000');
+          v
     in
     let new_addr, moved =
       match B.realloc with
@@ -179,9 +214,15 @@ let run_prepared_impl ?cache ?predictor (p : prepared)
               match predictor with
               | None -> false
               | Some p ->
-                  (* every allocation pays for the attempt to predict (§5.1) *)
+                  (* every allocation pays for the attempt to predict (§5.1);
+                     the birth clock is the pre-increment allocation clock,
+                     mirroring training's lifetime accounting *)
                   B.charge_alloc b p.predict_cost;
-                  p.predicted ~obj ~size ~chain ~key
+                  let v = p.predicted ~obj ~size ~chain ~key in
+                  incr predictions;
+                  Array.unsafe_set birth_of obj !total_bytes;
+                  Bytes.unsafe_set flag_of obj (if v then '\001' else '\000');
+                  v
             in
             let addr = B.alloc b ~size ~predicted in
             Array.unsafe_set addr_of obj addr;
@@ -196,7 +237,10 @@ let run_prepared_impl ?cache ?predictor (p : prepared)
             let addr = Array.unsafe_get addr_of obj in
             B.free b addr;
             live := !live - Array.unsafe_get size_of obj;
-            Array.unsafe_set addr_of obj (-1)
+            Array.unsafe_set addr_of obj (-1);
+            (match predictor with
+            | Some p -> observe_outcome p ~obj ~survived:false
+            | None -> ())
         | Lp_trace.Event.Realloc { obj; old_size; new_size; chain; key; _ } ->
             ignore (do_realloc ~obj ~old_size ~new_size ~chain ~key)
         | Lp_trace.Event.Touch _ -> ()
@@ -210,7 +254,11 @@ let run_prepared_impl ?cache ?predictor (p : prepared)
               | None -> false
               | Some p ->
                   B.charge_alloc b p.predict_cost;
-                  p.predicted ~obj ~size ~chain ~key
+                  let v = p.predicted ~obj ~size ~chain ~key in
+                  incr predictions;
+                  Array.unsafe_set birth_of obj !total_bytes;
+                  Bytes.unsafe_set flag_of obj (if v then '\001' else '\000');
+                  v
             in
             let addr = B.alloc b ~size ~predicted in
             Array.unsafe_set addr_of obj addr;
@@ -225,7 +273,10 @@ let run_prepared_impl ?cache ?predictor (p : prepared)
             B.free b addr;
             live := !live - Array.unsafe_get size_of obj;
             Cache.access_range c ~addr ~bytes:8;
-            Array.unsafe_set addr_of obj (-1)
+            Array.unsafe_set addr_of obj (-1);
+            (match predictor with
+            | Some p -> observe_outcome p ~obj ~survived:false
+            | None -> ())
         | Lp_trace.Event.Realloc { obj; old_size; new_size; chain; key; _ } ->
             let new_addr = do_realloc ~obj ~old_size ~new_size ~chain ~key in
             Cache.access_range c ~addr:new_addr ~bytes:8
@@ -239,6 +290,16 @@ let run_prepared_impl ?cache ?predictor (p : prepared)
                 Array.unsafe_set ref_cursor obj (Array.unsafe_get ref_cursor obj + 16)
               done
       done);
+  (* survivors are mispredicted if predicted short-lived: classify them in
+     object-id order (deterministic whatever the domain count) with the
+     end-of-trace clock, mirroring training's survivor accounting *)
+  (match predictor with
+  | None -> ()
+  | Some p ->
+      for obj = 0 to n_objects - 1 do
+        if Array.unsafe_get birth_of obj >= 0 then
+          observe_outcome p ~obj ~survived:true
+      done);
   {
     Metrics.algorithm = B.name;
     allocs = B.allocs b;
@@ -246,6 +307,9 @@ let run_prepared_impl ?cache ?predictor (p : prepared)
     reallocs = !reallocs;
     realloc_in_place = !realloc_in_place;
     realloc_moves = !realloc_moves;
+    predictions = !predictions;
+    mispredicts_short_lived = !mis_short;
+    mispredicts_long_lived = !mis_long;
     total_bytes = !total_bytes;
     max_heap = B.max_heap_size b;
     max_live = !max_live;
@@ -300,6 +364,30 @@ let run_source_impl ?cache ?predictor (src : Lp_trace.Source.t)
   let reallocs = ref 0 in
   let realloc_in_place = ref 0 in
   let realloc_moves = ref 0 in
+  (* streaming twin of the prepared loop's oracle outcome tracking: Grow
+     tables (the object population is unknown mid-stream), same semantics *)
+  let tracking = match predictor with Some _ -> hint | None -> 0 in
+  let birth_of = Lp_trace.Grow.create ~default:(-1) tracking in
+  let flag_of = Lp_trace.Grow.create tracking in
+  let max_obj = ref (-1) in
+  let predictions = ref 0 in
+  let mis_short = ref 0 in
+  let mis_long = ref 0 in
+  let observe_outcome (p : predictor) ~obj ~survived =
+    let birth = Lp_trace.Grow.get birth_of obj in
+    if birth >= 0 then begin
+      let lifetime = !total_bytes - birth in
+      let short = (not survived) && lifetime < p.short_threshold in
+      if Lp_trace.Grow.get flag_of obj <> 0 then begin
+        if not short then incr mis_short
+      end
+      else if short then incr mis_long;
+      (match p.on_outcome with
+      | Some f -> f ~obj ~lifetime ~survived
+      | None -> ());
+      Lp_trace.Grow.set birth_of obj (-1)
+    end
+  in
   (* streaming twin of [run_prepared_impl]'s [do_realloc]; Grow tables
      instead of flat arrays, identical semantics *)
   let do_realloc ~event ~obj ~old_size ~new_size ~chain ~key =
@@ -313,7 +401,10 @@ let run_source_impl ?cache ?predictor (src : Lp_trace.Source.t)
       | None -> false
       | Some p ->
           B.charge_alloc b p.predict_cost;
-          p.predicted ~obj ~size:new_size ~chain ~key
+          let v = p.predicted ~obj ~size:new_size ~chain ~key in
+          incr predictions;
+          Lp_trace.Grow.set flag_of obj (if v then 1 else 0);
+          v
     in
     let new_addr, moved =
       match B.realloc with
@@ -360,7 +451,12 @@ let run_source_impl ?cache ?predictor (src : Lp_trace.Source.t)
               | None -> false
               | Some p ->
                   B.charge_alloc b p.predict_cost;
-                  p.predicted ~obj ~size ~chain ~key
+                  let v = p.predicted ~obj ~size ~chain ~key in
+                  incr predictions;
+                  Lp_trace.Grow.set birth_of obj !total_bytes;
+                  Lp_trace.Grow.set flag_of obj (if v then 1 else 0);
+                  if obj > !max_obj then max_obj := obj;
+                  v
             in
             let addr = B.alloc b ~size ~predicted in
             Lp_trace.Grow.set addr_of obj addr;
@@ -382,7 +478,10 @@ let run_source_impl ?cache ?predictor (src : Lp_trace.Source.t)
             (match cache with
             | Some c -> Cache.access_range c ~addr ~bytes:8
             | None -> ());
-            Lp_trace.Grow.set addr_of obj (-1)
+            Lp_trace.Grow.set addr_of obj (-1);
+            (match predictor with
+            | Some p -> observe_outcome p ~obj ~survived:false
+            | None -> ())
         | Lp_trace.Event.Realloc { obj; old_size; new_size; chain; key; _ } -> (
             let new_addr =
               do_realloc ~event ~obj ~old_size ~new_size ~chain ~key
@@ -407,6 +506,13 @@ let run_source_impl ?cache ?predictor (src : Lp_trace.Source.t)
         loop ()
   in
   loop ();
+  (match predictor with
+  | None -> ()
+  | Some p ->
+      for obj = 0 to !max_obj do
+        if Lp_trace.Grow.get birth_of obj >= 0 then
+          observe_outcome p ~obj ~survived:true
+      done);
   {
     Metrics.algorithm = B.name;
     allocs = B.allocs b;
@@ -414,6 +520,9 @@ let run_source_impl ?cache ?predictor (src : Lp_trace.Source.t)
     reallocs = !reallocs;
     realloc_in_place = !realloc_in_place;
     realloc_moves = !realloc_moves;
+    predictions = !predictions;
+    mispredicts_short_lived = !mis_short;
+    mispredicts_long_lived = !mis_long;
     total_bytes = !total_bytes;
     max_heap = B.max_heap_size b;
     max_live = !max_live;

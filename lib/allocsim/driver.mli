@@ -15,12 +15,23 @@
 
 type predictor = {
   predicted : obj:int -> size:int -> chain:int -> key:int -> bool;
-      (** the short-lived-site database lookup, supplied by the
-          prediction layer *)
+      (** the short-lived-site verdict, supplied by the oracle layer
+          (an offline site database or an online adaptive trainer) *)
   predict_cost : int;
       (** instructions charged per allocation for the lookup: 18 for
           length-4 chains, the amortised value for call-chain
           encryption *)
+  short_threshold : int;
+      (** the short-lived cutoff in allocated bytes used to classify
+          each prediction's outcome at free time *)
+  on_outcome : (obj:int -> lifetime:int -> survived:bool -> unit) option;
+      (** the feedback path: called once per predicted object when its
+          lifetime outcome is known — at its free, or (with
+          [survived = true] and the end-of-trace clock) during the
+          final survivor scan — in deterministic event/object order.
+          [lifetime] counts bytes allocated since the object's birth.
+          Stateful (online) oracles learn from this; [None] for frozen
+          site databases. *)
 }
 
 type prepared
@@ -55,7 +66,17 @@ val run_prepared :
     [predictor.predict_cost] instructions and the backend receives the
     predictor's verdict as [~predicted]; backends that ignore prediction
     never pay for it, so their metrics do not depend on the predictor at
-    all.
+    all.  Predicting replays additionally track each object's birth
+    clock and verdict, classify the prediction when the outcome is known
+    (free, or the end-of-trace survivor scan) into the
+    [predictions]/[mispredicts_*] counters of {!Metrics.t}, and feed the
+    outcome to [predictor.on_outcome] — all without charging simulated
+    instructions, so every other metric is unchanged by the tracking.
+
+    Note for stateful oracles: the predictor closure itself carries any
+    online state, so a fresh [predictor] value must be built per replay
+    — replaying a prepared trace twice with the same stateful predictor
+    would leak learned window state across runs.
 
     Each replay records its wall-clock span and event count under the
     ["replay/<backend>"] stage of {!Lp_obs.Timings} when timings are

@@ -23,6 +23,9 @@ type t = {
   reallocs : int;
   realloc_in_place : int;
   realloc_moves : int;
+  predictions : int;
+  mispredicts_short_lived : int;
+  mispredicts_long_lived : int;
   total_bytes : int;
   max_heap : int;
   max_live : int;
@@ -68,12 +71,20 @@ let pp ppf t =
       Format.fprintf ppf "@ reallocs %d (%d in place, %d moved)" t.reallocs
         t.realloc_in_place t.realloc_moves
   in
+  (* only replays where a predicting backend consulted an oracle carry
+     mispredict counters *)
+  let pp_predictions ppf t =
+    if t.predictions > 0 then
+      Format.fprintf ppf
+        "@ predictions %d, mispredicts %d short-lived / %d long-lived"
+        t.predictions t.mispredicts_short_lived t.mispredicts_long_lived
+  in
   Format.fprintf ppf
-    "@[<v>%s:@ allocs %d, bytes %d%a%a@ max heap %d, max live %d (frag %.1f%%)@ \
-     instr/alloc %.1f, instr/free %.1f%a@]"
-    t.algorithm t.allocs t.total_bytes pp_arena_share t pp_reallocs t t.max_heap
-    t.max_live (fragmentation_pct t) t.instr_per_alloc t.instr_per_free pp_extra
-    t.extra
+    "@[<v>%s:@ allocs %d, bytes %d%a%a%a@ max heap %d, max live %d (frag \
+     %.1f%%)@ instr/alloc %.1f, instr/free %.1f%a@]"
+    t.algorithm t.allocs t.total_bytes pp_arena_share t pp_reallocs t
+    pp_predictions t t.max_heap t.max_live (fragmentation_pct t)
+    t.instr_per_alloc t.instr_per_free pp_extra t.extra
 
 (* -- JSON ---------------------------------------------------------------------- *)
 
@@ -105,13 +116,24 @@ let to_json t =
         ("realloc_moves", string_of_int t.realloc_moves);
       ]
   in
+  (* same contract as the realloc counters: only replays where an oracle
+     was consulted render them, so oracle-free output stays byte-identical *)
+  let prediction_fields =
+    if t.predictions = 0 then []
+    else
+      [
+        ("predictions", string_of_int t.predictions);
+        ("mispredicts_short_lived", string_of_int t.mispredicts_short_lived);
+        ("mispredicts_long_lived", string_of_int t.mispredicts_long_lived);
+      ]
+  in
   let fields =
     [
       ("algorithm", Printf.sprintf "%S" t.algorithm);
       ("allocs", string_of_int t.allocs);
       ("frees", string_of_int t.frees);
     ]
-    @ realloc_fields
+    @ realloc_fields @ prediction_fields
     @ [
       ("total_bytes", string_of_int t.total_bytes);
       ("max_heap", string_of_int t.max_heap);

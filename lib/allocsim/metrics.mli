@@ -27,6 +27,13 @@ type t = {
   reallocs : int;  (** realloc events replayed *)
   realloc_in_place : int;  (** resizes the backend absorbed without moving *)
   realloc_moves : int;  (** resizes that paid a fresh block plus a copy *)
+  predictions : int;  (** oracle consultations (alloc and realloc sites) *)
+  mispredicts_short_lived : int;
+      (** objects predicted short-lived that lived past the threshold or
+          survived the trace — the arena-pollution direction *)
+  mispredicts_long_lived : int;
+      (** objects not predicted short-lived that died short — missed
+          arena placements *)
   total_bytes : int;
   max_heap : int;  (** bytes, arena area included where applicable *)
   max_live : int;  (** peak simultaneously-live payload bytes *)
@@ -55,4 +62,7 @@ val to_json : t -> string
     backend's [extra] carries, flattened.  For [lpalloc ... --json].
     The realloc counters appear (in both [pp] and [to_json]) only when
     [reallocs > 0], so realloc-free replays render byte-identically to
-    releases that predate the counters. *)
+    releases that predate the counters.  The prediction/mispredict
+    counters follow the same contract, gated on [predictions > 0]: only
+    replays where a predicting backend consulted an oracle render
+    them. *)

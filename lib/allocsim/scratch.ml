@@ -14,11 +14,20 @@ type t = {
   mutable addr_of : int array;  (* obj -> payload address, -1 = dead *)
   mutable size_of : int array;  (* obj -> tracked payload size *)
   mutable ref_cursor : int array;  (* obj -> Touch stride cursor *)
+  mutable birth_of : int array;  (* obj -> clock at birth, -1 = unborn *)
+  mutable flag_of : Bytes.t;  (* obj -> last oracle verdict, '\001' = short *)
   mutable busy : bool;
 }
 
 let create () =
-  { addr_of = [||]; size_of = [||]; ref_cursor = [||]; busy = false }
+  {
+    addr_of = [||];
+    size_of = [||];
+    ref_cursor = [||];
+    birth_of = [||];
+    flag_of = Bytes.empty;
+    busy = false;
+  }
 
 let key = Domain.DLS.new_key create
 
@@ -58,3 +67,18 @@ let tables s ~n_objects ~cursor =
     end
   in
   (s.addr_of, s.size_of, ref_cursor)
+
+(* Only replays driven by an oracle read the per-object birth clock and
+   verdict flag; same grow-or-prefix-reset discipline as [tables], so a
+   candidate sweep under a predictor allocates these once per domain. *)
+let predict_tables s ~n_objects =
+  if Array.length s.birth_of < n_objects then begin
+    let cap = max n_objects (2 * Array.length s.birth_of) in
+    s.birth_of <- Array.make cap (-1);
+    s.flag_of <- Bytes.make cap '\000'
+  end
+  else begin
+    Array.fill s.birth_of 0 n_objects (-1);
+    Bytes.fill s.flag_of 0 n_objects '\000'
+  end;
+  (s.birth_of, s.flag_of)

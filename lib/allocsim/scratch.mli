@@ -27,3 +27,10 @@ val tables : t -> n_objects:int -> cursor:bool -> int array * int array * int ar
     to [(-1, 0, 0)].  The arrays may be longer than [n_objects]; callers
     must only index below it.  [ref_cursor] is [[||]] unless [cursor] is
     true. *)
+
+val predict_tables : t -> n_objects:int -> int array * Bytes.t
+(** [(birth_of, flag_of)] with the [0, n_objects) prefix reset to
+    [(-1, '\000')] — the per-object oracle state (birth clock and last
+    verdict) replays track to attribute lifetime outcomes.  Pooled with
+    the same grow-or-reset discipline as {!tables}; only acquired by
+    replays running under a predictor. *)

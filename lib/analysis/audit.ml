@@ -14,6 +14,7 @@ type options = {
   au_margin : float;
   au_hotspot_share : float;
   au_model : Lifetime.Model.t option;
+  au_online : Lifetime.Oracle.online_params option;
   au_only : string list option;
   au_disable : string list option;
 }
@@ -26,6 +27,7 @@ let default_options =
     au_margin = Coverage.default_margin;
     au_hotspot_share = Liveint.default_hotspot_share;
     au_model = None;
+    au_online = None;
     au_only = None;
     au_disable = None;
   }
@@ -62,7 +64,8 @@ let report opts rctx = function
       let lm = Liveint.project live_tok in
       let model_index = Option.map Lifetime.Model.index opts.au_model in
       Collision.report ?model_index rctx pf
-      @ Coverage.report ?model:opts.au_model ~margin:opts.au_margin pf
+      @ Coverage.report ?model:opts.au_model ?online:opts.au_online
+          ~margin:opts.au_margin pf
       @ Liveint.report ~hotspot_share:opts.au_hotspot_share rctx lm
       |> List.filter (fun d -> enabled d.Diagnostic.rule)
   | _ -> invalid_arg "Audit.report: expected two domain tokens"

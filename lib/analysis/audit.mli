@@ -10,9 +10,11 @@
       [chain-collision-mispredict], error, when the given model predicts
       the key short-lived);
     - {!Coverage}: trace sites the model misses ([coverage-cold-start]),
-      model sites the trace never exercises ([coverage-dead-site]), and
+      model sites the trace never exercises ([coverage-dead-site]),
       sites within a margin of the short-lived cutoff
-      ([coverage-threshold-sensitive]);
+      ([coverage-threshold-sensitive]), and — under
+      [--oracle online] — keys whose member sites are too rare to warm
+      the online oracle's promotion window ([coverage-online-cold]);
     - {!Liveint}: the global live-heap peak ([live-peak-pressure]) and
       cross-site overlap hotspots ([live-overlap-hotspot]).
 
@@ -28,6 +30,10 @@ type options = {
   au_margin : float;  (** threshold-sensitivity band, fraction of cutoff *)
   au_hotspot_share : float;  (** overlap-hotspot share of the global peak *)
   au_model : Lifetime.Model.t option;
+  au_online : Lifetime.Oracle.online_params option;
+      (** arms [coverage-online-cold]: report keys whose member sites
+          are too rare to warm the online oracle's promotion window
+          ([lpalloc audit --oracle online]) *)
   au_only : string list option;  (** rule selection, as [lint]'s [--only] *)
   au_disable : string list option;
 }
@@ -42,7 +48,7 @@ val with_model : options -> Lifetime.Model.t -> options
     same abstraction the model was trained with. *)
 
 val rules : Diagnostic.rule list
-(** All seven audit rules, in analysis order — the one registry behind
+(** All eight audit rules, in analysis order — the one registry behind
     [--only]/[--disable], [--list-rules], the SARIF driver and the
     README table. *)
 

@@ -31,11 +31,18 @@ let rules =
         "a site's observed lifetimes sit within the margin of the \
          short-lived cutoff";
     };
+    {
+      id = "coverage-online-cold";
+      default_severity = Info;
+      doc =
+        "a key with member sites too rare to warm the online oracle's \
+         promotion window (with --oracle online)";
+    };
   ]
 
 let default_margin = 0.125
 
-let report ?model ?(margin = default_margin) (pf : Profile.merged) =
+let report ?model ?online ?(margin = default_margin) (pf : Profile.merged) =
   let out = ref [] in
   let emit d = out := d :: !out in
   let index = Option.map Lifetime.Model.index model in
@@ -58,6 +65,36 @@ let report ?model ?(margin = default_margin) (pf : Profile.merged) =
                    call chain(s) fall to the fallback path"
                   ky.ky_count ky.ky_bytes
                   (List.length ky.ky_sites)))
+      | _ -> ());
+      (* --oracle online cold start: the online oracle predicts per raw
+         (chain, size) site and only after a site's first [promote]
+         allocations all died young; a member site the trace exercises
+         fewer than [promote] times therefore never leaves the cold-start
+         window — its allocations are unpredicted for the whole run,
+         however short-lived the key looks in aggregate *)
+      (match (online : Lifetime.Oracle.online_params option) with
+      | Some p when ky.ky_count > 0 ->
+          let cold_sites, cold_objs, cold_bytes =
+            List.fold_left
+              (fun (n, objs, bytes) s ->
+                let st = pf.Profile.pf_sites.(s) in
+                if st.Profile.st_count < p.Lifetime.Oracle.promote then
+                  (n + 1, objs + st.Profile.st_count, bytes + st.Profile.st_bytes)
+                else (n, objs, bytes))
+              (0, 0, 0) ky.ky_sites
+          in
+          if cold_sites > 0 then
+            emit
+              (make ~rule:"coverage-online-cold" ~severity:Info
+                 ~event:ky.ky_first_event
+                 ~site:(Lifetime.Portable.to_string ky.ky_key)
+                 (Printf.sprintf
+                    "online cold start: %d of %d member site(s) (%d object(s), \
+                     %d bytes) never reach the promote threshold %d — \
+                     unpredicted for the whole run under --oracle online"
+                    cold_sites
+                    (List.length ky.ky_sites)
+                    cold_objs cold_bytes p.Lifetime.Oracle.promote))
       | _ -> ());
       let m = float_of_int ky.ky_max_lifetime in
       if ky.ky_count > 0 && m >= lo && m < hi then

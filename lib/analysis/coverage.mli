@@ -7,6 +7,10 @@
     maximum lifetime sits within a configurable margin of the
     short-lived cutoff ([coverage-threshold-sensitive], warning — one
     input shift from flipping class; fires with or without a model).
+    With [online] parameters ([lpalloc audit --oracle online]) it also
+    reports would-be online cold starts ([coverage-online-cold], info):
+    keys with member sites the trace exercises fewer than [promote]
+    times, which the online oracle would therefore never predict.
     No rule is error-severity, so a clean self-trained audit exits 0. *)
 
 val rules : Diagnostic.rule list
@@ -16,9 +20,11 @@ val default_margin : float
 
 val report :
   ?model:Lifetime.Model.t ->
+  ?online:Lifetime.Oracle.online_params ->
   ?margin:float ->
   Absint.Site_profile.merged ->
   Diagnostic.t list
-(** Key-order cold-start and sensitivity findings, then dead model sites
-    in model-entry order.  Without [model], only threshold sensitivity
-    can fire. *)
+(** Key-order cold-start, online-cold and sensitivity findings, then
+    dead model sites in model-entry order.  Without [model], only
+    threshold sensitivity and (given [online]) online cold start can
+    fire. *)

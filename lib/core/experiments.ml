@@ -216,8 +216,10 @@ let compute_simulation ?scale ?allocators ~config program =
   let true_pred = Predictor.build ~config ~funcs:train.Lp_trace.Trace.funcs table_true in
   {
     program;
-    self_sim = Simulate.run ?allocators ~config ~predictor:self_pred ~test ();
-    true_sim = Simulate.run ?allocators ~config ~predictor:true_pred ~test ();
+    self_sim =
+      Simulate.run ?allocators ~config ~oracle:(Oracle.static self_pred) ~test ();
+    true_sim =
+      Simulate.run ?allocators ~config ~oracle:(Oracle.static true_pred) ~test ();
   }
 
 let simulate_program ?scale ?allocators ?(config = Config.default) program =
@@ -371,7 +373,8 @@ let geometry_sweep ?scale ~program ~geometries () =
       let config = { Config.default with n_arenas; arena_size } in
       let table = Train.collect ~config train in
       let predictor = Predictor.build ~config ~funcs:train.Lp_trace.Trace.funcs table in
-      let m = Simulate.arena_with_cost ~config ~predictor ~test
+      let m =
+        Simulate.arena_with_cost ~config ~oracle:(Oracle.static predictor) ~test
           ~predict_cost:Lp_allocsim.Cost_model.predict_len4
       in
       {
@@ -476,6 +479,8 @@ let locality ?scale ?(config = Config.default) ?(cache_kb = 16) () =
             {
               Lp_allocsim.Driver.predicted;
               predict_cost = Lp_allocsim.Cost_model.predict_len4;
+              short_threshold = config.Config.short_lived_threshold;
+              on_outcome = None;
             }
           "arena"
       in
@@ -615,6 +620,99 @@ let by_type ?scale ?(config = Config.default) () =
         site_size_pct = site_size;
       })
     programs
+
+(* -- Oracle comparison: offline (self / cross) vs online adaptive ---------------- *)
+
+type oracle_row = {
+  program : string;
+  oracle : string;  (** "self" | "cross" | "online" *)
+  instr_per_alloc : float;
+  overhead_pct : float;  (** malloc-time instruction overhead vs the self oracle *)
+  predictions : int;
+  mispredict_short_pct : float;  (** predicted short, lived long — arena pollution *)
+  mispredict_long_pct : float;  (** predicted long, died short — missed placement *)
+}
+
+(** The six workloads of the oracle experiment: the paper's five plus the
+    AST interpreter, which exercises the online oracle's cold-start path
+    hardest (its hot sites appear late, behind the dispatch loop). *)
+let oracle_programs = programs @ [ "pint" ]
+
+(** The PR-10 headline experiment: one arena replay per (workload, oracle)
+    with the same charged prediction cost, comparing the offline predictor
+    trained on the test input itself (the oracle bound, [self]), the
+    offline predictor trained on the other input (the paper's deployable
+    mode, [cross]), and the profile-free online oracle that learns site
+    lifetimes during the replay itself ([online], default
+    window/hysteresis).  Overhead is malloc-time instructions relative to
+    [self]; mispredict rates are per oracle consultation, classified by
+    the replay's own outcome tracking.  Deterministic at any domain count:
+    each replay is a single sequential [Driver] run whose oracle state is
+    seeded from the event stream only. *)
+let oracle_comparison ?(scale = 0.1) ?(config = Config.default) () =
+  List.concat_map
+    (fun program ->
+      let test = test_trace ~scale program in
+      let train = train_trace ~scale program in
+      let static_of trace =
+        let table = Train.collect ~config trace in
+        Oracle.static
+          (Predictor.build ~config ~funcs:trace.Lp_trace.Trace.funcs table)
+      in
+      let run oracle =
+        Simulate.arena_with_cost ~config ~oracle ~test
+          ~predict_cost:Lp_allocsim.Cost_model.predict_len4
+      in
+      let modes =
+        [
+          ("self", run (static_of test));
+          ("cross", run (static_of train));
+          ("online", run (Oracle.online config));
+        ]
+      in
+      let base =
+        match modes with
+        | ("self", m) :: _ -> m.Lp_allocsim.Metrics.instr_per_alloc
+        | _ -> assert false
+      in
+      List.map
+        (fun (name, (m : Lp_allocsim.Metrics.t)) ->
+          let rate n =
+            100. *. float_of_int n /. float_of_int (max 1 m.predictions)
+          in
+          {
+            program;
+            oracle = name;
+            instr_per_alloc = m.instr_per_alloc;
+            overhead_pct =
+              (if base = 0. then 0.
+               else 100. *. (m.instr_per_alloc -. base) /. base);
+            predictions = m.predictions;
+            mispredict_short_pct = rate m.mispredicts_short_lived;
+            mispredict_long_pct = rate m.mispredicts_long_lived;
+          })
+        modes)
+    oracle_programs
+
+(* The markdown serialization is what EXPERIMENTS.md commits and what the
+   drift test and the gating CI job regenerate — keep formatting stable. *)
+let oracle_markdown_header =
+  "| workload | oracle | instr/alloc | vs self % | predictions | mispredict \
+   short % | mispredict long % |\n\
+   |---|---|---|---|---|---|---|\n"
+
+let oracle_markdown_rows rows =
+  String.concat ""
+    (List.map
+       (fun r ->
+         Printf.sprintf "| %s | %s | %.1f | %+.1f | %d | %.2f | %.2f |\n"
+           r.program r.oracle r.instr_per_alloc r.overhead_pct r.predictions
+           r.mispredict_short_pct r.mispredict_long_pct)
+       rows)
+
+let oracle_markdown ?scale ?config () =
+  oracle_markdown_header
+  ^ oracle_markdown_rows (oracle_comparison ?scale ?config ())
 
 (* -- Allocator-policy ablation: first fit vs best fit --------------------------- *)
 

@@ -1,0 +1,557 @@
+(* The lifetime-oracle layer: one interface over every way the simulator
+   can answer "will this allocation die young?".
+
+   The paper's pipeline trains a site database offline and compiles it
+   into the allocation system (§5.1) — that is the [Static] oracle, a
+   thin wrapper over {!Predictor}.  The [Online] oracle removes the
+   profile run entirely: it starts empty, watches the outcome of every
+   prediction it makes (the driver feeds each object's lifetime back when
+   it is known), and promotes a site to short-lived predicted once a
+   window of its recent outcomes is unanimously short — with hysteresis,
+   so a single long-lived stray does not flap the verdict.
+
+   Determinism: an online instance's state is a pure function of the
+   event stream it observed.  The driver consults the oracle in event
+   order and reports outcomes in event order (survivors in object-id
+   order at the end), and every instance is private to one replay, so
+   results are identical at any domain count. *)
+
+type online_params = {
+  window : int;  (* outcomes per site considered; 0 = unbounded *)
+  promote : int;  (* observations required before promotion *)
+  demote : int;  (* consecutive long outcomes that demote *)
+  threshold : int option;  (* short-lived cutoff; None = config's *)
+}
+
+let default_window = 256
+let default_promote = 4
+let default_demote = 4
+
+let default_online_params =
+  {
+    window = default_window;
+    promote = default_promote;
+    demote = default_demote;
+    threshold = None;
+  }
+
+type spec = Spec_static | Spec_online of online_params
+
+type t =
+  | Static of Predictor.t
+  | Online of { params : online_params; config : Config.t }
+
+let static predictor = Static predictor
+
+let online ?(window = default_window) ?(promote = default_promote)
+    ?(demote = default_demote) ?threshold config =
+  Online { params = { window; promote; demote; threshold }; config }
+
+let is_online = function Online _ -> true | Static _ -> false
+
+(* -- spec grammar -----------------------------------------------------------------
+
+   [static] or [online:window=N:promote=K:demote=K:threshold=B] — the
+   same shape as the allocator-backend specs of {!Lp_allocsim.Registry}
+   (':' between parameters, every error one line, never raising), except
+   ',' is accepted as a separator too so an oracle spec can ride inside a
+   comma-free CLI position. *)
+
+type spec_param = {
+  key : string;
+  grammar : string;
+  param_doc : string;
+  default : string;
+}
+
+let online_spec_params =
+  [
+    {
+      key = "window";
+      grammar = "<n>";
+      param_doc =
+        "sliding outcome window per site, in [0, 65536]; 0 keeps every \
+         outcome";
+      default = string_of_int default_window;
+    };
+    {
+      key = "promote";
+      grammar = "<n>";
+      param_doc =
+        "outcomes a site needs (all short) before it predicts, at least 1";
+      default = string_of_int default_promote;
+    };
+    {
+      key = "demote";
+      grammar = "<n>";
+      param_doc =
+        "consecutive long-lived outcomes that revoke a prediction, at \
+         least 1";
+      default = string_of_int default_demote;
+    };
+    {
+      key = "threshold";
+      grammar = "<bytes>";
+      param_doc =
+        "short-lived cutoff in allocated bytes, at least 1; defaults to \
+         the simulation threshold";
+      default = "config";
+    };
+  ]
+
+let oracle_names = [ "static"; "online" ]
+
+let spec_error spec fmt =
+  Printf.ksprintf
+    (fun msg -> Error (Printf.sprintf "%s (in spec %S)" msg spec))
+    fmt
+
+let ( let* ) = Result.bind
+
+let int_value spec ~key v =
+  match int_of_string_opt v with
+  | Some n -> Ok n
+  | None -> spec_error spec "parameter %s: %S is not an integer" key v
+
+(* Split on ':' and ',' alike; the first segment names the oracle. *)
+let segments_of spec =
+  String.split_on_char ':' spec |> List.concat_map (String.split_on_char ',')
+
+let parse_params spec segments =
+  List.fold_left
+    (fun acc seg ->
+      let* acc = acc in
+      match String.index_opt seg '=' with
+      | None -> spec_error spec "bad parameter %S: expected key=value" seg
+      | Some i ->
+          let key = String.sub seg 0 i in
+          let value = String.sub seg (i + 1) (String.length seg - i - 1) in
+          if not (List.exists (fun p -> p.key = key) online_spec_params) then
+            spec_error spec "unknown parameter %S for online (valid: %s)" key
+              (String.concat ", " (List.map (fun p -> p.key) online_spec_params))
+          else if List.mem_assoc key acc then
+            spec_error spec "duplicate parameter %S" key
+          else Ok (acc @ [ (key, value) ]))
+    (Ok []) segments
+
+let online_of_kvs spec kvs =
+  let* window =
+    match List.assoc_opt "window" kvs with
+    | None -> Ok default_window
+    | Some v ->
+        let* n = int_value spec ~key:"window" v in
+        if n < 0 || n > 65536 then
+          spec_error spec "parameter window: %d outside [0, 65536]" n
+        else Ok n
+  in
+  let* promote =
+    match List.assoc_opt "promote" kvs with
+    | None -> Ok default_promote
+    | Some v ->
+        let* n = int_value spec ~key:"promote" v in
+        if n < 1 then spec_error spec "parameter promote: %d is not positive" n
+        else if window > 0 && n > window then
+          spec_error spec "parameter promote: %d exceeds window %d" n window
+        else Ok n
+  in
+  let* demote =
+    match List.assoc_opt "demote" kvs with
+    | None -> Ok default_demote
+    | Some v ->
+        let* n = int_value spec ~key:"demote" v in
+        if n < 1 then spec_error spec "parameter demote: %d is not positive" n
+        else Ok n
+  in
+  let* threshold =
+    match List.assoc_opt "threshold" kvs with
+    | None -> Ok None
+    | Some v ->
+        let* n = int_value spec ~key:"threshold" v in
+        if n < 1 then
+          spec_error spec "parameter threshold: %d is not positive" n
+        else Ok (Some n)
+  in
+  Ok { window; promote; demote; threshold }
+
+let spec_of_string spec =
+  match segments_of spec with
+  | [] | [ "" ] -> Error (Printf.sprintf "empty oracle spec %S" spec)
+  | "static" :: segments ->
+      if segments = [] then Ok Spec_static
+      else spec_error spec "oracle static takes no parameters"
+  | "online" :: segments ->
+      let* kvs = parse_params spec segments in
+      let* params = online_of_kvs spec kvs in
+      Ok (Spec_online params)
+  | name :: _ ->
+      Error
+        (Printf.sprintf "unknown oracle %S (known: %s)" name
+           (String.concat ", " oracle_names))
+
+(* Alias-free already; parameters re-listed in grammar order with
+   defaults dropped, so a spec that only restates defaults collapses to
+   the plain name. *)
+let canonical_spec spec =
+  let* parsed = spec_of_string spec in
+  match parsed with
+  | Spec_static -> Ok "static"
+  | Spec_online p ->
+      let kept =
+        List.filter_map
+          (fun (key, value) ->
+            match value with
+            | None -> None
+            | Some v -> Some (Printf.sprintf "%s=%d" key v))
+          [
+            ("window", if p.window = default_window then None else Some p.window);
+            ( "promote",
+              if p.promote = default_promote then None else Some p.promote );
+            ("demote", if p.demote = default_demote then None else Some p.demote);
+            ("threshold", p.threshold);
+          ]
+      in
+      Ok (String.concat ":" ("online" :: kept))
+
+let grammar_markdown () =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "| oracle | parameter | value | default | meaning |\n\
+     |---|---|---|---|---|\n";
+  Buffer.add_string buf
+    "| `static` | — | — | — | the offline-trained site database; takes no \
+     parameters |\n";
+  List.iter
+    (fun p ->
+      Buffer.add_string buf
+        (Printf.sprintf "| `online` | `%s` | `%s` | `%s` | %s |\n" p.key
+           p.grammar p.default p.param_doc))
+    online_spec_params;
+  Buffer.contents buf
+
+let of_spec ~config ?predictor spec =
+  match spec with
+  | Spec_static -> (
+      match predictor with
+      | Some p -> Ok (static p)
+      | None -> Error "oracle static needs a trained site database")
+  | Spec_online params -> Ok (Online { params; config })
+
+(* -- instances --------------------------------------------------------------------
+
+   An instance is one replay's worth of oracle: the {!Lp_allocsim.Driver}
+   predictor record plus a way to snapshot the predicted site set
+   afterwards.  Static instances are stateless (the database is frozen);
+   online instances own mutable window state and must be created fresh
+   per replay — {!instance_for_trace} always builds new state, so two
+   consecutive replays of the same prepared trace cannot leak learning
+   from one into the other. *)
+
+type instance = {
+  driver : Lp_allocsim.Driver.predictor;
+  snap : unit -> string list;
+}
+
+let driver_predictor i = i.driver
+let snapshot i = i.snap ()
+
+let static_snapshot p () =
+  let acc = ref [] in
+  Predictor.iter_keys p (fun k -> acc := Portable.to_string k :: !acc);
+  List.sort String.compare !acc
+
+(* -- the online trainer ----------------------------------------------------------
+
+   Per-site state lives in parallel arrays indexed by a dense site id;
+   the (chain, size) -> id map is the same no-allocation open-addressing
+   probe as {!Predictor}'s memo.  Each outcome updates a bounded window
+   (a byte ring when [window > 0], plain counters when unbounded), a
+   consecutive-long-outcome streak, and the promoted flag:
+
+     promoted   <- window full enough ([>= promote]) and unanimously short
+     demoted    <- [demote] consecutive long outcomes
+     in between   the verdict is sticky (hysteresis)
+
+   With [window=0, promote=1, demote=1] the promoted set after a replay
+   of the training trace is exactly the all-short site set {!Train}
+   collects — the convergence property the test suite checks. *)
+
+let memo_empty = min_int
+
+type online_state = {
+  params : online_params;
+  threshold : int;
+  policy : Lp_callchain.Site.policy;
+  rounding : int;
+  chain_of : int -> Lp_callchain.Chain.t;
+  funcs : unit -> Lp_callchain.Func.table;
+  (* (chain, size) -> site id, open addressing, load < 1/2 *)
+  mutable mchains : int array;
+  mutable msizes : int array;
+  mutable mids : int array;
+  mutable mcap : int;
+  mutable mcount : int;
+  (* per-site state, dense ids in first-seen order *)
+  mutable st_chain : int array;
+  mutable st_size : int array;
+  mutable st_key : int array;
+  mutable st_obs : int array;  (* outcomes ever recorded *)
+  mutable st_wobs : int array;  (* outcomes currently in the window *)
+  mutable st_wshort : int array;  (* short outcomes in the window *)
+  mutable st_streak : int array;  (* consecutive long outcomes *)
+  mutable st_promoted : Bytes.t;
+  mutable st_ring : Bytes.t array;  (* outcome ring; empty until first use *)
+  mutable st_rpos : int array;
+  mutable n_sites : int;
+  obj_site : Lp_trace.Grow.t;  (* object -> birth site id, -1 untracked *)
+}
+
+let create_state ~params ~threshold ~(config : Config.t) ~chain_of ~funcs ~hint =
+  {
+    params;
+    threshold;
+    policy = config.policy;
+    rounding = config.size_rounding;
+    chain_of;
+    funcs;
+    mchains = Array.make 4096 memo_empty;
+    msizes = Array.make 4096 0;
+    mids = Array.make 4096 0;
+    mcap = 4096;
+    mcount = 0;
+    st_chain = Array.make 256 0;
+    st_size = Array.make 256 0;
+    st_key = Array.make 256 0;
+    st_obs = Array.make 256 0;
+    st_wobs = Array.make 256 0;
+    st_wshort = Array.make 256 0;
+    st_streak = Array.make 256 0;
+    st_promoted = Bytes.make 256 '\000';
+    st_ring = Array.make 256 Bytes.empty;
+    st_rpos = Array.make 256 0;
+    n_sites = 0;
+    obj_site = Lp_trace.Grow.create ~default:(-1) hint;
+  }
+
+let slot_for chains sizes mask chain size =
+  let h = ((chain * 0x9E3779B1) lxor (size * 0x85EBCA77)) land mask in
+  let i = ref h in
+  while
+    let c = Array.unsafe_get chains !i in
+    c <> memo_empty && not (c = chain && Array.unsafe_get sizes !i = size)
+  do
+    i := (!i + 1) land mask
+  done;
+  !i
+
+let memo_grow st =
+  let cap' = st.mcap * 2 in
+  let chains' = Array.make cap' memo_empty in
+  let sizes' = Array.make cap' 0 in
+  let ids' = Array.make cap' 0 in
+  let mask' = cap' - 1 in
+  for i = 0 to st.mcap - 1 do
+    let c = Array.unsafe_get st.mchains i in
+    if c <> memo_empty then begin
+      let j = slot_for chains' sizes' mask' c (Array.unsafe_get st.msizes i) in
+      chains'.(j) <- c;
+      sizes'.(j) <- Array.unsafe_get st.msizes i;
+      ids'.(j) <- Array.unsafe_get st.mids i
+    end
+  done;
+  st.mcap <- cap';
+  st.mchains <- chains';
+  st.msizes <- sizes';
+  st.mids <- ids'
+
+let grow_int a n =
+  let a' = Array.make (2 * Array.length a) 0 in
+  Array.blit a 0 a' 0 n;
+  a'
+
+let states_grow st =
+  let n = st.n_sites in
+  st.st_chain <- grow_int st.st_chain n;
+  st.st_size <- grow_int st.st_size n;
+  st.st_key <- grow_int st.st_key n;
+  st.st_obs <- grow_int st.st_obs n;
+  st.st_wobs <- grow_int st.st_wobs n;
+  st.st_wshort <- grow_int st.st_wshort n;
+  st.st_streak <- grow_int st.st_streak n;
+  st.st_rpos <- grow_int st.st_rpos n;
+  let promoted' = Bytes.make (2 * Bytes.length st.st_promoted) '\000' in
+  Bytes.blit st.st_promoted 0 promoted' 0 n;
+  st.st_promoted <- promoted';
+  let ring' = Array.make (2 * Array.length st.st_ring) Bytes.empty in
+  Array.blit st.st_ring 0 ring' 0 n;
+  st.st_ring <- ring'
+
+let new_site st chain size key =
+  if st.n_sites = Array.length st.st_chain then states_grow st;
+  let s = st.n_sites in
+  st.st_chain.(s) <- chain;
+  st.st_size.(s) <- size;
+  st.st_key.(s) <- key;
+  st.n_sites <- s + 1;
+  s
+
+let rec site_id st chain size key =
+  let i = slot_for st.mchains st.msizes (st.mcap - 1) chain size in
+  if Array.unsafe_get st.mchains i <> memo_empty then Array.unsafe_get st.mids i
+  else if 2 * (st.mcount + 1) > st.mcap then begin
+    memo_grow st;
+    site_id st chain size key
+  end
+  else begin
+    let s = new_site st chain size key in
+    st.mchains.(i) <- chain;
+    st.msizes.(i) <- size;
+    st.mids.(i) <- s;
+    st.mcount <- st.mcount + 1;
+    s
+  end
+
+let record_outcome st s short =
+  st.st_obs.(s) <- st.st_obs.(s) + 1;
+  let window = st.params.window in
+  if window = 0 then begin
+    st.st_wobs.(s) <- st.st_wobs.(s) + 1;
+    if short then st.st_wshort.(s) <- st.st_wshort.(s) + 1
+  end
+  else begin
+    let ring =
+      let r = Array.unsafe_get st.st_ring s in
+      if Bytes.length r > 0 then r
+      else begin
+        let r = Bytes.make window '\000' in
+        st.st_ring.(s) <- r;
+        r
+      end
+    in
+    let pos = st.st_rpos.(s) in
+    if st.st_wobs.(s) < window then st.st_wobs.(s) <- st.st_wobs.(s) + 1
+    else if Bytes.unsafe_get ring pos = '\001' then
+      st.st_wshort.(s) <- st.st_wshort.(s) - 1;
+    Bytes.unsafe_set ring pos (if short then '\001' else '\000');
+    st.st_rpos.(s) <- (pos + 1) mod window;
+    if short then st.st_wshort.(s) <- st.st_wshort.(s) + 1
+  end;
+  if short then st.st_streak.(s) <- 0
+  else st.st_streak.(s) <- st.st_streak.(s) + 1;
+  if Bytes.unsafe_get st.st_promoted s = '\001' then begin
+    if st.st_streak.(s) >= st.params.demote then
+      Bytes.unsafe_set st.st_promoted s '\000'
+  end
+  else if
+    st.st_wobs.(s) >= st.params.promote && st.st_wshort.(s) = st.st_wobs.(s)
+  then Bytes.unsafe_set st.st_promoted s '\001'
+
+(* The driver consults this at every alloc and realloc.  The object's
+   site binding is set at its first consultation — the alloc, mirroring
+   where offline training attributes lifetimes — and a later realloc
+   consults the resized site's verdict without rebinding the outcome. *)
+let online_predicted st ~obj ~size ~chain ~key =
+  let s = site_id st chain size key in
+  if Lp_trace.Grow.get st.obj_site obj < 0 then
+    Lp_trace.Grow.set st.obj_site obj s;
+  Bytes.unsafe_get st.st_promoted s = '\001'
+
+let online_outcome st ~obj ~lifetime ~survived =
+  let s = Lp_trace.Grow.get st.obj_site obj in
+  if s >= 0 then begin
+    Lp_trace.Grow.set st.obj_site obj (-1);
+    let short = (not survived) && lifetime < st.threshold in
+    record_outcome st s short
+  end
+
+(* The promoted portable key set, aggregated with {!Predictor.build}'s
+   conservative rule: rounding can collapse several raw sites onto one
+   portable key, and the key survives only if every contributing site
+   (with at least one recorded outcome) is promoted.  Sites that were
+   only ever consulted — no outcome yet — do not contribute, matching
+   offline training, which never saw them either. *)
+let online_snapshot st () =
+  let funcs = st.funcs () in
+  let portable s =
+    let site =
+      Lp_callchain.Site.make st.policy
+        ~raw_chain:(st.chain_of st.st_chain.(s))
+        ~key:st.st_key.(s) ~size:st.st_size.(s)
+    in
+    match st.policy with
+    | Lp_callchain.Site.Encrypted_key ->
+        Portable.of_key_site site ~rounding:st.rounding
+    | _ -> Portable.of_site funcs ~rounding:st.rounding site
+  in
+  let keys = Portable.Table.create 256 in
+  for s = 0 to st.n_sites - 1 do
+    if st.st_obs.(s) > 0 then begin
+      let k = portable s in
+      if Bytes.get st.st_promoted s = '\001' then begin
+        if not (Portable.Table.mem keys k) then Portable.Table.add keys k ()
+      end
+      else Portable.Table.remove keys k
+    end
+  done;
+  for s = 0 to st.n_sites - 1 do
+    if st.st_obs.(s) > 0 && Bytes.get st.st_promoted s <> '\001' then
+      Portable.Table.remove keys (portable s)
+  done;
+  let acc = ref [] in
+  Portable.Table.iter (fun k () -> acc := Portable.to_string k :: !acc) keys;
+  List.sort String.compare acc.contents
+
+let online_instance ~(params : online_params) ~config ~predict_cost ~chain_of
+    ~funcs ~hint =
+  let threshold =
+    match params.threshold with
+    | Some t -> t
+    | None -> config.Config.short_lived_threshold
+  in
+  let st = create_state ~params ~threshold ~config ~chain_of ~funcs ~hint in
+  {
+    driver =
+      {
+        Lp_allocsim.Driver.predicted = online_predicted st;
+        predict_cost;
+        short_threshold = threshold;
+        on_outcome = Some (online_outcome st);
+      };
+    snap = online_snapshot st;
+  }
+
+let static_instance ~predicted ~predict_cost p =
+  {
+    driver =
+      {
+        Lp_allocsim.Driver.predicted;
+        predict_cost;
+        short_threshold = Predictor.threshold p;
+        on_outcome = None;
+      };
+    snap = static_snapshot p;
+  }
+
+let instance_for_trace ?(pooled = false) t ~predict_cost
+    (trace : Lp_trace.Trace.t) =
+  match t with
+  | Static p ->
+      let predicted =
+        if pooled then Predictor.for_trace_pooled p trace
+        else Predictor.for_trace p trace
+      in
+      static_instance ~predicted ~predict_cost p
+  | Online { params; config } ->
+      online_instance ~params ~config ~predict_cost
+        ~chain_of:(Lp_trace.Trace.chain_of_alloc trace)
+        ~funcs:(fun () -> trace.funcs)
+        ~hint:(Lp_trace.Trace.total_objects trace)
+
+let instance_for_source t ~predict_cost (src : Lp_trace.Source.t) =
+  match t with
+  | Static p ->
+      let predicted = Predictor.for_source p src in
+      static_instance ~predicted ~predict_cost p
+  | Online { params; config } ->
+      online_instance ~params ~config ~predict_cost
+        ~chain_of:src.Lp_trace.Source.chain ~funcs:src.Lp_trace.Source.funcs
+        ~hint:1024

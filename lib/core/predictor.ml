@@ -86,6 +86,7 @@ let of_keys ?(selection = All_short) ~(config : Config.t) keys =
   t
 
 let size t = Portable.Table.length t.keys
+let threshold t = t.threshold
 
 let predicts_site t funcs site = Portable.Table.mem t.keys (portable_of_site t funcs site)
 

@@ -34,6 +34,10 @@ val of_keys : ?selection:selection -> config:Config.t -> Portable.t list -> t
 val size : t -> int
 (** Number of accepted keys. *)
 
+val threshold : t -> int
+(** The short-lived cutoff (in allocated bytes) the predictor was built
+    under — the config's [short_lived_threshold] at {!build} time. *)
+
 val portable_of_site :
   t -> Lp_callchain.Func.table -> Lp_callchain.Site.t -> Portable.t
 (** The portable key of a raw site under the predictor's policy and

@@ -40,12 +40,12 @@ let cce_cost_of ~calls ~allocs =
 let cce_cost (test : Lp_trace.Trace.t) =
   cce_cost_of ~calls:test.calls ~allocs:(Lp_trace.Trace.total_objects test)
 
-let arena_with_cost ~config ~predictor ~(test : Lp_trace.Trace.t) ~predict_cost =
-  (* the memoizing predicted-site closure is created here, inside the
-     calling job, so each parallel replay owns a private memo table *)
-  let predicted = Predictor.for_trace predictor test in
+let arena_with_cost ~config ~oracle ~(test : Lp_trace.Trace.t) ~predict_cost =
+  (* the oracle instance is created here, inside the calling job, so each
+     parallel replay owns private lookup (and any online) state *)
+  let inst = Oracle.instance_for_trace oracle ~predict_cost test in
   Lp_allocsim.Driver.run
-    ~predictor:{ Lp_allocsim.Driver.predicted; predict_cost }
+    ~predictor:(Oracle.driver_predictor inst)
     test
     (Lp_allocsim.Registry.backend
        ~arena_config:(Config.arena_config config)
@@ -69,8 +69,8 @@ let resolve_spec ~arena_config name =
       (backend, display)
 
 let run ?(allocators = default_allocators) ?(wrap = fun b -> b)
-    ~(config : Config.t) ~(predictor : Predictor.t)
-    ~(test : Lp_trace.Trace.t) () : t =
+    ~(config : Config.t) ~(oracle : Oracle.t) ~(test : Lp_trace.Trace.t) () : t
+    =
   let arena_config = Config.arena_config config in
   (* decode-once/replay-many: validate and memoize the trace a single
      time; every job below replays the prepared trace with pooled
@@ -84,13 +84,16 @@ let run ?(allocators = default_allocators) ?(wrap = fun b -> b)
         let backend, display = resolve_spec ~arena_config name in
         let backend = wrap backend in
         if Lp_allocsim.Backend.uses_prediction backend then
-          (* two pricings of the same predicting allocator; the pooled
-             predictor closure is built inside each job, so each replay
-             resets its domain's memo instead of allocating one *)
+          (* two pricings of the same predicting allocator; the oracle
+             instance is built inside each job — a static oracle resets
+             its domain's pooled memo instead of allocating one, an
+             online oracle gets fresh per-replay learning state *)
           let with_cost predict_cost () =
-            let predicted = Predictor.for_trace_pooled predictor test in
+            let inst =
+              Oracle.instance_for_trace ~pooled:true oracle ~predict_cost test
+            in
             Lp_allocsim.Driver.run_prepared
-              ~predictor:{ Lp_allocsim.Driver.predicted; predict_cost }
+              ~predictor:(Oracle.driver_predictor inst)
               prepared backend
           in
           [
@@ -112,7 +115,7 @@ let run ?(allocators = default_allocators) ?(wrap = fun b -> b)
    the fan-out is byte-identical to sequential and to the materialized
    [run]. *)
 let run_streamed ?(allocators = default_allocators) ?(wrap = fun b -> b)
-    ?(decode_ahead = false) ~(config : Config.t) ~(predictor : Predictor.t)
+    ?(decode_ahead = false) ~(config : Config.t) ~(oracle : Oracle.t)
     ~(source : unit -> Lp_trace.Source.t) () : t =
   let arena_config = Config.arena_config config in
   (* The CCE pricing needs the stream's call and object totals before any
@@ -136,12 +139,12 @@ let run_streamed ?(allocators = default_allocators) ?(wrap = fun b -> b)
         let backend, display = resolve_spec ~arena_config name in
         let backend = wrap backend in
         if Lp_allocsim.Backend.uses_prediction backend then
-          (* the memoizing predictor closure is built per job, over the
-             job's own source, for a private memo table *)
+          (* the oracle instance is built per job, over the job's own
+             source, for private lookup (and any online) state *)
           let with_cost predict_cost (src : Lp_trace.Source.t) =
-            let predicted = Predictor.for_source predictor src in
+            let inst = Oracle.instance_for_source oracle ~predict_cost src in
             Lp_allocsim.Driver.run_source ~decode_ahead
-              ~predictor:{ Lp_allocsim.Driver.predicted; predict_cost }
+              ~predictor:(Oracle.driver_predictor inst)
               src backend
           in
           [

@@ -1,10 +1,11 @@
 (** Simulation glue: run a test trace through a set of registry allocators
-    with a trained predictor, producing the measurements behind Tables 7,
-    8 and 9.
+    with a lifetime oracle ({!Oracle}: the offline-trained database or
+    the online adaptive trainer), producing the measurements behind
+    Tables 7, 8 and 9.
 
     The replays are independent — each {!Lp_allocsim.Driver.run} owns its
-    allocator state and only reads the trace and the predictor — so they
-    execute concurrently on the {!Parallel} domain pool.
+    allocator state and oracle instance and only reads the trace — so
+    they execute concurrently on the {!Parallel} domain pool.
     [Parallel.with_domains 1] (or [LPALLOC_DOMAINS=1]) forces the
     sequential order, which produces bit-identical metrics: parallelism
     only changes scheduling, never results.
@@ -24,7 +25,7 @@ val run :
   ?allocators:string list ->
   ?wrap:(Lp_allocsim.Backend.t -> Lp_allocsim.Backend.t) ->
   config:Config.t ->
-  predictor:Predictor.t ->
+  oracle:Oracle.t ->
   test:Lp_trace.Trace.t ->
   unit ->
   t
@@ -49,7 +50,7 @@ val run_streamed :
   ?wrap:(Lp_allocsim.Backend.t -> Lp_allocsim.Backend.t) ->
   ?decode_ahead:bool ->
   config:Config.t ->
-  predictor:Predictor.t ->
+  oracle:Oracle.t ->
   source:(unit -> Lp_trace.Source.t) ->
   unit ->
   t
@@ -75,7 +76,7 @@ val cce_cost_of : calls:int -> allocs:int -> int
 
 val arena_with_cost :
   config:Config.t ->
-  predictor:Predictor.t ->
+  oracle:Oracle.t ->
   test:Lp_trace.Trace.t ->
   predict_cost:int ->
   Lp_allocsim.Metrics.t

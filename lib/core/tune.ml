@@ -150,7 +150,13 @@ let eval_with_cost ctx c ~predict_cost =
       let predictor = Hashtbl.find ctx.predictors (c.threshold, c.depth) in
       let predicted = Predictor.for_trace_pooled predictor ctx.test in
       Driver.run_prepared
-        ~predictor:{ Driver.predicted; predict_cost }
+        ~predictor:
+          {
+            Driver.predicted;
+            predict_cost;
+            short_threshold = c.threshold;
+            on_outcome = None;
+          }
         ctx.prepared backend
     end
     else Driver.run_prepared ctx.prepared backend

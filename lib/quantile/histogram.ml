@@ -58,11 +58,17 @@ let count t = t.total_weight
 
 let quartiles t =
   if t.total_weight = 0 then invalid_arg "Histogram.quartiles: no observations";
+  (* The three P² estimators are independent, so their approximation
+     errors are too: on adversarial orderings the raw 25% estimate can
+     land above the raw median.  Repair to monotone with the median
+     anchored — each estimate stays within the observed range because
+     every P² marker does. *)
+  let median = P2.quantile t.q50e in
   {
     min = t.lo;
-    q25 = P2.quantile t.q25e;
-    median = P2.quantile t.q50e;
-    q75 = P2.quantile t.q75e;
+    q25 = Float.min (P2.quantile t.q25e) median;
+    median;
+    q75 = Float.max (P2.quantile t.q75e) median;
     max = t.hi;
   }
 

@@ -36,7 +36,11 @@ val count : t -> int
 (** Total weight observed. *)
 
 val quartiles : t -> quartiles
-(** @raise Invalid_argument if nothing has been observed. *)
+(** The reported values are always ordered
+    [min <= q25 <= median <= q75 <= max]: the three quartile estimators
+    are independent, so their raw estimates can cross by approximation
+    error, and [quartiles] repairs any crossing with the median anchored.
+    @raise Invalid_argument if nothing has been observed. *)
 
 val mean : t -> float
 (** Arithmetic mean of the (weighted) observations.

@@ -282,6 +282,8 @@ let predictor_const verdict =
   {
     Lp_allocsim.Driver.predicted = (fun ~obj:_ ~size:_ ~chain:_ ~key:_ -> verdict);
     predict_cost = 18;
+    short_threshold = 32768;
+    on_outcome = None;
   }
 
 let driver_first_fit () =

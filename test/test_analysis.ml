@@ -342,7 +342,8 @@ let simulate_sanitized_parallel_identical () =
   let wrap b = San.for_backend ~arena_config b in
   let run domains =
     Lifetime.Parallel.with_domains domains (fun () ->
-        Lifetime.Simulate.run ~wrap ~config ~predictor ~test ())
+        Lifetime.Simulate.run ~wrap ~config
+          ~oracle:(Lifetime.Oracle.static predictor) ~test ())
   in
   let seq = run 1 and par = run 4 in
   Alcotest.(check (list string)) "same jobs"

@@ -114,7 +114,7 @@ let unknown_rule_rejected () =
        "Diagnostic.select: unknown rule \"no-such-rule\" in --only (known: \
         chain-collision, chain-collision-mispredict, coverage-cold-start, \
         coverage-dead-site, coverage-threshold-sensitive, \
-        live-overlap-hotspot, live-peak-pressure)")
+        coverage-online-cold, live-overlap-hotspot, live-peak-pressure)")
     (fun () ->
       ignore
         (Audit.run

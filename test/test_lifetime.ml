@@ -119,7 +119,7 @@ let simulation_places_short_in_arenas () =
   let trace = synthetic ~input:"a" () in
   let table = Lifetime.Train.collect ~config trace in
   let p = Lifetime.Predictor.build ~config ~funcs:trace.funcs table in
-  let sim = Lifetime.Simulate.run ~config ~predictor:p ~test:trace () in
+  let sim = Lifetime.Simulate.run ~config ~oracle:(Lifetime.Oracle.static p) ~test:trace () in
   let m = (Lifetime.Simulate.arena_len4 sim) in
   Alcotest.(check bool) "most allocs in arenas" true
     (Lp_allocsim.Metrics.arena_alloc_pct m > 90.);
@@ -132,7 +132,7 @@ let first_fit_vs_arena_heaps () =
   let trace = synthetic ~input:"a" () in
   let table = Lifetime.Train.collect ~config trace in
   let p = Lifetime.Predictor.build ~config ~funcs:trace.funcs table in
-  let sim = Lifetime.Simulate.run ~config ~predictor:p ~test:trace () in
+  let sim = Lifetime.Simulate.run ~config ~oracle:(Lifetime.Oracle.static p) ~test:trace () in
   (* small-heap program: arena adds its 64 KB area (paper Table 8's small
      programs all grow) *)
   Alcotest.(check bool) "arena heap >= first-fit heap for tiny program" true
@@ -232,11 +232,11 @@ let parallel_simulation_matches_sequential () =
   let p = Lifetime.Predictor.build ~config ~funcs:trace.funcs table in
   let sim_seq =
     Lifetime.Parallel.with_domains 1 (fun () ->
-        Lifetime.Simulate.run ~config ~predictor:p ~test:trace ())
+        Lifetime.Simulate.run ~config ~oracle:(Lifetime.Oracle.static p) ~test:trace ())
   in
   let sim_par =
     Lifetime.Parallel.with_domains 4 (fun () ->
-        Lifetime.Simulate.run ~config ~predictor:p ~test:trace ())
+        Lifetime.Simulate.run ~config ~oracle:(Lifetime.Oracle.static p) ~test:trace ())
   in
   Alcotest.(check bool) "first-fit identical" true
     (metrics_equal (Lifetime.Simulate.first_fit sim_seq) (Lifetime.Simulate.first_fit sim_par));
@@ -257,7 +257,7 @@ let timings_record_replay_stages () =
       let trace = synthetic ~input:"a" () in
       let table = Lifetime.Train.collect ~config trace in
       let p = Lifetime.Predictor.build ~config ~funcs:trace.funcs table in
-      let _ = Lifetime.Simulate.run ~config ~predictor:p ~test:trace () in
+      let _ = Lifetime.Simulate.run ~config ~oracle:(Lifetime.Oracle.static p) ~test:trace () in
       let stages = Lp_obs.Timings.stages () in
       let find name =
         match List.find_opt (fun s -> s.Lp_obs.Timings.name = name) stages with

@@ -107,6 +107,37 @@ let histogram_weight_validation () =
     (Invalid_argument "Histogram.observe_weighted: weight must be positive")
     (fun () -> Lp_quantile.Histogram.observe_weighted h ~weight:0 1.)
 
+(* Orderings where the three independent P² estimators' raw estimates
+   cross (found by [prop_p2_ordering]); the quartiles repair must keep
+   the reported values monotone. *)
+let histogram_quartile_crossings () =
+  let cases =
+    [
+      [ 324.870211392; -208.250346179; 808.986836863; -677.35248813;
+        808.856200319; -325.928690801; 151.466835038; -830.5099088;
+        767.3313888; -361.651796277; -291.417965476; -385.776115257;
+        -987.156581883; 291.869451185; 349.462222602; 247.888220408;
+        981.117041491; -427.840845236 ];
+      [ -721.081350369; 539.173333179; 940.210130617; -79.3057964575;
+        482.727498036; -971.172196208; 471.640366581; 635.103330515;
+        -742.74930663; 122.033025543; 172.686507545; 380.67743314;
+        -127.517891133; -676.602227175; 667.940959642 ];
+    ]
+  in
+  List.iteri
+    (fun i xs ->
+      let h = Lp_quantile.Histogram.create () in
+      List.iter (Lp_quantile.Histogram.observe h) xs;
+      let q = Lp_quantile.Histogram.quartiles h in
+      if
+        not
+          (q.min <= q.q25 && q.q25 <= q.median && q.median <= q.q75
+         && q.q75 <= q.max)
+      then
+        Alcotest.failf "case %d: quartiles not ordered: %a" i
+          Lp_quantile.Histogram.pp_quartiles q)
+    cases
+
 (* property: P² median lies within the sample range and between the
    25% and 75% estimates *)
 let prop_p2_ordering =
@@ -150,6 +181,8 @@ let suites =
         Alcotest.test_case "histogram quartiles" `Quick histogram_quartiles;
         Alcotest.test_case "histogram weighted" `Quick histogram_weighted;
         Alcotest.test_case "histogram weight check" `Quick histogram_weight_validation;
+        Alcotest.test_case "histogram quartile crossings" `Quick
+          histogram_quartile_crossings;
         QCheck_alcotest.to_alcotest prop_p2_ordering;
         QCheck_alcotest.to_alcotest prop_exact_monotone;
       ] );

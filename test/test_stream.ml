@@ -168,9 +168,10 @@ let simulate_streamed_equivalence () =
   let table = Lifetime.Train.collect ~config trace in
   let predictor = Lifetime.Predictor.build ~config ~funcs:trace.funcs table in
   let allocators = Lp_allocsim.Registry.names () in
+  let oracle = Lifetime.Oracle.static predictor in
   let expect =
     sim_fingerprint
-      (Lifetime.Simulate.run ~allocators ~config ~predictor ~test:trace ())
+      (Lifetime.Simulate.run ~allocators ~config ~oracle ~test:trace ())
   in
   let bin = Lp_trace.Binio.to_string trace in
   let check_source what source =
@@ -179,7 +180,7 @@ let simulate_streamed_equivalence () =
         let got =
           Lifetime.Parallel.with_domains domains (fun () ->
               sim_fingerprint
-                (Lifetime.Simulate.run_streamed ~allocators ~config ~predictor
+                (Lifetime.Simulate.run_streamed ~allocators ~config ~oracle
                    ~source ()))
         in
         Alcotest.(check (list (pair string string)))
